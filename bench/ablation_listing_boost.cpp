@@ -1,0 +1,44 @@
+// Ablation: the impact of being listed by public scanning services (§5.2,
+// Figure 8). Runs the attack month with the post-listing boost disabled
+// (1.0) and enabled (paper-style uptrend), comparing first-half vs
+// second-half attack volume.
+#include "bench_common.h"
+
+namespace {
+
+std::pair<std::uint64_t, std::uint64_t> halves(
+    const ofh::honeynet::EventLog& log, ofh::sim::Duration duration) {
+  std::uint64_t first = 0, second = 0;
+  for (const auto& event : log.events()) {
+    (event.when < duration / 2 ? first : second) += 1;
+  }
+  return {first, second};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto base_config = ofh::bench::parse_config(argc, argv);
+  ofh::bench::print_banner(base_config, "Ablation (scanning-service listing)");
+
+  for (const double boost : {1.0, 1.6, 2.5}) {
+    auto config = base_config;
+    config.listing_boost = boost;
+    ofh::core::Study study(config);
+    study.setup_internet();
+    study.run_attack_month();
+    const auto [first, second] =
+        halves(study.attack_log(), study.config().attack_duration);
+    std::printf(
+        "listing boost %.1f: first half %6llu events, second half %6llu "
+        "events (ratio %.2f)\n",
+        boost, static_cast<unsigned long long>(first),
+        static_cast<unsigned long long>(second),
+        first == 0 ? 0.0 : static_cast<double>(second) / first);
+  }
+  std::printf(
+      "\nThe paper observed an upward attack trend after the honeypots were\n"
+      "listed on Shodan/BinaryEdge/ZoomEye (Figure 8); boost 1.0 removes\n"
+      "the effect, larger boosts steepen it.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared bench-harness setup. Each table/figure binary builds a Study at a
+// configurable scale, runs only the phases its experiment needs and prints
+// the corresponding report with paper-reported vs expected-at-scale vs
+// measured columns.
+//
+// Flags: --scale=N        population scale denominator (default 512)
+//        --attack-scale=N attack-volume scale denominator (default 8)
+//        --seed=N         study seed (default 42)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/reports.h"
+#include "core/study.h"
+
+namespace ofh::bench {
+
+inline core::StudyConfig parse_config(int argc, char** argv) {
+  core::StudyConfig config;
+  double scale = 512;
+  double attack_scale = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--attack-scale=", 15) == 0) {
+      attack_scale = std::atof(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      config.seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    }
+  }
+  if (scale > 0) config.population_scale = 1.0 / scale;
+  if (attack_scale > 0) config.attack_scale = 1.0 / attack_scale;
+  return config;
+}
+
+inline void print_banner(const core::StudyConfig& config,
+                         const char* experiment) {
+  std::printf(
+      "openforhire bench: %s\n"
+      "population scale 1/%.0f, attack scale 1/%.0f, seed %llu\n"
+      "(absolute numbers scale with the simulated population; the paper\n"
+      " columns give the IMC'21 measurements for shape comparison)\n",
+      experiment, 1.0 / config.population_scale, 1.0 / config.attack_scale,
+      static_cast<unsigned long long>(config.seed));
+}
+
+}  // namespace ofh::bench

@@ -1,0 +1,13 @@
+// Regenerates Figure 2: top IoT device types by protocol, via ZTag-style
+// banner tagging of the scan results.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto config = ofh::bench::parse_config(argc, argv);
+  ofh::bench::print_banner(config, "Figure 2 (device types by protocol)");
+  ofh::core::Study study(config);
+  study.setup_internet();
+  study.run_scan();
+  std::fputs(ofh::core::report_fig2_device_types(study).c_str(), stdout);
+  return 0;
+}

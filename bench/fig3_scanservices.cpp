@@ -1,0 +1,12 @@
+// Regenerates Figure 3: scanning-service traffic on honeypots.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto config = ofh::bench::parse_config(argc, argv);
+  ofh::bench::print_banner(config, "Figure 3 (scanning services)");
+  ofh::core::Study study(config);
+  study.setup_internet();
+  study.run_attack_month();
+  std::fputs(ofh::core::report_fig3_scanning_services(study).c_str(), stdout);
+  return 0;
+}

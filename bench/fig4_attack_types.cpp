@@ -1,0 +1,12 @@
+// Regenerates Figure 4: attack types in different honeypots.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto config = ofh::bench::parse_config(argc, argv);
+  ofh::bench::print_banner(config, "Figure 4 (attack types per honeypot)");
+  ofh::core::Study study(config);
+  study.setup_internet();
+  study.run_attack_month();
+  std::fputs(ofh::core::report_fig4_attack_types(study).c_str(), stdout);
+  return 0;
+}

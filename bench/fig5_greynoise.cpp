@@ -1,0 +1,12 @@
+// Regenerates Figure 5: our scanning-service classification vs GreyNoise.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto config = ofh::bench::parse_config(argc, argv);
+  ofh::bench::print_banner(config, "Figure 5 (GreyNoise cross-validation)");
+  ofh::core::Study study(config);
+  study.setup_internet();
+  study.run_attack_month();
+  std::fputs(ofh::core::report_fig5_greynoise(study).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Regenerates Figure 6: share of unknown/suspicious sources flagged
+// malicious by VirusTotal, per protocol, honeypots (H) vs telescope (T).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto config = ofh::bench::parse_config(argc, argv);
+  ofh::bench::print_banner(config, "Figure 6 (VirusTotal flag rates)");
+  ofh::core::Study study(config);
+  study.setup_internet();
+  study.run_attack_month();
+  std::fputs(ofh::core::report_fig6_virustotal(study).c_str(), stdout);
+  return 0;
+}

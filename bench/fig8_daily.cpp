@@ -1,0 +1,13 @@
+// Regenerates Figure 8: total attacks by day, with scanning-service listing
+// markers and the day-24/day-26 DoS spikes.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto config = ofh::bench::parse_config(argc, argv);
+  ofh::bench::print_banner(config, "Figure 8 (attacks by day)");
+  ofh::core::Study study(config);
+  study.setup_internet();
+  study.run_attack_month();
+  std::fputs(ofh::core::report_fig8_daily(study).c_str(), stdout);
+  return 0;
+}

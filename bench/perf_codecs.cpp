@@ -1,0 +1,106 @@
+// Microbenchmarks of the protocol codecs (encode/decode throughput) — the
+// per-packet cost floor of the scanner, honeypots and attacker fleet.
+#include <benchmark/benchmark.h>
+
+#include "proto/amqp.h"
+#include "proto/coap.h"
+#include "proto/http.h"
+#include "proto/mqtt.h"
+#include "proto/ssdp.h"
+#include "proto/telnet.h"
+
+namespace {
+
+using namespace ofh;
+
+void BM_TelnetDecode(benchmark::State& state) {
+  util::Bytes data = {0xff, 0xfd, 0x1f};
+  const auto text = util::to_bytes("login: root\r\npassword: admin\r\n$ ls\r\n");
+  data.insert(data.end(), text.begin(), text.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::telnet::decode(data));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_TelnetDecode);
+
+void BM_MqttConnectRoundTrip(benchmark::State& state) {
+  proto::mqtt::ConnectPacket packet;
+  packet.client_id = "bench-client";
+  packet.username = "user";
+  packet.password = "pass";
+  for (auto _ : state) {
+    const auto encoded = proto::mqtt::encode_connect(packet);
+    const auto header = proto::mqtt::decode_fixed_header(encoded);
+    benchmark::DoNotOptimize(proto::mqtt::decode_connect(
+        std::span<const std::uint8_t>(encoded).subspan(header->header_size)));
+  }
+}
+BENCHMARK(BM_MqttConnectRoundTrip);
+
+void BM_MqttTopicMatch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        proto::mqtt::topic_matches("home/+/sensors/#",
+                                   "home/kitchen/sensors/temp/value"));
+  }
+}
+BENCHMARK(BM_MqttTopicMatch);
+
+void BM_CoapRoundTrip(benchmark::State& state) {
+  auto message = proto::coap::make_discovery_request(1);
+  message.payload = util::to_bytes("</sensors/temp>;rt=\"ucum:Cel\"");
+  for (auto _ : state) {
+    const auto encoded = proto::coap::encode(message);
+    benchmark::DoNotOptimize(proto::coap::decode(encoded));
+  }
+}
+BENCHMARK(BM_CoapRoundTrip);
+
+void BM_AmqpFrameRoundTrip(benchmark::State& state) {
+  proto::amqp::StartMethod start;
+  start.product = "RabbitMQ";
+  start.version = "3.8.9";
+  start.mechanisms = {"PLAIN", "AMQPLAIN", "ANONYMOUS"};
+  proto::amqp::Frame frame;
+  frame.payload = proto::amqp::encode_start(start);
+  for (auto _ : state) {
+    const auto encoded = proto::amqp::encode_frame(frame);
+    std::size_t consumed = 0;
+    benchmark::DoNotOptimize(proto::amqp::decode_frame(encoded, &consumed));
+  }
+}
+BENCHMARK(BM_AmqpFrameRoundTrip);
+
+void BM_SsdpResponseDecode(benchmark::State& state) {
+  proto::ssdp::SearchResponse response;
+  response.usn = "uuid:5a34308c-1a2c-4546-ac5d-7663dd01dca1::upnp:rootdevice";
+  response.server = "Ubuntu/lucid UPnP/1.0 MiniUPnPd/1.4";
+  response.location = "http://192.0.2.1:16537/rootDesc.xml";
+  response.extra["Model Name"] = "H108N";
+  const auto encoded = proto::ssdp::encode_response(response);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::ssdp::decode_response(encoded));
+  }
+  state.SetBytesProcessed(state.iterations() * encoded.size());
+}
+BENCHMARK(BM_SsdpResponseDecode);
+
+void BM_HttpRequestDecode(benchmark::State& state) {
+  proto::http::Request request;
+  request.method = "POST";
+  request.path = "/login";
+  request.headers["host"] = "192.0.2.1";
+  request.headers["user-agent"] = "Mozilla/5.0";
+  request.body = "user=admin&pass=admin";
+  const auto encoded = util::to_string(proto::http::encode_request(request));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::http::decode_request(encoded));
+  }
+  state.SetBytesProcessed(state.iterations() * encoded.size());
+}
+BENCHMARK(BM_HttpRequestDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

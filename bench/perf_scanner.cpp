@@ -1,0 +1,83 @@
+// Microbenchmarks of the scan engine building blocks: address permutation,
+// the event kernel, fabric packet delivery and banner classification.
+#include <benchmark/benchmark.h>
+
+#include "classify/misconfig_rules.h"
+#include "net/fabric.h"
+#include "net/host.h"
+#include "scanner/permutation.h"
+#include "sim/simulation.h"
+#include "util/sha256.h"
+
+namespace {
+
+using namespace ofh;
+
+void BM_AddressPermutation(benchmark::State& state) {
+  const std::uint64_t size = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    scanner::AddressPermutation permutation(size, 42);
+    std::uint64_t sum = 0;
+    while (const auto index = permutation.next()) sum += *index;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(size));
+}
+BENCHMARK(BM_AddressPermutation)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int counter = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.at(static_cast<sim::Time>(i), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulationEventThroughput);
+
+void BM_FabricUdpDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    net::Fabric fabric(sim, 1);
+    net::Host server{util::Ipv4Addr(10, 0, 0, 1)};
+    net::Host client{util::Ipv4Addr(10, 0, 0, 2)};
+    server.attach(fabric);
+    client.attach(fabric);
+    int received = 0;
+    server.udp().bind(9, [&received](const net::Datagram&) { ++received; });
+    for (int i = 0; i < 1'000; ++i) {
+      client.udp().send(server.address(), 9, util::to_bytes("x"));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_FabricUdpDelivery);
+
+void BM_MisconfigClassification(benchmark::State& state) {
+  scanner::ScanRecord record;
+  record.protocol = proto::Protocol::kTelnet;
+  record.banner = "BusyBox v1.20.2 (2016-09-13)\r\nroot@device:~$ ";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify::classify_misconfig(record));
+  }
+}
+BENCHMARK(BM_MisconfigClassification);
+
+void BM_Sha256Throughput(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Sha256::hex_digest(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

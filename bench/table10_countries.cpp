@@ -1,0 +1,12 @@
+// Regenerates Table 10: misconfigured devices by country.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto config = ofh::bench::parse_config(argc, argv);
+  ofh::bench::print_banner(config, "Table 10 (misconfigured by country)");
+  ofh::core::Study study(config);
+  study.setup_internet();
+  study.run_scan();
+  std::fputs(ofh::core::report_table10_countries(study).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates Table 7: attack events by honeypot/protocol over the one-month
+// deployment, plus the unique-source classification and Table 12 credential
+// tallies from the same logs.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto config = ofh::bench::parse_config(argc, argv);
+  ofh::bench::print_banner(config, "Table 7 (honeypot attack events)");
+  ofh::core::Study study(config);
+  study.setup_internet();
+  study.run_attack_month();
+  std::fputs(ofh::core::report_table7_attacks(study).c_str(), stdout);
+  std::fputs(ofh::core::report_table12_credentials(study).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates Table 8: telescope suspicious traffic classification.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto config = ofh::bench::parse_config(argc, argv);
+  ofh::bench::print_banner(config, "Table 8 (network telescope)");
+  ofh::core::Study study(config);
+  study.setup_internet();
+  study.run_attack_month();
+  std::fputs(ofh::core::report_table8_telescope(study).c_str(), stdout);
+  std::printf("\nTotal telescope packets: %llu, flow tuples: %zu\n",
+              static_cast<unsigned long long>(study.scope().total_packets()),
+              study.scope().tuples().size());
+  return 0;
+}

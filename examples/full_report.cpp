@@ -1,0 +1,64 @@
+// Full report: runs the entire study and writes every table/figure report
+// into a single markdown file (openforhire_report.md) — the one-command
+// artefact a downstream user would hand to a reviewer.
+//
+//   $ ./build/examples/full_report [output-path]
+#include <cstdio>
+#include <fstream>
+
+#include "core/reports.h"
+#include "core/study.h"
+
+using namespace ofh;
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("openforhire_report.md");
+
+  core::StudyConfig config;
+  config.population_scale = 1.0 / 1'024;
+  config.attack_scale = 1.0 / 16;
+  core::Study study(config);
+
+  std::puts("running the full study (scan + datasets + attack month + "
+            "correlation) ...");
+  study.run_all();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "# openforhire study report\n\n"
+      << "Population scale 1/" << 1.0 / config.population_scale
+      << ", attack scale 1/" << 1.0 / config.attack_scale << ", seed "
+      << config.seed << ".\n\n"
+      << "Every section prints the paper's IMC'21 value next to this run's "
+         "measurement; absolute numbers scale with the simulated "
+         "population.\n";
+
+  const auto emit = [&out](const std::string& text) {
+    out << "\n```\n" << text << "```\n";
+  };
+  emit(core::report_table4_exposed(study));
+  emit(core::report_fig2_device_types(study));
+  emit(core::report_table5_misconfigured(study));
+  emit(core::report_table6_honeypots(study));
+  emit(core::report_table10_countries(study));
+  emit(core::report_table7_attacks(study));
+  emit(core::report_table12_credentials(study));
+  emit(core::report_fig3_scanning_services(study));
+  emit(core::report_fig4_attack_types(study));
+  emit(core::report_table8_telescope(study));
+  emit(core::report_fig5_greynoise(study));
+  emit(core::report_fig6_virustotal(study));
+  emit(core::report_fig7_trends(study));
+  emit(core::report_fig8_daily(study));
+  emit(core::report_fig9_multistage(study));
+  emit(core::report_correlation(study));
+
+  std::printf("wrote %s (%zu attack events, %zu scan records)\n",
+              path.c_str(), study.attack_log().size(),
+              study.scan_db().size());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Honeypot farm: deploy the paper's six honeypots, drive a handful of
+// attacks against them by hand (a Mirai-style Telnet bot, an MQTT poisoner,
+// an EternalBlue probe, an SSDP flood) and dump the classified event log.
+//
+//   $ ./build/examples/honeypot_farm
+#include <cstdio>
+
+#include "attackers/credentials.h"
+#include "attackers/malware.h"
+#include "attackers/probes.h"
+#include "honeynet/deployments.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+
+using namespace ofh;
+
+int main() {
+  sim::Simulation sim;
+  net::Fabric fabric(sim, 11);
+
+  // Six honeypots, one public IP each (the paper's Figure 1 groups).
+  honeynet::EventLog log;
+  std::vector<util::Ipv4Addr> addresses;
+  for (int i = 1; i <= 6; ++i) addresses.push_back(util::Ipv4Addr(45, 0, 0, i));
+  auto deployment = honeynet::make_deployment(addresses, log);
+  for (auto& honeypot : deployment.honeypots) {
+    honeypot->attach(fabric);
+    std::printf("deployed %-8s at %s\n", honeypot->name().c_str(),
+                honeypot->address().to_string().c_str());
+  }
+
+  // Attackers.
+  net::Host bot(util::Ipv4Addr(66, 6, 6, 6));
+  bot.attach(fabric);
+  util::Rng rng(3);
+  attackers::MalwareCorpus corpus(3, /*scale=*/0.1);
+
+  // A Mirai-style bot brute-forces Cowrie's Telnet with Table 12 creds and
+  // drops a payload.
+  attackers::bruteforce_telnet(
+      bot, addresses[4],
+      attackers::sample_credentials(proto::Protocol::kTelnet, rng, 3),
+      &corpus.pick(proto::Protocol::kTelnet, rng));
+  // An MQTT poisoner rewrites HosTaGe's retained sensor topic.
+  attackers::attack_mqtt(bot, addresses[0], /*poison=*/true);
+  // An EternalBlue-style exploit against Dionaea's SMB.
+  attackers::attack_smb(bot, addresses[5], /*exploit=*/true);
+  // An SSDP flood drowning U-Pot.
+  attackers::flood_ssdp(bot, addresses[1], 60);
+
+  sim.run_until(sim::minutes(10));
+
+  std::printf("\n%zu attack events recorded:\n", log.size());
+  const auto by_type = log.count_by_type();
+  for (const auto& [type, count] : by_type.ranked()) {
+    std::printf("  %-12s %llu\n", type.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\nfirst few events:\n");
+  std::size_t shown = 0;
+  for (const auto& event : log.events()) {
+    if (shown++ >= 12) break;
+    std::printf("  [%s] %-8s %-6s %-11s %s\n",
+                sim::format_time(event.when).c_str(), event.honeypot.c_str(),
+                std::string(proto::protocol_name(event.protocol)).c_str(),
+                std::string(honeynet::attack_type_name(event.type)).c_str(),
+                event.detail.substr(0, 48).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a small simulated Internet, run a ZMap-style scan over
+// two protocols, classify misconfigurations and print the findings.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "classify/misconfig_rules.h"
+#include "devices/device.h"
+#include "net/fabric.h"
+#include "scanner/scanner.h"
+#include "sim/simulation.h"
+
+using namespace ofh;
+
+int main() {
+  // 1. The simulated Internet: an event kernel plus a packet fabric.
+  sim::Simulation sim;
+  net::Fabric fabric(sim, /*seed=*/7);
+
+  // 2. Plant a few IoT devices in 198.18.7.0/24 — two of them misconfigured.
+  std::vector<std::unique_ptr<devices::Device>> hosts;
+  const auto plant = [&](std::uint8_t last, proto::Protocol protocol,
+                         devices::Misconfig misconfig) {
+    devices::DeviceSpec spec;
+    spec.address = util::Ipv4Addr(198, 18, 7, last);
+    spec.primary = protocol;
+    spec.misconfig = misconfig;
+    spec.model = devices::models_for(protocol).empty()
+                     ? nullptr
+                     : devices::models_for(protocol).front();
+    hosts.push_back(std::make_unique<devices::Device>(std::move(spec)));
+    hosts.back()->attach(fabric);
+  };
+  plant(10, proto::Protocol::kTelnet, devices::Misconfig::kTelnetNoAuthRoot);
+  plant(11, proto::Protocol::kTelnet, devices::Misconfig::kNone);
+  plant(12, proto::Protocol::kMqtt, devices::Misconfig::kMqttNoAuth);
+
+  // 3. A scanning host sweeps the prefix, one protocol at a time.
+  scanner::ScanDb db;
+  scanner::Scanner scanner(util::Ipv4Addr(192, 35, 168, 10), db);
+  scanner.attach(fabric);
+  for (const auto protocol :
+       {proto::Protocol::kTelnet, proto::Protocol::kMqtt}) {
+    scanner::ScanConfig config;
+    config.protocol = protocol;
+    config.targets = {*util::Cidr::parse("198.18.7.0/24")};
+    bool done = false;
+    scanner.start(config, [&done] { done = true; });
+    while (!done && sim.step()) {
+    }
+  }
+
+  // 4. Classify the banners (Tables 2 and 3 of the paper).
+  std::printf("scan: %zu responsive records, %llu probes sent\n\n", db.size(),
+              static_cast<unsigned long long>(db.probes_sent()));
+  for (const auto& finding : classify::classify_all(db)) {
+    std::printf("%-15s %-7s %s\n", finding.host.to_string().c_str(),
+                std::string(proto::protocol_name(finding.protocol)).c_str(),
+                std::string(devices::misconfig_name(finding.misconfig))
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reflection attack anatomy: measures the amplification factor of
+// misconfigured CoAP and UPnP devices — the reason the paper counts
+// 1.54M devices as "Reflection-attack resource" (Table 5) — by bouncing
+// spoofed discovery requests off them onto a victim.
+//
+//   $ ./build/examples/reflection_attack
+#include <cstdio>
+
+#include "attackers/probes.h"
+#include "devices/device.h"
+#include "net/fabric.h"
+#include "proto/coap.h"
+#include "proto/ssdp.h"
+#include "sim/simulation.h"
+
+using namespace ofh;
+
+int main() {
+  sim::Simulation sim;
+  net::Fabric fabric(sim, 5);
+
+  // Misconfigured reflectors.
+  devices::DeviceSpec coap_spec;
+  coap_spec.address = util::Ipv4Addr(203, 113, 0, 10);
+  coap_spec.primary = proto::Protocol::kCoap;
+  coap_spec.misconfig = devices::Misconfig::kCoapReflector;
+  devices::Device coap_reflector(std::move(coap_spec));
+  coap_reflector.attach(fabric);
+
+  devices::DeviceSpec upnp_spec;
+  upnp_spec.address = util::Ipv4Addr(203, 113, 0, 11);
+  upnp_spec.primary = proto::Protocol::kUpnp;
+  upnp_spec.misconfig = devices::Misconfig::kUpnpReflector;
+  upnp_spec.model = devices::models_for(proto::Protocol::kUpnp).front();
+  devices::Device upnp_reflector(std::move(upnp_spec));
+  upnp_reflector.attach(fabric);
+
+  // Attacker and victim.
+  net::Host attacker(util::Ipv4Addr(66, 6, 6, 6));
+  net::Host victim(util::Ipv4Addr(77, 7, 7, 7));
+  attacker.attach(fabric);
+  victim.attach(fabric);
+
+  std::size_t victim_bytes = 0, victim_packets = 0;
+  victim.udp().bind(33'000, [&](const net::Datagram& datagram) {
+    victim_bytes += datagram.payload.size();
+    ++victim_packets;
+  });
+
+  const int kProbes = 100;
+  const auto coap_probe =
+      proto::coap::encode(proto::coap::make_discovery_request(3));
+  const auto ssdp_probe = proto::ssdp::encode_msearch(proto::ssdp::MSearch{});
+
+  // CoAP round.
+  attackers::reflect_udp(attacker, coap_reflector.address(), victim.address(),
+                         proto::Protocol::kCoap, kProbes);
+  sim.run();
+  const double coap_sent = static_cast<double>(coap_probe.size()) * kProbes;
+  std::printf("CoAP : %4d spoofed probes (%5.0f B) -> %6zu B on victim "
+              "(amplification x%.1f, %zu packets)\n",
+              kProbes, coap_sent, victim_bytes, victim_bytes / coap_sent,
+              victim_packets);
+
+  // UPnP round.
+  victim_bytes = victim_packets = 0;
+  attackers::reflect_udp(attacker, upnp_reflector.address(), victim.address(),
+                         proto::Protocol::kUpnp, kProbes);
+  sim.run();
+  const double ssdp_sent = static_cast<double>(ssdp_probe.size()) * kProbes;
+  std::printf("UPnP : %4d spoofed probes (%5.0f B) -> %6zu B on victim "
+              "(amplification x%.1f, %zu packets)\n",
+              kProbes, ssdp_sent, victim_bytes, victim_bytes / ssdp_sent,
+              victim_packets);
+
+  std::printf(
+      "\nA hardened device answers the same probes with a minimal response\n"
+      "and no duplicates — no amplification value:\n");
+  devices::DeviceSpec hardened_spec;
+  hardened_spec.address = util::Ipv4Addr(203, 113, 0, 12);
+  hardened_spec.primary = proto::Protocol::kUpnp;
+  hardened_spec.misconfig = devices::Misconfig::kNone;
+  devices::Device hardened(std::move(hardened_spec));
+  hardened.attach(fabric);
+  victim_bytes = victim_packets = 0;
+  attackers::reflect_udp(attacker, hardened.address(), victim.address(),
+                         proto::Protocol::kUpnp, kProbes);
+  sim.run();
+  std::printf("UPnP : %4d spoofed probes (%5.0f B) -> %6zu B on victim "
+              "(amplification x%.2f)\n",
+              kProbes, ssdp_sent, victim_bytes, victim_bytes / ssdp_sent);
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "attackers/credentials.h"
+
+#include "devices/paper_stats.h"
+
+namespace ofh::attackers {
+
+const std::vector<proto::Credentials>& dictionary(proto::Protocol protocol) {
+  static const auto build = [](proto::Protocol which) {
+    std::vector<proto::Credentials> out;
+    for (const auto& row : devices::paper::table12()) {
+      if (row.protocol == which) {
+        out.push_back({std::string(row.user), std::string(row.pass)});
+      }
+    }
+    return out;
+  };
+  static const std::vector<proto::Credentials> kTelnet =
+      build(proto::Protocol::kTelnet);
+  static const std::vector<proto::Credentials> kSsh =
+      build(proto::Protocol::kSsh);
+  return protocol == proto::Protocol::kSsh ? kSsh : kTelnet;
+}
+
+std::vector<proto::Credentials> sample_credentials(proto::Protocol protocol,
+                                                   util::Rng& rng,
+                                                   std::size_t count) {
+  std::vector<double> weights;
+  for (const auto& row : devices::paper::table12()) {
+    if (row.protocol == protocol ||
+        (protocol != proto::Protocol::kSsh &&
+         row.protocol == proto::Protocol::kTelnet)) {
+      if (row.protocol == protocol) {
+        weights.push_back(static_cast<double>(row.count));
+      }
+    }
+  }
+  const auto& dict = dictionary(protocol);
+  std::vector<proto::Credentials> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto index = rng.weighted(weights);
+    if (index < dict.size()) out.push_back(dict[index]);
+  }
+  if (out.empty() && !dict.empty()) out.push_back(dict.front());
+  return out;
+}
+
+}  // namespace ofh::attackers

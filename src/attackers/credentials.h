@@ -1,0 +1,23 @@
+// Credential dictionaries used by brute-force bots: the Telnet and SSH
+// default-credential lists of paper Table 12, with the observed frequencies
+// as sampling weights, so the honeypots' credential tallies reproduce the
+// paper's ranking.
+#pragma once
+
+#include <vector>
+
+#include "proto/service.h"
+#include "util/rng.h"
+
+namespace ofh::attackers {
+
+// Full dictionary for a protocol (Telnet or SSH), ordered by frequency.
+const std::vector<proto::Credentials>& dictionary(proto::Protocol protocol);
+
+// Samples a short credential list for one bot session: a weighted draw of
+// dictionary entries (bots try a handful per victim).
+std::vector<proto::Credentials> sample_credentials(proto::Protocol protocol,
+                                                   util::Rng& rng,
+                                                   std::size_t count);
+
+}  // namespace ofh::attackers

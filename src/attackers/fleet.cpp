@@ -1,0 +1,627 @@
+#include "attackers/fleet.h"
+
+#include <cmath>
+
+#include "attackers/credentials.h"
+#include "attackers/probes.h"
+#include "devices/paper_stats.h"
+
+namespace ofh::attackers {
+
+namespace {
+
+// Average logged events per malicious session, per protocol (connect +
+// login attempts + commands / discovery + floods, weighted by the behaviour
+// mix in attack_session). Converts Table 7 event counts into session
+// arrival intensities.
+double events_per_session(proto::Protocol protocol) {
+  using P = proto::Protocol;
+  switch (protocol) {
+    case P::kTelnet: return 6.0;
+    case P::kSsh: return 6.0;
+    case P::kMqtt: return 6.0;
+    case P::kAmqp: return 7.0;
+    case P::kXmpp: return 2.5;
+    case P::kCoap: return 7.0;
+    case P::kUpnp: return 12.0;
+    case P::kHttp: return 8.0;
+    case P::kSmb: return 3.0;
+    case P::kFtp: return 3.5;
+    case P::kModbus: return 10.0;
+    case P::kS7: return 7.0;
+  }
+  return 4.0;
+}
+
+}  // namespace
+
+Fleet::Fleet(FleetConfig config, devices::Population& population,
+             const honeynet::Deployment& deployment,
+             telescope::Telescope& telescope)
+    : config_(config),
+      population_(population),
+      telescope_(telescope),
+      rng_(util::Rng(config.seed).fork("fleet")),
+      malware_(config.seed, /*scale=*/0.25) {
+  for (const auto& honeypot : deployment.honeypots) {
+    targets_.push_back(HoneypotTarget{honeypot->name(), honeypot->address(),
+                                      honeypot->protocols()});
+  }
+}
+
+Fleet::~Fleet() {
+  for (auto& host : external_hosts_) {
+    if (host->attached()) host->detach();
+  }
+}
+
+void Fleet::deploy(net::Fabric& fabric, intel::ReverseDns& rdns,
+                   intel::VirusTotalDb& virustotal,
+                   intel::GreyNoiseDb& greynoise, intel::CensysDb& censys) {
+  fabric_ = &fabric;
+
+  // Malware corpus is known to VirusTotal (the paper identifies samples by
+  // hash lookup).
+  for (const auto& sample : malware_.samples()) {
+    virustotal.add_hash(sample.sha256, sample.family);
+    virustotal.flag_url(sample.dropper_url);
+  }
+
+  // Scanning services: sized from the paper's 10,696 unique IPs.
+  ScanServiceFleet::Config scan_config;
+  scan_config.seed = config_.seed + 1;
+  scan_config.total_sources = std::max<std::size_t>(
+      20, static_cast<std::size_t>(devices::paper::kHoneypotScanServiceIps *
+                                   config_.event_scale));
+  scan_config.duration = config_.duration;
+  scan_config.on_listing = [this](const ListingEvent&) { listed_ = true; };
+  std::vector<util::Ipv4Addr> addresses;
+  for (const auto& target : targets_) addresses.push_back(target.address);
+  scan_services_ = std::make_unique<ScanServiceFleet>(
+      std::move(scan_config), addresses, telescope_.range());
+  scan_services_->deploy(fabric, rdns,
+                         [this] { return population_.allocate_extra(); });
+
+  // GreyNoise knows most — not all — scanning-service sources (the paper
+  // found 2,023 of 10,696 missing from GreyNoise, ~81% coverage).
+  util::Rng gn_rng = rng_.fork("greynoise");
+  for (const auto addr : scan_services_->source_addresses()) {
+    if (gn_rng.chance(0.81)) {
+      greynoise.classify(addr, intel::GreyNoiseClass::kBenign);
+    }
+  }
+
+  deploy_infected_devices(virustotal, censys);
+  deploy_external_attackers(rdns, virustotal, greynoise, censys);
+  deploy_dos_events();
+  deploy_multistage_attackers();
+  deploy_background_radiation(virustotal);
+}
+
+// ------------------------------------------------------------ infected bots
+
+void Fleet::deploy_infected_devices(intel::VirusTotalDb& virustotal,
+                                    intel::CensysDb& censys) {
+  for (const auto& device : population_.devices()) {
+    if (device->spec().infected) infected_.push_back(device.get());
+  }
+
+  util::Rng rng = rng_.fork("infected");
+  sim::Simulation& sim = fabric_->sim();
+
+  for (devices::Device* device : infected_) {
+    // All infected devices the paper correlated were flagged by at least
+    // one VirusTotal vendor.
+    virustotal.flag_ip(device->address(),
+                       1 + static_cast<int>(rng.below(12)));
+    if (rng.chance(0.5)) {
+      censys.tag_iot(device->address(), device->spec().device_type);
+    }
+
+    // Behaviour bucket: 8,697/11,118 hit both honeypots and telescope,
+    // 1,147 only honeypots, 1,274 only the telescope (§5.3).
+    const double bucket = rng.uniform();
+    const bool hits_honeypots = bucket < 0.782 || bucket >= 0.897;
+    const bool hits_telescope = bucket < 0.897;
+
+    const int sessions = 3 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < sessions; ++i) {
+      const sim::Time when = rng.below(config_.duration);
+      util::Rng session_rng = rng.fork("bot-session" + std::to_string(i));
+      sim.at(when, [this, device, hits_honeypots, hits_telescope,
+                    session_rng]() mutable {
+        if (!device->attached()) return;
+        if (hits_telescope) {
+          // Mirai-style random scanning: a burst of SYNs into the darknet.
+          const int probes = 4 + static_cast<int>(session_rng.below(8));
+          for (int p = 0; p < probes; ++p) {
+            const util::Ipv4Addr dark(
+                telescope_.range().base().value() +
+                static_cast<std::uint32_t>(
+                    session_rng.below(telescope_.range().size())));
+            scan_address(*device, dark, proto::Protocol::kTelnet);
+          }
+        }
+        if (hits_honeypots && !targets_.empty()) {
+          // An infected device attacks over the protocol its own infection
+          // spreads on (Mirai bots scan Telnet, not the whole portfolio),
+          // so bots don't read as multistage attackers.
+          const proto::Protocol preferred =
+              device->spec().primary == proto::Protocol::kTelnet ||
+                      device->spec().primary == proto::Protocol::kMqtt
+                  ? device->spec().primary
+                  : proto::Protocol::kTelnet;
+          for (const auto& target : targets_) {
+            bool speaks = false;
+            for (const auto protocol : target.protocols) {
+              if (protocol == preferred) speaks = true;
+            }
+            if (speaks) {
+              attack_session(*device, target, preferred, session_rng);
+              break;
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+// --------------------------------------------------------- external attacks
+
+void Fleet::deploy_external_attackers(intel::ReverseDns& rdns,
+                                      intel::VirusTotalDb& virustotal,
+                                      intel::GreyNoiseDb& greynoise,
+                                      intel::CensysDb& censys) {
+  util::Rng rng = rng_.fork("external");
+
+  // Pool sized from Table 7's malicious unique sources (69,690 total). The
+  // first slice are one-time suspicious scanners (the "unknown" sources).
+  const std::size_t pool_size = std::max<std::size_t>(
+      50, static_cast<std::size_t>(69'690 * config_.event_scale / 4));
+  scanner_only_count_ = pool_size / 8;
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    auto host = std::make_unique<net::Host>(population_.allocate_extra());
+    host->attach(*fabric_);
+    const bool scanner_only = i < scanner_only_count_;
+    // VirusTotal coverage of malicious actors is partial (Figure 6 shows
+    // 20–70% flagged depending on protocol); one-time scanners are rarely
+    // known to any vendor.
+    if (rng.chance(scanner_only ? 0.1 : 0.45)) {
+      virustotal.flag_ip(host->address(), 1 + static_cast<int>(rng.below(8)));
+    }
+    if (!scanner_only && rng.chance(0.3)) {
+      greynoise.classify(host->address(), intel::GreyNoiseClass::kMalicious);
+    }
+    // §5.3: Censys tags some attack sources as IoT devices even though they
+    // are outside our misconfigured set (the paper's +1,671 additional IoT
+    // attackers, mostly cameras, routers and IP phones).
+    // A sliver of attack sources carry a Censys "iot" tag (1,671 of the
+    // paper's ~90k non-correlated sources; cameras, routers, IP phones).
+    if (rng.chance(0.005)) {
+      static const char* kIotTypes[] = {"Camera", "Router", "IP Phone"};
+      censys.tag_iot(host->address(), kIotTypes[rng.below(3)]);
+    }
+    // §5.3: some attack sources resolve to registered domains serving
+    // default web pages; a subset of those URLs are flagged malicious.
+    if (rng.chance(0.06)) {
+      const std::string domain =
+          "host" + std::to_string(i) + ".attacker-domains.example";
+      rdns.add(host->address(), domain);
+      if (rng.chance(0.45)) {
+        virustotal.flag_url("http://" + domain + "/");
+      }
+    }
+    external_hosts_.push_back(std::move(host));
+    if (!scanner_only) {
+      // Assign a protocol specialty round-robin over the Table 7 rows so
+      // each protocol's source pool is proportional to its attack volume.
+      const auto& rows = devices::paper::table7();
+      const auto& row = rows[i % rows.size()];
+      pool_by_protocol_[row.protocol].push_back(external_hosts_.back().get());
+    }
+  }
+
+  // Tor exit relays attacking HTTP (§5.1.6: 151 unique Tor IPs).
+  const std::size_t tor_count = std::max<std::size_t>(
+      2, static_cast<std::size_t>(devices::paper::kTorRelayIps *
+                                  config_.event_scale));
+  std::vector<net::Host*> tor_hosts;
+  for (std::size_t i = 0; i < tor_count; ++i) {
+    auto host = std::make_unique<net::Host>(population_.allocate_extra());
+    host->attach(*fabric_);
+    rdns.add(host->address(),
+             "tor-exit-" + std::to_string(i) + ".torproject.org");
+    exonerator_.add_relay(host->address());
+    tor_hosts.push_back(host.get());
+    external_hosts_.push_back(std::move(host));
+  }
+
+  // One arrival process per Table 7 (honeypot, protocol) row, calibrated to
+  // its event count.
+  for (const auto& row : devices::paper::table7()) {
+    const HoneypotTarget* target = nullptr;
+    for (const auto& candidate : targets_) {
+      if (candidate.name == row.honeypot) target = &candidate;
+    }
+    if (target == nullptr) continue;
+    const double sessions =
+        row.events * config_.event_scale / events_per_session(row.protocol);
+    const auto protocol = row.protocol;
+    const HoneypotTarget target_copy = *target;
+    const std::size_t scanner_slice = scanner_only_count_;
+    schedule_sessions(sessions, [this, target_copy, protocol, tor_hosts,
+                                 scanner_slice](util::Rng& rng) {
+      // A share of suspicious traffic is one-time scans from sources that
+      // never attack — they end up in Table 7's "unknown" column. Those
+      // sessions come from a dedicated slice of the pool so the source
+      // stays behaviourally clean.
+      if (rng.chance(0.14) && scanner_slice > 0) {
+        // One-shot scanners are per-protocol too: a suspicious source that
+        // probes many protocols would read as a multistage attacker.
+        const std::size_t lane =
+            static_cast<std::size_t>(protocol) % scanner_slice;
+        const std::size_t lanes =
+            std::max<std::size_t>(1, scanner_slice / 12);
+        net::Host& scanner =
+            *external_hosts_[(lane * lanes + rng.below(lanes)) %
+                             scanner_slice];
+        probe_one_protocol(scanner, target_copy.address, protocol);
+        return;
+      }
+      net::Host* source = nullptr;
+      if (protocol == proto::Protocol::kHttp && rng.chance(0.12) &&
+          !tor_hosts.empty()) {
+        source = tor_hosts[rng.below(tor_hosts.size())];  // Tor scraping
+      } else {
+        const auto pool = pool_by_protocol_.find(protocol);
+        if (pool != pool_by_protocol_.end() && !pool->second.empty()) {
+          source = pool->second[rng.below(pool->second.size())];
+        } else {
+          const std::size_t index =
+              scanner_slice +
+              rng.below(external_hosts_.size() - scanner_slice);
+          source = external_hosts_[index].get();
+        }
+      }
+      attack_session(*source, target_copy, protocol, rng);
+    });
+  }
+}
+
+void Fleet::schedule_sessions(double total_sessions,
+                              std::function<void(util::Rng&)> session) {
+  sim::Simulation& sim = fabric_->sim();
+  const std::uint64_t total_days =
+      std::max<std::uint64_t>(1, sim::to_days(config_.duration));
+  const double base_per_day = total_sessions / static_cast<double>(total_days);
+  auto shared_session =
+      std::make_shared<std::function<void(util::Rng&)>>(std::move(session));
+
+  for (std::uint64_t day = 0; day < total_days; ++day) {
+    sim.at(sim::days(day), [this, base_per_day, day, shared_session] {
+      util::Rng day_rng = rng_.fork("day" + std::to_string(day));
+      // The post-listing uptrend of Figure 8.
+      const double rate =
+          base_per_day * (listed_ ? config_.listing_boost : 1.0);
+      const int arrivals = static_cast<int>(rate) +
+                           (day_rng.chance(rate - std::floor(rate)) ? 1 : 0);
+      for (int i = 0; i < arrivals; ++i) {
+        const sim::Time when =
+            fabric_->sim().now() + day_rng.below(sim::days(1));
+        auto arrival_rng = std::make_shared<util::Rng>(
+            day_rng.fork("arrival" + std::to_string(i)));
+        fabric_->sim().at(when, [this, shared_session, arrival_rng] {
+          ++sessions_launched_;
+          (*shared_session)(*arrival_rng);
+        });
+      }
+    });
+  }
+}
+
+void Fleet::attack_session(net::Host& source, const HoneypotTarget& target,
+                           proto::Protocol protocol, util::Rng& rng) {
+  using P = proto::Protocol;
+  switch (protocol) {
+    case P::kTelnet: {
+      const MalwareSample* drop =
+          rng.chance(0.5) ? &malware_.pick(P::kTelnet, rng) : nullptr;
+      bruteforce_telnet(source, target.address,
+                        sample_credentials(P::kTelnet, rng, 3), drop);
+      break;
+    }
+    case P::kSsh: {
+      const MalwareSample* drop =
+          rng.chance(0.4) ? &malware_.pick(P::kSsh, rng) : nullptr;
+      bruteforce_ssh(source, target.address,
+                     sample_credentials(P::kSsh, rng, 3), drop);
+      break;
+    }
+    case P::kMqtt:
+      attack_mqtt(source, target.address, /*poison=*/rng.chance(0.45));
+      break;
+    case P::kAmqp:
+      // Occasional publish floods caused the AMQP DoS the paper mentions.
+      attack_amqp(source, target.address,
+                  rng.chance(0.1) ? 24 : 1 + static_cast<int>(rng.below(3)));
+      break;
+    case P::kXmpp:
+      attack_xmpp(source, target.address);
+      break;
+    case P::kCoap:
+      if (rng.chance(0.15)) {
+        flood_coap(source, target.address, 30);
+      } else {
+        attack_coap(source, target.address, rng.chance(0.35));
+      }
+      break;
+    case P::kUpnp:
+      if (rng.chance(0.5)) {
+        flood_ssdp(source, target.address, 22);
+      } else {
+        flood_ssdp(source, target.address, 1);  // plain discovery
+      }
+      break;
+    case P::kHttp:
+      if (rng.chance(0.1)) {
+        flood_http(source, target.address, 18);
+      } else {
+        attack_http(source, target.address, rng.chance(0.7),
+                    rng.chance(0.4));
+      }
+      break;
+    case P::kSmb:
+      attack_smb(source, target.address, rng.chance(0.7));
+      break;
+    case P::kFtp: {
+      const MalwareSample* drop =
+          rng.chance(0.35) ? &malware_.pick(P::kFtp, rng) : nullptr;
+      attack_ftp(source, target.address, drop);
+      break;
+    }
+    case P::kModbus:
+      attack_modbus(source, target.address, rng);
+      break;
+    case P::kS7:
+      attack_s7(source, target.address,
+                rng.chance(0.2) ? 24 : 1 + static_cast<int>(rng.below(3)));
+      break;
+  }
+}
+
+// ------------------------------------------------------------------ DoS days
+
+void Fleet::deploy_dos_events() {
+  sim::Simulation& sim = fabric_->sim();
+  // Figure 8 highlights major DoS events on days 24 and 26. The CoAP flood
+  // came from two sources at the same time (§5.1.3).
+  if (config_.duration < sim::days(27) || targets_.empty()) return;
+
+  const HoneypotTarget* hostage = nullptr;
+  const HoneypotTarget* upot = nullptr;
+  for (const auto& target : targets_) {
+    if (target.name == "HosTaGe") hostage = &target;
+    if (target.name == "U-Pot") upot = &target;
+  }
+
+  // Spike sizes scale with the overall attack volume so the Figure 8 peaks
+  // stay in proportion to the daily baseline.
+  const int coap_flood = std::max(
+      40, static_cast<int>(11'543 * config_.event_scale / 4));
+  const int ssdp_flood = std::max(
+      40, static_cast<int>(17'101 * config_.event_scale / 3));
+
+  if (hostage != nullptr) {
+    const util::Ipv4Addr victim = hostage->address;
+    sim.at(sim::days(24) + sim::hours(3), [this, victim, coap_flood] {
+      util::Rng rng = rng_.fork("dos24");
+      for (int source_index = 0; source_index < 2; ++source_index) {
+        net::Host& source =
+            *external_hosts_[rng.below(external_hosts_.size())];
+        flood_coap(source, victim, coap_flood);
+      }
+    });
+  }
+  if (upot != nullptr) {
+    const util::Ipv4Addr victim = upot->address;
+    sim.at(sim::days(26) + sim::hours(14), [this, victim, ssdp_flood] {
+      util::Rng rng = rng_.fork("dos26");
+      // Two adversaries that had scanned the protocol three days earlier
+      // (§5.1.3) return with UDP floods.
+      for (int source_index = 0; source_index < 2; ++source_index) {
+        net::Host& source =
+            *external_hosts_[rng.below(external_hosts_.size())];
+        flood_ssdp(source, victim, ssdp_flood);
+      }
+    });
+    // Their reconnaissance three days before.
+    sim.at(sim::days(23) + sim::hours(14), [this, victim] {
+      util::Rng rng = rng_.fork("dos26");
+      for (int source_index = 0; source_index < 2; ++source_index) {
+        net::Host& source =
+            *external_hosts_[rng.below(external_hosts_.size())];
+        flood_ssdp(source, victim, 1);
+      }
+    });
+  }
+
+  // Randomly-spoofed SYN floods against devices elsewhere on the Internet:
+  // their backscatter reaches the telescope and feeds the RSDoS metadata
+  // pipeline (the third CAIDA data product, §3.4).
+  {
+    util::Rng rsdos_rng = rng_.fork("rsdos-plan");
+    const int attack_count =
+        2 + static_cast<int>(rsdos_rng.below(3));
+    for (int attack = 0; attack < attack_count; ++attack) {
+      const sim::Time when = rsdos_rng.below(config_.duration);
+      sim.at(when, [this, attack] {
+        util::Rng rng = rng_.fork("rsdos" + std::to_string(attack));
+        // Victim: a random Telnet device with an open listener.
+        const auto& devices = population_.devices();
+        for (int tries = 0; tries < 32; ++tries) {
+          devices::Device* victim =
+              devices[rng.below(devices.size())].get();
+          if (victim->spec().primary != proto::Protocol::kTelnet ||
+              !victim->attached()) {
+            continue;
+          }
+          net::Host& source =
+              *external_hosts_[rng.below(external_hosts_.size())];
+          syn_flood_spoofed(source, victim->address(), 23, 2'500, rng);
+          break;
+        }
+      });
+    }
+  }
+}
+
+// -------------------------------------------------------- multistage chains
+
+void Fleet::deploy_multistage_attackers() {
+  util::Rng rng = rng_.fork("multistage");
+  sim::Simulation& sim = fabric_->sim();
+
+  multistage_count_ = std::max<std::size_t>(
+      3, static_cast<std::size_t>(devices::paper::kMultistageAttacks *
+                                  config_.event_scale));
+
+  for (std::size_t i = 0; i < multistage_count_; ++i) {
+    net::Host* source =
+        external_hosts_[scanner_only_count_ +
+                        rng.below(external_hosts_.size() -
+                                  scanner_only_count_)]
+            .get();
+    // Figure 9: chains mostly start at Telnet/SSH, move to SMB, end at S7.
+    std::vector<std::pair<std::string, proto::Protocol>> chain;
+    const bool telnet_first = rng.chance(0.6);
+    chain.push_back(telnet_first
+                        ? std::make_pair(std::string("Cowrie"),
+                                         proto::Protocol::kTelnet)
+                        : std::make_pair(std::string("HosTaGe"),
+                                         proto::Protocol::kSsh));
+    if (rng.chance(0.85)) {
+      chain.push_back({"Dionaea", proto::Protocol::kSmb});
+    }
+    if (rng.chance(0.55)) {
+      chain.push_back({"Conpot", proto::Protocol::kS7});
+    }
+
+    sim::Time when = rng.below(config_.duration - sim::days(3));
+    for (const auto& [honeypot, protocol] : chain) {
+      const HoneypotTarget* target = nullptr;
+      for (const auto& candidate : targets_) {
+        if (candidate.name == honeypot) target = &candidate;
+      }
+      if (target == nullptr) continue;
+      const HoneypotTarget target_copy = *target;
+      auto step_rng = std::make_shared<util::Rng>(
+          rng.fork("step" + std::to_string(when)));
+      const auto step_protocol = protocol;
+      sim.at(when, [this, source, target_copy, step_protocol, step_rng] {
+        attack_session(*source, target_copy, step_protocol, *step_rng);
+      });
+      when += sim::hours(2) + rng.below(sim::days(1));
+    }
+  }
+}
+
+// --------------------------------------------------- background radiation
+
+void Fleet::deploy_background_radiation(intel::VirusTotalDb& virustotal) {
+  sim::Simulation& sim = fabric_->sim();
+  util::Rng rng = rng_.fork("background");
+
+  // One synthetic source pool per protocol, sized from Table 8's unique-IP
+  // columns. Sources are bare addresses (no hosts): darknet traffic never
+  // needs replies, and most of the real sources are infected devices
+  // somewhere on the Internet, outside our population.
+  struct Background {
+    proto::Protocol protocol;
+    double packets_per_day;
+    std::vector<util::Ipv4Addr> sources;
+  };
+  std::vector<Background> pools;
+  for (const auto& row : devices::paper::table8()) {
+    Background pool;
+    pool.protocol = row.protocol;
+    pool.packets_per_day = row.daily_avg * config_.telescope_rate_scale;
+    const auto source_count = std::max<std::size_t>(
+        3, static_cast<std::size_t>(row.unique_ips *
+                                    config_.telescope_source_scale));
+    // Telnet darknet traffic is overwhelmingly Mirai-infected devices,
+    // widely known to VirusTotal; the smaller protocols less so (Fig. 6 T).
+    const double vt_rate =
+        row.protocol == proto::Protocol::kTelnet ? 0.45 : 0.18;
+    for (std::size_t i = 0; i < source_count; ++i) {
+      // Synthetic global addresses outside the population prefixes.
+      const util::Ipv4Addr source(
+          0xd0'00'00'00u +
+          static_cast<std::uint32_t>(rng.next() % 0x0fffffff));
+      if (rng.chance(vt_rate)) {
+        virustotal.flag_ip(source, 1 + static_cast<int>(rng.below(6)));
+      }
+      pool.sources.push_back(source);
+    }
+    pools.push_back(std::move(pool));
+  }
+
+  const std::uint64_t total_days = sim::to_days(config_.duration);
+  for (std::uint64_t day = 0; day < total_days; ++day) {
+    sim.at(sim::days(day), [this, day, pools] {
+      util::Rng day_rng = rng_.fork("bg-day" + std::to_string(day));
+      for (const auto& pool : pools) {
+        const int packets = static_cast<int>(pool.packets_per_day);
+        for (int i = 0; i < packets; ++i) {
+          const auto src = pool.sources[day_rng.below(pool.sources.size())];
+          const util::Ipv4Addr dst(
+              telescope_.range().base().value() +
+              static_cast<std::uint32_t>(
+                  day_rng.below(telescope_.range().size())));
+          net::Packet packet;
+          packet.src = src;
+          packet.dst = dst;
+          packet.src_port =
+              static_cast<std::uint16_t>(1024 + day_rng.below(60'000));
+          packet.dst_port = proto::default_port(pool.protocol);
+          packet.transport = proto::is_udp(pool.protocol)
+                                 ? net::Transport::kUdp
+                                 : net::Transport::kTcp;
+          packet.tcp_flags = proto::is_udp(pool.protocol)
+                                 ? 0
+                                 : net::TcpFlags::kSyn;
+          packet.ttl = static_cast<std::uint8_t>(32 + day_rng.below(96));
+          packet.spoofed_src = day_rng.chance(0.08);
+          packet.from_masscan = day_rng.chance(0.15);
+          if (!proto::is_udp(pool.protocol)) {
+            packet.payload.clear();
+          } else {
+            packet.payload = util::to_bytes("bgprobe");
+          }
+          const sim::Time when =
+              fabric_->sim().now() + day_rng.below(sim::days(1));
+          auto packet_copy = std::make_shared<net::Packet>(std::move(packet));
+          fabric_->sim().at(when, [this, packet_copy] {
+            fabric_->send(*packet_copy);
+          });
+        }
+      }
+    });
+  }
+}
+
+std::vector<util::Ipv4Addr> Fleet::infected_device_addresses() const {
+  std::vector<util::Ipv4Addr> out;
+  for (const devices::Device* device : infected_) {
+    out.push_back(device->address());
+  }
+  return out;
+}
+
+std::vector<util::Ipv4Addr> Fleet::external_attacker_addresses() const {
+  std::vector<util::Ipv4Addr> out;
+  for (const auto& host : external_hosts_) out.push_back(host->address());
+  return out;
+}
+
+}  // namespace ofh::attackers

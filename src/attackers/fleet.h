@@ -1,0 +1,123 @@
+// The attacker fleet: orchestrates the one-month attack campaign against
+// the honeynet and the telescope. It combines
+//   - infected population devices (attacks originate from their real IPs,
+//     so the §5.3 correlation is a genuine measurement),
+//   - external malicious hosts from the wider (synthetic) Internet,
+//   - recurring scanning services (ScanServiceFleet),
+//   - DoS events (including the day-24/day-26 spikes of Figure 8),
+//   - multistage attackers (Figure 9),
+//   - telescope background radiation (Table 8's traffic mix).
+// Arrival intensities are calibrated to the paper's Table 7/8 counts at the
+// configured scale; the *classification* of the resulting traffic is left
+// entirely to the measurement side.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "attackers/malware.h"
+#include "attackers/scanning_services.h"
+#include "devices/population.h"
+#include "honeynet/deployments.h"
+#include "intel/threat_intel.h"
+#include "net/fabric.h"
+#include "telescope/telescope.h"
+
+namespace ofh::attackers {
+
+struct FleetConfig {
+  std::uint64_t seed = 99;
+  sim::Duration duration = sim::days(30);
+  // Scales honeypot-side attack volumes relative to the paper's Table 7.
+  double event_scale = 1.0 / 16;
+  // Scales telescope background packet volume relative to Table 8 (the
+  // paper sees 2.7e9 IoT-protocol packets per day; simulating each is
+  // infeasible, so the generator samples at this rate).
+  double telescope_rate_scale = 1.0 / 4'000'000;
+  // Scales the unique-source population behind the telescope traffic.
+  double telescope_source_scale = 1.0 / 40'000;
+  // Multiplier applied to malicious arrivals after public listings begin
+  // (Figure 8's post-listing uptrend).
+  double listing_boost = 1.6;
+};
+
+class Fleet {
+ public:
+  Fleet(FleetConfig config, devices::Population& population,
+        const honeynet::Deployment& deployment,
+        telescope::Telescope& telescope);
+  ~Fleet();
+
+  // Creates attacker hosts, registers intel ground truth, and schedules the
+  // whole campaign onto the fabric's simulation.
+  void deploy(net::Fabric& fabric, intel::ReverseDns& rdns,
+              intel::VirusTotalDb& virustotal, intel::GreyNoiseDb& greynoise,
+              intel::CensysDb& censys);
+
+  const MalwareCorpus& malware() const { return malware_; }
+  const ScanServiceFleet& scan_services() const { return *scan_services_; }
+  const std::vector<ListingEvent>& listings() const {
+    return scan_services_->listings();
+  }
+
+  // Tor relay registry (ExoneraTor ground truth for the §5.1.6 analysis).
+  const intel::ExoneraTor& exonerator() const { return exonerator_; }
+
+  // Ground truth for validation.
+  std::vector<util::Ipv4Addr> infected_device_addresses() const;
+  std::vector<util::Ipv4Addr> external_attacker_addresses() const;
+  std::size_t multistage_attacker_count() const { return multistage_count_; }
+  std::uint64_t sessions_launched() const { return sessions_launched_; }
+
+ private:
+  struct HoneypotTarget {
+    std::string name;
+    util::Ipv4Addr address;
+    std::vector<proto::Protocol> protocols;
+  };
+
+  void deploy_infected_devices(intel::VirusTotalDb& virustotal,
+                               intel::CensysDb& censys);
+  void deploy_external_attackers(intel::ReverseDns& rdns,
+                                 intel::VirusTotalDb& virustotal,
+                                 intel::GreyNoiseDb& greynoise,
+                                 intel::CensysDb& censys);
+  void deploy_dos_events();
+  void deploy_multistage_attackers();
+  void deploy_background_radiation(intel::VirusTotalDb& virustotal);
+
+  // Schedules Poisson arrivals of `session` over the campaign; rate ramps
+  // by listing_boost once public listings exist.
+  void schedule_sessions(double total_sessions,
+                         std::function<void(util::Rng&)> session);
+
+  // One malicious session from `source` against honeypot `target` on
+  // `protocol`.
+  void attack_session(net::Host& source, const HoneypotTarget& target,
+                      proto::Protocol protocol, util::Rng& rng);
+
+  FleetConfig config_;
+  devices::Population& population_;
+  telescope::Telescope& telescope_;
+  net::Fabric* fabric_ = nullptr;
+  util::Rng rng_;
+  MalwareCorpus malware_;
+  std::vector<HoneypotTarget> targets_;
+  std::unique_ptr<ScanServiceFleet> scan_services_;
+  std::vector<std::unique_ptr<net::Host>> external_hosts_;
+  // The first scanner_only_count_ entries of external_hosts_ are one-shot
+  // suspicious scanners that never attack (Table 7's "unknown" sources).
+  std::size_t scanner_only_count_ = 0;
+  // Each attacking pool host specialises in one protocol (a Telnet bot
+  // stays a Telnet bot); only the deliberate multistage attackers cross
+  // protocols, keeping Figure 9 a real measurement.
+  std::map<proto::Protocol, std::vector<net::Host*>> pool_by_protocol_;
+  std::vector<devices::Device*> infected_;
+  intel::ExoneraTor exonerator_;
+  std::size_t multistage_count_ = 0;
+  std::uint64_t sessions_launched_ = 0;
+  bool listed_ = false;  // set once the first public listing happens
+};
+
+}  // namespace ofh::attackers

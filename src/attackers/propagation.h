@@ -1,0 +1,72 @@
+// Mirai-style self-propagation: an epidemic model over the simulated
+// population. Seed bots scan for Telnet devices, brute-force them with the
+// Table 12 credential dictionary over the real protocol engines, and every
+// compromised device joins the botnet and scans in turn. This reproduces
+// the paper's core warning — "many of the misconfigured devices take
+// themselves the role of the attacker as part of malware propagation
+// campaigns" (§6) — as an executable dynamic, and yields the classic
+// logistic growth curve (bench/ext_mirai_propagation).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "attackers/malware.h"
+#include "devices/population.h"
+#include "net/fabric.h"
+#include "sim/time.h"
+
+namespace ofh::attackers {
+
+struct PropagationConfig {
+  std::uint64_t seed = 1;
+  sim::Duration duration = sim::days(7);
+  // Number of initially-infected devices (picked from the population's
+  // unauthenticated-Telnet devices).
+  std::size_t initial_bots = 2;
+  // Scan attempts per bot per hour. Real Mirai probes the whole IPv4 space;
+  // bots here draw targets from the populated prefixes, so the rate is the
+  // *effective* rate against routable, populated space.
+  double attempts_per_bot_per_hour = 8.0;
+  // Credentials tried per attempt.
+  std::size_t credentials_per_attempt = 4;
+};
+
+class Epidemic {
+ public:
+  Epidemic(PropagationConfig config, devices::Population& population,
+           const MalwareCorpus& corpus);
+
+  // Seeds the initial bots and schedules their scan loops.
+  void deploy(net::Fabric& fabric);
+
+  std::size_t infected_count() const { return infected_.size(); }
+  bool is_infected(util::Ipv4Addr addr) const {
+    return infected_addresses_.count(addr.value()) != 0;
+  }
+  std::size_t susceptible_count() const;  // devices a bot could compromise
+
+  // (time, infected cumulative count) samples, one per new infection.
+  const std::vector<std::pair<sim::Time, std::size_t>>& growth_curve() const {
+    return growth_;
+  }
+  std::uint64_t attempts() const { return attempts_; }
+
+ private:
+  void start_bot(devices::Device* bot);
+  void bot_attempt(devices::Device* bot);
+  void infect(devices::Device* victim);
+
+  PropagationConfig config_;
+  devices::Population& population_;
+  const MalwareCorpus& corpus_;
+  net::Fabric* fabric_ = nullptr;
+  util::Rng rng_;
+  std::vector<devices::Device*> infected_;
+  std::set<std::uint32_t> infected_addresses_;
+  std::vector<std::pair<sim::Time, std::size_t>> growth_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace ofh::attackers

@@ -1,0 +1,147 @@
+#include "attackers/scanning_services.h"
+
+#include "attackers/probes.h"
+
+#include "net/fabric.h"
+
+namespace ofh::attackers {
+
+const std::vector<ScanServiceSpec>& scan_service_specs() {
+  // The services identified in the paper's Figure 3 roster; shares are an
+  // approximation of the relative traffic split it plots.
+  static const std::vector<ScanServiceSpec> kSpecs = {
+      {"Stretchoid", "stretchoid.com", 0.14, sim::days(2), false},
+      {"Censys", "censys-scanner.com", 0.12, sim::days(1), true},
+      {"Shodan", "shodan.io", 0.11, sim::days(2), true},
+      {"Bitsight", "bitsight.com", 0.08, sim::days(3), false},
+      {"BinaryEdge", "binaryedge.ninja", 0.08, sim::days(2), true},
+      {"ProjectSonar", "sonar.labs.rapid7.com", 0.07, sim::days(3), false},
+      {"ShadowServer", "shadowserver.org", 0.06, sim::days(1), false},
+      {"InterneTTL", "internettl.org", 0.05, sim::days(4), false},
+      {"AlphaStrike", "alphastrike.io", 0.04, sim::days(4), false},
+      {"Sharashka", "sharashka.io", 0.04, sim::days(5), false},
+      {"RWTH-Aachen", "researchscan.comsys.rwth-aachen.de", 0.04,
+       sim::days(5), false},
+      {"CriminalIP", "security.criminalip.com", 0.03, sim::days(5), true},
+      {"ipip.net", "ipip.net", 0.03, sim::days(6), false},
+      {"NetSystemsResearch", "netsystemsresearch.com", 0.03, sim::days(6),
+       false},
+      {"LeakIX", "leakix.net", 0.02, sim::days(6), true},
+      {"ONYPHE", "onyphe.io", 0.02, sim::days(6), true},
+      {"Natlas", "natlas.io", 0.02, sim::days(7), false},
+      {"Quadmetrics", "quadmetrics.com", 0.01, sim::days(7), false},
+      {"ZoomEye", "zoomeye.org", 0.01, sim::days(3), true},
+      {"ArborObservatory", "arbor-observatory.com", 0.01, sim::days(7),
+       false},
+  };
+  return kSpecs;
+}
+
+ScanServiceFleet::ScanServiceFleet(Config config,
+                                   std::vector<util::Ipv4Addr> targets,
+                                   util::Cidr telescope_range)
+    : config_(std::move(config)),
+      targets_(std::move(targets)),
+      telescope_range_(telescope_range),
+      rng_(util::Rng(config_.seed).fork("scan-services")) {}
+
+void ScanServiceFleet::deploy(
+    net::Fabric& fabric, intel::ReverseDns& rdns,
+    std::function<util::Ipv4Addr()> allocate_address) {
+  fabric_ = &fabric;
+  const auto& specs = scan_service_specs();
+
+  // Apportion sources by traffic share, at least one each.
+  for (const auto& spec : specs) {
+    Service service;
+    service.spec = spec;
+    const auto count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config_.total_sources * spec.traffic_share +
+                                    0.5));
+    for (std::size_t i = 0; i < count; ++i) {
+      auto host = std::make_unique<net::Host>(allocate_address());
+      rdns.add(host->address(),
+               "scan-" + std::to_string(i) + "." + spec.domain);
+      host->attach(fabric);
+      service.hosts.push_back(std::move(host));
+    }
+    services_.push_back(std::move(service));
+  }
+
+  for (std::size_t i = 0; i < services_.size(); ++i) schedule_scans(i);
+}
+
+std::vector<util::Ipv4Addr> ScanServiceFleet::source_addresses() const {
+  std::vector<util::Ipv4Addr> out;
+  for (const auto& service : services_) {
+    for (const auto& host : service.hosts) out.push_back(host->address());
+  }
+  return out;
+}
+
+std::optional<std::string> ScanServiceFleet::service_of(
+    util::Ipv4Addr addr) const {
+  for (const auto& service : services_) {
+    for (const auto& host : service.hosts) {
+      if (host->address() == addr) return service.spec.name;
+    }
+  }
+  return std::nullopt;
+}
+
+void ScanServiceFleet::schedule_scans(std::size_t service_index) {
+  auto& service = services_[service_index];
+  sim::Simulation& sim = fabric_->sim();
+
+  // First full sweep starts at a random phase within the period; recurring
+  // thereafter. Each sweep probes every honeypot on all six protocols plus
+  // a handful of telescope addresses (scanning services show up in the
+  // telescope's scanning-service tally, Table 8).
+  const sim::Duration phase = rng_.below(service.spec.period);
+  const std::uint64_t sweeps =
+      config_.duration / service.spec.period + 1;
+
+  for (std::uint64_t sweep = 0; sweep < sweeps; ++sweep) {
+    const sim::Time start =
+        phase + sweep * service.spec.period;
+    if (start > config_.duration) break;
+
+    sim.at(start, [this, service_index] {
+      auto& service = services_[service_index];
+      util::Rng sweep_rng = rng_.fork("sweep");
+      for (const auto target : targets_) {
+        // A random source host of this service probes all protocols.
+        net::Host& source =
+            *service.hosts[sweep_rng.below(service.hosts.size())];
+        probe_all_protocols(source, target);
+
+        // Public search engines list the honeypot after first contact, with
+        // a publication lag of roughly one crawl period (Figure 8's listing
+        // markers fall days into the deployment, not on day one).
+        if (service.spec.listed_publicly &&
+            service.listed.insert(target.value()).second) {
+          const sim::Duration lag =
+              service.spec.period + sim::days(3);
+          fabric_->sim().after(lag, [this, service_index, target] {
+            const ListingEvent event{services_[service_index].spec.name,
+                                     target, fabric_->sim().now()};
+            listings_.push_back(event);
+            if (config_.on_listing) config_.on_listing(event);
+          });
+        }
+      }
+      // Telescope sweep sample.
+      net::Host& source = *service.hosts[0];
+      for (int i = 0; i < 8; ++i) {
+        const util::Ipv4Addr dark(
+            telescope_range_.base().value() +
+            static_cast<std::uint32_t>(
+                sweep_rng.below(telescope_range_.size())));
+        probe_one_protocol(source, dark,
+                           proto::scanned_protocols()[i % 6]);
+      }
+    });
+  }
+}
+
+}  // namespace ofh::attackers

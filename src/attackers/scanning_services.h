@@ -1,0 +1,83 @@
+// Benign Internet-wide scanning services (Shodan, Censys, BinaryEdge,
+// Project Sonar, Stretchoid, ... — the Figure 3 roster). Each service owns a
+// pool of source hosts with reverse-DNS records under its domain, scans the
+// honeypots' protocols on a recurring schedule (scanning-service traffic is
+// periodic, unlike one-shot suspicious scans), probes the telescope, and
+// "lists" a honeypot after first discovering it — the listing events of
+// Figure 8 that precede attack-volume increases.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "intel/threat_intel.h"
+#include "sim/time.h"
+#include "util/ipv4.h"
+#include "util/rng.h"
+
+namespace ofh::attackers {
+
+struct ScanServiceSpec {
+  std::string name;
+  std::string domain;        // rdns suffix, e.g. "shodan.io"
+  double traffic_share;      // share of scanning-service traffic (Fig 3)
+  sim::Duration period;      // full re-scan period
+  bool listed_publicly;      // services with public search engines (listing
+                             // on these drives the Fig 8 uptrend)
+};
+
+const std::vector<ScanServiceSpec>& scan_service_specs();
+
+struct ListingEvent {
+  std::string service;
+  util::Ipv4Addr honeypot;
+  sim::Time when;
+};
+
+class ScanServiceFleet {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    // Total scanning-service source IPs (paper: 10,696) after scaling.
+    std::size_t total_sources = 100;
+    sim::Duration duration = sim::days(30);
+    // Called when a public service lists a honeypot for the first time.
+    std::function<void(const ListingEvent&)> on_listing;
+  };
+
+  ScanServiceFleet(Config config, std::vector<util::Ipv4Addr> targets,
+                   util::Cidr telescope_range);
+
+  // Creates hosts, registers rdns, schedules the recurring scans.
+  void deploy(net::Fabric& fabric, intel::ReverseDns& rdns,
+              std::function<util::Ipv4Addr()> allocate_address);
+
+  const std::vector<ListingEvent>& listings() const { return listings_; }
+  // Ground truth: all source addresses operated by scanning services.
+  std::vector<util::Ipv4Addr> source_addresses() const;
+  // Which service (if any) operates this address.
+  std::optional<std::string> service_of(util::Ipv4Addr addr) const;
+
+ private:
+  class ServiceHost;
+
+  void schedule_scans(std::size_t service_index);
+
+  Config config_;
+  std::vector<util::Ipv4Addr> targets_;
+  util::Cidr telescope_range_;
+  net::Fabric* fabric_ = nullptr;
+  util::Rng rng_{0};
+  struct Service {
+    ScanServiceSpec spec;
+    std::vector<std::unique_ptr<net::Host>> hosts;
+    std::set<std::uint32_t> listed;  // honeypots already listed
+  };
+  std::vector<Service> services_;
+  std::vector<ListingEvent> listings_;
+};
+
+}  // namespace ofh::attackers

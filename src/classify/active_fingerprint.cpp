@@ -1,0 +1,109 @@
+#include "classify/active_fingerprint.h"
+
+#include "classify/fingerprint.h"
+#include "honeynet/signatures.h"
+#include "util/strings.h"
+
+namespace ofh::classify {
+
+namespace {
+
+struct ProbeState {
+  ActiveProbeResult result;
+  std::string first_banner;
+  std::string second_banner;
+  std::string garbage_reply;
+  int stage = 0;  // 0: first grab, 1: second grab, 2: garbage
+  bool finished = false;
+  ActiveFingerprinter::Callback callback;
+
+  void finish() {
+    if (finished) return;
+    finished = true;
+    if (callback) callback(result);
+  }
+};
+
+void run_stage(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
+               std::shared_ptr<ProbeState> state,
+               sim::Duration step_timeout);
+
+void evaluate(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
+              std::shared_ptr<ProbeState> state,
+              sim::Duration step_timeout) {
+  ++state->stage;
+  if (state->stage < 3) {
+    run_stage(from, target, port, state, step_timeout);
+    return;
+  }
+  // All three connections resolved: score the checks.
+  auto& result = state->result;
+  for (const auto& signature : honeynet::honeypot_signatures()) {
+    if (util::starts_with(state->first_banner, signature.banner)) {
+      result.banner_match = true;
+      result.banner_name = signature.name;
+    }
+  }
+  result.deterministic = !state->first_banner.empty() &&
+                         state->first_banner == state->second_banner;
+  // A polite (non-empty, non-error) reply to garbage is a tell.
+  result.tolerates_garbage =
+      !state->garbage_reply.empty() &&
+      !util::icontains(state->garbage_reply, "error") &&
+      !util::icontains(state->garbage_reply, "incorrect") &&
+      !util::icontains(state->garbage_reply, "not found");
+  state->finish();
+}
+
+void run_stage(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
+               std::shared_ptr<ProbeState> state,
+               sim::Duration step_timeout) {
+  from.tcp().connect(
+      target, port,
+      [&from, target, port, state, step_timeout](net::TcpConnection* conn) {
+        if (conn == nullptr) {
+          if (state->stage == 0) {
+            state->finish();  // unreachable: nothing to fingerprint
+          } else {
+            evaluate(from, target, port, state, step_timeout);
+          }
+          return;
+        }
+        state->result.connected = true;
+        auto collected = std::make_shared<std::string>();
+        if (state->stage == 2) {
+          // Garbage check: random line noise, then read the reaction.
+          conn->send_text("\x16\x02GARBAGE#!$%\r\n");
+        }
+        conn->on_data = [collected](net::TcpConnection&,
+                                    std::span<const std::uint8_t> data) {
+          *collected += util::to_string(data);
+        };
+        const net::ConnKey key{conn->local_port(), conn->remote_addr(),
+                               conn->remote_port()};
+        net::TcpStack* stack = &from.tcp();
+        from.sim().after(step_timeout, [&from, target, port, state, collected,
+                                        stack, key, step_timeout] {
+          net::TcpConnection* live = stack->lookup(key);
+          if (live != nullptr) live->abort();
+          switch (state->stage) {
+            case 0: state->first_banner = *collected; break;
+            case 1: state->second_banner = *collected; break;
+            default: state->garbage_reply = *collected; break;
+          }
+          evaluate(from, target, port, state, step_timeout);
+        });
+      });
+}
+
+}  // namespace
+
+void ActiveFingerprinter::probe(net::Host& from, util::Ipv4Addr target,
+                                std::uint16_t port, Callback done,
+                                sim::Duration step_timeout) {
+  auto state = std::make_shared<ProbeState>();
+  state->callback = std::move(done);
+  run_stage(from, target, port, state, step_timeout);
+}
+
+}  // namespace ofh::classify

@@ -1,0 +1,55 @@
+// Active multistage honeypot fingerprinting — the extension direction of
+// the authors' companion work ("Gotta catch 'em all: a Multistage Framework
+// for honeypot fingerprinting") and of Surnin et al.'s probabilistic
+// checks. Beyond static banner matching (classify/fingerprint.h), a live
+// probe battery scores behavioural tells:
+//   1. banner check        — greeting matches a known honeypot signature
+//   2. determinism check   — two connections receive byte-identical
+//                            greetings (low-interaction honeypots are
+//                            static; real consoles embed session state)
+//   3. garbage check       — random line noise is answered politely
+//                            instead of an error/RST (emulation libraries
+//                            accept anything)
+// Each check contributes to a probability score; targets above the
+// threshold are classified as honeypots.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/host.h"
+#include "util/ipv4.h"
+
+namespace ofh::classify {
+
+struct ActiveProbeResult {
+  bool connected = false;
+  std::string banner_name;      // matched signature, if any
+  bool banner_match = false;    // check 1
+  bool deterministic = false;   // check 2
+  bool tolerates_garbage = false;  // check 3
+  // Weighted score in [0,1]; >= 0.5 classifies the target as a honeypot.
+  double score() const {
+    double s = 0;
+    if (banner_match) s += 0.6;
+    if (deterministic) s += 0.2;
+    if (tolerates_garbage) s += 0.2;
+    return s;
+  }
+  bool is_honeypot() const { return connected && score() >= 0.5; }
+};
+
+// Runs the battery against target:port from the given vantage host. The
+// callback fires once all checks resolve (or time out).
+class ActiveFingerprinter {
+ public:
+  using Callback = std::function<void(const ActiveProbeResult&)>;
+
+  static void probe(net::Host& from, util::Ipv4Addr target,
+                    std::uint16_t port, Callback done,
+                    sim::Duration step_timeout = sim::seconds(2));
+};
+
+}  // namespace ofh::classify

@@ -1,0 +1,31 @@
+#include "classify/device_tagger.h"
+
+#include "util/strings.h"
+
+namespace ofh::classify {
+
+std::optional<DeviceTag> tag_device(const scanner::ScanRecord& record) {
+  for (const auto& model : devices::device_models()) {
+    if (model.protocol != record.protocol) continue;
+    std::string_view needle = model.identifier;
+    // UPnP identifiers written as "Header: value" match the HTTPU response
+    // headers directly; other identifiers are raw banner fragments.
+    if (util::contains(record.banner, needle)) {
+      return DeviceTag{std::string(model.model),
+                       std::string(model.device_type)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::map<proto::Protocol, util::Counter> type_histogram(
+    const scanner::ScanDb& db) {
+  std::map<proto::Protocol, util::Counter> histogram;
+  for (const auto& record : db.records()) {
+    const auto tag = tag_device(record);
+    histogram[record.protocol].add(tag ? tag->device_type : "Unidentified");
+  }
+  return histogram;
+}
+
+}  // namespace ofh::classify

@@ -1,0 +1,28 @@
+// ZTag-style device-type annotation: matches scan banners/responses against
+// the Table 11 identifier table to label device types (paper §4.1.2 /
+// Figure 2). XMPP and AMQP responses carry no device identifiers, matching
+// the paper's observation that those protocols could not label IoT devices.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "devices/models.h"
+#include "scanner/scan_db.h"
+#include "util/stats.h"
+
+namespace ofh::classify {
+
+struct DeviceTag {
+  std::string model;
+  std::string device_type;
+};
+
+// Tags one record; nullopt when no identifier matches.
+std::optional<DeviceTag> tag_device(const scanner::ScanRecord& record);
+
+// Per-protocol device-type histogram over a scan DB (Figure 2's data).
+std::map<proto::Protocol, util::Counter> type_histogram(
+    const scanner::ScanDb& db);
+
+}  // namespace ofh::classify

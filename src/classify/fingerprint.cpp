@@ -1,0 +1,49 @@
+#include "classify/fingerprint.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ofh::classify {
+
+std::optional<std::string> fingerprint_honeypot(
+    const scanner::ScanRecord& record) {
+  // Only Telnet-port banners are fingerprinted (the paper restricts its
+  // methodology to Telnet-emulating honeypots; Kippo's SSH banner arrives
+  // via the Telnet scan of port 23 in its table, here via port 22 scans).
+  if (record.banner.empty()) return std::nullopt;
+  for (const auto& signature : honeynet::honeypot_signatures()) {
+    // Exact static greeting match on a prefix: honeypots emit the same
+    // bytes on every connection, real devices vary.
+    if (util::starts_with(record.banner, signature.banner)) {
+      return std::string(signature.name);
+    }
+  }
+  return std::nullopt;
+}
+
+FingerprintResult fingerprint_all(const scanner::ScanDb& db) {
+  FingerprintResult result;
+  for (const auto& record : db.records()) {
+    const auto name = fingerprint_honeypot(record);
+    if (!name) continue;
+    if (result.honeypot_hosts.insert(record.host.value()).second) {
+      result.detections.add(*name);
+    }
+  }
+  return result;
+}
+
+std::vector<MisconfigFinding> filter_honeypots(
+    std::vector<MisconfigFinding> findings, const FingerprintResult& result) {
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&result](const MisconfigFinding& finding) {
+                       return result.honeypot_hosts.count(
+                                  finding.host.value()) != 0;
+                     }),
+      findings.end());
+  return findings;
+}
+
+}  // namespace ofh::classify

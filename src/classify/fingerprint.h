@@ -1,0 +1,36 @@
+// Honeypot fingerprinting (paper §3.2 / Table 6): matches the static Telnet
+// banners of known honeypots against scan records and filters the detected
+// instances out of the misconfiguration findings. Extends the banner-based
+// methodology of Morishita et al. / Vetterl et al. to IoT honeypots.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "classify/misconfig_rules.h"
+#include "honeynet/signatures.h"
+#include "scanner/scan_db.h"
+#include "util/stats.h"
+
+namespace ofh::classify {
+
+// Which honeypot (if any) this record's banner identifies.
+std::optional<std::string> fingerprint_honeypot(
+    const scanner::ScanRecord& record);
+
+struct FingerprintResult {
+  // honeypot name -> detected instance count (Table 6).
+  util::Counter detections;
+  // Hosts identified as honeypots.
+  std::set<std::uint32_t> honeypot_hosts;
+};
+
+FingerprintResult fingerprint_all(const scanner::ScanDb& db);
+
+// Removes findings whose host was fingerprinted as a honeypot — the
+// sanitization step that keeps honeypots from poisoning the results.
+std::vector<MisconfigFinding> filter_honeypots(
+    std::vector<MisconfigFinding> findings, const FingerprintResult& result);
+
+}  // namespace ofh::classify

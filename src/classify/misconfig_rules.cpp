@@ -1,0 +1,138 @@
+#include "classify/misconfig_rules.h"
+
+#include <map>
+
+#include "util/strings.h"
+
+namespace ofh::classify {
+
+using devices::Misconfig;
+using proto::Protocol;
+
+namespace {
+
+std::optional<Misconfig> classify_telnet(const std::string& banner) {
+  // Table 2: prompt characters indicate an unauthenticated console. A
+  // banner that ends in a login prompt is exposed but not misconfigured.
+  if (util::contains(banner, "root@") && util::contains(banner, ":~$")) {
+    return Misconfig::kTelnetNoAuthRoot;
+  }
+  if (util::contains(banner, "admin@") && util::contains(banner, ":~$")) {
+    return Misconfig::kTelnetNoAuthRoot;
+  }
+  const auto trimmed = util::trim(banner);
+  if (!trimmed.empty() && (trimmed.back() == '$' || trimmed.back() == '#')) {
+    return Misconfig::kTelnetNoAuth;
+  }
+  return std::nullopt;
+}
+
+std::optional<Misconfig> classify_mqtt(const std::string& banner) {
+  if (util::contains(banner, "MQTT Connection Code:0")) {
+    return Misconfig::kMqttNoAuth;
+  }
+  return std::nullopt;
+}
+
+std::optional<Misconfig> classify_amqp(const std::string& banner) {
+  // Table 2 ties AMQP "no auth" to the CVE-affected versions; the ANONYMOUS
+  // mechanism in the Start banner is an equivalent indicator.
+  if (util::contains(banner, "Version: 2.7.1") ||
+      util::contains(banner, "Version: 2.8.4") ||
+      util::contains(banner, "ANONYMOUS")) {
+    return Misconfig::kAmqpNoAuth;
+  }
+  return std::nullopt;
+}
+
+std::optional<Misconfig> classify_xmpp(const std::string& banner) {
+  if (util::contains(banner, "<mechanism>ANONYMOUS</mechanism>")) {
+    return Misconfig::kXmppAnonymous;
+  }
+  // PLAIN without a required STARTTLS element => credentials in cleartext.
+  if (util::contains(banner, "<mechanism>PLAIN</mechanism>") &&
+      !util::contains(banner, "<required/>") &&
+      !util::contains(banner, "SCRAM")) {
+    return Misconfig::kXmppPlaintext;
+  }
+  return std::nullopt;
+}
+
+std::optional<Misconfig> classify_coap(const std::string& banner) {
+  // Table 3 response indicators, most severe first.
+  if (util::contains(banner, "220-Admin")) {
+    return Misconfig::kCoapAdminAccess;
+  }
+  if (util::contains(banner, "x1C")) {  // full access to resource content
+    return Misconfig::kCoapNoAuth;
+  }
+  if (util::contains(banner, "CoAP Resources") ||
+      util::contains(banner, "</")) {  // link-format disclosure
+    return Misconfig::kCoapReflector;
+  }
+  return std::nullopt;
+}
+
+std::optional<Misconfig> classify_upnp(const std::string& banner) {
+  // Disclosing USN/SERVER/LOCATION to an unsolicited M-SEARCH marks the
+  // device as a reflection/amplification resource (Table 3).
+  if (util::contains(banner, "USN:") && util::contains(banner, "SERVER:") &&
+      util::contains(banner, "LOCATION:")) {
+    return Misconfig::kUpnpReflector;
+  }
+  return std::nullopt;
+}
+
+// Severity rank for picking the dominant finding per host.
+int severity(Misconfig misconfig) {
+  switch (misconfig) {
+    case Misconfig::kCoapAdminAccess: return 6;
+    case Misconfig::kTelnetNoAuthRoot: return 5;
+    case Misconfig::kTelnetNoAuth:
+    case Misconfig::kMqttNoAuth:
+    case Misconfig::kAmqpNoAuth:
+    case Misconfig::kCoapNoAuth: return 4;
+    case Misconfig::kXmppAnonymous: return 3;
+    case Misconfig::kXmppPlaintext: return 2;
+    case Misconfig::kCoapReflector:
+    case Misconfig::kUpnpReflector: return 1;
+    case Misconfig::kNone: return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::optional<Misconfig> classify_misconfig(
+    const scanner::ScanRecord& record) {
+  switch (record.protocol) {
+    case Protocol::kTelnet: return classify_telnet(record.banner);
+    case Protocol::kMqtt: return classify_mqtt(record.banner);
+    case Protocol::kAmqp: return classify_amqp(record.banner);
+    case Protocol::kXmpp: return classify_xmpp(record.banner);
+    case Protocol::kCoap: return classify_coap(record.banner);
+    case Protocol::kUpnp: return classify_upnp(record.banner);
+    default: return std::nullopt;
+  }
+}
+
+std::vector<MisconfigFinding> classify_all(const scanner::ScanDb& db) {
+  // host -> best finding
+  std::map<std::uint32_t, MisconfigFinding> best;
+  for (const auto& record : db.records()) {
+    const auto misconfig = classify_misconfig(record);
+    if (!misconfig) continue;
+    const MisconfigFinding finding{record.host, record.protocol, *misconfig};
+    const auto it = best.find(record.host.value());
+    if (it == best.end() ||
+        severity(*misconfig) > severity(it->second.misconfig)) {
+      best[record.host.value()] = finding;
+    }
+  }
+  std::vector<MisconfigFinding> out;
+  out.reserve(best.size());
+  for (const auto& [host, finding] : best) out.push_back(finding);
+  return out;
+}
+
+}  // namespace ofh::classify

@@ -1,0 +1,28 @@
+// Banner-based (TCP) and response-based (UDP) misconfiguration
+// classification, implementing the indicator rules of paper Tables 2 and 3.
+// The classifier sees only scan records (raw bytes), never ground truth.
+#pragma once
+
+#include <optional>
+
+#include "devices/misconfig.h"
+#include "scanner/scan_db.h"
+
+namespace ofh::classify {
+
+// Classifies one scan record; nullopt when the response shows no
+// misconfiguration indicator.
+std::optional<devices::Misconfig> classify_misconfig(
+    const scanner::ScanRecord& record);
+
+struct MisconfigFinding {
+  util::Ipv4Addr host;
+  proto::Protocol protocol;
+  devices::Misconfig misconfig;
+};
+
+// Classifies a whole scan DB; one finding per unique host (the most severe
+// indicator wins if a host matched several records).
+std::vector<MisconfigFinding> classify_all(const scanner::ScanDb& db);
+
+}  // namespace ofh::classify

@@ -1,0 +1,189 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ofh::core {
+
+SourceClass classify_source(util::Ipv4Addr source,
+                            const intel::ReverseDns& rdns,
+                            const std::vector<std::string>& service_domains) {
+  const auto domain = rdns.lookup(source);
+  if (domain) {
+    for (const auto& suffix : service_domains) {
+      if (domain->size() >= suffix.size() &&
+          domain->compare(domain->size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+        return SourceClass::kScanningService;
+      }
+    }
+  }
+  return SourceClass::kUnknown;  // refined by behaviour in callers
+}
+
+std::map<std::string, SourceBreakdown> classify_honeypot_sources(
+    const honeynet::EventLog& log, const intel::ReverseDns& rdns,
+    const std::vector<std::string>& service_domains) {
+  // source -> (set of honeypots, saw malicious action?)
+  struct Info {
+    std::set<std::string> honeypots;
+    bool malicious = false;
+  };
+  std::map<std::uint32_t, Info> sources;
+  for (const auto& event : log.events()) {
+    auto& info = sources[event.source.value()];
+    info.honeypots.insert(event.honeypot);
+    if (event.type != honeynet::AttackType::kScan &&
+        event.type != honeynet::AttackType::kDiscovery) {
+      info.malicious = true;
+    }
+  }
+
+  std::map<std::string, SourceBreakdown> out;
+  for (const auto& [value, info] : sources) {
+    const auto klass =
+        classify_source(util::Ipv4Addr(value), rdns, service_domains);
+    for (const auto& honeypot : info.honeypots) {
+      auto& breakdown = out[honeypot];
+      if (klass == SourceClass::kScanningService) {
+        ++breakdown.scanning_service;
+      } else if (info.malicious) {
+        ++breakdown.malicious;
+      } else {
+        ++breakdown.unknown;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<MultistageChain> detect_multistage(
+    const honeynet::EventLog& log, const intel::ReverseDns& rdns,
+    const std::vector<std::string>& service_domains) {
+  // source -> protocol -> first-seen time
+  std::map<std::uint32_t, std::map<proto::Protocol, sim::Time>> first_seen;
+  for (const auto& event : log.events()) {
+    auto& protos = first_seen[event.source.value()];
+    const auto it = protos.find(event.protocol);
+    if (it == protos.end() || event.when < it->second) {
+      protos[event.protocol] = event.when;
+    }
+  }
+
+  std::vector<MultistageChain> chains;
+  for (const auto& [value, protos] : first_seen) {
+    if (protos.size() < 2) continue;
+    const util::Ipv4Addr source(value);
+    if (classify_source(source, rdns, service_domains) ==
+        SourceClass::kScanningService) {
+      continue;  // periodic scanners probe everything; not multistage attacks
+    }
+    std::vector<std::pair<sim::Time, proto::Protocol>> ordered;
+    for (const auto& [protocol, when] : protos) {
+      ordered.push_back({when, protocol});
+    }
+    std::sort(ordered.begin(), ordered.end());
+    MultistageChain chain;
+    chain.source = source;
+    for (const auto& [when, protocol] : ordered) {
+      chain.stages.push_back(protocol);
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+std::vector<util::Counter> multistage_stage_histogram(
+    const std::vector<MultistageChain>& chains) {
+  std::vector<util::Counter> stages;
+  for (const auto& chain : chains) {
+    for (std::size_t i = 0; i < chain.stages.size(); ++i) {
+      if (stages.size() <= i) stages.emplace_back();
+      stages[i].add(std::string(proto::protocol_name(chain.stages[i])));
+    }
+  }
+  return stages;
+}
+
+InfectedCorrelation correlate_infected(
+    const std::vector<classify::MisconfigFinding>& findings,
+    const honeynet::EventLog& log, const telescope::Telescope& telescope) {
+  std::set<std::uint32_t> misconfigured;
+  for (const auto& finding : findings) {
+    misconfigured.insert(finding.host.value());
+  }
+
+  std::set<std::uint32_t> honeypot_sources;
+  for (const auto& event : log.events()) {
+    honeypot_sources.insert(event.source.value());
+  }
+  std::set<std::uint32_t> telescope_sources;
+  for (const auto source : telescope.all_sources()) {
+    telescope_sources.insert(source.value());
+  }
+
+  InfectedCorrelation result;
+  for (const auto host : misconfigured) {
+    const bool hp = honeypot_sources.count(host) != 0;
+    const bool tel = telescope_sources.count(host) != 0;
+    if (hp && tel) {
+      result.both.insert(host);
+    } else if (hp) {
+      result.honeypot_only.insert(host);
+    } else if (tel) {
+      result.telescope_only.insert(host);
+    }
+  }
+  return result;
+}
+
+std::uint64_t censys_extra_iot(
+    const honeynet::EventLog& log, const telescope::Telescope& telescope,
+    const std::set<std::uint32_t>& already_correlated,
+    const intel::CensysDb& censys) {
+  std::set<std::uint32_t> sources;
+  for (const auto& event : log.events()) sources.insert(event.source.value());
+  for (const auto source : telescope.all_sources()) {
+    sources.insert(source.value());
+  }
+  std::uint64_t extra = 0;
+  for (const auto value : sources) {
+    if (already_correlated.count(value) != 0) continue;
+    if (censys.iot_tag(util::Ipv4Addr(value))) ++extra;
+  }
+  return extra;
+}
+
+GreyNoiseComparison compare_with_greynoise(
+    const std::vector<util::Ipv4Addr>& scanning_sources,
+    const intel::GreyNoiseDb& greynoise) {
+  GreyNoiseComparison comparison;
+  comparison.ours = scanning_sources.size();
+  for (const auto source : scanning_sources) {
+    if (greynoise.lookup(source) == intel::GreyNoiseClass::kBenign) {
+      ++comparison.greynoise;
+    } else {
+      ++comparison.missed;
+    }
+  }
+  return comparison;
+}
+
+std::map<std::string, double> virustotal_flag_rates(
+    const std::map<std::string, std::vector<util::Ipv4Addr>>& by_protocol,
+    const intel::VirusTotalDb& virustotal, const std::string& label_suffix) {
+  std::map<std::string, double> rates;
+  for (const auto& [protocol, sources] : by_protocol) {
+    if (sources.empty()) continue;
+    std::uint64_t flagged = 0;
+    for (const auto source : sources) {
+      if (virustotal.is_malicious(source)) ++flagged;
+    }
+    rates[protocol + " " + label_suffix] =
+        static_cast<double>(flagged) / static_cast<double>(sources.size());
+  }
+  return rates;
+}
+
+}  // namespace ofh::core

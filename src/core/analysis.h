@@ -1,0 +1,98 @@
+// Cross-experiment analysis: suspicious-source classification (scanning
+// service vs malicious vs unknown), multistage-attack detection, GreyNoise /
+// VirusTotal cross-validation, and the §5.3 correlation of misconfigured
+// devices that attack.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "classify/misconfig_rules.h"
+#include "honeynet/event_log.h"
+#include "intel/threat_intel.h"
+#include "telescope/telescope.h"
+
+namespace ofh::core {
+
+enum class SourceClass { kScanningService, kMalicious, kUnknown };
+
+// Classifies a source by reverse lookup (scanning-service domains are
+// recurring, registered scanners) and behaviour; mirrors §4.3.1.
+SourceClass classify_source(util::Ipv4Addr source,
+                            const intel::ReverseDns& rdns,
+                            const std::vector<std::string>& service_domains);
+
+struct SourceBreakdown {
+  std::uint64_t scanning_service = 0;
+  std::uint64_t malicious = 0;
+  std::uint64_t unknown = 0;
+};
+
+// Per-honeypot unique-source classification (Table 7's right columns).
+// Malicious = sources whose events include any non-scan attack type;
+// everything else that is not a scanning service is unknown/suspicious.
+std::map<std::string, SourceBreakdown> classify_honeypot_sources(
+    const honeynet::EventLog& log, const intel::ReverseDns& rdns,
+    const std::vector<std::string>& service_domains);
+
+// ---------------------------------------------------------------- multistage
+
+struct MultistageChain {
+  util::Ipv4Addr source;
+  std::vector<proto::Protocol> stages;  // ordered by first contact
+};
+
+// Groups honeypot events by source and extracts protocol sequences of
+// length >= 2, skipping scanning-service sources (paper §5.4).
+std::vector<MultistageChain> detect_multistage(
+    const honeynet::EventLog& log, const intel::ReverseDns& rdns,
+    const std::vector<std::string>& service_domains);
+
+// Step-wise protocol tallies for Figure 9: stage index -> protocol counts.
+std::vector<util::Counter> multistage_stage_histogram(
+    const std::vector<MultistageChain>& chains);
+
+// -------------------------------------------------------------- correlation
+
+struct InfectedCorrelation {
+  std::set<std::uint32_t> honeypot_only;
+  std::set<std::uint32_t> telescope_only;
+  std::set<std::uint32_t> both;
+  std::uint64_t total() const {
+    return honeypot_only.size() + telescope_only.size() + both.size();
+  }
+};
+
+// Intersects misconfigured scan findings with honeypot and telescope attack
+// sources (§5.3: the 11,118 devices, split 1,147 / 1,274 / 8,697).
+InfectedCorrelation correlate_infected(
+    const std::vector<classify::MisconfigFinding>& findings,
+    const honeynet::EventLog& log, const telescope::Telescope& telescope);
+
+// Additional IoT attackers found via Censys "iot" tags among non-correlated
+// sources (the +1,671 of §5.3).
+std::uint64_t censys_extra_iot(
+    const honeynet::EventLog& log, const telescope::Telescope& telescope,
+    const std::set<std::uint32_t>& already_correlated,
+    const intel::CensysDb& censys);
+
+// ---------------------------------------------------- intel cross-validation
+
+struct GreyNoiseComparison {
+  std::uint64_t ours = 0;       // sources we classify as scanning services
+  std::uint64_t greynoise = 0;  // of those, GreyNoise knows as benign
+  std::uint64_t missed = 0;     // ours - known to GreyNoise (paper: 2,023)
+};
+GreyNoiseComparison compare_with_greynoise(
+    const std::vector<util::Ipv4Addr>& scanning_sources,
+    const intel::GreyNoiseDb& greynoise);
+
+// Fraction of unknown/suspicious sources flagged malicious by VirusTotal,
+// per protocol (Figure 6). `label_suffix` distinguishes (H) vs (T).
+std::map<std::string, double> virustotal_flag_rates(
+    const std::map<std::string, std::vector<util::Ipv4Addr>>& by_protocol,
+    const intel::VirusTotalDb& virustotal, const std::string& label_suffix);
+
+}  // namespace ofh::core

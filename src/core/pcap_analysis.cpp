@@ -1,0 +1,43 @@
+#include "core/pcap_analysis.h"
+
+#include "util/bytes.h"
+
+namespace ofh::core {
+
+namespace {
+
+bool is_hex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+}  // namespace
+
+MalwareReport analyze_capture(const net::PacketCapture& capture,
+                              const intel::VirusTotalDb& virustotal) {
+  MalwareReport report;
+  static constexpr std::string_view kMarker = "sha256=";
+
+  for (const auto& record : capture.records()) {
+    const std::string text = util::to_string(record.packet.payload);
+    std::size_t pos = 0;
+    while ((pos = text.find(kMarker, pos)) != std::string::npos) {
+      pos += kMarker.size();
+      if (pos + 64 > text.size()) break;
+      const std::string digest = text.substr(pos, 64);
+      bool valid = true;
+      for (const char c : digest) {
+        if (!is_hex(c)) valid = false;
+      }
+      if (!valid) continue;
+      const auto family = virustotal.lookup_hash(digest);
+      if (family) {
+        report.variants_by_family[*family].insert(digest);
+      } else {
+        report.unknown_hashes.insert(digest);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ofh::core

@@ -1,0 +1,35 @@
+// Capture analysis: extract malware identities from captured payloads and
+// look them up in the VirusTotal oracle — the paper's §5.1 workflow
+// ("we examine the pcap files with the Virustotal database for signs of
+// malware signatures and discover 113 Mirai variants").
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "intel/threat_intel.h"
+#include "net/capture.h"
+
+namespace ofh::core {
+
+struct MalwareReport {
+  // family -> set of distinct variant hashes observed.
+  std::map<std::string, std::set<std::string>> variants_by_family;
+  std::set<std::string> unknown_hashes;  // not in VirusTotal
+  std::size_t total_variants() const {
+    std::size_t count = 0;
+    for (const auto& [family, hashes] : variants_by_family) {
+      count += hashes.size();
+    }
+    return count;
+  }
+};
+
+// Scans payload bytes for "sha256=<64 hex chars>" markers (the dropper
+// one-liners and FTP uploads embed them) and resolves each digest against
+// the hash corpus.
+MalwareReport analyze_capture(const net::PacketCapture& capture,
+                              const intel::VirusTotalDb& virustotal);
+
+}  // namespace ofh::core

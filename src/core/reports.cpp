@@ -1,0 +1,514 @@
+#include "core/reports.h"
+
+#include <cmath>
+
+#include "devices/paper_stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace ofh::core {
+
+namespace {
+
+using devices::paper::table10;
+using devices::paper::table4;
+using devices::paper::table5;
+using devices::paper::table6;
+using devices::paper::table7;
+using devices::paper::table7_sources;
+using devices::paper::table8;
+using util::percent;
+using util::with_commas;
+
+std::string header(const std::string& title) {
+  return "\n=== " + title + " ===\n";
+}
+
+}  // namespace
+
+std::string report_table4_exposed(Study& study) {
+  util::Table table({"Protocol", "Paper(ZMap)", "Expected@scale",
+                     "Measured(ZMap)", "Paper(Sonar)", "Measured(Sonar)",
+                     "Paper(Shodan)", "Measured(Shodan)"});
+  std::uint64_t measured_total = 0;
+  for (const auto& row : table4()) {
+    const auto name = std::string(proto::protocol_name(row.protocol));
+    const auto measured = study.scan_db().unique_hosts(row.protocol);
+    measured_total += measured;
+    const auto sonar_measured =
+        study.sonar() && study.sonar()->has_protocol(row.protocol)
+            ? with_commas(study.sonar()->unique_hosts(row.protocol))
+            : "NA";
+    const auto shodan_measured =
+        study.shodan() ? with_commas(study.shodan()->unique_hosts(row.protocol))
+                       : "NA";
+    table.add_row({name, with_commas(row.zmap),
+                   with_commas(study.scaled_population(row.zmap)),
+                   with_commas(measured),
+                   row.sonar == 0 ? "NA" : with_commas(row.sonar),
+                   sonar_measured, with_commas(row.shodan), shodan_measured});
+  }
+  table.add_row({"Total", with_commas(devices::paper::kTable4ZmapTotal),
+                 with_commas(study.scaled_population(
+                     devices::paper::kTable4ZmapTotal)),
+                 with_commas(measured_total), "", "", "", ""});
+  return header("Table 4: exposed systems by protocol and source") +
+         table.render();
+}
+
+std::string report_fig2_device_types(Study& study) {
+  const auto histogram = classify::type_histogram(study.scan_db());
+  util::Table table({"Protocol", "Device type", "Measured share"});
+  for (const auto& [protocol, counter] : histogram) {
+    const double total = static_cast<double>(counter.total());
+    for (const auto& [type, count] : counter.ranked()) {
+      table.add_row({std::string(proto::protocol_name(protocol)), type,
+                     percent(count / total)});
+    }
+  }
+  return header("Figure 2: top IoT device types by protocol") + table.render();
+}
+
+std::string report_table5_misconfigured(Study& study) {
+  // Measured: count findings per (protocol, vulnerability label).
+  util::Counter measured;
+  for (const auto& finding : study.findings()) {
+    measured.add(std::string(proto::protocol_name(finding.protocol)) + "|" +
+                 std::string(devices::misconfig_name(finding.misconfig)));
+  }
+  util::Table table(
+      {"Protocol", "Vulnerability", "Paper", "Expected@scale", "Measured"});
+  std::uint64_t measured_total = 0;
+  std::uint64_t expected_total = 0;
+  for (const auto& row : table5()) {
+    const auto key = std::string(proto::protocol_name(row.protocol)) + "|" +
+                     std::string(row.vulnerability);
+    const auto count = measured.count(key);
+    measured_total += count;
+    expected_total += study.scaled_population(row.devices);
+    table.add_row({std::string(proto::protocol_name(row.protocol)),
+                   std::string(row.vulnerability), with_commas(row.devices),
+                   with_commas(study.scaled_population(row.devices)),
+                   with_commas(count)});
+  }
+  table.add_row({"Total", "", with_commas(devices::paper::kTable5Total),
+                 with_commas(expected_total), with_commas(measured_total)});
+  return header("Table 5: misconfigured devices per protocol") +
+         table.render();
+}
+
+std::string report_table6_honeypots(Study& study) {
+  util::Table table({"Honeypot", "Paper", "Expected@scale", "Measured"});
+  std::uint64_t measured_total = 0;
+  std::uint64_t expected_total = 0;
+  for (const auto& row : table6()) {
+    const auto measured =
+        study.fingerprints().detections.count(std::string(row.honeypot));
+    measured_total += measured;
+    expected_total += study.scaled_population(row.instances);
+    table.add_row({std::string(row.honeypot), with_commas(row.instances),
+                   with_commas(study.scaled_population(row.instances)),
+                   with_commas(measured)});
+  }
+  table.add_row({"Total", with_commas(devices::paper::kTable6Total),
+                 with_commas(expected_total), with_commas(measured_total)});
+  return header("Table 6: honeypots detected via Telnet banner signatures") +
+         table.render();
+}
+
+std::string report_table10_countries(Study& study) {
+  util::Counter measured;
+  for (const auto& finding : study.findings()) {
+    measured.add(study.geo().country(finding.host));
+  }
+  const double total = static_cast<double>(
+      std::max<std::uint64_t>(1, measured.total()));
+  util::Table table(
+      {"Country", "Paper", "Paper share", "Measured", "Measured share"});
+  for (const auto& row : table10()) {
+    const auto count = measured.count(std::string(row.country));
+    table.add_row({std::string(row.country), with_commas(row.devices),
+                   percent(static_cast<double>(row.devices) /
+                           devices::paper::kTable5Total),
+                   with_commas(count), percent(count / total)});
+  }
+  return header("Table 10: misconfigured devices by country") + table.render();
+}
+
+std::string report_table7_attacks(Study& study) {
+  const auto by_honeypot = study.attack_log().count_by_honeypot();
+  // Per honeypot+protocol tally.
+  util::Counter by_pair;
+  for (const auto& event : study.attack_log().events()) {
+    by_pair.add(event.honeypot + "|" +
+                std::string(proto::protocol_name(event.protocol)));
+  }
+  util::Table table({"Honeypot", "Protocol", "Paper events", "Expected@scale",
+                     "Measured"});
+  for (const auto& row : table7()) {
+    const auto key = std::string(row.honeypot) + "|" +
+                     std::string(proto::protocol_name(row.protocol));
+    table.add_row({std::string(row.honeypot),
+                   std::string(proto::protocol_name(row.protocol)),
+                   with_commas(row.events),
+                   with_commas(study.scaled_attack(row.events)),
+                   with_commas(by_pair.count(key))});
+  }
+  table.add_row({"Total", "", with_commas(devices::paper::kTable7Total),
+                 with_commas(study.scaled_attack(devices::paper::kTable7Total)),
+                 with_commas(study.attack_log().size())});
+
+  // Unique source classification per honeypot.
+  const auto breakdowns = classify_honeypot_sources(
+      study.attack_log(), study.rdns(), study.scan_service_domains());
+  util::Table sources({"Honeypot", "Paper scan/mal/unknown",
+                       "Measured scan/mal/unknown"});
+  for (const auto& row : table7_sources()) {
+    const auto it = breakdowns.find(std::string(row.honeypot));
+    const SourceBreakdown measured =
+        it == breakdowns.end() ? SourceBreakdown{} : it->second;
+    sources.add_row(
+        {std::string(row.honeypot),
+         with_commas(row.scanning_service) + " / " +
+             with_commas(row.malicious) + " / " + with_commas(row.unknown),
+         with_commas(measured.scanning_service) + " / " +
+             with_commas(measured.malicious) + " / " +
+             with_commas(measured.unknown)});
+  }
+  return header("Table 7: attack events by honeypot and protocol") +
+         table.render() + "\nUnique source IP classification:\n" +
+         sources.render();
+}
+
+std::string report_fig3_scanning_services(Study& study) {
+  // Which scanning services hit which honeypot (share of service traffic).
+  util::Counter by_service;
+  std::map<std::string, util::Counter> per_honeypot;
+  const auto domains = study.scan_service_domains();
+  for (const auto& event : study.attack_log().events()) {
+    const auto domain = study.rdns().lookup(event.source);
+    if (!domain) continue;
+    for (const auto& spec : attackers::scan_service_specs()) {
+      if (domain->size() >= spec.domain.size() &&
+          domain->compare(domain->size() - spec.domain.size(),
+                          spec.domain.size(), spec.domain) == 0) {
+        by_service.add(spec.name);
+        per_honeypot[event.honeypot].add(spec.name);
+      }
+    }
+  }
+  const double total =
+      static_cast<double>(std::max<std::uint64_t>(1, by_service.total()));
+  util::Table table({"Scanning service", "Share of service traffic"});
+  for (const auto& [service, count] : by_service.ranked()) {
+    table.add_row({service, percent(count / total)});
+  }
+  return header("Figure 3: scanning-service traffic on honeypots") +
+         table.render();
+}
+
+std::string report_fig4_attack_types(Study& study) {
+  std::map<std::string, util::Counter> per_honeypot;
+  for (const auto& event : study.attack_log().events()) {
+    per_honeypot[event.honeypot].add(
+        std::string(honeynet::attack_type_name(event.type)));
+  }
+  util::Table table({"Honeypot", "Attack type", "Share"});
+  for (const auto& [honeypot, counter] : per_honeypot) {
+    const double total = static_cast<double>(counter.total());
+    for (const auto& [type, count] : counter.ranked()) {
+      table.add_row({honeypot, type, percent(count / total)});
+    }
+  }
+  return header("Figure 4: attack types in different honeypots") +
+         table.render();
+}
+
+std::string report_table8_telescope(Study& study) {
+  const auto capture_days = std::max<std::uint64_t>(
+      1, sim::to_days(study.config().attack_duration));
+  util::Table table({"Protocol", "Paper daily avg", "Measured daily avg",
+                     "Paper unique IPs", "Measured unique IPs"});
+  for (const auto& row : table8()) {
+    table.add_row(
+        {std::string(proto::protocol_name(row.protocol)),
+         with_commas(row.daily_avg),
+         with_commas(static_cast<std::uint64_t>(
+             study.scope().daily_average_for(row.protocol, capture_days))),
+         with_commas(row.unique_ips),
+         with_commas(study.scope().unique_sources_for(row.protocol))});
+  }
+  table.add_row({"(spoofed pkts)", "-", with_commas(study.scope().spoofed_packets()),
+                 "-", ""});
+  table.add_row({"(masscan pkts)", "-", with_commas(study.scope().masscan_packets()),
+                 "-", ""});
+  return header("Table 8: telescope suspicious traffic classification") +
+         table.render();
+}
+
+std::string report_fig5_greynoise(Study& study) {
+  // Our scanning-service sources seen at honeypots + telescope.
+  std::vector<util::Ipv4Addr> service_sources;
+  const auto domains = study.scan_service_domains();
+  std::set<std::uint32_t> seen;
+  for (const auto& event : study.attack_log().events()) {
+    if (classify_source(event.source, study.rdns(), domains) ==
+            SourceClass::kScanningService &&
+        seen.insert(event.source.value()).second) {
+      service_sources.push_back(event.source);
+    }
+  }
+  for (const auto source : study.scope().all_sources()) {
+    if (classify_source(source, study.rdns(), domains) ==
+            SourceClass::kScanningService &&
+        seen.insert(source.value()).second) {
+      service_sources.push_back(source);
+    }
+  }
+  const auto comparison =
+      compare_with_greynoise(service_sources, study.greynoise());
+  util::Table table({"Metric", "Paper", "Measured"});
+  table.add_row({"Scanning-service IPs (ours)",
+                 with_commas(devices::paper::kHoneypotScanServiceIps),
+                 with_commas(comparison.ours)});
+  table.add_row({"Known to GreyNoise",
+                 with_commas(devices::paper::kHoneypotScanServiceIps -
+                             devices::paper::kGreynoiseMissedIps),
+                 with_commas(comparison.greynoise)});
+  table.add_row({"Missed by GreyNoise",
+                 with_commas(devices::paper::kGreynoiseMissedIps),
+                 with_commas(comparison.missed)});
+
+  // Per-protocol comparison (the bars of the paper's Figure 5): which
+  // scanning-service sources touched each protocol, and how many of those
+  // GreyNoise already knew.
+  std::map<std::string, std::pair<std::set<std::uint32_t>,
+                                  std::set<std::uint32_t>>>
+      per_protocol;  // protocol -> (ours, known-to-GreyNoise)
+  for (const auto& event : study.attack_log().events()) {
+    if (classify_source(event.source, study.rdns(), domains) !=
+        SourceClass::kScanningService) {
+      continue;
+    }
+    auto& [ours, known] =
+        per_protocol[std::string(proto::protocol_name(event.protocol))];
+    ours.insert(event.source.value());
+    if (study.greynoise().lookup(event.source) ==
+        intel::GreyNoiseClass::kBenign) {
+      known.insert(event.source.value());
+    }
+  }
+  util::Table by_protocol(
+      {"Protocol", "Ours (unique IPs)", "Known to GreyNoise"});
+  for (const auto& [protocol, sets] : per_protocol) {
+    by_protocol.add_row({protocol, with_commas(sets.first.size()),
+                         with_commas(sets.second.size())});
+  }
+  return header("Figure 5: classification of scanning-services vs GreyNoise") +
+         table.render() + "\nPer protocol:\n" + by_protocol.render();
+}
+
+std::string report_fig6_virustotal(Study& study) {
+  // Unknown/suspicious sources per protocol, honeypot (H) and telescope (T).
+  const auto domains = study.scan_service_domains();
+  std::map<std::string, std::vector<util::Ipv4Addr>> honeypot_sources;
+  std::map<std::string, std::set<std::uint32_t>> seen;
+  for (const auto& event : study.attack_log().events()) {
+    if (classify_source(event.source, study.rdns(), domains) ==
+        SourceClass::kScanningService) {
+      continue;
+    }
+    const auto protocol = std::string(proto::protocol_name(event.protocol));
+    if (seen[protocol].insert(event.source.value()).second) {
+      honeypot_sources[protocol].push_back(event.source);
+    }
+  }
+  std::map<std::string, std::vector<util::Ipv4Addr>> telescope_sources;
+  for (const auto protocol : proto::scanned_protocols()) {
+    const auto name = std::string(proto::protocol_name(protocol));
+    for (const auto source : study.scope().sources_for(protocol)) {
+      if (classify_source(source, study.rdns(), domains) !=
+          SourceClass::kScanningService) {
+        telescope_sources[name].push_back(source);
+      }
+    }
+  }
+  const auto h_rates =
+      virustotal_flag_rates(honeypot_sources, study.virustotal(), "(H)");
+  const auto t_rates =
+      virustotal_flag_rates(telescope_sources, study.virustotal(), "(T)");
+  util::Table table({"Protocol", "% flagged malicious by VirusTotal"});
+  for (const auto& [label, rate] : h_rates) {
+    table.add_row({label, percent(rate)});
+  }
+  for (const auto& [label, rate] : t_rates) {
+    table.add_row({label, percent(rate)});
+  }
+  return header("Figure 6: malware classification by VirusTotal") +
+         table.render();
+}
+
+std::string report_fig7_trends(Study& study) {
+  std::map<std::string, util::Counter> per_protocol;
+  for (const auto& event : study.attack_log().events()) {
+    per_protocol[std::string(proto::protocol_name(event.protocol))].add(
+        std::string(honeynet::attack_type_name(event.type)));
+  }
+  util::Table table({"Protocol", "Attack type", "Share"});
+  for (const auto& [protocol, counter] : per_protocol) {
+    const double total = static_cast<double>(counter.total());
+    for (const auto& [type, count] : counter.ranked()) {
+      table.add_row({protocol, type, percent(count / total)});
+    }
+  }
+  return header("Figure 7: attack trends by type and protocol") +
+         table.render();
+}
+
+std::string report_fig8_daily(Study& study) {
+  const auto by_day = study.attack_log().count_by_day();
+  std::string out = header("Figure 8: total attacks by day");
+  // Listing markers (one per service per day; a service lists all six
+  // honeypot addresses in the same sweep).
+  std::map<std::uint64_t, std::set<std::string>> listings_by_day;
+  for (const auto& listing : study.fleet().listings()) {
+    listings_by_day[sim::to_days(listing.when)].insert(listing.service);
+  }
+  const auto days =
+      sim::to_days(study.config().attack_duration);
+  std::uint64_t peak = 1;
+  for (const auto& [day, count] : by_day.raw()) peak = std::max(peak, count);
+  for (std::uint64_t day = 0; day < days; ++day) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "day%02llu",
+                  static_cast<unsigned long long>(day));
+    const auto count = by_day.count(key);
+    std::string bar(static_cast<std::size_t>(54.0 * count / peak), '#');
+    out += std::string(key) + " " + bar + " " + util::with_commas(count);
+    const auto listing = listings_by_day.find(day);
+    if (listing != listings_by_day.end()) {
+      out += "   <- listed by";
+      for (const auto& service : listing->second) out += " " + service;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string report_fig9_multistage(Study& study) {
+  const auto chains = detect_multistage(study.attack_log(), study.rdns(),
+                                        study.scan_service_domains());
+  const auto stages = multistage_stage_histogram(chains);
+  std::string out = header("Figure 9: multistage attacks detected");
+  out += "Paper: " + with_commas(devices::paper::kMultistageAttacks) +
+         " chains; expected@scale: " +
+         with_commas(study.scaled_attack(devices::paper::kMultistageAttacks)) +
+         "; measured: " + with_commas(chains.size()) + "\n";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    out += "Stage " + std::to_string(i + 1) + ": ";
+    for (const auto& [protocol, count] : stages[i].ranked()) {
+      out += protocol + "=" + with_commas(count) + " ";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string report_correlation(Study& study) {
+  util::Table table({"Metric", "Paper", "Expected@scale", "Measured"});
+  const auto& infected = study.infected();
+  table.add_row({"Misconfigured devices attacking (total)",
+                 with_commas(devices::paper::kInfectedTotal),
+                 with_commas(study.scaled_population(
+                     devices::paper::kInfectedTotal)),
+                 with_commas(infected.total())});
+  table.add_row({"  attacked only honeypots",
+                 with_commas(devices::paper::kInfectedHoneypotsOnly),
+                 with_commas(study.scaled_population(
+                     devices::paper::kInfectedHoneypotsOnly)),
+                 with_commas(infected.honeypot_only.size())});
+  table.add_row({"  attacked only telescope",
+                 with_commas(devices::paper::kInfectedTelescopeOnly),
+                 with_commas(study.scaled_population(
+                     devices::paper::kInfectedTelescopeOnly)),
+                 with_commas(infected.telescope_only.size())});
+  table.add_row({"  attacked both",
+                 with_commas(devices::paper::kInfectedBoth),
+                 with_commas(study.scaled_population(
+                     devices::paper::kInfectedBoth)),
+                 with_commas(infected.both.size())});
+  table.add_row({"Additional IoT attackers via Censys",
+                 with_commas(devices::paper::kCensysExtraIot),
+                 with_commas(study.scaled_population(
+                     devices::paper::kCensysExtraIot)),
+                 with_commas(study.censys_extra())});
+
+  // §5.3's final step: reverse-lookup of attack sources — registered
+  // domains serving web pages, a subset flagged malicious by VirusTotal
+  // (paper: 797 domains, 427 webpages, 346 flagged URLs) — plus the Tor
+  // relay attribution of §5.1.6 (151 unique Tor IPs).
+  std::set<std::uint32_t> sources;
+  for (const auto& event : study.attack_log().events()) {
+    sources.insert(event.source.value());
+  }
+  const auto service_domains = study.scan_service_domains();
+  std::uint64_t domains = 0, flagged_urls = 0, tor_ips = 0;
+  for (const auto value : sources) {
+    const util::Ipv4Addr source(value);
+    if (study.fleet().exonerator().was_relay(source)) ++tor_ips;
+    const auto domain = study.rdns().lookup(source);
+    if (!domain) continue;
+    if (classify_source(source, study.rdns(), service_domains) ==
+        SourceClass::kScanningService) {
+      continue;
+    }
+    if (domain->find("torproject.org") != std::string::npos) continue;
+    ++domains;
+    if (study.virustotal().url_malicious("http://" + *domain + "/")) {
+      ++flagged_urls;
+    }
+  }
+  table.add_row({"Attack sources with registered domains", "797", "-",
+                 with_commas(domains)});
+  table.add_row({"  of those, URLs flagged by VirusTotal", "346", "-",
+                 with_commas(flagged_urls)});
+  table.add_row({"HTTP attack sources on Tor exit relays",
+                 with_commas(devices::paper::kTorRelayIps), "-",
+                 with_commas(tor_ips)});
+  return header("Section 5.3: attacks from infected (misconfigured) hosts") +
+         table.render();
+}
+
+std::string report_table12_credentials(Study& study) {
+  // Credentials observed in honeypot login events ("user:pass OK/FAIL").
+  util::Counter telnet_creds, ssh_creds;
+  for (const auto& event : study.attack_log().events()) {
+    if (event.type != honeynet::AttackType::kBruteForce &&
+        event.type != honeynet::AttackType::kDictionary) {
+      continue;
+    }
+    const auto space = event.detail.rfind(' ');
+    const auto cred = space == std::string::npos ? event.detail
+                                                 : event.detail.substr(0, space);
+    if (event.protocol == proto::Protocol::kTelnet) {
+      telnet_creds.add(cred);
+    } else if (event.protocol == proto::Protocol::kSsh) {
+      ssh_creds.add(cred);
+    }
+  }
+  util::Table table({"Protocol", "Credentials", "Count"});
+  int rows = 0;
+  for (const auto& [cred, count] : telnet_creds.ranked()) {
+    if (rows++ >= 10) break;
+    table.add_row({"Telnet", cred, with_commas(count)});
+  }
+  rows = 0;
+  for (const auto& [cred, count] : ssh_creds.ranked()) {
+    if (rows++ >= 7) break;
+    table.add_row({"SSH", cred, with_commas(count)});
+  }
+  return header("Table 12: top credentials used by adversaries (measured)") +
+         table.render();
+}
+
+}  // namespace ofh::core

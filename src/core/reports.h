@@ -1,0 +1,29 @@
+// Report renderers: print each of the paper's tables/figures with three
+// columns — paper-reported, expected-at-scale, and measured — so benches
+// can show whether the reproduced pipeline recovers the planted shape.
+#pragma once
+
+#include <string>
+
+#include "core/study.h"
+
+namespace ofh::core {
+
+std::string report_table4_exposed(Study& study);
+std::string report_fig2_device_types(Study& study);
+std::string report_table5_misconfigured(Study& study);
+std::string report_table6_honeypots(Study& study);
+std::string report_table10_countries(Study& study);
+std::string report_table7_attacks(Study& study);
+std::string report_fig3_scanning_services(Study& study);
+std::string report_fig4_attack_types(Study& study);
+std::string report_table8_telescope(Study& study);
+std::string report_fig5_greynoise(Study& study);
+std::string report_fig6_virustotal(Study& study);
+std::string report_fig7_trends(Study& study);
+std::string report_fig8_daily(Study& study);
+std::string report_fig9_multistage(Study& study);
+std::string report_correlation(Study& study);
+std::string report_table12_credentials(Study& study);
+
+}  // namespace ofh::core

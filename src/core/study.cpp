@@ -1,0 +1,148 @@
+#include "core/study.h"
+
+#include "devices/paper_stats.h"
+
+namespace ofh::core {
+
+Study::Study(StudyConfig config) : config_(config) {
+  fabric_ = std::make_unique<net::Fabric>(sim_, config_.seed);
+  fabric_->set_latency(sim::msec(15), sim::msec(25));
+}
+
+Study::~Study() = default;
+
+std::uint64_t Study::scaled_population(std::uint64_t paper) const {
+  if (paper == 0) return 0;
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(paper * config_.population_scale + 0.5));
+}
+
+std::uint64_t Study::scaled_attack(std::uint64_t paper) const {
+  if (paper == 0) return 0;
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(paper * config_.attack_scale + 0.5));
+}
+
+void Study::setup_internet() {
+  devices::PopulationSpec spec;
+  spec.seed = config_.seed;
+  spec.scale = config_.population_scale;
+  population_ = std::make_unique<devices::Population>(spec);
+  population_->build();
+  population_->attach_all(*fabric_);
+
+  // Plant third-party honeypots (Table 6 ground truth) among the devices.
+  for (const auto& signature : honeynet::honeypot_signatures()) {
+    const auto count = scaled_population(signature.paper_count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      auto honeypot = std::make_unique<honeynet::WildHoneypot>(
+          signature, population_->allocate_extra());
+      honeypot->attach(*fabric_);
+      wild_honeypots_.push_back(std::move(honeypot));
+    }
+  }
+
+  telescope_ = std::make_unique<telescope::Telescope>(config_.telescope_range);
+  telescope_->attach(*fabric_);
+  rsdos_ = std::make_unique<telescope::RsdosDetector>(config_.telescope_range);
+  rsdos_->attach(*fabric_);
+
+  geo_ = std::make_unique<intel::GeoDb>(*population_);
+}
+
+void Study::run_scan() {
+  scanner_ = std::make_unique<scanner::Scanner>(
+      util::Ipv4Addr(192, 35, 168, 10), scan_db_);  // the university host
+  scanner_->attach(*fabric_);
+
+  // Six sweeps spread across one week at the paper's day offsets
+  // (Appendix Table 9: CoAP Mar 1; UPnP+Telnet Mar 2; MQTT+AMQP Mar 4;
+  // XMPP Mar 5).
+  static constexpr std::uint64_t kDayOffsets[] = {0, 1, 1, 3, 3, 4};
+  const sim::Time scan_epoch = sim_.now();
+  std::size_t index = 0;
+  for (const auto protocol : proto::scanned_protocols()) {
+    const sim::Time start = scan_epoch + sim::days(kDayOffsets[index++]);
+    if (start > sim_.now()) sim_.run_until(start);
+    scan_dates_[protocol] = sim_.now();
+
+    scanner::ScanConfig scan;
+    scan.protocol = protocol;
+    scan.targets = population_->prefixes();
+    scan.blocklist = scanner::default_blocklist();
+    scan.seed = config_.seed ^ static_cast<std::uint64_t>(protocol);
+    scan.batch_size = config_.scan_batch;
+    bool done = false;
+    scanner_->start(scan, [&done] { done = true; });
+    while (!done && sim_.step()) {
+    }
+  }
+
+  unfiltered_findings_ = classify::classify_all(scan_db_);
+  fingerprints_ = classify::fingerprint_all(scan_db_);
+  findings_ = config_.filter_honeypots
+                  ? classify::filter_honeypots(unfiltered_findings_,
+                                               fingerprints_)
+                  : unfiltered_findings_;
+}
+
+void Study::run_datasets() {
+  sonar_ = datasets::generate_snapshot(datasets::project_sonar_model(),
+                                       *population_, config_.seed + 11);
+  shodan_ = datasets::generate_snapshot(datasets::shodan_model(),
+                                        *population_, config_.seed + 12);
+}
+
+void Study::run_attack_month() {
+  // Six public addresses for the honeypot groups (Figure 1).
+  std::vector<util::Ipv4Addr> addresses;
+  for (int i = 0; i < 6; ++i) {
+    addresses.push_back(population_->allocate_extra());
+  }
+  deployment_ = honeynet::make_deployment(addresses, attack_log_);
+  for (auto& honeypot : deployment_.honeypots) {
+    honeypot->attach(*fabric_);
+  }
+
+  attackers::FleetConfig fleet_config;
+  fleet_config.seed = config_.seed + 7;
+  fleet_config.duration = config_.attack_duration;
+  fleet_config.event_scale = config_.attack_scale;
+  fleet_config.listing_boost = config_.listing_boost;
+  fleet_ = std::make_unique<attackers::Fleet>(fleet_config, *population_,
+                                              deployment_, *telescope_);
+  fleet_->deploy(*fabric_, rdns_, virustotal_, greynoise_, censys_);
+
+  const sim::Time start = sim_.now();
+  sim_.run_until(start + config_.attack_duration + sim::hours(1));
+}
+
+void Study::correlate() {
+  infected_ = correlate_infected(findings_, attack_log_, *telescope_);
+  std::set<std::uint32_t> correlated;
+  correlated.insert(infected_.both.begin(), infected_.both.end());
+  correlated.insert(infected_.honeypot_only.begin(),
+                    infected_.honeypot_only.end());
+  correlated.insert(infected_.telescope_only.begin(),
+                    infected_.telescope_only.end());
+  censys_extra_ =
+      censys_extra_iot(attack_log_, *telescope_, correlated, censys_);
+}
+
+void Study::run_all() {
+  setup_internet();
+  run_scan();
+  run_datasets();
+  run_attack_month();
+  correlate();
+}
+
+std::vector<std::string> Study::scan_service_domains() const {
+  std::vector<std::string> domains;
+  for (const auto& spec : attackers::scan_service_specs()) {
+    domains.push_back(spec.domain);
+  }
+  return domains;
+}
+
+}  // namespace ofh::core

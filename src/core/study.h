@@ -1,0 +1,157 @@
+// The study orchestrator: reproduces the paper's end-to-end methodology on
+// the simulated Internet —
+//   phase 1  setup_internet(): population, wild honeypots, telescope, intel
+//   phase 2  run_scan(): six ZMap-style sweeps + banner classification +
+//            honeypot fingerprint filtering
+//   phase 3  run_datasets(): Project-Sonar/Shodan snapshots + correlation
+//   phase 4  run_attack_month(): honeynet deployment + attacker fleet +
+//            telescope capture for the configured duration
+//   phase 5  correlate(): the §5.3 intersection of misconfigured devices
+//            with honeypot/telescope attack sources
+// Phases are independent where the paper's are: a bench that only needs
+// Table 4 can stop after run_scan().
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "attackers/fleet.h"
+#include "classify/device_tagger.h"
+#include "classify/fingerprint.h"
+#include "classify/misconfig_rules.h"
+#include "core/analysis.h"
+#include "datasets/open_datasets.h"
+#include "devices/population.h"
+#include "honeynet/deployments.h"
+#include "intel/geo.h"
+#include "intel/threat_intel.h"
+#include "net/fabric.h"
+#include "scanner/scanner.h"
+#include "sim/simulation.h"
+#include "telescope/rsdos.h"
+#include "telescope/telescope.h"
+
+namespace ofh::core {
+
+struct StudyConfig {
+  std::uint64_t seed = 42;
+  // Population scale relative to the paper's 14.4M exposed hosts.
+  double population_scale = 1.0 / 2'048;
+  // Honeypot-side attack volume scale relative to Table 7's 200,209 events.
+  double attack_scale = 1.0 / 32;
+  sim::Duration attack_duration = sim::days(30);
+  // Scan engine tuning.
+  std::uint32_t scan_batch = 4'096;
+  // Whether the fingerprint filter runs (off = the poisoning ablation).
+  bool filter_honeypots = true;
+  // Post-listing attack multiplier (1.0 disables the Figure 8 uptrend).
+  double listing_boost = 1.6;
+  // Telescope darknet; defaults to 44.0.0.0/8 (reserved by the population).
+  util::Cidr telescope_range =
+      util::Cidr(util::Ipv4Addr(44, 0, 0, 0), 8);
+};
+
+class Study {
+ public:
+  explicit Study(StudyConfig config);
+  ~Study();
+  Study(const Study&) = delete;
+  Study& operator=(const Study&) = delete;
+
+  // Phase 1: build and attach everything that exists before we measure.
+  void setup_internet();
+  // Phase 2: the six-protocol Internet-wide scan, classification and
+  // honeypot filtering. Fills scan_db/findings/fingerprints.
+  void run_scan();
+  // Phase 3: open dataset snapshots.
+  void run_datasets();
+  // Phase 4: deploy honeypots, run the attacker fleet for the configured
+  // duration while the telescope captures.
+  void run_attack_month();
+  // Phase 5: cross-experiment correlation.
+  void correlate();
+
+  // Runs all phases in order.
+  void run_all();
+
+  // --- accessors ---------------------------------------------------------
+  const StudyConfig& config() const { return config_; }
+  sim::Simulation& sim() { return sim_; }
+  net::Fabric& fabric() { return *fabric_; }
+  devices::Population& population() { return *population_; }
+  const scanner::ScanDb& scan_db() const { return scan_db_; }
+  const std::vector<classify::MisconfigFinding>& findings() const {
+    return findings_;  // after honeypot filtering (if enabled)
+  }
+  const std::vector<classify::MisconfigFinding>& unfiltered_findings() const {
+    return unfiltered_findings_;
+  }
+  const classify::FingerprintResult& fingerprints() const {
+    return fingerprints_;
+  }
+  const std::optional<datasets::DatasetSnapshot>& sonar() const {
+    return sonar_;
+  }
+  const std::optional<datasets::DatasetSnapshot>& shodan() const {
+    return shodan_;
+  }
+  std::size_t wild_honeypot_count() const { return wild_honeypots_.size(); }
+  const honeynet::EventLog& attack_log() const { return attack_log_; }
+  const honeynet::Deployment& deployment() const { return deployment_; }
+  const telescope::Telescope& scope() const { return *telescope_; }
+  const telescope::RsdosDetector& rsdos() const { return *rsdos_; }
+  const attackers::Fleet& fleet() const { return *fleet_; }
+  const intel::GeoDb& geo() const { return *geo_; }
+  const intel::ReverseDns& rdns() const { return rdns_; }
+  const intel::VirusTotalDb& virustotal() const { return virustotal_; }
+  const intel::GreyNoiseDb& greynoise() const { return greynoise_; }
+  const intel::CensysDb& censys() const { return censys_; }
+  const InfectedCorrelation& infected() const { return infected_; }
+  std::uint64_t censys_extra() const { return censys_extra_; }
+
+  // rdns suffixes of all known scanning services (for classification).
+  std::vector<std::string> scan_service_domains() const;
+
+  // Start time of each protocol's sweep (Appendix Table 9: the paper's
+  // scans ran across one week, one or two protocols per day).
+  const std::map<proto::Protocol, sim::Time>& scan_dates() const {
+    return scan_dates_;
+  }
+
+  // Scales a paper count to this study's population scale.
+  std::uint64_t scaled_population(std::uint64_t paper) const;
+  std::uint64_t scaled_attack(std::uint64_t paper) const;
+
+ private:
+  StudyConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<devices::Population> population_;
+  std::vector<std::unique_ptr<honeynet::WildHoneypot>> wild_honeypots_;
+  std::unique_ptr<telescope::Telescope> telescope_;
+  std::unique_ptr<telescope::RsdosDetector> rsdos_;
+  std::unique_ptr<intel::GeoDb> geo_;
+  intel::ReverseDns rdns_;
+  intel::VirusTotalDb virustotal_;
+  intel::GreyNoiseDb greynoise_;
+  intel::CensysDb censys_;
+
+  std::unique_ptr<scanner::Scanner> scanner_;
+  scanner::ScanDb scan_db_;
+  std::map<proto::Protocol, sim::Time> scan_dates_;
+  std::vector<classify::MisconfigFinding> findings_;
+  std::vector<classify::MisconfigFinding> unfiltered_findings_;
+  classify::FingerprintResult fingerprints_;
+
+  std::optional<datasets::DatasetSnapshot> sonar_;
+  std::optional<datasets::DatasetSnapshot> shodan_;
+
+  honeynet::EventLog attack_log_;
+  honeynet::Deployment deployment_;
+  std::unique_ptr<attackers::Fleet> fleet_;
+
+  InfectedCorrelation infected_;
+  std::uint64_t censys_extra_ = 0;
+};
+
+}  // namespace ofh::core

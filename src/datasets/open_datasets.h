@@ -1,0 +1,79 @@
+// Open scan datasets: Project-Sonar-like and Shodan-like snapshots of the
+// simulated Internet (paper §3.1.2). Each service has its own coverage
+// model — which protocols it publishes, which ports it scans, and what
+// fraction of exposed hosts it reaches (allow-listing, scan origin and
+// refresh cadence all reduce coverage; the paper's Table 4 quantifies the
+// resulting deltas). Snapshots are generated independently of our scanner,
+// so correlating the two is a meaningful check.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "devices/population.h"
+#include "proto/service.h"
+
+namespace ofh::datasets {
+
+struct CoverageModel {
+  std::string name;
+  // Protocol -> fraction of exposed hosts this service's dataset includes.
+  // Missing protocol = no dataset published (Table 4's "NA").
+  std::map<proto::Protocol, double> coverage;
+  // Ports scanned for Telnet: Project Sonar scans only 23, our scan (and
+  // Shodan) also covers 2323 — the paper's explanation for the ZMap scan
+  // finding more Telnet hosts than Sonar.
+  bool telnet_includes_2323 = true;
+};
+
+// The two open datasets the paper uses, with coverage calibrated to the
+// Table 4 ratios.
+CoverageModel project_sonar_model();
+CoverageModel shodan_model();
+
+struct DatasetEntry {
+  util::Ipv4Addr host;
+  std::uint16_t port = 0;
+  proto::Protocol protocol = proto::Protocol::kTelnet;
+  std::string banner;
+};
+
+class DatasetSnapshot {
+ public:
+  DatasetSnapshot(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void add(DatasetEntry entry);
+  const std::vector<DatasetEntry>& entries() const { return entries_; }
+  std::uint64_t unique_hosts(proto::Protocol protocol) const;
+  bool has_protocol(proto::Protocol protocol) const;
+  bool contains(util::Ipv4Addr host, proto::Protocol protocol) const;
+
+ private:
+  std::string name_;
+  std::vector<DatasetEntry> entries_;
+  std::map<proto::Protocol, std::set<std::uint32_t>> hosts_;
+};
+
+// Generates a snapshot of the population under a coverage model. The
+// snapshot is a view of ground truth thinned by coverage — it models the
+// *output* of that service's own scanning pipeline, which we do not re-run.
+DatasetSnapshot generate_snapshot(const CoverageModel& model,
+                                  const devices::Population& population,
+                                  std::uint64_t seed);
+
+// Correlation of our scan's per-protocol host sets against a snapshot
+// (paper §3.1.2: "we correlate the results identified in all datasets").
+struct Correlation {
+  std::uint64_t ours = 0;
+  std::uint64_t theirs = 0;
+  std::uint64_t overlap = 0;
+};
+Correlation correlate(const std::set<std::uint32_t>& our_hosts,
+                      const DatasetSnapshot& snapshot,
+                      proto::Protocol protocol);
+
+}  // namespace ofh::datasets

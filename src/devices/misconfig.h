@@ -1,0 +1,67 @@
+// Misconfiguration taxonomy (paper Tables 2, 3 and 5). A device is
+// misconfigured when its configuration lacks authentication, encryption or
+// authorization (NIST's definition quoted in the paper's introduction).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "proto/service.h"
+
+namespace ofh::devices {
+
+enum class Misconfig : std::uint8_t {
+  kNone,
+  kTelnetNoAuth,      // unauthenticated console ("$" prompt)
+  kTelnetNoAuthRoot,  // unauthenticated root console ("root@...:~$")
+  kMqttNoAuth,        // CONNACK return code 0 without credentials
+  kAmqpNoAuth,        // ANONYMOUS accepted / CVE-affected broker version
+  kXmppPlaintext,     // only PLAIN over non-TLS ("No encryption")
+  kXmppAnonymous,     // SASL ANONYMOUS accepted
+  kCoapNoAuth,        // all resources readable/writable
+  kCoapAdminAccess,   // admin resource exposed ("220-Admin")
+  kCoapReflector,     // /.well-known/core answers any source
+  kUpnpReflector,     // SSDP M-SEARCH answers any source
+};
+
+constexpr std::string_view misconfig_name(Misconfig misconfig) {
+  switch (misconfig) {
+    case Misconfig::kNone: return "none";
+    case Misconfig::kTelnetNoAuth: return "No auth";
+    case Misconfig::kTelnetNoAuthRoot: return "No auth, root access";
+    case Misconfig::kMqttNoAuth: return "No auth";
+    case Misconfig::kAmqpNoAuth: return "No auth";
+    case Misconfig::kXmppPlaintext: return "No encryption";
+    case Misconfig::kXmppAnonymous: return "Anonymous login";
+    case Misconfig::kCoapNoAuth: return "No auth";
+    case Misconfig::kCoapAdminAccess: return "No auth, admin access";
+    case Misconfig::kCoapReflector: return "Reflection-attack resource";
+    case Misconfig::kUpnpReflector: return "Reflection-attack resource";
+  }
+  return "?";
+}
+
+constexpr proto::Protocol misconfig_protocol(Misconfig misconfig) {
+  switch (misconfig) {
+    case Misconfig::kTelnetNoAuth:
+    case Misconfig::kTelnetNoAuthRoot:
+      return proto::Protocol::kTelnet;
+    case Misconfig::kMqttNoAuth:
+      return proto::Protocol::kMqtt;
+    case Misconfig::kAmqpNoAuth:
+      return proto::Protocol::kAmqp;
+    case Misconfig::kXmppPlaintext:
+    case Misconfig::kXmppAnonymous:
+      return proto::Protocol::kXmpp;
+    case Misconfig::kCoapNoAuth:
+    case Misconfig::kCoapAdminAccess:
+    case Misconfig::kCoapReflector:
+      return proto::Protocol::kCoap;
+    case Misconfig::kUpnpReflector:
+    case Misconfig::kNone:
+      return proto::Protocol::kUpnp;
+  }
+  return proto::Protocol::kUpnp;
+}
+
+}  // namespace ofh::devices

@@ -1,0 +1,126 @@
+#include "devices/models.h"
+
+namespace ofh::devices {
+
+const std::vector<DeviceModel>& device_models() {
+  using P = proto::Protocol;
+  static const std::vector<DeviceModel> kModels = {
+      // Cameras.
+      {"HiKVision Camera", "Camera", P::kTelnet, "192.168.0.64 login:"},
+      {"Polycom HDX", "Camera", P::kTelnet, "Welcome to ViewStation"},
+      {"D-Link DCS-6620", "Camera", P::kTelnet, "Welcome to DCS-6620"},
+      {"D-Link DCS-5220", "Camera", P::kTelnet, "Network-Camera login:"},
+      {"Avtech AVN801", "Camera", P::kUpnp,
+       "Server: Linux/2.x UPnP/1.0 Avtech/1.0"},
+      {"Panasonic BB-HCM581", "Camera", P::kUpnp,
+       "Friendly Name: Network Camera BB-HCM581"},
+      {"Anbash NC336FG", "Camera", P::kUpnp, "Model Name: NC336FG"},
+      {"Beward N100", "Camera", P::kUpnp,
+       "Friendly Name: N100 H.264 IP Camera"},
+      {"Io Data TS-WLC2", "Camera", P::kUpnp, "Model Name: TS-WLC2"},
+      {"Io Data TS-WPTCAM", "Camera", P::kUpnp, "Model Name: TS-WPTCAM"},
+      {"Io Data TS-WLCAM", "Camera", P::kUpnp, "Model Name: TS-WLCAM"},
+      {"Io Data TS-WLCE", "Camera", P::kUpnp, "Model Name: TS-WLCE"},
+      {"G-Cam EFD-4430", "Camera", P::kUpnp, "Friendly Name: G-Cam/EFD-4430"},
+      {"Seyeon Tech FW7511-TVM", "Camera", P::kUpnp,
+       "Model Name: FW7511-TVM"},
+      // DSL modems.
+      {"ZyXEL PK5001Z", "DSL Modem", P::kTelnet, "PK5001Z login"},
+      {"ZTE ZXHN H108N", "DSL Modem", P::kTelnet,
+       "Welcome to the world of CLI"},
+      {"Technicolor modem", "DSL Modem", P::kTelnet, "TG234 login:"},
+      {"ZTE ZXV10", "DSL Modem", P::kTelnet, "F670L Login"},
+      {"Datacom DM991", "DSL Modem", P::kTelnet,
+       "DM991CR - G.SHDSL Modem Router"},
+      {"TP-Link TD-W8960N", "DSL Modem", P::kTelnet,
+       "TD-W8960N 6.0 DSL Modem"},
+      {"Cisco C11-4P", "DSL Modem", P::kTelnet, "MODEM : C111-4P"},
+      {"TP-Link TD-W8968", "DSL Modem", P::kTelnet,
+       "TD-W8968 4.0 DSL Modem Router"},
+      // Routers.
+      {"BelAir 100N", "Router", P::kTelnet,
+       "BelAir100N - BelAir Backhaul and Access Wireless Router"},
+      {"Tenda Wireless Router", "Router", P::kUpnp, "Manufacturer: Tenda"},
+      {"Totolink N150", "Router", P::kUpnp, "Friendly Name: TOTOLINK N150RA"},
+      {"ZTE H108N", "Router", P::kUpnp, "Model Name: H108N"},
+      {"OBSERVA BHS_RTA 1.0.0", "Router", P::kUpnp, "Model Name: BHS_RTA"},
+      {"DASAN H660GM", "Router", P::kUpnp, "Model Name: H660GM"},
+      {"Huawei HG532e", "Router", P::kUpnp, "Model Name: HG532e"},
+      {"ASUSTeK RT-AC53", "Router", P::kUpnp, "Friendly Name: RT-AC53"},
+      {"NDM", "Router", P::kCoap, "/ndm/login"},
+      {"QLink", "Router", P::kCoap, "Qlink-ACK Resource"},
+      // Smart home.
+      {"Signify Philips hue bridge", "Smart Home", P::kUpnp,
+       "Model Name: Philips hue bridge 2015"},
+      {"EQ3 HomeMatic", "Smart Home", P::kUpnp,
+       "Model Name: HomeMatic Central"},
+      {"Hyperion 2.0.0", "Smart Home", P::kUpnp,
+       "Model Description: Hyperion Open Source Ambient Light"},
+      {"Home Assistant", "Smart Home", P::kTelnet,
+       "Home Assistant: Installation Type: Home Assistant OS"},
+      {"Home Assistant MQTT", "Smart Home", P::kMqtt, "homeassistant/light/"},
+      // TV receivers.
+      {"Emby", "TV Receiver", P::kUpnp, "Friendly Name: Emby - DS720plus"},
+      {"Dedicated Micros Digital Sprite 2", "TV Receiver", P::kTelnet,
+       "Welcome to the DS2 command line processor"},
+      {"Roku", "TV Receiver", P::kUpnp, "Server: Roku UPnP/1.0 MiniUPnPd/1.4"},
+      // Other device classes.
+      {"Realtek RTL8671", "Access Point", P::kUpnp, "Model Name: RTL8671"},
+      {"Synology DS918+", "NAS", P::kUpnp,
+       "Friendly Name: DiskStation (DS918+)"},
+      {"Sonos ZP100", "Smart Speaker", P::kUpnp, "Model Number: ZP120"},
+      {"Octoprint", "3D Printer", P::kMqtt, "octoPrint/temperature/bed"},
+      {"Gozmart", "HVAC", P::kMqtt, "gozmart/sonoff/"},
+      {"Advantech", "HVAC", P::kMqtt, "Advantech/"},
+      {"Emerson", "Remote Display Unit", P::kTelnet,
+       "Emerson Network Power Co., Ltd."},
+      {"Trimble SPS855", "Remote Display Unit", P::kUpnp,
+       "Friendly Name: SPS855, 6013R31531: Trimble"},
+  };
+  return kModels;
+}
+
+std::vector<const DeviceModel*> models_for(proto::Protocol protocol) {
+  std::vector<const DeviceModel*> out;
+  for (const auto& model : device_models()) {
+    if (model.protocol == protocol) out.push_back(&model);
+  }
+  return out;
+}
+
+const std::vector<TypeShare>& type_shares(proto::Protocol protocol) {
+  using P = proto::Protocol;
+  // Approximate Figure 2 mix. XMPP/AMQP responses were "not sufficient to
+  // label the target as an IoT device" (paper §4.1.2), hence Unidentified.
+  static const std::vector<TypeShare> kTelnet = {
+      {"Camera", 0.28},      {"DSL Modem", 0.24}, {"Router", 0.18},
+      {"Smart Home", 0.05},  {"TV Receiver", 0.04},
+      {"Remote Display Unit", 0.02}, {"Unidentified", 0.19},
+  };
+  static const std::vector<TypeShare> kUpnp = {
+      {"Router", 0.38},       {"Camera", 0.27},   {"Smart Home", 0.09},
+      {"TV Receiver", 0.07},  {"NAS", 0.05},      {"Smart Speaker", 0.04},
+      {"Access Point", 0.03}, {"Remote Display Unit", 0.01},
+      {"Unidentified", 0.06},
+  };
+  static const std::vector<TypeShare> kMqtt = {
+      {"Smart Home", 0.34}, {"HVAC", 0.18}, {"3D Printer", 0.09},
+      {"Unidentified", 0.39},
+  };
+  static const std::vector<TypeShare> kCoap = {
+      {"Router", 0.61},
+      {"Unidentified", 0.39},
+  };
+  static const std::vector<TypeShare> kUnidentified = {
+      {"Unidentified", 1.0},
+  };
+  switch (protocol) {
+    case P::kTelnet: return kTelnet;
+    case P::kUpnp: return kUpnp;
+    case P::kMqtt: return kMqtt;
+    case P::kCoap: return kCoap;
+    default: return kUnidentified;
+  }
+}
+
+}  // namespace ofh::devices

@@ -1,0 +1,37 @@
+// Device model registry: the model names, device types and banner/response
+// identifiers of paper Table 11 ("Most common device-types with identifiers
+// in banners/response"), used both to configure simulated devices and as
+// signatures for the ZTag-style device-type tagger.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proto/service.h"
+
+namespace ofh::devices {
+
+struct DeviceModel {
+  std::string_view model;        // "HiKVision Camera"
+  std::string_view device_type;  // "Camera"
+  proto::Protocol protocol;      // protocol carrying the identifier
+  std::string_view identifier;   // the banner/response fragment
+};
+
+// All Table 11 entries.
+const std::vector<DeviceModel>& device_models();
+
+// Models whose identifier rides on a given protocol.
+std::vector<const DeviceModel*> models_for(proto::Protocol protocol);
+
+// The device-type mix the population plants per protocol, approximating the
+// paper's Figure 2 (device types by protocol). Types that the paper could
+// not identify map to "Unidentified".
+struct TypeShare {
+  std::string_view device_type;
+  double share;
+};
+const std::vector<TypeShare>& type_shares(proto::Protocol protocol);
+
+}  // namespace ofh::devices

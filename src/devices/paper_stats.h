@@ -1,0 +1,205 @@
+// The paper's reported numbers (ground truth targets for the simulated
+// population and "paper" columns in the bench reports). All values are
+// transcribed from Srinivasa et al., IMC 2021.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "proto/service.h"
+
+namespace ofh::devices::paper {
+
+// Table 4: exposed systems on the Internet by protocol and source.
+struct ExposedRow {
+  proto::Protocol protocol;
+  std::uint64_t zmap;
+  std::uint64_t sonar;   // 0 = NA (no dataset for this protocol)
+  std::uint64_t shodan;
+};
+inline const std::vector<ExposedRow>& table4() {
+  static const std::vector<ExposedRow> kRows = {
+      {proto::Protocol::kAmqp, 34'542, 0, 18'701},
+      {proto::Protocol::kXmpp, 423'867, 0, 315'861},
+      {proto::Protocol::kCoap, 618'650, 438'098, 590'740},
+      {proto::Protocol::kUpnp, 1'381'940, 395'331, 433'571},
+      {proto::Protocol::kMqtt, 4'842'465, 3'921'585, 162'216},
+      {proto::Protocol::kTelnet, 7'096'465, 6'004'956, 188'291},
+  };
+  return kRows;
+}
+inline constexpr std::uint64_t kTable4ZmapTotal = 14'397'929;
+
+// Table 5: misconfigured devices per protocol and vulnerability.
+struct MisconfigRow {
+  proto::Protocol protocol;
+  std::string_view vulnerability;
+  std::uint64_t devices;
+};
+inline const std::vector<MisconfigRow>& table5() {
+  static const std::vector<MisconfigRow> kRows = {
+      {proto::Protocol::kCoap, "No auth, admin access", 427},
+      {proto::Protocol::kAmqp, "No auth", 2'731},
+      {proto::Protocol::kTelnet, "No auth", 4'013},
+      {proto::Protocol::kXmpp, "No encryption", 5'421},
+      {proto::Protocol::kCoap, "No auth", 9'067},
+      {proto::Protocol::kTelnet, "No auth, root access", 22'887},
+      {proto::Protocol::kMqtt, "No auth", 102'891},
+      {proto::Protocol::kXmpp, "Anonymous login", 143'986},
+      {proto::Protocol::kCoap, "Reflection-attack resource", 543'341},
+      {proto::Protocol::kUpnp, "Reflection-attack resource", 998'129},
+  };
+  return kRows;
+}
+inline constexpr std::uint64_t kTable5Total = 1'832'893;
+
+// Table 6: honeypots detected through Telnet banner signatures.
+struct HoneypotRow {
+  std::string_view honeypot;
+  std::uint64_t instances;
+};
+inline const std::vector<HoneypotRow>& table6() {
+  static const std::vector<HoneypotRow> kRows = {
+      {"HoneyPy", 27},    {"Cowrie", 3'228},     {"MTPot", 194},
+      {"TelnetIoT", 211}, {"Conpot", 216},       {"Kippo", 47},
+      {"Kako", 16},       {"Hontel", 12},        {"Anglerfish", 4'241},
+  };
+  return kRows;
+}
+inline constexpr std::uint64_t kTable6Total = 8'192;
+
+// Table 10: misconfigured devices by country (share of the 1.83M total).
+struct CountryRow {
+  std::string_view country;
+  std::uint64_t devices;
+};
+inline const std::vector<CountryRow>& table10() {
+  static const std::vector<CountryRow> kRows = {
+      {"USA", 494'881},        {"China", 238'276},
+      {"Russia", 166'793},     {"Taiwan", 163'127},
+      {"Germany", 142'966},    {"Philippines", 113'639},
+      {"UK", 106'308},         {"Brazil", 60'485},
+      {"India", 58'653},       {"Thailand", 49'488},
+      {"Hong Kong", 45'822},   {"South Korea", 45'822},
+      {"Israel", 38'491},      {"Canada", 34'825},
+      {"Other", 23'828},       {"Bangladesh", 20'162},
+      {"France", 16'496},      {"Japan", 12'830},
+  };
+  return kRows;
+}
+
+// Table 7: attack events by honeypot and protocol over one month.
+struct AttackRow {
+  std::string_view honeypot;
+  proto::Protocol protocol;
+  std::uint64_t events;
+};
+inline const std::vector<AttackRow>& table7() {
+  static const std::vector<AttackRow> kRows = {
+      {"HosTaGe", proto::Protocol::kTelnet, 19'733},
+      {"HosTaGe", proto::Protocol::kMqtt, 2'511},
+      {"HosTaGe", proto::Protocol::kAmqp, 2'780},
+      {"HosTaGe", proto::Protocol::kCoap, 11'543},
+      {"HosTaGe", proto::Protocol::kSsh, 19'174},
+      {"HosTaGe", proto::Protocol::kHttp, 16'192},
+      {"HosTaGe", proto::Protocol::kSmb, 1'830},
+      {"U-Pot", proto::Protocol::kUpnp, 17'101},
+      {"Conpot", proto::Protocol::kSsh, 12'837},
+      {"Conpot", proto::Protocol::kTelnet, 12'377},
+      {"Conpot", proto::Protocol::kS7, 7'113},
+      {"Conpot", proto::Protocol::kHttp, 11'313},
+      {"ThingPot", proto::Protocol::kXmpp, 11'344},
+      {"Cowrie", proto::Protocol::kSsh, 15'459},
+      {"Cowrie", proto::Protocol::kTelnet, 14'963},
+      {"Dionaea", proto::Protocol::kHttp, 11'974},
+      {"Dionaea", proto::Protocol::kMqtt, 1'557},
+      {"Dionaea", proto::Protocol::kFtp, 3'565},
+      {"Dionaea", proto::Protocol::kSmb, 6'873},
+  };
+  return kRows;
+}
+inline constexpr std::uint64_t kTable7Total = 200'209;
+
+// Table 7 per-honeypot unique source-IP classification.
+struct SourceClassRow {
+  std::string_view honeypot;
+  std::uint64_t scanning_service;
+  std::uint64_t malicious;
+  std::uint64_t unknown;
+};
+inline const std::vector<SourceClassRow>& table7_sources() {
+  static const std::vector<SourceClassRow> kRows = {
+      {"HosTaGe", 2'866, 21'189, 2'347}, {"U-Pot", 1'121, 7'814, 1'786},
+      {"Conpot", 1'678, 11'765, 1'876},  {"ThingPot", 967, 2'172, 963},
+      {"Cowrie", 2'111, 12'874, 1'113},  {"Dionaea", 1'953, 13'876, 1'694},
+  };
+  return kRows;
+}
+
+// Table 8: daily average telescope requests per protocol and unique IPs.
+struct TelescopeRow {
+  proto::Protocol protocol;
+  std::uint64_t daily_avg;
+  std::uint64_t unique_ips;
+  std::uint64_t scanning_service_ips;
+  std::uint64_t suspicious_ips;
+};
+inline const std::vector<TelescopeRow>& table8() {
+  static const std::vector<TelescopeRow> kRows = {
+      {proto::Protocol::kTelnet, 2'554'585'920, 85'615'200, 4'142,
+       85'611'058},
+      {proto::Protocol::kUpnp, 131'794'560, 18'633, 2'279, 16'354},
+      {proto::Protocol::kCoap, 68'353'920, 2'342, 627, 1'715},
+      {proto::Protocol::kMqtt, 17'072'640, 5'572, 1'248, 4'324},
+      {proto::Protocol::kAmqp, 13'907'520, 7'132, 2'256, 4'876},
+      {proto::Protocol::kXmpp, 6'429'600, 4'255, 1'973, 2'282},
+  };
+  return kRows;
+}
+
+// Table 12: top Telnet and SSH credentials used by adversaries.
+struct CredentialRow {
+  proto::Protocol protocol;
+  std::string_view user;
+  std::string_view pass;
+  std::uint64_t count;
+};
+inline const std::vector<CredentialRow>& table12() {
+  static const std::vector<CredentialRow> kRows = {
+      {proto::Protocol::kTelnet, "admin", "admin", 9'772},
+      {proto::Protocol::kTelnet, "root", "root", 1'721},
+      {proto::Protocol::kTelnet, "root", "admin", 1'254},
+      {proto::Protocol::kTelnet, "telnet", "telnet", 689},
+      {proto::Protocol::kTelnet, "root", "xc3511", 556},
+      {proto::Protocol::kTelnet, "admin", "admin123", 467},
+      {proto::Protocol::kTelnet, "root", "12345", 456},
+      {proto::Protocol::kTelnet, "user", "user", 321},
+      {proto::Protocol::kTelnet, "admin", "12345", 267},
+      {proto::Protocol::kTelnet, "admin", "polycom", 217},
+      {proto::Protocol::kTelnet, "admin", "", 198},
+      {proto::Protocol::kSsh, "admin", "admin", 11'543},
+      {proto::Protocol::kSsh, "root", "root", 3'432},
+      {proto::Protocol::kSsh, "root", "admin", 1'943},
+      {proto::Protocol::kSsh, "zyfwp", "PrOw!aN_fXp", 1'538},
+      {proto::Protocol::kSsh, "cisco", "cisco", 629},
+      {proto::Protocol::kSsh, "admin", "ssh1234", 254},
+  };
+  return kRows;
+}
+
+// Section 5.3: infected-device correlation.
+inline constexpr std::uint64_t kInfectedTotal = 11'118;
+inline constexpr std::uint64_t kInfectedHoneypotsOnly = 1'147;
+inline constexpr std::uint64_t kInfectedTelescopeOnly = 1'274;
+inline constexpr std::uint64_t kInfectedBoth = 8'697;
+inline constexpr std::uint64_t kCensysExtraIot = 1'671;
+inline constexpr std::uint64_t kMultistageAttacks = 267;  // Figure 9
+inline constexpr std::uint64_t kMiraiVariants = 113;      // Section 5.1.1
+inline constexpr std::uint64_t kTorRelayIps = 151;        // Section 5.1.6
+
+// Honeypot/telescope scanning-service totals.
+inline constexpr std::uint64_t kHoneypotScanServiceIps = 10'696;
+inline constexpr std::uint64_t kGreynoiseMissedIps = 2'023;  // Figure 5
+
+}  // namespace ofh::devices::paper

@@ -1,0 +1,293 @@
+#include "devices/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "devices/paper_stats.h"
+
+namespace ofh::devices {
+
+namespace {
+
+// Base /8s used for allocation; skips reserved/special-use ranges and 44/8,
+// which the study reserves as the network-telescope darknet.
+const std::vector<std::uint8_t>& usable_slash8() {
+  static const std::vector<std::uint8_t> kBases = [] {
+    std::vector<std::uint8_t> bases;
+    for (int base = 11; base < 224; ++base) {
+      if (base == 44 || base == 127 || base == 169 || base == 172 ||
+          base == 192 || base == 198 || base == 203) {
+        continue;
+      }
+      bases.push_back(static_cast<std::uint8_t>(base));
+    }
+    return bases;
+  }();
+  return kBases;
+}
+
+// Largest-remainder apportionment of total across weights; guarantees that
+// every strictly-positive weight receives at least one unit when total
+// allows, keeping rare categories (e.g. Kako honeypots) represented at
+// small scales.
+std::vector<std::uint64_t> apportion(std::uint64_t total,
+                                     const std::vector<double>& weights) {
+  const double weight_sum =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<std::uint64_t> counts(weights.size(), 0);
+  if (weight_sum <= 0 || total == 0) return counts;
+
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = total * weights[i] / weight_sum;
+    counts[i] = static_cast<std::uint64_t>(exact);
+    assigned += counts[i];
+    remainders.push_back({exact - static_cast<double>(counts[i]), i});
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; assigned < total && i < remainders.size(); ++i) {
+    ++counts[remainders[i].second];
+    ++assigned;
+  }
+  return counts;
+}
+
+}  // namespace
+
+Population::Population(PopulationSpec spec) : spec_(spec) {}
+Population::~Population() { detach_all(); }
+
+std::uint64_t Population::scaled(std::uint64_t paper_count) const {
+  if (paper_count == 0) return 0;
+  const auto scaled_count = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(paper_count) * spec_.scale));
+  return std::max<std::uint64_t>(scaled_count, 1);
+}
+
+void Population::allocate_prefixes(std::uint64_t device_total) {
+  // Enough /20s (4,096 addresses each) to hold device_total at the
+  // configured density, distributed over countries by the Table 10 shares.
+  // /20 granularity keeps the scan's sweep space proportional to the
+  // population instead of paying 64k addresses per prefix at small scales.
+  constexpr std::uint64_t kPrefixSize = 4'096;
+  const auto needed_prefixes = static_cast<std::size_t>(
+      device_total / (static_cast<double>(kPrefixSize) * spec_.density) + 1.5);
+
+  std::vector<double> country_weights;
+  for (const auto& row : paper::table10()) {
+    country_weights.push_back(static_cast<double>(row.devices));
+  }
+  const auto per_country = apportion(
+      std::max<std::uint64_t>(needed_prefixes, country_weights.size()),
+      country_weights);
+
+  const auto& bases = usable_slash8();
+  std::size_t base_index = 0;
+  std::uint32_t slot = 0;  // /20 slot within the /8: 4096 slots
+  for (std::size_t c = 0; c < per_country.size(); ++c) {
+    for (std::uint64_t i = 0; i < per_country[c]; ++i) {
+      const std::uint32_t base_value =
+          (std::uint32_t{bases[base_index]} << 24) | (slot << 12);
+      prefixes_.push_back(util::Cidr(util::Ipv4Addr(base_value), 20));
+      prefix_country_.emplace_back(paper::table10()[c].country);
+      slot += 293;  // prime stride decorrelates prefixes from countries
+      if (slot >= 4'096) {
+        slot %= 4'096;
+        base_index = (base_index + 1) % bases.size();
+      }
+    }
+  }
+}
+
+util::Ipv4Addr Population::next_address(util::Rng& rng) {
+  // Geometric gaps give the prefix the configured host density.
+  const double density = std::clamp(spec_.density, 0.01, 1.0);
+  std::uint64_t gap = 1;
+  while (rng.uniform() > density && gap < 32) ++gap;
+  cursor_offset_ += gap;
+  if (cursor_offset_ >= prefixes_[cursor_prefix_].size() - 1) {
+    cursor_offset_ = 1;
+    cursor_prefix_ = (cursor_prefix_ + 1) % prefixes_.size();
+  }
+  return util::Ipv4Addr(prefixes_[cursor_prefix_].base().value() +
+                        static_cast<std::uint32_t>(cursor_offset_));
+}
+
+void Population::build() {
+  util::Rng rng = util::Rng(spec_.seed).fork("population");
+
+  // Scaled per-protocol totals (Table 4, ZMap column).
+  struct ProtocolPlan {
+    proto::Protocol protocol;
+    std::uint64_t exposed;
+    std::vector<std::pair<Misconfig, std::uint64_t>> misconfigs;
+  };
+  std::vector<ProtocolPlan> plans;
+  std::uint64_t device_total = 0;
+  for (const auto& row : paper::table4()) {
+    ProtocolPlan plan;
+    plan.protocol = row.protocol;
+    plan.exposed = scaled(row.zmap);
+    device_total += plan.exposed;
+    plans.push_back(plan);
+  }
+
+  // Fold Table 5 misconfiguration counts into the plans.
+  const auto misconfig_of = [](const paper::MisconfigRow& row) {
+    using P = proto::Protocol;
+    if (row.protocol == P::kTelnet) {
+      return row.vulnerability == "No auth, root access"
+                 ? Misconfig::kTelnetNoAuthRoot
+                 : Misconfig::kTelnetNoAuth;
+    }
+    if (row.protocol == P::kMqtt) return Misconfig::kMqttNoAuth;
+    if (row.protocol == P::kAmqp) return Misconfig::kAmqpNoAuth;
+    if (row.protocol == P::kXmpp) {
+      return row.vulnerability == "Anonymous login" ? Misconfig::kXmppAnonymous
+                                                    : Misconfig::kXmppPlaintext;
+    }
+    if (row.protocol == P::kCoap) {
+      if (row.vulnerability == "No auth, admin access") {
+        return Misconfig::kCoapAdminAccess;
+      }
+      if (row.vulnerability == "No auth") return Misconfig::kCoapNoAuth;
+      return Misconfig::kCoapReflector;
+    }
+    return Misconfig::kUpnpReflector;
+  };
+  for (const auto& row : paper::table5()) {
+    for (auto& plan : plans) {
+      if (plan.protocol == row.protocol) {
+        plan.misconfigs.push_back({misconfig_of(row), scaled(row.devices)});
+      }
+    }
+  }
+
+  allocate_prefixes(device_total);
+
+  // Country assignment follows the prefix the address lands in, so the
+  // country distribution is inherited from the prefix allocation.
+  devices_.reserve(device_total);
+  for (const auto& plan : plans) {
+    // Per-device-type model pools for this protocol.
+    const auto shares = type_shares(plan.protocol);
+    std::vector<double> weights;
+    for (const auto& share : shares) weights.push_back(share.share);
+    const auto models = models_for(plan.protocol);
+
+    std::uint64_t misconfig_budget = 0;
+    for (const auto& [kind, count] : plan.misconfigs) misconfig_budget += count;
+
+    std::uint64_t misconfig_index = 0;    // which misconfig bucket
+    std::uint64_t misconfig_emitted = 0;  // within the bucket
+
+    for (std::uint64_t i = 0; i < plan.exposed; ++i) {
+      DeviceSpec spec;
+      spec.address = next_address(rng);
+      spec.primary = plan.protocol;
+
+      // The first `misconfig_budget` devices of each protocol receive the
+      // misconfigurations; addresses are already decorrelated from order.
+      if (i < misconfig_budget) {
+        while (misconfig_index < plan.misconfigs.size() &&
+               misconfig_emitted >= plan.misconfigs[misconfig_index].second) {
+          misconfig_emitted = 0;
+          ++misconfig_index;
+        }
+        if (misconfig_index < plan.misconfigs.size()) {
+          spec.misconfig = plan.misconfigs[misconfig_index].first;
+          ++misconfig_emitted;
+        }
+      } else {
+        spec.weak_credentials = rng.chance(spec_.weak_credential_share);
+      }
+
+      // Device type / model.
+      const std::size_t type_index = rng.weighted(weights);
+      spec.device_type = type_index < shares.size()
+                             ? std::string(shares[type_index].device_type)
+                             : "Unidentified";
+      if (spec.device_type != "Unidentified") {
+        std::vector<const DeviceModel*> pool;
+        for (const auto* model : models) {
+          if (model->device_type == spec.device_type) pool.push_back(model);
+        }
+        if (!pool.empty()) spec.model = pool[rng.below(pool.size())];
+      }
+
+      // Country from the covering prefix.
+      for (std::size_t p = 0; p < prefixes_.size(); ++p) {
+        if (prefixes_[p].contains(spec.address)) {
+          spec.country = prefix_country_[p];
+          spec.asn = static_cast<std::uint32_t>(64'000 + p);
+          break;
+        }
+      }
+
+      if (spec.misconfig != Misconfig::kNone) {
+        spec.infected = rng.chance(spec_.infected_share);
+      }
+
+      devices_.push_back(std::make_unique<Device>(std::move(spec)));
+    }
+  }
+}
+
+void Population::attach_all(net::Fabric& fabric) {
+  fabric_ = &fabric;
+  for (auto& device : devices_) device->attach(fabric);
+}
+
+void Population::detach_all() {
+  if (fabric_ == nullptr) return;
+  for (auto& device : devices_) {
+    if (device->attached()) device->detach();
+  }
+  fabric_ = nullptr;
+}
+
+util::Ipv4Addr Population::allocate_extra() {
+  util::Rng rng = util::Rng(spec_.seed).fork("extras");
+  // Walk forward from the cursor; skip occupied addresses.
+  for (;;) {
+    const util::Ipv4Addr addr = next_address(rng);
+    bool taken = false;
+    if (fabric_ != nullptr && fabric_->host_at(addr) != nullptr) taken = true;
+    for (const auto& device : devices_) {
+      if (device->address() == addr) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) return addr;
+  }
+}
+
+std::uint64_t Population::misconfigured_count() const {
+  std::uint64_t count = 0;
+  for (const auto& device : devices_) {
+    if (device->misconfigured()) ++count;
+  }
+  return count;
+}
+
+std::uint64_t Population::infected_count() const {
+  std::uint64_t count = 0;
+  for (const auto& device : devices_) {
+    if (device->spec().infected) ++count;
+  }
+  return count;
+}
+
+std::uint64_t Population::count_for(proto::Protocol protocol) const {
+  std::uint64_t count = 0;
+  for (const auto& device : devices_) {
+    if (device->spec().primary == protocol) ++count;
+  }
+  return count;
+}
+
+}  // namespace ofh::devices

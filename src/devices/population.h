@@ -1,0 +1,86 @@
+// Synthetic Internet population. Plants devices across country-weighted /16
+// prefixes so that, at the configured scale, the marginal distributions of
+// the paper hold: exposed hosts per protocol (Table 4, ZMap column),
+// misconfigurations (Table 5), countries (Table 10) and device types
+// (Figure 2 / Table 11). The scanner then *measures* these distributions
+// back — with known ground truth, recall is checkable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "devices/device.h"
+#include "net/fabric.h"
+#include "util/ipv4.h"
+#include "util/rng.h"
+
+namespace ofh::devices {
+
+struct PopulationSpec {
+  std::uint64_t seed = 42;
+  // Population scale: paper counts are multiplied by this. 1/512 yields
+  // ~28k devices — bench scale; tests use far smaller values.
+  double scale = 1.0 / 512;
+  // Hosts per address within an allocated prefix (the rest are dark).
+  double density = 0.25;
+  // Share of correctly-configured devices that still use weak/default
+  // credentials (the population Mirai brute-forcing harvests).
+  double weak_credential_share = 0.08;
+  // Share of *misconfigured* devices that are infected and attack. The
+  // paper observed 11,118 attacking out of 1,832,893 (~0.61%).
+  double infected_share = 11'118.0 / 1'832'893.0;
+};
+
+class Population {
+ public:
+  explicit Population(PopulationSpec spec);
+  ~Population();
+  Population(const Population&) = delete;
+  Population& operator=(const Population&) = delete;
+
+  // Generates all devices (deterministic in the spec seed).
+  void build();
+  void attach_all(net::Fabric& fabric);
+  void detach_all();
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+  const std::vector<util::Cidr>& prefixes() const { return prefixes_; }
+  // Country of each prefix, parallel to prefixes(): the ground truth the
+  // synthetic geolocation database (intel/geo.h) is built from.
+  const std::vector<std::string>& prefix_country() const {
+    return prefix_country_;
+  }
+  const PopulationSpec& spec() const { return spec_; }
+
+  // Scaled expectation of a paper count under this spec.
+  std::uint64_t scaled(std::uint64_t paper_count) const;
+
+  // Hands out a previously-unused address inside the populated prefixes
+  // (honeypot deployments, attacker hosts, scanning services, ...).
+  util::Ipv4Addr allocate_extra();
+
+  // Ground-truth tallies for validation.
+  std::uint64_t total_devices() const { return devices_.size(); }
+  std::uint64_t misconfigured_count() const;
+  std::uint64_t infected_count() const;
+  std::uint64_t count_for(proto::Protocol protocol) const;
+
+ private:
+  void allocate_prefixes(std::uint64_t device_total);
+  util::Ipv4Addr next_address(util::Rng& rng);
+
+  PopulationSpec spec_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<util::Cidr> prefixes_;
+  // Per-prefix country so extras inherit plausible geolocation.
+  std::vector<std::string> prefix_country_;
+  std::size_t cursor_prefix_ = 0;
+  std::uint64_t cursor_offset_ = 1;  // skip .0 of each prefix
+  net::Fabric* fabric_ = nullptr;
+};
+
+}  // namespace ofh::devices

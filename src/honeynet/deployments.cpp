@@ -1,0 +1,506 @@
+#include "honeynet/deployments.h"
+
+#include "proto/amqp.h"
+#include "proto/coap.h"
+#include "proto/ftp.h"
+#include "proto/http.h"
+#include "proto/modbus.h"
+#include "proto/mqtt.h"
+#include "proto/s7.h"
+#include "proto/smb.h"
+#include "proto/ssdp.h"
+#include "proto/ssh.h"
+#include "proto/telnet.h"
+#include "proto/xmpp.h"
+#include "util/sha256.h"
+#include "util/strings.h"
+
+namespace ofh::honeynet {
+
+namespace {
+
+using proto::Protocol;
+
+// Commands whose payload is a malware dropper one-liner.
+bool is_dropper_command(const std::string& command) {
+  return util::contains(command, "wget") || util::contains(command, "curl") ||
+         util::contains(command, "tftp") || util::contains(command, "ftpget");
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ HosTaGe
+
+std::vector<Protocol> HosTaGe::protocols() const {
+  return {Protocol::kTelnet, Protocol::kMqtt, Protocol::kAmqp,
+          Protocol::kCoap,   Protocol::kSsh,  Protocol::kHttp,
+          Protocol::kSmb};
+}
+
+void HosTaGe::on_attached() {
+  // Telnet: Arduino-flavoured open console (low interaction).
+  {
+    proto::telnet::TelnetServerConfig config;
+    config.auth = proto::AuthConfig::with("admin", "arduino");
+    config.greeting = util::to_bytes("Arduino Yun (HosTaGe profile)\r\n");
+    proto::telnet::TelnetEvents events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kTelnet, src, "connect");
+    };
+    events.on_login_attempt = [this](util::Ipv4Addr src,
+                                     const std::string& user,
+                                     const std::string& pass, bool ok) {
+      record(classify_login(src, user, pass), Protocol::kTelnet, src,
+             user + ":" + pass + (ok ? " OK" : " FAIL"));
+    };
+    events.on_command = [this](util::Ipv4Addr src, const std::string& cmd) {
+      record(is_dropper_command(cmd) ? AttackType::kMalwareDrop
+                                     : AttackType::kScan,
+             Protocol::kTelnet, src, cmd);
+    };
+    services_.push_back(std::make_unique<proto::telnet::TelnetServer>(
+        std::move(config), std::move(events)));
+  }
+  // MQTT: open broker with Arduino sensor topics.
+  {
+    proto::mqtt::BrokerConfig config;
+    config.auth = proto::AuthConfig::open();
+    config.retained = {{"arduino/sensors/smoke", "0"},
+                       {"arduino/sensors/temperature", "21.7"}};
+    proto::mqtt::BrokerEvents events;
+    events.on_connect = [this](util::Ipv4Addr src, proto::mqtt::ConnectCode) {
+      record(AttackType::kScan, Protocol::kMqtt, src, "connect");
+    };
+    events.on_topic_access = [this](util::Ipv4Addr src,
+                                    const std::string& topic, bool write) {
+      record(write ? AttackType::kPoisoning : AttackType::kScan,
+             Protocol::kMqtt, src, topic);
+    };
+    services_.push_back(
+        std::make_unique<proto::mqtt::Broker>(std::move(config),
+                                              std::move(events)));
+  }
+  // AMQP: open broker.
+  {
+    proto::amqp::AmqpBrokerConfig config;
+    config.auth = proto::AuthConfig::open();
+    config.queues = {{"sensor-readings", {"21.7", "21.9"}}};
+    proto::amqp::AmqpEvents events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kAmqp, src, "connect");
+    };
+    events.on_auth = [this](util::Ipv4Addr src, const std::string& mechanism,
+                            bool ok) {
+      record(AttackType::kScan, Protocol::kAmqp, src,
+             mechanism + (ok ? " OK" : " FAIL"));
+    };
+    events.on_queue_access = [this](util::Ipv4Addr src,
+                                    const std::string& queue, bool publish) {
+      record(publish ? AttackType::kPoisoning : AttackType::kScan,
+             Protocol::kAmqp, src, queue);
+    };
+    services_.push_back(std::make_unique<proto::amqp::AmqpBroker>(
+        std::move(config), std::move(events)));
+  }
+  // CoAP: smoke-sensor profile, open.
+  {
+    proto::coap::CoapServerConfig config;
+    config.open_access = true;
+    config.resources = {
+        {"sensors/smoke", "ucum:ppm", "0", true},
+        {"sensors/temperature", "ucum:Cel", "21.7", true},
+    };
+    proto::coap::CoapEvents events;
+    events.on_request = [this](util::Ipv4Addr src, const std::string& path,
+                               proto::coap::Code code) {
+      AttackType type = AttackType::kScan;
+      if (path == "/.well-known/core") {
+        type = AttackType::kDiscovery;
+      } else if (code == proto::coap::Code::kChanged ||
+                 code == proto::coap::Code::kDeleted) {
+        type = AttackType::kPoisoning;
+      }
+      record(type, Protocol::kCoap, src, path);
+    };
+    services_.push_back(std::make_unique<proto::coap::CoapServer>(
+        std::move(config), std::move(events)));
+  }
+  // SSH.
+  {
+    proto::ssh::SshServerConfig config;
+    config.banner = "SSH-2.0-dropbear_2019.78";
+    config.auth = proto::AuthConfig::with("root", "arduino");
+    proto::ssh::SshEvents events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kSsh, src, "connect");
+    };
+    events.on_auth = [this](util::Ipv4Addr src, const std::string& user,
+                            const std::string& pass, bool ok) {
+      record(classify_login(src, user, pass), Protocol::kSsh, src,
+             user + ":" + pass + (ok ? " OK" : " FAIL"));
+    };
+    events.on_command = [this](util::Ipv4Addr src, const std::string& cmd) {
+      record(is_dropper_command(cmd) ? AttackType::kMalwareDrop
+                                     : AttackType::kScan,
+             Protocol::kSsh, src, cmd);
+    };
+    services_.push_back(std::make_unique<proto::ssh::SshServer>(
+        std::move(config), std::move(events)));
+  }
+  // HTTP device frontend.
+  {
+    proto::http::HttpServerConfig config;
+    config.server_header = "Arduino WebServer";
+    config.routes = {{"/", "<html><title>Arduino IoT Node</title></html>"}};
+    config.has_login_form = true;
+    config.auth = proto::AuthConfig::with("admin", "arduino");
+    proto::http::HttpEvents events;
+    events.on_request = [this](util::Ipv4Addr src,
+                               const proto::http::Request& request) {
+      record(request.path == "/" ? AttackType::kScan : AttackType::kWebScrape,
+             Protocol::kHttp, src, request.method + " " + request.path);
+    };
+    events.on_login_attempt = [this](util::Ipv4Addr src,
+                                     const std::string& user,
+                                     const std::string& pass, bool ok) {
+      record(classify_login(src, user, pass), Protocol::kHttp, src,
+             user + ":" + pass + (ok ? " OK" : " FAIL"));
+    };
+    services_.push_back(std::make_unique<proto::http::HttpServer>(
+        std::move(config), std::move(events)));
+  }
+  // SMB.
+  {
+    proto::smb::SmbServerConfig config;
+    config.vulnerable_to_eternalblue = true;  // bait
+    config.auth = proto::AuthConfig::with("admin", "arduino");
+    proto::smb::SmbEvents events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kSmb, src, "negotiate");
+    };
+    events.on_session_setup = [this](util::Ipv4Addr src,
+                                     const std::string& user, bool ok) {
+      record(classify_login(src, user, ""), Protocol::kSmb, src,
+             user + (ok ? " OK" : " FAIL"));
+    };
+    events.on_exploit_attempt = [this](util::Ipv4Addr src,
+                                       const util::Bytes& payload) {
+      record(AttackType::kExploit, Protocol::kSmb, src,
+             "trans2 " + util::Sha256::hex_digest(util::to_string(payload))
+                             .substr(0, 16));
+    };
+    services_.push_back(std::make_unique<proto::smb::SmbServer>(
+        std::move(config), std::move(events)));
+  }
+  for (auto& service : services_) service->install(*this);
+}
+
+// -------------------------------------------------------------------- U-Pot
+
+std::vector<Protocol> UPot::protocols() const { return {Protocol::kUpnp}; }
+
+void UPot::on_attached() {
+  proto::ssdp::UpnpDeviceConfig config;
+  config.friendly_name = "WeMo Switch";
+  config.model_name = "Belkin Wemo smart switch";
+  config.manufacturer = "Belkin International Inc.";
+  config.server = "Unspecified, UPnP/1.0, Unspecified";
+  config.respond_to_any = true;
+  proto::ssdp::UpnpEvents events;
+  events.on_search = [this](util::Ipv4Addr src, const std::string& st) {
+    record(AttackType::kDiscovery, Protocol::kUpnp, src, st);
+  };
+  services_.push_back(std::make_unique<proto::ssdp::UpnpDevice>(
+      std::move(config), std::move(events)));
+  for (auto& service : services_) service->install(*this);
+}
+
+// ------------------------------------------------------------------- Conpot
+
+std::vector<Protocol> Conpot::protocols() const {
+  return {Protocol::kSsh, Protocol::kTelnet, Protocol::kS7, Protocol::kHttp,
+          Protocol::kModbus};
+}
+
+void Conpot::on_attached() {
+  // Telnet with Conpot's static banner (the same signature Table 6 lists —
+  // our own deployment is fingerprintable too, as in the paper).
+  {
+    proto::telnet::TelnetServerConfig config;
+    config.greeting = util::to_bytes("Connected to [00:13:EA:00:00:00]\r\n");
+    config.auth = proto::AuthConfig::with("admin", "siemens");
+    proto::telnet::TelnetEvents events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kTelnet, src, "connect");
+    };
+    events.on_login_attempt = [this](util::Ipv4Addr src,
+                                     const std::string& user,
+                                     const std::string& pass, bool ok) {
+      record(classify_login(src, user, pass), Protocol::kTelnet, src,
+             user + ":" + pass + (ok ? " OK" : " FAIL"));
+    };
+    services_.push_back(std::make_unique<proto::telnet::TelnetServer>(
+        std::move(config), std::move(events)));
+  }
+  // SSH.
+  {
+    proto::ssh::SshServerConfig config;
+    config.banner = "SSH-2.0-OpenSSH_6.7p1 Debian-5+deb8u3";
+    config.auth = proto::AuthConfig::with("admin", "siemens");
+    proto::ssh::SshEvents events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kSsh, src, "connect");
+    };
+    events.on_auth = [this](util::Ipv4Addr src, const std::string& user,
+                            const std::string& pass, bool ok) {
+      record(classify_login(src, user, pass), Protocol::kSsh, src,
+             user + ":" + pass + (ok ? " OK" : " FAIL"));
+    };
+    services_.push_back(std::make_unique<proto::ssh::SshServer>(
+        std::move(config), std::move(events)));
+  }
+  // S7 PLC with DoS-able job slots.
+  {
+    proto::s7::S7ServerConfig config;
+    proto::s7::S7Events events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kS7, src, "cotp connect");
+    };
+    events.on_pdu = [this](util::Ipv4Addr src, proto::s7::PduType type) {
+      record(AttackType::kScan, Protocol::kS7, src,
+             type == proto::s7::PduType::kJob ? "job" : "userdata");
+    };
+    events.on_dos_triggered = [this](util::Ipv4Addr src) {
+      record(AttackType::kDos, Protocol::kS7, src, "ICSA-16-299-01 flood");
+    };
+    services_.push_back(std::make_unique<proto::s7::S7Server>(
+        std::move(config), std::move(events)));
+  }
+  // Modbus register map.
+  {
+    proto::modbus::ModbusServerConfig config;
+    proto::modbus::ModbusEvents events;
+    events.on_request = [this](util::Ipv4Addr src, std::uint8_t function,
+                               bool valid) {
+      record(AttackType::kScan, Protocol::kModbus, src,
+             "fc=" + std::to_string(function) + (valid ? "" : " invalid"));
+    };
+    events.on_register_write = [this](util::Ipv4Addr src,
+                                      std::uint16_t address,
+                                      std::uint16_t value) {
+      record(AttackType::kPoisoning, Protocol::kModbus, src,
+             "reg[" + std::to_string(address) + "]=" + std::to_string(value));
+    };
+    services_.push_back(std::make_unique<proto::modbus::ModbusServer>(
+        std::move(config), std::move(events)));
+  }
+  // HTTP maintenance page.
+  {
+    proto::http::HttpServerConfig config;
+    config.server_header = "Siemens, SIMATIC, S7-200";
+    config.routes = {{"/", "<html><title>S7-200 Maintenance</title></html>"}};
+    proto::http::HttpEvents events;
+    events.on_request = [this](util::Ipv4Addr src,
+                               const proto::http::Request& request) {
+      record(request.path == "/" ? AttackType::kScan : AttackType::kWebScrape,
+             Protocol::kHttp, src, request.method + " " + request.path);
+    };
+    services_.push_back(std::make_unique<proto::http::HttpServer>(
+        std::move(config), std::move(events)));
+  }
+  for (auto& service : services_) service->install(*this);
+}
+
+// ----------------------------------------------------------------- ThingPot
+
+std::vector<Protocol> ThingPot::protocols() const {
+  return {Protocol::kXmpp};
+}
+
+void ThingPot::on_attached() {
+  proto::xmpp::XmppServerConfig config;
+  config.domain = "philips-hue.local";
+  config.auth = proto::AuthConfig::with("hue", "bridge2015");
+  config.auth.allow_anonymous = true;  // bait: anonymous logins accepted
+  proto::xmpp::XmppEvents events;
+  events.on_stream_open = [this](util::Ipv4Addr src) {
+    record(AttackType::kScan, Protocol::kXmpp, src, "stream open");
+  };
+  events.on_auth = [this](util::Ipv4Addr src, const std::string& mechanism,
+                          bool ok) {
+    const AttackType type = mechanism == "ANONYMOUS"
+                                ? AttackType::kScan
+                                : classify_login(src, mechanism, "");
+    record(type, Protocol::kXmpp, src, mechanism + (ok ? " OK" : " FAIL"));
+  };
+  events.on_message = [this](util::Ipv4Addr src, const std::string& to,
+                             const std::string& body) {
+    // Writes to the light state are poisoning attempts (§5.1.2: malware
+    // examining its write privileges on the Hue lights).
+    record(util::contains(to, "light") ? AttackType::kPoisoning
+                                       : AttackType::kScan,
+           Protocol::kXmpp, src, to + ": " + body);
+  };
+  services_.push_back(std::make_unique<proto::xmpp::XmppServer>(
+      std::move(config), std::move(events)));
+  for (auto& service : services_) service->install(*this);
+}
+
+// ------------------------------------------------------------------- Cowrie
+
+std::vector<Protocol> Cowrie::protocols() const {
+  return {Protocol::kSsh, Protocol::kTelnet};
+}
+
+void Cowrie::on_attached() {
+  // Telnet with Cowrie's fingerprintable IAC greeting.
+  {
+    proto::telnet::TelnetServerConfig config;
+    config.greeting = {0xff, 0xfd, 0x1f};  // IAC DO NAWS — the signature
+    config.auth = proto::AuthConfig::with("root", "cowrie-secret");
+    config.login_prompt = "login: ";
+    proto::telnet::TelnetEvents events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kTelnet, src, "connect");
+    };
+    events.on_login_attempt = [this](util::Ipv4Addr src,
+                                     const std::string& user,
+                                     const std::string& pass, bool ok) {
+      record(classify_login(src, user, pass), Protocol::kTelnet, src,
+             user + ":" + pass + (ok ? " OK" : " FAIL"));
+    };
+    events.on_command = [this](util::Ipv4Addr src, const std::string& cmd) {
+      record(is_dropper_command(cmd) ? AttackType::kMalwareDrop
+                                     : AttackType::kScan,
+             Protocol::kTelnet, src, cmd);
+    };
+    services_.push_back(std::make_unique<proto::telnet::TelnetServer>(
+        std::move(config), std::move(events)));
+  }
+  // SSH with an IoT-flavoured banner.
+  {
+    proto::ssh::SshServerConfig config;
+    config.banner = "SSH-2.0-dropbear_2014.63";  // IoT device banner
+    config.auth = proto::AuthConfig::with("root", "cowrie-secret");
+    proto::ssh::SshEvents events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kSsh, src, "connect");
+    };
+    events.on_auth = [this](util::Ipv4Addr src, const std::string& user,
+                            const std::string& pass, bool ok) {
+      record(classify_login(src, user, pass), Protocol::kSsh, src,
+             user + ":" + pass + (ok ? " OK" : " FAIL"));
+    };
+    events.on_command = [this](util::Ipv4Addr src, const std::string& cmd) {
+      record(is_dropper_command(cmd) ? AttackType::kMalwareDrop
+                                     : AttackType::kScan,
+             Protocol::kSsh, src, cmd);
+    };
+    services_.push_back(std::make_unique<proto::ssh::SshServer>(
+        std::move(config), std::move(events)));
+  }
+  for (auto& service : services_) service->install(*this);
+}
+
+// ------------------------------------------------------------------ Dionaea
+
+std::vector<Protocol> Dionaea::protocols() const {
+  return {Protocol::kHttp, Protocol::kMqtt, Protocol::kFtp, Protocol::kSmb};
+}
+
+void Dionaea::on_attached() {
+  // HTTP frontend of an Arduino IoT device.
+  {
+    proto::http::HttpServerConfig config;
+    config.server_header = "nginx/1.14.0";
+    config.routes = {{"/", "<html><title>IoT Gateway</title></html>"},
+                     {"/status", "{\"device\":\"arduino\",\"ok\":true}"}};
+    proto::http::HttpEvents events;
+    events.on_request = [this](util::Ipv4Addr src,
+                               const proto::http::Request& request) {
+      record(request.path == "/" ? AttackType::kScan : AttackType::kWebScrape,
+             Protocol::kHttp, src, request.method + " " + request.path);
+    };
+    services_.push_back(std::make_unique<proto::http::HttpServer>(
+        std::move(config), std::move(events)));
+  }
+  // MQTT.
+  {
+    proto::mqtt::BrokerConfig config;
+    config.auth = proto::AuthConfig::open();
+    config.retained = {{"gateway/firmware", "1.0.3"}};
+    proto::mqtt::BrokerEvents events;
+    events.on_connect = [this](util::Ipv4Addr src, proto::mqtt::ConnectCode) {
+      record(AttackType::kScan, Protocol::kMqtt, src, "connect");
+    };
+    events.on_topic_access = [this](util::Ipv4Addr src,
+                                    const std::string& topic, bool write) {
+      record(write ? AttackType::kPoisoning : AttackType::kScan,
+             Protocol::kMqtt, src, topic);
+    };
+    services_.push_back(std::make_unique<proto::mqtt::Broker>(
+        std::move(config), std::move(events)));
+  }
+  // FTP accepting anonymous (the drop box).
+  {
+    proto::ftp::FtpServerConfig config;
+    config.auth = proto::AuthConfig::anonymous();
+    proto::ftp::FtpEvents events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kFtp, src, "connect");
+    };
+    events.on_login = [this](util::Ipv4Addr src, const std::string& user,
+                             const std::string& pass, bool ok) {
+      record(classify_login(src, user, pass), Protocol::kFtp, src,
+             user + ":" + pass + (ok ? " OK" : " FAIL"));
+    };
+    events.on_store = [this](util::Ipv4Addr src, const std::string& filename,
+                             const std::string& content) {
+      record(AttackType::kMalwareDrop, Protocol::kFtp, src,
+             filename + " sha256=" + util::Sha256::hex_digest(content));
+    };
+    services_.push_back(std::make_unique<proto::ftp::FtpServer>(
+        std::move(config), std::move(events)));
+  }
+  // SMB (EternalBlue bait).
+  {
+    proto::smb::SmbServerConfig config;
+    config.vulnerable_to_eternalblue = true;
+    config.auth = proto::AuthConfig::with("admin", "gateway");
+    proto::smb::SmbEvents events;
+    events.on_connect = [this](util::Ipv4Addr src) {
+      record(AttackType::kScan, Protocol::kSmb, src, "negotiate");
+    };
+    events.on_session_setup = [this](util::Ipv4Addr src,
+                                     const std::string& user, bool ok) {
+      record(classify_login(src, user, ""), Protocol::kSmb, src,
+             user + (ok ? " OK" : " FAIL"));
+    };
+    events.on_exploit_attempt = [this](util::Ipv4Addr src,
+                                       const util::Bytes& payload) {
+      record(AttackType::kExploit, Protocol::kSmb, src,
+             "trans2 " + util::Sha256::hex_digest(util::to_string(payload))
+                             .substr(0, 16));
+    };
+    services_.push_back(std::make_unique<proto::smb::SmbServer>(
+        std::move(config), std::move(events)));
+  }
+  for (auto& service : services_) service->install(*this);
+}
+
+Deployment make_deployment(std::vector<util::Ipv4Addr> addresses,
+                           EventLog& log) {
+  Deployment deployment;
+  if (addresses.size() < 6) return deployment;
+  deployment.honeypots.push_back(std::make_unique<HosTaGe>(addresses[0], log));
+  deployment.honeypots.push_back(std::make_unique<UPot>(addresses[1], log));
+  deployment.honeypots.push_back(std::make_unique<Conpot>(addresses[2], log));
+  deployment.honeypots.push_back(
+      std::make_unique<ThingPot>(addresses[3], log));
+  deployment.honeypots.push_back(std::make_unique<Cowrie>(addresses[4], log));
+  deployment.honeypots.push_back(
+      std::make_unique<Dionaea>(addresses[5], log));
+  return deployment;
+}
+
+}  // namespace ofh::honeynet

@@ -1,0 +1,100 @@
+// The six state-of-the-art honeypots the paper deployed for one month
+// (Section 3.3, Table 7), each with its simulated device profile:
+//   HosTaGe  — Arduino board with IoT protocols (Telnet, MQTT, AMQP, CoAP,
+//              SSH, HTTP, SMB)
+//   U-Pot    — Belkin Wemo smart switch (UPnP)
+//   Conpot   — Siemens S7 PLC (SSH, Telnet, S7, HTTP, Modbus)
+//   ThingPot — Philips Hue Bridge (XMPP)
+//   Cowrie   — SSH server with IoT banner (SSH, Telnet)
+//   Dionaea  — Arduino IoT device with frontend (HTTP, MQTT, FTP, SMB)
+#pragma once
+
+#include <memory>
+
+#include "honeynet/honeypot.h"
+
+namespace ofh::honeynet {
+
+class HosTaGe : public Honeypot {
+ public:
+  HosTaGe(util::Ipv4Addr addr, EventLog& log)
+      : Honeypot("HosTaGe", addr, log) {}
+  std::vector<proto::Protocol> protocols() const override;
+
+ protected:
+  void on_attached() override;
+
+ private:
+  std::vector<std::unique_ptr<proto::Service>> services_;
+};
+
+class UPot : public Honeypot {
+ public:
+  UPot(util::Ipv4Addr addr, EventLog& log) : Honeypot("U-Pot", addr, log) {}
+  std::vector<proto::Protocol> protocols() const override;
+
+ protected:
+  void on_attached() override;
+
+ private:
+  std::vector<std::unique_ptr<proto::Service>> services_;
+};
+
+class Conpot : public Honeypot {
+ public:
+  Conpot(util::Ipv4Addr addr, EventLog& log) : Honeypot("Conpot", addr, log) {}
+  std::vector<proto::Protocol> protocols() const override;
+
+ protected:
+  void on_attached() override;
+
+ private:
+  std::vector<std::unique_ptr<proto::Service>> services_;
+};
+
+class ThingPot : public Honeypot {
+ public:
+  ThingPot(util::Ipv4Addr addr, EventLog& log)
+      : Honeypot("ThingPot", addr, log) {}
+  std::vector<proto::Protocol> protocols() const override;
+
+ protected:
+  void on_attached() override;
+
+ private:
+  std::vector<std::unique_ptr<proto::Service>> services_;
+};
+
+class Cowrie : public Honeypot {
+ public:
+  Cowrie(util::Ipv4Addr addr, EventLog& log) : Honeypot("Cowrie", addr, log) {}
+  std::vector<proto::Protocol> protocols() const override;
+
+ protected:
+  void on_attached() override;
+
+ private:
+  std::vector<std::unique_ptr<proto::Service>> services_;
+};
+
+class Dionaea : public Honeypot {
+ public:
+  Dionaea(util::Ipv4Addr addr, EventLog& log)
+      : Honeypot("Dionaea", addr, log) {}
+  std::vector<proto::Protocol> protocols() const override;
+
+ protected:
+  void on_attached() override;
+
+ private:
+  std::vector<std::unique_ptr<proto::Service>> services_;
+};
+
+// Builds all six (Figure 1's deployment groups), one public IP each.
+struct Deployment {
+  std::vector<std::unique_ptr<Honeypot>> honeypots;
+};
+Deployment make_deployment(std::vector<util::Ipv4Addr> addresses,
+                           EventLog& log);
+
+}  // namespace ofh::honeynet

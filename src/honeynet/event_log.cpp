@@ -1,0 +1,72 @@
+#include "honeynet/event_log.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ofh::honeynet {
+
+std::string_view attack_type_name(AttackType type) {
+  switch (type) {
+    case AttackType::kScan: return "Scan";
+    case AttackType::kDiscovery: return "Discovery";
+    case AttackType::kBruteForce: return "Brute force";
+    case AttackType::kDictionary: return "Dictionary";
+    case AttackType::kMalwareDrop: return "Malware";
+    case AttackType::kPoisoning: return "Poisoning";
+    case AttackType::kDos: return "DoS";
+    case AttackType::kExploit: return "Exploit";
+    case AttackType::kWebScrape: return "Web scraping";
+    case AttackType::kMultistageStep: return "Multistage";
+  }
+  return "?";
+}
+
+util::Counter EventLog::count_by_honeypot() const {
+  util::Counter counter;
+  for (const auto& event : events_) counter.add(event.honeypot);
+  return counter;
+}
+
+util::Counter EventLog::count_by_protocol() const {
+  util::Counter counter;
+  for (const auto& event : events_) {
+    counter.add(std::string(proto::protocol_name(event.protocol)));
+  }
+  return counter;
+}
+
+util::Counter EventLog::count_by_type() const {
+  util::Counter counter;
+  for (const auto& event : events_) {
+    counter.add(std::string(attack_type_name(event.type)));
+  }
+  return counter;
+}
+
+util::Counter EventLog::count_by_day() const {
+  util::Counter counter;
+  for (const auto& event : events_) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "day%02llu",
+                  static_cast<unsigned long long>(sim::to_days(event.when)));
+    counter.add(key);
+  }
+  return counter;
+}
+
+std::vector<util::Ipv4Addr> EventLog::unique_sources() const {
+  std::set<util::Ipv4Addr> sources;
+  for (const auto& event : events_) sources.insert(event.source);
+  return {sources.begin(), sources.end()};
+}
+
+std::vector<util::Ipv4Addr> EventLog::unique_sources_for(
+    const std::string& honeypot) const {
+  std::set<util::Ipv4Addr> sources;
+  for (const auto& event : events_) {
+    if (event.honeypot == honeypot) sources.insert(event.source);
+  }
+  return {sources.begin(), sources.end()};
+}
+
+}  // namespace ofh::honeynet

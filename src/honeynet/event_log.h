@@ -1,0 +1,62 @@
+// Attack-event log shared by the deployed honeypots. Every interaction with
+// a honeypot is an event (honeypots have no production traffic); events are
+// typed so the analysis layer can reproduce the paper's attack-type splits
+// (Figures 4 and 7), daily series (Figure 8) and multistage chains (Fig 9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/service.h"
+#include "sim/time.h"
+#include "util/ipv4.h"
+#include "util/stats.h"
+
+namespace ofh::honeynet {
+
+enum class AttackType : std::uint8_t {
+  kScan,            // probe / connection with no deeper interaction
+  kDiscovery,       // CoAP /.well-known/core, SSDP M-SEARCH
+  kBruteForce,      // repeated credential attempts
+  kDictionary,      // credential attempts from known dictionaries
+  kMalwareDrop,     // payload delivery (dropper command, FTP STOR, ...)
+  kPoisoning,       // data modification (MQTT retained, registers, ...)
+  kDos,             // flooding
+  kExploit,         // Eternal*-style exploit attempt
+  kWebScrape,       // bulk HTTP content fetching
+  kMultistageStep,  // annotated later by the multistage detector
+};
+
+std::string_view attack_type_name(AttackType type);
+
+struct AttackEvent {
+  sim::Time when = 0;
+  util::Ipv4Addr source;
+  std::string honeypot;
+  proto::Protocol protocol = proto::Protocol::kTelnet;
+  AttackType type = AttackType::kScan;
+  std::string detail;  // credentials, command, topic, malware hash, ...
+};
+
+class EventLog {
+ public:
+  void record(AttackEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<AttackEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  // Aggregations used by the report layer.
+  util::Counter count_by_honeypot() const;
+  util::Counter count_by_protocol() const;
+  util::Counter count_by_type() const;
+  util::Counter count_by_day() const;
+  std::vector<util::Ipv4Addr> unique_sources() const;
+  std::vector<util::Ipv4Addr> unique_sources_for(
+      const std::string& honeypot) const;
+
+ private:
+  std::vector<AttackEvent> events_;
+};
+
+}  // namespace ofh::honeynet

@@ -1,0 +1,30 @@
+#include "honeynet/honeypot.h"
+
+#include "devices/paper_stats.h"
+
+namespace ofh::honeynet {
+
+AttackType Honeypot::classify_login(util::Ipv4Addr src,
+                                    const std::string& user,
+                                    const std::string& pass) {
+  const int attempts = ++login_attempts_[src.value()];
+  for (const auto& row : devices::paper::table12()) {
+    if (row.user == user && row.pass == pass) return AttackType::kDictionary;
+  }
+  return attempts >= 3 ? AttackType::kBruteForce : AttackType::kScan;
+}
+
+void WildHoneypot::on_attached() {
+  // Low-interaction: send the static banner, echo nothing meaningful. The
+  // banner is the fingerprintable artefact.
+  const std::string banner = signature_.banner;
+  tcp().listen(signature_.port, [banner](net::TcpConnection& conn) {
+    conn.send_text(banner);
+    conn.on_data = [](net::TcpConnection& conn,
+                      std::span<const std::uint8_t>) {
+      conn.send_text("\r\n");
+    };
+  });
+}
+
+}  // namespace ofh::honeynet

@@ -1,0 +1,76 @@
+// Honeypot base class and the "wild" honeypot: a minimal Telnet/SSH
+// responder emitting a known static banner. Wild instances are planted into
+// the population so the scan's misconfiguration results are poisoned until
+// the fingerprint filter removes them — the measurement of paper Table 6.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "honeynet/event_log.h"
+#include "honeynet/signatures.h"
+#include "net/host.h"
+#include "proto/service.h"
+
+namespace ofh::honeynet {
+
+class Honeypot : public net::Host {
+ public:
+  Honeypot(std::string name, util::Ipv4Addr addr, EventLog& log)
+      : net::Host(addr), name_(std::move(name)), log_(&log) {}
+
+  const std::string& name() const { return name_; }
+  virtual std::vector<proto::Protocol> protocols() const = 0;
+
+ protected:
+  void record(AttackType type, proto::Protocol protocol, util::Ipv4Addr src,
+              std::string detail = {}) {
+    const sim::Time now = attached() ? sim().now() : 0;
+    // Flood detection: a source pushing tens of probe-level interactions
+    // within a minute is a flooder; its events are DoS traffic, the way
+    // the paper's honeypots classify the CoAP/SSDP/HTTP floods.
+    if (type == AttackType::kScan || type == AttackType::kDiscovery ||
+        type == AttackType::kPoisoning || type == AttackType::kWebScrape) {
+      const std::uint64_t minute = now / sim::minutes(1);
+      auto& window = rate_window_[src.value()];
+      if (window.first != minute) window = {minute, 0};
+      if (++window.second > kFloodThreshold) type = AttackType::kDos;
+    }
+    log_->record(
+        AttackEvent{now, src, name_, protocol, type, std::move(detail)});
+  }
+
+  // Tracks per-source attempt counts to distinguish brute force (repeated
+  // attempts) from single failed logins, and dictionary attacks (credential
+  // pairs from the Table 12 list) from ad-hoc guesses.
+  AttackType classify_login(util::Ipv4Addr src, const std::string& user,
+                            const std::string& pass);
+
+ private:
+  static constexpr int kFloodThreshold = 15;  // probe events/source/minute
+
+  std::string name_;
+  EventLog* log_;
+  std::map<std::uint32_t, int> login_attempts_;
+  std::map<std::uint32_t, std::pair<std::uint64_t, int>> rate_window_;
+};
+
+// A honeypot operated by a third party somewhere on the Internet: it only
+// presents its protocol banner and swallows input. Instances are planted by
+// core::Study; the fingerprinter must find them from banners alone.
+class WildHoneypot : public net::Host {
+ public:
+  WildHoneypot(const HoneypotSignature& signature, util::Ipv4Addr addr)
+      : net::Host(addr), signature_(signature) {}
+
+  const HoneypotSignature& signature() const { return signature_; }
+
+ protected:
+  void on_attached() override;
+
+ private:
+  HoneypotSignature signature_;
+};
+
+}  // namespace ofh::honeynet

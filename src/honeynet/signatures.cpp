@@ -1,0 +1,27 @@
+#include "honeynet/signatures.h"
+
+namespace ofh::honeynet {
+
+const std::vector<HoneypotSignature>& honeypot_signatures() {
+  using namespace std::string_literals;
+  static const std::vector<HoneypotSignature> kSignatures = {
+      {"HoneyPy", 23, "Debian GNU/Linux 7\r\nLogin: "s, 27},
+      {"Cowrie", 23, "\xff\xfd\x1flogin: "s, 3'228},
+      {"MTPot", 23,
+       "\xff\xfb\x01\xff\xfb\x03\xff\xfd\x18\r\nlogin: "s, 194},
+      {"TelnetIoT", 23,
+       "\xff\xfd\x01Login: Password: \r\nWelcome to EmbyLinux "
+       "3.13.0-24-generic\r\n #"s,
+       211},
+      {"Conpot", 23, "Connected to [00:13:EA:00:00:00]\r\n"s, 216},
+      // The paper detects Kippo through its Telnet-port banner table; wild
+      // Kippo deployments bound to the Telnet port serve this SSH banner.
+      {"Kippo", 23, "SSH-2.0-OpenSSH_5.1p1 Debian-5\r\n"s, 47},
+      {"Kako", 23, "BusyBox v1.19.3 (2013-11-01 10:10:26 CST)\r\n$ "s, 16},
+      {"Hontel", 23, "BusyBox v1.18.4 (2012-04-17 18:58:31 CST)\r\n# "s, 12},
+      {"Anglerfish", 23, "[root@LocalHost tmp]$ "s, 4'241},
+  };
+  return kSignatures;
+}
+
+}  // namespace ofh::honeynet

@@ -1,0 +1,22 @@
+// Static banner signatures of known Telnet/SSH honeypots (paper Table 6).
+// Wild honeypot instances emit these banners; the fingerprinter (classify
+// module) matches scan responses against the same table — as in the paper,
+// where signatures were harvested by deploying each honeypot in the lab.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ofh::honeynet {
+
+struct HoneypotSignature {
+  std::string_view name;
+  std::uint16_t port;        // 23 for Telnet honeypots, 22 for Kippo (SSH)
+  std::string banner;        // exact static greeting bytes
+  std::uint64_t paper_count; // Table 6 detected instances
+};
+
+const std::vector<HoneypotSignature>& honeypot_signatures();
+
+}  // namespace ofh::honeynet

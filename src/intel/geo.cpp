@@ -1,0 +1,24 @@
+#include "intel/geo.h"
+
+namespace ofh::intel {
+
+GeoDb::GeoDb(const devices::Population& population) {
+  const auto& prefixes = population.prefixes();
+  const auto& countries = population.prefix_country();
+  for (std::size_t i = 0; i < prefixes.size() && i < countries.size(); ++i) {
+    add(prefixes[i], countries[i]);
+  }
+}
+
+void GeoDb::add(util::Cidr prefix, std::string country) {
+  entries_.push_back({prefix, std::move(country)});
+}
+
+std::string GeoDb::country(util::Ipv4Addr addr) const {
+  for (const auto& entry : entries_) {
+    if (entry.prefix.contains(addr)) return entry.country;
+  }
+  return "Other";
+}
+
+}  // namespace ofh::intel

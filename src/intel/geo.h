@@ -1,0 +1,35 @@
+// Synthetic geolocation database (the paper uses ipgeolocation.io). Maps
+// prefixes to countries; seeded from the population's allocation, so lookups
+// reflect the same ground truth the devices were planted with.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "devices/population.h"
+#include "util/ipv4.h"
+
+namespace ofh::intel {
+
+class GeoDb {
+ public:
+  GeoDb() = default;
+  // Builds the prefix->country table from a population.
+  explicit GeoDb(const devices::Population& population);
+
+  void add(util::Cidr prefix, std::string country);
+
+  // Country name, or "Other" when no prefix covers the address.
+  std::string country(util::Ipv4Addr addr) const;
+
+  std::size_t prefix_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    util::Cidr prefix;
+    std::string country;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ofh::intel

@@ -1,0 +1,62 @@
+#include "intel/threat_intel.h"
+
+namespace ofh::intel {
+
+void VirusTotalDb::flag_ip(util::Ipv4Addr addr, int positives) {
+  auto& current = ip_positives_[addr.value()];
+  if (positives > current) current = positives;
+}
+
+int VirusTotalDb::ip_positives(util::Ipv4Addr addr) const {
+  const auto it = ip_positives_.find(addr.value());
+  return it == ip_positives_.end() ? 0 : it->second;
+}
+
+void VirusTotalDb::flag_url(const std::string& url) { urls_.insert(url); }
+
+bool VirusTotalDb::url_malicious(const std::string& url) const {
+  return urls_.count(url) != 0;
+}
+
+void VirusTotalDb::add_hash(const std::string& sha256,
+                            const std::string& family) {
+  hashes_[sha256] = family;
+}
+
+std::optional<std::string> VirusTotalDb::lookup_hash(
+    const std::string& sha256) const {
+  const auto it = hashes_.find(sha256);
+  if (it == hashes_.end()) return std::nullopt;
+  return it->second;
+}
+
+void GreyNoiseDb::classify(util::Ipv4Addr addr, GreyNoiseClass klass) {
+  classes_[addr.value()] = klass;
+}
+
+GreyNoiseClass GreyNoiseDb::lookup(util::Ipv4Addr addr) const {
+  const auto it = classes_.find(addr.value());
+  return it == classes_.end() ? GreyNoiseClass::kUnknown : it->second;
+}
+
+void CensysDb::tag_iot(util::Ipv4Addr addr, std::string device_type) {
+  tags_[addr.value()] = std::move(device_type);
+}
+
+std::optional<std::string> CensysDb::iot_tag(util::Ipv4Addr addr) const {
+  const auto it = tags_.find(addr.value());
+  if (it == tags_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ReverseDns::add(util::Ipv4Addr addr, std::string domain) {
+  records_[addr.value()] = std::move(domain);
+}
+
+std::optional<std::string> ReverseDns::lookup(util::Ipv4Addr addr) const {
+  const auto it = records_.find(addr.value());
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ofh::intel

@@ -1,0 +1,98 @@
+// Threat-intelligence oracles: synthetic-but-independent equivalents of
+// VirusTotal (IP/URL/hash reputation), GreyNoise (scanner classification)
+// and Censys (IoT device tags). Each oracle has *partial coverage*, seeded
+// independently of the measurement pipeline, so cross-validation figures
+// (paper Figures 5, 6) compare genuinely different observers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "util/ipv4.h"
+#include "util/rng.h"
+
+namespace ofh::intel {
+
+// --------------------------------------------------------------- VirusTotal
+
+class VirusTotalDb {
+ public:
+  // Registers a malicious IP with the number of vendors flagging it.
+  void flag_ip(util::Ipv4Addr addr, int positives = 1);
+  // VirusTotal "positives" score; 0 = clean/unknown.
+  int ip_positives(util::Ipv4Addr addr) const;
+  bool is_malicious(util::Ipv4Addr addr) const {
+    return ip_positives(addr) > 0;
+  }
+
+  void flag_url(const std::string& url);
+  bool url_malicious(const std::string& url) const;
+
+  // Malware hash corpus: sha256 -> family name.
+  void add_hash(const std::string& sha256, const std::string& family);
+  std::optional<std::string> lookup_hash(const std::string& sha256) const;
+  std::size_t hash_count() const { return hashes_.size(); }
+
+ private:
+  std::map<std::uint32_t, int> ip_positives_;
+  std::set<std::string> urls_;
+  std::map<std::string, std::string> hashes_;
+};
+
+// ---------------------------------------------------------------- GreyNoise
+
+enum class GreyNoiseClass { kBenign, kMalicious, kUnknown };
+
+class GreyNoiseDb {
+ public:
+  void classify(util::Ipv4Addr addr, GreyNoiseClass klass);
+  GreyNoiseClass lookup(util::Ipv4Addr addr) const;
+
+  std::size_t known_count() const { return classes_.size(); }
+
+ private:
+  std::map<std::uint32_t, GreyNoiseClass> classes_;
+};
+
+// ------------------------------------------------------------------- Censys
+
+class CensysDb {
+ public:
+  void tag_iot(util::Ipv4Addr addr, std::string device_type);
+  // Returns the device type if Censys tagged this IP "iot".
+  std::optional<std::string> iot_tag(util::Ipv4Addr addr) const;
+
+ private:
+  std::map<std::uint32_t, std::string> tags_;
+};
+
+// --------------------------------------------------------------- ExoneraTor
+
+// Tor-relay lookup (the paper uses the Tor project's ExoneraTor service to
+// attribute 151 HTTP attack source IPs to Tor exit relays, §5.1.6).
+class ExoneraTor {
+ public:
+  void add_relay(util::Ipv4Addr addr) { relays_.insert(addr.value()); }
+  bool was_relay(util::Ipv4Addr addr) const {
+    return relays_.count(addr.value()) != 0;
+  }
+  std::size_t relay_count() const { return relays_.size(); }
+
+ private:
+  std::set<std::uint32_t> relays_;
+};
+
+// -------------------------------------------------------------- reverse DNS
+
+class ReverseDns {
+ public:
+  void add(util::Ipv4Addr addr, std::string domain);
+  std::optional<std::string> lookup(util::Ipv4Addr addr) const;
+
+ private:
+  std::map<std::uint32_t, std::string> records_;
+};
+
+}  // namespace ofh::intel

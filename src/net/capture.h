@@ -1,0 +1,81 @@
+// Packet capture: a fabric tap that records traffic like the paper's
+// tcpdump captures on the honeypot hosts (§5.1: "the network traffic is
+// captured with tcpdump ... and the pcap files are further analyzed to
+// determine the attack vectors"). Supports BPF-flavoured filtering by
+// host/port/transport and bounded buffering.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "net/fabric.h"
+#include "net/packet.h"
+
+namespace ofh::net {
+
+struct CaptureFilter {
+  std::optional<util::Ipv4Addr> host;        // src or dst matches
+  std::optional<std::uint16_t> port;         // src or dst port matches
+  std::optional<Transport> transport;
+  bool payload_only = false;                 // skip empty segments
+
+  bool matches(const Packet& packet) const {
+    if (host && packet.src != *host && packet.dst != *host) return false;
+    if (port && packet.src_port != *port && packet.dst_port != *port) {
+      return false;
+    }
+    if (transport && packet.transport != *transport) return false;
+    if (payload_only && packet.payload.empty()) return false;
+    return true;
+  }
+};
+
+class PacketCapture : public PacketSink {
+ public:
+  struct Record {
+    sim::Time when = 0;
+    Packet packet;
+  };
+
+  explicit PacketCapture(CaptureFilter filter = {},
+                         std::size_t max_packets = 1 << 20)
+      : filter_(filter), max_packets_(max_packets) {}
+
+  void attach(Fabric& fabric) { fabric.add_tap(*this); }
+
+  void observe(const Packet& packet, sim::Time when) override {
+    ++seen_;
+    if (!filter_.matches(packet)) return;
+    if (records_.size() >= max_packets_) {
+      records_.pop_front();  // ring-buffer semantics
+      ++dropped_;
+    }
+    records_.push_back({when, packet});
+  }
+
+  const std::deque<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  std::uint64_t seen() const { return seen_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear() { records_.clear(); }
+
+  // Packets matching an additional predicate (post-capture query).
+  std::vector<const Record*> select(
+      const std::function<bool(const Record&)>& predicate) const {
+    std::vector<const Record*> out;
+    for (const auto& record : records_) {
+      if (predicate(record)) out.push_back(&record);
+    }
+    return out;
+  }
+
+ private:
+  CaptureFilter filter_;
+  std::size_t max_packets_;
+  std::deque<Record> records_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ofh::net

@@ -1,0 +1,60 @@
+#include "net/fabric.h"
+
+#include "net/host.h"
+
+namespace ofh::net {
+
+void Fabric::register_host(Host& host) {
+  hosts_[host.address().value()] = &host;
+}
+
+void Fabric::unregister_host(Host& host) {
+  const auto it = hosts_.find(host.address().value());
+  if (it != hosts_.end() && it->second == &host) hosts_.erase(it);
+}
+
+sim::Duration Fabric::sample_latency(const Packet& packet) const {
+  if (latency_jitter_ == 0) return latency_base_;
+  // Latency is stable per (src, dst) pair: packets of one flow never
+  // reorder, which the TCP-lite model (no sequence numbers) relies on.
+  const std::uint64_t key =
+      (std::uint64_t{packet.src.value()} << 32) | packet.dst.value();
+  return latency_base_ + util::splitmix64(key) % latency_jitter_;
+}
+
+void Fabric::send(Packet packet) {
+  ++packets_sent_;
+  for (PacketSink* tap : taps_) tap->observe(packet, sim_.now());
+
+  if (loss_rate_ > 0 && rng_.chance(loss_rate_)) {
+    ++packets_dropped_;
+    return;
+  }
+
+  // Darknet ranges swallow traffic into their sink: no host ever answers.
+  for (const auto& darknet : darknets_) {
+    if (darknet.range.contains(packet.dst)) {
+      PacketSink* sink = darknet.sink;
+      const sim::Duration delay = sample_latency(packet);
+      sim_.after(delay, [sink, packet = std::move(packet), this] {
+        sink->observe(packet, sim_.now());
+      });
+      return;
+    }
+  }
+
+  const sim::Duration delay = sample_latency(packet);
+  sim_.after(delay, [this, packet = std::move(packet)]() mutable {
+    // Resolve at delivery time: hosts may churn while the packet is in
+    // flight, in which case the packet is silently lost (as on the real
+    // Internet when a route disappears).
+    Host* host = host_at(packet.dst);
+    if (host == nullptr) {
+      ++packets_dropped_;
+      return;
+    }
+    host->deliver(packet);
+  });
+}
+
+}  // namespace ofh::net

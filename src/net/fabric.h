@@ -1,0 +1,86 @@
+// The Internet fabric: routes packets between attached hosts, applies a
+// latency/loss model, feeds darknet ranges to sinks (network telescopes) and
+// lets taps observe all traffic (pcap-style capture).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/simulation.h"
+#include "util/ipv4.h"
+#include "util/rng.h"
+
+namespace ofh::net {
+
+class Host;
+
+// Observes packets. Telescopes and capture tools implement this.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void observe(const Packet& packet, sim::Time when) = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, std::uint64_t seed)
+      : sim_(sim), rng_(util::Rng(seed).fork("fabric")) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+
+  // Host registration. Hosts call these from attach()/detach().
+  void register_host(Host& host);
+  void unregister_host(Host& host);
+  Host* host_at(util::Ipv4Addr addr) const {
+    const auto it = hosts_.find(addr.value());
+    return it == hosts_.end() ? nullptr : it->second;
+  }
+  std::size_t host_count() const { return hosts_.size(); }
+
+  // A darknet range delivers to a sink instead of hosts (network telescope).
+  void add_darknet(util::Cidr range, PacketSink& sink) {
+    darknets_.push_back({range, &sink});
+  }
+
+  // Taps observe every packet accepted by the fabric.
+  void add_tap(PacketSink& tap) { taps_.push_back(&tap); }
+
+  // Injects a packet; delivery is scheduled after the latency model.
+  void send(Packet packet);
+
+  // Latency/loss configuration.
+  void set_latency(sim::Duration base, sim::Duration jitter) {
+    latency_base_ = base;
+    latency_jitter_ = jitter;
+  }
+  void set_loss_rate(double rate) { loss_rate_ = rate; }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+ private:
+  sim::Duration sample_latency(const Packet& packet) const;
+
+  sim::Simulation& sim_;
+  util::Rng rng_;
+  std::unordered_map<std::uint32_t, Host*> hosts_;
+  struct Darknet {
+    util::Cidr range;
+    PacketSink* sink;
+  };
+  std::vector<Darknet> darknets_;
+  std::vector<PacketSink*> taps_;
+  sim::Duration latency_base_ = sim::msec(20);
+  sim::Duration latency_jitter_ = sim::msec(10);
+  double loss_rate_ = 0.0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace ofh::net

@@ -1,0 +1,35 @@
+#include "net/host.h"
+
+#include "net/fabric.h"
+
+namespace ofh::net {
+
+void Host::attach(Fabric& fabric) {
+  assert(fabric_ == nullptr);
+  fabric_ = &fabric;
+  fabric.register_host(*this);
+  on_attached();
+}
+
+void Host::detach() {
+  if (fabric_ == nullptr) return;
+  on_detached();
+  fabric_->unregister_host(*this);
+  fabric_ = nullptr;
+}
+
+sim::Simulation& Host::sim() { return fabric().sim(); }
+
+void Host::deliver(const Packet& packet) {
+  if (ingress_filter_ && !ingress_filter_(packet)) return;  // firewalled
+  switch (packet.transport) {
+    case Transport::kTcp:
+      tcp_->handle(packet);
+      break;
+    case Transport::kUdp:
+      udp_->handle(packet);
+      break;
+  }
+}
+
+}  // namespace ofh::net

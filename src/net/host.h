@@ -1,0 +1,66 @@
+// Base class for everything with an IP address: IoT devices, honeypots,
+// scanners, attackers, dataset crawlers. Owns a TCP and a UDP stack and
+// dispatches delivered packets to them.
+#pragma once
+
+#include <cassert>
+#include <memory>
+
+#include "net/packet.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+#include "sim/simulation.h"
+#include "util/ipv4.h"
+
+namespace ofh::net {
+
+class Fabric;
+
+class Host {
+ public:
+  explicit Host(util::Ipv4Addr addr) : addr_(addr) {}
+  virtual ~Host() {
+    if (fabric_ != nullptr) detach();
+  }
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  // Joins the fabric. Services should install listeners in on_attached().
+  void attach(Fabric& fabric);
+  void detach();
+  bool attached() const { return fabric_ != nullptr; }
+
+  util::Ipv4Addr address() const { return addr_; }
+  Fabric& fabric() {
+    assert(fabric_ != nullptr);
+    return *fabric_;
+  }
+  sim::Simulation& sim();
+
+  TcpStack& tcp() { return *tcp_; }
+  UdpStack& udp() { return *udp_; }
+
+  // Optional ingress firewall: return false to drop a packet before it
+  // reaches the stacks. Networks use this to blocklist known scanner
+  // ranges (the paper's motivation for scanning from a university host:
+  // "some networks blocklist Shodan, Censys and other scanning services").
+  using IngressFilter = std::function<bool(const Packet&)>;
+  void set_ingress_filter(IngressFilter filter) {
+    ingress_filter_ = std::move(filter);
+  }
+
+  void deliver(const Packet& packet);
+
+ protected:
+  virtual void on_attached() {}
+  virtual void on_detached() {}
+
+ private:
+  util::Ipv4Addr addr_;
+  Fabric* fabric_ = nullptr;
+  IngressFilter ingress_filter_;
+  std::unique_ptr<TcpStack> tcp_ = std::make_unique<TcpStack>(*this);
+  std::unique_ptr<UdpStack> udp_ = std::make_unique<UdpStack>(*this);
+};
+
+}  // namespace ofh::net

@@ -1,0 +1,214 @@
+#include "net/tcp.h"
+
+#include "net/fabric.h"
+#include "net/host.h"
+
+namespace ofh::net {
+
+// ---------------------------------------------------------------- connection
+
+void TcpConnection::send(util::Bytes data) {
+  if (state_ != State::kEstablished) return;
+  bytes_sent_ += data.size();
+  stack_.send_data(key_, std::move(data));
+}
+
+void TcpConnection::close() {
+  if (state_ == State::kClosed) return;
+  state_ = State::kClosed;
+  stack_.send_flags(key_, TcpFlags::kFin | TcpFlags::kAck);
+  stack_.erase(key_);  // destroys *this; no member access beyond here
+}
+
+void TcpConnection::abort() {
+  if (state_ == State::kClosed) return;
+  state_ = State::kClosed;
+  stack_.send_flags(key_, TcpFlags::kRst);
+  stack_.erase(key_);
+}
+
+util::Ipv4Addr TcpConnection::local_addr() const {
+  return stack_.host().address();
+}
+
+// --------------------------------------------------------------------- stack
+
+void TcpStack::connect(util::Ipv4Addr dst, std::uint16_t dst_port,
+                       ConnectHandler handler, sim::Duration timeout) {
+  // Allocate an unused ephemeral port for this (remote, remote_port) pair.
+  ConnKey key{0, dst, dst_port};
+  for (int attempts = 0; attempts < 0x8000; ++attempts) {
+    key.local_port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ == 0xffff
+                          ? static_cast<std::uint16_t>(32768)
+                          : static_cast<std::uint16_t>(next_ephemeral_ + 1);
+    if (conns_.find(key) == conns_.end()) break;
+  }
+
+  auto conn = std::unique_ptr<TcpConnection>(
+      new TcpConnection(*this, key, TcpConnection::State::kSynSent));
+  conn->opened_at_ = host_.sim().now();
+  conns_[key] = std::move(conn);
+  pending_connects_[key] = std::move(handler);
+  send_flags(key, TcpFlags::kSyn);
+
+  host_.sim().after(timeout, [this, key] {
+    TcpConnection* conn = find(key);
+    if (conn == nullptr || conn->state_ != TcpConnection::State::kSynSent) {
+      return;  // already established or gone
+    }
+    auto pending = pending_connects_.extract(key);
+    erase(key);
+    if (!pending.empty() && pending.mapped()) pending.mapped()(nullptr);
+  });
+}
+
+void TcpStack::handle(const Packet& packet) {
+  const ConnKey key{packet.dst_port, packet.src, packet.src_port};
+  TcpConnection* conn = find(key);
+
+  if (packet.has_flag(TcpFlags::kRst)) {
+    if (conn == nullptr) return;
+    const bool was_pending = conn->state_ == TcpConnection::State::kSynSent;
+    conn->state_ = TcpConnection::State::kClosed;
+    auto pending = pending_connects_.extract(key);
+    auto on_close = conn->on_close;
+    erase(key);
+    if (was_pending) {
+      if (!pending.empty() && pending.mapped()) pending.mapped()(nullptr);
+    } else if (on_close) {
+      // The connection object is gone; closing notifications for RST carry
+      // a transient object so services can log the teardown.
+      TcpConnection closed(*this, key, TcpConnection::State::kClosed);
+      on_close(closed);
+    }
+    return;
+  }
+
+  if (packet.is_syn_only()) {
+    // Inbound connection attempt.
+    const auto listener = listeners_.find(packet.dst_port);
+    if (listener == listeners_.end() || conn != nullptr ||
+        half_open_count() >= backlog_limit_) {
+      Packet rst;
+      rst.src = host_.address();
+      rst.dst = packet.src;
+      rst.src_port = packet.dst_port;
+      rst.dst_port = packet.src_port;
+      rst.transport = Transport::kTcp;
+      rst.tcp_flags = TcpFlags::kRst;
+      host_.fabric().send(std::move(rst));
+      return;
+    }
+    auto server_conn = std::unique_ptr<TcpConnection>(
+        new TcpConnection(*this, key, TcpConnection::State::kSynReceived));
+    server_conn->opened_at_ = host_.sim().now();
+    conns_[key] = std::move(server_conn);
+    send_flags(key, TcpFlags::kSyn | TcpFlags::kAck);
+    // Garbage-collect half-open entries (e.g. spoofed SYNs never ACKed).
+    host_.sim().after(sim::seconds(30), [this, key] {
+      TcpConnection* half = find(key);
+      if (half != nullptr &&
+          half->state_ == TcpConnection::State::kSynReceived) {
+        erase(key);
+      }
+    });
+    return;
+  }
+
+  if (packet.has_flag(TcpFlags::kSyn) && packet.has_flag(TcpFlags::kAck)) {
+    // SYN|ACK completing our active open.
+    if (conn == nullptr || conn->state_ != TcpConnection::State::kSynSent) {
+      return;
+    }
+    conn->state_ = TcpConnection::State::kEstablished;
+    send_flags(key, TcpFlags::kAck);
+    auto pending = pending_connects_.extract(key);
+    if (!pending.empty() && pending.mapped()) pending.mapped()(conn);
+    return;
+  }
+
+  if (packet.has_flag(TcpFlags::kFin)) {
+    if (conn == nullptr) return;
+    conn->state_ = TcpConnection::State::kClosed;
+    auto on_close = conn->on_close;
+    TcpConnection copy(*this, key, TcpConnection::State::kClosed);
+    erase(key);
+    if (on_close) on_close(copy);
+    return;
+  }
+
+  if (packet.has_flag(TcpFlags::kAck) && packet.payload.empty()) {
+    // Bare ACK: completes the passive open.
+    if (conn != nullptr &&
+        conn->state_ == TcpConnection::State::kSynReceived) {
+      conn->state_ = TcpConnection::State::kEstablished;
+      const auto listener = listeners_.find(key.local_port);
+      if (listener != listeners_.end() && listener->second) {
+        listener->second(*conn);
+      }
+    }
+    return;
+  }
+
+  if (!packet.payload.empty()) {
+    if (conn == nullptr) return;
+    if (conn->state_ == TcpConnection::State::kSynReceived) {
+      // Data may arrive back-to-back with the ACK; promote implicitly.
+      conn->state_ = TcpConnection::State::kEstablished;
+      const auto listener = listeners_.find(key.local_port);
+      if (listener != listeners_.end() && listener->second) {
+        listener->second(*conn);
+      }
+      conn = find(key);  // accept handler may have closed it
+      if (conn == nullptr) return;
+    }
+    if (conn->state_ != TcpConnection::State::kEstablished) return;
+    conn->bytes_received_ += packet.payload.size();
+    if (conn->on_data) {
+      // Invoke through a copy: the handler may close() the connection,
+      // which erases it and would otherwise destroy the std::function
+      // currently executing (and its captures) mid-call.
+      auto on_data = conn->on_data;
+      on_data(*conn, std::span<const std::uint8_t>(packet.payload));
+    }
+  }
+}
+
+void TcpStack::send_flags(const ConnKey& key, std::uint8_t flags) {
+  Packet packet;
+  packet.src = host_.address();
+  packet.dst = key.remote;
+  packet.src_port = key.local_port;
+  packet.dst_port = key.remote_port;
+  packet.transport = Transport::kTcp;
+  packet.tcp_flags = flags;
+  host_.fabric().send(std::move(packet));
+}
+
+void TcpStack::send_data(const ConnKey& key, util::Bytes data) {
+  Packet packet;
+  packet.src = host_.address();
+  packet.dst = key.remote;
+  packet.src_port = key.local_port;
+  packet.dst_port = key.remote_port;
+  packet.transport = Transport::kTcp;
+  packet.tcp_flags = TcpFlags::kPsh | TcpFlags::kAck;
+  packet.payload = std::move(data);
+  host_.fabric().send(std::move(packet));
+}
+
+void TcpStack::erase(const ConnKey& key) {
+  pending_connects_.erase(key);
+  conns_.erase(key);
+}
+
+std::size_t TcpStack::half_open_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, conn] : conns_) {
+    if (conn->state() == TcpConnection::State::kSynReceived) ++n;
+  }
+  return n;
+}
+
+}  // namespace ofh::net

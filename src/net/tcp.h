@@ -1,0 +1,125 @@
+// TCP-lite endpoint: listeners, three-way handshake, byte-stream exchange,
+// FIN/RST teardown and connect timeouts. No sequence numbers or retransmit —
+// the event queue already delivers in order; loss is modelled at the fabric
+// and surfaces as connect timeouts (see DESIGN.md "TCP-lite").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "sim/time.h"
+#include "util/bytes.h"
+#include "util/ipv4.h"
+
+namespace ofh::net {
+
+class Host;
+class TcpStack;
+
+class TcpConnection {
+ public:
+  enum class State : std::uint8_t {
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kClosed,
+  };
+
+  // Callbacks installed by the service/client that owns the session.
+  std::function<void(TcpConnection&, std::span<const std::uint8_t>)> on_data;
+  std::function<void(TcpConnection&)> on_close;
+
+  void send(util::Bytes data);
+  void send_text(std::string_view text) { send(util::to_bytes(text)); }
+  void close();  // graceful FIN
+  void abort();  // RST
+
+  util::Ipv4Addr local_addr() const;
+  util::Ipv4Addr remote_addr() const { return key_.remote; }
+  std::uint16_t local_port() const { return key_.local_port; }
+  std::uint16_t remote_port() const { return key_.remote_port; }
+  State state() const { return state_; }
+  bool established() const { return state_ == State::kEstablished; }
+  sim::Time opened_at() const { return opened_at_; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend class TcpStack;
+  TcpConnection(TcpStack& stack, ConnKey key, State state)
+      : key_(key), stack_(stack), state_(state) {}
+
+  ConnKey key_;
+  TcpStack& stack_;
+  State state_;
+  sim::Time opened_at_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+class TcpStack {
+ public:
+  // Invoked for each accepted inbound connection; install on_data/on_close
+  // inside the handler.
+  using AcceptHandler = std::function<void(TcpConnection&)>;
+  // Invoked with the established connection, or nullptr on timeout/refusal.
+  using ConnectHandler = std::function<void(TcpConnection*)>;
+
+  explicit TcpStack(Host& host) : host_(host) {}
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  void listen(std::uint16_t port, AcceptHandler handler) {
+    listeners_[port] = std::move(handler);
+  }
+  void close_listener(std::uint16_t port) { listeners_.erase(port); }
+  bool listening(std::uint16_t port) const {
+    return listeners_.count(port) != 0;
+  }
+
+  void connect(util::Ipv4Addr dst, std::uint16_t dst_port,
+               ConnectHandler handler,
+               sim::Duration timeout = sim::seconds(5));
+
+  // Packet ingress from the owning host.
+  void handle(const Packet& packet);
+
+  // Finds a live connection by key; nullptr if torn down. Deferred callbacks
+  // must re-resolve connections through this instead of holding references.
+  TcpConnection* lookup(const ConnKey& key) { return find(key); }
+
+  std::size_t open_connections() const { return conns_.size(); }
+
+  // Limits half-open (SYN_RCVD) server-side entries, making SYN floods
+  // observable as accept-queue exhaustion.
+  void set_backlog_limit(std::size_t limit) { backlog_limit_ = limit; }
+
+  Host& host() { return host_; }
+
+ private:
+  friend class TcpConnection;
+
+  void send_flags(const ConnKey& key, std::uint8_t flags);
+  void send_data(const ConnKey& key, util::Bytes data);
+  void erase(const ConnKey& key);
+  TcpConnection* find(const ConnKey& key) {
+    const auto it = conns_.find(key);
+    return it == conns_.end() ? nullptr : it->second.get();
+  }
+  std::size_t half_open_count() const;
+
+  Host& host_;
+  std::unordered_map<std::uint16_t, AcceptHandler> listeners_;
+  std::unordered_map<ConnKey, std::unique_ptr<TcpConnection>, ConnKeyHash>
+      conns_;
+  std::unordered_map<ConnKey, ConnectHandler, ConnKeyHash> pending_connects_;
+  std::uint16_t next_ephemeral_ = 32768;
+  std::size_t backlog_limit_ = 4096;
+};
+
+}  // namespace ofh::net

@@ -1,0 +1,48 @@
+#include "net/udp.h"
+
+#include "net/fabric.h"
+#include "net/host.h"
+
+namespace ofh::net {
+
+void UdpStack::send(util::Ipv4Addr dst, std::uint16_t dst_port,
+                    util::Bytes payload, std::uint16_t src_port) {
+  if (src_port == 0) {
+    src_port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ == 0xffff
+                          ? static_cast<std::uint16_t>(40000)
+                          : static_cast<std::uint16_t>(next_ephemeral_ + 1);
+  }
+  Packet packet;
+  packet.src = host_.address();
+  packet.dst = dst;
+  packet.src_port = src_port;
+  packet.dst_port = dst_port;
+  packet.transport = Transport::kUdp;
+  packet.payload = std::move(payload);
+  host_.fabric().send(std::move(packet));
+}
+
+void UdpStack::send_spoofed(util::Ipv4Addr spoofed_src, util::Ipv4Addr dst,
+                            std::uint16_t dst_port, util::Bytes payload,
+                            std::uint16_t src_port) {
+  Packet packet;
+  packet.src = spoofed_src;
+  packet.dst = dst;
+  packet.src_port = src_port;
+  packet.dst_port = dst_port;
+  packet.transport = Transport::kUdp;
+  packet.spoofed_src = true;
+  packet.payload = std::move(payload);
+  host_.fabric().send(std::move(packet));
+}
+
+void UdpStack::handle(const Packet& packet) {
+  const auto it = handlers_.find(packet.dst_port);
+  if (it == handlers_.end() || !it->second) return;
+  const Datagram datagram{packet.src, packet.src_port, packet.dst_port,
+                          packet.payload, packet.spoofed_src};
+  it->second(datagram);
+}
+
+}  // namespace ofh::net

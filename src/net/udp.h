@@ -1,0 +1,56 @@
+// UDP endpoint: bind handlers per port, fire-and-forget datagrams. Unbound
+// destination ports are silent (the simulation omits ICMP unreachable, which
+// matches how UDP scanners must treat no-response).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "util/bytes.h"
+#include "util/ipv4.h"
+
+namespace ofh::net {
+
+class Host;
+
+struct Datagram {
+  util::Ipv4Addr src;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  const util::Bytes& payload;
+  bool spoofed_src = false;
+};
+
+class UdpStack {
+ public:
+  using Handler = std::function<void(const Datagram&)>;
+
+  explicit UdpStack(Host& host) : host_(host) {}
+  UdpStack(const UdpStack&) = delete;
+  UdpStack& operator=(const UdpStack&) = delete;
+
+  void bind(std::uint16_t port, Handler handler) {
+    handlers_[port] = std::move(handler);
+  }
+  void unbind(std::uint16_t port) { handlers_.erase(port); }
+  bool bound(std::uint16_t port) const { return handlers_.count(port) != 0; }
+
+  // Sends a datagram. src_port 0 allocates an ephemeral port. spoof_src, when
+  // set, stamps a different source address (reflection attacks).
+  void send(util::Ipv4Addr dst, std::uint16_t dst_port, util::Bytes payload,
+            std::uint16_t src_port = 0);
+  void send_spoofed(util::Ipv4Addr spoofed_src, util::Ipv4Addr dst,
+                    std::uint16_t dst_port, util::Bytes payload,
+                    std::uint16_t src_port);
+
+  void handle(const Packet& packet);
+
+ private:
+  Host& host_;
+  std::unordered_map<std::uint16_t, Handler> handlers_;
+  std::uint16_t next_ephemeral_ = 40000;
+};
+
+}  // namespace ofh::net

@@ -1,0 +1,254 @@
+#include "proto/amqp.h"
+
+#include "util/strings.h"
+
+namespace ofh::proto::amqp {
+
+namespace {
+constexpr std::uint8_t kFrameEnd = 0xce;
+}
+
+util::Bytes protocol_header() {
+  return {'A', 'M', 'Q', 'P', 0, 0, 9, 1};
+}
+
+bool is_protocol_header(std::span<const std::uint8_t> data) {
+  const auto expected = protocol_header();
+  return data.size() >= 8 &&
+         std::equal(expected.begin(), expected.end(), data.begin());
+}
+
+util::Bytes encode_frame(const Frame& frame) {
+  util::ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(frame.type))
+      .u16(frame.channel)
+      .u32(static_cast<std::uint32_t>(frame.payload.size()))
+      .raw(frame.payload)
+      .u8(kFrameEnd);
+  return out.take();
+}
+
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> data,
+                                  std::size_t* consumed) {
+  util::ByteReader reader(data);
+  const auto type = reader.u8();
+  const auto channel = reader.u16();
+  const auto size = reader.u32();
+  if (!type || !channel || !size) return std::nullopt;
+  const auto payload = reader.raw(*size);
+  const auto end = reader.u8();
+  if (!payload || !end || *end != kFrameEnd) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(*type);
+  frame.channel = *channel;
+  frame.payload.assign(payload->begin(), payload->end());
+  if (consumed != nullptr) *consumed = reader.position();
+  return frame;
+}
+
+// Server-properties are proper AMQP field tables in the real protocol; we
+// encode the fields the scanner actually reads (product, version, platform)
+// as length-prefixed strings, preserving information content.
+util::Bytes encode_start(const StartMethod& start) {
+  util::ByteWriter out;
+  out.u16(kClassConnection).u16(kMethodStart);
+  out.u8(0).u8(9);  // version-major, version-minor
+  out.str8(start.product).str8(start.version).str8(start.platform);
+  std::string mechanisms;
+  for (const auto& mechanism : start.mechanisms) {
+    if (!mechanisms.empty()) mechanisms += " ";
+    mechanisms += mechanism;
+  }
+  out.str16(mechanisms);
+  return out.take();
+}
+
+std::optional<StartMethod> decode_start(std::span<const std::uint8_t> body) {
+  util::ByteReader reader(body);
+  const auto class_id = reader.u16();
+  const auto method_id = reader.u16();
+  if (!class_id || *class_id != kClassConnection || !method_id ||
+      *method_id != kMethodStart) {
+    return std::nullopt;
+  }
+  if (!reader.u8() || !reader.u8()) return std::nullopt;
+  auto product = reader.str8();
+  auto version = reader.str8();
+  auto platform = reader.str8();
+  auto mechanisms = reader.str16();
+  if (!product || !version || !platform || !mechanisms) return std::nullopt;
+  StartMethod start;
+  start.product = std::move(*product);
+  start.version = std::move(*version);
+  start.platform = std::move(*platform);
+  for (auto& mechanism : util::split(*mechanisms, ' ')) {
+    if (!mechanism.empty()) start.mechanisms.push_back(std::move(mechanism));
+  }
+  return start;
+}
+
+util::Bytes encode_start_ok(const StartOkMethod& start_ok) {
+  util::ByteWriter out;
+  out.u16(kClassConnection).u16(kMethodStartOk);
+  out.str8(start_ok.mechanism).str8(start_ok.user).str8(start_ok.pass);
+  return out.take();
+}
+
+std::optional<StartOkMethod> decode_start_ok(
+    std::span<const std::uint8_t> body) {
+  util::ByteReader reader(body);
+  const auto class_id = reader.u16();
+  const auto method_id = reader.u16();
+  if (!class_id || *class_id != kClassConnection || !method_id ||
+      *method_id != kMethodStartOk) {
+    return std::nullopt;
+  }
+  auto mechanism = reader.str8();
+  auto user = reader.str8();
+  auto pass = reader.str8();
+  if (!mechanism || !user || !pass) return std::nullopt;
+  return StartOkMethod{std::move(*mechanism), std::move(*user),
+                       std::move(*pass)};
+}
+
+// ------------------------------------------------------------------- broker
+
+struct AmqpBroker::State {
+  std::map<std::string, std::vector<std::string>> queues;
+};
+
+namespace {
+struct AmqpSession {
+  bool saw_header = false;
+  bool authenticated = false;
+  util::Bytes inbox;
+};
+}  // namespace
+
+AmqpBroker::AmqpBroker(AmqpBrokerConfig config, AmqpEvents events)
+    : config_(std::move(config)),
+      events_(std::move(events)),
+      state_(std::make_shared<State>()) {
+  for (const auto& [queue, backlog] : config_.queues) {
+    state_->queues[queue] = backlog;
+  }
+}
+
+std::size_t AmqpBroker::queue_depth(const std::string& queue) const {
+  const auto it = state_->queues.find(queue);
+  return it == state_->queues.end() ? 0 : it->second.size();
+}
+
+util::Bytes AmqpBroker::publish_command(const std::string& queue,
+                                        const std::string& message) {
+  Frame frame;
+  frame.type = FrameType::kBody;
+  frame.payload = util::to_bytes("PUBLISH " + queue + " " + message);
+  return encode_frame(frame);
+}
+
+void AmqpBroker::install(net::Host& host) {
+  auto config = config_;
+  auto events = events_;
+  auto state = state_;
+  host.tcp().listen(config_.port, [config, events,
+                                   state](net::TcpConnection& conn) {
+    auto session = std::make_shared<AmqpSession>();
+
+    conn.on_data = [config, events, state, session](
+                       net::TcpConnection& conn,
+                       std::span<const std::uint8_t> data) {
+      auto& inbox = session->inbox;
+      inbox.insert(inbox.end(), data.begin(), data.end());
+
+      if (!session->saw_header) {
+        if (inbox.size() < 8) return;
+        if (!is_protocol_header(inbox)) {
+          conn.close();
+          return;
+        }
+        session->saw_header = true;
+        inbox.erase(inbox.begin(), inbox.begin() + 8);
+        if (events.on_connect) events.on_connect(conn.remote_addr());
+        // Announce Connection.Start with our product/version/mechanisms —
+        // this is the banner the scanner classifies.
+        StartMethod start;
+        start.product = config.product;
+        start.version = config.version;
+        start.mechanisms = {"PLAIN", "AMQPLAIN"};
+        if (!config.auth.required || config.auth.allow_anonymous) {
+          start.mechanisms.push_back("ANONYMOUS");
+        }
+        Frame frame;
+        frame.type = FrameType::kMethod;
+        frame.payload = encode_start(start);
+        conn.send(encode_frame(frame));
+      }
+
+      for (;;) {
+        std::size_t consumed = 0;
+        const auto frame = decode_frame(inbox, &consumed);
+        if (!frame) return;
+        inbox.erase(inbox.begin(),
+                    inbox.begin() + static_cast<std::ptrdiff_t>(consumed));
+
+        if (frame->type == FrameType::kMethod) {
+          const auto start_ok = decode_start_ok(frame->payload);
+          if (start_ok) {
+            bool ok = false;
+            if (start_ok->mechanism == "ANONYMOUS") {
+              ok = !config.auth.required || config.auth.allow_anonymous;
+            } else {
+              ok = config.auth.check(start_ok->user, start_ok->pass);
+            }
+            session->authenticated = ok;
+            if (events.on_auth) {
+              events.on_auth(conn.remote_addr(), start_ok->mechanism, ok);
+            }
+            Frame reply;
+            reply.type = FrameType::kMethod;
+            util::ByteWriter payload;
+            payload.u16(kClassConnection)
+                .u16(ok ? kMethodOpenOk : kMethodClose);
+            reply.payload = payload.take();
+            conn.send(encode_frame(reply));
+            if (!ok) {
+              conn.close();
+              return;
+            }
+          }
+        } else if (frame->type == FrameType::kBody &&
+                   session->authenticated) {
+          // Simplified queue commands (see header comment).
+          const std::string command = util::to_string(frame->payload);
+          const auto parts = util::split(command, ' ');
+          if (parts.size() >= 3 && parts[0] == "PUBLISH") {
+            std::string message = command.substr(
+                parts[0].size() + parts[1].size() + 2);
+            state->queues[parts[1]].push_back(std::move(message));
+            if (events.on_queue_access) {
+              events.on_queue_access(conn.remote_addr(), parts[1], true);
+            }
+          } else if (parts.size() >= 2 && parts[0] == "CONSUME") {
+            auto& queue = state->queues[parts[1]];
+            if (events.on_queue_access) {
+              events.on_queue_access(conn.remote_addr(), parts[1], false);
+            }
+            Frame reply;
+            reply.type = FrameType::kBody;
+            reply.payload = util::to_bytes(
+                queue.empty() ? std::string("EMPTY") : queue.front());
+            if (!queue.empty()) queue.erase(queue.begin());
+            conn.send(encode_frame(reply));
+          }
+        } else if (frame->type == FrameType::kHeartbeat) {
+          Frame reply;
+          reply.type = FrameType::kHeartbeat;
+          conn.send(encode_frame(reply));
+        }
+      }
+    };
+  });
+}
+
+}  // namespace ofh::proto::amqp

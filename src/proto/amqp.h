@@ -1,0 +1,113 @@
+// AMQP 0-9-1: protocol header handshake, frame format (type, channel, size,
+// payload, 0xCE end marker), Connection.Start with server-properties and
+// SASL mechanism list, and a small broker with queues. The misconfiguration
+// surface is the advertised mechanism list (PLAIN/ANONYMOUS) and versions
+// with known CVEs (the paper flags RabbitMQ 2.7.1 / 2.8.4 as "No auth").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::amqp {
+
+// "AMQP" 0x00 0x00 0x09 0x01
+util::Bytes protocol_header();
+bool is_protocol_header(std::span<const std::uint8_t> data);
+
+enum class FrameType : std::uint8_t {
+  kMethod = 1,
+  kHeader = 2,
+  kBody = 3,
+  kHeartbeat = 8,
+};
+
+struct Frame {
+  FrameType type = FrameType::kMethod;
+  std::uint16_t channel = 0;
+  util::Bytes payload;
+};
+
+util::Bytes encode_frame(const Frame& frame);
+// Decodes one frame from the front; nullopt if incomplete/malformed.
+// consumed receives the total size of the decoded frame.
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> data,
+                                  std::size_t* consumed);
+
+// Method payloads: class-id, method-id, arguments.
+inline constexpr std::uint16_t kClassConnection = 10;
+inline constexpr std::uint16_t kMethodStart = 10;
+inline constexpr std::uint16_t kMethodStartOk = 11;
+inline constexpr std::uint16_t kMethodTune = 30;
+inline constexpr std::uint16_t kMethodOpen = 40;
+inline constexpr std::uint16_t kMethodOpenOk = 41;
+inline constexpr std::uint16_t kMethodClose = 50;
+
+struct StartMethod {
+  std::string product;       // e.g. "RabbitMQ"
+  std::string version;       // e.g. "2.7.1"
+  std::string platform = "Erlang/OTP";
+  std::vector<std::string> mechanisms;  // e.g. {"PLAIN", "AMQPLAIN"}
+};
+util::Bytes encode_start(const StartMethod& start);
+std::optional<StartMethod> decode_start(std::span<const std::uint8_t> body);
+
+struct StartOkMethod {
+  std::string mechanism;  // "PLAIN" or "ANONYMOUS"
+  std::string user;
+  std::string pass;
+};
+util::Bytes encode_start_ok(const StartOkMethod& start_ok);
+std::optional<StartOkMethod> decode_start_ok(
+    std::span<const std::uint8_t> body);
+
+// ------------------------------------------------------------------- broker
+
+struct AmqpBrokerConfig {
+  std::uint16_t port = 5672;
+  std::string product = "RabbitMQ";
+  std::string version = "3.8.9";
+  AuthConfig auth;
+  // Pre-declared queues with initial message backlogs.
+  std::vector<std::pair<std::string, std::vector<std::string>>> queues;
+};
+
+struct AmqpEvents {
+  std::function<void(util::Ipv4Addr)> on_connect;  // protocol header seen
+  std::function<void(util::Ipv4Addr, const std::string& mechanism, bool ok)>
+      on_auth;
+  std::function<void(util::Ipv4Addr, const std::string& queue, bool publish)>
+      on_queue_access;
+};
+
+class AmqpBroker : public Service {
+ public:
+  explicit AmqpBroker(AmqpBrokerConfig config, AmqpEvents events = {});
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "amqp"; }
+  std::uint16_t port() const override { return config_.port; }
+
+  const AmqpBrokerConfig& config() const { return config_; }
+  std::size_t queue_depth(const std::string& queue) const;
+
+  // Simplified post-handshake text commands carried in body frames:
+  // "PUBLISH <queue> <message>" and "CONSUME <queue>".
+  static util::Bytes publish_command(const std::string& queue,
+                                     const std::string& message);
+
+ private:
+  struct State;
+  AmqpBrokerConfig config_;
+  AmqpEvents events_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ofh::proto::amqp

@@ -1,0 +1,232 @@
+#include "proto/coap.h"
+
+#include "util/strings.h"
+
+namespace ofh::proto::coap {
+
+std::string Message::uri_path() const {
+  std::string path;
+  for (const auto& option : options) {
+    if (option.number == kOptionUriPath) {
+      path += "/";
+      path += util::to_string(option.value);
+    }
+  }
+  return path;
+}
+
+void Message::set_uri_path(std::string_view path) {
+  for (const auto& segment : util::split(path, '/')) {
+    if (segment.empty()) continue;
+    options.push_back(Option{kOptionUriPath, util::to_bytes(segment)});
+  }
+}
+
+util::Bytes encode(const Message& message) {
+  util::ByteWriter out;
+  const std::uint8_t tkl = static_cast<std::uint8_t>(message.token.size());
+  out.u8(static_cast<std::uint8_t>(
+      (1u << 6) | (static_cast<std::uint8_t>(message.type) << 4) | tkl));
+  out.u8(static_cast<std::uint8_t>(message.code));
+  out.u16(message.message_id);
+  out.raw(message.token);
+
+  // Options must be sorted by number for delta encoding.
+  auto options = message.options;
+  std::stable_sort(options.begin(), options.end(),
+                   [](const Option& a, const Option& b) {
+                     return a.number < b.number;
+                   });
+  std::uint16_t previous = 0;
+  for (const auto& option : options) {
+    const std::uint16_t delta = option.number - previous;
+    previous = option.number;
+    const std::size_t length = option.value.size();
+    const auto nibble = [](std::size_t v) -> std::uint8_t {
+      if (v < 13) return static_cast<std::uint8_t>(v);
+      if (v < 269) return 13;
+      return 14;
+    };
+    out.u8(static_cast<std::uint8_t>((nibble(delta) << 4) | nibble(length)));
+    if (nibble(delta) == 13) out.u8(static_cast<std::uint8_t>(delta - 13));
+    if (nibble(delta) == 14) out.u16(static_cast<std::uint16_t>(delta - 269));
+    if (nibble(length) == 13) out.u8(static_cast<std::uint8_t>(length - 13));
+    if (nibble(length) == 14) {
+      out.u16(static_cast<std::uint16_t>(length - 269));
+    }
+    out.raw(option.value);
+  }
+  if (!message.payload.empty()) {
+    out.u8(0xff);
+    out.raw(message.payload);
+  }
+  return out.take();
+}
+
+std::optional<Message> decode(std::span<const std::uint8_t> data) {
+  util::ByteReader reader(data);
+  const auto first = reader.u8();
+  const auto code = reader.u8();
+  const auto message_id = reader.u16();
+  if (!first || !code || !message_id) return std::nullopt;
+  if ((*first >> 6) != 1) return std::nullopt;  // version must be 1
+
+  Message message;
+  message.type = static_cast<Type>((*first >> 4) & 0x03);
+  message.code = static_cast<Code>(*code);
+  message.message_id = *message_id;
+  const std::uint8_t tkl = *first & 0x0f;
+  if (tkl > 8) return std::nullopt;
+  const auto token = reader.raw(tkl);
+  if (!token) return std::nullopt;
+  message.token.assign(token->begin(), token->end());
+
+  std::uint16_t number = 0;
+  while (!reader.done()) {
+    const auto byte = reader.u8();
+    if (!byte) return std::nullopt;
+    if (*byte == 0xff) {
+      const auto rest = reader.rest();
+      if (rest.empty()) return std::nullopt;  // marker with no payload
+      message.payload.assign(rest.begin(), rest.end());
+      break;
+    }
+    std::uint32_t delta = *byte >> 4;
+    std::uint32_t length = *byte & 0x0f;
+    const auto extend = [&reader](std::uint32_t& v) -> bool {
+      if (v == 13) {
+        const auto ext = reader.u8();
+        if (!ext) return false;
+        v = *ext + 13;
+      } else if (v == 14) {
+        const auto ext = reader.u16();
+        if (!ext) return false;
+        v = *ext + 269;
+      } else if (v == 15) {
+        return false;
+      }
+      return true;
+    };
+    if (!extend(delta) || !extend(length)) return std::nullopt;
+    number = static_cast<std::uint16_t>(number + delta);
+    const auto value = reader.raw(length);
+    if (!value) return std::nullopt;
+    message.options.push_back(
+        Option{number, util::Bytes(value->begin(), value->end())});
+  }
+  return message;
+}
+
+Message make_discovery_request(std::uint16_t message_id) {
+  Message request;
+  request.type = Type::kConfirmable;
+  request.code = Code::kGet;
+  request.message_id = message_id;
+  request.set_uri_path("/.well-known/core");
+  return request;
+}
+
+// ------------------------------------------------------------------- server
+
+struct CoapServer::State {
+  std::map<std::string, Resource> resources;  // keyed by "/path"
+};
+
+CoapServer::CoapServer(CoapServerConfig config, CoapEvents events)
+    : config_(std::move(config)),
+      events_(std::move(events)),
+      state_(std::make_shared<State>()) {
+  for (const auto& resource : config_.resources) {
+    state_->resources["/" + resource.path] = resource;
+  }
+}
+
+std::optional<std::string> CoapServer::resource_value(
+    const std::string& path) const {
+  const auto it = state_->resources.find(
+      path.starts_with('/') ? path : "/" + path);
+  if (it == state_->resources.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::string CoapServer::link_format() const {
+  std::string body;
+  for (const auto& [path, resource] : state_->resources) {
+    if (!body.empty()) body += ",";
+    body += "<" + path + ">";
+    if (!resource.resource_type.empty()) {
+      body += ";rt=\"" + resource.resource_type + "\"";
+    }
+  }
+  body.append(config_.discovery_padding, ' ');
+  return body;
+}
+
+void CoapServer::install(net::Host& host) {
+  auto config = config_;
+  auto events = events_;
+  auto state = state_;
+  auto self = this;
+  net::Host* host_ptr = &host;
+  host.udp().bind(config_.port, [config, events, state, self, host_ptr](
+                                    const net::Datagram& datagram) {
+    const auto request = decode(datagram.payload);
+    if (!request) return;
+
+    Message response;
+    response.type = request->type == Type::kConfirmable
+                        ? Type::kAcknowledgement
+                        : Type::kNonConfirmable;
+    response.message_id = request->message_id;
+    response.token = request->token;
+
+    const std::string path = request->uri_path();
+    if (path == "/.well-known/core") {
+      if (!config.expose_discovery) {
+        response.code = Code::kUnauthorized;  // answers, but discloses nothing
+      } else {
+        response.code = Code::kContent;
+        response.options.push_back(
+            Option{kOptionContentFormat, {40}});  // application/link-format
+        response.payload = util::to_bytes(self->link_format());
+      }
+    } else if (!config.open_access) {
+      response.code = Code::kUnauthorized;
+    } else {
+      const auto it = state->resources.find(path);
+      if (it == state->resources.end()) {
+        response.code = Code::kNotFound;
+      } else if (request->code == Code::kGet) {
+        response.code = Code::kContent;
+        response.payload = util::to_bytes(it->second.value);
+      } else if (request->code == Code::kPut ||
+                 request->code == Code::kPost) {
+        if (it->second.writable) {
+          it->second.value = util::to_string(request->payload);
+          response.code = Code::kChanged;
+        } else {
+          response.code = Code::kUnauthorized;
+        }
+      } else if (request->code == Code::kDelete) {
+        if (it->second.writable) {
+          state->resources.erase(it);
+          response.code = Code::kDeleted;
+        } else {
+          response.code = Code::kUnauthorized;
+        }
+      } else {
+        response.code = Code::kBadRequest;
+      }
+    }
+
+    if (events.on_request) {
+      events.on_request(datagram.src, path, response.code);
+    }
+    // Reply to the (possibly spoofed) source — this asymmetry is exactly
+    // what reflection attacks exploit.
+    host_ptr->udp().send(datagram.src, datagram.src_port, encode(response),
+                         config.port);
+  });
+}
+
+}  // namespace ofh::proto::coap

@@ -1,0 +1,123 @@
+// CoAP (RFC 7252) over UDP: 4-byte header, token, delta-encoded options,
+// 0xFF payload marker. Includes a resource server that answers
+// "/.well-known/core" discovery with CoRE link format (RFC 6690) — the
+// probe the paper's UDP scan sends — and models the amplification factor
+// that makes open CoAP devices reflection-attack resources.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::coap {
+
+enum class Type : std::uint8_t {
+  kConfirmable = 0,
+  kNonConfirmable = 1,
+  kAcknowledgement = 2,
+  kReset = 3,
+};
+
+// Code = class.detail (c.dd). Requests: 0.01 GET .. 0.04 DELETE.
+enum class Code : std::uint8_t {
+  kEmpty = 0x00,
+  kGet = 0x01,
+  kPost = 0x02,
+  kPut = 0x03,
+  kDelete = 0x04,
+  kCreated = 0x41,   // 2.01
+  kDeleted = 0x42,   // 2.02
+  kChanged = 0x44,   // 2.04
+  kContent = 0x45,   // 2.05
+  kBadRequest = 0x80,  // 4.00
+  kUnauthorized = 0x81,  // 4.01
+  kNotFound = 0x84,  // 4.04
+};
+
+// Option numbers used here.
+inline constexpr std::uint16_t kOptionUriPath = 11;
+inline constexpr std::uint16_t kOptionContentFormat = 12;
+
+struct Option {
+  std::uint16_t number = 0;
+  util::Bytes value;
+};
+
+struct Message {
+  Type type = Type::kConfirmable;
+  Code code = Code::kGet;
+  std::uint16_t message_id = 0;
+  util::Bytes token;
+  std::vector<Option> options;
+  util::Bytes payload;
+
+  // Joins Uri-Path options with '/' (leading slash included).
+  std::string uri_path() const;
+  void set_uri_path(std::string_view path);
+};
+
+util::Bytes encode(const Message& message);
+std::optional<Message> decode(std::span<const std::uint8_t> data);
+
+// Convenience: a GET /.well-known/core discovery probe.
+Message make_discovery_request(std::uint16_t message_id);
+
+// ------------------------------------------------------------------- server
+
+struct Resource {
+  std::string path;          // e.g. "sensors/temp"
+  std::string resource_type; // rt= attribute
+  std::string value;         // current content, mutable via PUT when open
+  bool writable = true;
+};
+
+struct CoapServerConfig {
+  std::uint16_t port = 5683;
+  // If true, any source may read/write all resources ("Full Access" / the
+  // paper's x1C indicator). If false, non-discovery requests get 4.01.
+  bool open_access = true;
+  // If true, /.well-known/core discloses the resource table (the reflection
+  // resource); if false the device still answers, but with a bare 4.01 —
+  // exposed to the scan without being exploitable.
+  bool expose_discovery = true;
+  std::vector<Resource> resources;
+  // Padding appended to discovery responses; models verbose device tables
+  // that drive amplification (response_bytes / request_bytes).
+  std::size_t discovery_padding = 0;
+};
+
+struct CoapEvents {
+  std::function<void(util::Ipv4Addr, const std::string& path, Code code)>
+      on_request;
+};
+
+class CoapServer : public Service {
+ public:
+  explicit CoapServer(CoapServerConfig config, CoapEvents events = {});
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "coap"; }
+  std::uint16_t port() const override { return config_.port; }
+
+  const CoapServerConfig& config() const { return config_; }
+  // Current value of a resource (tests observe poisoning via PUT).
+  std::optional<std::string> resource_value(const std::string& path) const;
+
+  // CoRE link-format body for /.well-known/core.
+  std::string link_format() const;
+
+ private:
+  struct State;
+  CoapServerConfig config_;
+  CoapEvents events_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ofh::proto::coap

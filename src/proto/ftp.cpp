@@ -1,0 +1,129 @@
+#include "proto/ftp.h"
+
+#include "util/strings.h"
+
+namespace ofh::proto::ftp {
+
+struct FtpServer::State {
+  std::map<std::string, std::string> files;
+};
+
+FtpServer::FtpServer(FtpServerConfig config, FtpEvents events)
+    : config_(std::move(config)),
+      events_(std::move(events)),
+      state_(std::make_shared<State>()) {}
+
+const std::map<std::string, std::string>& FtpServer::files() const {
+  return state_->files;
+}
+
+namespace {
+struct FtpSession {
+  std::string user;
+  bool logged_in = false;
+  std::string buffer;
+  // When non-empty, the next line(s) are file content for this name,
+  // terminated by a line with only ".".
+  std::string storing;
+  std::string store_buffer;
+};
+}  // namespace
+
+void FtpServer::install(net::Host& host) {
+  auto config = config_;
+  auto events = events_;
+  auto state = state_;
+  host.tcp().listen(config_.port, [config, events,
+                                   state](net::TcpConnection& conn) {
+    if (events.on_connect) events.on_connect(conn.remote_addr());
+    auto session = std::make_shared<FtpSession>();
+    conn.send_text(config.greeting + "\r\n");
+
+    conn.on_data = [config, events, state, session](
+                       net::TcpConnection& conn,
+                       std::span<const std::uint8_t> data) {
+      session->buffer += util::to_string(data);
+      for (;;) {
+        const auto newline = session->buffer.find('\n');
+        if (newline == std::string::npos) return;
+        std::string line = session->buffer.substr(0, newline);
+        session->buffer.erase(0, newline + 1);
+        while (!line.empty() && line.back() == '\r') line.pop_back();
+
+        if (!session->storing.empty()) {
+          if (line == ".") {
+            state->files[session->storing] = session->store_buffer;
+            if (events.on_store) {
+              events.on_store(conn.remote_addr(), session->storing,
+                              session->store_buffer);
+            }
+            session->storing.clear();
+            session->store_buffer.clear();
+            conn.send_text("226 Transfer complete.\r\n");
+          } else {
+            session->store_buffer += line + "\n";
+          }
+          continue;
+        }
+
+        const auto space = line.find(' ');
+        const std::string verb = util::to_lower(
+            space == std::string::npos ? line : line.substr(0, space));
+        const std::string arg =
+            space == std::string::npos ? "" : line.substr(space + 1);
+
+        if (verb == "user") {
+          session->user = arg;
+          conn.send_text("331 Please specify the password.\r\n");
+        } else if (verb == "pass") {
+          bool ok;
+          if (util::to_lower(session->user) == "anonymous") {
+            ok = config.auth.allow_anonymous || !config.auth.required;
+          } else {
+            ok = config.auth.check(session->user, arg);
+          }
+          session->logged_in = ok;
+          if (events.on_login) {
+            events.on_login(conn.remote_addr(), session->user, arg, ok);
+          }
+          conn.send_text(ok ? "230 Login successful.\r\n"
+                            : "530 Login incorrect.\r\n");
+        } else if (verb == "stor") {
+          if (!session->logged_in || !config.writable) {
+            conn.send_text("550 Permission denied.\r\n");
+          } else {
+            session->storing = arg;
+            conn.send_text("150 Ok to send data.\r\n");
+          }
+        } else if (verb == "retr") {
+          const auto it = state->files.find(arg);
+          if (!session->logged_in || it == state->files.end()) {
+            conn.send_text("550 Failed to open file.\r\n");
+          } else {
+            conn.send_text("150 Opening data connection.\r\n" + it->second +
+                           "\r\n226 Transfer complete.\r\n");
+          }
+        } else if (verb == "list" || verb == "nlst") {
+          if (!session->logged_in) {
+            conn.send_text("530 Please login with USER and PASS.\r\n");
+          } else {
+            std::string listing = "150 Here comes the listing.\r\n";
+            for (const auto& [name, content] : state->files) {
+              listing += name + "\r\n";
+            }
+            listing += "226 Directory send OK.\r\n";
+            conn.send_text(listing);
+          }
+        } else if (verb == "quit") {
+          conn.send_text("221 Goodbye.\r\n");
+          conn.close();
+          return;
+        } else {
+          conn.send_text("500 Unknown command.\r\n");
+        }
+      }
+    };
+  });
+}
+
+}  // namespace ofh::proto::ftp

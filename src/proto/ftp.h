@@ -1,0 +1,54 @@
+// FTP (RFC 959, control channel only): greeting, USER/PASS login including
+// anonymous, STOR/RETR/LIST over an in-memory file table. Data transfers are
+// inlined on the control channel (the measurement needs who-stored-what,
+// not PASV port choreography).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::ftp {
+
+struct FtpServerConfig {
+  std::uint16_t port = 21;
+  std::string greeting = "220 (vsFTPd 3.0.3)";
+  AuthConfig auth;          // allow_anonymous models Springall et al.'s misconfig
+  bool writable = true;     // STOR allowed once logged in
+};
+
+struct FtpEvents {
+  std::function<void(util::Ipv4Addr)> on_connect;
+  std::function<void(util::Ipv4Addr, const std::string& user,
+                     const std::string& pass, bool ok)>
+      on_login;
+  std::function<void(util::Ipv4Addr, const std::string& filename,
+                     const std::string& content)>
+      on_store;
+};
+
+class FtpServer : public Service {
+ public:
+  FtpServer(FtpServerConfig config, FtpEvents events = {});
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "ftp"; }
+  std::uint16_t port() const override { return config_.port; }
+
+  const FtpServerConfig& config() const { return config_; }
+  // Uploaded files (malware drops land here).
+  const std::map<std::string, std::string>& files() const;
+
+ private:
+  struct State;
+  FtpServerConfig config_;
+  FtpEvents events_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ofh::proto::ftp

@@ -1,0 +1,198 @@
+#include "proto/http.h"
+
+#include "util/strings.h"
+
+namespace ofh::proto::http {
+
+namespace {
+
+void parse_headers(const std::vector<std::string>& lines, std::size_t start,
+                   std::map<std::string, std::string>& headers) {
+  for (std::size_t i = start; i < lines.size(); ++i) {
+    const auto& line = lines[i];
+    if (util::trim(line).empty()) break;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    headers[util::to_lower(util::trim(line.substr(0, colon)))] =
+        std::string(util::trim(line.substr(colon + 1)));
+  }
+}
+
+std::string body_after_blank_line(std::string_view text) {
+  const auto pos = text.find("\r\n\r\n");
+  return pos == std::string_view::npos ? std::string{}
+                                       : std::string(text.substr(pos + 4));
+}
+
+}  // namespace
+
+util::Bytes encode_request(const Request& request) {
+  std::string text = request.method + " " + request.path + " HTTP/1.1\r\n";
+  for (const auto& [key, value] : request.headers) {
+    text += key + ": " + value + "\r\n";
+  }
+  if (!request.body.empty()) {
+    text += "content-length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  text += "\r\n" + request.body;
+  return util::to_bytes(text);
+}
+
+std::optional<Request> decode_request(std::string_view text) {
+  const auto lines = util::split(text, '\n');
+  if (lines.empty()) return std::nullopt;
+  const auto parts = util::split(util::trim(lines[0]), ' ');
+  if (parts.size() < 3 || !util::starts_with(parts[2], "HTTP/")) {
+    return std::nullopt;
+  }
+  Request request;
+  request.method = parts[0];
+  request.path = parts[1];
+  parse_headers(lines, 1, request.headers);
+  request.body = body_after_blank_line(text);
+  return request;
+}
+
+util::Bytes encode_response(const Response& response) {
+  std::string text = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     response.reason + "\r\n";
+  if (!response.server.empty()) text += "Server: " + response.server + "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    text += key + ": " + value + "\r\n";
+  }
+  text += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  text += "\r\n" + response.body;
+  return util::to_bytes(text);
+}
+
+std::optional<Response> decode_response(std::string_view text) {
+  const auto lines = util::split(text, '\n');
+  if (lines.empty() || !util::starts_with(lines[0], "HTTP/")) {
+    return std::nullopt;
+  }
+  const auto parts = util::split(util::trim(lines[0]), ' ');
+  if (parts.size() < 2) return std::nullopt;
+  Response response;
+  response.status = std::atoi(parts[1].c_str());
+  if (parts.size() > 2) response.reason = parts[2];
+  std::map<std::string, std::string> headers;
+  parse_headers(lines, 1, headers);
+  if (const auto it = headers.find("server"); it != headers.end()) {
+    response.server = it->second;
+    headers.erase("server");
+  }
+  response.headers = std::move(headers);
+  response.body = body_after_blank_line(text);
+  return response;
+}
+
+namespace {
+
+// Extracts "user=<u>&pass=<p>" form fields.
+std::pair<std::string, std::string> parse_login_form(const std::string& body) {
+  std::string user, pass;
+  for (const auto& field : util::split(body, '&')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) continue;
+    const auto key = field.substr(0, eq);
+    const auto value = field.substr(eq + 1);
+    if (key == "user" || key == "username") user = value;
+    if (key == "pass" || key == "password") pass = value;
+  }
+  return {user, pass};
+}
+
+}  // namespace
+
+void HttpServer::install(net::Host& host) {
+  auto config = config_;
+  auto events = events_;
+  host.tcp().listen(config_.port, [config, events](net::TcpConnection& conn) {
+    auto buffer = std::make_shared<std::string>();
+    conn.on_data = [config, events, buffer](
+                       net::TcpConnection& conn,
+                       std::span<const std::uint8_t> data) {
+      *buffer += util::to_string(data);
+      if (buffer->find("\r\n\r\n") == std::string::npos) return;
+      const auto request = decode_request(*buffer);
+      buffer->clear();
+      if (!request) {
+        conn.close();
+        return;
+      }
+      if (events.on_request) events.on_request(conn.remote_addr(), *request);
+
+      Response response;
+      response.server = config.server_header;
+      if (config.has_login_form && request->method == "POST" &&
+          request->path == "/login") {
+        const auto [user, pass] = parse_login_form(request->body);
+        const bool ok = config.auth.check(user, pass);
+        if (events.on_login_attempt) {
+          events.on_login_attempt(conn.remote_addr(), user, pass, ok);
+        }
+        response.status = ok ? 200 : 401;
+        response.reason = ok ? "OK" : "Unauthorized";
+        response.body = ok ? "<html>Welcome</html>"
+                           : "<html>Invalid credentials</html>";
+      } else {
+        const auto it = config.routes.find(request->path);
+        if (it != config.routes.end()) {
+          response.body = it->second;
+        } else if (const auto any = config.routes.find("*");
+                   any != config.routes.end()) {
+          response.body = any->second;
+        } else {
+          response.status = 404;
+          response.reason = "Not Found";
+          response.body = "<html><h1>404 Not Found</h1></html>";
+        }
+      }
+      conn.send(encode_response(response));
+    };
+  });
+}
+
+void HttpClient::get(net::Host& from, util::Ipv4Addr target,
+                     std::uint16_t port, std::string path, Callback done) {
+  from.tcp().connect(target, port, [path = std::move(path),
+                                    done = std::move(done)](
+                                       net::TcpConnection* conn) {
+    if (conn == nullptr) {
+      done(std::nullopt);
+      return;
+    }
+    auto buffer = std::make_shared<std::string>();
+    auto callback = std::make_shared<Callback>(std::move(done));
+    Request request;
+    request.path = path;
+    conn->send(encode_request(request));
+    conn->on_data = [buffer, callback](net::TcpConnection& conn,
+                                       std::span<const std::uint8_t> data) {
+      *buffer += util::to_string(data);
+      const auto response = decode_response(*buffer);
+      if (response) {
+        const auto it = response->headers.find("content-length");
+        const std::size_t expected =
+            it == response->headers.end()
+                ? 0
+                : static_cast<std::size_t>(std::atol(it->second.c_str()));
+        if (response->body.size() >= expected) {
+          if (*callback) {
+            (*callback)(response);
+            *callback = nullptr;
+          }
+          conn.close();
+        }
+      }
+    };
+    conn->on_close = [callback](net::TcpConnection&) {
+      if (*callback) {
+        (*callback)(std::nullopt);
+        *callback = nullptr;
+      }
+    };
+  });
+}
+
+}  // namespace ofh::proto::http

@@ -1,0 +1,79 @@
+// HTTP/1.1 request/response codec and a small routed server used by device
+// web frontends and honeypots (login pages, UPnP rootDesc.xml, dropper URLs).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::http {
+
+struct Request {
+  std::string method = "GET";
+  std::string path = "/";
+  std::map<std::string, std::string> headers;  // lowercase keys
+  std::string body;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  std::string body;
+  std::string server;  // Server: header
+};
+
+util::Bytes encode_request(const Request& request);
+std::optional<Request> decode_request(std::string_view text);
+util::Bytes encode_response(const Response& response);
+std::optional<Response> decode_response(std::string_view text);
+
+// ------------------------------------------------------------------- server
+
+struct HttpServerConfig {
+  std::uint16_t port = 80;
+  std::string server_header = "lighttpd/1.4.54";
+  // Path -> static body. A path of "*" is the catch-all (404 if absent).
+  std::map<std::string, std::string> routes;
+  // If set, POST /login with user/pass form fields is checked against auth.
+  AuthConfig auth;
+  bool has_login_form = false;
+};
+
+struct HttpEvents {
+  std::function<void(util::Ipv4Addr, const Request&)> on_request;
+  std::function<void(util::Ipv4Addr, const std::string& user,
+                     const std::string& pass, bool ok)>
+      on_login_attempt;
+};
+
+class HttpServer : public Service {
+ public:
+  HttpServer(HttpServerConfig config, HttpEvents events = {})
+      : config_(std::move(config)), events_(std::move(events)) {}
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "http"; }
+  std::uint16_t port() const override { return config_.port; }
+  const HttpServerConfig& config() const { return config_; }
+
+ private:
+  HttpServerConfig config_;
+  HttpEvents events_;
+};
+
+// One-shot HTTP GET helper (used by malware droppers fetching payload URLs).
+class HttpClient {
+ public:
+  using Callback = std::function<void(std::optional<Response>)>;
+  static void get(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
+                  std::string path, Callback done);
+};
+
+}  // namespace ofh::proto::http

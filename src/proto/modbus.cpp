@@ -1,0 +1,185 @@
+#include "proto/modbus.h"
+
+namespace ofh::proto::modbus {
+
+bool is_valid_function(std::uint8_t code) {
+  // The 19 public function codes of the Modbus spec.
+  static constexpr std::array<std::uint8_t, 19> kValid = {
+      0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x0b, 0x0c,
+      0x0f, 0x10, 0x11, 0x14, 0x15, 0x16, 0x17, 0x18, 0x2b};
+  for (const auto valid : kValid) {
+    if (code == valid) return true;
+  }
+  return false;
+}
+
+util::Bytes encode_request(const Request& request) {
+  util::ByteWriter out;
+  out.u16(request.transaction_id)
+      .u16(0)  // protocol id
+      .u16(static_cast<std::uint16_t>(2 + request.data.size()))
+      .u8(request.unit_id)
+      .u8(request.function)
+      .raw(request.data);
+  return out.take();
+}
+
+std::optional<Request> decode_request(std::span<const std::uint8_t> data,
+                                      std::size_t* consumed) {
+  util::ByteReader reader(data);
+  const auto transaction_id = reader.u16();
+  const auto protocol_id = reader.u16();
+  const auto length = reader.u16();
+  if (!transaction_id || !protocol_id || !length || *length < 2) {
+    return std::nullopt;
+  }
+  if (reader.remaining() < *length) return std::nullopt;
+  const auto unit_id = reader.u8();
+  const auto function = reader.u8();
+  const auto body = reader.raw(*length - 2);
+  if (!unit_id || !function || !body) return std::nullopt;
+  Request request;
+  request.transaction_id = *transaction_id;
+  request.unit_id = *unit_id;
+  request.function = *function;
+  request.data.assign(body->begin(), body->end());
+  if (consumed != nullptr) *consumed = reader.position();
+  return request;
+}
+
+util::Bytes encode_response(std::uint16_t transaction_id,
+                            std::uint8_t unit_id, std::uint8_t function,
+                            const util::Bytes& data) {
+  Request frame;
+  frame.transaction_id = transaction_id;
+  frame.unit_id = unit_id;
+  frame.function = function;
+  frame.data = data;
+  return encode_request(frame);
+}
+
+struct ModbusServer::State {
+  std::vector<std::uint16_t> registers;
+};
+
+ModbusServer::ModbusServer(ModbusServerConfig config, ModbusEvents events)
+    : config_(std::move(config)),
+      events_(std::move(events)),
+      state_(std::make_shared<State>()) {
+  state_->registers.assign(config_.register_count, 0);
+  // Plausible process values so poisoning is observable.
+  for (std::size_t i = 0; i < state_->registers.size(); ++i) {
+    state_->registers[i] = static_cast<std::uint16_t>(1000 + i * 3);
+  }
+}
+
+std::uint16_t ModbusServer::register_value(std::uint16_t address) const {
+  if (address >= state_->registers.size()) return 0;
+  return state_->registers[address];
+}
+
+void ModbusServer::install(net::Host& host) {
+  auto config = config_;
+  auto events = events_;
+  auto state = state_;
+  host.tcp().listen(config_.port, [config, events,
+                                   state](net::TcpConnection& conn) {
+    auto inbox = std::make_shared<util::Bytes>();
+    conn.on_data = [config, events, state, inbox](
+                       net::TcpConnection& conn,
+                       std::span<const std::uint8_t> data) {
+      inbox->insert(inbox->end(), data.begin(), data.end());
+      for (;;) {
+        std::size_t consumed = 0;
+        const auto request = decode_request(*inbox, &consumed);
+        if (!request) return;
+        inbox->erase(inbox->begin(),
+                     inbox->begin() + static_cast<std::ptrdiff_t>(consumed));
+
+        const bool valid = is_valid_function(request->function);
+        if (events.on_request) {
+          events.on_request(conn.remote_addr(), request->function, valid);
+        }
+        if (!valid) {
+          conn.send(encode_response(request->transaction_id, request->unit_id,
+                                    request->function | 0x80,
+                                    {0x01}));  // ILLEGAL FUNCTION
+          continue;
+        }
+
+        util::ByteWriter body;
+        switch (static_cast<Function>(request->function)) {
+          case Function::kReadHoldingRegisters: {
+            util::ByteReader args(request->data);
+            const auto address = args.u16();
+            const auto count = args.u16();
+            if (!address || !count || *count == 0 || *count > 125 ||
+                *address + *count > state->registers.size()) {
+              conn.send(encode_response(
+                  request->transaction_id, request->unit_id,
+                  request->function | 0x80, {0x02}));  // ILLEGAL ADDRESS
+              continue;
+            }
+            body.u8(static_cast<std::uint8_t>(*count * 2));
+            for (std::uint16_t i = 0; i < *count; ++i) {
+              body.u16(state->registers[*address + i]);
+            }
+            break;
+          }
+          case Function::kWriteSingleRegister: {
+            util::ByteReader args(request->data);
+            const auto address = args.u16();
+            const auto value = args.u16();
+            if (!address || !value ||
+                *address >= state->registers.size()) {
+              conn.send(encode_response(request->transaction_id,
+                                        request->unit_id,
+                                        request->function | 0x80, {0x02}));
+              continue;
+            }
+            state->registers[*address] = *value;
+            if (events.on_register_write) {
+              events.on_register_write(conn.remote_addr(), *address, *value);
+            }
+            body.u16(*address).u16(*value);  // echo
+            break;
+          }
+          case Function::kWriteMultipleRegisters: {
+            util::ByteReader args(request->data);
+            const auto address = args.u16();
+            const auto count = args.u16();
+            const auto byte_count = args.u8();
+            if (!address || !count || !byte_count ||
+                *address + *count > state->registers.size()) {
+              conn.send(encode_response(request->transaction_id,
+                                        request->unit_id,
+                                        request->function | 0x80, {0x02}));
+              continue;
+            }
+            for (std::uint16_t i = 0; i < *count; ++i) {
+              const auto value = args.u16();
+              if (!value) break;
+              state->registers[*address + i] = *value;
+              if (events.on_register_write) {
+                events.on_register_write(conn.remote_addr(),
+                                         *address + i, *value);
+              }
+            }
+            body.u16(*address).u16(*count);
+            break;
+          }
+          case Function::kReportServerId:
+            body.str8(config.vendor + " " + config.product);
+            break;
+          case Function::kReadDeviceIdentification:
+            body.str8(config.vendor).str8(config.product);
+            break;
+        }
+        conn.send(encode_response(request->transaction_id, request->unit_id,
+                                  request->function, body.take()));
+      }
+    };
+  });
+}
+
+}  // namespace ofh::proto::modbus

@@ -1,0 +1,80 @@
+// Modbus/TCP (MBAP header + PDU). Implements the register model and the
+// function codes the paper's Conpot deployment observed: read/write holding
+// registers, read device identification, report server id, plus exception
+// responses for the ~90% of traffic that used invalid function codes.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::modbus {
+
+enum class Function : std::uint8_t {
+  kReadHoldingRegisters = 0x03,
+  kWriteSingleRegister = 0x06,
+  kWriteMultipleRegisters = 0x10,
+  kReportServerId = 0x11,
+  kReadDeviceIdentification = 0x2b,
+};
+
+// All valid public function codes (1..0x2b subset); anything else is an
+// ILLEGAL FUNCTION exception. Nineteen codes, matching the paper's count.
+bool is_valid_function(std::uint8_t code);
+
+struct Request {
+  std::uint16_t transaction_id = 0;
+  std::uint8_t unit_id = 1;
+  std::uint8_t function = 0x03;
+  util::Bytes data;
+};
+
+util::Bytes encode_request(const Request& request);
+std::optional<Request> decode_request(std::span<const std::uint8_t> data,
+                                      std::size_t* consumed);
+// Response reuses the Request frame layout (function | 0x80 on exception).
+util::Bytes encode_response(std::uint16_t transaction_id,
+                            std::uint8_t unit_id, std::uint8_t function,
+                            const util::Bytes& data);
+
+struct ModbusServerConfig {
+  std::uint16_t port = 502;
+  std::string vendor = "Siemens";
+  std::string product = "SIMATIC S7-200";
+  std::uint16_t register_count = 128;
+};
+
+struct ModbusEvents {
+  std::function<void(util::Ipv4Addr, std::uint8_t function, bool valid)>
+      on_request;
+  std::function<void(util::Ipv4Addr, std::uint16_t address,
+                     std::uint16_t value)>
+      on_register_write;
+};
+
+class ModbusServer : public Service {
+ public:
+  explicit ModbusServer(ModbusServerConfig config, ModbusEvents events = {});
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "modbus"; }
+  std::uint16_t port() const override { return config_.port; }
+
+  const ModbusServerConfig& config() const { return config_; }
+  std::uint16_t register_value(std::uint16_t address) const;
+
+ private:
+  struct State;
+  ModbusServerConfig config_;
+  ModbusEvents events_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ofh::proto::modbus

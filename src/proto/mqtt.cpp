@@ -1,0 +1,348 @@
+#include "proto/mqtt.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace ofh::proto::mqtt {
+
+std::optional<FixedHeader> decode_fixed_header(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 2) return std::nullopt;
+  FixedHeader header;
+  const std::uint8_t first = data[0];
+  const auto type = first >> 4;
+  if (type < 1 || type > 14) return std::nullopt;
+  header.type = static_cast<PacketType>(type);
+  header.flags = first & 0x0f;
+
+  // Remaining length: up to 4 base-128 digits, little-endian, msb=continue.
+  std::uint32_t value = 0;
+  std::uint32_t multiplier = 1;
+  std::size_t i = 1;
+  for (;; ++i) {
+    if (i >= data.size() || i > 4) return std::nullopt;
+    const std::uint8_t digit = data[i];
+    value += (digit & 0x7f) * multiplier;
+    multiplier *= 128;
+    if ((digit & 0x80) == 0) break;
+  }
+  header.remaining_length = value;
+  header.header_size = i + 1;
+  return header;
+}
+
+util::Bytes encode_packet(PacketType type, std::uint8_t flags,
+                          std::span<const std::uint8_t> body) {
+  util::Bytes out;
+  out.push_back(static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(type) << 4) | (flags & 0x0f)));
+  std::uint32_t remaining = static_cast<std::uint32_t>(body.size());
+  do {
+    std::uint8_t digit = remaining % 128;
+    remaining /= 128;
+    if (remaining > 0) digit |= 0x80;
+    out.push_back(digit);
+  } while (remaining > 0);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+util::Bytes encode_connect(const ConnectPacket& packet) {
+  util::ByteWriter body;
+  body.str16("MQTT").u8(4);  // protocol level 4 = 3.1.1
+  std::uint8_t connect_flags = 0;
+  if (packet.clean_session) connect_flags |= 0x02;
+  if (packet.username) connect_flags |= 0x80;
+  if (packet.password) connect_flags |= 0x40;
+  body.u8(connect_flags).u16(packet.keep_alive).str16(packet.client_id);
+  if (packet.username) body.str16(*packet.username);
+  if (packet.password) body.str16(*packet.password);
+  return encode_packet(PacketType::kConnect, 0, body.bytes());
+}
+
+std::optional<ConnectPacket> decode_connect(
+    std::span<const std::uint8_t> body) {
+  util::ByteReader reader(body);
+  const auto protocol = reader.str16();
+  if (!protocol || (*protocol != "MQTT" && *protocol != "MQIsdp")) {
+    return std::nullopt;
+  }
+  const auto level = reader.u8();
+  const auto flags = reader.u8();
+  const auto keep_alive = reader.u16();
+  const auto client_id = reader.str16();
+  if (!level || !flags || !keep_alive || !client_id) return std::nullopt;
+
+  ConnectPacket packet;
+  packet.client_id = *client_id;
+  packet.clean_session = (*flags & 0x02) != 0;
+  packet.keep_alive = *keep_alive;
+  if (*flags & 0x04) {  // will flag: skip will topic + message
+    if (!reader.str16() || !reader.str16()) return std::nullopt;
+  }
+  if (*flags & 0x80) {
+    auto username = reader.str16();
+    if (!username) return std::nullopt;
+    packet.username = std::move(*username);
+  }
+  if (*flags & 0x40) {
+    auto password = reader.str16();
+    if (!password) return std::nullopt;
+    packet.password = std::move(*password);
+  }
+  return packet;
+}
+
+util::Bytes encode_connack(ConnectCode code, bool session_present) {
+  util::ByteWriter body;
+  body.u8(session_present ? 1 : 0).u8(static_cast<std::uint8_t>(code));
+  return encode_packet(PacketType::kConnack, 0, body.bytes());
+}
+
+std::optional<ConnectCode> decode_connack(
+    std::span<const std::uint8_t> body) {
+  if (body.size() < 2 || body[1] > 5) return std::nullopt;
+  return static_cast<ConnectCode>(body[1]);
+}
+
+util::Bytes encode_publish(const PublishPacket& packet) {
+  util::ByteWriter body;
+  body.str16(packet.topic).raw(packet.payload);
+  return encode_packet(PacketType::kPublish, packet.retain ? 0x01 : 0x00,
+                       body.bytes());
+}
+
+std::optional<PublishPacket> decode_publish(std::span<const std::uint8_t> body,
+                                            std::uint8_t flags) {
+  util::ByteReader reader(body);
+  auto topic = reader.str16();
+  if (!topic) return std::nullopt;
+  const std::uint8_t qos = (flags >> 1) & 0x03;
+  if (qos > 0 && !reader.u16()) return std::nullopt;  // packet identifier
+  PublishPacket packet;
+  packet.topic = std::move(*topic);
+  packet.retain = (flags & 0x01) != 0;
+  const auto rest = reader.rest();
+  packet.payload.assign(rest.begin(), rest.end());
+  return packet;
+}
+
+util::Bytes encode_subscribe(const SubscribePacket& packet) {
+  util::ByteWriter body;
+  body.u16(packet.packet_id);
+  for (const auto& filter : packet.topic_filters) {
+    body.str16(filter).u8(0);  // requested QoS 0
+  }
+  return encode_packet(PacketType::kSubscribe, 0x02, body.bytes());
+}
+
+std::optional<SubscribePacket> decode_subscribe(
+    std::span<const std::uint8_t> body) {
+  util::ByteReader reader(body);
+  const auto packet_id = reader.u16();
+  if (!packet_id) return std::nullopt;
+  SubscribePacket packet;
+  packet.packet_id = *packet_id;
+  while (!reader.done()) {
+    auto filter = reader.str16();
+    if (!filter || !reader.u8()) return std::nullopt;
+    packet.topic_filters.push_back(std::move(*filter));
+  }
+  if (packet.topic_filters.empty()) return std::nullopt;
+  return packet;
+}
+
+util::Bytes encode_suback(std::uint16_t packet_id, std::size_t topic_count) {
+  util::ByteWriter body;
+  body.u16(packet_id);
+  for (std::size_t i = 0; i < topic_count; ++i) body.u8(0);  // granted QoS 0
+  return encode_packet(PacketType::kSuback, 0, body.bytes());
+}
+
+bool topic_matches(std::string_view filter, std::string_view topic) {
+  const auto filter_parts = util::split(filter, '/');
+  const auto topic_parts = util::split(topic, '/');
+  std::size_t i = 0;
+  for (; i < filter_parts.size(); ++i) {
+    if (filter_parts[i] == "#") return true;  // matches remainder (incl. none)
+    if (i >= topic_parts.size()) return false;
+    if (filter_parts[i] == "+") continue;
+    if (filter_parts[i] != topic_parts[i]) return false;
+  }
+  return i == topic_parts.size();
+}
+
+// ------------------------------------------------------------------- broker
+
+struct Broker::State {
+  // topic -> retained payload
+  std::map<std::string, std::string> topics;
+  std::size_t session_count = 0;
+};
+
+namespace {
+
+struct BrokerSession {
+  bool connected = false;          // CONNECT accepted
+  util::Bytes inbox;               // reassembly buffer
+  std::vector<std::string> filters;
+};
+
+}  // namespace
+
+Broker::Broker(BrokerConfig config, BrokerEvents events)
+    : config_(std::move(config)),
+      events_(std::move(events)),
+      state_(std::make_shared<State>()) {
+  for (const auto& [topic, payload] : config_.retained) {
+    state_->topics[topic] = payload;
+  }
+  if (config_.expose_sys_topics) {
+    state_->topics["$SYS/broker/version"] =
+        config_.server_name + " version " + config_.version;
+    state_->topics["$SYS/broker/uptime"] = "86400 seconds";
+    state_->topics["$SYS/broker/clients/total"] = "3";
+  }
+}
+
+std::size_t Broker::session_count() const { return state_->session_count; }
+
+std::optional<std::string> Broker::retained(const std::string& topic) const {
+  const auto it = state_->topics.find(topic);
+  if (it == state_->topics.end()) return std::nullopt;
+  return it->second;
+}
+
+void Broker::install(net::Host& host) {
+  auto config = config_;
+  auto events = events_;
+  auto state = state_;
+  host.tcp().listen(config_.port, [config, events,
+                                   state](net::TcpConnection& conn) {
+    auto session = std::make_shared<BrokerSession>();
+    ++state->session_count;
+
+    conn.on_close = [state](net::TcpConnection&) {
+      if (state->session_count > 0) --state->session_count;
+    };
+
+    conn.on_data = [config, events, state, session](
+                       net::TcpConnection& conn,
+                       std::span<const std::uint8_t> data) {
+      auto& inbox = session->inbox;
+      inbox.insert(inbox.end(), data.begin(), data.end());
+
+      for (;;) {
+        const auto header = decode_fixed_header(inbox);
+        if (!header) return;  // need more bytes
+        const std::size_t frame_size =
+            header->header_size + header->remaining_length;
+        if (inbox.size() < frame_size) return;
+        const std::span<const std::uint8_t> body(
+            inbox.data() + header->header_size, header->remaining_length);
+
+        switch (header->type) {
+          case PacketType::kConnect: {
+            const auto connect = decode_connect(body);
+            ConnectCode code = ConnectCode::kAccepted;
+            if (!connect) {
+              code = ConnectCode::kUnacceptableProtocol;
+            } else if (config.auth.required) {
+              const bool ok =
+                  connect->username && connect->password &&
+                  config.auth.check(*connect->username, *connect->password);
+              if (!ok) {
+                code = connect->username ? ConnectCode::kBadCredentials
+                                         : ConnectCode::kNotAuthorized;
+              }
+            }
+            if (events.on_connect) events.on_connect(conn.remote_addr(), code);
+            conn.send(encode_connack(code));
+            if (code == ConnectCode::kAccepted) {
+              session->connected = true;
+            } else {
+              conn.close();
+              return;
+            }
+            break;
+          }
+          case PacketType::kPublish: {
+            if (!session->connected) break;
+            const auto publish = decode_publish(body, header->flags);
+            if (publish) {
+              if (events.on_topic_access) {
+                events.on_topic_access(conn.remote_addr(), publish->topic,
+                                       /*write=*/true);
+              }
+              // Data poisoning: any connected client may overwrite retained
+              // topic state when the broker is misconfigured.
+              state->topics[publish->topic] =
+                  util::to_string(publish->payload);
+            }
+            break;
+          }
+          case PacketType::kSubscribe: {
+            if (!session->connected) break;
+            const auto subscribe = decode_subscribe(body);
+            if (subscribe) {
+              conn.send(encode_suback(subscribe->packet_id,
+                                      subscribe->topic_filters.size()));
+              for (const auto& filter : subscribe->topic_filters) {
+                if (events.on_topic_access) {
+                  events.on_topic_access(conn.remote_addr(), filter,
+                                         /*write=*/false);
+                }
+                session->filters.push_back(filter);
+                // Deliver matching retained messages immediately.
+                for (const auto& [topic, payload] : state->topics) {
+                  if (topic_matches(filter, topic)) {
+                    PublishPacket out;
+                    out.topic = topic;
+                    out.payload = util::to_bytes(payload);
+                    out.retain = true;
+                    conn.send(encode_publish(out));
+                  }
+                }
+              }
+            }
+            break;
+          }
+          case PacketType::kUnsubscribe: {
+            if (!session->connected) break;
+            util::ByteReader reader(body);
+            const auto packet_id = reader.u16();
+            if (packet_id) {
+              while (!reader.done()) {
+                const auto filter = reader.str16();
+                if (!filter) break;
+                auto& filters = session->filters;
+                filters.erase(
+                    std::remove(filters.begin(), filters.end(), *filter),
+                    filters.end());
+              }
+              util::ByteWriter ack;
+              ack.u16(*packet_id);
+              conn.send(encode_packet(PacketType::kUnsuback, 0, ack.bytes()));
+            }
+            break;
+          }
+          case PacketType::kPingreq:
+            conn.send(encode_packet(PacketType::kPingresp, 0, {}));
+            break;
+          case PacketType::kDisconnect:
+            inbox.clear();
+            conn.close();
+            return;
+          default:
+            break;
+        }
+        inbox.erase(inbox.begin(),
+                    inbox.begin() + static_cast<std::ptrdiff_t>(frame_size));
+      }
+    };
+  });
+}
+
+}  // namespace ofh::proto::mqtt

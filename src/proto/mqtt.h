@@ -1,0 +1,135 @@
+// MQTT 3.1.1 (OASIS): fixed-header framing with variable-length remaining
+// length, CONNECT/CONNACK/PUBLISH/SUBSCRIBE/... packets, and a broker engine
+// with topic store, $SYS topics and configurable authentication.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::mqtt {
+
+enum class PacketType : std::uint8_t {
+  kConnect = 1,
+  kConnack = 2,
+  kPublish = 3,
+  kPuback = 4,
+  kSubscribe = 8,
+  kSuback = 9,
+  kUnsubscribe = 10,
+  kUnsuback = 11,
+  kPingreq = 12,
+  kPingresp = 13,
+  kDisconnect = 14,
+};
+
+// CONNACK return codes (MQTT 3.1.1 §3.2.2.3). Code 0 is the paper's
+// "MQTT Connection Code:0" no-auth misconfiguration indicator.
+enum class ConnectCode : std::uint8_t {
+  kAccepted = 0,
+  kUnacceptableProtocol = 1,
+  kIdentifierRejected = 2,
+  kServerUnavailable = 3,
+  kBadCredentials = 4,
+  kNotAuthorized = 5,
+};
+
+struct FixedHeader {
+  PacketType type;
+  std::uint8_t flags = 0;
+  std::uint32_t remaining_length = 0;
+  std::size_t header_size = 0;  // bytes consumed by the fixed header
+};
+
+// Decodes a fixed header from the front of data; nullopt if incomplete or
+// malformed (remaining length > 4 varint bytes).
+std::optional<FixedHeader> decode_fixed_header(
+    std::span<const std::uint8_t> data);
+
+// Encodes type+flags and the varint remaining length, then appends body.
+util::Bytes encode_packet(PacketType type, std::uint8_t flags,
+                          std::span<const std::uint8_t> body);
+
+struct ConnectPacket {
+  std::string client_id;
+  std::optional<std::string> username;
+  std::optional<std::string> password;
+  bool clean_session = true;
+  std::uint16_t keep_alive = 60;
+};
+util::Bytes encode_connect(const ConnectPacket& packet);
+std::optional<ConnectPacket> decode_connect(
+    std::span<const std::uint8_t> body);
+
+util::Bytes encode_connack(ConnectCode code, bool session_present = false);
+// Returns the return code of a CONNACK frame body.
+std::optional<ConnectCode> decode_connack(std::span<const std::uint8_t> body);
+
+struct PublishPacket {
+  std::string topic;
+  util::Bytes payload;
+  bool retain = false;
+};
+util::Bytes encode_publish(const PublishPacket& packet);
+std::optional<PublishPacket> decode_publish(std::span<const std::uint8_t> body,
+                                            std::uint8_t flags);
+
+struct SubscribePacket {
+  std::uint16_t packet_id = 1;
+  std::vector<std::string> topic_filters;
+};
+util::Bytes encode_subscribe(const SubscribePacket& packet);
+std::optional<SubscribePacket> decode_subscribe(
+    std::span<const std::uint8_t> body);
+util::Bytes encode_suback(std::uint16_t packet_id, std::size_t topic_count);
+
+// Topic filter matching with + and # wildcards (§4.7).
+bool topic_matches(std::string_view filter, std::string_view topic);
+
+// ------------------------------------------------------------------- broker
+
+struct BrokerConfig {
+  std::uint16_t port = 1883;
+  AuthConfig auth;  // required=false reproduces the open-broker misconfig
+  bool expose_sys_topics = true;
+  std::string server_name = "mosquitto";
+  std::string version = "1.6.9";
+  // Retained messages pre-loaded into the topic store (device telemetry;
+  // Table 11 identifies devices by topic names like "octoPrint/...").
+  std::vector<std::pair<std::string, std::string>> retained;
+};
+
+struct BrokerEvents {
+  std::function<void(util::Ipv4Addr, ConnectCode)> on_connect;
+  std::function<void(util::Ipv4Addr, const std::string& topic, bool write)>
+      on_topic_access;
+};
+
+class Broker : public Service {
+ public:
+  explicit Broker(BrokerConfig config, BrokerEvents events = {});
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "mqtt"; }
+  std::uint16_t port() const override { return config_.port; }
+
+  const BrokerConfig& config() const { return config_; }
+  // Current retained value of a topic, if any (lets tests observe poisoning).
+  std::optional<std::string> retained(const std::string& topic) const;
+  std::size_t session_count() const;
+
+ private:
+  struct State;
+  BrokerConfig config_;
+  BrokerEvents events_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ofh::proto::mqtt

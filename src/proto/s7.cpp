@@ -1,0 +1,159 @@
+#include "proto/s7.h"
+
+namespace ofh::proto::s7 {
+
+namespace {
+constexpr std::uint8_t kTpktVersion = 3;
+constexpr std::uint8_t kCotpConnectRequest = 0xe0;
+constexpr std::uint8_t kCotpConnectConfirm = 0xd0;
+constexpr std::uint8_t kCotpData = 0xf0;
+constexpr std::uint8_t kS7Magic = 0x32;
+}  // namespace
+
+util::Bytes encode_cotp_connect() {
+  util::ByteWriter out;
+  out.u8(kTpktVersion).u8(0).u16(11);           // TPKT header
+  out.u8(6).u8(kCotpConnectRequest).u16(0).u16(1).u8(0);  // COTP CR
+  return out.take();
+}
+
+util::Bytes encode_pdu(PduType type, std::uint16_t pdu_ref,
+                       const util::Bytes& payload) {
+  util::ByteWriter out;
+  const std::uint16_t total =
+      static_cast<std::uint16_t>(4 + 3 + 7 + payload.size());
+  out.u8(kTpktVersion).u8(0).u16(total);
+  out.u8(2).u8(kCotpData).u8(0x80);  // COTP DT
+  out.u8(kS7Magic)
+      .u8(static_cast<std::uint8_t>(type))
+      .u16(0)  // reserved
+      .u16(pdu_ref)
+      .u8(static_cast<std::uint8_t>(payload.size()));
+  out.raw(payload);
+  return out.take();
+}
+
+std::optional<S7Frame> decode(std::span<const std::uint8_t> data,
+                              std::size_t* consumed) {
+  util::ByteReader reader(data);
+  const auto version = reader.u8();
+  const auto reserved = reader.u8();
+  const auto length = reader.u16();
+  if (!version || *version != kTpktVersion || !reserved || !length ||
+      *length < 4) {
+    return std::nullopt;
+  }
+  if (data.size() < *length) return std::nullopt;
+
+  const auto cotp_length = reader.u8();
+  const auto cotp_type = reader.u8();
+  if (!cotp_length || !cotp_type) return std::nullopt;
+
+  S7Frame frame;
+  if (*cotp_type == kCotpConnectRequest ||
+      *cotp_type == kCotpConnectConfirm) {
+    frame.is_cotp_connect = true;
+    if (consumed != nullptr) *consumed = *length;
+    return frame;
+  }
+  if (*cotp_type != kCotpData) return std::nullopt;
+  if (!reader.u8()) return std::nullopt;  // COTP DT flags
+
+  const auto magic = reader.u8();
+  const auto pdu_type = reader.u8();
+  if (!magic || *magic != kS7Magic || !pdu_type) return std::nullopt;
+  if (!reader.u16()) return std::nullopt;  // reserved
+  const auto pdu_ref = reader.u16();
+  const auto payload_length = reader.u8();
+  if (!pdu_ref || !payload_length) return std::nullopt;
+  const auto payload = reader.raw(*payload_length);
+  if (!payload) return std::nullopt;
+
+  frame.pdu_type = static_cast<PduType>(*pdu_type);
+  frame.pdu_ref = *pdu_ref;
+  frame.payload.assign(payload->begin(), payload->end());
+  if (consumed != nullptr) *consumed = *length;
+  return frame;
+}
+
+struct S7Server::State {
+  std::size_t jobs_in_flight = 0;
+  bool dos_reported = false;
+};
+
+S7Server::S7Server(S7ServerConfig config, S7Events events)
+    : config_(std::move(config)),
+      events_(std::move(events)),
+      state_(std::make_shared<State>()) {}
+
+bool S7Server::saturated() const {
+  return state_->jobs_in_flight >= config_.job_slots;
+}
+
+std::size_t S7Server::jobs_in_flight() const {
+  return state_->jobs_in_flight;
+}
+
+void S7Server::install(net::Host& host) {
+  auto config = config_;
+  auto events = events_;
+  auto state = state_;
+  net::Host* host_ptr = &host;
+  host.tcp().listen(config_.port, [config, events, state,
+                                   host_ptr](net::TcpConnection& conn) {
+    auto inbox = std::make_shared<util::Bytes>();
+    conn.on_data = [config, events, state, host_ptr, inbox](
+                       net::TcpConnection& conn,
+                       std::span<const std::uint8_t> data) {
+      inbox->insert(inbox->end(), data.begin(), data.end());
+      for (;;) {
+        std::size_t consumed = 0;
+        const auto frame = decode(*inbox, &consumed);
+        if (!frame) return;
+        inbox->erase(inbox->begin(),
+                     inbox->begin() + static_cast<std::ptrdiff_t>(consumed));
+
+        if (frame->is_cotp_connect) {
+          if (events.on_connect) events.on_connect(conn.remote_addr());
+          // COTP connection confirm.
+          util::ByteWriter out;
+          out.u8(kTpktVersion).u8(0).u16(11);
+          out.u8(6).u8(kCotpConnectConfirm).u16(1).u16(1).u8(0);
+          conn.send(out.take());
+          continue;
+        }
+
+        if (events.on_pdu) events.on_pdu(conn.remote_addr(), frame->pdu_type);
+
+        if (frame->pdu_type == PduType::kJob) {
+          // Each Job spawns a request slot in the device (ICSA-16-299-01);
+          // once slots are exhausted the PLC stops responding until slots
+          // recover.
+          if (state->jobs_in_flight >= config.job_slots) {
+            if (!state->dos_reported && events.on_dos_triggered) {
+              state->dos_reported = true;
+              events.on_dos_triggered(conn.remote_addr());
+            }
+            return;  // unresponsive: the DoS
+          }
+          ++state->jobs_in_flight;
+          host_ptr->sim().after(config.job_recovery, [state] {
+            if (state->jobs_in_flight > 0) {
+              --state->jobs_in_flight;
+              if (state->jobs_in_flight == 0) state->dos_reported = false;
+            }
+          });
+          util::Bytes module_info =
+              util::to_bytes(config.module + ";" + config.plant_id);
+          conn.send(encode_pdu(PduType::kAckData, frame->pdu_ref,
+                               module_info));
+        } else if (frame->pdu_type == PduType::kUserData) {
+          conn.send(encode_pdu(PduType::kAckData, frame->pdu_ref,
+                               util::to_bytes(config.module)));
+        }
+      }
+    };
+  });
+}
+
+}  // namespace ofh::proto::s7

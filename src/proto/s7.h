@@ -1,0 +1,73 @@
+// S7comm (Siemens, simplified): TPKT + COTP connection setup, then S7 PDUs.
+// PDU type 1 (Job) spawns a job slot on the device; flooding Jobs without
+// reading responses reproduces the ICSA-16-299-01 DoS the paper observed on
+// the Conpot honeypot's S7 port.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::s7 {
+
+enum class PduType : std::uint8_t {
+  kJob = 0x01,
+  kAck = 0x02,
+  kAckData = 0x03,
+  kUserData = 0x07,
+};
+
+struct S7Frame {
+  bool is_cotp_connect = false;  // COTP CR (connection request)
+  PduType pdu_type = PduType::kJob;
+  std::uint16_t pdu_ref = 0;
+  util::Bytes payload;
+};
+
+util::Bytes encode_cotp_connect();
+util::Bytes encode_pdu(PduType type, std::uint16_t pdu_ref,
+                       const util::Bytes& payload);
+std::optional<S7Frame> decode(std::span<const std::uint8_t> data,
+                              std::size_t* consumed);
+
+struct S7ServerConfig {
+  std::uint16_t port = 102;
+  std::string module = "6ES7 315-2EH14-0AB0";  // CPU 315-2 PN/DP
+  std::string plant_id = "S C-C2UR28922012";
+  // Job slots available before the device stops answering (the DoS).
+  std::size_t job_slots = 32;
+  // Slot recovery time once the flood stops.
+  sim::Duration job_recovery = sim::seconds(10);
+};
+
+struct S7Events {
+  std::function<void(util::Ipv4Addr)> on_connect;  // COTP connection request
+  std::function<void(util::Ipv4Addr, PduType)> on_pdu;
+  std::function<void(util::Ipv4Addr)> on_dos_triggered;
+};
+
+class S7Server : public Service {
+ public:
+  explicit S7Server(S7ServerConfig config, S7Events events = {});
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "s7"; }
+  std::uint16_t port() const override { return config_.port; }
+
+  const S7ServerConfig& config() const { return config_; }
+  bool saturated() const;  // all job slots consumed (device unresponsive)
+  std::size_t jobs_in_flight() const;
+
+ private:
+  struct State;
+  S7ServerConfig config_;
+  S7Events events_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ofh::proto::s7

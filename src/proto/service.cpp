@@ -1,0 +1,56 @@
+#include "proto/service.h"
+
+namespace ofh::proto {
+
+std::string_view protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kTelnet: return "Telnet";
+    case Protocol::kMqtt: return "MQTT";
+    case Protocol::kCoap: return "CoAP";
+    case Protocol::kAmqp: return "AMQP";
+    case Protocol::kXmpp: return "XMPP";
+    case Protocol::kUpnp: return "UPnP";
+    case Protocol::kSsh: return "SSH";
+    case Protocol::kHttp: return "HTTP";
+    case Protocol::kFtp: return "FTP";
+    case Protocol::kSmb: return "SMB";
+    case Protocol::kModbus: return "Modbus";
+    case Protocol::kS7: return "S7";
+  }
+  return "?";
+}
+
+std::vector<std::uint16_t> protocol_ports(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kTelnet: return {23, 2323};
+    case Protocol::kMqtt: return {1883};
+    case Protocol::kCoap: return {5683};
+    case Protocol::kAmqp: return {5672};
+    case Protocol::kXmpp: return {5222, 5269};
+    case Protocol::kUpnp: return {1900};
+    case Protocol::kSsh: return {22};
+    case Protocol::kHttp: return {80};
+    case Protocol::kFtp: return {21};
+    case Protocol::kSmb: return {445};
+    case Protocol::kModbus: return {502};
+    case Protocol::kS7: return {102};
+  }
+  return {};
+}
+
+std::uint16_t default_port(Protocol protocol) {
+  return protocol_ports(protocol).front();
+}
+
+bool is_udp(Protocol protocol) {
+  return protocol == Protocol::kCoap || protocol == Protocol::kUpnp;
+}
+
+const std::vector<Protocol>& scanned_protocols() {
+  static const std::vector<Protocol> kScanned = {
+      Protocol::kCoap, Protocol::kUpnp, Protocol::kTelnet,
+      Protocol::kMqtt, Protocol::kAmqp, Protocol::kXmpp};
+  return kScanned;
+}
+
+}  // namespace ofh::proto

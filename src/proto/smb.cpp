@@ -1,0 +1,142 @@
+#include "proto/smb.h"
+
+#include "util/strings.h"
+
+namespace ofh::proto::smb {
+
+util::Bytes encode_frame(const SmbFrame& frame) {
+  util::ByteWriter out;
+  // NetBIOS session header: type 0, 3-byte length.
+  const std::uint32_t length = 5 + static_cast<std::uint32_t>(
+                                       frame.payload.size());
+  out.u8(0).u8(static_cast<std::uint8_t>(length >> 16))
+      .u16(static_cast<std::uint16_t>(length));
+  out.u8(0xff).text("SMB").u8(static_cast<std::uint8_t>(frame.command));
+  out.raw(frame.payload);
+  return out.take();
+}
+
+std::optional<SmbFrame> decode_frame(std::span<const std::uint8_t> data,
+                                     std::size_t* consumed) {
+  util::ByteReader reader(data);
+  const auto type = reader.u8();
+  const auto len_hi = reader.u8();
+  const auto len_lo = reader.u16();
+  if (!type || !len_hi || !len_lo) return std::nullopt;
+  const std::uint32_t length = (std::uint32_t{*len_hi} << 16) | *len_lo;
+  if (length < 5 || reader.remaining() < length) return std::nullopt;
+  const auto magic = reader.raw(4);
+  const auto command = reader.u8();
+  if (!magic || !command) return std::nullopt;
+  if ((*magic)[0] != 0xff || (*magic)[1] != 'S' || (*magic)[2] != 'M' ||
+      (*magic)[3] != 'B') {
+    return std::nullopt;
+  }
+  const auto payload = reader.raw(length - 5);
+  if (!payload) return std::nullopt;
+  SmbFrame frame;
+  frame.command = static_cast<Command>(*command);
+  frame.payload.assign(payload->begin(), payload->end());
+  if (consumed != nullptr) *consumed = reader.position();
+  return frame;
+}
+
+util::Bytes eternalblue_probe() {
+  SmbFrame frame;
+  frame.command = Command::kTrans2;
+  util::ByteWriter payload;
+  payload.u16(0x000e);  // TRANS2_SESSION_SETUP subcommand
+  payload.text("ETERNALBLUE");
+  frame.payload = payload.take();
+  return encode_frame(frame);
+}
+
+bool is_eternalblue_probe(const SmbFrame& frame) {
+  if (frame.command != Command::kTrans2 || frame.payload.size() < 2) {
+    return false;
+  }
+  return frame.payload[0] == 0x00 && frame.payload[1] == 0x0e;
+}
+
+namespace {
+struct SmbSession {
+  util::Bytes inbox;
+  bool negotiated = false;
+};
+}  // namespace
+
+void SmbServer::install(net::Host& host) {
+  auto config = config_;
+  auto events = events_;
+  host.tcp().listen(config_.port, [config, events](net::TcpConnection& conn) {
+    if (events.on_connect) events.on_connect(conn.remote_addr());
+    auto session = std::make_shared<SmbSession>();
+
+    conn.on_data = [config, events, session](
+                       net::TcpConnection& conn,
+                       std::span<const std::uint8_t> data) {
+      auto& inbox = session->inbox;
+      inbox.insert(inbox.end(), data.begin(), data.end());
+      for (;;) {
+        std::size_t consumed = 0;
+        const auto frame = decode_frame(inbox, &consumed);
+        if (!frame) return;
+        inbox.erase(inbox.begin(),
+                    inbox.begin() + static_cast<std::ptrdiff_t>(consumed));
+
+        switch (frame->command) {
+          case Command::kNegotiate: {
+            session->negotiated = true;
+            SmbFrame reply;
+            reply.command = Command::kNegotiate;
+            util::ByteWriter payload;
+            payload.str8(config.dialect).str8(config.native_os);
+            // Vulnerable hosts leak the MS17-010 indicator bit observed by
+            // network scanners.
+            payload.u8(config.vulnerable_to_eternalblue ? 1 : 0);
+            reply.payload = payload.take();
+            conn.send(encode_frame(reply));
+            break;
+          }
+          case Command::kSessionSetup: {
+            util::ByteReader reader(frame->payload);
+            const auto user = reader.str8();
+            const auto pass = reader.str8();
+            const bool ok = user && pass && config.auth.check(*user, *pass);
+            if (events.on_session_setup) {
+              events.on_session_setup(conn.remote_addr(),
+                                      user.value_or("?"), ok);
+            }
+            SmbFrame reply;
+            reply.command = Command::kSessionSetup;
+            reply.payload = {static_cast<std::uint8_t>(ok ? 0 : 1)};
+            conn.send(encode_frame(reply));
+            break;
+          }
+          case Command::kTrans2: {
+            if (is_eternalblue_probe(*frame) && events.on_exploit_attempt) {
+              events.on_exploit_attempt(conn.remote_addr(), frame->payload);
+            }
+            SmbFrame reply;
+            reply.command = Command::kTrans2;
+            // A vulnerable host answers the probe; patched hosts reset.
+            if (config.vulnerable_to_eternalblue) {
+              reply.payload = {0x00, 0x0e, 0x51};  // "multiplex id" marker
+              conn.send(encode_frame(reply));
+            } else {
+              conn.abort();
+              return;
+            }
+            break;
+          }
+          case Command::kEcho: {
+            conn.send(encode_frame(*frame));
+            break;
+          }
+        }
+      }
+    };
+  });
+}
+
+}  // namespace ofh::proto::smb

@@ -1,0 +1,71 @@
+// SMB (simplified SMB1-style framing): NetBIOS session header + command
+// byte. Models dialect negotiation, session setup with credentials, and
+// recognition of the Eternal* exploit family by their Trans2 signature —
+// the honeypots classify exploit attempts, they do not implement MS17-010.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::smb {
+
+enum class Command : std::uint8_t {
+  kNegotiate = 0x72,
+  kSessionSetup = 0x73,
+  kTrans2 = 0x32,       // vector used by EternalBlue-style exploits
+  kEcho = 0x2b,
+};
+
+struct SmbFrame {
+  Command command = Command::kNegotiate;
+  util::Bytes payload;
+};
+
+// NetBIOS length prefix + 0xFF 'S' 'M' 'B' + command + payload.
+util::Bytes encode_frame(const SmbFrame& frame);
+std::optional<SmbFrame> decode_frame(std::span<const std::uint8_t> data,
+                                     std::size_t* consumed);
+
+// Trans2 subcommand 0x000e (TRANS2_SESSION_SETUP) is the EternalBlue probe
+// marker used by scanners/exploits in the wild.
+util::Bytes eternalblue_probe();
+bool is_eternalblue_probe(const SmbFrame& frame);
+
+struct SmbServerConfig {
+  std::uint16_t port = 445;
+  std::string dialect = "NT LM 0.12";
+  std::string native_os = "Windows 7 Professional 7601 Service Pack 1";
+  AuthConfig auth;
+  bool vulnerable_to_eternalblue = false;  // honeypots advertise this
+};
+
+struct SmbEvents {
+  std::function<void(util::Ipv4Addr)> on_connect;
+  std::function<void(util::Ipv4Addr, const std::string& user, bool ok)>
+      on_session_setup;
+  std::function<void(util::Ipv4Addr, const util::Bytes& payload)>
+      on_exploit_attempt;
+};
+
+class SmbServer : public Service {
+ public:
+  SmbServer(SmbServerConfig config, SmbEvents events = {})
+      : config_(std::move(config)), events_(std::move(events)) {}
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "smb"; }
+  std::uint16_t port() const override { return config_.port; }
+  const SmbServerConfig& config() const { return config_; }
+
+ private:
+  SmbServerConfig config_;
+  SmbEvents events_;
+};
+
+}  // namespace ofh::proto::smb

@@ -1,0 +1,140 @@
+#include "proto/ssdp.h"
+
+#include "util/strings.h"
+
+namespace ofh::proto::ssdp {
+
+namespace {
+
+// Parses "Header: value" lines after the start line; returns lowercase keys.
+std::map<std::string, std::string> parse_headers(std::string_view text) {
+  std::map<std::string, std::string> headers;
+  for (const auto& line : util::split(text, '\n')) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const auto key = util::to_lower(util::trim(line.substr(0, colon)));
+    const auto value = std::string(util::trim(line.substr(colon + 1)));
+    headers[key] = value;
+  }
+  return headers;
+}
+
+}  // namespace
+
+util::Bytes encode_msearch(const MSearch& request) {
+  std::string text = "M-SEARCH * HTTP/1.1\r\n";
+  text += "HOST: 239.255.255.250:1900\r\n";
+  text += "MAN: \"ssdp:discover\"\r\n";
+  text += "MX: " + std::to_string(request.mx) + "\r\n";
+  text += "ST: " + request.search_target + "\r\n\r\n";
+  return util::to_bytes(text);
+}
+
+std::optional<MSearch> decode_msearch(std::span<const std::uint8_t> data) {
+  const std::string text = util::to_string(data);
+  if (!util::starts_with(text, "M-SEARCH")) return std::nullopt;
+  const auto headers = parse_headers(text);
+  const auto man = headers.find("man");
+  if (man == headers.end() || !util::contains(man->second, "ssdp:discover")) {
+    return std::nullopt;
+  }
+  MSearch request;
+  if (const auto st = headers.find("st"); st != headers.end()) {
+    request.search_target = st->second;
+  }
+  if (const auto mx = headers.find("mx"); mx != headers.end()) {
+    request.mx = std::atoi(mx->second.c_str());
+  }
+  return request;
+}
+
+util::Bytes encode_response(const SearchResponse& response) {
+  std::string text = "HTTP/1.1 200 OK\r\n";
+  text += "CACHE-CONTROL: max-age=120\r\n";
+  text += "ST: " + response.st + "\r\n";
+  if (!response.usn.empty()) text += "USN: " + response.usn + "\r\n";
+  text += "EXT:\r\n";
+  if (!response.server.empty()) text += "SERVER: " + response.server + "\r\n";
+  if (!response.location.empty()) {
+    text += "LOCATION: " + response.location + "\r\n";
+  }
+  for (const auto& [key, value] : response.extra) {
+    text += key + ": " + value + "\r\n";
+  }
+  text += "\r\n";
+  return util::to_bytes(text);
+}
+
+std::optional<SearchResponse> decode_response(
+    std::span<const std::uint8_t> data) {
+  const std::string text = util::to_string(data);
+  if (!util::starts_with(text, "HTTP/1.1 200")) return std::nullopt;
+  const auto headers = parse_headers(text);
+  SearchResponse response;
+  const auto get = [&headers](const char* key) {
+    const auto it = headers.find(key);
+    return it == headers.end() ? std::string{} : it->second;
+  };
+  response.usn = get("usn");
+  response.server = get("server");
+  response.location = get("location");
+  response.st = get("st");
+  for (const auto& [key, value] : headers) {
+    if (key != "usn" && key != "server" && key != "location" && key != "st" &&
+        key != "cache-control" && key != "ext") {
+      response.extra[key] = value;
+    }
+  }
+  return response;
+}
+
+SearchResponse UpnpDevice::make_response(util::Ipv4Addr self) const {
+  SearchResponse response;
+  response.usn = "uuid:" + config_.uuid + "::upnp:rootdevice";
+  response.server = config_.server;
+  response.location = "http://" + self.to_string() + ":" +
+                      std::to_string(config_.description_port) +
+                      "/rootDesc.xml";
+  if (!config_.friendly_name.empty()) {
+    response.extra["Friendly Name"] = config_.friendly_name;
+  }
+  if (!config_.model_name.empty()) {
+    response.extra["Model Name"] = config_.model_name;
+  }
+  if (!config_.manufacturer.empty()) {
+    response.extra["Manufacturer"] = config_.manufacturer;
+  }
+  return response;
+}
+
+void UpnpDevice::install(net::Host& host) {
+  auto config = config_;
+  auto events = events_;
+  auto self = this;
+  net::Host* host_ptr = &host;
+  host.udp().bind(config_.port, [config, events, self, host_ptr](
+                                    const net::Datagram& datagram) {
+    const auto request = decode_msearch(datagram.payload);
+    if (!request) return;
+    if (!config.respond_to_any) return;
+    if (events.on_search) events.on_search(datagram.src, request->search_target);
+
+    if (!config.disclose_details) {
+      // Hardened device: minimal single response, no identifying headers,
+      // no amplification value.
+      SearchResponse minimal;
+      minimal.st = request->search_target;
+      host_ptr->udp().send(datagram.src, datagram.src_port,
+                           encode_response(minimal), config.port);
+      return;
+    }
+    const auto response =
+        encode_response(self->make_response(host_ptr->address()));
+    for (int i = 0; i < config.responses_per_search; ++i) {
+      host_ptr->udp().send(datagram.src, datagram.src_port, response,
+                           config.port);
+    }
+  });
+}
+
+}  // namespace ofh::proto::ssdp

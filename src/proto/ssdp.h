@@ -1,0 +1,82 @@
+// SSDP (UPnP discovery) over UDP 1900: HTTPU M-SEARCH requests and
+// responses, NOTIFY advertisements, plus a UPnP device engine that answers
+// "ssdp:discover" with the USN/SERVER/LOCATION headers the paper's scan
+// classifies (Table 3) and that reflection attacks abuse.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::ssdp {
+
+struct MSearch {
+  std::string search_target = "ssdp:all";  // ST header
+  int mx = 1;
+};
+util::Bytes encode_msearch(const MSearch& request);
+std::optional<MSearch> decode_msearch(std::span<const std::uint8_t> data);
+
+struct SearchResponse {
+  std::string usn;       // unique service name, e.g. "uuid:...::upnp:rootdevice"
+  std::string server;    // e.g. "Ubuntu/lucid UPnP/1.0 MiniUPnPd/1.4"
+  std::string location;  // device description URL
+  std::string st = "upnp:rootdevice";
+  // Extra headers (Friendly Name / Model Name are carried in the device
+  // description in real UPnP; devices here inline them so a single probe
+  // reveals them, matching the information content the paper tags on).
+  std::map<std::string, std::string> extra;
+};
+util::Bytes encode_response(const SearchResponse& response);
+std::optional<SearchResponse> decode_response(
+    std::span<const std::uint8_t> data);
+
+// ------------------------------------------------------------------- device
+
+struct UpnpDeviceConfig {
+  std::uint16_t port = 1900;
+  std::string uuid = "5a34308c-1a2c-4546-ac5d-7663dd01dca1";
+  std::string server = "Ubuntu/lucid UPnP/1.0 MiniUPnPd/1.4";
+  std::string friendly_name;
+  std::string model_name;
+  std::string manufacturer;
+  std::uint16_t description_port = 16537;
+  // Devices that answer M-SEARCH from any source are reflection resources.
+  bool respond_to_any = true;
+  // Misconfigured devices disclose USN/SERVER/LOCATION/model headers (the
+  // Table 3 indicator) and answer multiple times; hardened devices answer
+  // with a minimal ST-only response.
+  bool disclose_details = true;
+  // Number of duplicate responses per search (root device + embedded
+  // devices + services); multiplies amplification.
+  int responses_per_search = 1;
+};
+
+struct UpnpEvents {
+  std::function<void(util::Ipv4Addr, const std::string& st)> on_search;
+};
+
+class UpnpDevice : public Service {
+ public:
+  explicit UpnpDevice(UpnpDeviceConfig config, UpnpEvents events = {})
+      : config_(std::move(config)), events_(std::move(events)) {}
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "upnp"; }
+  std::uint16_t port() const override { return config_.port; }
+
+  const UpnpDeviceConfig& config() const { return config_; }
+  SearchResponse make_response(util::Ipv4Addr self) const;
+
+ private:
+  UpnpDeviceConfig config_;
+  UpnpEvents events_;
+};
+
+}  // namespace ofh::proto::ssdp

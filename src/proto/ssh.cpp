@@ -1,0 +1,164 @@
+#include "proto/ssh.h"
+
+#include "util/strings.h"
+
+namespace ofh::proto::ssh {
+
+util::Bytes encode_auth(std::string_view user, std::string_view pass) {
+  return util::to_bytes("AUTH " + std::string(user) + " " + std::string(pass) +
+                        "\n");
+}
+
+std::optional<Credentials> decode_auth(std::string_view line) {
+  const auto parts = util::split(util::trim(line), ' ');
+  if (parts.size() != 3 || parts[0] != "AUTH") return std::nullopt;
+  return Credentials{parts[1], parts[2]};
+}
+
+namespace {
+struct SshSession {
+  bool authenticated = false;
+  int attempts = 0;
+  std::string buffer;
+};
+}  // namespace
+
+void SshServer::install(net::Host& host) {
+  auto config = config_;
+  auto events = events_;
+  host.tcp().listen(config_.port, [config, events](net::TcpConnection& conn) {
+    if (events.on_connect) events.on_connect(conn.remote_addr());
+    auto session = std::make_shared<SshSession>();
+    conn.send_text(config.banner + "\r\n");
+
+    conn.on_data = [config, events, session](
+                       net::TcpConnection& conn,
+                       std::span<const std::uint8_t> data) {
+      session->buffer += util::to_string(data);
+      for (;;) {
+        const auto newline = session->buffer.find('\n');
+        if (newline == std::string::npos) return;
+        const std::string line = session->buffer.substr(0, newline);
+        session->buffer.erase(0, newline + 1);
+        if (util::starts_with(line, "SSH-")) continue;  // client banner
+
+        if (!session->authenticated) {
+          const auto auth = decode_auth(line);
+          if (!auth) continue;
+          const bool ok = config.auth.check(auth->user, auth->pass);
+          ++session->attempts;
+          if (events.on_auth) {
+            events.on_auth(conn.remote_addr(), auth->user, auth->pass, ok);
+          }
+          if (ok) {
+            session->authenticated = true;
+            conn.send_text("OK\n");
+          } else if (session->attempts >= config.max_attempts) {
+            conn.send_text("FAIL\n");
+            conn.close();
+            return;
+          } else {
+            conn.send_text("FAIL\n");
+          }
+        } else {
+          if (events.on_command) events.on_command(conn.remote_addr(), line);
+          if (line == "exit") {
+            conn.close();
+            return;
+          }
+          conn.send_text("$ \n");
+        }
+      }
+    };
+  });
+}
+
+void SshClient::run(net::Host& from, util::Ipv4Addr target,
+                    std::uint16_t port, std::vector<Credentials> credentials,
+                    std::vector<std::string> commands, Callback done) {
+  struct ClientState {
+    Result result;
+    std::vector<Credentials> credentials;
+    std::vector<std::string> commands;
+    std::size_t cred_index = 0;
+    std::size_t command_index = 0;
+    std::string buffer;
+    bool finished = false;
+    Callback callback;
+    void finish() {
+      if (finished) return;
+      finished = true;
+      if (callback) callback(result);
+    }
+  };
+  auto state = std::make_shared<ClientState>();
+  state->credentials = std::move(credentials);
+  state->commands = std::move(commands);
+  state->callback = std::move(done);
+
+  from.tcp().connect(target, port, [state, &from](net::TcpConnection* conn) {
+    if (conn == nullptr) {
+      state->finish();
+      return;
+    }
+    state->result.connected = true;
+    conn->send_text("SSH-2.0-Go\r\n");
+
+    conn->on_data = [state](net::TcpConnection& conn,
+                            std::span<const std::uint8_t> data) {
+      state->buffer += util::to_string(data);
+      for (;;) {
+        const auto newline = state->buffer.find('\n');
+        if (newline == std::string::npos) return;
+        std::string line = state->buffer.substr(0, newline);
+        state->buffer.erase(0, newline + 1);
+        while (!line.empty() && line.back() == '\r') line.pop_back();
+
+        if (util::starts_with(line, "SSH-")) {
+          state->result.server_banner = line;
+          if (!state->credentials.empty()) {
+            const auto& cred = state->credentials[0];
+            ++state->result.attempts;
+            conn.send(encode_auth(cred.user, cred.pass));
+          } else {
+            conn.close();
+            state->finish();
+            return;
+          }
+        } else if (line == "OK") {
+          state->result.authenticated = true;
+          state->result.used = state->credentials[state->cred_index];
+          if (state->command_index < state->commands.size()) {
+            conn.send_text(state->commands[state->command_index++] + "\n");
+          } else {
+            conn.send_text("exit\n");
+            state->finish();
+            return;
+          }
+        } else if (line == "FAIL") {
+          ++state->cred_index;
+          if (state->cred_index < state->credentials.size()) {
+            const auto& cred = state->credentials[state->cred_index];
+            ++state->result.attempts;
+            conn.send(encode_auth(cred.user, cred.pass));
+          } else {
+            conn.close();
+            state->finish();
+            return;
+          }
+        } else if (line == "$ " || line == "$") {
+          if (state->command_index < state->commands.size()) {
+            conn.send_text(state->commands[state->command_index++] + "\n");
+          } else {
+            conn.send_text("exit\n");
+            state->finish();
+            return;
+          }
+        }
+      }
+    };
+    conn->on_close = [state](net::TcpConnection&) { state->finish(); };
+  });
+}
+
+}  // namespace ofh::proto::ssh

@@ -1,0 +1,71 @@
+// SSH (simplified): the identification-string exchange is byte-accurate
+// ("SSH-2.0-..." banners are what honeypot fingerprinting keys on, e.g.
+// Kippo's "SSH-2.0-OpenSSH_5.1p1 Debian-5"). The post-banner key exchange
+// is replaced by a compact cleartext auth record — both endpoints are ours,
+// and the measurements only need auth attempts/results, not cryptography.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::ssh {
+
+// Auth record: "AUTH <user> <pass>\n"; replies "OK\n" / "FAIL\n".
+util::Bytes encode_auth(std::string_view user, std::string_view pass);
+std::optional<Credentials> decode_auth(std::string_view line);
+
+struct SshServerConfig {
+  std::uint16_t port = 22;
+  std::string banner = "SSH-2.0-OpenSSH_7.9p1 Debian-10+deb10u2";
+  AuthConfig auth;
+  int max_attempts = 6;
+};
+
+struct SshEvents {
+  std::function<void(util::Ipv4Addr)> on_connect;
+  std::function<void(util::Ipv4Addr, const std::string& user,
+                     const std::string& pass, bool ok)>
+      on_auth;
+  std::function<void(util::Ipv4Addr, const std::string& command)> on_command;
+};
+
+class SshServer : public Service {
+ public:
+  SshServer(SshServerConfig config, SshEvents events = {})
+      : config_(std::move(config)), events_(std::move(events)) {}
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "ssh"; }
+  std::uint16_t port() const override { return config_.port; }
+  const SshServerConfig& config() const { return config_; }
+
+ private:
+  SshServerConfig config_;
+  SshEvents events_;
+};
+
+// Brute-force client used by SSH bots: exchanges banners, walks a credential
+// list, optionally runs commands after success.
+class SshClient {
+ public:
+  struct Result {
+    bool connected = false;
+    bool authenticated = false;
+    Credentials used;
+    std::string server_banner;
+    int attempts = 0;
+  };
+  using Callback = std::function<void(const Result&)>;
+
+  static void run(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
+                  std::vector<Credentials> credentials,
+                  std::vector<std::string> commands, Callback done);
+};
+
+}  // namespace ofh::proto::ssh

@@ -1,0 +1,329 @@
+#include "proto/telnet.h"
+
+#include "util/strings.h"
+
+namespace ofh::proto::telnet {
+
+DecodeResult decode(std::span<const std::uint8_t> data) {
+  DecodeResult out;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint8_t byte = data[i];
+    if (byte != kIac) {
+      out.text.push_back(static_cast<char>(byte));
+      ++i;
+      continue;
+    }
+    if (i + 1 >= data.size()) break;
+    const std::uint8_t command = data[i + 1];
+    if (command == kIac) {  // escaped literal 0xff
+      out.text.push_back(static_cast<char>(kIac));
+      i += 2;
+    } else if (command == kSb) {
+      // Skip to IAC SE.
+      std::size_t j = i + 2;
+      while (j + 1 < data.size() &&
+             !(data[j] == kIac && data[j + 1] == kSe)) {
+        ++j;
+      }
+      i = j + 2;
+    } else if (command >= kWill && command <= kDont) {
+      if (i + 2 >= data.size()) break;
+      out.negotiations.push_back({command, data[i + 2]});
+      i += 3;
+    } else {
+      i += 2;  // two-byte command (NOP, GA, ...)
+    }
+  }
+  return out;
+}
+
+util::Bytes encode_negotiation(std::span<const Negotiation> negotiations) {
+  util::Bytes out;
+  out.reserve(negotiations.size() * 3);
+  for (const auto& negotiation : negotiations) {
+    out.push_back(kIac);
+    out.push_back(negotiation.verb);
+    out.push_back(negotiation.option);
+  }
+  return out;
+}
+
+std::vector<Negotiation> refuse_all(std::span<const Negotiation> received) {
+  std::vector<Negotiation> replies;
+  for (const auto& negotiation : received) {
+    if (negotiation.verb == kDo) {
+      replies.push_back({kWont, negotiation.option});
+    } else if (negotiation.verb == kWill) {
+      replies.push_back({kDont, negotiation.option});
+    }
+  }
+  return replies;
+}
+
+// ------------------------------------------------------------------- server
+
+TelnetServerConfig TelnetServerConfig::open_console(std::string prompt,
+                                                    std::string banner_text) {
+  TelnetServerConfig config;
+  config.auth = AuthConfig::open();
+  config.shell_prompt = std::move(prompt);
+  config.greeting = util::to_bytes(banner_text);
+  return config;
+}
+
+TelnetServerConfig TelnetServerConfig::login_console(std::string banner_text,
+                                                     AuthConfig auth) {
+  TelnetServerConfig config;
+  config.auth = std::move(auth);
+  config.greeting = util::to_bytes(banner_text);
+  return config;
+}
+
+namespace {
+
+enum class SessionState { kLogin, kPassword, kShell };
+
+struct Session {
+  SessionState state = SessionState::kShell;
+  std::string line_buffer;
+  std::string user;
+  int attempts = 0;
+};
+
+}  // namespace
+
+void TelnetServer::install(net::Host& host) {
+  // The accept handler owns per-session state via a shared_ptr captured by
+  // the connection callbacks.
+  auto config = config_;
+  auto events = events_;
+  host.tcp().listen(config_.port, [config, events](net::TcpConnection& conn) {
+    if (events.on_connect) events.on_connect(conn.remote_addr());
+
+    auto session = std::make_shared<Session>();
+
+    // Greeting: raw banner bytes, then either a login prompt or a shell
+    // prompt depending on the auth posture.
+    util::Bytes hello = config.greeting;
+    if (config.auth.required) {
+      session->state = SessionState::kLogin;
+      const auto prompt = util::to_bytes(config.login_prompt);
+      hello.insert(hello.end(), prompt.begin(), prompt.end());
+    } else {
+      session->state = SessionState::kShell;
+      const auto prompt = util::to_bytes(config.shell_prompt);
+      hello.insert(hello.end(), prompt.begin(), prompt.end());
+    }
+    conn.send(std::move(hello));
+
+    conn.on_data = [config, events, session](
+                       net::TcpConnection& conn,
+                       std::span<const std::uint8_t> data) {
+      const DecodeResult decoded = decode(data);
+      // Refuse client option requests like a minimal device console.
+      const auto replies = refuse_all(decoded.negotiations);
+      if (!replies.empty()) conn.send(encode_negotiation(replies));
+
+      session->line_buffer += decoded.text;
+      for (;;) {
+        const auto newline = session->line_buffer.find('\n');
+        if (newline == std::string::npos) return;
+        std::string line = session->line_buffer.substr(0, newline);
+        session->line_buffer.erase(0, newline + 1);
+        while (!line.empty() && (line.back() == '\r' || line.back() == '\0')) {
+          line.pop_back();
+        }
+
+        switch (session->state) {
+          case SessionState::kLogin:
+            session->user = line;
+            session->state = SessionState::kPassword;
+            conn.send_text(config.password_prompt);
+            break;
+          case SessionState::kPassword: {
+            const bool ok = config.auth.check(session->user, line);
+            ++session->attempts;
+            if (events.on_login_attempt) {
+              events.on_login_attempt(conn.remote_addr(), session->user, line,
+                                      ok);
+            }
+            if (ok) {
+              session->state = SessionState::kShell;
+              conn.send_text("\r\n" + config.shell_prompt);
+            } else if (session->attempts >= config.max_login_attempts) {
+              conn.send_text(config.login_failed);
+              conn.close();
+              return;
+            } else {
+              session->state = SessionState::kLogin;
+              conn.send_text(config.login_failed + config.login_prompt);
+            }
+            break;
+          }
+          case SessionState::kShell: {
+            if (line.empty()) {
+              conn.send_text(config.shell_prompt);
+              break;
+            }
+            if (events.on_command) events.on_command(conn.remote_addr(), line);
+            if (line == "exit" || line == "quit" || line == "logout") {
+              conn.close();
+              return;
+            }
+            std::string response = config.default_command_response;
+            for (const auto& [command, canned] : config.command_responses) {
+              if (util::starts_with(line, command)) {
+                response = canned;
+                break;
+              }
+            }
+            conn.send_text(response + config.shell_prompt);
+            break;
+          }
+        }
+      }
+    };
+  });
+}
+
+// ------------------------------------------------------------------- client
+
+namespace {
+
+struct ClientSession {
+  TelnetClient::Result result;
+  std::vector<Credentials> credentials;
+  std::vector<std::string> commands;
+  std::size_t cred_index = 0;
+  std::size_t command_index = 0;
+  std::string window;  // text since last action
+  bool sent_user = false;
+  bool done = false;
+  TelnetClient::Callback callback;
+
+  void finish() {
+    if (done) return;
+    done = true;
+    if (callback) callback(result);
+  }
+};
+
+bool looks_like_login_prompt(const std::string& text) {
+  return util::icontains(text, "login:") || util::icontains(text, "user:") ||
+         util::icontains(text, "username:");
+}
+
+bool looks_like_password_prompt(const std::string& text) {
+  return util::icontains(text, "assword:");
+}
+
+bool looks_like_shell_prompt(const std::string& text) {
+  const auto trimmed = util::trim(text);
+  if (trimmed.empty()) return false;
+  const char last = trimmed.back();
+  return last == '$' || last == '#' || last == '>';
+}
+
+}  // namespace
+
+void TelnetClient::run(net::Host& from, util::Ipv4Addr target,
+                       std::uint16_t port,
+                       std::vector<Credentials> credentials,
+                       std::vector<std::string> commands, Callback done,
+                       sim::Duration step_timeout) {
+  auto session = std::make_shared<ClientSession>();
+  session->credentials = std::move(credentials);
+  session->commands = std::move(commands);
+  session->callback = std::move(done);
+
+  from.tcp().connect(target, port, [session, &from, step_timeout](
+                                       net::TcpConnection* conn) {
+    if (conn == nullptr) {
+      session->finish();
+      return;
+    }
+    session->result.connected = true;
+
+    // Periodic "turn" evaluation: Telnet output arrives in fragments, so we
+    // act on the accumulated window on a timer rather than per packet.
+    auto act = std::make_shared<std::function<void(net::TcpConnection&)>>();
+    *act = [session](net::TcpConnection& conn) {
+      if (session->done) return;
+      const std::string& window = session->window;
+      if (looks_like_password_prompt(window)) {
+        session->window.clear();
+        if (session->cred_index < session->credentials.size()) {
+          conn.send_text(session->credentials[session->cred_index].pass +
+                         "\r\n");
+        } else {
+          conn.close();
+          session->finish();
+        }
+        return;
+      }
+      if (looks_like_login_prompt(window)) {
+        session->result.login_required = true;
+        session->window.clear();
+        if (session->sent_user) {
+          // A fresh login prompt after we sent credentials = failure.
+          ++session->cred_index;
+          ++session->result.attempts;
+        }
+        if (session->cred_index < session->credentials.size()) {
+          session->sent_user = true;
+          conn.send_text(session->credentials[session->cred_index].user +
+                         "\r\n");
+        } else {
+          conn.close();
+          session->finish();
+        }
+        return;
+      }
+      if (looks_like_shell_prompt(window)) {
+        session->window.clear();
+        if (!session->result.shell) {
+          session->result.shell = true;
+          if (session->sent_user &&
+              session->cred_index < session->credentials.size()) {
+            session->result.used = session->credentials[session->cred_index];
+            ++session->result.attempts;
+          }
+        }
+        if (session->command_index < session->commands.size()) {
+          conn.send_text(session->commands[session->command_index++] + "\r\n");
+        } else {
+          conn.send_text("exit\r\n");
+          session->finish();
+        }
+        return;
+      }
+    };
+
+    net::TcpStack* stack = &from.tcp();
+    const net::ConnKey key{conn->local_port(), conn->remote_addr(),
+                           conn->remote_port()};
+    conn->on_data = [session, act, &from, stack, key, step_timeout](
+                        net::TcpConnection& conn,
+                        std::span<const std::uint8_t> data) {
+      const DecodeResult decoded = decode(data);
+      const auto replies = refuse_all(decoded.negotiations);
+      if (!replies.empty()) conn.send(encode_negotiation(replies));
+      session->window += decoded.text;
+      session->result.transcript += decoded.text;
+      // Give the server a beat to finish its burst, then evaluate. The
+      // connection is re-resolved by key: it may be gone by then.
+      from.sim().after(step_timeout / 4, [session, act, stack, key] {
+        if (session->done) return;
+        net::TcpConnection* live = stack->lookup(key);
+        if (live != nullptr && live->established()) (*act)(*live);
+      });
+    };
+    conn->on_close = [session](net::TcpConnection&) { session->finish(); };
+
+    // Overall safety timeout.
+    from.sim().after(step_timeout * 20, [session] { session->finish(); });
+  });
+}
+
+}  // namespace ofh::proto::telnet

@@ -1,0 +1,128 @@
+// Telnet (RFC 854): IAC option negotiation codec, a configurable server
+// engine (device consoles and honeypot banners) and an interactive client
+// used by brute-force attackers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::telnet {
+
+// Telnet command bytes.
+inline constexpr std::uint8_t kIac = 255;
+inline constexpr std::uint8_t kDont = 254;
+inline constexpr std::uint8_t kDo = 253;
+inline constexpr std::uint8_t kWont = 252;
+inline constexpr std::uint8_t kWill = 251;
+inline constexpr std::uint8_t kSb = 250;
+inline constexpr std::uint8_t kSe = 240;
+
+// Common option codes seen in IoT honeypot banners.
+inline constexpr std::uint8_t kOptEcho = 1;
+inline constexpr std::uint8_t kOptSga = 3;
+inline constexpr std::uint8_t kOptTtype = 24;       // 0x18
+inline constexpr std::uint8_t kOptNaws = 31;        // 0x1f
+inline constexpr std::uint8_t kOptLinemode = 34;
+
+struct Negotiation {
+  std::uint8_t verb = 0;    // WILL/WONT/DO/DONT
+  std::uint8_t option = 0;
+  auto operator<=>(const Negotiation&) const = default;
+};
+
+// Splits a raw Telnet byte stream into negotiations and plain text.
+// Subnegotiations (IAC SB ... IAC SE) are skipped. Escaped 0xff 0xff is
+// unescaped into a literal 0xff data byte.
+struct DecodeResult {
+  std::vector<Negotiation> negotiations;
+  std::string text;
+};
+DecodeResult decode(std::span<const std::uint8_t> data);
+
+// Encodes a negotiation sequence.
+util::Bytes encode_negotiation(std::span<const Negotiation> negotiations);
+
+// Standard refusal replies: DO->WONT, WILL->DONT (a passive client).
+std::vector<Negotiation> refuse_all(std::span<const Negotiation> received);
+
+// ------------------------------------------------------------------- server
+
+struct TelnetServerConfig {
+  std::uint16_t port = 23;
+  // Raw bytes sent immediately on connect (may embed IAC sequences; honeypot
+  // signatures like Cowrie's "\xff\xfd\x1flogin:" live here).
+  util::Bytes greeting;
+  AuthConfig auth;
+  std::string login_prompt = "login: ";
+  std::string password_prompt = "Password: ";
+  // Shell prompt once authenticated (or immediately if auth not required).
+  std::string shell_prompt = "$ ";
+  std::string login_failed = "Login incorrect\r\n";
+  // Canned command responses for the emulated shell.
+  std::vector<std::pair<std::string, std::string>> command_responses;
+  std::string default_command_response = "-sh: command not found\r\n";
+  int max_login_attempts = 3;
+
+  static TelnetServerConfig open_console(std::string prompt,
+                                         std::string banner_text = {});
+  static TelnetServerConfig login_console(std::string banner_text,
+                                          AuthConfig auth);
+};
+
+// Session events surfaced to devices/honeypots for logging.
+struct TelnetEvents {
+  std::function<void(util::Ipv4Addr src)> on_connect;
+  std::function<void(util::Ipv4Addr src, const std::string& user,
+                     const std::string& pass, bool success)>
+      on_login_attempt;
+  std::function<void(util::Ipv4Addr src, const std::string& command)>
+      on_command;
+};
+
+class TelnetServer : public Service {
+ public:
+  TelnetServer(TelnetServerConfig config, TelnetEvents events = {})
+      : config_(std::move(config)), events_(std::move(events)) {}
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "telnet"; }
+  std::uint16_t port() const override { return config_.port; }
+
+  const TelnetServerConfig& config() const { return config_; }
+
+ private:
+  TelnetServerConfig config_;
+  TelnetEvents events_;
+};
+
+// ------------------------------------------------------------------- client
+
+// Interactive Telnet client: answers negotiations, walks the login flow with
+// a credential list, then reports shell access. Used by Mirai-style bots.
+class TelnetClient {
+ public:
+  struct Result {
+    bool connected = false;
+    bool shell = false;                 // reached a shell prompt
+    bool login_required = false;        // saw a login prompt
+    Credentials used;                   // credentials that worked
+    std::string transcript;             // all text received
+    int attempts = 0;
+  };
+  using Callback = std::function<void(const Result&)>;
+
+  // Tries each credential pair in order until one yields a shell. commands
+  // are sent once a shell is reached (e.g. a malware dropper one-liner).
+  static void run(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
+                  std::vector<Credentials> credentials,
+                  std::vector<std::string> commands, Callback done,
+                  sim::Duration step_timeout = sim::seconds(2));
+};
+
+}  // namespace ofh::proto::telnet

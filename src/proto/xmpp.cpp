@@ -1,0 +1,201 @@
+#include "proto/xmpp.h"
+
+#include "util/strings.h"
+
+namespace ofh::proto::xmpp {
+
+std::optional<std::string> extract_element(std::string_view xml,
+                                           std::string_view tag) {
+  const std::string open = "<" + std::string(tag);
+  const std::string close = "</" + std::string(tag) + ">";
+  const auto start = xml.find(open);
+  if (start == std::string_view::npos) return std::nullopt;
+  const auto content_start = xml.find('>', start);
+  if (content_start == std::string_view::npos) return std::nullopt;
+  if (content_start > 0 && xml[content_start - 1] == '/') return std::string{};
+  const auto end = xml.find(close, content_start);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(
+      xml.substr(content_start + 1, end - content_start - 1));
+}
+
+std::vector<std::string> extract_all_elements(std::string_view xml,
+                                              std::string_view tag) {
+  std::vector<std::string> out;
+  std::string_view rest = xml;
+  const std::string close = "</" + std::string(tag) + ">";
+  while (true) {
+    const auto element = extract_element(rest, tag);
+    if (!element) break;
+    out.push_back(*element);
+    const auto pos = rest.find(close);
+    if (pos == std::string_view::npos) break;
+    rest.remove_prefix(pos + close.size());
+  }
+  return out;
+}
+
+std::optional<std::string> extract_attribute(std::string_view xml,
+                                             std::string_view tag,
+                                             std::string_view attribute) {
+  const std::string open = "<" + std::string(tag);
+  const auto start = xml.find(open);
+  if (start == std::string_view::npos) return std::nullopt;
+  const auto end = xml.find('>', start);
+  if (end == std::string_view::npos) return std::nullopt;
+  const std::string_view tag_text = xml.substr(start, end - start);
+  const std::string pattern = std::string(attribute) + "='";
+  auto attr_pos = tag_text.find(pattern);
+  std::size_t value_start;
+  char quote = '\'';
+  if (attr_pos == std::string_view::npos) {
+    const std::string pattern2 = std::string(attribute) + "=\"";
+    attr_pos = tag_text.find(pattern2);
+    if (attr_pos == std::string_view::npos) return std::nullopt;
+    value_start = attr_pos + pattern2.size();
+    quote = '"';
+  } else {
+    value_start = attr_pos + pattern.size();
+  }
+  const auto value_end = tag_text.find(quote, value_start);
+  if (value_end == std::string_view::npos) return std::nullopt;
+  return std::string(tag_text.substr(value_start, value_end - value_start));
+}
+
+std::string stream_open(std::string_view from_domain) {
+  return "<?xml version='1.0'?><stream:stream from='" +
+         std::string(from_domain) +
+         "' xmlns='jabber:client' "
+         "xmlns:stream='http://etherx.jabber.org/streams' version='1.0'>";
+}
+
+std::string stream_features(const std::vector<std::string>& mechanisms,
+                            bool starttls_required) {
+  std::string out = "<stream:features>";
+  if (starttls_required) {
+    out +=
+        "<starttls xmlns='urn:ietf:params:xml:ns:xmpp-tls'>"
+        "<required/></starttls>";
+  }
+  out += "<mechanisms xmlns='urn:ietf:params:xml:ns:xmpp-sasl'>";
+  for (const auto& mechanism : mechanisms) {
+    out += "<mechanism>" + mechanism + "</mechanism>";
+  }
+  out += "</mechanisms></stream:features>";
+  return out;
+}
+
+std::string sasl_auth(std::string_view mechanism, std::string_view payload) {
+  return "<auth xmlns='urn:ietf:params:xml:ns:xmpp-sasl' mechanism='" +
+         std::string(mechanism) + "'>" + std::string(payload) + "</auth>";
+}
+
+std::string sasl_success() {
+  return "<success xmlns='urn:ietf:params:xml:ns:xmpp-sasl'/>";
+}
+
+std::string sasl_failure(std::string_view condition) {
+  return "<failure xmlns='urn:ietf:params:xml:ns:xmpp-sasl'><" +
+         std::string(condition) + "/></failure>";
+}
+
+std::string message_stanza(std::string_view to, std::string_view body) {
+  return "<message to='" + std::string(to) + "'><body>" + std::string(body) +
+         "</body></message>";
+}
+
+// ------------------------------------------------------------------- server
+
+XmppServer::XmppServer(XmppServerConfig config, XmppEvents events)
+    : config_(std::move(config)), events_(std::move(events)) {}
+
+std::vector<std::string> XmppServer::advertised_mechanisms() const {
+  if (!config_.mechanisms.empty()) return config_.mechanisms;
+  std::vector<std::string> mechanisms;
+  if (config_.auth.plaintext_only) {
+    mechanisms.push_back("PLAIN");
+  } else {
+    mechanisms.push_back("SCRAM-SHA-1");
+    mechanisms.push_back("PLAIN");
+  }
+  if (config_.auth.allow_anonymous || !config_.auth.required) {
+    mechanisms.push_back("ANONYMOUS");
+  }
+  return mechanisms;
+}
+
+namespace {
+struct XmppSession {
+  bool stream_opened = false;
+  bool authenticated = false;
+  std::string buffer;
+};
+}  // namespace
+
+void XmppServer::install(net::Host& host) {
+  const auto mechanisms = advertised_mechanisms();
+  auto config = config_;
+  auto events = events_;
+
+  const auto acceptor = [config, events, mechanisms](net::TcpConnection& conn) {
+    auto session = std::make_shared<XmppSession>();
+    conn.on_data = [config, events, mechanisms, session](
+                       net::TcpConnection& conn,
+                       std::span<const std::uint8_t> data) {
+      session->buffer += util::to_string(data);
+
+      if (!session->stream_opened &&
+          util::contains(session->buffer, "<stream:stream")) {
+        session->stream_opened = true;
+        session->buffer.clear();
+        if (events.on_stream_open) events.on_stream_open(conn.remote_addr());
+        conn.send_text(stream_open(config.domain) +
+                       stream_features(mechanisms, config.starttls_required));
+        return;
+      }
+
+      if (!session->authenticated &&
+          util::contains(session->buffer, "</auth>")) {
+        const auto mechanism =
+            extract_attribute(session->buffer, "auth", "mechanism");
+        const auto payload = extract_element(session->buffer, "auth");
+        session->buffer.clear();
+        bool ok = false;
+        std::string used = mechanism.value_or("?");
+        if (used == "ANONYMOUS") {
+          ok = !config.auth.required || config.auth.allow_anonymous;
+        } else if (used == "PLAIN" && payload) {
+          // payload is "user\0pass" in real SASL PLAIN; we use "user:pass".
+          const auto parts = util::split(*payload, ':');
+          if (parts.size() == 2) ok = config.auth.check(parts[0], parts[1]);
+          if (!config.auth.required) ok = true;
+        }
+        if (events.on_auth) events.on_auth(conn.remote_addr(), used, ok);
+        if (ok) {
+          session->authenticated = true;
+          conn.send_text(sasl_success());
+        } else {
+          conn.send_text(sasl_failure("not-authorized"));
+        }
+        return;
+      }
+
+      if (session->authenticated &&
+          util::contains(session->buffer, "</message>")) {
+        const auto to =
+            extract_attribute(session->buffer, "message", "to");
+        const auto body = extract_element(session->buffer, "body");
+        session->buffer.clear();
+        if (events.on_message && to && body) {
+          events.on_message(conn.remote_addr(), *to, *body);
+        }
+        conn.send_text("<iq type='result'/>");
+      }
+    };
+  };
+
+  host.tcp().listen(config_.client_port, acceptor);
+  host.tcp().listen(config_.server_port, acceptor);
+}
+
+}  // namespace ofh::proto::xmpp

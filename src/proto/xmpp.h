@@ -1,0 +1,74 @@
+// XMPP (RFC 6120, simplified): stream open, stream:features advertising SASL
+// mechanisms (PLAIN / ANONYMOUS / SCRAM-SHA-1) and optional STARTTLS, SASL
+// auth exchange, and message stanzas. The banner the scanner classifies is
+// the features element: MECHANISM <PLAIN> => "no encryption",
+// MECHANISM <ANONYMOUS> => "no auth" (paper Table 2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "proto/service.h"
+#include "util/bytes.h"
+
+namespace ofh::proto::xmpp {
+
+// Minimal XML helpers (tag scanning, not a general parser).
+std::optional<std::string> extract_element(std::string_view xml,
+                                           std::string_view tag);
+std::vector<std::string> extract_all_elements(std::string_view xml,
+                                              std::string_view tag);
+std::optional<std::string> extract_attribute(std::string_view xml,
+                                             std::string_view tag,
+                                             std::string_view attribute);
+
+std::string stream_open(std::string_view from_domain);
+std::string stream_features(const std::vector<std::string>& mechanisms,
+                            bool starttls_required);
+std::string sasl_auth(std::string_view mechanism, std::string_view payload);
+std::string sasl_success();
+std::string sasl_failure(std::string_view condition);
+std::string message_stanza(std::string_view to, std::string_view body);
+
+// ------------------------------------------------------------------- server
+
+struct XmppServerConfig {
+  std::uint16_t client_port = 5222;
+  std::uint16_t server_port = 5269;
+  std::string domain = "example.net";
+  AuthConfig auth;
+  bool starttls_required = false;  // false => non-TLS allowed (misconfig)
+  // Mechanisms advertised; derived from auth if empty.
+  std::vector<std::string> mechanisms;
+};
+
+struct XmppEvents {
+  std::function<void(util::Ipv4Addr)> on_stream_open;
+  std::function<void(util::Ipv4Addr, const std::string& mechanism, bool ok)>
+      on_auth;
+  std::function<void(util::Ipv4Addr, const std::string& to,
+                     const std::string& body)>
+      on_message;
+};
+
+class XmppServer : public Service {
+ public:
+  explicit XmppServer(XmppServerConfig config, XmppEvents events = {});
+
+  void install(net::Host& host) override;
+  std::string_view name() const override { return "xmpp"; }
+  std::uint16_t port() const override { return config_.client_port; }
+
+  const XmppServerConfig& config() const { return config_; }
+  std::vector<std::string> advertised_mechanisms() const;
+
+ private:
+  XmppServerConfig config_;
+  XmppEvents events_;
+};
+
+}  // namespace ofh::proto::xmpp

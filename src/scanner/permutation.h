@@ -1,0 +1,55 @@
+// Address-space permutation for stateless scanning. ZMap iterates targets as
+// a random permutation via a cyclic multiplicative group mod a prime > 2^32;
+// we use the equivalent full-period LCG construction (Hull–Dobell) over the
+// next power of two, rejecting out-of-range values. Same property: every
+// target visited exactly once, in an order decorrelated from address order,
+// with O(1) state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.h"
+
+namespace ofh::scanner {
+
+class AddressPermutation {
+ public:
+  // Permutes [0, size). seed selects the permutation.
+  AddressPermutation(std::uint64_t size, std::uint64_t seed) : size_(size) {
+    modulus_ = 1;
+    while (modulus_ < size_) modulus_ <<= 1;
+    if (modulus_ < 2) modulus_ = 2;
+    // Hull–Dobell: c odd, a ≡ 1 (mod 4) gives full period over 2^k.
+    const std::uint64_t h1 = util::splitmix64(seed);
+    const std::uint64_t h2 = util::splitmix64(seed ^ 0x5851f42d4c957f2dULL);
+    multiplier_ = ((h1 & (modulus_ - 1)) & ~std::uint64_t{3}) | 1 | 4;
+    increment_ = (h2 & (modulus_ - 1)) | 1;
+    state_ = h1 >> 7 & (modulus_ - 1);
+    first_ = state_;
+  }
+
+  // Next index in [0, size), or nullopt once the cycle completes.
+  std::optional<std::uint64_t> next() {
+    while (emitted_ < modulus_) {
+      const std::uint64_t value = state_;
+      state_ = (state_ * multiplier_ + increment_) & (modulus_ - 1);
+      ++emitted_;
+      if (value < size_) return value;
+    }
+    return std::nullopt;
+  }
+
+  std::uint64_t size() const { return size_; }
+
+ private:
+  std::uint64_t size_;
+  std::uint64_t modulus_ = 0;
+  std::uint64_t multiplier_ = 0;
+  std::uint64_t increment_ = 0;
+  std::uint64_t state_ = 0;
+  std::uint64_t first_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace ofh::scanner

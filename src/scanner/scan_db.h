@@ -1,0 +1,70 @@
+// Scan result store: the database the paper keeps banners and responses in
+// for later classification (§3.1). One record per responsive (host, port,
+// protocol); raw response bytes are preserved (IAC sequences and all) since
+// honeypot fingerprinting matches on exact bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "proto/service.h"
+#include "sim/time.h"
+#include "util/ipv4.h"
+
+namespace ofh::scanner {
+
+struct ScanRecord {
+  util::Ipv4Addr host;
+  std::uint16_t port = 0;
+  proto::Protocol protocol = proto::Protocol::kTelnet;
+  std::string banner;  // raw application-layer response
+  sim::Time when = 0;
+};
+
+class ScanDb {
+ public:
+  void add(ScanRecord record) {
+    hosts_by_protocol_[record.protocol].insert(record.host.value());
+    records_.push_back(std::move(record));
+  }
+
+  const std::vector<ScanRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  std::vector<const ScanRecord*> for_protocol(
+      proto::Protocol protocol) const {
+    std::vector<const ScanRecord*> out;
+    for (const auto& record : records_) {
+      if (record.protocol == protocol) out.push_back(&record);
+    }
+    return out;
+  }
+
+  // Unique responsive hosts per protocol (paper Table 4 is counted this way).
+  std::uint64_t unique_hosts(proto::Protocol protocol) const {
+    const auto it = hosts_by_protocol_.find(protocol);
+    return it == hosts_by_protocol_.end() ? 0 : it->second.size();
+  }
+
+  std::uint64_t unique_hosts_total() const {
+    std::set<std::uint32_t> all;
+    for (const auto& [protocol, hosts] : hosts_by_protocol_) {
+      all.insert(hosts.begin(), hosts.end());
+    }
+    return all.size();
+  }
+
+  // Probe accounting (coverage/ethics reporting).
+  void note_probe() { ++probes_sent_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  std::vector<ScanRecord> records_;
+  std::map<proto::Protocol, std::set<std::uint32_t>> hosts_by_protocol_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace ofh::scanner

@@ -1,0 +1,341 @@
+#include "scanner/scanner.h"
+
+#include <unordered_map>
+
+#include "proto/amqp.h"
+#include "proto/coap.h"
+#include "proto/mqtt.h"
+#include "proto/ssdp.h"
+#include "proto/xmpp.h"
+#include "util/strings.h"
+
+namespace ofh::scanner {
+
+std::vector<util::Cidr> default_blocklist() {
+  // The standing ZMap blocklist: RFC1918, loopback, link-local, multicast,
+  // and other special-purpose ranges.
+  const auto cidr = [](const char* text) { return *util::Cidr::parse(text); };
+  return {
+      cidr("0.0.0.0/8"),      cidr("10.0.0.0/8"),     cidr("100.64.0.0/10"),
+      cidr("127.0.0.0/8"),    cidr("169.254.0.0/16"), cidr("172.16.0.0/12"),
+      cidr("192.0.0.0/24"),   cidr("192.0.2.0/24"),   cidr("192.168.0.0/16"),
+      cidr("198.18.0.0/15"),  cidr("198.51.100.0/24"), cidr("203.0.113.0/24"),
+      cidr("224.0.0.0/4"),    cidr("240.0.0.0/4"),
+  };
+}
+
+struct Scanner::Sweep {
+  ScanConfig config;
+  DoneCallback done;
+  // Cumulative range table mapping permutation index -> address.
+  struct Range {
+    std::uint32_t base;
+    std::uint64_t size;
+  };
+  std::vector<Range> ranges;
+  std::unique_ptr<AddressPermutation> permutation;
+  std::uint64_t outstanding = 0;
+  bool exhausted = false;
+  bool finished = false;
+  // UDP probe state: address -> accumulated response bytes.
+  std::unordered_map<std::uint32_t, std::string> udp_waiting;
+  std::uint16_t udp_port = 0;
+
+  util::Ipv4Addr address_at(std::uint64_t index) const {
+    for (const auto& range : ranges) {
+      if (index < range.size) {
+        return util::Ipv4Addr(range.base + static_cast<std::uint32_t>(index));
+      }
+      index -= range.size;
+    }
+    return util::Ipv4Addr(0);
+  }
+
+  bool blocked(util::Ipv4Addr addr) const {
+    for (const auto& range : config.blocklist) {
+      if (range.contains(addr)) return true;
+    }
+    return false;
+  }
+};
+
+void Scanner::start(ScanConfig config, DoneCallback done) {
+  auto sweep = std::make_shared<Sweep>();
+  sweep->config = std::move(config);
+  sweep->done = std::move(done);
+
+  std::uint64_t total = 0;
+  for (const auto& target : sweep->config.targets) {
+    sweep->ranges.push_back({target.base().value(), target.size()});
+    total += target.size();
+  }
+  sweep->permutation =
+      std::make_unique<AddressPermutation>(total, sweep->config.seed);
+
+  if (proto::is_udp(sweep->config.protocol)) {
+    // One shared source port per sweep; responses are matched by source
+    // address (the custom-script UDP methodology of §3.1.1).
+    sweep->udp_port = static_cast<std::uint16_t>(
+        50'000 + (sweep->config.seed % 10'000));
+    std::weak_ptr<Sweep> weak = sweep;
+    udp().bind(sweep->udp_port, [weak](const net::Datagram& datagram) {
+      const auto sweep = weak.lock();
+      if (!sweep) return;
+      const auto it = sweep->udp_waiting.find(datagram.src.value());
+      if (it == sweep->udp_waiting.end()) return;
+      it->second += util::to_string(datagram.payload);
+    });
+  }
+
+  pump(std::move(sweep));
+}
+
+void Scanner::pump(std::shared_ptr<Sweep> sweep) {
+  for (std::uint32_t i = 0; i < sweep->config.batch_size; ++i) {
+    const auto index = sweep->permutation->next();
+    if (!index) {
+      sweep->exhausted = true;
+      if (sweep->outstanding == 0) finish_probe(sweep);  // nothing in flight
+      return;
+    }
+    const util::Ipv4Addr target = sweep->address_at(*index);
+    if (sweep->blocked(target)) continue;
+    probe(sweep, target);
+  }
+  sim().after(sweep->config.tick, [this, sweep] { pump(sweep); });
+}
+
+void Scanner::probe(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target) {
+  ++probes_sent_;
+  db_->note_probe();
+  const auto ports = proto::protocol_ports(sweep->config.protocol);
+  if (proto::is_udp(sweep->config.protocol)) {
+    probe_udp(sweep, target, ports.front());
+  } else {
+    // Multi-port protocols (Telnet 23+2323, XMPP 5222+5269) probe each port.
+    for (const auto port : ports) probe_tcp(sweep, target, port);
+  }
+}
+
+void Scanner::probe_tcp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
+                        std::uint16_t port) {
+  ++sweep->outstanding;
+  const proto::Protocol protocol = sweep->config.protocol;
+
+  tcp().connect(
+      target, port,
+      [this, sweep, target, port, protocol](net::TcpConnection* conn) {
+        if (conn == nullptr) {  // closed or filtered
+          finish_probe(sweep);
+          return;
+        }
+        // ZGrab stage: optional protocol-specific stimulus, then collect
+        // whatever arrives during the banner window.
+        auto collected = std::make_shared<std::string>();
+        switch (protocol) {
+          case proto::Protocol::kMqtt: {
+            proto::mqtt::ConnectPacket connect;
+            connect.client_id = "zgrab";
+            conn->send(proto::mqtt::encode_connect(connect));
+            break;
+          }
+          case proto::Protocol::kAmqp:
+            conn->send(proto::amqp::protocol_header());
+            break;
+          case proto::Protocol::kXmpp:
+            conn->send_text(proto::xmpp::stream_open("zgrab.scanner"));
+            break;
+          default:
+            break;  // Telnet and friends: passive banner grab
+        }
+
+        conn->on_data = [collected, protocol](
+                            net::TcpConnection&,
+                            std::span<const std::uint8_t> data) {
+          // Decode binary-framed protocols into the textual banner forms
+          // the misconfiguration rules match on (Table 2).
+          switch (protocol) {
+            case proto::Protocol::kMqtt: {
+              const auto header = proto::mqtt::decode_fixed_header(
+                  std::span<const std::uint8_t>(data));
+              if (header &&
+                  header->type == proto::mqtt::PacketType::kConnack &&
+                  data.size() >= header->header_size + 2) {
+                const auto code = data[header->header_size + 1];
+                *collected += "MQTT Connection Code:" + std::to_string(code);
+              }
+              break;
+            }
+            case proto::Protocol::kAmqp: {
+              std::size_t consumed = 0;
+              const auto frame = proto::amqp::decode_frame(
+                  std::span<const std::uint8_t>(data), &consumed);
+              if (frame) {
+                const auto start = proto::amqp::decode_start(frame->payload);
+                if (start) {
+                  *collected += "Product: " + start->product +
+                                " Version: " + start->version +
+                                " Mechanisms:";
+                  for (const auto& mechanism : start->mechanisms) {
+                    *collected += " " + mechanism;
+                  }
+                }
+              }
+              break;
+            }
+            default:
+              *collected += util::to_string(data);
+              break;
+          }
+        };
+
+        // Resolve the probe at the end of the banner window.
+        const net::ConnKey key{conn->local_port(), conn->remote_addr(),
+                               conn->remote_port()};
+        sim().after(sweep->config.banner_wait,
+                    [this, sweep, target, port, collected, key] {
+                      net::TcpConnection* live = tcp().lookup(key);
+                      if (live != nullptr) live->abort();
+                      ScanRecord record;
+                      record.host = target;
+                      record.port = port;
+                      record.protocol = sweep->config.protocol;
+                      record.banner = *collected;
+                      record.when = sim().now();
+                      db_->add(std::move(record));
+                      finish_probe(sweep);
+                    });
+      },
+      sweep->config.connect_timeout);
+}
+
+void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
+                        std::uint16_t port) {
+  ++sweep->outstanding;
+  sweep->udp_waiting[target.value()];  // open collection slot
+
+  switch (sweep->config.protocol) {
+    case proto::Protocol::kCoap: {
+      const auto request = proto::coap::make_discovery_request(
+          static_cast<std::uint16_t>(target.value() & 0xffff));
+      udp().send(target, port, proto::coap::encode(request), sweep->udp_port);
+      break;
+    }
+    case proto::Protocol::kUpnp: {
+      proto::ssdp::MSearch search;
+      search.search_target = "upnp:rootdevice";
+      udp().send(target, port, proto::ssdp::encode_msearch(search),
+                 sweep->udp_port);
+      break;
+    }
+    default:
+      break;
+  }
+
+  sim().after(sweep->config.banner_wait, [this, sweep, target, port] {
+    const auto it = sweep->udp_waiting.find(target.value());
+    std::string raw = it == sweep->udp_waiting.end() ? "" : it->second;
+    sweep->udp_waiting.erase(target.value());
+
+    if (raw.empty()) {  // silent: not exposed
+      finish_probe(sweep);
+      return;
+    }
+
+    if (sweep->config.protocol == proto::Protocol::kCoap) {
+      // Decode the CoAP response into the textual response form of Table 3,
+      // then follow up on a disclosed resource to distinguish full access
+      // from a mere reflection resource.
+      const auto message = proto::coap::decode(util::to_bytes(raw));
+      std::string banner;
+      if (message) {
+        if (message->code == proto::coap::Code::kContent) {
+          banner = "CoAP Resources " + util::to_string(message->payload);
+        } else if (message->code == proto::coap::Code::kUnauthorized) {
+          banner = "4.01 Unauthorized";
+        } else {
+          banner = "CoAP";
+        }
+      } else {
+        banner = raw;
+      }
+
+      if (message && message->code == proto::coap::Code::kContent) {
+        // Follow-up GET: admin resource if advertised, else the state
+        // resource; the reply reveals the access level.
+        const std::string payload = util::to_string(message->payload);
+        const std::string follow_path = util::contains(payload, "<4/admin>") ||
+                                                util::contains(payload, "admin")
+                                            ? "admin"
+                                            : "sensors/state";
+        sweep->udp_waiting[target.value()];
+        proto::coap::Message follow;
+        follow.code = proto::coap::Code::kGet;
+        follow.message_id =
+            static_cast<std::uint16_t>((target.value() >> 8) & 0xffff);
+        follow.set_uri_path(follow_path);
+        udp().send(target, port, proto::coap::encode(follow),
+                   sweep->udp_port);
+        sim().after(sweep->config.banner_wait,
+                    [this, sweep, target, port, banner] {
+                      const auto follow_it =
+                          sweep->udp_waiting.find(target.value());
+                      std::string follow_raw = follow_it ==
+                                                       sweep->udp_waiting.end()
+                                                   ? ""
+                                                   : follow_it->second;
+                      sweep->udp_waiting.erase(target.value());
+                      std::string full = banner;
+                      const auto reply =
+                          proto::coap::decode(util::to_bytes(follow_raw));
+                      if (reply &&
+                          reply->code == proto::coap::Code::kContent) {
+                        full += "\n220 " + util::to_string(reply->payload);
+                      } else if (reply) {
+                        full += "\n4.01";
+                      }
+                      ScanRecord record;
+                      record.host = target;
+                      record.port = port;
+                      record.protocol = proto::Protocol::kCoap;
+                      record.banner = std::move(full);
+                      record.when = sim().now();
+                      db_->add(std::move(record));
+                      finish_probe(sweep);
+                    });
+        return;
+      }
+
+      ScanRecord record;
+      record.host = target;
+      record.port = port;
+      record.protocol = proto::Protocol::kCoap;
+      record.banner = std::move(banner);
+      record.when = sim().now();
+      db_->add(std::move(record));
+      finish_probe(sweep);
+      return;
+    }
+
+    // UPnP: store the raw HTTPU response(s).
+    ScanRecord record;
+    record.host = target;
+    record.port = port;
+    record.protocol = sweep->config.protocol;
+    record.banner = std::move(raw);
+    record.when = sim().now();
+    db_->add(std::move(record));
+    finish_probe(sweep);
+  });
+}
+
+void Scanner::finish_probe(std::shared_ptr<Sweep> sweep) {
+  if (sweep->outstanding > 0) --sweep->outstanding;
+  if (sweep->exhausted && sweep->outstanding == 0 && !sweep->finished) {
+    sweep->finished = true;
+    if (sweep->udp_port != 0) udp().unbind(sweep->udp_port);
+    if (sweep->done) sweep->done();
+  }
+}
+
+}  // namespace ofh::scanner

@@ -1,0 +1,63 @@
+// ZMap/ZGrab-style Internet scanner. Sweeps target ranges in permuted order
+// with rate limiting and blocklists; per-protocol application probes follow
+// up on responsive hosts to collect banners (ZGrab) or trigger responses
+// (custom UDP scripts for CoAP "/.well-known/core" and SSDP "ssdp:discover"),
+// mirroring the paper's §3.1.1 methodology.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/host.h"
+#include "scanner/permutation.h"
+#include "scanner/scan_db.h"
+#include "util/ipv4.h"
+
+namespace ofh::scanner {
+
+struct ScanConfig {
+  proto::Protocol protocol = proto::Protocol::kTelnet;
+  std::vector<util::Cidr> targets;
+  std::vector<util::Cidr> blocklist;
+  std::uint64_t seed = 1;
+  // Rate limiting: probes per batch, one batch per tick.
+  std::uint32_t batch_size = 256;
+  sim::Duration tick = sim::msec(50);
+  // How long to collect application bytes after connecting (TCP), or to
+  // await a UDP response.
+  sim::Duration banner_wait = sim::seconds(2);
+  sim::Duration connect_timeout = sim::seconds(3);
+};
+
+// ZMap's default blocklist equivalent: reserved/special-purpose ranges.
+std::vector<util::Cidr> default_blocklist();
+
+class Scanner : public net::Host {
+ public:
+  using DoneCallback = std::function<void()>;
+
+  Scanner(util::Ipv4Addr addr, ScanDb& db) : net::Host(addr), db_(&db) {}
+
+  // Starts one protocol sweep; done fires when all probes have resolved.
+  // Multiple sequential scans may be issued on the same scanner host.
+  void start(ScanConfig config, DoneCallback done);
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  struct Sweep;
+
+  void pump(std::shared_ptr<Sweep> sweep);
+  void probe(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target);
+  void probe_tcp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
+                 std::uint16_t port);
+  void probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
+                 std::uint16_t port);
+  void finish_probe(std::shared_ptr<Sweep> sweep);
+
+  ScanDb* db_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace ofh::scanner

@@ -1,0 +1,72 @@
+// Discrete-event simulation kernel. Events are closures ordered by
+// (time, insertion sequence); ties are FIFO so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ofh::sim {
+
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  Time now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  // Schedules an action at an absolute time (clamped to now).
+  void at(Time t, Action action) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(action)});
+  }
+
+  void after(Duration d, Action action) { at(now_ + d, std::move(action)); }
+
+  // Runs until the queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  // Runs events with time <= deadline; the clock ends at the deadline even
+  // if the queue drained earlier, so periodic processes measure full windows.
+  void run_until(Time deadline) {
+    while (!queue_.empty() && queue_.top().when <= deadline) step();
+    now_ = deadline;
+  }
+
+  // Executes the single earliest event; returns false when idle.
+  bool step() {
+    if (queue_.empty()) return false;
+    // Move the event out before popping: the action may schedule new events.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    ++processed_;
+    event.action();
+    return true;
+  }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Action action;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace ofh::sim

@@ -1,0 +1,22 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace ofh::sim {
+
+std::string format_time(Time t) {
+  const std::uint64_t us = t % 1'000'000;
+  std::uint64_t s = t / 1'000'000;
+  const std::uint64_t day = s / 86'400;
+  s %= 86'400;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%02llu %02llu:%02llu:%02llu.%06llu",
+                static_cast<unsigned long long>(day),
+                static_cast<unsigned long long>(s / 3600),
+                static_cast<unsigned long long>((s / 60) % 60),
+                static_cast<unsigned long long>(s % 60),
+                static_cast<unsigned long long>(us));
+  return buf;
+}
+
+}  // namespace ofh::sim

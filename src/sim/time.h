@@ -1,0 +1,26 @@
+// Simulated time. One tick is a microsecond; a month-long deployment is
+// ~2.6e12 ticks, comfortably inside 64 bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ofh::sim {
+
+using Time = std::uint64_t;      // absolute microseconds since sim start
+using Duration = std::uint64_t;  // microseconds
+
+constexpr Duration usec(std::uint64_t n) { return n; }
+constexpr Duration msec(std::uint64_t n) { return n * 1000; }
+constexpr Duration seconds(std::uint64_t n) { return n * 1'000'000; }
+constexpr Duration minutes(std::uint64_t n) { return seconds(n * 60); }
+constexpr Duration hours(std::uint64_t n) { return minutes(n * 60); }
+constexpr Duration days(std::uint64_t n) { return hours(n * 24); }
+
+constexpr std::uint64_t to_seconds(Duration d) { return d / 1'000'000; }
+constexpr std::uint64_t to_days(Duration d) { return d / days(1); }
+
+// "d03 07:12:45.123456" — used in logs and the daily time series.
+std::string format_time(Time t);
+
+}  // namespace ofh::sim

@@ -1,0 +1,74 @@
+#include "telescope/rsdos.h"
+
+#include <algorithm>
+
+namespace ofh::telescope {
+
+bool is_backscatter(const net::Packet& packet) {
+  if (packet.transport != net::Transport::kTcp) return false;
+  const bool syn_ack = packet.has_flag(net::TcpFlags::kSyn) &&
+                       packet.has_flag(net::TcpFlags::kAck);
+  const bool rst = packet.has_flag(net::TcpFlags::kRst);
+  return syn_ack || rst;
+}
+
+void RsdosDetector::observe(const net::Packet& packet, sim::Time when) {
+  if (!darknet_.contains(packet.dst)) return;
+  if (!is_backscatter(packet)) return;
+  ++backscatter_packets_;
+
+  auto& state = victims_[packet.src.value()];
+  if (state.active && when - state.current.last_seen > attack_gap_) {
+    // Burst gap exceeded: close the previous attack record.
+    state.current.distinct_darknet_targets =
+        static_cast<std::uint32_t>(state.targets.size());
+    closed_.push_back(state.current);
+    state = VictimState{};
+  }
+  if (!state.active) {
+    state.active = true;
+    state.current.victim = packet.src;
+    state.current.first_seen = when;
+  }
+  state.current.last_seen = when;
+  ++state.current.packets;
+  state.targets.insert(packet.dst.value());
+}
+
+std::vector<RsdosAttack> RsdosDetector::attacks() const {
+  std::vector<RsdosAttack> out = closed_;
+  for (const auto& [victim, state] : victims_) {
+    if (state.active) {
+      RsdosAttack attack = state.current;
+      attack.distinct_darknet_targets =
+          static_cast<std::uint32_t>(state.targets.size());
+      out.push_back(attack);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RsdosAttack& a, const RsdosAttack& b) {
+              return a.first_seen < b.first_seen;
+            });
+  return out;
+}
+
+std::string flowtuples_to_csv(const std::vector<FlowTuple>& tuples) {
+  std::string out =
+      "minute,src_ip,dst_ip,src_port,dst_port,protocol,ttl,tcp_flags,"
+      "packet_cnt,byte_cnt,is_spoofed,is_masscan\n";
+  for (const auto& tuple : tuples) {
+    out += std::to_string(tuple.minute) + "," + tuple.src.to_string() + "," +
+           tuple.dst.to_string() + "," + std::to_string(tuple.src_port) +
+           "," + std::to_string(tuple.dst_port) + "," +
+           (tuple.transport == net::Transport::kTcp ? "tcp" : "udp") + "," +
+           std::to_string(tuple.ttl) + "," +
+           std::to_string(tuple.tcp_flags) + "," +
+           std::to_string(tuple.packet_count) + "," +
+           std::to_string(tuple.byte_count) + "," +
+           (tuple.is_spoofed ? "1" : "0") + "," +
+           (tuple.is_masscan ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+}  // namespace ofh::telescope

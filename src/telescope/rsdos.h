@@ -1,0 +1,69 @@
+// RSDoS detection: the CAIDA telescope's third data product ("Aggregated
+// Daily RSDoS Attack Metadata", paper §3.4). Randomly-spoofed DoS attacks
+// put the victim's address in forged SYN sources; the victim's SYN-ACK /
+// RST replies spray across the whole address space, and the slice landing
+// in the darknet is backscatter. Grouping backscatter by its *source*
+// (the true victim) reconstructs attack records.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "telescope/telescope.h"
+
+namespace ofh::telescope {
+
+struct RsdosAttack {
+  util::Ipv4Addr victim;       // backscatter source = attack victim
+  sim::Time first_seen = 0;
+  sim::Time last_seen = 0;
+  std::uint64_t packets = 0;   // backscatter packets observed
+  std::uint32_t distinct_darknet_targets = 0;
+  // Estimated attack magnitude: darknet coverage is size/2^32 of the
+  // spoofed space, so observed backscatter scales up by the inverse.
+  double estimated_attack_packets(util::Cidr darknet) const {
+    const double coverage =
+        static_cast<double>(darknet.size()) / 4'294'967'296.0;
+    return static_cast<double>(packets) / coverage;
+  }
+};
+
+// A packet is backscatter when it is a response-type TCP segment
+// (SYN|ACK or RST) arriving unsolicited at the darknet.
+bool is_backscatter(const net::Packet& packet);
+
+class RsdosDetector : public net::PacketSink {
+ public:
+  // Backscatter bursts separated by more than this gap are distinct attacks.
+  explicit RsdosDetector(util::Cidr darknet,
+                         sim::Duration attack_gap = sim::minutes(10))
+      : darknet_(darknet), attack_gap_(attack_gap) {}
+
+  void attach(net::Fabric& fabric) { fabric.add_tap(*this); }
+
+  void observe(const net::Packet& packet, sim::Time when) override;
+
+  // Closed + in-progress attacks, ordered by first_seen.
+  std::vector<RsdosAttack> attacks() const;
+  std::uint64_t backscatter_packets() const { return backscatter_packets_; }
+
+ private:
+  struct VictimState {
+    RsdosAttack current;
+    std::set<std::uint32_t> targets;
+    bool active = false;
+  };
+
+  util::Cidr darknet_;
+  sim::Duration attack_gap_;
+  std::map<std::uint32_t, VictimState> victims_;
+  std::vector<RsdosAttack> closed_;
+  std::uint64_t backscatter_packets_ = 0;
+};
+
+// CSV export of FlowTuples in the STARDUST column layout — lets downstream
+// tooling consume the simulated capture like the real dataset.
+std::string flowtuples_to_csv(const std::vector<FlowTuple>& tuples);
+
+}  // namespace ofh::telescope

@@ -1,0 +1,98 @@
+#include "telescope/telescope.h"
+
+namespace ofh::telescope {
+
+std::optional<proto::Protocol> protocol_for_port(std::uint16_t port) {
+  switch (port) {
+    case 23:
+    case 2323:
+      return proto::Protocol::kTelnet;
+    case 1883: return proto::Protocol::kMqtt;
+    case 5683: return proto::Protocol::kCoap;
+    case 5672: return proto::Protocol::kAmqp;
+    case 5222:
+    case 5269:
+      return proto::Protocol::kXmpp;
+    case 1900: return proto::Protocol::kUpnp;
+    default: return std::nullopt;
+  }
+}
+
+void Telescope::observe(const net::Packet& packet, sim::Time when) {
+  ++total_packets_;
+  if (packet.spoofed_src) ++spoofed_packets_;
+  if (packet.from_masscan) ++masscan_packets_;
+
+  const std::uint64_t minute = when / sim::minutes(1);
+  const TupleKey key{
+      minute, packet.src.value(), packet.dst.value(),
+      (std::uint32_t{packet.src_port} << 16) | packet.dst_port,
+      static_cast<std::uint8_t>(packet.transport)};
+  auto& tuple = tuples_[key];
+  if (tuple.packet_count == 0) {
+    tuple.minute = minute;
+    tuple.src = packet.src;
+    tuple.dst = packet.dst;
+    tuple.src_port = packet.src_port;
+    tuple.dst_port = packet.dst_port;
+    tuple.transport = packet.transport;
+    tuple.ttl = packet.ttl;
+    tuple.tcp_flags = packet.tcp_flags;
+    tuple.is_spoofed = packet.spoofed_src;
+    tuple.is_masscan = packet.from_masscan;
+  }
+  ++tuple.packet_count;
+  tuple.byte_count += packet.wire_size();
+
+  if (const auto protocol = protocol_for_port(packet.dst_port)) {
+    ++packets_by_protocol_[*protocol];
+    sources_by_protocol_[*protocol].insert(packet.src.value());
+  }
+}
+
+std::vector<FlowTuple> Telescope::tuples() const {
+  std::vector<FlowTuple> out;
+  out.reserve(tuples_.size());
+  for (const auto& [key, tuple] : tuples_) out.push_back(tuple);
+  return out;
+}
+
+std::uint64_t Telescope::packets_for(proto::Protocol protocol) const {
+  const auto it = packets_by_protocol_.find(protocol);
+  return it == packets_by_protocol_.end() ? 0 : it->second;
+}
+
+std::uint64_t Telescope::unique_sources_for(proto::Protocol protocol) const {
+  const auto it = sources_by_protocol_.find(protocol);
+  return it == sources_by_protocol_.end() ? 0 : it->second.size();
+}
+
+std::vector<util::Ipv4Addr> Telescope::sources_for(
+    proto::Protocol protocol) const {
+  std::vector<util::Ipv4Addr> out;
+  const auto it = sources_by_protocol_.find(protocol);
+  if (it == sources_by_protocol_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto value : it->second) out.push_back(util::Ipv4Addr(value));
+  return out;
+}
+
+std::vector<util::Ipv4Addr> Telescope::all_sources() const {
+  std::set<std::uint32_t> all;
+  for (const auto& [protocol, sources] : sources_by_protocol_) {
+    all.insert(sources.begin(), sources.end());
+  }
+  std::vector<util::Ipv4Addr> out;
+  out.reserve(all.size());
+  for (const auto value : all) out.push_back(util::Ipv4Addr(value));
+  return out;
+}
+
+double Telescope::daily_average_for(proto::Protocol protocol,
+                                    std::uint64_t capture_days) const {
+  if (capture_days == 0) return 0;
+  return static_cast<double>(packets_for(protocol)) /
+         static_cast<double>(capture_days);
+}
+
+}  // namespace ofh::telescope

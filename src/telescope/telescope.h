@@ -1,0 +1,66 @@
+// The network telescope: a routed darknet range (the paper's is a /8 with
+// 16M addresses) attached to the fabric as a packet sink. Observed packets
+// are aggregated into per-minute FlowTuples; query helpers reproduce the
+// Table 8 analysis (daily averages per protocol, unique sources,
+// scanning-service vs suspicious classification).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/fabric.h"
+#include "telescope/flowtuple.h"
+#include "util/stats.h"
+
+namespace ofh::telescope {
+
+class Telescope : public net::PacketSink {
+ public:
+  explicit Telescope(util::Cidr range) : range_(range) {}
+
+  util::Cidr range() const { return range_; }
+  void attach(net::Fabric& fabric) { fabric.add_darknet(range_, *this); }
+
+  // PacketSink: aggregate into the current minute's tuple.
+  void observe(const net::Packet& packet, sim::Time when) override;
+
+  // All tuples, ordered by minute bucket.
+  std::vector<FlowTuple> tuples() const;
+
+  std::uint64_t total_packets() const { return total_packets_; }
+
+  // Packets towards a tracked IoT protocol, total over the capture.
+  std::uint64_t packets_for(proto::Protocol protocol) const;
+  // Unique source addresses seen probing a protocol.
+  std::uint64_t unique_sources_for(proto::Protocol protocol) const;
+  std::vector<util::Ipv4Addr> sources_for(proto::Protocol protocol) const;
+  std::vector<util::Ipv4Addr> all_sources() const;
+
+  // Daily average over the observed capture span.
+  double daily_average_for(proto::Protocol protocol,
+                           std::uint64_t capture_days) const;
+
+  std::uint64_t spoofed_packets() const { return spoofed_packets_; }
+  std::uint64_t masscan_packets() const { return masscan_packets_; }
+
+ private:
+  struct TupleKey {
+    std::uint64_t minute;
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint32_t ports;  // src<<16|dst
+    std::uint8_t transport;
+    auto operator<=>(const TupleKey&) const = default;
+  };
+
+  util::Cidr range_;
+  std::map<TupleKey, FlowTuple> tuples_;
+  std::map<proto::Protocol, std::uint64_t> packets_by_protocol_;
+  std::map<proto::Protocol, std::set<std::uint32_t>> sources_by_protocol_;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t spoofed_packets_ = 0;
+  std::uint64_t masscan_packets_ = 0;
+};
+
+}  // namespace ofh::telescope

@@ -1,0 +1,130 @@
+// Byte-buffer reader/writer with network (big-endian) integer accessors.
+// All wire codecs in src/proto are built on these two types.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ofh::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+inline Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+inline std::string to_string(std::span<const std::uint8_t> data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+// Appends big-endian integers and raw byte runs to a growing buffer.
+class ByteWriter {
+ public:
+  ByteWriter& u8(std::uint8_t v) {
+    buf_.push_back(v);
+    return *this;
+  }
+  ByteWriter& u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    return *this;
+  }
+  ByteWriter& u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+    return *this;
+  }
+  ByteWriter& u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+    return *this;
+  }
+  ByteWriter& raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+    return *this;
+  }
+  ByteWriter& text(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+    return *this;
+  }
+  // Length-prefixed string (u8 or u16 length), common in MQTT/AMQP framing.
+  ByteWriter& str8(std::string_view s) {
+    u8(static_cast<std::uint8_t>(s.size()));
+    return text(s);
+  }
+  ByteWriter& str16(std::string_view s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    return text(s);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+// Sequential reader over a byte span. All accessors return nullopt on
+// underflow instead of throwing so codecs can reject truncated frames.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  std::optional<std::uint8_t> u8() {
+    if (remaining() < 1) return std::nullopt;
+    return data_[pos_++];
+  }
+  std::optional<std::uint16_t> u16() {
+    if (remaining() < 2) return std::nullopt;
+    const std::uint16_t v = (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1];
+    pos_ += 2;
+    return v;
+  }
+  std::optional<std::uint32_t> u32() {
+    const auto hi = u16();
+    if (!hi) return std::nullopt;
+    const auto lo = u16();
+    if (!lo) return std::nullopt;
+    return (std::uint32_t{*hi} << 16) | *lo;
+  }
+  std::optional<std::span<const std::uint8_t>> raw(std::size_t n) {
+    if (remaining() < n) return std::nullopt;
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::optional<std::string> str(std::size_t n) {
+    const auto span = raw(n);
+    if (!span) return std::nullopt;
+    return to_string(*span);
+  }
+  // Length-prefixed strings mirroring ByteWriter::str8/str16.
+  std::optional<std::string> str8() {
+    const auto n = u8();
+    if (!n) return std::nullopt;
+    return str(*n);
+  }
+  std::optional<std::string> str16() {
+    const auto n = u16();
+    if (!n) return std::nullopt;
+    return str(*n);
+  }
+
+  std::span<const std::uint8_t> rest() const { return data_.subspan(pos_); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ofh::util

@@ -1,0 +1,56 @@
+#include "util/ipv4.h"
+
+#include <charconv>
+
+namespace ofh::util {
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(static_cast<unsigned>(octet(i)));
+  }
+  return out;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr(value);
+}
+
+std::string Cidr::to_string() const {
+  return base_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto base = Ipv4Addr::parse(text.substr(0, slash));
+  if (!base) return std::nullopt;
+  int len = 0;
+  const auto len_text = text.substr(slash + 1);
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      len < 0 || len > 32) {
+    return std::nullopt;
+  }
+  return Cidr(*base, len);
+}
+
+}  // namespace ofh::util

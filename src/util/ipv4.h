@@ -1,0 +1,79 @@
+// IPv4 address and CIDR prefix types used across the simulator, scanner and
+// telescope. Addresses are value types wrapping a host-order 32-bit integer.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ofh::util {
+
+// An IPv4 address in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  std::string to_string() const;
+
+  // Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// A CIDR prefix, e.g. 10.0.0.0/8. Prefix length 0..32.
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  constexpr Cidr(Ipv4Addr base, int prefix_len)
+      : base_(Ipv4Addr(prefix_len == 0 ? 0u
+                                       : (base.value() &
+                                          (~std::uint32_t{0}
+                                           << (32 - prefix_len))))),
+        prefix_len_(prefix_len) {}
+
+  constexpr Ipv4Addr base() const { return base_; }
+  constexpr int prefix_len() const { return prefix_len_; }
+
+  // Number of addresses covered (2^(32-len)); 2^32 reported as 0x100000000.
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - prefix_len_);
+  }
+
+  constexpr bool contains(Ipv4Addr addr) const {
+    if (prefix_len_ == 0) return true;
+    const std::uint32_t mask = ~std::uint32_t{0} << (32 - prefix_len_);
+    return (addr.value() & mask) == base_.value();
+  }
+
+  constexpr Ipv4Addr first() const { return base_; }
+  constexpr Ipv4Addr last() const {
+    return Ipv4Addr(base_.value() + static_cast<std::uint32_t>(size() - 1));
+  }
+
+  std::string to_string() const;
+  static std::optional<Cidr> parse(std::string_view text);
+
+  constexpr auto operator<=>(const Cidr&) const = default;
+
+ private:
+  Ipv4Addr base_;
+  int prefix_len_ = 32;
+};
+
+}  // namespace ofh::util

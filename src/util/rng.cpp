@@ -1,0 +1,9 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace ofh::util {
+
+double Rng::log_(double x) { return std::log(x); }
+
+}  // namespace ofh::util

@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation. Every stochastic component
+// of the simulation derives its stream from a single study seed so that runs
+// are exactly replayable; sub-streams are forked by label to decouple modules.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+namespace ofh::util {
+
+// SplitMix64: used for seeding and for stateless address-keyed decisions.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a 64-bit over a string; used to derive labelled sub-seeds.
+constexpr std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// xoshiro256** — fast, high-quality generator for simulation streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x++);
+  }
+
+  // Forks an independent stream identified by a label.
+  Rng fork(std::string_view label) const {
+    return Rng(state_[0] ^ fnv1a(label) ^ splitmix64(state_[3]));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Rejection-free multiply-shift; bias is negligible for bound << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  // Exponential inter-arrival with the given mean (for Poisson processes).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    // -mean * ln(u) without <cmath> in a header: delegate to std::log.
+    return -mean * log_(u);
+  }
+
+  // Picks an index according to non-negative weights; returns weights.size()
+  // only if all weights are zero.
+  std::size_t weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (const double w : weights) total += w;
+    if (total <= 0) return weights.size();
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[below(items.size())];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double log_(double x);
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace ofh::util

@@ -1,0 +1,40 @@
+// Minimal SHA-256 (FIPS 180-4) used to fingerprint simulated malware
+// payloads, mirroring the paper's use of SHA-256 hashes (Appendix Table 13).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ofh::util {
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+
+  // Finalizes and returns the 32-byte digest; the object must be reset()
+  // before reuse.
+  std::array<std::uint8_t, 32> digest();
+
+  // One-shot convenience returning lowercase hex.
+  static std::string hex_digest(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace ofh::util

@@ -1,0 +1,68 @@
+// Counting and distribution helpers used by the analysis/report layer.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ofh::util {
+
+// Ordered counter over string keys with ranked extraction.
+class Counter {
+ public:
+  void add(const std::string& key, std::uint64_t n = 1) { counts_[key] += n; }
+
+  std::uint64_t count(const std::string& key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [key, n] : counts_) sum += n;
+    return sum;
+  }
+
+  std::size_t distinct() const { return counts_.size(); }
+  bool empty() const { return counts_.empty(); }
+
+  // Entries sorted by descending count, ties broken by key for determinism.
+  std::vector<std::pair<std::string, std::uint64_t>> ranked() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out(counts_.begin(),
+                                                           counts_.end());
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    return out;
+  }
+
+  const std::map<std::string, std::uint64_t>& raw() const { return counts_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+// Running scalar summary (count/mean/min/max).
+class Summary {
+ public:
+  void add(double x) {
+    if (count_ == 0 || x < min_) min_ = x;
+    if (count_ == 0 || x > max_) max_ = x;
+    sum_ += x;
+    ++count_;
+  }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0, min_ = 0, max_ = 0;
+};
+
+}  // namespace ofh::util

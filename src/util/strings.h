@@ -1,0 +1,26 @@
+// Small string helpers shared by banner classifiers and report renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ofh::util {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+bool contains(std::string_view haystack, std::string_view needle);
+bool icontains(std::string_view haystack, std::string_view needle);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// Renders n with thousands separators, e.g. 1832893 -> "1,832,893".
+std::string with_commas(std::uint64_t n);
+
+// Fixed-precision percentage "12.3%".
+std::string percent(double fraction, int decimals = 1);
+
+// Hex encoding of a byte sequence, lowercase, no separators.
+std::string hex(const std::vector<std::uint8_t>& data);
+
+}  // namespace ofh::util

@@ -1,0 +1,40 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace ofh::util {
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row,
+                            std::string& out) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      out += "| ";
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out += cell;
+      out.append(widths[i] - cell.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    out += "|";
+    out.append(widths[i] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace ofh::util

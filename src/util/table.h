@@ -1,0 +1,27 @@
+// ASCII table renderer used by the bench harnesses to print the paper's
+// tables side by side with measured values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ofh::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Renders with column alignment and a header separator.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ofh::util

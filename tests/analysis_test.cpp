@@ -1,0 +1,203 @@
+// Analysis-layer tests: source classification, multistage detection and the
+// §5.3 correlation machinery, on hand-crafted inputs with known answers.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+
+namespace ofh::core {
+namespace {
+
+using honeynet::AttackEvent;
+using honeynet::AttackType;
+using util::Ipv4Addr;
+
+const std::vector<std::string> kDomains = {"shodan.io", "censys-scanner.com"};
+
+AttackEvent event_of(std::uint32_t src, const char* honeypot,
+                     proto::Protocol protocol, AttackType type,
+                     sim::Time when = 0) {
+  return AttackEvent{when, Ipv4Addr(src), honeypot, protocol, type, ""};
+}
+
+TEST(ClassifySource, MatchesRdnsDomainSuffix) {
+  intel::ReverseDns rdns;
+  rdns.add(Ipv4Addr(1), "scan-3.shodan.io");
+  rdns.add(Ipv4Addr(2), "host.attacker.example");
+  EXPECT_EQ(classify_source(Ipv4Addr(1), rdns, kDomains),
+            SourceClass::kScanningService);
+  EXPECT_EQ(classify_source(Ipv4Addr(2), rdns, kDomains),
+            SourceClass::kUnknown);
+  EXPECT_EQ(classify_source(Ipv4Addr(3), rdns, kDomains),
+            SourceClass::kUnknown);  // no PTR record
+}
+
+TEST(ClassifySource, SuffixMustBeWholeLabelChain) {
+  intel::ReverseDns rdns;
+  rdns.add(Ipv4Addr(1), "notshodan.io.evil.example");
+  EXPECT_EQ(classify_source(Ipv4Addr(1), rdns, kDomains),
+            SourceClass::kUnknown);
+}
+
+TEST(HoneypotSources, ClassifiesPerSourceBehaviour) {
+  intel::ReverseDns rdns;
+  rdns.add(Ipv4Addr(10), "scan-1.censys-scanner.com");
+  honeynet::EventLog log;
+  // Scanning service probing.
+  log.record(event_of(10, "HosTaGe", proto::Protocol::kTelnet,
+                      AttackType::kScan));
+  // Malicious actor: scan then brute force.
+  log.record(event_of(20, "HosTaGe", proto::Protocol::kTelnet,
+                      AttackType::kScan));
+  log.record(event_of(20, "HosTaGe", proto::Protocol::kTelnet,
+                      AttackType::kBruteForce));
+  // Unknown: one-time scan only.
+  log.record(event_of(30, "HosTaGe", proto::Protocol::kMqtt,
+                      AttackType::kScan));
+
+  const auto breakdowns = classify_honeypot_sources(log, rdns, kDomains);
+  const auto& hostage = breakdowns.at("HosTaGe");
+  EXPECT_EQ(hostage.scanning_service, 1u);
+  EXPECT_EQ(hostage.malicious, 1u);
+  EXPECT_EQ(hostage.unknown, 1u);
+}
+
+TEST(HoneypotSources, SourceCountedPerHoneypotItTouched) {
+  intel::ReverseDns rdns;
+  honeynet::EventLog log;
+  log.record(event_of(40, "Cowrie", proto::Protocol::kSsh,
+                      AttackType::kBruteForce));
+  log.record(event_of(40, "Dionaea", proto::Protocol::kSmb,
+                      AttackType::kExploit));
+  const auto breakdowns = classify_honeypot_sources(log, rdns, kDomains);
+  EXPECT_EQ(breakdowns.at("Cowrie").malicious, 1u);
+  EXPECT_EQ(breakdowns.at("Dionaea").malicious, 1u);
+}
+
+TEST(Multistage, DetectsOrderedProtocolChains) {
+  intel::ReverseDns rdns;
+  honeynet::EventLog log;
+  // Source 50: Telnet day 1 -> SMB day 2 -> S7 day 3.
+  log.record(event_of(50, "Cowrie", proto::Protocol::kTelnet,
+                      AttackType::kBruteForce, sim::days(1)));
+  log.record(event_of(50, "Dionaea", proto::Protocol::kSmb,
+                      AttackType::kExploit, sim::days(2)));
+  log.record(event_of(50, "Conpot", proto::Protocol::kS7, AttackType::kDos,
+                      sim::days(3)));
+  // Source 51: single protocol — not multistage.
+  log.record(event_of(51, "Cowrie", proto::Protocol::kTelnet,
+                      AttackType::kScan, sim::days(1)));
+
+  const auto chains = detect_multistage(log, rdns, kDomains);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].source.value(), 50u);
+  ASSERT_EQ(chains[0].stages.size(), 3u);
+  EXPECT_EQ(chains[0].stages[0], proto::Protocol::kTelnet);
+  EXPECT_EQ(chains[0].stages[1], proto::Protocol::kSmb);
+  EXPECT_EQ(chains[0].stages[2], proto::Protocol::kS7);
+}
+
+TEST(Multistage, ScanningServicesAreExcluded) {
+  intel::ReverseDns rdns;
+  rdns.add(Ipv4Addr(60), "scan-9.shodan.io");
+  honeynet::EventLog log;
+  // A scanning service touches many protocols — not a multistage attack.
+  for (const auto protocol : proto::scanned_protocols()) {
+    log.record(event_of(60, "HosTaGe", protocol, AttackType::kScan));
+  }
+  EXPECT_TRUE(detect_multistage(log, rdns, kDomains).empty());
+}
+
+TEST(Multistage, StageHistogram) {
+  std::vector<MultistageChain> chains;
+  chains.push_back({Ipv4Addr(1),
+                    {proto::Protocol::kTelnet, proto::Protocol::kSmb}});
+  chains.push_back({Ipv4Addr(2),
+                    {proto::Protocol::kSsh, proto::Protocol::kSmb,
+                     proto::Protocol::kS7}});
+  const auto stages = multistage_stage_histogram(chains);
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].count("Telnet"), 1u);
+  EXPECT_EQ(stages[0].count("SSH"), 1u);
+  EXPECT_EQ(stages[1].count("SMB"), 2u);
+  EXPECT_EQ(stages[2].count("S7"), 1u);
+}
+
+TEST(Correlation, SplitsThreeWays) {
+  std::vector<classify::MisconfigFinding> findings = {
+      {Ipv4Addr(100), proto::Protocol::kTelnet,
+       devices::Misconfig::kTelnetNoAuth},  // attacks both
+      {Ipv4Addr(101), proto::Protocol::kMqtt,
+       devices::Misconfig::kMqttNoAuth},  // honeypot only
+      {Ipv4Addr(102), proto::Protocol::kCoap,
+       devices::Misconfig::kCoapReflector},  // telescope only
+      {Ipv4Addr(103), proto::Protocol::kUpnp,
+       devices::Misconfig::kUpnpReflector},  // never attacks
+  };
+  honeynet::EventLog log;
+  log.record(event_of(100, "Cowrie", proto::Protocol::kTelnet,
+                      AttackType::kBruteForce));
+  log.record(event_of(101, "HosTaGe", proto::Protocol::kMqtt,
+                      AttackType::kPoisoning));
+
+  telescope::Telescope scope(*util::Cidr::parse("44.0.0.0/8"));
+  net::Packet packet;
+  packet.src = Ipv4Addr(100);
+  packet.dst = Ipv4Addr(44, 1, 1, 1);
+  packet.dst_port = 23;
+  packet.tcp_flags = net::TcpFlags::kSyn;
+  scope.observe(packet, 0);
+  packet.src = Ipv4Addr(102);
+  scope.observe(packet, 0);
+  packet.src = Ipv4Addr(200);  // attacker that is not misconfigured
+  scope.observe(packet, 0);
+
+  const auto result = correlate_infected(findings, log, scope);
+  EXPECT_EQ(result.both, (std::set<std::uint32_t>{100}));
+  EXPECT_EQ(result.honeypot_only, (std::set<std::uint32_t>{101}));
+  EXPECT_EQ(result.telescope_only, (std::set<std::uint32_t>{102}));
+  EXPECT_EQ(result.total(), 3u);
+}
+
+TEST(Correlation, CensysExtraCountsOnlyUncorrelatedIotSources) {
+  honeynet::EventLog log;
+  log.record(event_of(300, "Cowrie", proto::Protocol::kTelnet,
+                      AttackType::kScan));
+  log.record(event_of(301, "Cowrie", proto::Protocol::kTelnet,
+                      AttackType::kScan));
+  telescope::Telescope scope(*util::Cidr::parse("44.0.0.0/8"));
+
+  intel::CensysDb censys;
+  censys.tag_iot(Ipv4Addr(300), "Camera");   // already correlated
+  censys.tag_iot(Ipv4Addr(301), "Router");   // new IoT attacker
+  censys.tag_iot(Ipv4Addr(999), "Camera");   // never attacked
+
+  const std::set<std::uint32_t> correlated = {300};
+  EXPECT_EQ(censys_extra_iot(log, scope, correlated, censys), 1u);
+}
+
+TEST(GreyNoiseComparisonTest, CountsMissedSources) {
+  intel::GreyNoiseDb greynoise;
+  greynoise.classify(Ipv4Addr(1), intel::GreyNoiseClass::kBenign);
+  const std::vector<Ipv4Addr> sources = {Ipv4Addr(1), Ipv4Addr(2),
+                                         Ipv4Addr(3)};
+  const auto comparison = compare_with_greynoise(sources, greynoise);
+  EXPECT_EQ(comparison.ours, 3u);
+  EXPECT_EQ(comparison.greynoise, 1u);
+  EXPECT_EQ(comparison.missed, 2u);
+}
+
+TEST(VirusTotalRates, PerProtocolFractions) {
+  intel::VirusTotalDb virustotal;
+  virustotal.flag_ip(Ipv4Addr(1));
+  std::map<std::string, std::vector<Ipv4Addr>> sources;
+  sources["Telnet"] = {Ipv4Addr(1), Ipv4Addr(2)};
+  sources["MQTT"] = {Ipv4Addr(3)};
+  sources["Empty"] = {};
+  const auto rates = virustotal_flag_rates(sources, virustotal, "(H)");
+  EXPECT_DOUBLE_EQ(rates.at("Telnet (H)"), 0.5);
+  EXPECT_DOUBLE_EQ(rates.at("MQTT (H)"), 0.0);
+  EXPECT_EQ(rates.count("Empty (H)"), 0u);
+}
+
+}  // namespace
+}  // namespace ofh::core

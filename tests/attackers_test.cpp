@@ -1,0 +1,301 @@
+// Attacker-fleet tests: credential sampling, malware corpus, scanning
+// services, probes and reflection behaviour.
+#include <gtest/gtest.h>
+
+#include "attackers/credentials.h"
+#include "attackers/fleet.h"
+#include "attackers/malware.h"
+#include "attackers/probes.h"
+#include "attackers/scanning_services.h"
+#include "devices/paper_stats.h"
+#include "proto/coap.h"
+#include "test_helpers.h"
+#include "util/sha256.h"
+
+namespace ofh::attackers {
+namespace {
+
+using test::PlainHost;
+using test::SimTest;
+using util::Ipv4Addr;
+
+// ------------------------------------------------------------- credentials
+
+TEST(Credentials, DictionariesComeFromTable12) {
+  const auto& telnet = dictionary(proto::Protocol::kTelnet);
+  ASSERT_FALSE(telnet.empty());
+  EXPECT_EQ(telnet.front().user, "admin");  // most frequent pair first
+  EXPECT_EQ(telnet.front().pass, "admin");
+  bool has_mirai_cred = false;
+  for (const auto& cred : telnet) {
+    if (cred.user == "root" && cred.pass == "xc3511") has_mirai_cred = true;
+  }
+  EXPECT_TRUE(has_mirai_cred);
+
+  const auto& ssh = dictionary(proto::Protocol::kSsh);
+  bool has_zyxel_backdoor = false;
+  for (const auto& cred : ssh) {
+    if (cred.user == "zyfwp") has_zyxel_backdoor = true;
+  }
+  EXPECT_TRUE(has_zyxel_backdoor);
+}
+
+TEST(Credentials, SamplingFollowsFrequencyWeights) {
+  util::Rng rng(11);
+  util::Counter counter;
+  for (int i = 0; i < 4'000; ++i) {
+    for (const auto& cred :
+         sample_credentials(proto::Protocol::kTelnet, rng, 1)) {
+      counter.add(cred.user + ":" + cred.pass);
+    }
+  }
+  // admin:admin dominates Table 12 with 9,772 of ~15,918 observations.
+  const auto ranked = counter.ranked();
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].first, "admin:admin");
+  EXPECT_GT(counter.count("admin:admin"), counter.count("root:root"));
+}
+
+TEST(Credentials, SampleCountRespected) {
+  util::Rng rng(3);
+  EXPECT_EQ(sample_credentials(proto::Protocol::kSsh, rng, 5).size(), 5u);
+}
+
+// ------------------------------------------------------------------ malware
+
+TEST(Malware, CorpusCoversPaperFamilies) {
+  MalwareCorpus corpus(1, 1.0);
+  EXPECT_EQ(corpus.family_count("Mirai"), devices::paper::kMiraiVariants);
+  EXPECT_GE(corpus.family_count("WannaCry"), 1u);
+  EXPECT_GE(corpus.family_count("Mozi"), 1u);
+  EXPECT_GE(corpus.family_count("LemonDuck"), 1u);
+}
+
+TEST(Malware, HashesAreRealSha256OfPayload) {
+  MalwareCorpus corpus(1, 0.1);
+  for (const auto& sample : corpus.samples()) {
+    EXPECT_EQ(sample.sha256, util::Sha256::hex_digest(sample.payload));
+    EXPECT_EQ(sample.sha256.size(), 64u);
+  }
+}
+
+TEST(Malware, VariantsAreUnique) {
+  MalwareCorpus corpus(1, 0.5);
+  std::set<std::string> hashes;
+  for (const auto& sample : corpus.samples()) {
+    EXPECT_TRUE(hashes.insert(sample.sha256).second) << sample.variant;
+  }
+}
+
+TEST(Malware, VectorsPartitionTheCorpus) {
+  MalwareCorpus corpus(2, 0.2);
+  util::Rng rng(9);
+  const auto& telnet_sample = corpus.pick(proto::Protocol::kTelnet, rng);
+  EXPECT_EQ(telnet_sample.vector, proto::Protocol::kTelnet);
+  const auto& smb_sample = corpus.pick(proto::Protocol::kSmb, rng);
+  EXPECT_EQ(smb_sample.family, "WannaCry");
+}
+
+TEST(Malware, ScaleKeepsAtLeastOnePerFamily) {
+  MalwareCorpus corpus(3, 0.001);
+  EXPECT_GE(corpus.family_count("Mirai"), 1u);
+  EXPECT_GE(corpus.family_count("Hehbot"), 1u);
+}
+
+// ---------------------------------------------------------------- services
+
+TEST(ScanServices, RosterMatchesFigure3) {
+  const auto& specs = scan_service_specs();
+  EXPECT_EQ(specs.size(), 20u);
+  std::set<std::string> names;
+  for (const auto& spec : specs) names.insert(spec.name);
+  EXPECT_EQ(names.count("Shodan"), 1u);
+  EXPECT_EQ(names.count("Censys"), 1u);
+  EXPECT_EQ(names.count("BinaryEdge"), 1u);
+  EXPECT_EQ(names.count("Stretchoid"), 1u);
+  double total_share = 0;
+  for (const auto& spec : specs) total_share += spec.traffic_share;
+  EXPECT_NEAR(total_share, 1.0, 0.05);
+}
+
+class ServiceFleetTest : public SimTest {};
+
+TEST_F(ServiceFleetTest, DeploysSourcesWithRdnsAndScansTargets) {
+  PlainHost target(Ipv4Addr(60, 0, 0, 1));
+  target.attach(fabric_);
+  int telnet_probes = 0;
+  target.tcp().listen(23, [&telnet_probes](net::TcpConnection&) {
+    ++telnet_probes;
+  });
+
+  intel::ReverseDns rdns;
+  ScanServiceFleet::Config config;
+  config.total_sources = 40;
+  config.duration = sim::days(10);
+  std::vector<ListingEvent> listings;
+  config.on_listing = [&listings](const ListingEvent& event) {
+    listings.push_back(event);
+  };
+  ScanServiceFleet fleet(config, {target.address()},
+                         *util::Cidr::parse("44.0.0.0/8"));
+  std::uint32_t next = 0x3d000001;
+  fleet.deploy(fabric_, rdns, [&next] { return Ipv4Addr(next++); });
+
+  EXPECT_GE(fleet.source_addresses().size(), 20u);
+  for (const auto addr : fleet.source_addresses()) {
+    const auto domain = rdns.lookup(addr);
+    ASSERT_TRUE(domain);
+    EXPECT_NE(domain->find('.'), std::string::npos);
+    EXPECT_TRUE(fleet.service_of(addr).has_value());
+  }
+  EXPECT_FALSE(fleet.service_of(Ipv4Addr(1, 1, 1, 1)).has_value());
+
+  sim_.run_until(sim::days(10));
+  EXPECT_GT(telnet_probes, 0);
+  EXPECT_FALSE(listings.empty());  // public engines listed the target
+  for (const auto& listing : listings) {
+    EXPECT_EQ(listing.honeypot, target.address());
+  }
+}
+
+// ------------------------------------------------------------------- probes
+
+class ProbesTest : public SimTest {};
+
+TEST_F(ProbesTest, ReflectionAmplifiesOntoVictim) {
+  // A CoAP reflector with a verbose discovery table.
+  devices::DeviceSpec spec;
+  spec.address = Ipv4Addr(61, 0, 0, 1);
+  spec.primary = proto::Protocol::kCoap;
+  spec.misconfig = devices::Misconfig::kCoapReflector;
+  devices::Device reflector(std::move(spec));
+  reflector.attach(fabric_);
+
+  PlainHost attacker(Ipv4Addr(61, 0, 0, 2));
+  PlainHost victim(Ipv4Addr(61, 0, 0, 3));
+  attacker.attach(fabric_);
+  victim.attach(fabric_);
+  std::size_t victim_bytes = 0;
+  victim.udp().bind(33'000, [&victim_bytes](const net::Datagram& datagram) {
+    victim_bytes += datagram.payload.size();
+  });
+
+  reflect_udp(attacker, reflector.address(), victim.address(),
+              proto::Protocol::kCoap, 10);
+  run();
+  // Discovery responses (padded link-format) land on the victim, not the
+  // attacker; amplification factor must exceed the probe size.
+  const auto probe_size =
+      proto::coap::encode(proto::coap::make_discovery_request(3)).size();
+  EXPECT_GT(victim_bytes, probe_size * 10 * 5);
+}
+
+TEST_F(ProbesTest, ScanAddressEmitsSynForTcpProtocols) {
+  class Sink : public net::PacketSink {
+   public:
+    void observe(const net::Packet& packet, sim::Time) override {
+      packets.push_back(packet);
+    }
+    std::vector<net::Packet> packets;
+  };
+  Sink sink;
+  fabric_.add_tap(sink);
+  PlainHost bot(Ipv4Addr(62, 0, 0, 1));
+  bot.attach(fabric_);
+
+  scan_address(bot, Ipv4Addr(44, 1, 1, 1), proto::Protocol::kTelnet, true);
+  scan_address(bot, Ipv4Addr(44, 1, 1, 2), proto::Protocol::kCoap);
+  run();
+  ASSERT_EQ(sink.packets.size(), 2u);
+  EXPECT_TRUE(sink.packets[0].is_syn_only());
+  EXPECT_TRUE(sink.packets[0].from_masscan);
+  EXPECT_EQ(sink.packets[1].transport, net::Transport::kUdp);
+}
+
+// -------------------------------------------------------------------- fleet
+
+TEST(FleetTest, FullCampaignProducesCalibratedGroundTruth) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim, 17);
+  fabric.set_latency(sim::msec(10), sim::msec(5));
+
+  devices::PopulationSpec pop_spec;
+  pop_spec.seed = 17;
+  pop_spec.scale = 1.0 / 4'096;
+  devices::Population population(pop_spec);
+  population.build();
+  population.attach_all(fabric);
+
+  telescope::Telescope telescope(*util::Cidr::parse("44.0.0.0/8"));
+  telescope.attach(fabric);
+
+  honeynet::EventLog log;
+  std::vector<Ipv4Addr> addresses;
+  for (int i = 0; i < 6; ++i) addresses.push_back(population.allocate_extra());
+  auto deployment = honeynet::make_deployment(addresses, log);
+  for (auto& honeypot : deployment.honeypots) honeypot->attach(fabric);
+
+  FleetConfig config;
+  config.seed = 17;
+  config.duration = sim::days(8);
+  config.event_scale = 1.0 / 64;
+  Fleet fleet(config, population, deployment, telescope);
+
+  intel::ReverseDns rdns;
+  intel::VirusTotalDb virustotal;
+  intel::GreyNoiseDb greynoise;
+  intel::CensysDb censys;
+  fleet.deploy(fabric, rdns, virustotal, greynoise, censys);
+
+  sim.run_until(sim::days(8) + sim::hours(1));
+
+  // Every planted infected device is VirusTotal-flagged (paper §5.3).
+  for (const auto addr : fleet.infected_device_addresses()) {
+    EXPECT_TRUE(virustotal.is_malicious(addr));
+  }
+  // The campaign produced honeypot events and telescope traffic.
+  EXPECT_GT(log.size(), 100u);
+  EXPECT_GT(telescope.total_packets(), 100u);
+  EXPECT_GT(fleet.sessions_launched(), 0u);
+  EXPECT_GE(fleet.multistage_attacker_count(), 3u);
+  // Malware corpus registered with VirusTotal.
+  EXPECT_GT(virustotal.hash_count(), 20u);
+}
+
+TEST(FleetTest, CampaignIsDeterministic) {
+  const auto run_campaign = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    net::Fabric fabric(sim, seed);
+    devices::PopulationSpec pop_spec;
+    pop_spec.seed = seed;
+    pop_spec.scale = 1.0 / 16'384;
+    devices::Population population(pop_spec);
+    population.build();
+    population.attach_all(fabric);
+    telescope::Telescope telescope(*util::Cidr::parse("44.0.0.0/8"));
+    telescope.attach(fabric);
+    honeynet::EventLog log;
+    std::vector<Ipv4Addr> addresses;
+    for (int i = 0; i < 6; ++i) {
+      addresses.push_back(population.allocate_extra());
+    }
+    auto deployment = honeynet::make_deployment(addresses, log);
+    for (auto& honeypot : deployment.honeypots) honeypot->attach(fabric);
+    FleetConfig config;
+    config.seed = seed;
+    config.duration = sim::days(4);
+    config.event_scale = 1.0 / 128;
+    Fleet fleet(config, population, deployment, telescope);
+    intel::ReverseDns rdns;
+    intel::VirusTotalDb virustotal;
+    intel::GreyNoiseDb greynoise;
+    intel::CensysDb censys;
+    fleet.deploy(fabric, rdns, virustotal, greynoise, censys);
+    sim.run_until(sim::days(4) + sim::hours(1));
+    return log.size();
+  };
+  EXPECT_EQ(run_campaign(5), run_campaign(5));
+}
+
+}  // namespace
+}  // namespace ofh::attackers

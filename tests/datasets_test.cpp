@@ -1,0 +1,117 @@
+// Open-dataset tests: coverage models, Telnet port restriction (Project
+// Sonar's 23-only scanning) and scan correlation.
+#include <gtest/gtest.h>
+
+#include "datasets/open_datasets.h"
+
+namespace ofh::datasets {
+namespace {
+
+using proto::Protocol;
+
+std::unique_ptr<devices::Population> make_population(
+    double scale = 1.0 / 1'024) {
+  devices::PopulationSpec spec;
+  spec.seed = 5;
+  spec.scale = scale;
+  auto population = std::make_unique<devices::Population>(spec);
+  population->build();
+  return population;
+}
+
+TEST(CoverageModels, SonarPublishesFourProtocols) {
+  const auto sonar = project_sonar_model();
+  EXPECT_EQ(sonar.coverage.count(Protocol::kAmqp), 0u);  // NA in Table 4
+  EXPECT_EQ(sonar.coverage.count(Protocol::kXmpp), 0u);
+  EXPECT_EQ(sonar.coverage.count(Protocol::kTelnet), 1u);
+  EXPECT_FALSE(sonar.telnet_includes_2323);
+}
+
+TEST(CoverageModels, ShodanPublishesAllSix) {
+  const auto shodan = shodan_model();
+  for (const auto protocol : proto::scanned_protocols()) {
+    EXPECT_EQ(shodan.coverage.count(protocol), 1u)
+        << proto::protocol_name(protocol);
+  }
+  // Shodan's Telnet coverage is tiny (blocklisted crawlers).
+  EXPECT_LT(shodan.coverage.at(Protocol::kTelnet), 0.05);
+  EXPECT_GT(shodan.coverage.at(Protocol::kCoap), 0.9);
+}
+
+TEST(Snapshot, CoverageFractionIsRespected) {
+  auto population_ptr = make_population();
+  auto& population = *population_ptr;
+  const auto sonar =
+      generate_snapshot(project_sonar_model(), population, 99);
+
+  const auto exposed_mqtt = population.count_for(Protocol::kMqtt);
+  const auto in_sonar = sonar.unique_hosts(Protocol::kMqtt);
+  const double fraction =
+      static_cast<double>(in_sonar) / static_cast<double>(exposed_mqtt);
+  EXPECT_NEAR(fraction, 0.810, 0.05);  // Table 4 ratio
+  EXPECT_FALSE(sonar.has_protocol(Protocol::kAmqp));
+}
+
+TEST(Snapshot, SonarNeverListsPort2323Hosts) {
+  auto population_ptr = make_population();
+  auto& population = *population_ptr;
+  const auto sonar =
+      generate_snapshot(project_sonar_model(), population, 99);
+  for (const auto& entry : sonar.entries()) {
+    if (entry.protocol == Protocol::kTelnet) {
+      EXPECT_EQ(entry.port, 23);
+    }
+  }
+}
+
+TEST(Snapshot, ShodanListsAlternateTelnetPort) {
+  auto population_ptr = make_population(1.0 / 256);
+  auto& population = *population_ptr;
+  const auto shodan = generate_snapshot(shodan_model(), population, 99);
+  // With ~3.4% coverage over ~28k telnet hosts, at least a handful of 2323
+  // hosts should appear.
+  std::uint64_t on_2323 = 0;
+  for (const auto& entry : shodan.entries()) {
+    if (entry.protocol == Protocol::kTelnet && entry.port == 2323) ++on_2323;
+  }
+  EXPECT_GT(on_2323, 0u);
+}
+
+TEST(Snapshot, GenerationIsDeterministicPerSeed) {
+  auto population_ptr = make_population();
+  auto& population = *population_ptr;
+  const auto a = generate_snapshot(shodan_model(), population, 1);
+  const auto b = generate_snapshot(shodan_model(), population, 1);
+  const auto c = generate_snapshot(shodan_model(), population, 2);
+  EXPECT_EQ(a.entries().size(), b.entries().size());
+  EXPECT_NE(a.entries().size(), 0u);
+  // A different seed samples a different subset (sizes may coincide, the
+  // host sets should not).
+  std::size_t same = 0;
+  const auto count = std::min(a.entries().size(), c.entries().size());
+  for (std::size_t i = 0; i < count; ++i) {
+    if (a.entries()[i].host == c.entries()[i].host) ++same;
+  }
+  EXPECT_LT(same, count);
+}
+
+TEST(Correlate, ComputesOverlap) {
+  auto population_ptr = make_population();
+  auto& population = *population_ptr;
+  const auto shodan = generate_snapshot(shodan_model(), population, 99);
+
+  // Pretend our scan found every exposed CoAP host.
+  std::set<std::uint32_t> ours;
+  for (const auto& device : population.devices()) {
+    if (device->spec().primary == Protocol::kCoap) {
+      ours.insert(device->address().value());
+    }
+  }
+  const auto result = correlate(ours, shodan, Protocol::kCoap);
+  EXPECT_EQ(result.ours, ours.size());
+  EXPECT_EQ(result.overlap, result.theirs);  // snapshot ⊆ ground truth
+  EXPECT_GT(result.overlap, 0u);
+}
+
+}  // namespace
+}  // namespace ofh::datasets

@@ -1,0 +1,242 @@
+// Population and device-model tests: deterministic generation, marginal
+// distributions (Tables 4/5/10 at scale), address allocation and service
+// wiring per misconfiguration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "devices/paper_stats.h"
+#include "devices/population.h"
+#include "test_helpers.h"
+#include "util/stats.h"
+
+namespace ofh::devices {
+namespace {
+
+using test::SimTest;
+
+PopulationSpec small_spec(double scale = 1.0 / 8'192) {
+  PopulationSpec spec;
+  spec.seed = 77;
+  spec.scale = scale;
+  return spec;
+}
+
+TEST(Models, Table11RegistryIsConsistent) {
+  EXPECT_GE(device_models().size(), 45u);
+  for (const auto& model : device_models()) {
+    EXPECT_FALSE(model.model.empty());
+    EXPECT_FALSE(model.device_type.empty());
+    EXPECT_FALSE(model.identifier.empty());
+  }
+  EXPECT_FALSE(models_for(proto::Protocol::kTelnet).empty());
+  EXPECT_FALSE(models_for(proto::Protocol::kUpnp).empty());
+  EXPECT_FALSE(models_for(proto::Protocol::kMqtt).empty());
+  EXPECT_FALSE(models_for(proto::Protocol::kCoap).empty());
+}
+
+TEST(Models, TypeSharesSumToRoughlyOne) {
+  for (const auto protocol : proto::scanned_protocols()) {
+    double sum = 0;
+    for (const auto& share : type_shares(protocol)) sum += share.share;
+    EXPECT_NEAR(sum, 1.0, 0.02) << proto::protocol_name(protocol);
+  }
+}
+
+TEST(Population, BuildIsDeterministic) {
+  Population a(small_spec()), b(small_spec());
+  a.build();
+  b.build();
+  ASSERT_EQ(a.devices().size(), b.devices().size());
+  for (std::size_t i = 0; i < a.devices().size(); ++i) {
+    EXPECT_EQ(a.devices()[i]->address(), b.devices()[i]->address());
+    EXPECT_EQ(a.devices()[i]->spec().misconfig,
+              b.devices()[i]->spec().misconfig);
+  }
+}
+
+TEST(Population, DifferentSeedsDiffer) {
+  auto spec_a = small_spec();
+  auto spec_b = small_spec();
+  spec_b.seed = 78;
+  Population a(spec_a), b(spec_b);
+  a.build();
+  b.build();
+  int differing = 0;
+  const auto count = std::min(a.devices().size(), b.devices().size());
+  for (std::size_t i = 0; i < count; ++i) {
+    if (a.devices()[i]->address() != b.devices()[i]->address()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Population, AddressesAreUniqueAndInsidePrefixes) {
+  Population population(small_spec(1.0 / 2'048));
+  population.build();
+  std::set<std::uint32_t> seen;
+  for (const auto& device : population.devices()) {
+    EXPECT_TRUE(seen.insert(device->address().value()).second);
+    bool covered = false;
+    for (const auto& prefix : population.prefixes()) {
+      if (prefix.contains(device->address())) covered = true;
+    }
+    EXPECT_TRUE(covered) << device->address().to_string();
+  }
+}
+
+TEST(Population, PerProtocolCountsMatchTable4AtScale) {
+  Population population(small_spec(1.0 / 2'048));
+  population.build();
+  for (const auto& row : paper::table4()) {
+    EXPECT_EQ(population.count_for(row.protocol),
+              population.scaled(row.zmap))
+        << proto::protocol_name(row.protocol);
+  }
+}
+
+TEST(Population, MisconfiguredCountMatchesTable5AtScale) {
+  Population population(small_spec(1.0 / 2'048));
+  population.build();
+  std::uint64_t expected = 0;
+  for (const auto& row : paper::table5()) {
+    expected += population.scaled(row.devices);
+  }
+  EXPECT_EQ(population.misconfigured_count(), expected);
+}
+
+TEST(Population, InfectedShareIsSmallSubsetOfMisconfigured) {
+  Population population(small_spec(1.0 / 512));
+  population.build();
+  const auto infected = population.infected_count();
+  const auto misconfigured = population.misconfigured_count();
+  EXPECT_GT(misconfigured, 0u);
+  EXPECT_LT(infected, misconfigured / 20);  // paper: ~0.61%
+  for (const auto& device : population.devices()) {
+    if (device->spec().infected) {
+      EXPECT_TRUE(device->misconfigured());  // only misconfigured get bots
+    }
+  }
+}
+
+TEST(Population, CountryAllocationFollowsTable10Order) {
+  Population population(small_spec(1.0 / 1'024));
+  population.build();
+  util::Counter countries;
+  for (const auto& device : population.devices()) {
+    countries.add(device->spec().country);
+  }
+  // USA should dominate (27% in the paper).
+  const auto ranked = countries.ranked();
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].first, "USA");
+  EXPECT_GT(countries.count("USA"), countries.count("Japan"));
+}
+
+TEST(Population, PrefixesAvoidTelescopeAndReservedRanges) {
+  Population population(small_spec());
+  population.build();
+  for (const auto& prefix : population.prefixes()) {
+    const auto octet = prefix.base().octet(0);
+    EXPECT_NE(octet, 44);   // telescope /8
+    EXPECT_NE(octet, 127);  // loopback
+    EXPECT_NE(octet, 10);   // never below 11
+    EXPECT_LT(octet, 224);  // multicast
+  }
+}
+
+TEST(Population, AllocateExtraNeverCollides) {
+  Population population(small_spec());
+  population.build();
+  std::set<std::uint32_t> device_addresses;
+  for (const auto& device : population.devices()) {
+    device_addresses.insert(device->address().value());
+  }
+  std::set<std::uint32_t> extras;
+  for (int i = 0; i < 50; ++i) {
+    const auto extra = population.allocate_extra();
+    EXPECT_EQ(device_addresses.count(extra.value()), 0u);
+    EXPECT_TRUE(extras.insert(extra.value()).second);
+  }
+}
+
+class DeviceServiceTest : public SimTest {};
+
+TEST_F(DeviceServiceTest, AttachInstallsPrimaryProtocolListener) {
+  const struct {
+    proto::Protocol protocol;
+    Misconfig misconfig;
+  } cases[] = {
+      {proto::Protocol::kTelnet, Misconfig::kTelnetNoAuth},
+      {proto::Protocol::kMqtt, Misconfig::kMqttNoAuth},
+      {proto::Protocol::kAmqp, Misconfig::kAmqpNoAuth},
+      {proto::Protocol::kXmpp, Misconfig::kXmppAnonymous},
+  };
+  std::uint32_t addr = 0x0b000001;
+  for (const auto& test_case : cases) {
+    DeviceSpec spec;
+    spec.address = util::Ipv4Addr(addr++);
+    spec.primary = test_case.protocol;
+    spec.misconfig = test_case.misconfig;
+    Device device(std::move(spec));
+    device.attach(fabric_);
+    bool listening = false;
+    for (const auto port : proto::protocol_ports(test_case.protocol)) {
+      if (device.tcp().listening(port)) listening = true;
+    }
+    EXPECT_TRUE(listening) << proto::protocol_name(test_case.protocol);
+    device.detach();
+  }
+}
+
+TEST_F(DeviceServiceTest, UdpDevicesBindTheirPorts) {
+  DeviceSpec coap_spec;
+  coap_spec.address = util::Ipv4Addr(0x0b010001);
+  coap_spec.primary = proto::Protocol::kCoap;
+  coap_spec.misconfig = Misconfig::kCoapReflector;
+  Device coap_device(std::move(coap_spec));
+  coap_device.attach(fabric_);
+  EXPECT_TRUE(coap_device.udp().bound(5683));
+
+  DeviceSpec upnp_spec;
+  upnp_spec.address = util::Ipv4Addr(0x0b010002);
+  upnp_spec.primary = proto::Protocol::kUpnp;
+  upnp_spec.misconfig = Misconfig::kUpnpReflector;
+  Device upnp_device(std::move(upnp_spec));
+  upnp_device.attach(fabric_);
+  EXPECT_TRUE(upnp_device.udp().bound(1900));
+}
+
+TEST(PaperStats, TotalsAreInternallyConsistent) {
+  std::uint64_t table5_sum = 0;
+  for (const auto& row : paper::table5()) table5_sum += row.devices;
+  EXPECT_EQ(table5_sum, paper::kTable5Total);
+
+  std::uint64_t table6_sum = 0;
+  for (const auto& row : paper::table6()) table6_sum += row.instances;
+  EXPECT_EQ(table6_sum, paper::kTable6Total);
+
+  // Table 10's rows sum to 1,832,892 — one less than the stated 1.83M
+  // total (a rounding artefact in the paper itself).
+  std::uint64_t table10_sum = 0;
+  for (const auto& row : paper::table10()) table10_sum += row.devices;
+  EXPECT_NEAR(static_cast<double>(table10_sum),
+              static_cast<double>(paper::kTable5Total), 1.0);
+
+  std::uint64_t table4_sum = 0;
+  for (const auto& row : paper::table4()) table4_sum += row.zmap;
+  EXPECT_EQ(table4_sum, paper::kTable4ZmapTotal);
+
+  // Table 7's per-row events sum to 200,239 while the paper reports a
+  // 200,209 total — the 30-event discrepancy is in the original table.
+  std::uint64_t table7_sum = 0;
+  for (const auto& row : paper::table7()) table7_sum += row.events;
+  EXPECT_NEAR(static_cast<double>(table7_sum),
+              static_cast<double>(paper::kTable7Total), 30.0);
+
+  EXPECT_EQ(paper::kInfectedHoneypotsOnly + paper::kInfectedTelescopeOnly +
+                paper::kInfectedBoth,
+            paper::kInfectedTotal);
+}
+
+}  // namespace
+}  // namespace ofh::devices

@@ -1,0 +1,287 @@
+// Tests for the extension modules: packet capture + pcap malware analysis,
+// active honeypot fingerprinting, and the Mirai propagation epidemic.
+#include <gtest/gtest.h>
+
+#include "attackers/malware.h"
+#include "attackers/probes.h"
+#include "attackers/propagation.h"
+#include "classify/active_fingerprint.h"
+#include "core/pcap_analysis.h"
+#include "devices/device.h"
+#include "honeynet/honeypot.h"
+#include "net/capture.h"
+#include "test_helpers.h"
+
+namespace ofh {
+namespace {
+
+using test::PlainHost;
+using test::SimTest;
+using util::Ipv4Addr;
+
+// ------------------------------------------------------------------ capture
+
+class CaptureTest : public SimTest {};
+
+TEST_F(CaptureTest, RecordsMatchingPacketsOnly) {
+  net::CaptureFilter filter;
+  filter.port = 23;
+  net::PacketCapture capture(filter);
+  capture.attach(fabric_);
+
+  PlainHost a(Ipv4Addr(10, 0, 0, 1)), b(Ipv4Addr(10, 0, 0, 2));
+  a.attach(fabric_);
+  b.attach(fabric_);
+  a.udp().send(b.address(), 23, util::to_bytes("telnetish"));
+  a.udp().send(b.address(), 80, util::to_bytes("webish"));
+  run();
+
+  EXPECT_EQ(capture.size(), 1u);
+  EXPECT_EQ(capture.seen(), 2u);
+  EXPECT_EQ(capture.records().front().packet.dst_port, 23);
+}
+
+TEST_F(CaptureTest, HostFilterMatchesEitherDirection) {
+  net::CaptureFilter filter;
+  filter.host = Ipv4Addr(10, 0, 0, 9);
+  net::PacketCapture capture(filter);
+  capture.attach(fabric_);
+
+  PlainHost a(Ipv4Addr(10, 0, 0, 1)), b(Ipv4Addr(10, 0, 0, 9));
+  a.attach(fabric_);
+  b.attach(fabric_);
+  b.udp().bind(5, [&b](const net::Datagram& datagram) {
+    b.udp().send(datagram.src, datagram.src_port, util::to_bytes("pong"), 5);
+  });
+  a.udp().send(b.address(), 5, util::to_bytes("ping"), 40'001);
+  run();
+  EXPECT_EQ(capture.size(), 2u);  // both directions
+}
+
+TEST_F(CaptureTest, RingBufferDropsOldest) {
+  net::PacketCapture capture({}, /*max_packets=*/3);
+  capture.attach(fabric_);
+  PlainHost a(Ipv4Addr(10, 0, 0, 1)), b(Ipv4Addr(10, 0, 0, 2));
+  a.attach(fabric_);
+  b.attach(fabric_);
+  for (int i = 0; i < 5; ++i) {
+    a.udp().send(b.address(), static_cast<std::uint16_t>(100 + i),
+                 util::to_bytes("x"));
+  }
+  run();
+  EXPECT_EQ(capture.size(), 3u);
+  EXPECT_EQ(capture.dropped(), 2u);
+  EXPECT_EQ(capture.records().front().packet.dst_port, 102);
+}
+
+TEST_F(CaptureTest, PayloadOnlyFilterSkipsBareSegments) {
+  net::CaptureFilter filter;
+  filter.payload_only = true;
+  net::PacketCapture capture(filter);
+  capture.attach(fabric_);
+  PlainHost server(Ipv4Addr(10, 0, 0, 1)), client(Ipv4Addr(10, 0, 0, 2));
+  server.attach(fabric_);
+  client.attach(fabric_);
+  server.tcp().listen(80, [](net::TcpConnection& conn) {
+    conn.send_text("hello");
+  });
+  client.tcp().connect(server.address(), 80, [](net::TcpConnection*) {});
+  run();
+  // Only the data segment was kept (SYN/SYNACK/ACK are empty).
+  ASSERT_EQ(capture.size(), 1u);
+  EXPECT_EQ(util::to_string(capture.records().front().packet.payload),
+            "hello");
+}
+
+// -------------------------------------------------------- capture analysis
+
+TEST_F(CaptureTest, MalwareHashesExtractedFromPayloads) {
+  net::PacketCapture capture;
+  capture.attach(fabric_);
+
+  intel::VirusTotalDb virustotal;
+  attackers::MalwareCorpus corpus(1, 0.05);
+  for (const auto& sample : corpus.samples()) {
+    virustotal.add_hash(sample.sha256, sample.family);
+  }
+  util::Rng rng(1);
+  const auto& mirai = corpus.pick(proto::Protocol::kTelnet, rng);
+
+  PlainHost a(Ipv4Addr(10, 0, 0, 1)), b(Ipv4Addr(10, 0, 0, 2));
+  a.attach(fabric_);
+  b.attach(fabric_);
+  a.udp().send(b.address(), 23,
+               util::to_bytes("wget x; /tmp/m sha256=" + mirai.sha256));
+  a.udp().send(b.address(), 23,
+               util::to_bytes("sha256=" + std::string(64, '0')));  // unknown
+  a.udp().send(b.address(), 23, util::to_bytes("sha256=notavalidhash"));
+  run();
+
+  const auto report = core::analyze_capture(capture, virustotal);
+  EXPECT_EQ(report.variants_by_family.at(mirai.family).count(mirai.sha256),
+            1u);
+  EXPECT_EQ(report.unknown_hashes.size(), 1u);
+  EXPECT_EQ(report.total_variants(), 1u);
+}
+
+TEST_F(CaptureTest, BotSessionLeavesIdentifiableHashInCapture) {
+  // End-to-end: a Telnet bot drops malware on an open device; the capture
+  // analysis recovers the variant — the paper's "113 Mirai variants" flow.
+  net::PacketCapture capture;
+  capture.attach(fabric_);
+
+  devices::DeviceSpec spec;
+  spec.address = Ipv4Addr(10, 1, 0, 1);
+  spec.primary = proto::Protocol::kTelnet;
+  spec.misconfig = devices::Misconfig::kTelnetNoAuthRoot;
+  devices::Device victim(std::move(spec));
+  victim.attach(fabric_);
+
+  PlainHost bot(Ipv4Addr(10, 1, 0, 2));
+  bot.attach(fabric_);
+
+  intel::VirusTotalDb virustotal;
+  attackers::MalwareCorpus corpus(2, 0.05);
+  for (const auto& sample : corpus.samples()) {
+    virustotal.add_hash(sample.sha256, sample.family);
+  }
+  util::Rng rng(2);
+  const auto& sample = corpus.pick(proto::Protocol::kTelnet, rng);
+  attackers::bruteforce_telnet(bot, victim.address(), {{"root", "root"}},
+                               &sample);
+  run(sim::minutes(5));
+
+  const auto report = core::analyze_capture(capture, virustotal);
+  EXPECT_EQ(report.total_variants(), 1u);
+  EXPECT_EQ(report.variants_by_family.count(sample.family), 1u);
+}
+
+// ------------------------------------------------- active fingerprinting
+
+class ActiveFingerprintTest : public SimTest {
+ protected:
+  ActiveFingerprintTest() : prober_(Ipv4Addr(9, 9, 9, 9)) {
+    prober_.attach(fabric_);
+  }
+
+  classify::ActiveProbeResult probe(Ipv4Addr target,
+                                    std::uint16_t port = 23) {
+    classify::ActiveProbeResult result;
+    bool done = false;
+    classify::ActiveFingerprinter::probe(
+        prober_, target, port,
+        [&](const classify::ActiveProbeResult& r) {
+          result = r;
+          done = true;
+        });
+    run(sim::minutes(5));
+    EXPECT_TRUE(done);
+    return result;
+  }
+
+  PlainHost prober_;
+};
+
+TEST_F(ActiveFingerprintTest, WildHoneypotScoresHigh) {
+  honeynet::WildHoneypot honeypot(honeynet::honeypot_signatures()[1],
+                                  Ipv4Addr(10, 2, 0, 1));  // Cowrie
+  honeypot.attach(fabric_);
+  const auto result = probe(honeypot.address());
+  EXPECT_TRUE(result.connected);
+  EXPECT_TRUE(result.banner_match);
+  EXPECT_EQ(result.banner_name, "Cowrie");
+  EXPECT_TRUE(result.deterministic);
+  EXPECT_TRUE(result.is_honeypot());
+}
+
+TEST_F(ActiveFingerprintTest, RealDeviceScoresLow) {
+  devices::DeviceSpec spec;
+  spec.address = Ipv4Addr(10, 2, 0, 2);
+  spec.primary = proto::Protocol::kTelnet;
+  spec.misconfig = devices::Misconfig::kNone;  // login console
+  devices::Device device(std::move(spec));
+  device.attach(fabric_);
+  const auto result = probe(device.address());
+  EXPECT_TRUE(result.connected);
+  EXPECT_FALSE(result.banner_match);
+  EXPECT_FALSE(result.is_honeypot());
+}
+
+TEST_F(ActiveFingerprintTest, UnreachableTargetReportsNotConnected) {
+  const auto result = probe(Ipv4Addr(10, 2, 0, 99));
+  EXPECT_FALSE(result.connected);
+  EXPECT_FALSE(result.is_honeypot());
+}
+
+// ----------------------------------------------------------- propagation
+
+TEST(Epidemic, SpreadsFromSeedsThroughWeakDevices) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim, 23);
+  fabric.set_latency(sim::msec(10), sim::msec(5));
+
+  devices::PopulationSpec spec;
+  spec.seed = 23;
+  spec.scale = 1.0 / 4'096;
+  spec.weak_credential_share = 0.2;
+  devices::Population population(spec);
+  population.build();
+  population.attach_all(fabric);
+
+  attackers::MalwareCorpus corpus(23, 0.05);
+  attackers::PropagationConfig config;
+  config.seed = 23;
+  config.duration = sim::days(4);
+  config.initial_bots = 2;
+  config.attempts_per_bot_per_hour = 16.0;
+  attackers::Epidemic epidemic(config, population, corpus);
+  epidemic.deploy(fabric);
+
+  const auto initial = epidemic.infected_count();
+  EXPECT_GE(initial, 1u);
+  sim.run_until(sim::days(4));
+
+  EXPECT_GT(epidemic.infected_count(), initial);  // it spread
+  EXPECT_LE(epidemic.infected_count(), epidemic.susceptible_count());
+  EXPECT_GT(epidemic.attempts(), 0u);
+
+  // Growth curve is monotone in both time and count.
+  const auto& curve = epidemic.growth_curve();
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_EQ(curve[i].second, curve[i - 1].second + 1);
+  }
+}
+
+TEST(Epidemic, OnlySusceptibleDevicesGetInfected) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim, 29);
+  devices::PopulationSpec spec;
+  spec.seed = 29;
+  spec.scale = 1.0 / 8'192;
+  devices::Population population(spec);
+  population.build();
+  population.attach_all(fabric);
+
+  attackers::MalwareCorpus corpus(29, 0.05);
+  attackers::PropagationConfig config;
+  config.seed = 29;
+  config.duration = sim::days(3);
+  config.attempts_per_bot_per_hour = 16.0;
+  attackers::Epidemic epidemic(config, population, corpus);
+  epidemic.deploy(fabric);
+  sim.run_until(sim::days(3));
+
+  for (const auto& device : population.devices()) {
+    if (!epidemic.is_infected(device->address())) continue;
+    const auto& device_spec = device->spec();
+    const bool susceptible =
+        device_spec.misconfig == devices::Misconfig::kTelnetNoAuth ||
+        device_spec.misconfig == devices::Misconfig::kTelnetNoAuthRoot ||
+        device_spec.weak_credentials;
+    EXPECT_TRUE(susceptible) << device->address().to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ofh

@@ -1,0 +1,270 @@
+// Failure injection: packet loss, churn, floods and malformed input. The
+// pipeline must degrade gracefully — scans lose coverage proportionally to
+// loss, never crash, and codecs reject every mutated frame without reading
+// out of bounds.
+#include <gtest/gtest.h>
+
+#include "classify/misconfig_rules.h"
+#include "devices/device.h"
+#include "proto/coap.h"
+#include "proto/mqtt.h"
+#include "proto/smb.h"
+#include "scanner/scanner.h"
+#include "test_helpers.h"
+
+namespace ofh {
+namespace {
+
+using test::PlainHost;
+using test::SimTest;
+using util::Ipv4Addr;
+
+// ---------------------------------------------------------- loss sweeps
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, ScanCoverageDegradesGracefully) {
+  const double loss = GetParam();
+  sim::Simulation sim;
+  net::Fabric fabric(sim, 3);
+  fabric.set_loss_rate(loss);
+
+  std::vector<std::unique_ptr<devices::Device>> hosts;
+  for (int i = 1; i <= 60; ++i) {
+    devices::DeviceSpec spec;
+    spec.address = Ipv4Addr(10, 3, 0, static_cast<std::uint8_t>(i));
+    spec.primary = proto::Protocol::kMqtt;
+    spec.misconfig = devices::Misconfig::kMqttNoAuth;
+    hosts.push_back(std::make_unique<devices::Device>(std::move(spec)));
+    hosts.back()->attach(fabric);
+  }
+
+  scanner::ScanDb db;
+  scanner::Scanner scanner(Ipv4Addr(9, 9, 9, 9), db);
+  scanner.attach(fabric);
+  scanner::ScanConfig config;
+  config.protocol = proto::Protocol::kMqtt;
+  config.targets = {*util::Cidr::parse("10.3.0.0/24")};
+  bool done = false;
+  scanner.start(config, [&done] { done = true; });
+  while (!done && sim.step()) {
+  }
+  ASSERT_TRUE(done);  // the sweep always terminates
+
+  const double found = static_cast<double>(
+      db.unique_hosts(proto::Protocol::kMqtt));
+  if (loss == 0.0) {
+    EXPECT_EQ(found, 60);
+  } else if (loss >= 1.0) {
+    EXPECT_EQ(found, 0);
+  } else {
+    // Coverage roughly (1-loss)^k for the handshake+banner packet chain;
+    // just require monotone sanity bounds.
+    EXPECT_GT(found, 0);
+    EXPECT_LT(found, 60);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LossSweep,
+                         ::testing::Values(0.0, 0.05, 0.3, 1.0));
+
+// ------------------------------------------------------------- churn
+
+class ChurnTest : public SimTest {};
+
+TEST_F(ChurnTest, HostDetachingMidScanDoesNotCrash) {
+  auto device = std::make_unique<devices::Device>([] {
+    devices::DeviceSpec spec;
+    spec.address = Ipv4Addr(10, 4, 0, 1);
+    spec.primary = proto::Protocol::kTelnet;
+    spec.misconfig = devices::Misconfig::kTelnetNoAuth;
+    return spec;
+  }());
+  device->attach(fabric_);
+
+  scanner::ScanDb db;
+  scanner::Scanner scanner(Ipv4Addr(9, 9, 9, 9), db);
+  scanner.attach(fabric_);
+  scanner::ScanConfig config;
+  config.protocol = proto::Protocol::kTelnet;
+  config.targets = {*util::Cidr::parse("10.4.0.0/28")};
+  bool done = false;
+  scanner.start(config, [&done] { done = true; });
+
+  // Yank the device shortly after the sweep starts.
+  sim_.after(sim::msec(30), [&device] { device->detach(); });
+  while (!done && sim_.step()) {
+  }
+  EXPECT_TRUE(done);
+}
+
+TEST_F(ChurnTest, SynFloodExhaustsBacklogThenRecovers) {
+  PlainHost server(Ipv4Addr(10, 5, 0, 1));
+  server.attach(fabric_);
+  server.tcp().set_backlog_limit(8);
+  server.tcp().listen(80, [](net::TcpConnection&) {});
+
+  PlainHost attacker(Ipv4Addr(10, 5, 0, 2));
+  attacker.attach(fabric_);
+  // Spoofed SYNs never complete the handshake; they pin half-open slots.
+  for (int i = 0; i < 64; ++i) {
+    net::Packet syn;
+    syn.src = Ipv4Addr(66, 0, 0, static_cast<std::uint8_t>(i + 1));
+    syn.dst = server.address();
+    syn.src_port = 1'000;
+    syn.dst_port = 80;
+    syn.transport = net::Transport::kTcp;
+    syn.tcp_flags = net::TcpFlags::kSyn;
+    syn.spoofed_src = true;
+    fabric_.send(std::move(syn));
+  }
+  run(sim::seconds(1));
+
+  // A legitimate client is refused while the backlog is full.
+  bool refused = false;
+  PlainHost client(Ipv4Addr(10, 5, 0, 3));
+  client.attach(fabric_);
+  client.tcp().connect(server.address(), 80, [&refused](net::TcpConnection* c) {
+    refused = c == nullptr;
+  });
+  run(sim::seconds(10));
+  EXPECT_TRUE(refused);
+
+  // Half-open entries are garbage-collected after 30s; service recovers.
+  run(sim::minutes(1));
+  bool accepted = false;
+  client.tcp().connect(server.address(), 80, [&accepted](net::TcpConnection* c) {
+    accepted = c != nullptr;
+  });
+  run(sim::seconds(10));
+  EXPECT_TRUE(accepted);
+}
+
+// -------------------------------------------------------- codec fuzzing
+
+// Deterministic mutation fuzz: valid frames with injected byte flips and
+// truncations must never crash the decoders, and truncations must never
+// decode successfully past the payload boundary.
+template <typename Decoder>
+void mutate_and_decode(const util::Bytes& valid, Decoder decode) {
+  util::Rng rng(1234);
+  for (int round = 0; round < 300; ++round) {
+    util::Bytes mutated = valid;
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) {
+      if (mutated.empty()) break;
+      const auto index = rng.below(mutated.size());
+      mutated[index] = static_cast<std::uint8_t>(rng.next());
+    }
+    if (rng.chance(0.4) && !mutated.empty()) {
+      mutated.resize(rng.below(mutated.size()));
+    }
+    decode(mutated);  // must not crash
+  }
+}
+
+TEST(CodecFuzz, CoapSurvivesMutation) {
+  auto message = proto::coap::make_discovery_request(5);
+  message.payload = util::to_bytes("</a>;rt=\"x\"");
+  mutate_and_decode(proto::coap::encode(message), [](const util::Bytes& b) {
+    (void)proto::coap::decode(b);
+  });
+}
+
+TEST(CodecFuzz, MqttSurvivesMutation) {
+  proto::mqtt::ConnectPacket connect;
+  connect.client_id = "fuzz";
+  connect.username = "u";
+  connect.password = "p";
+  mutate_and_decode(proto::mqtt::encode_connect(connect),
+                    [](const util::Bytes& b) {
+                      const auto header = proto::mqtt::decode_fixed_header(b);
+                      if (!header) return;
+                      if (b.size() <
+                          header->header_size + header->remaining_length) {
+                        return;
+                      }
+                      (void)proto::mqtt::decode_connect(
+                          std::span<const std::uint8_t>(b).subspan(
+                              header->header_size,
+                              header->remaining_length));
+                    });
+}
+
+TEST(CodecFuzz, SmbSurvivesMutation) {
+  proto::smb::SmbFrame frame;
+  frame.command = proto::smb::Command::kSessionSetup;
+  frame.payload = util::to_bytes("payload-bytes-here");
+  mutate_and_decode(proto::smb::encode_frame(frame),
+                    [](const util::Bytes& b) {
+                      std::size_t consumed = 0;
+                      (void)proto::smb::decode_frame(b, &consumed);
+                    });
+}
+
+TEST(CodecFuzz, ClassifierSurvivesArbitraryBanners) {
+  util::Rng rng(99);
+  for (int round = 0; round < 500; ++round) {
+    scanner::ScanRecord record;
+    record.host = Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+    record.protocol = proto::scanned_protocols()[rng.below(6)];
+    std::string banner;
+    const auto length = rng.below(200);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      banner.push_back(static_cast<char>(rng.next() & 0xff));
+    }
+    record.banner = std::move(banner);
+    (void)classify::classify_misconfig(record);  // must not crash
+  }
+}
+
+// ------------------------------------------------- malformed server input
+
+class MalformedInputTest : public SimTest {};
+
+TEST_F(MalformedInputTest, ServersSurviveGarbageStreams) {
+  devices::DeviceSpec mqtt_spec;
+  mqtt_spec.address = Ipv4Addr(10, 6, 0, 1);
+  mqtt_spec.primary = proto::Protocol::kMqtt;
+  mqtt_spec.misconfig = devices::Misconfig::kMqttNoAuth;
+  devices::Device broker(std::move(mqtt_spec));
+  broker.attach(fabric_);
+
+  PlainHost client(Ipv4Addr(10, 6, 0, 2));
+  client.attach(fabric_);
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    util::Bytes garbage;
+    for (int b = 0; b < 64; ++b) {
+      garbage.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    client.tcp().connect(broker.address(), 1883,
+                         [garbage](net::TcpConnection* conn) mutable {
+                           if (conn != nullptr) conn->send(std::move(garbage));
+                         });
+  }
+  run(sim::minutes(1));
+  // The broker is still serviceable afterwards.
+  proto::mqtt::ConnectPacket connect;
+  connect.client_id = "after";
+  bool got_connack = false;
+  client.tcp().connect(
+      broker.address(), 1883,
+      [&got_connack, connect](net::TcpConnection* conn) {
+        ASSERT_NE(conn, nullptr);
+        conn->on_data = [&got_connack](net::TcpConnection&,
+                                       std::span<const std::uint8_t> data) {
+          const auto header = proto::mqtt::decode_fixed_header(
+              std::span<const std::uint8_t>(data));
+          if (header && header->type == proto::mqtt::PacketType::kConnack) {
+            got_connack = true;
+          }
+        };
+        conn->send(proto::mqtt::encode_connect(connect));
+      });
+  run(sim::minutes(1));
+  EXPECT_TRUE(got_connack);
+}
+
+}  // namespace
+}  // namespace ofh

@@ -1,0 +1,214 @@
+// Honeynet tests: the six deployments log correctly-typed events when
+// attacked, wild honeypots serve their signatures, and the event log
+// aggregations behave.
+#include <gtest/gtest.h>
+
+#include "attackers/probes.h"
+#include "honeynet/deployments.h"
+#include "proto/ssh.h"
+#include "proto/telnet.h"
+#include "test_helpers.h"
+
+namespace ofh::honeynet {
+namespace {
+
+using test::PlainHost;
+using test::SimTest;
+using util::Ipv4Addr;
+
+class HoneynetTest : public SimTest {
+ protected:
+  HoneynetTest() : attacker_(Ipv4Addr(66, 0, 0, 1)) {
+    attacker_.attach(fabric_);
+  }
+
+  std::vector<Ipv4Addr> six_addresses() {
+    std::vector<Ipv4Addr> out;
+    for (int i = 1; i <= 6; ++i) out.push_back(Ipv4Addr(50, 0, 0, i));
+    return out;
+  }
+
+  EventLog log_;
+  PlainHost attacker_;
+};
+
+TEST_F(HoneynetTest, DeploymentCreatesSixHoneypots) {
+  auto deployment = make_deployment(six_addresses(), log_);
+  ASSERT_EQ(deployment.honeypots.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& honeypot : deployment.honeypots) {
+    names.insert(honeypot->name());
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"HosTaGe", "U-Pot", "Conpot",
+                                          "ThingPot", "Cowrie", "Dionaea"}));
+}
+
+TEST_F(HoneynetTest, ProtocolGroupsDoNotOverlapOnOneHost) {
+  auto deployment = make_deployment(six_addresses(), log_);
+  for (auto& honeypot : deployment.honeypots) {
+    honeypot->attach(fabric_);
+    const auto protocols = honeypot->protocols();
+    const std::set<proto::Protocol> unique(protocols.begin(),
+                                           protocols.end());
+    EXPECT_EQ(unique.size(), protocols.size()) << honeypot->name();
+  }
+}
+
+TEST_F(HoneynetTest, CowrieLogsDictionaryAttack) {
+  auto deployment = make_deployment(six_addresses(), log_);
+  for (auto& honeypot : deployment.honeypots) honeypot->attach(fabric_);
+  const auto cowrie_addr = deployment.honeypots[4]->address();
+
+  attackers::bruteforce_telnet(attacker_, cowrie_addr,
+                               {{"admin", "admin"}, {"root", "root"}},
+                               nullptr);
+  run(sim::minutes(5));
+
+  bool saw_dictionary = false;
+  for (const auto& event : log_.events()) {
+    if (event.honeypot == "Cowrie" && event.type == AttackType::kDictionary) {
+      saw_dictionary = true;
+      EXPECT_NE(event.detail.find("admin:admin"), std::string::npos);
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_dictionary);
+}
+
+TEST_F(HoneynetTest, DionaeaLogsMalwareDropWithHash) {
+  auto deployment = make_deployment(six_addresses(), log_);
+  for (auto& honeypot : deployment.honeypots) honeypot->attach(fabric_);
+  const auto dionaea_addr = deployment.honeypots[5]->address();
+
+  attackers::MalwareCorpus corpus(1, 0.05);
+  util::Rng rng(1);
+  const auto& sample = corpus.pick(proto::Protocol::kFtp, rng);
+  attackers::attack_ftp(attacker_, dionaea_addr, &sample);
+  run(sim::minutes(5));
+
+  bool saw_drop = false;
+  for (const auto& event : log_.events()) {
+    if (event.honeypot == "Dionaea" &&
+        event.type == AttackType::kMalwareDrop) {
+      saw_drop = true;
+      EXPECT_NE(event.detail.find("sha256="), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST_F(HoneynetTest, HosTaGeLogsSmbExploit) {
+  auto deployment = make_deployment(six_addresses(), log_);
+  for (auto& honeypot : deployment.honeypots) honeypot->attach(fabric_);
+  attackers::attack_smb(attacker_, deployment.honeypots[0]->address(),
+                        /*exploit=*/true);
+  run(sim::minutes(5));
+  bool saw_exploit = false;
+  for (const auto& event : log_.events()) {
+    if (event.type == AttackType::kExploit &&
+        event.protocol == proto::Protocol::kSmb) {
+      saw_exploit = true;
+    }
+  }
+  EXPECT_TRUE(saw_exploit);
+}
+
+TEST_F(HoneynetTest, UPotClassifiesFloodAsDos) {
+  auto deployment = make_deployment(six_addresses(), log_);
+  for (auto& honeypot : deployment.honeypots) honeypot->attach(fabric_);
+  const auto upot_addr = deployment.honeypots[1]->address();
+
+  attackers::flood_ssdp(attacker_, upot_addr, 120);
+  run(sim::minutes(5));
+
+  std::uint64_t dos = 0, discovery = 0;
+  for (const auto& event : log_.events()) {
+    if (event.honeypot != "U-Pot") continue;
+    if (event.type == AttackType::kDos) ++dos;
+    if (event.type == AttackType::kDiscovery) ++discovery;
+  }
+  EXPECT_GT(dos, discovery);  // flood dominated by DoS classification
+  EXPECT_GT(discovery, 0u);   // first packets still look like discovery
+}
+
+TEST_F(HoneynetTest, ThingPotLogsAnonymousXmppAndPoisoning) {
+  auto deployment = make_deployment(six_addresses(), log_);
+  for (auto& honeypot : deployment.honeypots) honeypot->attach(fabric_);
+  attackers::attack_xmpp(attacker_, deployment.honeypots[3]->address());
+  run(sim::minutes(5));
+  bool saw_poison = false;
+  for (const auto& event : log_.events()) {
+    if (event.honeypot == "ThingPot" &&
+        event.type == AttackType::kPoisoning) {
+      saw_poison = true;
+    }
+  }
+  EXPECT_TRUE(saw_poison);
+}
+
+TEST_F(HoneynetTest, ConpotS7FloodTriggersDosEvent) {
+  auto deployment = make_deployment(six_addresses(), log_);
+  for (auto& honeypot : deployment.honeypots) honeypot->attach(fabric_);
+  attackers::attack_s7(attacker_, deployment.honeypots[2]->address(), 64);
+  run(sim::minutes(5));
+  bool saw_icsa_dos = false;
+  for (const auto& event : log_.events()) {
+    if (event.honeypot == "Conpot" && event.protocol == proto::Protocol::kS7 &&
+        event.type == AttackType::kDos &&
+        event.detail.find("ICSA-16-299-01") != std::string::npos) {
+      saw_icsa_dos = true;
+    }
+  }
+  EXPECT_TRUE(saw_icsa_dos);
+}
+
+TEST_F(HoneynetTest, WildHoneypotServesStaticSignature) {
+  const auto& signature = honeypot_signatures().front();  // HoneyPy
+  WildHoneypot honeypot(signature, Ipv4Addr(51, 0, 0, 1));
+  honeypot.attach(fabric_);
+
+  std::string received;
+  attacker_.tcp().connect(honeypot.address(), signature.port,
+                          [&received](net::TcpConnection* conn) {
+                            ASSERT_NE(conn, nullptr);
+                            conn->on_data =
+                                [&received](net::TcpConnection&,
+                                            std::span<const std::uint8_t> d) {
+                                  received += util::to_string(d);
+                                };
+                          });
+  run(sim::minutes(1));
+  EXPECT_EQ(received.substr(0, signature.banner.size()), signature.banner);
+}
+
+TEST(Signatures, MatchPaperTable6Counts) {
+  std::uint64_t total = 0;
+  for (const auto& signature : honeypot_signatures()) {
+    EXPECT_FALSE(signature.banner.empty());
+    total += signature.paper_count;
+  }
+  EXPECT_EQ(total, 8'192u);
+  EXPECT_EQ(honeypot_signatures().size(), 9u);
+}
+
+TEST(EventLogAggregation, CountersAndUniqueSources) {
+  EventLog log;
+  log.record({sim::days(0), Ipv4Addr(1), "A", proto::Protocol::kTelnet,
+              AttackType::kScan, ""});
+  log.record({sim::days(0) + 5, Ipv4Addr(1), "A", proto::Protocol::kTelnet,
+              AttackType::kBruteForce, ""});
+  log.record({sim::days(1), Ipv4Addr(2), "B", proto::Protocol::kSsh,
+              AttackType::kScan, ""});
+
+  EXPECT_EQ(log.count_by_honeypot().count("A"), 2u);
+  EXPECT_EQ(log.count_by_honeypot().count("B"), 1u);
+  EXPECT_EQ(log.count_by_protocol().count("Telnet"), 2u);
+  EXPECT_EQ(log.count_by_type().count("Scan"), 2u);
+  EXPECT_EQ(log.count_by_day().count("day00"), 2u);
+  EXPECT_EQ(log.count_by_day().count("day01"), 1u);
+  EXPECT_EQ(log.unique_sources().size(), 2u);
+  EXPECT_EQ(log.unique_sources_for("A").size(), 1u);
+}
+
+}  // namespace
+}  // namespace ofh::honeynet

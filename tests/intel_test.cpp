@@ -1,0 +1,87 @@
+// Intel oracle tests: geolocation, VirusTotal/GreyNoise/Censys lookups and
+// reverse DNS.
+#include <gtest/gtest.h>
+
+#include "devices/population.h"
+#include "intel/geo.h"
+#include "intel/threat_intel.h"
+
+namespace ofh::intel {
+namespace {
+
+using util::Cidr;
+using util::Ipv4Addr;
+
+TEST(GeoDb, LooksUpByCoveringPrefix) {
+  GeoDb geo;
+  geo.add(*Cidr::parse("11.0.0.0/20"), "Germany");
+  geo.add(*Cidr::parse("12.0.0.0/20"), "Japan");
+  EXPECT_EQ(geo.country(Ipv4Addr(11, 0, 1, 5)), "Germany");
+  EXPECT_EQ(geo.country(Ipv4Addr(12, 0, 15, 255)), "Japan");
+  EXPECT_EQ(geo.country(Ipv4Addr(13, 0, 0, 1)), "Other");
+}
+
+TEST(GeoDb, BuildsFromPopulationGroundTruth) {
+  devices::PopulationSpec spec;
+  spec.seed = 3;
+  spec.scale = 1.0 / 8'192;
+  devices::Population population(spec);
+  population.build();
+  const GeoDb geo(population);
+  EXPECT_EQ(geo.prefix_count(), population.prefixes().size());
+  // Every device's lookup must equal the spec's planted country.
+  for (const auto& device : population.devices()) {
+    EXPECT_EQ(geo.country(device->address()), device->spec().country);
+  }
+}
+
+TEST(VirusTotal, IpFlagsKeepHighestPositives) {
+  VirusTotalDb vt;
+  EXPECT_FALSE(vt.is_malicious(Ipv4Addr(1)));
+  vt.flag_ip(Ipv4Addr(1), 3);
+  vt.flag_ip(Ipv4Addr(1), 1);  // lower report must not downgrade
+  EXPECT_EQ(vt.ip_positives(Ipv4Addr(1)), 3);
+  EXPECT_TRUE(vt.is_malicious(Ipv4Addr(1)));
+  EXPECT_EQ(vt.ip_positives(Ipv4Addr(2)), 0);
+}
+
+TEST(VirusTotal, UrlAndHashLookups) {
+  VirusTotalDb vt;
+  vt.flag_url("http://evil.example/payload");
+  EXPECT_TRUE(vt.url_malicious("http://evil.example/payload"));
+  EXPECT_FALSE(vt.url_malicious("http://benign.example/"));
+
+  vt.add_hash("abc123", "Mirai");
+  EXPECT_EQ(vt.lookup_hash("abc123"), "Mirai");
+  EXPECT_FALSE(vt.lookup_hash("deadbeef"));
+  EXPECT_EQ(vt.hash_count(), 1u);
+}
+
+TEST(GreyNoise, UnknownByDefault) {
+  GreyNoiseDb gn;
+  EXPECT_EQ(gn.lookup(Ipv4Addr(5)), GreyNoiseClass::kUnknown);
+  gn.classify(Ipv4Addr(5), GreyNoiseClass::kBenign);
+  gn.classify(Ipv4Addr(6), GreyNoiseClass::kMalicious);
+  EXPECT_EQ(gn.lookup(Ipv4Addr(5)), GreyNoiseClass::kBenign);
+  EXPECT_EQ(gn.lookup(Ipv4Addr(6)), GreyNoiseClass::kMalicious);
+  EXPECT_EQ(gn.known_count(), 2u);
+}
+
+TEST(Censys, IotTags) {
+  CensysDb censys;
+  EXPECT_FALSE(censys.iot_tag(Ipv4Addr(9)));
+  censys.tag_iot(Ipv4Addr(9), "Camera");
+  EXPECT_EQ(censys.iot_tag(Ipv4Addr(9)), "Camera");
+}
+
+TEST(ReverseDns, LookupAndOverwrite) {
+  ReverseDns rdns;
+  EXPECT_FALSE(rdns.lookup(Ipv4Addr(1)));
+  rdns.add(Ipv4Addr(1), "scan-0.shodan.io");
+  EXPECT_EQ(rdns.lookup(Ipv4Addr(1)), "scan-0.shodan.io");
+  rdns.add(Ipv4Addr(1), "scan-1.shodan.io");
+  EXPECT_EQ(rdns.lookup(Ipv4Addr(1)), "scan-1.shodan.io");
+}
+
+}  // namespace
+}  // namespace ofh::intel

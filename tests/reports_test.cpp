@@ -1,0 +1,103 @@
+// Report-content tests at a fixed tiny scale: beyond "renders non-empty"
+// (study_test), these pin the semantic content — measured columns must
+// reflect the underlying data structures exactly.
+#include <gtest/gtest.h>
+
+#include "core/reports.h"
+#include "core/study.h"
+#include "util/strings.h"
+
+namespace ofh::core {
+namespace {
+
+// A shared scan-only study (cheap) for the scan-side reports.
+class ScanReportsTest : public ::testing::Test {
+ protected:
+  static Study& study() {
+    static Study* instance = [] {
+      StudyConfig config;
+      config.seed = 31;
+      config.population_scale = 1.0 / 8'192;
+      auto* s = new Study(config);
+      s->setup_internet();
+      s->run_scan();
+      s->run_datasets();
+      return s;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(ScanReportsTest, Table4MeasuredColumnMatchesScanDb) {
+  const auto report = report_table4_exposed(study());
+  for (const auto protocol : proto::scanned_protocols()) {
+    const auto count = study().scan_db().unique_hosts(protocol);
+    // The formatted measured count must appear on the protocol's row.
+    const auto name = std::string(proto::protocol_name(protocol));
+    const auto line_start = report.find("| " + name + " ");
+    ASSERT_NE(line_start, std::string::npos) << name;
+    const auto line_end = report.find('\n', line_start);
+    const auto line = report.substr(line_start, line_end - line_start);
+    EXPECT_NE(line.find(util::with_commas(count)), std::string::npos)
+        << line;
+  }
+}
+
+TEST_F(ScanReportsTest, Table4MarksSonarNaRows) {
+  const auto report = report_table4_exposed(study());
+  const auto amqp_row = report.find("| AMQP");
+  ASSERT_NE(amqp_row, std::string::npos);
+  const auto line = report.substr(amqp_row, report.find('\n', amqp_row) -
+                                                amqp_row);
+  EXPECT_NE(line.find("NA"), std::string::npos);
+}
+
+TEST_F(ScanReportsTest, Table5TotalsAddUp) {
+  const auto report = report_table5_misconfigured(study());
+  // The total row's measured value equals the findings count.
+  EXPECT_NE(report.find(util::with_commas(study().findings().size())),
+            std::string::npos);
+}
+
+TEST_F(ScanReportsTest, Table6ListsEverySignature) {
+  const auto report = report_table6_honeypots(study());
+  for (const auto& signature : honeynet::honeypot_signatures()) {
+    EXPECT_NE(report.find(std::string(signature.name)), std::string::npos)
+        << signature.name;
+  }
+}
+
+TEST_F(ScanReportsTest, Table10SharesArePercentages) {
+  const auto report = report_table10_countries(study());
+  EXPECT_NE(report.find("USA"), std::string::npos);
+  EXPECT_NE(report.find('%'), std::string::npos);
+}
+
+TEST_F(ScanReportsTest, Fig2SharesPerProtocolSumToOne) {
+  const auto histogram = classify::type_histogram(study().scan_db());
+  for (const auto& [protocol, counter] : histogram) {
+    double sum = 0;
+    const double total = static_cast<double>(counter.total());
+    for (const auto& [type, count] : counter.ranked()) {
+      sum += count / total;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << proto::protocol_name(protocol);
+  }
+}
+
+TEST(ReportHelpers, EmptyStudySectionsStillRender) {
+  // A study with no attack phase must render attack-side reports without
+  // crashing (empty tables are fine).
+  StudyConfig config;
+  config.seed = 37;
+  config.population_scale = 1.0 / 16'384;
+  Study study(config);
+  study.setup_internet();
+  EXPECT_FALSE(report_fig4_attack_types(study).empty());
+  EXPECT_FALSE(report_fig9_multistage(study).empty());
+  EXPECT_FALSE(report_table8_telescope(study).empty());
+  EXPECT_FALSE(report_table12_credentials(study).empty());
+}
+
+}  // namespace
+}  // namespace ofh::core

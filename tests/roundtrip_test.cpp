@@ -1,0 +1,158 @@
+// The central measurement invariant, as a parameterized property test:
+// for every misconfiguration class, a device planted with it — and only
+// with it — must come back from the scan+classification pipeline labelled
+// with exactly that class; a correctly-configured device must come back
+// clean. This is the claim a real measurement study can never verify.
+#include <gtest/gtest.h>
+
+#include "classify/misconfig_rules.h"
+#include "devices/device.h"
+#include "scanner/scanner.h"
+#include "test_helpers.h"
+
+namespace ofh {
+namespace {
+
+using devices::Misconfig;
+using test::SimTest;
+using util::Ipv4Addr;
+
+struct RoundTripCase {
+  proto::Protocol protocol;
+  Misconfig planted;
+  // The label the classifier should produce (normally == planted).
+  Misconfig expected;
+  bool expect_finding = true;
+};
+
+class MisconfigRoundTrip : public ::testing::TestWithParam<RoundTripCase> {
+ protected:
+  MisconfigRoundTrip() : fabric_(sim_, 7) {
+    fabric_.set_latency(sim::msec(5), sim::msec(3));
+  }
+
+  sim::Simulation sim_;
+  net::Fabric fabric_;
+};
+
+TEST_P(MisconfigRoundTrip, ScanThenClassifyRecoversPlantedClass) {
+  const auto& param = GetParam();
+
+  devices::DeviceSpec spec;
+  spec.address = Ipv4Addr(10, 20, 0, 5);
+  spec.primary = param.protocol;
+  spec.misconfig = param.planted;
+  devices::Device device(std::move(spec));
+  device.attach(fabric_);
+
+  scanner::ScanDb db;
+  scanner::Scanner scanner(Ipv4Addr(9, 9, 9, 9), db);
+  scanner.attach(fabric_);
+  scanner::ScanConfig config;
+  config.protocol = param.protocol;
+  config.targets = {*util::Cidr::parse("10.20.0.0/28")};
+  bool done = false;
+  scanner.start(config, [&done] { done = true; });
+  while (!done && sim_.step()) {
+  }
+  ASSERT_TRUE(done);
+
+  const auto findings = classify::classify_all(db);
+  if (!param.expect_finding) {
+    EXPECT_TRUE(findings.empty())
+        << "clean device misclassified as "
+        << (findings.empty()
+                ? ""
+                : devices::misconfig_name(findings[0].misconfig));
+    // The device must still have been *seen* (exposed, Table 4).
+    EXPECT_EQ(db.unique_hosts(param.protocol), 1u);
+    return;
+  }
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].misconfig, param.expected)
+      << "planted " << devices::misconfig_name(param.planted) << ", got "
+      << devices::misconfig_name(findings[0].misconfig);
+  EXPECT_EQ(findings[0].host, Ipv4Addr(10, 20, 0, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, MisconfigRoundTrip,
+    ::testing::Values(
+        RoundTripCase{proto::Protocol::kTelnet, Misconfig::kTelnetNoAuth,
+                      Misconfig::kTelnetNoAuth},
+        RoundTripCase{proto::Protocol::kTelnet, Misconfig::kTelnetNoAuthRoot,
+                      Misconfig::kTelnetNoAuthRoot},
+        RoundTripCase{proto::Protocol::kMqtt, Misconfig::kMqttNoAuth,
+                      Misconfig::kMqttNoAuth},
+        RoundTripCase{proto::Protocol::kAmqp, Misconfig::kAmqpNoAuth,
+                      Misconfig::kAmqpNoAuth},
+        RoundTripCase{proto::Protocol::kXmpp, Misconfig::kXmppAnonymous,
+                      Misconfig::kXmppAnonymous},
+        RoundTripCase{proto::Protocol::kXmpp, Misconfig::kXmppPlaintext,
+                      Misconfig::kXmppPlaintext},
+        RoundTripCase{proto::Protocol::kCoap, Misconfig::kCoapNoAuth,
+                      Misconfig::kCoapNoAuth},
+        RoundTripCase{proto::Protocol::kCoap, Misconfig::kCoapAdminAccess,
+                      Misconfig::kCoapAdminAccess},
+        RoundTripCase{proto::Protocol::kCoap, Misconfig::kCoapReflector,
+                      Misconfig::kCoapReflector},
+        RoundTripCase{proto::Protocol::kUpnp, Misconfig::kUpnpReflector,
+                      Misconfig::kUpnpReflector},
+        // Clean devices: exposed but never flagged.
+        RoundTripCase{proto::Protocol::kTelnet, Misconfig::kNone,
+                      Misconfig::kNone, false},
+        RoundTripCase{proto::Protocol::kMqtt, Misconfig::kNone,
+                      Misconfig::kNone, false},
+        RoundTripCase{proto::Protocol::kAmqp, Misconfig::kNone,
+                      Misconfig::kNone, false},
+        RoundTripCase{proto::Protocol::kXmpp, Misconfig::kNone,
+                      Misconfig::kNone, false},
+        RoundTripCase{proto::Protocol::kCoap, Misconfig::kNone,
+                      Misconfig::kNone, false},
+        RoundTripCase{proto::Protocol::kUpnp, Misconfig::kNone,
+                      Misconfig::kNone, false}));
+
+// The same invariant under moderate packet loss: whatever the scan *does*
+// record must still classify correctly (no label corruption, only missed
+// hosts).
+class LossyRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossyRoundTrip, FindingsRemainLabelCorrectUnderLoss) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim, 11);
+  fabric.set_loss_rate(GetParam());
+
+  std::vector<std::unique_ptr<devices::Device>> hosts;
+  for (int i = 1; i <= 30; ++i) {
+    devices::DeviceSpec spec;
+    spec.address = Ipv4Addr(10, 21, 0, static_cast<std::uint8_t>(i));
+    spec.primary = proto::Protocol::kTelnet;
+    spec.misconfig = i % 2 == 0 ? Misconfig::kTelnetNoAuthRoot
+                                : Misconfig::kTelnetNoAuth;
+    hosts.push_back(std::make_unique<devices::Device>(std::move(spec)));
+    hosts.back()->attach(fabric);
+  }
+
+  scanner::ScanDb db;
+  scanner::Scanner scanner(Ipv4Addr(9, 9, 9, 9), db);
+  scanner.attach(fabric);
+  scanner::ScanConfig config;
+  config.protocol = proto::Protocol::kTelnet;
+  config.targets = {*util::Cidr::parse("10.21.0.0/24")};
+  bool done = false;
+  scanner.start(config, [&done] { done = true; });
+  while (!done && sim.step()) {
+  }
+
+  for (const auto& finding : classify::classify_all(db)) {
+    const bool even = finding.host.octet(3) % 2 == 0;
+    EXPECT_EQ(finding.misconfig, even ? Misconfig::kTelnetNoAuthRoot
+                                      : Misconfig::kTelnetNoAuth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossyRoundTrip,
+                         ::testing::Values(0.0, 0.1, 0.25));
+
+}  // namespace
+}  // namespace ofh

@@ -1,0 +1,157 @@
+// RSDoS backscatter detection, ExoneraTor lookups and FlowTuple CSV export.
+#include <gtest/gtest.h>
+
+#include "attackers/probes.h"
+#include "devices/device.h"
+#include "intel/threat_intel.h"
+#include "telescope/rsdos.h"
+#include "test_helpers.h"
+
+namespace ofh::telescope {
+namespace {
+
+using test::PlainHost;
+using test::SimTest;
+using util::Ipv4Addr;
+
+net::Packet tcp_packet(Ipv4Addr src, Ipv4Addr dst, std::uint8_t flags) {
+  net::Packet packet;
+  packet.src = src;
+  packet.dst = dst;
+  packet.src_port = 23;
+  packet.dst_port = 40'000;
+  packet.transport = net::Transport::kTcp;
+  packet.tcp_flags = flags;
+  return packet;
+}
+
+TEST(Backscatter, ClassifiesResponseSegments) {
+  EXPECT_TRUE(is_backscatter(tcp_packet(
+      Ipv4Addr(1), Ipv4Addr(2), net::TcpFlags::kSyn | net::TcpFlags::kAck)));
+  EXPECT_TRUE(is_backscatter(
+      tcp_packet(Ipv4Addr(1), Ipv4Addr(2), net::TcpFlags::kRst)));
+  EXPECT_FALSE(is_backscatter(
+      tcp_packet(Ipv4Addr(1), Ipv4Addr(2), net::TcpFlags::kSyn)));
+  net::Packet udp;
+  udp.transport = net::Transport::kUdp;
+  EXPECT_FALSE(is_backscatter(udp));
+}
+
+TEST(RsdosDetectorTest, GroupsBackscatterByVictim) {
+  RsdosDetector detector(*util::Cidr::parse("44.0.0.0/8"));
+  const Ipv4Addr victim(8, 8, 8, 8);
+  for (int i = 0; i < 20; ++i) {
+    detector.observe(
+        tcp_packet(victim, Ipv4Addr(44, 0, 0, static_cast<std::uint8_t>(i)),
+                   net::TcpFlags::kSyn | net::TcpFlags::kAck),
+        sim::seconds(static_cast<std::uint64_t>(i)));
+  }
+  // Unrelated scanning SYN into the darknet must be ignored.
+  detector.observe(tcp_packet(Ipv4Addr(9, 9, 9, 9), Ipv4Addr(44, 1, 1, 1),
+                              net::TcpFlags::kSyn),
+                   0);
+
+  const auto attacks = detector.attacks();
+  ASSERT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(attacks[0].victim, victim);
+  EXPECT_EQ(attacks[0].packets, 20u);
+  EXPECT_EQ(attacks[0].distinct_darknet_targets, 20u);
+  EXPECT_EQ(detector.backscatter_packets(), 20u);
+}
+
+TEST(RsdosDetectorTest, BurstGapSplitsAttacks) {
+  RsdosDetector detector(*util::Cidr::parse("44.0.0.0/8"),
+                         /*attack_gap=*/sim::minutes(5));
+  const Ipv4Addr victim(8, 8, 8, 8);
+  const auto hit = [&](sim::Time when) {
+    detector.observe(tcp_packet(victim, Ipv4Addr(44, 1, 2, 3),
+                                net::TcpFlags::kRst),
+                     when);
+  };
+  hit(sim::minutes(0));
+  hit(sim::minutes(1));
+  hit(sim::minutes(30));  // > gap: a second attack
+  hit(sim::minutes(31));
+  const auto attacks = detector.attacks();
+  ASSERT_EQ(attacks.size(), 2u);
+  EXPECT_EQ(attacks[0].packets, 2u);
+  EXPECT_EQ(attacks[1].packets, 2u);
+  EXPECT_LT(attacks[0].first_seen, attacks[1].first_seen);
+}
+
+TEST(RsdosDetectorTest, EstimatedMagnitudeScalesByDarknetCoverage) {
+  RsdosAttack attack;
+  attack.packets = 10;
+  EXPECT_NEAR(attack.estimated_attack_packets(*util::Cidr::parse("44.0.0.0/8")),
+              2'560.0, 0.1);  // /8 sees 1/256
+  EXPECT_NEAR(
+      attack.estimated_attack_packets(*util::Cidr::parse("44.0.0.0/16")),
+      655'360.0, 0.1);
+}
+
+class RsdosEndToEnd : public SimTest {};
+
+TEST_F(RsdosEndToEnd, SpoofedFloodProducesReconstructableBackscatter) {
+  RsdosDetector detector(*util::Cidr::parse("44.0.0.0/8"));
+  detector.attach(fabric_);
+  // Also swallow darknet-destined packets so spoofed sources there stay
+  // silent (the telescope sink).
+  Telescope scope(*util::Cidr::parse("44.0.0.0/8"));
+  scope.attach(fabric_);
+
+  // The victim: an open Telnet device.
+  devices::DeviceSpec spec;
+  spec.address = Ipv4Addr(10, 1, 0, 1);
+  spec.primary = proto::Protocol::kTelnet;
+  spec.misconfig = devices::Misconfig::kTelnetNoAuth;
+  devices::Device victim(std::move(spec));
+  victim.attach(fabric_);
+
+  PlainHost attacker(Ipv4Addr(10, 1, 0, 2));
+  attacker.attach(fabric_);
+  util::Rng rng(77);
+  attackers::syn_flood_spoofed(attacker, victim.address(), 23, 4'000, rng);
+  run(sim::minutes(5));
+
+  // ~4000/256 ≈ 15.6 SYN-ACKs should land in the darknet.
+  EXPECT_GT(detector.backscatter_packets(), 4u);
+  EXPECT_LT(detector.backscatter_packets(), 40u);
+  const auto attacks = detector.attacks();
+  ASSERT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(attacks[0].victim, victim.address());
+  // Magnitude estimate within 3x of the true flood size.
+  const double estimate =
+      attacks[0].estimated_attack_packets(*util::Cidr::parse("44.0.0.0/8"));
+  EXPECT_GT(estimate, 4'000.0 / 3);
+  EXPECT_LT(estimate, 4'000.0 * 3);
+}
+
+TEST(FlowTupleCsv, ExportsStardustColumns) {
+  FlowTuple tuple;
+  tuple.minute = 7;
+  tuple.src = Ipv4Addr(1, 2, 3, 4);
+  tuple.dst = Ipv4Addr(44, 0, 0, 1);
+  tuple.src_port = 40'000;
+  tuple.dst_port = 23;
+  tuple.transport = net::Transport::kTcp;
+  tuple.ttl = 64;
+  tuple.tcp_flags = net::TcpFlags::kSyn;
+  tuple.packet_count = 3;
+  tuple.byte_count = 120;
+  tuple.is_spoofed = true;
+  const auto csv = flowtuples_to_csv({tuple});
+  EXPECT_NE(csv.find("minute,src_ip,dst_ip"), std::string::npos);
+  EXPECT_NE(csv.find("7,1.2.3.4,44.0.0.1,40000,23,tcp,64,1,3,120,1,0"),
+            std::string::npos);
+}
+
+TEST(ExoneraTorTest, RelayLookups) {
+  intel::ExoneraTor exonerator;
+  EXPECT_FALSE(exonerator.was_relay(Ipv4Addr(1)));
+  exonerator.add_relay(Ipv4Addr(1));
+  EXPECT_TRUE(exonerator.was_relay(Ipv4Addr(1)));
+  EXPECT_EQ(exonerator.relay_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ofh::telescope

@@ -1,0 +1,290 @@
+// Scanner engine tests: permutation properties, sweep completeness, banner
+// collection per protocol, blocklists and UDP probing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "devices/device.h"
+#include "honeynet/honeypot.h"
+#include "scanner/permutation.h"
+#include "scanner/scanner.h"
+#include "test_helpers.h"
+
+namespace ofh::scanner {
+namespace {
+
+using test::SimTest;
+using util::Ipv4Addr;
+
+// ------------------------------------------------------------- permutation
+
+class PermutationSize : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationSize, VisitsEveryIndexExactlyOnce) {
+  const std::uint64_t size = GetParam();
+  AddressPermutation permutation(size, 1234);
+  std::set<std::uint64_t> seen;
+  while (const auto index = permutation.next()) {
+    EXPECT_LT(*index, size);
+    EXPECT_TRUE(seen.insert(*index).second) << "duplicate " << *index;
+  }
+  EXPECT_EQ(seen.size(), size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSize,
+                         ::testing::Values(1, 2, 3, 7, 64, 100, 1023, 1024,
+                                           1025, 40'000));
+
+TEST(Permutation, DifferentSeedsGiveDifferentOrders) {
+  AddressPermutation a(1000, 1), b(1000, 2);
+  int same_position = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (*a.next() == *b.next()) ++same_position;
+  }
+  EXPECT_LT(same_position, 50);
+}
+
+TEST(Permutation, OrderIsDecorrelatedFromIndexOrder) {
+  AddressPermutation permutation(10'000, 99);
+  // Count ascending adjacent pairs; a sequential sweep would have ~100%.
+  int ascending = 0;
+  auto previous = *permutation.next();
+  for (int i = 1; i < 10'000; ++i) {
+    const auto current = *permutation.next();
+    if (current == previous + 1) ++ascending;
+    previous = current;
+  }
+  EXPECT_LT(ascending, 100);
+}
+
+TEST(Permutation, SameSeedIsReproducible) {
+  AddressPermutation a(5'000, 7), b(5'000, 7);
+  for (int i = 0; i < 5'000; ++i) EXPECT_EQ(*a.next(), *b.next());
+}
+
+// ------------------------------------------------------------------ scan db
+
+TEST(ScanDb, TracksUniqueHostsPerProtocol) {
+  ScanDb db;
+  db.add({Ipv4Addr(1, 2, 3, 4), 23, proto::Protocol::kTelnet, "x", 0});
+  db.add({Ipv4Addr(1, 2, 3, 4), 2323, proto::Protocol::kTelnet, "y", 0});
+  db.add({Ipv4Addr(1, 2, 3, 5), 23, proto::Protocol::kTelnet, "z", 0});
+  db.add({Ipv4Addr(1, 2, 3, 4), 1883, proto::Protocol::kMqtt, "m", 0});
+  EXPECT_EQ(db.unique_hosts(proto::Protocol::kTelnet), 2u);
+  EXPECT_EQ(db.unique_hosts(proto::Protocol::kMqtt), 1u);
+  EXPECT_EQ(db.unique_hosts(proto::Protocol::kCoap), 0u);
+  EXPECT_EQ(db.unique_hosts_total(), 2u);
+  EXPECT_EQ(db.for_protocol(proto::Protocol::kTelnet).size(), 3u);
+}
+
+// -------------------------------------------------------------- full sweeps
+
+class ScannerTest : public SimTest {
+ protected:
+  ScannerTest() : scanner_(Ipv4Addr(9, 9, 9, 9), db_) {
+    scanner_.attach(fabric_);
+  }
+
+  // Runs one sweep over the given /24 and returns when complete.
+  void sweep(proto::Protocol protocol, util::Cidr target,
+             std::vector<util::Cidr> blocklist = {}) {
+    ScanConfig config;
+    config.protocol = protocol;
+    config.targets = {target};
+    config.blocklist = std::move(blocklist);
+    config.batch_size = 64;
+    bool done = false;
+    scanner_.start(config, [&done] { done = true; });
+    while (!done && sim_.step()) {
+    }
+    EXPECT_TRUE(done);
+  }
+
+  devices::DeviceSpec make_spec(Ipv4Addr addr, proto::Protocol protocol,
+                                devices::Misconfig misconfig) {
+    devices::DeviceSpec spec;
+    spec.address = addr;
+    spec.primary = protocol;
+    spec.misconfig = misconfig;
+    return spec;
+  }
+
+  ScanDb db_;
+  Scanner scanner_;
+};
+
+TEST_F(ScannerTest, FindsOpenTelnetConsoleBanner) {
+  devices::Device device(make_spec(Ipv4Addr(10, 1, 0, 33),
+                                   proto::Protocol::kTelnet,
+                                   devices::Misconfig::kTelnetNoAuthRoot));
+  device.attach(fabric_);
+  sweep(proto::Protocol::kTelnet, *util::Cidr::parse("10.1.0.0/24"));
+
+  EXPECT_EQ(db_.unique_hosts(proto::Protocol::kTelnet), 1u);
+  const auto records = db_.for_protocol(proto::Protocol::kTelnet);
+  ASSERT_FALSE(records.empty());
+  EXPECT_NE(records[0]->banner.find("root@"), std::string::npos);
+}
+
+TEST_F(ScannerTest, MissesNothingInPopulatedRange) {
+  std::vector<std::unique_ptr<devices::Device>> devices;
+  for (int i = 1; i <= 40; ++i) {
+    devices.push_back(std::make_unique<devices::Device>(
+        make_spec(Ipv4Addr(10, 2, 0, static_cast<std::uint8_t>(i)),
+                  proto::Protocol::kMqtt, devices::Misconfig::kMqttNoAuth)));
+    devices.back()->attach(fabric_);
+  }
+  sweep(proto::Protocol::kMqtt, *util::Cidr::parse("10.2.0.0/24"));
+  EXPECT_EQ(db_.unique_hosts(proto::Protocol::kMqtt), 40u);
+}
+
+TEST_F(ScannerTest, MqttBannerCarriesConnectCode) {
+  devices::Device open_device(make_spec(Ipv4Addr(10, 3, 0, 1),
+                                        proto::Protocol::kMqtt,
+                                        devices::Misconfig::kMqttNoAuth));
+  devices::Device closed_device(make_spec(Ipv4Addr(10, 3, 0, 2),
+                                          proto::Protocol::kMqtt,
+                                          devices::Misconfig::kNone));
+  open_device.attach(fabric_);
+  closed_device.attach(fabric_);
+  sweep(proto::Protocol::kMqtt, *util::Cidr::parse("10.3.0.0/24"));
+
+  bool saw_open = false, saw_denied = false;
+  for (const auto* record : db_.for_protocol(proto::Protocol::kMqtt)) {
+    if (record->banner.find("MQTT Connection Code:0") != std::string::npos) {
+      saw_open = true;
+    }
+    if (record->banner.find("MQTT Connection Code:5") != std::string::npos) {
+      saw_denied = true;
+    }
+  }
+  EXPECT_TRUE(saw_open);
+  EXPECT_TRUE(saw_denied);
+}
+
+TEST_F(ScannerTest, AmqpBannerCarriesVersionAndMechanisms) {
+  devices::Device device(make_spec(Ipv4Addr(10, 4, 0, 2),
+                                   proto::Protocol::kAmqp,
+                                   devices::Misconfig::kAmqpNoAuth));
+  device.attach(fabric_);
+  sweep(proto::Protocol::kAmqp, *util::Cidr::parse("10.4.0.0/24"));
+  const auto records = db_.for_protocol(proto::Protocol::kAmqp);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0]->banner.find("Version: 2.7.1"), std::string::npos);
+  EXPECT_NE(records[0]->banner.find("ANONYMOUS"), std::string::npos);
+}
+
+TEST_F(ScannerTest, CoapProbeDisclosesResourcesAndAccessLevel) {
+  devices::Device reflector(make_spec(Ipv4Addr(10, 5, 0, 1),
+                                      proto::Protocol::kCoap,
+                                      devices::Misconfig::kCoapReflector));
+  devices::Device open_device(make_spec(Ipv4Addr(10, 5, 0, 2),
+                                        proto::Protocol::kCoap,
+                                        devices::Misconfig::kCoapNoAuth));
+  devices::Device hardened(make_spec(Ipv4Addr(10, 5, 0, 3),
+                                     proto::Protocol::kCoap,
+                                     devices::Misconfig::kNone));
+  reflector.attach(fabric_);
+  open_device.attach(fabric_);
+  hardened.attach(fabric_);
+  sweep(proto::Protocol::kCoap, *util::Cidr::parse("10.5.0.0/24"));
+
+  ASSERT_EQ(db_.unique_hosts(proto::Protocol::kCoap), 3u);
+  std::string reflector_banner, open_banner, hardened_banner;
+  for (const auto* record : db_.for_protocol(proto::Protocol::kCoap)) {
+    if (record->host == reflector.address()) reflector_banner = record->banner;
+    if (record->host == open_device.address()) open_banner = record->banner;
+    if (record->host == hardened.address()) hardened_banner = record->banner;
+  }
+  EXPECT_NE(reflector_banner.find("CoAP Resources"), std::string::npos);
+  EXPECT_EQ(reflector_banner.find("x1C"), std::string::npos);  // locked down
+  EXPECT_NE(open_banner.find("x1C"), std::string::npos);       // full access
+  EXPECT_NE(hardened_banner.find("4.01"), std::string::npos);
+}
+
+TEST_F(ScannerTest, UpnpProbeRecordsHttpuResponse) {
+  devices::DeviceSpec spec = make_spec(Ipv4Addr(10, 6, 0, 7),
+                                       proto::Protocol::kUpnp,
+                                       devices::Misconfig::kUpnpReflector);
+  spec.model = devices::models_for(proto::Protocol::kUpnp).front();
+  devices::Device device(std::move(spec));
+  device.attach(fabric_);
+  sweep(proto::Protocol::kUpnp, *util::Cidr::parse("10.6.0.0/24"));
+  const auto records = db_.for_protocol(proto::Protocol::kUpnp);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0]->banner.find("USN:"), std::string::npos);
+  EXPECT_NE(records[0]->banner.find("LOCATION:"), std::string::npos);
+}
+
+TEST_F(ScannerTest, BlocklistIsNeverProbed) {
+  devices::Device device(make_spec(Ipv4Addr(10, 7, 0, 1),
+                                   proto::Protocol::kTelnet,
+                                   devices::Misconfig::kTelnetNoAuth));
+  device.attach(fabric_);
+  sweep(proto::Protocol::kTelnet, *util::Cidr::parse("10.7.0.0/24"),
+        {*util::Cidr::parse("10.7.0.0/24")});
+  EXPECT_EQ(db_.unique_hosts(proto::Protocol::kTelnet), 0u);
+}
+
+TEST_F(ScannerTest, DefaultBlocklistCoversReservedRanges) {
+  const auto blocklist = default_blocklist();
+  const auto blocked = [&blocklist](const char* addr) {
+    for (const auto& range : blocklist) {
+      if (range.contains(*Ipv4Addr::parse(addr))) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(blocked("10.1.2.3"));
+  EXPECT_TRUE(blocked("127.0.0.1"));
+  EXPECT_TRUE(blocked("192.168.1.1"));
+  EXPECT_TRUE(blocked("224.0.0.1"));
+  EXPECT_TRUE(blocked("100.64.0.1"));
+  EXPECT_FALSE(blocked("8.8.8.8"));
+  EXPECT_FALSE(blocked("44.0.0.1"));
+}
+
+TEST_F(ScannerTest, TelnetSweepCoversBothPorts) {
+  // A device on the alternate port 2323 (address % 16 == 0).
+  devices::Device alt(make_spec(Ipv4Addr(10, 8, 0, 16),
+                                proto::Protocol::kTelnet,
+                                devices::Misconfig::kTelnetNoAuth));
+  alt.attach(fabric_);
+  ASSERT_TRUE(alt.tcp().listening(2323));
+  sweep(proto::Protocol::kTelnet, *util::Cidr::parse("10.8.0.0/24"));
+  const auto records = db_.for_protocol(proto::Protocol::kTelnet);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0]->port, 2323);
+}
+
+TEST_F(ScannerTest, WildHoneypotBannerIsCapturedVerbatim) {
+  honeynet::WildHoneypot honeypot(honeynet::honeypot_signatures()[1],  // Cowrie
+                                  Ipv4Addr(10, 9, 0, 5));
+  honeypot.attach(fabric_);
+  sweep(proto::Protocol::kTelnet, *util::Cidr::parse("10.9.0.0/24"));
+  const auto records = db_.for_protocol(proto::Protocol::kTelnet);
+  ASSERT_EQ(records.size(), 1u);
+  // Raw IAC bytes preserved: \xff\xfd\x1f prefix.
+  ASSERT_GE(records[0]->banner.size(), 3u);
+  EXPECT_EQ(static_cast<std::uint8_t>(records[0]->banner[0]), 0xff);
+  EXPECT_EQ(static_cast<std::uint8_t>(records[0]->banner[1]), 0xfd);
+  EXPECT_EQ(static_cast<std::uint8_t>(records[0]->banner[2]), 0x1f);
+}
+
+TEST_F(ScannerTest, SequentialSweepsAccumulateInOneDb) {
+  devices::Device telnet_device(make_spec(Ipv4Addr(10, 10, 0, 1),
+                                          proto::Protocol::kTelnet,
+                                          devices::Misconfig::kTelnetNoAuth));
+  devices::Device mqtt_device(make_spec(Ipv4Addr(10, 10, 0, 2),
+                                        proto::Protocol::kMqtt,
+                                        devices::Misconfig::kMqttNoAuth));
+  telnet_device.attach(fabric_);
+  mqtt_device.attach(fabric_);
+  sweep(proto::Protocol::kTelnet, *util::Cidr::parse("10.10.0.0/24"));
+  sweep(proto::Protocol::kMqtt, *util::Cidr::parse("10.10.0.0/24"));
+  EXPECT_EQ(db_.unique_hosts(proto::Protocol::kTelnet), 1u);
+  EXPECT_EQ(db_.unique_hosts(proto::Protocol::kMqtt), 1u);
+  EXPECT_GT(db_.probes_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace ofh::scanner

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace ofh::sim {
+namespace {
+
+TEST(Time, DurationHelpers) {
+  EXPECT_EQ(msec(1), 1000u);
+  EXPECT_EQ(seconds(1), 1'000'000u);
+  EXPECT_EQ(minutes(2), 120'000'000u);
+  EXPECT_EQ(hours(1), 3'600'000'000u);
+  EXPECT_EQ(days(30), 30ull * 24 * 3600 * 1'000'000);
+  EXPECT_EQ(to_seconds(seconds(90)), 90u);
+  EXPECT_EQ(to_days(days(3) + hours(1)), 3u);
+}
+
+TEST(Time, FormatTime) {
+  EXPECT_EQ(format_time(0), "d00 00:00:00.000000");
+  EXPECT_EQ(format_time(days(2) + hours(3) + minutes(4) + seconds(5) + 6),
+            "d02 03:04:05.000006");
+}
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulation, TiesAreFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, AfterSchedulesRelative) {
+  Simulation sim;
+  Time fired = 0;
+  sim.at(100, [&] {
+    sim.after(50, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 150u);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  Time fired = 0;
+  sim.at(100, [&] {
+    sim.at(10, [&] { fired = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired, 100u);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(200, [&] { ++fired; });
+  sim.run_until(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100u);  // clock ends at the deadline
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(300);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsMayScheduleMoreEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.after(1, chain);
+  };
+  sim.after(1, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulation, StepReturnsFalseWhenIdle) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+}  // namespace
+}  // namespace ofh::sim

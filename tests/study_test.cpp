@@ -1,0 +1,240 @@
+// End-to-end study integration tests at small scale: every phase of the
+// pipeline, plus the measurement-validation properties (recall against
+// ground truth) that a real measurement study could never check.
+#include <gtest/gtest.h>
+
+#include "core/reports.h"
+#include "core/study.h"
+#include "devices/paper_stats.h"
+
+namespace ofh::core {
+namespace {
+
+StudyConfig tiny_config() {
+  StudyConfig config;
+  config.seed = 2021;
+  config.population_scale = 1.0 / 8'192;
+  config.attack_scale = 1.0 / 128;
+  config.attack_duration = sim::days(6);
+  return config;
+}
+
+// One shared study for the read-only assertions (phases are expensive).
+class StudyTest : public ::testing::Test {
+ protected:
+  static Study& study() {
+    static Study* instance = [] {
+      auto* s = new Study(tiny_config());
+      s->run_all();
+      return s;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(StudyTest, ScanRecoversEveryPlantedMisconfiguration) {
+  // Recall: every misconfigured device the population planted must be in
+  // the (filtered) findings, and nothing else.
+  std::set<std::uint32_t> planted;
+  for (const auto& device : study().population().devices()) {
+    if (device->misconfigured()) planted.insert(device->address().value());
+  }
+  std::set<std::uint32_t> found;
+  for (const auto& finding : study().findings()) {
+    found.insert(finding.host.value());
+  }
+  EXPECT_EQ(found, planted);
+}
+
+TEST_F(StudyTest, ScanFindsAllExposedHostsPerProtocol) {
+  for (const auto protocol : proto::scanned_protocols()) {
+    std::uint64_t expected = study().population().count_for(protocol);
+    if (protocol == proto::Protocol::kTelnet) {
+      // Wild honeypots answer on the Telnet port and are found too —
+      // that's the poisoning the fingerprint filter exists for.
+      expected += study().wild_honeypot_count();
+    }
+    EXPECT_EQ(study().scan_db().unique_hosts(protocol), expected)
+        << proto::protocol_name(protocol);
+  }
+}
+
+TEST_F(StudyTest, FingerprintingFindsAllWildHoneypots) {
+  std::uint64_t expected = 0;
+  for (const auto& row : devices::paper::table6()) {
+    expected += study().scaled_population(row.instances);
+  }
+  EXPECT_EQ(study().fingerprints().honeypot_hosts.size(), expected);
+  // Per-type detection: each signature detected at least once.
+  for (const auto& row : devices::paper::table6()) {
+    EXPECT_GE(
+        study().fingerprints().detections.count(std::string(row.honeypot)),
+        1u)
+        << row.honeypot;
+  }
+}
+
+TEST_F(StudyTest, FilteringRemovesExactlyTheHoneypotPoisoning) {
+  const auto poisoned = study().unfiltered_findings().size();
+  const auto clean = study().findings().size();
+  EXPECT_GT(poisoned, clean);  // honeypots did poison the raw results
+  // Only honeypot hosts were removed.
+  for (const auto& finding : study().unfiltered_findings()) {
+    const bool is_honeypot =
+        study().fingerprints().honeypot_hosts.count(finding.host.value()) != 0;
+    bool in_clean = false;
+    for (const auto& kept : study().findings()) {
+      if (kept.host == finding.host) in_clean = true;
+    }
+    EXPECT_EQ(in_clean, !is_honeypot);
+  }
+}
+
+TEST_F(StudyTest, DatasetsAgreeWithScanWhereTheyOverlap) {
+  ASSERT_TRUE(study().sonar());
+  ASSERT_TRUE(study().shodan());
+  // Every Sonar-listed host must be in our scan results too (the scan has
+  // full coverage of the simulated Internet).
+  std::set<std::uint32_t> ours;
+  for (const auto& record : study().scan_db().records()) {
+    ours.insert(record.host.value());
+  }
+  for (const auto& entry : study().sonar()->entries()) {
+    EXPECT_EQ(ours.count(entry.host.value()), 1u);
+  }
+}
+
+TEST_F(StudyTest, AttackMonthProducesEventsOnEveryHoneypot) {
+  const auto by_honeypot = study().attack_log().count_by_honeypot();
+  for (const char* name :
+       {"HosTaGe", "U-Pot", "Conpot", "ThingPot", "Cowrie", "Dionaea"}) {
+    EXPECT_GT(by_honeypot.count(name), 0u) << name;
+  }
+}
+
+TEST_F(StudyTest, TelescopeSawTrafficOnAllSixProtocols) {
+  for (const auto protocol : proto::scanned_protocols()) {
+    EXPECT_GT(study().scope().packets_for(protocol), 0u)
+        << proto::protocol_name(protocol);
+  }
+  // Telnet dominates (Table 8's headline shape).
+  for (const auto protocol : proto::scanned_protocols()) {
+    if (protocol == proto::Protocol::kTelnet) continue;
+    EXPECT_GT(study().scope().packets_for(proto::Protocol::kTelnet),
+              study().scope().packets_for(protocol));
+  }
+}
+
+TEST_F(StudyTest, CorrelationFindsInfectedDevices) {
+  // Every correlated address is a planted infected device or at least a
+  // misconfigured one that attacked.
+  std::set<std::uint32_t> misconfigured;
+  for (const auto& device : study().population().devices()) {
+    if (device->misconfigured()) {
+      misconfigured.insert(device->address().value());
+    }
+  }
+  const auto check = [&](const std::set<std::uint32_t>& bucket) {
+    for (const auto host : bucket) {
+      EXPECT_EQ(misconfigured.count(host), 1u);
+    }
+  };
+  check(study().infected().both);
+  check(study().infected().honeypot_only);
+  check(study().infected().telescope_only);
+  EXPECT_GT(study().infected().total(), 0u);
+}
+
+TEST_F(StudyTest, InfectedDevicesAreVirusTotalFlagged) {
+  for (const auto addr : study().fleet().infected_device_addresses()) {
+    EXPECT_TRUE(study().virustotal().is_malicious(addr));
+  }
+}
+
+TEST_F(StudyTest, ListingsHappenedAndAreFromPublicServices) {
+  ASSERT_FALSE(study().fleet().listings().empty());
+  for (const auto& listing : study().fleet().listings()) {
+    bool is_public = false;
+    for (const auto& spec : attackers::scan_service_specs()) {
+      if (spec.name == listing.service) is_public = spec.listed_publicly;
+    }
+    EXPECT_TRUE(is_public) << listing.service;
+  }
+}
+
+TEST_F(StudyTest, ReportsRenderNonEmpty) {
+  EXPECT_NE(report_table4_exposed(study()).find("Table 4"),
+            std::string::npos);
+  EXPECT_NE(report_table5_misconfigured(study()).find("Total"),
+            std::string::npos);
+  EXPECT_NE(report_table6_honeypots(study()).find("Anglerfish"),
+            std::string::npos);
+  EXPECT_NE(report_table7_attacks(study()).find("HosTaGe"),
+            std::string::npos);
+  EXPECT_NE(report_table8_telescope(study()).find("Telnet"),
+            std::string::npos);
+  EXPECT_NE(report_table10_countries(study()).find("USA"), std::string::npos);
+  EXPECT_NE(report_fig2_device_types(study()).find("Camera"),
+            std::string::npos);
+  EXPECT_FALSE(report_fig3_scanning_services(study()).empty());
+  EXPECT_FALSE(report_fig4_attack_types(study()).empty());
+  EXPECT_NE(report_fig5_greynoise(study()).find("GreyNoise"),
+            std::string::npos);
+  EXPECT_FALSE(report_fig6_virustotal(study()).empty());
+  EXPECT_FALSE(report_fig7_trends(study()).empty());
+  EXPECT_NE(report_fig8_daily(study()).find("day00"), std::string::npos);
+  EXPECT_NE(report_fig9_multistage(study()).find("Stage 1"),
+            std::string::npos);
+  EXPECT_NE(report_correlation(study()).find("11,118"), std::string::npos);
+  EXPECT_FALSE(report_table12_credentials(study()).empty());
+}
+
+TEST_F(StudyTest, ScanDatesFollowAppendixTable9Offsets) {
+  const auto& dates = study().scan_dates();
+  ASSERT_EQ(dates.size(), 6u);
+  // CoAP first, XMPP last, spread over roughly four days.
+  EXPECT_LE(dates.at(proto::Protocol::kCoap),
+            dates.at(proto::Protocol::kTelnet));
+  EXPECT_LE(dates.at(proto::Protocol::kTelnet),
+            dates.at(proto::Protocol::kMqtt));
+  EXPECT_LE(dates.at(proto::Protocol::kMqtt),
+            dates.at(proto::Protocol::kXmpp));
+  EXPECT_GE(dates.at(proto::Protocol::kXmpp) -
+                dates.at(proto::Protocol::kCoap),
+            sim::days(4));
+}
+
+TEST(StudyPhases, ScanOnlyStudyNeedsNoAttackPhase) {
+  auto config = tiny_config();
+  config.population_scale = 1.0 / 16'384;
+  Study study(config);
+  study.setup_internet();
+  study.run_scan();
+  EXPECT_GT(study.scan_db().size(), 0u);
+  EXPECT_EQ(study.attack_log().size(), 0u);
+}
+
+TEST(StudyPhases, HoneypotFilteringCanBeDisabled) {
+  auto config = tiny_config();
+  config.population_scale = 1.0 / 16'384;
+  config.filter_honeypots = false;
+  Study study(config);
+  study.setup_internet();
+  study.run_scan();
+  EXPECT_EQ(study.findings().size(), study.unfiltered_findings().size());
+}
+
+TEST(StudyPhases, DeterministicAcrossRuns) {
+  auto config = tiny_config();
+  config.population_scale = 1.0 / 16'384;
+  Study a(config), b(config);
+  a.setup_internet();
+  a.run_scan();
+  b.setup_internet();
+  b.run_scan();
+  EXPECT_EQ(a.scan_db().size(), b.scan_db().size());
+  EXPECT_EQ(a.findings().size(), b.findings().size());
+}
+
+}  // namespace
+}  // namespace ofh::core

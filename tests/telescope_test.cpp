@@ -1,0 +1,133 @@
+// Telescope tests: FlowTuple aggregation, protocol/port mapping, unique
+// sources, spoofed/masscan annotations and darknet behaviour on the fabric.
+#include <gtest/gtest.h>
+
+#include "telescope/telescope.h"
+#include "test_helpers.h"
+
+namespace ofh::telescope {
+namespace {
+
+using test::PlainHost;
+using test::SimTest;
+using util::Ipv4Addr;
+
+net::Packet syn(Ipv4Addr src, Ipv4Addr dst, std::uint16_t dst_port,
+                std::uint16_t src_port = 40'000) {
+  net::Packet packet;
+  packet.src = src;
+  packet.dst = dst;
+  packet.src_port = src_port;
+  packet.dst_port = dst_port;
+  packet.transport = net::Transport::kTcp;
+  packet.tcp_flags = net::TcpFlags::kSyn;
+  return packet;
+}
+
+TEST(ProtocolForPort, MapsIotPorts) {
+  EXPECT_EQ(protocol_for_port(23), proto::Protocol::kTelnet);
+  EXPECT_EQ(protocol_for_port(2323), proto::Protocol::kTelnet);
+  EXPECT_EQ(protocol_for_port(1883), proto::Protocol::kMqtt);
+  EXPECT_EQ(protocol_for_port(5683), proto::Protocol::kCoap);
+  EXPECT_EQ(protocol_for_port(5672), proto::Protocol::kAmqp);
+  EXPECT_EQ(protocol_for_port(5222), proto::Protocol::kXmpp);
+  EXPECT_EQ(protocol_for_port(1900), proto::Protocol::kUpnp);
+  EXPECT_FALSE(protocol_for_port(443));
+  EXPECT_FALSE(protocol_for_port(0));
+}
+
+TEST(Telescope, AggregatesRepeatedPacketsIntoOneTuplePerMinute) {
+  Telescope telescope(*util::Cidr::parse("44.0.0.0/8"));
+  const auto packet = syn(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(44, 0, 0, 1), 23);
+  telescope.observe(packet, sim::seconds(10));
+  telescope.observe(packet, sim::seconds(20));
+  telescope.observe(packet, sim::minutes(2));  // next minute bucket
+
+  const auto tuples = telescope.tuples();
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0].packet_count, 2u);
+  EXPECT_EQ(tuples[1].packet_count, 1u);
+  EXPECT_EQ(telescope.total_packets(), 3u);
+  EXPECT_EQ(tuples[0].byte_count, 2 * packet.wire_size());
+}
+
+TEST(Telescope, DistinguishesFlowsByPorts) {
+  Telescope telescope(*util::Cidr::parse("44.0.0.0/8"));
+  telescope.observe(syn(Ipv4Addr(1), Ipv4Addr(44 << 24 | 1), 23, 1000), 0);
+  telescope.observe(syn(Ipv4Addr(1), Ipv4Addr(44 << 24 | 1), 23, 1001), 0);
+  EXPECT_EQ(telescope.tuples().size(), 2u);
+}
+
+TEST(Telescope, TracksProtocolsAndUniqueSources) {
+  Telescope telescope(*util::Cidr::parse("44.0.0.0/8"));
+  telescope.observe(syn(Ipv4Addr(1), Ipv4Addr(44 << 24 | 1), 23), 0);
+  telescope.observe(syn(Ipv4Addr(1), Ipv4Addr(44 << 24 | 2), 23), 0);
+  telescope.observe(syn(Ipv4Addr(2), Ipv4Addr(44 << 24 | 3), 23), 0);
+  telescope.observe(syn(Ipv4Addr(3), Ipv4Addr(44 << 24 | 4), 1883), 0);
+
+  EXPECT_EQ(telescope.packets_for(proto::Protocol::kTelnet), 3u);
+  EXPECT_EQ(telescope.unique_sources_for(proto::Protocol::kTelnet), 2u);
+  EXPECT_EQ(telescope.packets_for(proto::Protocol::kMqtt), 1u);
+  EXPECT_EQ(telescope.all_sources().size(), 3u);
+  EXPECT_EQ(telescope.unique_sources_for(proto::Protocol::kCoap), 0u);
+}
+
+TEST(Telescope, DailyAverage) {
+  Telescope telescope(*util::Cidr::parse("44.0.0.0/8"));
+  for (int i = 0; i < 60; ++i) {
+    telescope.observe(
+        syn(Ipv4Addr(static_cast<std::uint32_t>(i)), Ipv4Addr(44 << 24 | 1), 23),
+        0);
+  }
+  EXPECT_DOUBLE_EQ(telescope.daily_average_for(proto::Protocol::kTelnet, 30),
+                   2.0);
+  EXPECT_DOUBLE_EQ(telescope.daily_average_for(proto::Protocol::kTelnet, 0),
+                   0.0);
+}
+
+TEST(Telescope, RecordsSpoofedAndMasscanAnnotations) {
+  Telescope telescope(*util::Cidr::parse("44.0.0.0/8"));
+  auto packet = syn(Ipv4Addr(9), Ipv4Addr(44 << 24 | 9), 23);
+  packet.spoofed_src = true;
+  packet.from_masscan = true;
+  telescope.observe(packet, 0);
+  EXPECT_EQ(telescope.spoofed_packets(), 1u);
+  EXPECT_EQ(telescope.masscan_packets(), 1u);
+  const auto tuples = telescope.tuples();
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_TRUE(tuples[0].is_spoofed);
+  EXPECT_TRUE(tuples[0].is_masscan);
+}
+
+class TelescopeFabricTest : public SimTest {};
+
+TEST_F(TelescopeFabricTest, CapturesDarknetTrafficViaFabric) {
+  Telescope telescope(*util::Cidr::parse("44.0.0.0/8"));
+  telescope.attach(fabric_);
+  PlainHost scanner(Ipv4Addr(7, 7, 7, 7));
+  scanner.attach(fabric_);
+
+  for (int i = 0; i < 10; ++i) {
+    net::Packet packet = syn(scanner.address(),
+                             Ipv4Addr(44, 1, 2, static_cast<std::uint8_t>(i)),
+                             23);
+    fabric_.send(std::move(packet));
+  }
+  run();
+  EXPECT_EQ(telescope.total_packets(), 10u);
+  EXPECT_EQ(telescope.unique_sources_for(proto::Protocol::kTelnet), 1u);
+}
+
+TEST_F(TelescopeFabricTest, NonDarknetTrafficIsNotCaptured) {
+  Telescope telescope(*util::Cidr::parse("44.0.0.0/8"));
+  telescope.attach(fabric_);
+  PlainHost a(Ipv4Addr(7, 7, 7, 7)), b(Ipv4Addr(8, 8, 8, 8));
+  a.attach(fabric_);
+  b.attach(fabric_);
+  a.udp().send(b.address(), 53, util::to_bytes("query"));
+  run();
+  EXPECT_EQ(telescope.total_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace ofh::telescope

@@ -1,0 +1,34 @@
+// Shared fixtures: a simulation + fabric pair and a plain host for driving
+// client-side protocol interactions in tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "net/host.h"
+#include "sim/simulation.h"
+
+namespace ofh::test {
+
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest() : fabric_(sim_, /*seed=*/7) {
+    fabric_.set_latency(sim::msec(5), sim::msec(1));
+  }
+
+  // Runs the simulation until idle or the deadline.
+  void run(sim::Duration budget = sim::minutes(10)) {
+    sim_.run_until(sim_.now() + budget);
+  }
+
+  sim::Simulation sim_;
+  net::Fabric fabric_;
+};
+
+// A bare host usable as a client endpoint.
+class PlainHost : public net::Host {
+ public:
+  using net::Host::Host;
+};
+
+}  // namespace ofh::test
