@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI entry point: builds and tests the two configurations that gate every
+# change, both with -Werror.
+#
+#   1. ci           — RelWithDebInfo, the tier-1 verify configuration
+#   2. ci-asan-ubsan — Debug + AddressSanitizer + UndefinedBehaviorSanitizer;
+#                      the adversarial decode harness runs here, so any OOB
+#                      read or UB in a codec fails the job
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast  run only the codec-labelled tests in the sanitizer pass
+#           (the quick pre-push loop; full CI runs everything)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
+
+echo "==> [1/2] RelWithDebInfo + -Werror"
+cmake --preset ci
+cmake --build --preset ci -j "$(nproc)"
+ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
+
+echo "==> [2/2] ASan+UBSan + -Werror"
+cmake --preset ci-asan-ubsan
+cmake --build --preset ci-asan-ubsan -j "$(nproc)"
+# halt_on_error makes the first sanitizer report fail the test instead of
+# being a log line someone has to notice.
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+if [[ "$FAST" == "1" ]]; then
+  ctest --test-dir build-ci-asan -L codec --output-on-failure -j "$(nproc)"
+else
+  ctest --test-dir build-ci-asan --output-on-failure -j "$(nproc)"
+fi
+
+echo "==> CI green"

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Convenience wrapper: run clang-tidy (repo-root .clang-tidy config) over all
+# of src/ using a compile database. Generates the database with the default
+# preset if none exists yet.
+#
+# Usage: scripts/run_tidy.sh [extra clang-tidy args...]
+#   e.g. scripts/run_tidy.sh --fix
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not found on PATH." >&2
+  echo "Install LLVM/clang tooling, then re-run. The build itself does not" >&2
+  echo "need clang: gcc + the asan-ubsan preset covers the runtime checks." >&2
+  exit 1
+fi
+
+# Prefer an existing compile database; otherwise configure the default preset.
+DB_DIR=""
+for d in build build-ci build-asan build-tidy; do
+  if [[ -f "$d/compile_commands.json" ]]; then
+    DB_DIR="$d"
+    break
+  fi
+done
+if [[ -z "$DB_DIR" ]]; then
+  echo "==> No compile database found; configuring the 'default' preset"
+  cmake --preset default >/dev/null
+  DB_DIR=build
+fi
+
+mapfile -t FILES < <(find src -name '*.cpp' | sort)
+echo "==> clang-tidy over ${#FILES[@]} files (database: $DB_DIR)"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "$DB_DIR" -quiet "$@" "${FILES[@]}"
+else
+  clang-tidy -p "$DB_DIR" --quiet "$@" "${FILES[@]}"
+fi

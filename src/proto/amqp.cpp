@@ -13,9 +13,8 @@ util::Bytes protocol_header() {
 }
 
 bool is_protocol_header(std::span<const std::uint8_t> data) {
-  const auto expected = protocol_header();
-  return data.size() >= 8 &&
-         std::equal(expected.begin(), expected.end(), data.begin());
+  util::ByteReader reader(data);
+  return reader.expect(protocol_header());
 }
 
 util::Bytes encode_frame(const Frame& frame) {

@@ -4,6 +4,35 @@
 
 namespace ofh::proto::ftp {
 
+std::optional<Command> decode_command(std::string_view line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.remove_suffix(1);
+  }
+  const auto space = line.find(' ');
+  const std::string_view verb =
+      space == std::string_view::npos ? line : line.substr(0, space);
+  if (verb.empty()) return std::nullopt;
+  for (const char c : verb) {
+    if (static_cast<unsigned char>(c) < 0x21 ||
+        static_cast<unsigned char>(c) > 0x7e) {
+      return std::nullopt;
+    }
+  }
+  Command command;
+  command.verb = util::to_lower(verb);
+  if (space != std::string_view::npos) {
+    command.arg = std::string(line.substr(space + 1));
+  }
+  return command;
+}
+
+util::Bytes encode_command(const Command& command) {
+  std::string line = command.verb;
+  if (!command.arg.empty()) line += " " + command.arg;
+  line += "\r\n";
+  return util::to_bytes(line);
+}
+
 struct FtpServer::State {
   std::map<std::string, std::string> files;
 };
@@ -66,11 +95,13 @@ void FtpServer::install(net::Host& host) {
           continue;
         }
 
-        const auto space = line.find(' ');
-        const std::string verb = util::to_lower(
-            space == std::string::npos ? line : line.substr(0, space));
-        const std::string arg =
-            space == std::string::npos ? "" : line.substr(space + 1);
+        const auto command = decode_command(line);
+        if (!command) {
+          conn.send_text("500 Unknown command.\r\n");
+          continue;
+        }
+        const std::string& verb = command->verb;
+        const std::string& arg = command->arg;
 
         if (verb == "user") {
           session->user = arg;

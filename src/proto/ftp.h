@@ -7,13 +7,26 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "net/host.h"
 #include "proto/service.h"
 #include "util/bytes.h"
 
 namespace ofh::proto::ftp {
+
+// A control-channel command line: lowercased verb plus raw argument.
+struct Command {
+  std::string verb;
+  std::string arg;
+};
+
+// Parses one CRLF-stripped control line, e.g. "USER anonymous". Rejects
+// empty lines and lines whose verb contains non-printable bytes.
+std::optional<Command> decode_command(std::string_view line);
+util::Bytes encode_command(const Command& command);
 
 struct FtpServerConfig {
   std::uint16_t port = 21;

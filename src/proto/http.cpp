@@ -73,7 +73,7 @@ std::optional<Response> decode_response(std::string_view text) {
   const auto parts = util::split(util::trim(lines[0]), ' ');
   if (parts.size() < 2) return std::nullopt;
   Response response;
-  response.status = std::atoi(parts[1].c_str());
+  response.status = static_cast<int>(util::parse_i64(parts[1]));
   if (parts.size() > 2) response.reason = parts[2];
   std::map<std::string, std::string> headers;
   parse_headers(lines, 1, headers);
@@ -176,7 +176,7 @@ void HttpClient::get(net::Host& from, util::Ipv4Addr target,
         const std::size_t expected =
             it == response->headers.end()
                 ? 0
-                : static_cast<std::size_t>(std::atol(it->second.c_str()));
+                : static_cast<std::size_t>(util::parse_u64(it->second));
         if (response->body.size() >= expected) {
           if (*callback) {
             (*callback)(response);

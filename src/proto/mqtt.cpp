@@ -9,44 +9,31 @@ namespace ofh::proto::mqtt {
 
 std::optional<FixedHeader> decode_fixed_header(
     std::span<const std::uint8_t> data) {
-  if (data.size() < 2) return std::nullopt;
-  FixedHeader header;
-  const std::uint8_t first = data[0];
-  const auto type = first >> 4;
+  util::ByteReader reader(data);
+  const auto first = reader.u8();
+  if (!first) return std::nullopt;
+  const auto type = *first >> 4;
   if (type < 1 || type > 14) return std::nullopt;
-  header.type = static_cast<PacketType>(type);
-  header.flags = first & 0x0f;
-
   // Remaining length: up to 4 base-128 digits, little-endian, msb=continue.
-  std::uint32_t value = 0;
-  std::uint32_t multiplier = 1;
-  std::size_t i = 1;
-  for (;; ++i) {
-    if (i >= data.size() || i > 4) return std::nullopt;
-    const std::uint8_t digit = data[i];
-    value += (digit & 0x7f) * multiplier;
-    multiplier *= 128;
-    if ((digit & 0x80) == 0) break;
-  }
-  header.remaining_length = value;
-  header.header_size = i + 1;
+  const auto remaining_length = reader.varu32(4);
+  if (!remaining_length) return std::nullopt;
+
+  FixedHeader header;
+  header.type = static_cast<PacketType>(type);
+  header.flags = *first & 0x0f;
+  header.remaining_length = *remaining_length;
+  header.header_size = reader.position();
   return header;
 }
 
 util::Bytes encode_packet(PacketType type, std::uint8_t flags,
                           std::span<const std::uint8_t> body) {
-  util::Bytes out;
-  out.push_back(static_cast<std::uint8_t>(
+  util::ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(
       (static_cast<std::uint8_t>(type) << 4) | (flags & 0x0f)));
-  std::uint32_t remaining = static_cast<std::uint32_t>(body.size());
-  do {
-    std::uint8_t digit = remaining % 128;
-    remaining /= 128;
-    if (remaining > 0) digit |= 0x80;
-    out.push_back(digit);
-  } while (remaining > 0);
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  out.varu32(static_cast<std::uint32_t>(body.size()));
+  out.raw(body);
+  return out.take();
 }
 
 util::Bytes encode_connect(const ConnectPacket& packet) {
@@ -240,8 +227,8 @@ void Broker::install(net::Host& host) {
         const std::size_t frame_size =
             header->header_size + header->remaining_length;
         if (inbox.size() < frame_size) return;
-        const std::span<const std::uint8_t> body(
-            inbox.data() + header->header_size, header->remaining_length);
+        const auto body = std::span<const std::uint8_t>(inbox).subspan(
+            header->header_size, header->remaining_length);
 
         switch (header->type) {
           case PacketType::kConnect: {

@@ -4,14 +4,17 @@
 
 namespace ofh::proto::smb {
 
+namespace {
+constexpr std::uint8_t kSmbMagic[4] = {0xff, 'S', 'M', 'B'};
+}  // namespace
+
 util::Bytes encode_frame(const SmbFrame& frame) {
   util::ByteWriter out;
   // NetBIOS session header: type 0, 3-byte length.
   const std::uint32_t length = 5 + static_cast<std::uint32_t>(
                                        frame.payload.size());
-  out.u8(0).u8(static_cast<std::uint8_t>(length >> 16))
-      .u16(static_cast<std::uint16_t>(length));
-  out.u8(0xff).text("SMB").u8(static_cast<std::uint8_t>(frame.command));
+  out.u8(0).u24(length);
+  out.raw(kSmbMagic).u8(static_cast<std::uint8_t>(frame.command));
   out.raw(frame.payload);
   return out.take();
 }
@@ -20,19 +23,13 @@ std::optional<SmbFrame> decode_frame(std::span<const std::uint8_t> data,
                                      std::size_t* consumed) {
   util::ByteReader reader(data);
   const auto type = reader.u8();
-  const auto len_hi = reader.u8();
-  const auto len_lo = reader.u16();
-  if (!type || !len_hi || !len_lo) return std::nullopt;
-  const std::uint32_t length = (std::uint32_t{*len_hi} << 16) | *len_lo;
-  if (length < 5 || reader.remaining() < length) return std::nullopt;
-  const auto magic = reader.raw(4);
+  const auto length = reader.u24();
+  if (!type || !length) return std::nullopt;
+  if (*length < 5 || reader.remaining() < *length) return std::nullopt;
+  if (!reader.expect(kSmbMagic)) return std::nullopt;
   const auto command = reader.u8();
-  if (!magic || !command) return std::nullopt;
-  if ((*magic)[0] != 0xff || (*magic)[1] != 'S' || (*magic)[2] != 'M' ||
-      (*magic)[3] != 'B') {
-    return std::nullopt;
-  }
-  const auto payload = reader.raw(length - 5);
+  if (!command) return std::nullopt;
+  const auto payload = reader.raw(*length - 5);
   if (!payload) return std::nullopt;
   SmbFrame frame;
   frame.command = static_cast<Command>(*command);

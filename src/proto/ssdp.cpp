@@ -43,7 +43,7 @@ std::optional<MSearch> decode_msearch(std::span<const std::uint8_t> data) {
     request.search_target = st->second;
   }
   if (const auto mx = headers.find("mx"); mx != headers.end()) {
-    request.mx = std::atoi(mx->second.c_str());
+    request.mx = static_cast<int>(util::parse_i64(mx->second));
   }
   return request;
 }

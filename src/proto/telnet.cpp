@@ -6,34 +6,37 @@ namespace ofh::proto::telnet {
 
 DecodeResult decode(std::span<const std::uint8_t> data) {
   DecodeResult out;
-  std::size_t i = 0;
-  while (i < data.size()) {
-    const std::uint8_t byte = data[i];
+  util::ByteReader reader(data);
+  while (!reader.done()) {
+    const std::uint8_t byte = *reader.u8();
     if (byte != kIac) {
       out.text.push_back(static_cast<char>(byte));
-      ++i;
       continue;
     }
-    if (i + 1 >= data.size()) break;
-    const std::uint8_t command = data[i + 1];
-    if (command == kIac) {  // escaped literal 0xff
+    const auto command = reader.u8();
+    if (!command) break;  // trailing lone IAC: drop
+    if (*command == kIac) {  // escaped literal 0xff
       out.text.push_back(static_cast<char>(kIac));
-      i += 2;
-    } else if (command == kSb) {
-      // Skip to IAC SE.
-      std::size_t j = i + 2;
-      while (j + 1 < data.size() &&
-             !(data[j] == kIac && data[j + 1] == kSe)) {
-        ++j;
+    } else if (*command == kSb) {
+      // Skip to IAC SE; a subnegotiation cut off by the end of the buffer
+      // drops the remainder.
+      for (;;) {
+        const auto sub = reader.u8();
+        if (!sub) return out;
+        if (*sub != kIac) continue;
+        const auto next = reader.peek_u8();
+        if (!next) return out;
+        if (*next == kSe) {
+          reader.skip(1);
+          break;
+        }
       }
-      i = j + 2;
-    } else if (command >= kWill && command <= kDont) {
-      if (i + 2 >= data.size()) break;
-      out.negotiations.push_back({command, data[i + 2]});
-      i += 3;
-    } else {
-      i += 2;  // two-byte command (NOP, GA, ...)
+    } else if (*command >= kWill && *command <= kDont) {
+      const auto option = reader.u8();
+      if (!option) break;  // truncated negotiation: drop
+      out.negotiations.push_back({*command, *option});
     }
+    // Anything else is a two-byte command (NOP, GA, ...): already consumed.
   }
   return out;
 }

@@ -4,11 +4,31 @@
 
 namespace ofh::proto::xmpp {
 
+namespace {
+
+// Finds "<tag" only where the name ends at a real delimiter, so that tag
+// "mechanism" does not match inside "<mechanisms ...>".
+std::size_t find_open_tag(std::string_view xml, std::string_view tag,
+                          std::size_t from = 0) {
+  const std::string open = "<" + std::string(tag);
+  while (from <= xml.size()) {
+    const auto start = xml.find(open, from);
+    if (start == std::string_view::npos) return std::string_view::npos;
+    const auto after = start + open.size();
+    if (after >= xml.size()) return std::string_view::npos;
+    const char c = xml[after];
+    if (c == '>' || c == '/' || c == ' ' || c == '\t') return start;
+    from = start + 1;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
 std::optional<std::string> extract_element(std::string_view xml,
                                            std::string_view tag) {
-  const std::string open = "<" + std::string(tag);
   const std::string close = "</" + std::string(tag) + ">";
-  const auto start = xml.find(open);
+  const auto start = find_open_tag(xml, tag);
   if (start == std::string_view::npos) return std::nullopt;
   const auto content_start = xml.find('>', start);
   if (content_start == std::string_view::npos) return std::nullopt;
@@ -38,8 +58,7 @@ std::vector<std::string> extract_all_elements(std::string_view xml,
 std::optional<std::string> extract_attribute(std::string_view xml,
                                              std::string_view tag,
                                              std::string_view attribute) {
-  const std::string open = "<" + std::string(tag);
-  const auto start = xml.find(open);
+  const auto start = find_open_tag(xml, tag);
   if (start == std::string_view::npos) return std::nullopt;
   const auto end = xml.find('>', start);
   if (end == std::string_view::npos) return std::nullopt;

@@ -1,5 +1,15 @@
 // Byte-buffer reader/writer with network (big-endian) integer accessors.
 // All wire codecs in src/proto are built on these two types.
+//
+// Invariants (see DESIGN.md "Bounds-checked codec layer"):
+//  * Every read checks remaining() before touching the buffer; an underflow
+//    returns nullopt and latches a typed error — it never reads out of
+//    bounds and never throws.
+//  * The first failure wins: error() / error_offset() report where a decode
+//    went wrong, and every later accessor keeps failing (no resynchronizing
+//    on attacker-controlled input).
+//  * Writers never silently truncate: a str8/str16 whose payload exceeds the
+//    length prefix latches kLengthOverflow instead of masking the size.
 #pragma once
 
 #include <cstdint>
@@ -14,11 +24,34 @@ namespace ofh::util {
 
 using Bytes = std::vector<std::uint8_t>;
 
+// Why a decode failed. Codecs surface nullopt to callers; the reader keeps
+// the typed reason so harnesses and logs can distinguish a truncated frame
+// from a malformed one.
+enum class CodecError : std::uint8_t {
+  kNone = 0,
+  kUnderflow,       // read past the end of the buffer
+  kBadVarint,       // unterminated or overlong base-128 varint
+  kMismatch,        // expect() found different bytes than required
+  kLengthOverflow,  // writer: payload does not fit its length prefix
+};
+
+constexpr std::string_view codec_error_name(CodecError error) {
+  switch (error) {
+    case CodecError::kNone: return "none";
+    case CodecError::kUnderflow: return "underflow";
+    case CodecError::kBadVarint: return "bad-varint";
+    case CodecError::kMismatch: return "mismatch";
+    case CodecError::kLengthOverflow: return "length-overflow";
+  }
+  return "?";
+}
+
 inline Bytes to_bytes(std::string_view text) {
   return Bytes(text.begin(), text.end());
 }
 
 inline std::string to_string(std::span<const std::uint8_t> data) {
+  if (data.empty()) return {};  // data() may be null; keep the ctor in-bounds
   return std::string(reinterpret_cast<const char*>(data.data()), data.size());
 }
 
@@ -34,14 +67,26 @@ class ByteWriter {
     buf_.push_back(static_cast<std::uint8_t>(v));
     return *this;
   }
+  ByteWriter& u24(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    return u16(static_cast<std::uint16_t>(v));
+  }
   ByteWriter& u32(std::uint32_t v) {
     u16(static_cast<std::uint16_t>(v >> 16));
-    u16(static_cast<std::uint16_t>(v));
-    return *this;
+    return u16(static_cast<std::uint16_t>(v));
   }
   ByteWriter& u64(std::uint64_t v) {
     u32(static_cast<std::uint32_t>(v >> 32));
-    u32(static_cast<std::uint32_t>(v));
+    return u32(static_cast<std::uint32_t>(v));
+  }
+  // MQTT-style base-128 varint: little-endian digits, msb = continue.
+  ByteWriter& varu32(std::uint32_t v) {
+    do {
+      std::uint8_t digit = v % 128;
+      v /= 128;
+      if (v > 0) digit |= 0x80;
+      buf_.push_back(digit);
+    } while (v > 0);
     return *this;
   }
   ByteWriter& raw(std::span<const std::uint8_t> data) {
@@ -53,25 +98,39 @@ class ByteWriter {
     return *this;
   }
   // Length-prefixed string (u8 or u16 length), common in MQTT/AMQP framing.
+  // A payload longer than the prefix can express latches kLengthOverflow
+  // rather than emitting a frame whose length field lies about its body.
   ByteWriter& str8(std::string_view s) {
+    if (s.size() > 0xff) return fail(CodecError::kLengthOverflow);
     u8(static_cast<std::uint8_t>(s.size()));
     return text(s);
   }
   ByteWriter& str16(std::string_view s) {
+    if (s.size() > 0xffff) return fail(CodecError::kLengthOverflow);
     u16(static_cast<std::uint16_t>(s.size()));
     return text(s);
   }
+
+  bool ok() const { return error_ == CodecError::kNone; }
+  CodecError error() const { return error_; }
 
   std::size_t size() const { return buf_.size(); }
   const Bytes& bytes() const& { return buf_; }
   Bytes take() { return std::move(buf_); }
 
  private:
+  ByteWriter& fail(CodecError error) {
+    if (error_ == CodecError::kNone) error_ = error;
+    return *this;
+  }
+
   Bytes buf_;
+  CodecError error_ = CodecError::kNone;
 };
 
 // Sequential reader over a byte span. All accessors return nullopt on
-// underflow instead of throwing so codecs can reject truncated frames.
+// underflow instead of throwing so codecs can reject truncated frames; the
+// reader additionally latches the first CodecError with its offset.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -80,28 +139,91 @@ class ByteReader {
   std::size_t position() const { return pos_; }
   bool done() const { return pos_ == data_.size(); }
 
+  bool ok() const { return error_ == CodecError::kNone; }
+  CodecError error() const { return error_; }
+  // Buffer offset at which the latched error occurred.
+  std::size_t error_offset() const { return error_pos_; }
+
   std::optional<std::uint8_t> u8() {
-    if (remaining() < 1) return std::nullopt;
+    if (!check(1)) return std::nullopt;
     return data_[pos_++];
   }
+  // Reads the next byte without consuming it.
+  std::optional<std::uint8_t> peek_u8() {
+    if (!ok() || remaining() < 1) return std::nullopt;  // peek never latches
+    return data_[pos_];
+  }
   std::optional<std::uint16_t> u16() {
-    if (remaining() < 2) return std::nullopt;
+    if (!check(2)) return std::nullopt;
     const std::uint16_t v = (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1];
     pos_ += 2;
     return v;
   }
+  std::optional<std::uint32_t> u24() {
+    if (!check(3)) return std::nullopt;
+    const std::uint32_t v = (std::uint32_t{data_[pos_]} << 16) |
+                            (std::uint32_t{data_[pos_ + 1]} << 8) |
+                            data_[pos_ + 2];
+    pos_ += 3;
+    return v;
+  }
   std::optional<std::uint32_t> u32() {
+    if (!check(4)) return std::nullopt;
     const auto hi = u16();
-    if (!hi) return std::nullopt;
     const auto lo = u16();
-    if (!lo) return std::nullopt;
     return (std::uint32_t{*hi} << 16) | *lo;
   }
+  std::optional<std::uint64_t> u64() {
+    if (!check(8)) return std::nullopt;
+    const auto hi = u32();
+    const auto lo = u32();
+    return (std::uint64_t{*hi} << 32) | *lo;
+  }
+  // MQTT-style base-128 varint: little-endian digits, msb = continue.
+  // Rejects values longer than max_digits (overlong encodings included) and
+  // varints cut off by the end of the buffer.
+  std::optional<std::uint32_t> varu32(std::size_t max_digits = 4) {
+    if (!ok()) return std::nullopt;
+    std::uint32_t value = 0;
+    std::uint32_t multiplier = 1;
+    for (std::size_t digits = 0;; ++digits) {
+      if (digits >= max_digits) return fail_at(CodecError::kBadVarint, pos_);
+      if (remaining() < 1) return fail_at(CodecError::kUnderflow, pos_);
+      const std::uint8_t digit = data_[pos_++];
+      value += (digit & 0x7f) * multiplier;
+      multiplier *= 128;
+      if ((digit & 0x80) == 0) break;
+    }
+    return value;
+  }
   std::optional<std::span<const std::uint8_t>> raw(std::size_t n) {
-    if (remaining() < n) return std::nullopt;
+    if (!check(n)) return std::nullopt;
     auto out = data_.subspan(pos_, n);
     pos_ += n;
     return out;
+  }
+  // Consumes n bytes without producing them.
+  bool skip(std::size_t n) {
+    if (!check(n)) return false;
+    pos_ += n;
+    return true;
+  }
+  // Consumes expected.size() bytes and requires them to match exactly
+  // (protocol magics, frame markers).
+  bool expect(std::span<const std::uint8_t> expected) {
+    if (!check(expected.size())) return false;
+    if (!std::equal(expected.begin(), expected.end(),
+                    data_.begin() + static_cast<std::ptrdiff_t>(pos_))) {
+      fail_at(CodecError::kMismatch, pos_);
+      return false;
+    }
+    pos_ += expected.size();
+    return true;
+  }
+  bool expect_text(std::string_view expected) {
+    return expect(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(expected.data()),
+        expected.size()));
   }
   std::optional<std::string> str(std::size_t n) {
     const auto span = raw(n);
@@ -123,8 +245,27 @@ class ByteReader {
   std::span<const std::uint8_t> rest() const { return data_.subspan(pos_); }
 
  private:
+  // Latches the first error; all subsequent accessors keep failing.
+  bool check(std::size_t need) {
+    if (!ok()) return false;
+    if (remaining() < need) {
+      fail_at(CodecError::kUnderflow, pos_);
+      return false;
+    }
+    return true;
+  }
+  std::nullopt_t fail_at(CodecError error, std::size_t offset) {
+    if (error_ == CodecError::kNone) {
+      error_ = error;
+      error_pos_ = offset;
+    }
+    return std::nullopt;
+  }
+
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+  CodecError error_ = CodecError::kNone;
+  std::size_t error_pos_ = 0;
 };
 
 }  // namespace ofh::util

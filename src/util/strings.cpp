@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <limits>
 
 namespace ofh::util {
 
@@ -51,6 +52,52 @@ bool icontains(std::string_view haystack, std::string_view needle) {
 
 bool starts_with(std::string_view text, std::string_view prefix) {
   return text.substr(0, prefix.size()) == prefix;
+}
+
+std::int64_t parse_i64(std::string_view text, std::int64_t fallback) {
+  text = trim(text);
+  bool negative = false;
+  if (!text.empty() && (text.front() == '-' || text.front() == '+')) {
+    negative = text.front() == '-';
+    text.remove_prefix(1);
+  }
+  bool any = false;
+  std::uint64_t magnitude = 0;
+  constexpr std::uint64_t kMax =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  const std::uint64_t limit = negative ? kMax + 1 : kMax;
+  for (const char c : text) {
+    if (c < '0' || c > '9') break;
+    any = true;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (magnitude > (limit - digit) / 10) {
+      magnitude = limit;  // saturate
+      break;
+    }
+    magnitude = magnitude * 10 + digit;
+  }
+  if (!any) return fallback;
+  // Unsigned negation is modular, so the cast maps kMax+1 to INT64_MIN
+  // without overflowing.
+  if (negative) return static_cast<std::int64_t>(-magnitude);
+  return static_cast<std::int64_t>(magnitude);
+}
+
+std::uint64_t parse_u64(std::string_view text, std::uint64_t fallback) {
+  text = trim(text);
+  if (!text.empty() && text.front() == '-') return fallback;
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  bool any = false;
+  std::uint64_t value = 0;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  for (const char c : text) {
+    if (c < '0' || c > '9') break;
+    any = true;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (kMax - digit) / 10) return kMax;  // saturate
+    value = value * 10 + digit;
+  }
+  return any ? value : fallback;
 }
 
 std::string with_commas(std::uint64_t n) {

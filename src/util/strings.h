@@ -1,6 +1,7 @@
 // Small string helpers shared by banner classifiers and report renderers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,6 +14,15 @@ std::string to_lower(std::string_view text);
 bool contains(std::string_view haystack, std::string_view needle);
 bool icontains(std::string_view haystack, std::string_view needle);
 bool starts_with(std::string_view text, std::string_view prefix);
+
+// Saturating decimal parse of an optionally-signed integer. Attacker-facing
+// header fields go through these instead of atoi/atol, whose behavior is
+// undefined on out-of-range input: leading whitespace is skipped, parsing
+// stops at the first non-digit, and out-of-range values clamp to the limits
+// of the return type. Returns fallback when no digits are present.
+std::int64_t parse_i64(std::string_view text, std::int64_t fallback = 0);
+// As parse_i64 but for non-negative sizes; negative values parse as fallback.
+std::uint64_t parse_u64(std::string_view text, std::uint64_t fallback = 0);
 
 // Renders n with thousands separators, e.g. 1832893 -> "1,832,893".
 std::string with_commas(std::uint64_t n);

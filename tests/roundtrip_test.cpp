@@ -7,6 +7,18 @@
 
 #include "classify/misconfig_rules.h"
 #include "devices/device.h"
+#include "proto/amqp.h"
+#include "proto/coap.h"
+#include "proto/ftp.h"
+#include "proto/http.h"
+#include "proto/modbus.h"
+#include "proto/mqtt.h"
+#include "proto/s7.h"
+#include "proto/smb.h"
+#include "proto/ssdp.h"
+#include "proto/ssh.h"
+#include "proto/telnet.h"
+#include "proto/xmpp.h"
 #include "scanner/scanner.h"
 #include "test_helpers.h"
 
@@ -153,6 +165,292 @@ TEST_P(LossyRoundTrip, FindingsRemainLabelCorrectUnderLoss) {
 
 INSTANTIATE_TEST_SUITE_P(LossRates, LossyRoundTrip,
                          ::testing::Values(0.0, 0.1, 0.25));
+
+// ------------------------------------------------------------------ codecs
+// Encode→decode identity for every wire codec: what a well-formed encoder
+// emits, the decoder must recover byte-for-byte. The adversarial harness
+// (proto_adversarial_test.cpp) covers the hostile direction; this covers
+// the cooperative one for all 14 codec entry points.
+
+TEST(CodecRoundTrip, TelnetNegotiations) {
+  const std::vector<proto::telnet::Negotiation> negotiations = {
+      {proto::telnet::kWill, proto::telnet::kOptEcho},
+      {proto::telnet::kDont, proto::telnet::kOptNaws},
+      {proto::telnet::kDo, proto::telnet::kOptSga}};
+  const auto decoded =
+      proto::telnet::decode(proto::telnet::encode_negotiation(negotiations));
+  ASSERT_EQ(decoded.negotiations.size(), negotiations.size());
+  for (std::size_t i = 0; i < negotiations.size(); ++i) {
+    EXPECT_EQ(decoded.negotiations[i].verb, negotiations[i].verb);
+    EXPECT_EQ(decoded.negotiations[i].option, negotiations[i].option);
+  }
+  EXPECT_TRUE(decoded.text.empty());
+}
+
+TEST(CodecRoundTrip, MqttConnect) {
+  proto::mqtt::ConnectPacket packet;
+  packet.client_id = "camera-7";
+  packet.username = "root";
+  packet.password = "vizxv";
+  packet.keep_alive = 120;
+  packet.clean_session = true;
+  const auto encoded = proto::mqtt::encode_connect(packet);
+  const auto header = proto::mqtt::decode_fixed_header(encoded);
+  ASSERT_TRUE(header);
+  ASSERT_EQ(header->type, proto::mqtt::PacketType::kConnect);
+  ASSERT_EQ(encoded.size(), header->header_size + header->remaining_length);
+  const auto decoded = proto::mqtt::decode_connect(
+      std::span(encoded).subspan(header->header_size));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->client_id, packet.client_id);
+  EXPECT_EQ(decoded->username, packet.username);
+  EXPECT_EQ(decoded->password, packet.password);
+  EXPECT_EQ(decoded->keep_alive, packet.keep_alive);
+  EXPECT_EQ(decoded->clean_session, packet.clean_session);
+}
+
+TEST(CodecRoundTrip, MqttPublishSubscribeConnack) {
+  proto::mqtt::PublishPacket publish;
+  publish.topic = "factory/line2/rpm";
+  publish.payload = util::to_bytes("1444");
+  publish.retain = true;
+  auto encoded = proto::mqtt::encode_publish(publish);
+  auto header = proto::mqtt::decode_fixed_header(encoded);
+  ASSERT_TRUE(header);
+  const auto decoded_publish = proto::mqtt::decode_publish(
+      std::span(encoded).subspan(header->header_size), header->flags);
+  ASSERT_TRUE(decoded_publish);
+  EXPECT_EQ(decoded_publish->topic, publish.topic);
+  EXPECT_EQ(decoded_publish->payload, publish.payload);
+  EXPECT_EQ(decoded_publish->retain, publish.retain);
+
+  proto::mqtt::SubscribePacket subscribe;
+  subscribe.packet_id = 99;
+  subscribe.topic_filters = {"#", "home/+/light"};
+  encoded = proto::mqtt::encode_subscribe(subscribe);
+  header = proto::mqtt::decode_fixed_header(encoded);
+  ASSERT_TRUE(header);
+  const auto decoded_subscribe = proto::mqtt::decode_subscribe(
+      std::span(encoded).subspan(header->header_size));
+  ASSERT_TRUE(decoded_subscribe);
+  EXPECT_EQ(decoded_subscribe->packet_id, subscribe.packet_id);
+  EXPECT_EQ(decoded_subscribe->topic_filters, subscribe.topic_filters);
+
+  encoded = proto::mqtt::encode_connack(
+      proto::mqtt::ConnectCode::kNotAuthorized, false);
+  header = proto::mqtt::decode_fixed_header(encoded);
+  ASSERT_TRUE(header);
+  const auto code = proto::mqtt::decode_connack(
+      std::span(encoded).subspan(header->header_size));
+  ASSERT_TRUE(code);
+  EXPECT_EQ(*code, proto::mqtt::ConnectCode::kNotAuthorized);
+}
+
+TEST(CodecRoundTrip, CoapMessage) {
+  proto::coap::Message message;
+  message.type = proto::coap::Type::kConfirmable;
+  message.code = proto::coap::Code::kGet;
+  message.message_id = 0x7a7a;
+  message.token = {0xde, 0xad, 0xbe, 0xef};
+  message.set_uri_path("/.well-known/core");
+  message.options.push_back(
+      proto::coap::Option{proto::coap::kOptionContentFormat, {40}});
+  message.payload = util::to_bytes("payload");
+  const auto decoded = proto::coap::decode(proto::coap::encode(message));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->type, message.type);
+  EXPECT_EQ(decoded->code, message.code);
+  EXPECT_EQ(decoded->message_id, message.message_id);
+  EXPECT_EQ(decoded->token, message.token);
+  EXPECT_EQ(decoded->uri_path(), "/.well-known/core");
+  EXPECT_EQ(decoded->payload, message.payload);
+}
+
+TEST(CodecRoundTrip, AmqpFrameAndMethods) {
+  proto::amqp::StartMethod start;
+  start.product = "RabbitMQ";
+  start.version = "2.8.4";
+  start.platform = "Erlang/OTP";
+  start.mechanisms = {"PLAIN", "AMQPLAIN", "ANONYMOUS"};
+  proto::amqp::Frame frame;
+  frame.type = proto::amqp::FrameType::kMethod;
+  frame.channel = 3;
+  frame.payload = proto::amqp::encode_start(start);
+
+  std::size_t consumed = 0;
+  const auto encoded = proto::amqp::encode_frame(frame);
+  const auto decoded = proto::amqp::decode_frame(encoded, &consumed);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(consumed, encoded.size());
+  EXPECT_EQ(decoded->type, frame.type);
+  EXPECT_EQ(decoded->channel, frame.channel);
+  const auto decoded_start = proto::amqp::decode_start(decoded->payload);
+  ASSERT_TRUE(decoded_start);
+  EXPECT_EQ(decoded_start->product, start.product);
+  EXPECT_EQ(decoded_start->version, start.version);
+  EXPECT_EQ(decoded_start->platform, start.platform);
+  EXPECT_EQ(decoded_start->mechanisms, start.mechanisms);
+
+  const proto::amqp::StartOkMethod start_ok{"PLAIN", "guest", "guest"};
+  const auto decoded_ok =
+      proto::amqp::decode_start_ok(proto::amqp::encode_start_ok(start_ok));
+  ASSERT_TRUE(decoded_ok);
+  EXPECT_EQ(decoded_ok->mechanism, start_ok.mechanism);
+  EXPECT_EQ(decoded_ok->user, start_ok.user);
+  EXPECT_EQ(decoded_ok->pass, start_ok.pass);
+}
+
+TEST(CodecRoundTrip, XmppStanzas) {
+  const auto auth = proto::xmpp::sasl_auth("PLAIN", "admin:admin");
+  EXPECT_EQ(proto::xmpp::extract_attribute(auth, "auth", "mechanism"),
+            "PLAIN");
+  EXPECT_EQ(proto::xmpp::extract_element(auth, "auth"), "admin:admin");
+
+  const auto features =
+      proto::xmpp::stream_features({"SCRAM-SHA-1", "PLAIN"}, false);
+  const auto mechanisms =
+      proto::xmpp::extract_all_elements(features, "mechanism");
+  ASSERT_EQ(mechanisms.size(), 2u);
+  EXPECT_EQ(mechanisms[0], "SCRAM-SHA-1");
+  EXPECT_EQ(mechanisms[1], "PLAIN");
+
+  const auto stanza = proto::xmpp::message_stanza("bot@c2.example", "ping");
+  EXPECT_EQ(proto::xmpp::extract_attribute(stanza, "message", "to"),
+            "bot@c2.example");
+  EXPECT_EQ(proto::xmpp::extract_element(stanza, "body"), "ping");
+}
+
+TEST(CodecRoundTrip, SsdpMSearchAndResponse) {
+  proto::ssdp::MSearch msearch;
+  msearch.search_target = "urn:dial-multiscreen-org:service:dial:1";
+  msearch.mx = 3;
+  const auto decoded_search =
+      proto::ssdp::decode_msearch(proto::ssdp::encode_msearch(msearch));
+  ASSERT_TRUE(decoded_search);
+  EXPECT_EQ(decoded_search->search_target, msearch.search_target);
+  EXPECT_EQ(decoded_search->mx, msearch.mx);
+
+  proto::ssdp::SearchResponse response;
+  response.st = "upnp:rootdevice";
+  response.usn = "uuid:2f40-11::upnp:rootdevice";
+  response.server = "Linux/3.14 UPnP/1.0 miniupnpd/2.0";
+  response.location = "http://192.168.1.1:5000/rootDesc.xml";
+  response.extra["Manufacturer"] = "Generic";
+  const auto decoded_response =
+      proto::ssdp::decode_response(proto::ssdp::encode_response(response));
+  ASSERT_TRUE(decoded_response);
+  EXPECT_EQ(decoded_response->st, response.st);
+  EXPECT_EQ(decoded_response->usn, response.usn);
+  EXPECT_EQ(decoded_response->server, response.server);
+  EXPECT_EQ(decoded_response->location, response.location);
+  EXPECT_EQ(decoded_response->extra.at("manufacturer"), "Generic");
+}
+
+TEST(CodecRoundTrip, HttpRequestAndResponse) {
+  proto::http::Request request;
+  request.method = "POST";
+  request.path = "/login";
+  request.headers["host"] = "10.0.0.2";
+  request.body = "user=admin&pass=admin";
+  const auto decoded_request = proto::http::decode_request(
+      util::to_string(proto::http::encode_request(request)));
+  ASSERT_TRUE(decoded_request);
+  EXPECT_EQ(decoded_request->method, request.method);
+  EXPECT_EQ(decoded_request->path, request.path);
+  EXPECT_EQ(decoded_request->headers.at("host"), "10.0.0.2");
+  EXPECT_EQ(decoded_request->body, request.body);
+
+  proto::http::Response response;
+  response.status = 401;
+  response.reason = "Unauthorized";
+  response.server = "lighttpd/1.4.35";
+  response.body = "<html>denied</html>";
+  const auto decoded_response = proto::http::decode_response(
+      util::to_string(proto::http::encode_response(response)));
+  ASSERT_TRUE(decoded_response);
+  EXPECT_EQ(decoded_response->status, response.status);
+  EXPECT_EQ(decoded_response->server, response.server);
+  EXPECT_EQ(decoded_response->body, response.body);
+}
+
+TEST(CodecRoundTrip, FtpCommand) {
+  const proto::ftp::Command command{"stor", "update.bin"};
+  const auto decoded = proto::ftp::decode_command(
+      util::to_string(proto::ftp::encode_command(command)));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->verb, command.verb);
+  EXPECT_EQ(decoded->arg, command.arg);
+  // Verbs are case-normalized on decode.
+  const auto upper = proto::ftp::decode_command("USER anonymous");
+  ASSERT_TRUE(upper);
+  EXPECT_EQ(upper->verb, "user");
+  EXPECT_EQ(upper->arg, "anonymous");
+}
+
+TEST(CodecRoundTrip, SshAuthRecord) {
+  const auto decoded = proto::ssh::decode_auth(
+      util::to_string(proto::ssh::encode_auth("root", "xc3511")));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->user, "root");
+  EXPECT_EQ(decoded->pass, "xc3511");
+}
+
+TEST(CodecRoundTrip, SmbFrame) {
+  proto::smb::SmbFrame frame;
+  frame.command = proto::smb::Command::kSessionSetup;
+  util::ByteWriter payload;
+  payload.str8("admin").str8("password1");
+  frame.payload = payload.take();
+
+  std::size_t consumed = 0;
+  const auto encoded = proto::smb::encode_frame(frame);
+  const auto decoded = proto::smb::decode_frame(encoded, &consumed);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(consumed, encoded.size());
+  EXPECT_EQ(decoded->command, frame.command);
+  EXPECT_EQ(decoded->payload, frame.payload);
+}
+
+TEST(CodecRoundTrip, ModbusRequest) {
+  proto::modbus::Request request;
+  request.transaction_id = 0x0102;
+  request.unit_id = 0xb1;
+  request.function = 0x10;
+  util::ByteWriter data;
+  data.u16(0x0010).u16(2).u8(4).u16(0xaaaa).u16(0x5555);
+  request.data = data.take();
+
+  std::size_t consumed = 0;
+  const auto encoded = proto::modbus::encode_request(request);
+  const auto decoded = proto::modbus::decode_request(encoded, &consumed);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(consumed, encoded.size());
+  EXPECT_EQ(decoded->transaction_id, request.transaction_id);
+  EXPECT_EQ(decoded->unit_id, request.unit_id);
+  EXPECT_EQ(decoded->function, request.function);
+  EXPECT_EQ(decoded->data, request.data);
+}
+
+TEST(CodecRoundTrip, S7Pdu) {
+  const auto payload = util::to_bytes("module-info");
+  std::size_t consumed = 0;
+  const auto encoded = proto::s7::encode_pdu(proto::s7::PduType::kUserData,
+                                             0x0666, payload);
+  const auto decoded = proto::s7::decode(encoded, &consumed);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(consumed, encoded.size());
+  EXPECT_FALSE(decoded->is_cotp_connect);
+  EXPECT_EQ(decoded->pdu_type, proto::s7::PduType::kUserData);
+  EXPECT_EQ(decoded->pdu_ref, 0x0666);
+  EXPECT_EQ(decoded->payload, payload);
+
+  std::size_t cotp_consumed = 0;
+  const auto cotp = proto::s7::decode(proto::s7::encode_cotp_connect(),
+                                      &cotp_consumed);
+  ASSERT_TRUE(cotp);
+  EXPECT_TRUE(cotp->is_cotp_connect);
+  EXPECT_EQ(cotp_consumed, proto::s7::encode_cotp_connect().size());
+}
 
 }  // namespace
 }  // namespace ofh

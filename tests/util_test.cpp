@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/bytes.h"
 #include "util/ipv4.h"
 #include "util/rng.h"
@@ -316,6 +318,108 @@ TEST(Summary, TracksMinMaxMean) {
   EXPECT_DOUBLE_EQ(summary.mean(), 5.0);
   EXPECT_DOUBLE_EQ(summary.min(), 2.0);
   EXPECT_DOUBLE_EQ(summary.max(), 8.0);
+}
+
+TEST(Bytes, ReaderLatchesTypedUnderflow) {
+  const Bytes data = {0x01, 0x02, 0x03};
+  ByteReader reader(data);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.u16());
+  EXPECT_FALSE(reader.u16());  // only one byte left
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.error(), CodecError::kUnderflow);
+  EXPECT_EQ(reader.error_offset(), 2u);
+  // First failure wins: the reader stays failed, even for reads that would
+  // fit, and never resynchronizes.
+  EXPECT_FALSE(reader.u8());
+  EXPECT_EQ(reader.position(), 2u);
+}
+
+TEST(Bytes, ReaderPeekAndSkip) {
+  const Bytes data = {0xaa, 0xbb, 0xcc};
+  ByteReader reader(data);
+  EXPECT_EQ(reader.peek_u8(), 0xaa);
+  EXPECT_EQ(reader.position(), 0u);  // peek does not consume
+  EXPECT_TRUE(reader.skip(2));
+  EXPECT_EQ(reader.peek_u8(), 0xcc);
+  EXPECT_FALSE(reader.skip(2));  // past the end
+  EXPECT_EQ(reader.error(), CodecError::kUnderflow);
+}
+
+TEST(Bytes, ReaderU24AndU64) {
+  ByteWriter writer;
+  writer.u24(0x00123456).u64(0x0102030405060708ull);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.u24(), 0x00123456u);
+  EXPECT_EQ(reader.u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(Bytes, VarintRoundTripAndRejection) {
+  for (const std::uint32_t value : {0u, 127u, 128u, 321u, 16383u, 2097151u,
+                                    268435455u}) {
+    ByteWriter writer;
+    writer.varu32(value);
+    ByteReader reader(writer.bytes());
+    EXPECT_EQ(reader.varu32(), value);
+    EXPECT_TRUE(reader.done());
+  }
+  // Overlong: five continuation digits exceed the 4-digit cap.
+  const Bytes overlong = {0x80, 0x80, 0x80, 0x80, 0x01};
+  ByteReader long_reader(overlong);
+  EXPECT_FALSE(long_reader.varu32());
+  EXPECT_EQ(long_reader.error(), CodecError::kBadVarint);
+  // Unterminated: buffer ends mid-varint.
+  const Bytes unterminated = {0x80, 0x80};
+  ByteReader cut_reader(unterminated);
+  EXPECT_FALSE(cut_reader.varu32());
+  EXPECT_EQ(cut_reader.error(), CodecError::kUnderflow);
+}
+
+TEST(Bytes, ExpectMatchesMagics) {
+  const Bytes data = {0xff, 'S', 'M', 'B', 0x72};
+  const std::uint8_t magic[4] = {0xff, 'S', 'M', 'B'};
+  ByteReader reader(data);
+  EXPECT_TRUE(reader.expect(magic));
+  EXPECT_EQ(reader.u8(), 0x72);
+
+  ByteReader wrong(data);
+  EXPECT_FALSE(wrong.expect_text("SMB1"));
+  EXPECT_EQ(wrong.error(), CodecError::kMismatch);
+  EXPECT_EQ(wrong.position(), 0u);  // mismatch consumes nothing
+}
+
+TEST(Bytes, WriterRefusesSilentTruncation) {
+  ByteWriter writer;
+  writer.str8(std::string(255, 'a'));
+  EXPECT_TRUE(writer.ok());
+  writer.str8(std::string(256, 'b'));  // does not fit a u8 length prefix
+  EXPECT_FALSE(writer.ok());
+  EXPECT_EQ(writer.error(), CodecError::kLengthOverflow);
+  ByteWriter wide;
+  wide.str16(std::string(70000, 'c'));
+  EXPECT_EQ(wide.error(), CodecError::kLengthOverflow);
+}
+
+TEST(Strings, ParseI64SaturatesInsteadOfUb) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("  -17"), -17);
+  EXPECT_EQ(parse_i64("+9"), 9);
+  EXPECT_EQ(parse_i64("12abc"), 12);
+  EXPECT_EQ(parse_i64("abc", -1), -1);
+  EXPECT_EQ(parse_i64(""), 0);
+  EXPECT_EQ(parse_i64("99999999999999999999999"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse_i64("-99999999999999999999999"),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Strings, ParseU64SaturatesInsteadOfUb) {
+  EXPECT_EQ(parse_u64("1832893"), 1832893u);
+  EXPECT_EQ(parse_u64("-5", 7), 7u);  // negative is not a size
+  EXPECT_EQ(parse_u64("", 3), 3u);
+  EXPECT_EQ(parse_u64("99999999999999999999999"),
+            std::numeric_limits<std::uint64_t>::max());
 }
 
 TEST(Table, RendersAlignedColumns) {
