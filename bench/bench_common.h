@@ -6,6 +6,8 @@
 // Flags: --scale=N        population scale denominator (default 512)
 //        --attack-scale=N attack-volume scale denominator (default 8)
 //        --seed=N         study seed (default 42)
+//        --threads=N      scan-phase worker threads (default 0 = one per
+//                         hardware thread; output is identical for any N)
 #pragma once
 
 #include <cstdio>
@@ -20,6 +22,7 @@ namespace ofh::bench {
 
 inline core::StudyConfig parse_config(int argc, char** argv) {
   core::StudyConfig config;
+  config.scan_threads = 0;  // benches default to one worker per hw thread
   double scale = 512;
   double attack_scale = 8;
   for (int i = 1; i < argc; ++i) {
@@ -29,6 +32,8 @@ inline core::StudyConfig parse_config(int argc, char** argv) {
       attack_scale = std::atof(argv[i] + 15);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       config.seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      config.scan_threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
     }
   }
   if (scale > 0) config.population_scale = 1.0 / scale;

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: builds and tests the two configurations that gate every
-# change, both with -Werror.
+# CI entry point: builds and tests the three configurations that gate every
+# change, all with -Werror.
 #
-#   1. ci           — RelWithDebInfo, the tier-1 verify configuration
+#   1. ci            — RelWithDebInfo, the tier-1 verify configuration
 #   2. ci-asan-ubsan — Debug + AddressSanitizer + UndefinedBehaviorSanitizer;
 #                      the adversarial decode harness runs here, so any OOB
 #                      read or UB in a codec fails the job
+#   3. ci-tsan       — Debug + ThreadSanitizer; runs only the thread-labelled
+#                      tests (the ones that spawn ThreadPool workers), so any
+#                      data race in the parallel sweep layer fails the job
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  run only the codec-labelled tests in the sanitizer pass
@@ -18,12 +21,12 @@ if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
 fi
 
-echo "==> [1/2] RelWithDebInfo + -Werror"
+echo "==> [1/3] RelWithDebInfo + -Werror"
 cmake --preset ci
 cmake --build --preset ci -j "$(nproc)"
 ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
 
-echo "==> [2/2] ASan+UBSan + -Werror"
+echo "==> [2/3] ASan+UBSan + -Werror"
 cmake --preset ci-asan-ubsan
 cmake --build --preset ci-asan-ubsan -j "$(nproc)"
 # halt_on_error makes the first sanitizer report fail the test instead of
@@ -35,5 +38,13 @@ if [[ "$FAST" == "1" ]]; then
 else
   ctest --test-dir build-ci-asan --output-on-failure -j "$(nproc)"
 fi
+
+echo "==> [3/3] TSan + -Werror (thread-labelled tests)"
+cmake --preset ci-tsan
+cmake --build --preset ci-tsan -j "$(nproc)"
+# second_deadlock_stack gives both lock orders when TSan reports a
+# lock-order inversion, not just the acquiring side.
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+ctest --test-dir build-ci-tsan -L thread --output-on-failure -j "$(nproc)"
 
 echo "==> CI green"

@@ -1,8 +1,83 @@
 #include "core/study.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "devices/paper_stats.h"
+#include "scanner/scanner.h"
+#include "sim/parallel.h"
 
 namespace ofh::core {
+namespace {
+
+std::uint64_t scale_count(std::uint64_t paper, double scale) {
+  if (paper == 0) return 0;
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(paper * scale + 0.5));
+}
+
+// One protocol sweep's output, produced on a worker thread.
+struct ScanShard {
+  std::vector<scanner::ScanRecord> records;  // in event (= time) order
+  std::uint64_t probes = 0;
+  sim::Time finished = 0;  // shard clock when the sweep resolved
+};
+
+// Runs one sweep on a private replica of the simulated Internet. The
+// replica repeats Study::setup_internet()'s allocation order exactly
+// (population build, then wild honeypots), so every address — devices and
+// honeypots alike — matches the main internet's; the telescope is omitted
+// because sweeps only target populated prefixes, never the darknet. Each
+// shard owns its Simulation, Fabric and ScanDb, so shards share no mutable
+// state and are free to run concurrently.
+ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
+                         std::uint64_t sweep_seed, sim::Time start) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim, config.seed);
+  fabric.set_latency(sim::msec(15), sim::msec(25));
+
+  devices::PopulationSpec spec;
+  spec.seed = config.seed;
+  spec.scale = config.population_scale;
+  devices::Population population(spec);
+  population.build();
+  population.attach_all(fabric);
+
+  std::vector<std::unique_ptr<honeynet::WildHoneypot>> honeypots;
+  for (const auto& signature : honeynet::honeypot_signatures()) {
+    const auto count =
+        scale_count(signature.paper_count, config.population_scale);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      honeypots.push_back(std::make_unique<honeynet::WildHoneypot>(
+          signature, population.allocate_extra()));
+      honeypots.back()->attach(fabric);
+    }
+  }
+
+  scanner::ScanDb db;
+  scanner::Scanner scanner(util::Ipv4Addr(192, 35, 168, 10), db);
+  scanner.attach(fabric);
+  if (start > sim.now()) sim.run_until(start);
+
+  scanner::ScanConfig scan;
+  scan.protocol = protocol;
+  scan.targets = population.prefixes();
+  scan.blocklist = scanner::default_blocklist();
+  scan.seed = sweep_seed;
+  scan.batch_size = config.scan_batch;
+  bool done = false;
+  scanner.start(scan, [&done] { done = true; });
+  while (!done && sim.step()) {
+  }
+
+  ScanShard shard;
+  shard.records = db.records();
+  shard.probes = db.probes_sent();
+  shard.finished = sim.now();
+  return shard;
+}
+
+}  // namespace
 
 Study::Study(StudyConfig config) : config_(config) {
   fabric_ = std::make_unique<net::Fabric>(sim_, config_.seed);
@@ -12,15 +87,11 @@ Study::Study(StudyConfig config) : config_(config) {
 Study::~Study() = default;
 
 std::uint64_t Study::scaled_population(std::uint64_t paper) const {
-  if (paper == 0) return 0;
-  return std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(paper * config_.population_scale + 0.5));
+  return scale_count(paper, config_.population_scale);
 }
 
 std::uint64_t Study::scaled_attack(std::uint64_t paper) const {
-  if (paper == 0) return 0;
-  return std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(paper * config_.attack_scale + 0.5));
+  return scale_count(paper, config_.attack_scale);
 }
 
 void Study::setup_internet() {
@@ -51,32 +122,45 @@ void Study::setup_internet() {
 }
 
 void Study::run_scan() {
-  scanner_ = std::make_unique<scanner::Scanner>(
-      util::Ipv4Addr(192, 35, 168, 10), scan_db_);  // the university host
-  scanner_->attach(*fabric_);
-
   // Six sweeps spread across one week at the paper's day offsets
   // (Appendix Table 9: CoAP Mar 1; UPnP+Telnet Mar 2; MQTT+AMQP Mar 4;
-  // XMPP Mar 5).
+  // XMPP Mar 5). Each sweep is an independent shard with a splitmix64-
+  // derived seed; shards execute on config_.scan_threads workers and their
+  // records merge by (time, shard, seq), so scan_db_ is byte-identical no
+  // matter how many threads ran (DESIGN.md "Threading model").
   static constexpr std::uint64_t kDayOffsets[] = {0, 1, 1, 3, 3, 4};
   const sim::Time scan_epoch = sim_.now();
-  std::size_t index = 0;
-  for (const auto protocol : proto::scanned_protocols()) {
-    const sim::Time start = scan_epoch + sim::days(kDayOffsets[index++]);
-    if (start > sim_.now()) sim_.run_until(start);
-    scan_dates_[protocol] = sim_.now();
+  const auto& protocols = proto::scanned_protocols();
 
-    scanner::ScanConfig scan;
-    scan.protocol = protocol;
-    scan.targets = population_->prefixes();
-    scan.blocklist = scanner::default_blocklist();
-    scan.seed = config_.seed ^ static_cast<std::uint64_t>(protocol);
-    scan.batch_size = config_.scan_batch;
-    bool done = false;
-    scanner_->start(scan, [&done] { done = true; });
-    while (!done && sim_.step()) {
-    }
+  std::vector<std::function<ScanShard()>> jobs;
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    const proto::Protocol protocol = protocols[i];
+    const sim::Time start = scan_epoch + sim::days(kDayOffsets[i]);
+    scan_dates_[protocol] = start;
+    const std::uint64_t sweep_seed = sim::shard_seed(config_.seed, i);
+    jobs.emplace_back([this, protocol, sweep_seed, start] {
+      return run_scan_shard(config_, protocol, sweep_seed, start);
+    });
   }
+  auto shards = sim::ParallelRunner(config_.scan_threads).run(std::move(jobs));
+
+  sim::Time scan_end = scan_epoch;
+  std::vector<std::vector<scanner::ScanRecord>> per_shard;
+  per_shard.reserve(shards.size());
+  for (auto& shard : shards) {
+    scan_end = std::max(scan_end, shard.finished);
+    scan_db_.note_probes(shard.probes);
+    per_shard.push_back(std::move(shard.records));
+  }
+  for (auto& record : sim::merge_by_time(
+           std::move(per_shard),
+           [](const scanner::ScanRecord& record) { return record.when; })) {
+    scan_db_.add(std::move(record));
+  }
+
+  // The main timeline advances to the end of the scan window, exactly as it
+  // did when the sweeps ran inline on the main simulation.
+  sim_.run_until(scan_end);
 
   unfiltered_findings_ = classify::classify_all(scan_db_);
   fingerprints_ = classify::fingerprint_all(scan_db_);

@@ -26,7 +26,7 @@
 #include "intel/geo.h"
 #include "intel/threat_intel.h"
 #include "net/fabric.h"
-#include "scanner/scanner.h"
+#include "scanner/scan_db.h"
 #include "sim/simulation.h"
 #include "telescope/rsdos.h"
 #include "telescope/telescope.h"
@@ -42,6 +42,12 @@ struct StudyConfig {
   sim::Duration attack_duration = sim::days(30);
   // Scan engine tuning.
   std::uint32_t scan_batch = 4'096;
+  // Worker threads for the scan phase. Each protocol sweep runs as an
+  // independent shard on a private replica of the simulated Internet and
+  // results are merged by (time, shard, seq), so the output is
+  // byte-identical for every value here. 1 = run shards inline (the serial
+  // reference), 0 = one worker per hardware thread.
+  unsigned scan_threads = 1;
   // Whether the fingerprint filter runs (off = the poisoning ablation).
   bool filter_honeypots = true;
   // Post-listing attack multiplier (1.0 disables the Figure 8 uptrend).
@@ -61,7 +67,9 @@ class Study {
   // Phase 1: build and attach everything that exists before we measure.
   void setup_internet();
   // Phase 2: the six-protocol Internet-wide scan, classification and
-  // honeypot filtering. Fills scan_db/findings/fingerprints.
+  // honeypot filtering. Fills scan_db/findings/fingerprints. Sweeps run as
+  // independent shards (config.scan_threads workers) and merge
+  // deterministically; see DESIGN.md "Threading model".
   void run_scan();
   // Phase 3: open dataset snapshots.
   void run_datasets();
@@ -136,7 +144,6 @@ class Study {
   intel::GreyNoiseDb greynoise_;
   intel::CensysDb censys_;
 
-  std::unique_ptr<scanner::Scanner> scanner_;
   scanner::ScanDb scan_db_;
   std::map<proto::Protocol, sim::Time> scan_dates_;
   std::vector<classify::MisconfigFinding> findings_;

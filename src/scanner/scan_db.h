@@ -59,6 +59,7 @@ class ScanDb {
 
   // Probe accounting (coverage/ethics reporting).
   void note_probe() { ++probes_sent_; }
+  void note_probes(std::uint64_t n) { probes_sent_ += n; }
   std::uint64_t probes_sent() const { return probes_sent_; }
 
  private:

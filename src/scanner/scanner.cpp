@@ -73,10 +73,12 @@ void Scanner::start(ScanConfig config, DoneCallback done) {
       std::make_unique<AddressPermutation>(total, sweep->config.seed);
 
   if (proto::is_udp(sweep->config.protocol)) {
-    // One shared source port per sweep; responses are matched by source
-    // address (the custom-script UDP methodology of §3.1.1).
-    sweep->udp_port = static_cast<std::uint16_t>(
-        50'000 + (sweep->config.seed % 10'000));
+    // One source port per sweep; responses are matched by source address
+    // (the custom-script UDP methodology of §3.1.1). The port must be
+    // unique among live sweeps: two sweeps sharing a port would mean the
+    // second bind() replaces the first sweep's response handler, and
+    // whichever finished first would unbind the other's live handler.
+    sweep->udp_port = allocate_udp_source_port(sweep->config.seed);
     std::weak_ptr<Sweep> weak = sweep;
     udp().bind(sweep->udp_port, [weak](const net::Datagram& datagram) {
       const auto sweep = weak.lock();
@@ -88,6 +90,20 @@ void Scanner::start(ScanConfig config, DoneCallback done) {
   }
 
   pump(std::move(sweep));
+}
+
+std::uint16_t Scanner::allocate_udp_source_port(std::uint64_t seed) {
+  // Seed-derived starting point inside [50000, 60000), then linear probe to
+  // the first port with no live handler. Ports are released by finish_probe
+  // when a sweep completes, so exhaustion would need 10,000 concurrent UDP
+  // sweeps on one scanner host.
+  const auto offset = static_cast<std::uint16_t>(seed % 10'000);
+  for (std::uint32_t step = 0; step < 10'000; ++step) {
+    const auto port =
+        static_cast<std::uint16_t>(50'000 + (offset + step) % 10'000);
+    if (!udp().bound(port)) return port;
+  }
+  return 0;  // unreachable in practice; 0 means "no port" downstream
 }
 
 void Scanner::pump(std::shared_ptr<Sweep> sweep) {

@@ -40,7 +40,8 @@ class Scanner : public net::Host {
   Scanner(util::Ipv4Addr addr, ScanDb& db) : net::Host(addr), db_(&db) {}
 
   // Starts one protocol sweep; done fires when all probes have resolved.
-  // Multiple sequential scans may be issued on the same scanner host.
+  // Multiple scans may be issued on the same scanner host, sequentially or
+  // concurrently: each UDP sweep binds its own ephemeral source port.
   void start(ScanConfig config, DoneCallback done);
 
   std::uint64_t probes_sent() const { return probes_sent_; }
@@ -48,6 +49,7 @@ class Scanner : public net::Host {
  private:
   struct Sweep;
 
+  std::uint16_t allocate_udp_source_port(std::uint64_t seed);
   void pump(std::shared_ptr<Sweep> sweep);
   void probe(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target);
   void probe_tcp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,

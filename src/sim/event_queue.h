@@ -1,0 +1,132 @@
+// Pool-backed event queue for the simulation kernel. Event nodes live in a
+// chunked arena with stable addresses and are recycled through a free list,
+// so steady-state scheduling performs no allocation (the previous kernel
+// heap-allocated a std::function per event). An index binary-heap orders
+// events by (time, seq): seq is the insertion sequence, so ties are FIFO and
+// runs are deterministic.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/small_callable.h"
+#include "sim/time.h"
+
+namespace ofh::sim {
+
+class EventQueue {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  Time top_when() const {
+    assert(!heap_.empty());
+    return at(heap_.front()).when;
+  }
+
+  void push(Time when, std::uint64_t seq, SmallCallable action) {
+    const std::uint32_t index = allocate();
+    Node& node = at(index);
+    node.when = when;
+    node.seq = seq;
+    node.action = std::move(action);
+    heap_.push_back(index);
+    sift_up(heap_.size() - 1);
+  }
+
+  // Removes the earliest event; returns its action and stores its time in
+  // *when. The node returns to the free list before the action runs, so an
+  // action that schedules new events reuses it immediately.
+  SmallCallable pop(Time* when) {
+    assert(!heap_.empty());
+    const std::uint32_t index = heap_.front();
+    Node& node = at(index);
+    *when = node.when;
+    SmallCallable action = std::move(node.action);
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    release(index);
+    return action;
+  }
+
+ private:
+  struct Node {
+    Time when = 0;
+    std::uint64_t seq = 0;
+    SmallCallable action;
+    std::uint32_t next_free = kNil;
+  };
+
+  static constexpr std::uint32_t kNil = 0xffffffffU;
+  static constexpr std::size_t kChunkShift = 8;  // 256 nodes per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  Node& at(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  const Node& at(std::uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  std::uint32_t allocate() {
+    if (free_head_ == kNil) {
+      const auto base =
+          static_cast<std::uint32_t>(chunks_.size() * kChunkSize);
+      chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+      Node* chunk = chunks_.back().get();
+      for (std::size_t i = kChunkSize; i-- > 0;) {
+        chunk[i].next_free = free_head_;
+        free_head_ = base + static_cast<std::uint32_t>(i);
+      }
+    }
+    const std::uint32_t index = free_head_;
+    free_head_ = at(index).next_free;
+    return index;
+  }
+
+  void release(std::uint32_t index) {
+    Node& node = at(index);
+    node.action.reset();
+    node.next_free = free_head_;
+    free_head_ = index;
+  }
+
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    const Node& na = at(a);
+    const Node& nb = at(b);
+    if (na.when != nb.when) return na.when < nb.when;
+    return na.seq < nb.seq;
+  }
+
+  void sift_up(std::size_t pos) {
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 2;
+      if (!before(heap_[pos], heap_[parent])) break;
+      std::swap(heap_[pos], heap_[parent]);
+      pos = parent;
+    }
+  }
+
+  void sift_down(std::size_t pos) {
+    const std::size_t count = heap_.size();
+    while (true) {
+      const std::size_t left = 2 * pos + 1;
+      if (left >= count) break;
+      std::size_t smallest = left;
+      const std::size_t right = left + 1;
+      if (right < count && before(heap_[right], heap_[left])) smallest = right;
+      if (!before(heap_[smallest], heap_[pos])) break;
+      std::swap(heap_[pos], heap_[smallest]);
+      pos = smallest;
+    }
+  }
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::vector<std::uint32_t> heap_;  // indices into the arena
+  std::uint32_t free_head_ = kNil;
+};
+
+}  // namespace ofh::sim

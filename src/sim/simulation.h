@@ -1,19 +1,27 @@
 // Discrete-event simulation kernel. Events are closures ordered by
 // (time, insertion sequence); ties are FIFO so runs are deterministic.
+// Storage is a pool-allocated event arena (sim/event_queue.h) holding
+// small-buffer callables (sim/small_callable.h), so the hot loop performs
+// no per-event heap allocation in steady state.
+//
+// Threading: a Simulation instance is single-threaded by design — the
+// determinism contract is (time, seq) total order, which has no meaning
+// across concurrent mutators. Parallelism happens one level up:
+// sim/parallel.h runs independent Simulation instances on worker threads
+// and merges their outputs deterministically.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
+#include "sim/event_queue.h"
+#include "sim/small_callable.h"
 #include "sim/time.h"
 
 namespace ofh::sim {
 
 class Simulation {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallCallable;
 
   Time now() const { return now_; }
   std::uint64_t events_processed() const { return processed_; }
@@ -22,7 +30,7 @@ class Simulation {
   // Schedules an action at an absolute time (clamped to now).
   void at(Time t, Action action) {
     if (t < now_) t = now_;
-    queue_.push(Event{t, next_seq_++, std::move(action)});
+    queue_.push(t, next_seq_++, std::move(action));
   }
 
   void after(Duration d, Action action) { at(now_ + d, std::move(action)); }
@@ -34,36 +42,26 @@ class Simulation {
   }
 
   // Runs events with time <= deadline; the clock ends at the deadline even
-  // if the queue drained earlier, so periodic processes measure full windows.
+  // if the queue drained earlier, so periodic processes measure full
+  // windows. A deadline in the past is a no-op: the clock never rewinds.
   void run_until(Time deadline) {
-    while (!queue_.empty() && queue_.top().when <= deadline) step();
-    now_ = deadline;
+    while (!queue_.empty() && queue_.top_when() <= deadline) step();
+    if (deadline > now_) now_ = deadline;
   }
 
   // Executes the single earliest event; returns false when idle.
   bool step() {
     if (queue_.empty()) return false;
-    // Move the event out before popping: the action may schedule new events.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = event.when;
+    Time when = 0;
+    Action action = queue_.pop(&when);
+    now_ = when;
     ++processed_;
-    event.action();
+    action();
     return true;
   }
 
  private:
-  struct Event {
-    Time when;
-    std::uint64_t seq;
-    Action action;
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  EventQueue queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,8 +58,14 @@ class Summary {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  // Empty summaries have no extrema: nullopt, not a 0.0 indistinguishable
+  // from a real observation.
+  std::optional<double> min() const {
+    return count_ ? std::optional<double>(min_) : std::nullopt;
+  }
+  std::optional<double> max() const {
+    return count_ ? std::optional<double>(max_) : std::nullopt;
+  }
 
  private:
   std::uint64_t count_ = 0;

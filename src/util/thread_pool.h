@@ -1,0 +1,50 @@
+// Fixed-size worker thread pool. Used by sim::ParallelRunner to execute
+// independent simulation shards; kept deliberately minimal — submit() and
+// wait_idle() — because determinism is achieved by construction one level
+// up (each task writes its own result slot; merge order never depends on
+// completion order).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ofh::util {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least one).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues a task; tasks may be submitted from any thread.
+  void submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and every worker is idle. Establishes a
+  // happens-before edge between all completed tasks and the caller.
+  void wait_idle();
+
+  // std::thread::hardware_concurrency(), clamped to >= 1.
+  static unsigned default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ofh::util

@@ -270,6 +270,50 @@ TEST_F(ScannerTest, WildHoneypotBannerIsCapturedVerbatim) {
   EXPECT_EQ(static_cast<std::uint8_t>(records[0]->banner[2]), 0x1f);
 }
 
+TEST_F(ScannerTest, ConcurrentUdpSweepsBindDistinctSourcePorts) {
+  // Regression: two concurrent UDP sweeps whose seeds are equal mod 10'000
+  // used to bind the same source port — the second bind() silently replaced
+  // the first sweep's response handler (losing every CoAP response), and
+  // whichever sweep finished first unbound the other's live handler.
+  devices::Device coap_device(make_spec(Ipv4Addr(10, 20, 0, 2),
+                                        proto::Protocol::kCoap,
+                                        devices::Misconfig::kCoapNoAuth));
+  devices::DeviceSpec upnp_spec = make_spec(Ipv4Addr(10, 21, 0, 3),
+                                            proto::Protocol::kUpnp,
+                                            devices::Misconfig::kUpnpReflector);
+  upnp_spec.model = devices::models_for(proto::Protocol::kUpnp).front();
+  devices::Device upnp_device(std::move(upnp_spec));
+  coap_device.attach(fabric_);
+  upnp_device.attach(fabric_);
+
+  ScanConfig coap;
+  coap.protocol = proto::Protocol::kCoap;
+  coap.targets = {*util::Cidr::parse("10.20.0.0/24")};
+  coap.seed = 1;
+  coap.batch_size = 64;
+  ScanConfig upnp = coap;
+  upnp.protocol = proto::Protocol::kUpnp;
+  upnp.targets = {*util::Cidr::parse("10.21.0.0/24")};
+  upnp.seed = 10'001;  // equal mod 10'000: the collision case
+
+  bool done_coap = false, done_upnp = false;
+  scanner_.start(coap, [&done_coap] { done_coap = true; });
+  scanner_.start(upnp, [&done_upnp] { done_upnp = true; });
+  while ((!done_coap || !done_upnp) && sim_.step()) {
+  }
+  EXPECT_TRUE(done_coap);
+  EXPECT_TRUE(done_upnp);
+
+  // Both sweeps collected their own responses.
+  ASSERT_EQ(db_.unique_hosts(proto::Protocol::kCoap), 1u);
+  ASSERT_EQ(db_.unique_hosts(proto::Protocol::kUpnp), 1u);
+  EXPECT_NE(db_.for_protocol(proto::Protocol::kCoap)[0]->banner.find(
+                "CoAP Resources"),
+            std::string::npos);
+  EXPECT_NE(db_.for_protocol(proto::Protocol::kUpnp)[0]->banner.find("USN:"),
+            std::string::npos);
+}
+
 TEST_F(ScannerTest, SequentialSweepsAccumulateInOneDb) {
   devices::Device telnet_device(make_spec(Ipv4Addr(10, 10, 0, 1),
                                           proto::Protocol::kTelnet,

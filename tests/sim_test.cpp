@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "sim/simulation.h"
+#include "util/rng.h"
 
 namespace ofh::sim {
 namespace {
@@ -94,6 +100,95 @@ TEST(Simulation, StepReturnsFalseWhenIdle) {
   sim.at(1, [] {});
   EXPECT_TRUE(sim.step());
   EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RunUntilNeverRewindsClock) {
+  // Regression: run_until used to set now_ = deadline unconditionally, so a
+  // deadline earlier than now() rewound the clock and broke monotonicity.
+  Simulation sim;
+  sim.run_until(100);
+  EXPECT_EQ(sim.now(), 100u);
+  sim.run_until(50);  // in the past: must be a no-op
+  EXPECT_EQ(sim.now(), 100u);
+  Time fired = 0;
+  sim.after(10, [&] { fired = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired, 110u);  // not 60: relative times stay anchored at 100
+}
+
+TEST(Simulation, LargeClosuresFallBackToHeap) {
+  // A capture larger than SmallCallable's inline buffer takes the heap
+  // path; behaviour must be identical.
+  Simulation sim;
+  std::array<std::uint64_t, 32> payload{};  // 256 bytes
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i;
+  std::uint64_t sum = 0;
+  sim.at(5, [payload, &sum] {
+    for (const auto v : payload) sum += v;
+  });
+  sim.run();
+  EXPECT_EQ(sum, 32u * 31u / 2);
+}
+
+TEST(Simulation, ArenaRecyclesNodesAcrossWaves) {
+  // Repeated schedule/drain waves exercise the free list; every event must
+  // fire exactly once regardless of node reuse.
+  Simulation sim;
+  int fired = 0;
+  for (int wave = 0; wave < 10; ++wave) {
+    for (int i = 0; i < 1'000; ++i) {
+      sim.after(static_cast<Duration>(i + 1), [&fired] { ++fired; });
+    }
+    sim.run();
+  }
+  EXPECT_EQ(fired, 10'000);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, RandomInsertionFiresInTimeOrderWithFifoTies) {
+  Simulation sim;
+  util::Rng rng(7);
+  std::vector<std::pair<Time, int>> fired;  // (time, insertion index)
+  for (int i = 0; i < 500; ++i) {
+    const Time t = rng.below(50);
+    sim.at(t, [&sim, &fired, i] { fired.push_back({sim.now(), i}); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), 500u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      ASSERT_LT(fired[i - 1].second, fired[i].second);  // FIFO ties
+    }
+  }
+}
+
+TEST(SmallCallable, InlineCaptureDestroyedExactlyOnce) {
+  auto token = std::make_shared<int>(5);
+  {
+    SmallCallable callable([token] {});
+    EXPECT_EQ(token.use_count(), 2);
+    SmallCallable moved = std::move(callable);
+    EXPECT_EQ(token.use_count(), 2);  // moved, not copied
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallCallable, HeapCaptureDestroyedExactlyOnce) {
+  auto token = std::make_shared<int>(5);
+  std::array<char, 128> ballast{};  // forces the heap fallback
+  {
+    SmallCallable callable([token, ballast] { (void)ballast; });
+    EXPECT_EQ(token.use_count(), 2);
+    SmallCallable moved = std::move(callable);
+    EXPECT_EQ(token.use_count(), 2);
+    int calls = 0;
+    SmallCallable counter([&calls] { ++calls; });
+    counter();
+    counter();
+    EXPECT_EQ(calls, 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
 }
 
 }  // namespace

@@ -316,8 +316,22 @@ TEST(Summary, TracksMinMaxMean) {
   summary.add(5);
   EXPECT_EQ(summary.count(), 3u);
   EXPECT_DOUBLE_EQ(summary.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(summary.min(), 2.0);
-  EXPECT_DOUBLE_EQ(summary.max(), 8.0);
+  ASSERT_TRUE(summary.min().has_value());
+  ASSERT_TRUE(summary.max().has_value());
+  EXPECT_DOUBLE_EQ(*summary.min(), 2.0);
+  EXPECT_DOUBLE_EQ(*summary.max(), 8.0);
+}
+
+TEST(Summary, EmptySummaryHasNoExtrema) {
+  // Regression: min()/max() used to return 0.0 on an empty summary,
+  // indistinguishable from a summary that really observed 0.0.
+  Summary summary;
+  EXPECT_FALSE(summary.min().has_value());
+  EXPECT_FALSE(summary.max().has_value());
+  summary.add(0.0);
+  ASSERT_TRUE(summary.min().has_value());
+  EXPECT_DOUBLE_EQ(*summary.min(), 0.0);
+  EXPECT_DOUBLE_EQ(*summary.max(), 0.0);
 }
 
 TEST(Bytes, ReaderLatchesTypedUnderflow) {
