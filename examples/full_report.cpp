@@ -57,6 +57,12 @@ int main(int argc, char** argv) {
   emit(core::report_fig9_multistage(study));
   emit(core::report_correlation(study));
 
+  // Observability appendix: the deterministic metrics export (same bytes
+  // for any scan_threads setting) plus the wall-clock profile of this run.
+  out << "\n## Run telemetry\n\n```\n"
+      << study.metrics_prometheus() << "```\n\n```\n"
+      << study.metrics_profile() << "```\n";
+
   std::printf("wrote %s (%zu attack events, %zu scan records)\n",
               path.c_str(), study.attack_log().size(),
               study.scan_db().size());

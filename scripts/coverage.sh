@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Line-coverage gate: builds the `coverage` preset (gcc --coverage, -O0),
+# runs the full test suite, and fails if line coverage of src/ drops below
+# the floor. CI runs this; the floor was measured when the gate landed and
+# should only ever move up.
+#
+# Usage: scripts/coverage.sh [floor-percent]
+#
+# Uses gcovr when installed; otherwise falls back to gcov's JSON output via
+# scripts/gcov_summary.py (same numbers, fewer output formats).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Measured 94.8% when the gate landed; the margin absorbs small accounting
+# differences between gcovr and the gcov fallback.
+FLOOR="${1:-93.0}"
+
+cmake --preset coverage
+cmake --build --preset coverage -j "$(nproc)"
+ctest --test-dir build-coverage --output-on-failure -j "$(nproc)"
+
+echo "==> line coverage of src/ (floor: ${FLOOR}%)"
+if command -v gcovr > /dev/null 2>&1; then
+  gcovr --root . --filter 'src/' --object-directory build-coverage \
+        --print-summary --fail-under-line "${FLOOR}"
+else
+  python3 scripts/gcov_summary.py --build-dir build-coverage --root . \
+          --fail-under "${FLOOR}"
+fi

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage for src/ and enforce a floor.
+
+Fallback used by scripts/coverage.sh when gcovr is not installed: walks the
+coverage build tree for .gcda files, asks gcov for JSON intermediate output,
+and aggregates executed/executable lines per source file under src/.
+
+Exit code 1 when total line coverage falls below --fail-under.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def gcov_json(gcda, build_dir):
+    """Returns the parsed JSON report(s) for one .gcda, or [] on failure."""
+    # gcda must be absolute: gcov runs with the gcda's directory as cwd (so
+    # it finds the matching .gcno), which breaks build-dir-relative paths.
+    gcda = os.path.abspath(gcda)
+    try:
+        out = subprocess.run(
+            ["gcov", "--json-format", "--stdout", gcda],
+            cwd=build_dir, capture_output=True, check=True).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return []
+    reports = []
+    # One JSON document per compilation unit, newline-separated.
+    for line in out.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            reports.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return reports
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True,
+                        help="coverage build tree holding the .gcda files")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--src-prefix", default="src/",
+                        help="only files under this repo-relative prefix count")
+    parser.add_argument("--fail-under", type=float, default=0.0,
+                        help="minimum acceptable line coverage percentage")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    gcdas = []
+    for dirpath, _dirnames, filenames in os.walk(args.build_dir):
+        gcdas.extend(os.path.join(dirpath, f)
+                     for f in filenames if f.endswith(".gcda"))
+    if not gcdas:
+        print("error: no .gcda files under", args.build_dir, file=sys.stderr)
+        print("       build the `coverage` preset and run ctest first",
+              file=sys.stderr)
+        return 1
+
+    # (file -> line -> hit) so lines shared by several objects (headers,
+    # template instantiations) count once, as executed if ANY object ran them.
+    lines_by_file = {}
+    for gcda in gcdas:
+        for report in gcov_json(gcda, os.path.dirname(gcda)):
+            for entry in report.get("files", []):
+                path = os.path.abspath(os.path.join(root, entry["file"])) \
+                    if not os.path.isabs(entry["file"]) else entry["file"]
+                rel = os.path.relpath(path, root)
+                if not rel.startswith(args.src_prefix):
+                    continue
+                hits = lines_by_file.setdefault(rel, {})
+                for line in entry.get("lines", []):
+                    number = line["line_number"]
+                    hits[number] = hits.get(number, False) or \
+                        line.get("count", 0) > 0
+
+    total = covered = 0
+    print(f"{'file':<44} {'lines':>6} {'hit':>6} {'cover':>7}")
+    for rel in sorted(lines_by_file):
+        hits = lines_by_file[rel]
+        file_total = len(hits)
+        file_covered = sum(1 for hit in hits.values() if hit)
+        total += file_total
+        covered += file_covered
+        pct = 100.0 * file_covered / file_total if file_total else 100.0
+        print(f"{rel:<44} {file_total:>6} {file_covered:>6} {pct:>6.1f}%")
+
+    if total == 0:
+        print("error: no executable lines found under", args.src_prefix,
+              file=sys.stderr)
+        return 1
+
+    pct = 100.0 * covered / total
+    print(f"{'TOTAL':<44} {total:>6} {covered:>6} {pct:>6.1f}%")
+    if pct < args.fail_under:
+        print(f"FAIL: line coverage {pct:.1f}% is below the "
+              f"{args.fail_under:.1f}% floor", file=sys.stderr)
+        return 1
+    print(f"OK: line coverage {pct:.1f}% >= {args.fail_under:.1f}% floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the golden report snapshots in tests/goldens/ from the current
+# tree. Run this when a pipeline change intentionally shifts a rendered
+# table, then review the resulting diff like any other code change —
+# "the goldens moved" IS the review surface.
+#
+# Usage: scripts/update_goldens.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)" --target golden_report_test
+
+echo "==> rewriting tests/goldens/*.txt"
+OFH_UPDATE_GOLDENS=1 ./build/tests/golden_report_test
+
+echo "==> verifying the rewritten goldens pass"
+./build/tests/golden_report_test
+
+git --no-pager diff --stat -- tests/goldens || true
+echo "==> done; review the diff above before committing"

@@ -1,14 +1,54 @@
 #include "core/study.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 #include "devices/paper_stats.h"
+#include "obs/metrics.h"
 #include "scanner/scanner.h"
 #include "sim/parallel.h"
 
 namespace ofh::core {
 namespace {
+
+// Wraps one Study phase in a trace span: sim timestamps are deterministic,
+// the wall-clock duration feeds only the profile channel. When the scope
+// closes it optionally appends a Prometheus snapshot to the Study's
+// phase_metrics_ sequence (sub-spans like scan/filter pass nullptr).
+class PhaseScope {
+ public:
+  PhaseScope(std::string name, sim::Simulation& sim,
+             std::vector<std::pair<std::string, std::string>>* phase_metrics)
+      : name_(std::move(name)),
+        sim_(sim),
+        phase_metrics_(phase_metrics),
+        sim_start_(sim.now()),
+        wall_start_(std::chrono::steady_clock::now()) {}
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  ~PhaseScope() {
+    const auto wall_usec =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wall_start_)
+            .count();
+    obs::record_span(name_, sim_start_, sim_.now(),
+                     static_cast<std::uint64_t>(wall_usec));
+    if (phase_metrics_ != nullptr) {
+      phase_metrics_->emplace_back(
+          name_, obs::Registry::global().export_prometheus());
+    }
+  }
+
+ private:
+  std::string name_;
+  sim::Simulation& sim_;
+  std::vector<std::pair<std::string, std::string>>* phase_metrics_;
+  std::uint64_t sim_start_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
 
 std::uint64_t scale_count(std::uint64_t paper, double scale) {
   if (paper == 0) return 0;
@@ -80,6 +120,10 @@ ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
 }  // namespace
 
 Study::Study(StudyConfig config) : config_(config) {
+  // One Study at a time: the obs registry is process-wide and cumulative,
+  // so each study starts from zero. Callers comparing metrics across runs
+  // must snapshot (metrics_prometheus) before constructing the next Study.
+  obs::Registry::global().reset();
   fabric_ = std::make_unique<net::Fabric>(sim_, config_.seed);
   fabric_->set_latency(sim::msec(15), sim::msec(25));
 }
@@ -95,6 +139,7 @@ std::uint64_t Study::scaled_attack(std::uint64_t paper) const {
 }
 
 void Study::setup_internet() {
+  PhaseScope span("setup", sim_, &phase_metrics_);
   devices::PopulationSpec spec;
   spec.seed = config_.seed;
   spec.scale = config_.population_scale;
@@ -122,6 +167,7 @@ void Study::setup_internet() {
 }
 
 void Study::run_scan() {
+  PhaseScope span("scan", sim_, &phase_metrics_);
   // Six sweeps spread across one week at the paper's day offsets
   // (Appendix Table 9: CoAP Mar 1; UPnP+Telnet Mar 2; MQTT+AMQP Mar 4;
   // XMPP Mar 5). Each sweep is an independent shard with a splitmix64-
@@ -162,6 +208,9 @@ void Study::run_scan() {
   // did when the sweeps ran inline on the main simulation.
   sim_.run_until(scan_end);
 
+  // Classification + honeypot filtering is its own sub-span: it runs on the
+  // merged DB after the sweeps, and the paper treats it as a distinct step.
+  PhaseScope filter_span("filter", sim_, nullptr);
   unfiltered_findings_ = classify::classify_all(scan_db_);
   fingerprints_ = classify::fingerprint_all(scan_db_);
   findings_ = config_.filter_honeypots
@@ -171,6 +220,7 @@ void Study::run_scan() {
 }
 
 void Study::run_datasets() {
+  PhaseScope span("datasets", sim_, &phase_metrics_);
   sonar_ = datasets::generate_snapshot(datasets::project_sonar_model(),
                                        *population_, config_.seed + 11);
   shodan_ = datasets::generate_snapshot(datasets::shodan_model(),
@@ -178,6 +228,7 @@ void Study::run_datasets() {
 }
 
 void Study::run_attack_month() {
+  PhaseScope span("attack_month", sim_, &phase_metrics_);
   // Six public addresses for the honeypot groups (Figure 1).
   std::vector<util::Ipv4Addr> addresses;
   for (int i = 0; i < 6; ++i) {
@@ -202,6 +253,7 @@ void Study::run_attack_month() {
 }
 
 void Study::correlate() {
+  PhaseScope span("correlate", sim_, &phase_metrics_);
   infected_ = correlate_infected(findings_, attack_log_, *telescope_);
   std::set<std::uint32_t> correlated;
   correlated.insert(infected_.both.begin(), infected_.both.end());
@@ -219,6 +271,18 @@ void Study::run_all() {
   run_datasets();
   run_attack_month();
   correlate();
+}
+
+std::string Study::metrics_prometheus() const {
+  return obs::Registry::global().export_prometheus();
+}
+
+std::string Study::metrics_csv() const {
+  return obs::Registry::global().export_csv();
+}
+
+std::string Study::metrics_profile() const {
+  return obs::Registry::global().export_profile();
 }
 
 std::vector<std::string> Study::scan_service_domains() const {

@@ -14,6 +14,9 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "attackers/fleet.h"
 #include "classify/device_tagger.h"
@@ -130,6 +133,23 @@ class Study {
   std::uint64_t scaled_population(std::uint64_t paper) const;
   std::uint64_t scaled_attack(std::uint64_t paper) const;
 
+  // --- observability ------------------------------------------------------
+  // The Study owns the obs registry for its lifetime: the constructor
+  // resets it (one Study at a time), each phase runs under a trace span,
+  // and a Prometheus snapshot is captured at every phase boundary.
+  // Deterministic exports carry Domain::kSim metrics only and are
+  // byte-identical across scan_threads settings (tests/parallel_test.cpp).
+  std::string metrics_prometheus() const;
+  std::string metrics_csv() const;
+  // Wall-clock profile: thread-pool scheduling metrics + span wall times.
+  // Nondeterministic by nature; never compare this across runs.
+  std::string metrics_profile() const;
+  // (phase name, Prometheus export captured when the phase ended).
+  const std::vector<std::pair<std::string, std::string>>& phase_metrics()
+      const {
+    return phase_metrics_;
+  }
+
  private:
   StudyConfig config_;
   sim::Simulation sim_;
@@ -159,6 +179,8 @@ class Study {
 
   InfectedCorrelation infected_;
   std::uint64_t censys_extra_ = 0;
+
+  std::vector<std::pair<std::string, std::string>> phase_metrics_;
 };
 
 }  // namespace ofh::core

@@ -1,9 +1,46 @@
 #include "honeynet/event_log.h"
 
 #include <algorithm>
+#include <array>
 #include <set>
 
+#include "obs/metrics.h"
+
 namespace ofh::honeynet {
+
+namespace {
+
+constexpr std::size_t kAttackTypes =
+    static_cast<std::size_t>(AttackType::kMultistageStep) + 1;
+
+// Event-class telemetry across every EventLog (one per honeynet deployment
+// region). Domain::kSim: event streams are deterministic per shard.
+struct EventMetrics {
+  obs::Counter total = obs::counter("honeynet.events");
+  std::array<obs::Counter, kAttackTypes> by_type;
+
+  EventMetrics() {
+    for (std::size_t i = 0; i < kAttackTypes; ++i) {
+      by_type[i] = obs::counter(obs::labeled(
+          "honeynet.events_by_type", "type",
+          attack_type_name(static_cast<AttackType>(i))));
+    }
+  }
+};
+
+const EventMetrics& metrics() {
+  static const EventMetrics m;
+  return m;
+}
+
+}  // namespace
+
+void EventLog::record(AttackEvent event) {
+  metrics().total.inc();
+  const auto type = static_cast<std::size_t>(event.type);
+  if (type < kAttackTypes) metrics().by_type[type].inc();
+  events_.push_back(std::move(event));
+}
 
 std::string_view attack_type_name(AttackType type) {
   switch (type) {

@@ -41,7 +41,10 @@ struct AttackEvent {
 
 class EventLog {
  public:
-  void record(AttackEvent event) { events_.push_back(std::move(event)); }
+  // Appends the event and bumps the honeynet.events obs counters (total and
+  // per attack-type class); defined in event_log.cpp to keep the obs
+  // dependency out of this header.
+  void record(AttackEvent event);
 
   const std::vector<AttackEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }

@@ -1,16 +1,46 @@
 #include "net/fabric.h"
 
 #include "net/host.h"
+#include "obs/metrics.h"
 
 namespace ofh::net {
 
+namespace {
+
+// Fleet-wide fabric telemetry: sums over every Fabric instance, including
+// the scan layer's private per-sweep replicas. All Domain::kSim — packet
+// fates are pure functions of the simulation inputs, so these are
+// byte-identical across scan_threads settings. Conservation invariant:
+//   packets_sent == packets_delivered + packets_dropped + packets_inflight
+// where inflight covers packets scheduled but not yet resolved when the
+// simulation stops (zero after a full drain).
+struct FabricMetrics {
+  obs::Counter sent = obs::counter("fabric.packets_sent");
+  obs::Counter delivered = obs::counter("fabric.packets_delivered");
+  obs::Counter dropped = obs::counter("fabric.packets_dropped");
+  obs::Gauge inflight = obs::gauge("fabric.packets_inflight");
+  obs::Gauge hosts = obs::gauge("fabric.hosts_attached");
+  obs::Histogram latency = obs::histogram("fabric.latency_usec");
+};
+
+const FabricMetrics& metrics() {
+  static const FabricMetrics m;
+  return m;
+}
+
+}  // namespace
+
 void Fabric::register_host(Host& host) {
   hosts_[host.address().value()] = &host;
+  metrics().hosts.add(1);
 }
 
 void Fabric::unregister_host(Host& host) {
   const auto it = hosts_.find(host.address().value());
-  if (it != hosts_.end() && it->second == &host) hosts_.erase(it);
+  if (it != hosts_.end() && it->second == &host) {
+    hosts_.erase(it);
+    metrics().hosts.sub(1);
+  }
 }
 
 sim::Duration Fabric::sample_latency(const Packet& packet) const {
@@ -24,10 +54,14 @@ sim::Duration Fabric::sample_latency(const Packet& packet) const {
 
 void Fabric::send(Packet packet) {
   ++packets_sent_;
+  metrics().sent.inc();
+  metrics().inflight.add(1);
   for (PacketSink* tap : taps_) tap->observe(packet, sim_.now());
 
   if (loss_rate_ > 0 && rng_.chance(loss_rate_)) {
     ++packets_dropped_;
+    metrics().dropped.inc();
+    metrics().inflight.sub(1);
     return;
   }
 
@@ -36,7 +70,11 @@ void Fabric::send(Packet packet) {
     if (darknet.range.contains(packet.dst)) {
       PacketSink* sink = darknet.sink;
       const sim::Duration delay = sample_latency(packet);
-      sim_.after(delay, [sink, packet = std::move(packet), this] {
+      sim_.after(delay, [sink, packet = std::move(packet), delay, this] {
+        ++packets_delivered_;
+        metrics().delivered.inc();
+        metrics().inflight.sub(1);
+        metrics().latency.observe(delay);
         sink->observe(packet, sim_.now());
       });
       return;
@@ -44,15 +82,21 @@ void Fabric::send(Packet packet) {
   }
 
   const sim::Duration delay = sample_latency(packet);
-  sim_.after(delay, [this, packet = std::move(packet)]() mutable {
+  sim_.after(delay, [this, delay, packet = std::move(packet)]() mutable {
     // Resolve at delivery time: hosts may churn while the packet is in
     // flight, in which case the packet is silently lost (as on the real
     // Internet when a route disappears).
     Host* host = host_at(packet.dst);
     if (host == nullptr) {
       ++packets_dropped_;
+      metrics().dropped.inc();
+      metrics().inflight.sub(1);
       return;
     }
+    ++packets_delivered_;
+    metrics().delivered.inc();
+    metrics().inflight.sub(1);
+    metrics().latency.observe(delay);
     host->deliver(packet);
   });
 }

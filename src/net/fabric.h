@@ -3,6 +3,7 @@
 // lets taps observe all traffic (pcap-style capture).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -59,9 +60,24 @@ class Fabric {
     latency_base_ = base;
     latency_jitter_ = jitter;
   }
-  void set_loss_rate(double rate) { loss_rate_ = rate; }
+  // Loss is a probability; anything outside [0, 1] is a caller bug. Debug
+  // builds assert, release builds clamp (NaN maps to 0) instead of feeding
+  // rng_.chance() a nonsense threshold.
+  void set_loss_rate(double rate) {
+    assert(rate >= 0.0 && rate <= 1.0 &&
+           "Fabric loss rate must be within [0, 1]");
+    if (!(rate >= 0.0)) rate = 0.0;  // negative or NaN
+    if (rate > 1.0) rate = 1.0;
+    loss_rate_ = rate;
+  }
+  double loss_rate() const { return loss_rate_; }
 
+  // Per-instance accounting. The fleet-wide totals (summed over every
+  // fabric, including the parallel scan layer's private replicas) live in
+  // the obs registry under fabric.packets_*; conservation holds exactly:
+  // sent == delivered + dropped + inflight (see tests/obs_test.cpp).
   std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
   std::uint64_t packets_dropped() const { return packets_dropped_; }
 
  private:
@@ -80,6 +96,7 @@ class Fabric {
   sim::Duration latency_jitter_ = sim::msec(10);
   double loss_rate_ = 0.0;
   std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_delivered_ = 0;
   std::uint64_t packets_dropped_ = 0;
 };
 

@@ -2,8 +2,30 @@
 
 #include "net/fabric.h"
 #include "net/host.h"
+#include "obs/metrics.h"
 
 namespace ofh::net {
+
+namespace {
+
+// Connection-level telemetry across every TcpStack (one per host). All
+// Domain::kSim: handshake outcomes are deterministic per shard.
+struct TcpMetrics {
+  obs::Counter connects = obs::counter("tcp.connects");
+  obs::Counter established = obs::counter("tcp.connects_established");
+  obs::Counter timeouts = obs::counter("tcp.connect_timeouts");
+  obs::Counter refused = obs::counter("tcp.connects_refused");
+  obs::Counter accepts = obs::counter("tcp.accepts");
+  obs::Counter resets = obs::counter("tcp.resets_sent");
+  obs::Counter backlog_drops = obs::counter("tcp.backlog_drops");
+};
+
+const TcpMetrics& metrics() {
+  static const TcpMetrics m;
+  return m;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- connection
 
@@ -50,6 +72,7 @@ void TcpStack::connect(util::Ipv4Addr dst, std::uint16_t dst_port,
   conn->opened_at_ = host_.sim().now();
   conns_[key] = std::move(conn);
   pending_connects_[key] = std::move(handler);
+  metrics().connects.inc();
   send_flags(key, TcpFlags::kSyn);
 
   host_.sim().after(timeout, [this, key] {
@@ -57,6 +80,7 @@ void TcpStack::connect(util::Ipv4Addr dst, std::uint16_t dst_port,
     if (conn == nullptr || conn->state_ != TcpConnection::State::kSynSent) {
       return;  // already established or gone
     }
+    metrics().timeouts.inc();
     auto pending = pending_connects_.extract(key);
     erase(key);
     if (!pending.empty() && pending.mapped()) pending.mapped()(nullptr);
@@ -75,6 +99,7 @@ void TcpStack::handle(const Packet& packet) {
     auto on_close = conn->on_close;
     erase(key);
     if (was_pending) {
+      metrics().refused.inc();
       if (!pending.empty() && pending.mapped()) pending.mapped()(nullptr);
     } else if (on_close) {
       // The connection object is gone; closing notifications for RST carry
@@ -90,6 +115,9 @@ void TcpStack::handle(const Packet& packet) {
     const auto listener = listeners_.find(packet.dst_port);
     if (listener == listeners_.end() || conn != nullptr ||
         half_open_count() >= backlog_limit_) {
+      if (listener != listeners_.end() && conn == nullptr) {
+        metrics().backlog_drops.inc();  // refused for capacity, not absence
+      }
       Packet rst;
       rst.src = host_.address();
       rst.dst = packet.src;
@@ -122,6 +150,7 @@ void TcpStack::handle(const Packet& packet) {
       return;
     }
     conn->state_ = TcpConnection::State::kEstablished;
+    metrics().established.inc();
     send_flags(key, TcpFlags::kAck);
     auto pending = pending_connects_.extract(key);
     if (!pending.empty() && pending.mapped()) pending.mapped()(conn);
@@ -143,6 +172,7 @@ void TcpStack::handle(const Packet& packet) {
     if (conn != nullptr &&
         conn->state_ == TcpConnection::State::kSynReceived) {
       conn->state_ = TcpConnection::State::kEstablished;
+      metrics().accepts.inc();
       const auto listener = listeners_.find(key.local_port);
       if (listener != listeners_.end() && listener->second) {
         listener->second(*conn);
@@ -156,6 +186,7 @@ void TcpStack::handle(const Packet& packet) {
     if (conn->state_ == TcpConnection::State::kSynReceived) {
       // Data may arrive back-to-back with the ACK; promote implicitly.
       conn->state_ = TcpConnection::State::kEstablished;
+      metrics().accepts.inc();
       const auto listener = listeners_.find(key.local_port);
       if (listener != listeners_.end() && listener->second) {
         listener->second(*conn);
@@ -176,6 +207,7 @@ void TcpStack::handle(const Packet& packet) {
 }
 
 void TcpStack::send_flags(const ConnKey& key, std::uint8_t flags) {
+  if (flags & TcpFlags::kRst) metrics().resets.inc();
   Packet packet;
   packet.src = host_.address();
   packet.dst = key.remote;

@@ -1,0 +1,252 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ofh::obs {
+
+namespace {
+
+std::size_t cells_for(Kind kind) {
+  return kind == Kind::kHistogram ? 2 + kHistogramBuckets : 1;
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; we prefix with ofh_ and map
+// every other character of the base name to '_'. A trailing {label="..."}
+// set is passed through verbatim.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "ofh_";
+  const auto brace = name.find('{');
+  const auto base = name.substr(0, brace);
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (brace != std::string_view::npos) out += std::string(name.substr(brace));
+  return out;
+}
+
+std::string_view prometheus_kind(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// Upper bound of log2 bucket i (inclusive): 2^(i-1)..2^i - 1 live in
+// bucket i, bucket 0 holds the value 0.
+std::uint64_t bucket_upper(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+}  // namespace
+
+std::string labeled(std::string_view base, std::string_view key,
+                    std::string_view value) {
+  std::string out(base);
+  out += '{';
+  out += key;
+  out += "=\"";
+  out += value;
+  out += "\"}";
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: see header
+  return *instance;
+}
+
+// Thread-shard lifetime: constructed on a thread's first metric write,
+// registered with the registry; on thread exit the destructor folds the
+// final values into retired_ so no sample is ever lost.
+struct ShardOwner {
+  Registry::Shard shard;
+  ShardOwner() { Registry::global().attach_shard(&shard); }
+  ~ShardOwner() { Registry::global().detach_shard(&shard); }
+};
+
+Registry::Shard& Registry::local_shard() {
+  thread_local ShardOwner owner;
+  return owner.shard;
+}
+
+void Registry::attach_shard(Shard* shard) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(shard);
+}
+
+void Registry::detach_shard(Shard* shard) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < kMaxCells; ++i) {
+    retired_[i] += shard->cells[i].load(std::memory_order_relaxed);
+  }
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), shard),
+                shards_.end());
+}
+
+std::uint32_t Registry::define(std::string_view name, Kind kind,
+                               Domain domain) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& def : defs_) {
+    if (def.name == name) {
+      // Same shape: share the series. A conflicting redefinition gets the
+      // scrap cell rather than corrupting a neighbour's range.
+      return def.kind == kind && def.domain == domain ? def.cell : 0;
+    }
+  }
+  const auto need = static_cast<std::uint32_t>(cells_for(kind));
+  if (next_cell_ + need > kMaxCells) return 0;  // budget exhausted: scrap
+  const std::uint32_t cell = next_cell_;
+  next_cell_ += need;
+  defs_.push_back({std::string(name), kind, domain, cell, need});
+  return cell;
+}
+
+void Registry::record_span(std::string_view name, std::uint64_t sim_start,
+                           std::uint64_t sim_end, std::uint64_t wall_usec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back({std::string(name), sim_start, sim_end, wall_usec});
+}
+
+std::vector<MetricRow> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Merge: retired totals + every live shard, cell by cell. Sums are
+  // order-independent, so the result does not depend on which thread ran
+  // which task.
+  std::array<std::int64_t, kMaxCells> merged = retired_;
+  for (const Shard* shard : shards_) {
+    for (std::size_t i = 0; i < kMaxCells; ++i) {
+      merged[i] += shard->cells[i].load(std::memory_order_relaxed);
+    }
+  }
+  std::vector<MetricRow> rows;
+  rows.reserve(defs_.size());
+  for (const auto& def : defs_) {
+    MetricRow row;
+    row.name = def.name;
+    row.kind = def.kind;
+    row.domain = def.domain;
+    if (def.kind == Kind::kHistogram) {
+      row.count = static_cast<std::uint64_t>(merged[def.cell]);
+      row.sum = static_cast<std::uint64_t>(merged[def.cell + 1]);
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        row.buckets[b] = static_cast<std::uint64_t>(merged[def.cell + 2 + b]);
+      }
+    } else {
+      row.value = merged[def.cell];
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+std::vector<SpanRow> Registry::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::string Registry::export_prometheus(bool include_wall) const {
+  std::string out;
+  std::string last_base;  // one # TYPE line per base name
+  for (const auto& row : snapshot()) {
+    if (row.domain == Domain::kWall && !include_wall) continue;
+    const std::string name = prometheus_name(row.name);
+    const std::string base = name.substr(0, name.find('{'));
+    if (base != last_base) {
+      out += "# TYPE " + base + " " +
+             std::string(prometheus_kind(row.kind)) + "\n";
+      last_base = base;
+    }
+    if (row.kind == Kind::kHistogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        if (row.buckets[b] == 0) continue;
+        cumulative += row.buckets[b];
+        out += base + "_bucket{le=\"" + std::to_string(bucket_upper(b)) +
+               "\"} " + std::to_string(cumulative) + "\n";
+      }
+      out += base + "_bucket{le=\"+Inf\"} " + std::to_string(row.count) + "\n";
+      out += base + "_sum " + std::to_string(row.sum) + "\n";
+      out += base + "_count " + std::to_string(row.count) + "\n";
+    } else {
+      out += name + " " + std::to_string(row.value) + "\n";
+    }
+  }
+  // Spans: the deterministic (sim-time) half of the trace channel. Wall
+  // durations are export_profile()'s business.
+  for (const auto& span : spans()) {
+    out += "# span " + span.name + " sim_start=" +
+           std::to_string(span.sim_start) + " sim_end=" +
+           std::to_string(span.sim_end) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::export_csv(bool include_wall) const {
+  std::string out = "metric,kind,field,value\n";
+  for (const auto& row : snapshot()) {
+    if (row.domain == Domain::kWall && !include_wall) continue;
+    if (row.kind == Kind::kHistogram) {
+      out += row.name + ",histogram,count," + std::to_string(row.count) + "\n";
+      out += row.name + ",histogram,sum," + std::to_string(row.sum) + "\n";
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        if (row.buckets[b] == 0) continue;
+        out += row.name + ",histogram,bucket_le_" +
+               std::to_string(bucket_upper(b)) + "," +
+               std::to_string(row.buckets[b]) + "\n";
+      }
+    } else {
+      out += row.name + "," +
+             std::string(row.kind == Kind::kCounter ? "counter" : "gauge") +
+             ",value," + std::to_string(row.value) + "\n";
+    }
+  }
+  for (const auto& span : spans()) {
+    out += "span," + span.name + ",sim_start," +
+           std::to_string(span.sim_start) + "\n";
+    out += "span," + span.name + ",sim_end," + std::to_string(span.sim_end) +
+           "\n";
+  }
+  return out;
+}
+
+std::string Registry::export_profile() const {
+  std::string out = "# wall-clock profile (nondeterministic)\n";
+  for (const auto& row : snapshot()) {
+    if (row.domain != Domain::kWall) continue;
+    if (row.kind == Kind::kHistogram) {
+      out += row.name + " count=" + std::to_string(row.count) +
+             " sum=" + std::to_string(row.sum) + "\n";
+    } else {
+      out += row.name + " " + std::to_string(row.value) + "\n";
+    }
+  }
+  for (const auto& span : spans()) {
+    out += "span " + span.name + " wall_usec=" +
+           std::to_string(span.wall_usec) + "\n";
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  retired_.fill(0);
+  for (Shard* shard : shards_) {
+    for (auto& cell : shard->cells) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+  spans_.clear();
+}
+
+}  // namespace ofh::obs

@@ -1,0 +1,258 @@
+// Deterministic observability: a process-wide registry of counters, gauges
+// and log-scale histograms, plus sim-time-stamped trace spans.
+//
+// Determinism contract: metrics live in two domains.
+//   * Domain::kSim values are pure functions of the simulation inputs. The
+//     parallel scan layer runs identical per-shard work no matter how many
+//     worker threads execute it (sim/parallel.h), and every cell merge is an
+//     order-independent sum, so the deterministic exports are byte-identical
+//     for scan_threads = 1/2/8/hardware — the same property PR 2 proved for
+//     the scan DBs, now extended to telemetry (tests/parallel_test.cpp).
+//   * Domain::kWall values (thread-pool queue depths, wall-clock span
+//     durations) depend on scheduling; they are excluded from the
+//     deterministic exports and surface only via export_profile().
+//
+// Threading: the hot path writes to a lock-free thread-local shard (one
+// relaxed atomic add, no shared cache line). Shards merge into the
+// registry's aggregate when their thread exits; live shards are summed by
+// snapshot(), which the coordinating thread calls only after a
+// synchronization point (ThreadPool::wait_idle establishes the
+// happens-before edge that makes every completed task's increments visible).
+//
+// Compile-time escape hatch: building with -DOFH_NO_METRICS (CMake option
+// of the same name) turns every handle operation into an empty inline
+// function and registers nothing — instrumentation is genuinely zero-cost.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ofh::obs {
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+enum class Domain : std::uint8_t { kSim, kWall };
+
+// Histogram buckets are log2-scale: bucket i counts values whose bit width
+// is i (bucket 0 holds the value 0), so the upper bound of bucket i is
+// 2^i - 1. 64 buckets cover the full uint64 range.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+// Scalar cells per thread shard. Counters and gauges take one cell;
+// histograms take 2 + kHistogramBuckets (count, sum, buckets). Exhaustion
+// routes writes to the reserved scrap cell 0, which exporters skip.
+inline constexpr std::size_t kMaxCells = 8192;
+
+// One merged metric in a snapshot.
+struct MetricRow {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  Domain domain = Domain::kSim;
+  std::int64_t value = 0;                              // counter / gauge
+  std::uint64_t count = 0;                             // histogram
+  std::uint64_t sum = 0;                               // histogram
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};  // histogram
+};
+
+// One recorded trace span. Sim timestamps are deterministic; wall_usec is
+// profile-only and never reaches the deterministic exports.
+struct SpanRow {
+  std::string name;
+  std::uint64_t sim_start = 0;
+  std::uint64_t sim_end = 0;
+  std::uint64_t wall_usec = 0;
+};
+
+class Registry {
+ public:
+  struct Shard {
+    std::array<std::atomic<std::int64_t>, kMaxCells> cells{};
+  };
+
+  // The process-wide registry (intentionally leaked: thread-local shards
+  // may retire during program teardown, after static destructors ran).
+  static Registry& global();
+
+  // Interns (name, kind, domain) and returns the metric's first cell index.
+  // Idempotent per name; thread-safe. Returns 0 (the scrap cell) when the
+  // cell budget is exhausted or a name is re-defined with a different shape.
+  std::uint32_t define(std::string_view name, Kind kind, Domain domain);
+
+  // Hot-path writes: one relaxed atomic add on this thread's shard.
+  void add(std::uint32_t cell, std::int64_t delta) {
+    local_shard().cells[cell].fetch_add(delta, std::memory_order_relaxed);
+  }
+  void observe(std::uint32_t first_cell, std::uint64_t value) {
+    if (first_cell == 0) return;  // scrap: histograms need their cell range
+    auto& cells = local_shard().cells;
+    cells[first_cell].fetch_add(1, std::memory_order_relaxed);
+    cells[first_cell + 1].fetch_add(static_cast<std::int64_t>(value),
+                                    std::memory_order_relaxed);
+    cells[first_cell + 2 + bucket_of(value)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  static std::uint32_t bucket_of(std::uint64_t value) {
+    return static_cast<std::uint32_t>(std::bit_width(value));
+  }
+
+  // Records a completed trace span (coordinating thread only).
+  void record_span(std::string_view name, std::uint64_t sim_start,
+                   std::uint64_t sim_end, std::uint64_t wall_usec);
+
+  // Merged view: live shards + retired totals, sorted by metric name. Call
+  // from the coordinating thread after a synchronization point.
+  std::vector<MetricRow> snapshot() const;
+  std::vector<SpanRow> spans() const;
+
+  // Deterministic text exporters (Domain::kSim only unless include_wall).
+  // Spans appear with their sim timestamps; wall durations never do.
+  std::string export_prometheus(bool include_wall = false) const;
+  std::string export_csv(bool include_wall = false) const;
+  // The wall-clock profile channel: wall-domain metrics + span wall times.
+  std::string export_profile() const;
+
+  // Zeroes every cell (live and retired) and clears spans. Metric
+  // definitions persist, so existing handles stay valid. Call only while
+  // no other thread is writing metrics (e.g. between Study runs).
+  void reset();
+
+ private:
+  friend struct ShardOwner;
+  Registry() = default;
+
+  Shard& local_shard();
+  void attach_shard(Shard* shard);
+  void detach_shard(Shard* shard);  // folds the shard into retired_
+
+  struct MetricDef {
+    std::string name;
+    Kind kind;
+    Domain domain;
+    std::uint32_t cell;
+    std::uint32_t cells;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<MetricDef> defs_;
+  std::vector<Shard*> shards_;
+  std::array<std::int64_t, kMaxCells> retired_{};
+  std::uint32_t next_cell_ = 1;  // cell 0 is the scrap cell
+  std::vector<SpanRow> spans_;
+};
+
+// ----------------------------------------------------------------- handles
+//
+// Handles are trivially-copyable cell references. Obtain them once (static
+// struct per module, or a member initialized at construction) and call the
+// write methods on the hot path.
+
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const {
+#ifndef OFH_NO_METRICS
+    Registry::global().add(cell_, static_cast<std::int64_t>(n));
+#else
+    (void)n;
+#endif
+  }
+
+ private:
+  friend Counter counter(std::string_view, Domain);
+  explicit Counter(std::uint32_t cell) : cell_(cell) {}
+  std::uint32_t cell_ = 0;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void add(std::int64_t delta) const {
+#ifndef OFH_NO_METRICS
+    Registry::global().add(cell_, delta);
+#else
+    (void)delta;
+#endif
+  }
+  void sub(std::int64_t delta) const { add(-delta); }
+
+ private:
+  friend Gauge gauge(std::string_view, Domain);
+  explicit Gauge(std::uint32_t cell) : cell_(cell) {}
+  std::uint32_t cell_ = 0;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::uint64_t value) const {
+#ifndef OFH_NO_METRICS
+    Registry::global().observe(cell_, value);
+#else
+    (void)value;
+#endif
+  }
+
+ private:
+  friend Histogram histogram(std::string_view, Domain);
+  explicit Histogram(std::uint32_t cell) : cell_(cell) {}
+  std::uint32_t cell_ = 0;
+};
+
+inline Counter counter(std::string_view name, Domain domain = Domain::kSim) {
+#ifndef OFH_NO_METRICS
+  return Counter(Registry::global().define(name, Kind::kCounter, domain));
+#else
+  (void)name;
+  (void)domain;
+  return Counter();
+#endif
+}
+
+inline Gauge gauge(std::string_view name, Domain domain = Domain::kSim) {
+#ifndef OFH_NO_METRICS
+  return Gauge(Registry::global().define(name, Kind::kGauge, domain));
+#else
+  (void)name;
+  (void)domain;
+  return Gauge();
+#endif
+}
+
+inline Histogram histogram(std::string_view name,
+                           Domain domain = Domain::kSim) {
+#ifndef OFH_NO_METRICS
+  return Histogram(Registry::global().define(name, Kind::kHistogram, domain));
+#else
+  (void)name;
+  (void)domain;
+  return Histogram();
+#endif
+}
+
+// "scanner.probes" + ("protocol", "Telnet") -> scanner.probes{protocol="Telnet"}
+// The exporter passes the {...} suffix through as a Prometheus label set.
+std::string labeled(std::string_view base, std::string_view key,
+                    std::string_view value);
+
+// Convenience for phase instrumentation: records the span on destruction.
+// Wall time is measured with a steady clock; sim times are caller-supplied.
+inline void record_span(std::string_view name, std::uint64_t sim_start,
+                        std::uint64_t sim_end, std::uint64_t wall_usec) {
+#ifndef OFH_NO_METRICS
+  Registry::global().record_span(name, sim_start, sim_end, wall_usec);
+#else
+  (void)name;
+  (void)sim_start;
+  (void)sim_end;
+  (void)wall_usec;
+#endif
+}
+
+}  // namespace ofh::obs

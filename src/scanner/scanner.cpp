@@ -2,14 +2,35 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "proto/amqp.h"
 #include "proto/coap.h"
 #include "proto/mqtt.h"
+#include "proto/service.h"
 #include "proto/ssdp.h"
 #include "proto/xmpp.h"
 #include "util/strings.h"
 
 namespace ofh::scanner {
+
+namespace {
+
+// Sweep-layer telemetry. Totals are Domain::kSim: each sweep runs in its own
+// deterministic shard regardless of scan_threads, so the sums match across
+// thread counts. Per-protocol hit-rate counters are interned lazily at sweep
+// start (see Scanner::start).
+struct ScannerMetrics {
+  obs::Counter probes = obs::counter("scanner.probes_sent");
+  obs::Counter records = obs::counter("scanner.records");
+  obs::Counter banner_grabs = obs::counter("scanner.banner_grabs");
+};
+
+const ScannerMetrics& metrics() {
+  static const ScannerMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::vector<util::Cidr> default_blocklist() {
   // The standing ZMap blocklist: RFC1918, loopback, link-local, multicast,
@@ -40,6 +61,9 @@ struct Scanner::Sweep {
   // UDP probe state: address -> accumulated response bytes.
   std::unordered_map<std::uint32_t, std::string> udp_waiting;
   std::uint16_t udp_port = 0;
+  // Per-protocol hit-rate pair: probes{protocol=...} / responses{protocol=...}.
+  obs::Counter probes_by_proto;
+  obs::Counter responses_by_proto;
 
   util::Ipv4Addr address_at(std::uint64_t index) const {
     for (const auto& range : ranges) {
@@ -63,6 +87,12 @@ void Scanner::start(ScanConfig config, DoneCallback done) {
   auto sweep = std::make_shared<Sweep>();
   sweep->config = std::move(config);
   sweep->done = std::move(done);
+  const std::string_view proto_name =
+      proto::protocol_name(sweep->config.protocol);
+  sweep->probes_by_proto =
+      obs::counter(obs::labeled("scanner.probes", "protocol", proto_name));
+  sweep->responses_by_proto =
+      obs::counter(obs::labeled("scanner.responses", "protocol", proto_name));
 
   std::uint64_t total = 0;
   for (const auto& target : sweep->config.targets) {
@@ -124,6 +154,8 @@ void Scanner::pump(std::shared_ptr<Sweep> sweep) {
 void Scanner::probe(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target) {
   ++probes_sent_;
   db_->note_probe();
+  metrics().probes.inc();
+  sweep->probes_by_proto.inc();
   const auto ports = proto::protocol_ports(sweep->config.protocol);
   if (proto::is_udp(sweep->config.protocol)) {
     probe_udp(sweep, target, ports.front());
@@ -218,7 +250,7 @@ void Scanner::probe_tcp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
                       record.protocol = sweep->config.protocol;
                       record.banner = *collected;
                       record.when = sim().now();
-                      db_->add(std::move(record));
+                      store(*sweep, std::move(record));
                       finish_probe(sweep);
                     });
       },
@@ -316,7 +348,7 @@ void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
                       record.protocol = proto::Protocol::kCoap;
                       record.banner = std::move(full);
                       record.when = sim().now();
-                      db_->add(std::move(record));
+                      store(*sweep, std::move(record));
                       finish_probe(sweep);
                     });
         return;
@@ -328,7 +360,7 @@ void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
       record.protocol = proto::Protocol::kCoap;
       record.banner = std::move(banner);
       record.when = sim().now();
-      db_->add(std::move(record));
+      store(*sweep, std::move(record));
       finish_probe(sweep);
       return;
     }
@@ -340,9 +372,16 @@ void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
     record.protocol = sweep->config.protocol;
     record.banner = std::move(raw);
     record.when = sim().now();
-    db_->add(std::move(record));
+    store(*sweep, std::move(record));
     finish_probe(sweep);
   });
+}
+
+void Scanner::store(Sweep& sweep, ScanRecord record) {
+  metrics().records.inc();
+  sweep.responses_by_proto.inc();
+  if (!record.banner.empty()) metrics().banner_grabs.inc();
+  db_->add(std::move(record));
 }
 
 void Scanner::finish_probe(std::shared_ptr<Sweep> sweep) {

@@ -52,6 +52,9 @@ class Scanner : public net::Host {
   std::uint16_t allocate_udp_source_port(std::uint64_t seed);
   void pump(std::shared_ptr<Sweep> sweep);
   void probe(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target);
+  // Single point every resolved probe result funnels through: updates the
+  // obs hit-rate counters and appends to the scan DB.
+  void store(Sweep& sweep, ScanRecord record);
   void probe_tcp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
                  std::uint16_t port);
   void probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,

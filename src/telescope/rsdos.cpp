@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace ofh::telescope {
+
+namespace {
+
+// RSDoS (randomly spoofed DoS) backscatter detection telemetry. An "attack"
+// is counted when a new burst opens; bursts that never close still count.
+struct RsdosMetrics {
+  obs::Counter backscatter = obs::counter("telescope.rsdos_backscatter");
+  obs::Counter attacks = obs::counter("telescope.rsdos_attacks");
+};
+
+const RsdosMetrics& metrics() {
+  static const RsdosMetrics m;
+  return m;
+}
+
+}  // namespace
 
 bool is_backscatter(const net::Packet& packet) {
   if (packet.transport != net::Transport::kTcp) return false;
@@ -16,6 +34,7 @@ void RsdosDetector::observe(const net::Packet& packet, sim::Time when) {
   if (!darknet_.contains(packet.dst)) return;
   if (!is_backscatter(packet)) return;
   ++backscatter_packets_;
+  metrics().backscatter.inc();
 
   auto& state = victims_[packet.src.value()];
   if (state.active && when - state.current.last_seen > attack_gap_) {
@@ -27,6 +46,7 @@ void RsdosDetector::observe(const net::Packet& packet, sim::Time when) {
   }
   if (!state.active) {
     state.active = true;
+    metrics().attacks.inc();
     state.current.victim = packet.src;
     state.current.first_seen = when;
   }

@@ -1,6 +1,26 @@
 #include "telescope/telescope.h"
 
+#include "obs/metrics.h"
+
 namespace ofh::telescope {
+
+namespace {
+
+// Darknet capture telemetry (Domain::kSim: the telescope runs on the main
+// attack-month fabric, which is single-shard and fully deterministic).
+struct TelescopeMetrics {
+  obs::Counter packets = obs::counter("telescope.packets");
+  obs::Counter flowtuples = obs::counter("telescope.flowtuples");
+  obs::Counter spoofed = obs::counter("telescope.spoofed_packets");
+  obs::Counter masscan = obs::counter("telescope.masscan_packets");
+};
+
+const TelescopeMetrics& metrics() {
+  static const TelescopeMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::optional<proto::Protocol> protocol_for_port(std::uint16_t port) {
   switch (port) {
@@ -20,8 +40,15 @@ std::optional<proto::Protocol> protocol_for_port(std::uint16_t port) {
 
 void Telescope::observe(const net::Packet& packet, sim::Time when) {
   ++total_packets_;
-  if (packet.spoofed_src) ++spoofed_packets_;
-  if (packet.from_masscan) ++masscan_packets_;
+  metrics().packets.inc();
+  if (packet.spoofed_src) {
+    ++spoofed_packets_;
+    metrics().spoofed.inc();
+  }
+  if (packet.from_masscan) {
+    ++masscan_packets_;
+    metrics().masscan.inc();
+  }
 
   const std::uint64_t minute = when / sim::minutes(1);
   const TupleKey key{
@@ -30,6 +57,7 @@ void Telescope::observe(const net::Packet& packet, sim::Time when) {
       static_cast<std::uint8_t>(packet.transport)};
   auto& tuple = tuples_[key];
   if (tuple.packet_count == 0) {
+    metrics().flowtuples.inc();
     tuple.minute = minute;
     tuple.src = packet.src;
     tuple.dst = packet.dst;

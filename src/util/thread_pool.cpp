@@ -1,10 +1,33 @@
 #include "util/thread_pool.h"
 
+#include "obs/metrics.h"
+
 namespace ofh::util {
+
+namespace {
+
+// Scheduling telemetry is Domain::kWall: at scan_threads=1 the parallel
+// runner bypasses the pool entirely, so these counts legitimately differ
+// across thread settings and must stay out of the deterministic exports.
+struct PoolMetrics {
+  obs::Counter tasks = obs::counter("threadpool.tasks_run", obs::Domain::kWall);
+  obs::Counter spawned =
+      obs::counter("threadpool.threads_spawned", obs::Domain::kWall);
+  obs::Histogram queue_depth =
+      obs::histogram("threadpool.queue_depth", obs::Domain::kWall);
+};
+
+const PoolMetrics& metrics() {
+  static const PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
+  metrics().spawned.inc(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
@@ -44,6 +67,8 @@ void ThreadPool::worker_loop() {
     if (queue_.empty()) return;  // stop_ and drained
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
+    metrics().tasks.inc();
+    metrics().queue_depth.observe(queue_.size());
     ++active_;
     lock.unlock();
     task();

@@ -1,0 +1,117 @@
+// Golden-file snapshots of the paper's headline tables at the default seed.
+// Any change to the scan/classify/attack pipeline that shifts a rendered
+// number shows up here as a line-level diff, not a silent drift. Regenerate
+// intentionally with scripts/update_goldens.sh (or OFH_UPDATE_GOLDENS=1).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/reports.h"
+#include "core/study.h"
+
+#ifndef OFH_GOLDEN_DIR
+#error "golden_report_test needs -DOFH_GOLDEN_DIR=<path to tests/goldens>"
+#endif
+
+namespace ofh::core {
+namespace {
+
+// The tiny default-seed study every golden is rendered from: big enough
+// that all six protocols and every attack class appear, small enough to run
+// in seconds. Changing any knob here is a golden-regeneration event.
+Study& golden_study() {
+  static Study* instance = [] {
+    StudyConfig config;  // seed 42, the repo-wide default
+    config.population_scale = 1.0 / 8'192;
+    config.attack_scale = 1.0 / 128;
+    config.attack_duration = sim::days(6);
+    auto* study = new Study(config);
+    study->run_all();
+    return study;
+  }();
+  return *instance;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(OFH_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+bool update_mode() {
+  const char* env = std::getenv("OFH_UPDATE_GOLDENS");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+// Compares line by line so a failure names the first diverging line of the
+// table instead of dumping two full blobs.
+void expect_matches_golden(const std::string& name,
+                           const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (update_mode()) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    GTEST_SKIP() << "golden " << name << " rewritten";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — run scripts/update_goldens.sh to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+  if (expected == actual) return;
+
+  std::istringstream expected_lines(expected), actual_lines(actual);
+  std::string expected_line, actual_line;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool more_expected =
+        static_cast<bool>(std::getline(expected_lines, expected_line));
+    const bool more_actual =
+        static_cast<bool>(std::getline(actual_lines, actual_line));
+    if (!more_expected && !more_actual) break;
+    if (!more_expected) expected_line = "<end of golden>";
+    if (!more_actual) actual_line = "<end of output>";
+    if (expected_line != actual_line || more_expected != more_actual) {
+      ADD_FAILURE() << name << ".txt first differs at line " << line << ":\n"
+                    << "  golden: " << expected_line << "\n"
+                    << "  actual: " << actual_line << "\n"
+                    << "If the change is intentional, regenerate with "
+                       "scripts/update_goldens.sh and review the diff.";
+      return;
+    }
+  }
+}
+
+TEST(GoldenReports, Table4Exposed) {
+  expect_matches_golden("table4", report_table4_exposed(golden_study()));
+}
+
+TEST(GoldenReports, Table5Misconfigured) {
+  expect_matches_golden("table5",
+                        report_table5_misconfigured(golden_study()));
+}
+
+TEST(GoldenReports, Table6Honeypots) {
+  expect_matches_golden("table6", report_table6_honeypots(golden_study()));
+}
+
+TEST(GoldenReports, Table7Attacks) {
+  expect_matches_golden("table7", report_table7_attacks(golden_study()));
+}
+
+TEST(GoldenReports, Table8Telescope) {
+  expect_matches_golden("table8", report_table8_telescope(golden_study()));
+}
+
+TEST(GoldenReports, Table10Countries) {
+  expect_matches_golden("table10", report_table10_countries(golden_study()));
+}
+
+}  // namespace
+}  // namespace ofh::core

@@ -134,6 +134,22 @@ TEST_F(NetTest, LossMakesConnectTimeOut) {
   EXPECT_GT(fabric_.packets_dropped(), 0u);
 }
 
+TEST_F(NetTest, LossRateOutsideUnitIntervalIsABug) {
+  // Debug builds assert; release builds clamp (regression test for the
+  // former behaviour of storing the bogus rate verbatim and feeding it to
+  // Rng::chance).
+  EXPECT_DEBUG_DEATH(fabric_.set_loss_rate(1.5), "loss rate");
+  EXPECT_DEBUG_DEATH(fabric_.set_loss_rate(-0.25), "loss rate");
+#ifdef NDEBUG
+  fabric_.set_loss_rate(1.5);
+  EXPECT_DOUBLE_EQ(fabric_.loss_rate(), 1.0);
+  fabric_.set_loss_rate(-0.25);
+  EXPECT_DOUBLE_EQ(fabric_.loss_rate(), 0.0);
+#endif
+  fabric_.set_loss_rate(0.5);  // in range passes through untouched
+  EXPECT_DOUBLE_EQ(fabric_.loss_rate(), 0.5);
+}
+
 TEST_F(NetTest, UdpDatagramDelivery) {
   PlainHost server(Ipv4Addr(10, 0, 0, 1));
   PlainHost client(Ipv4Addr(10, 0, 0, 2));

@@ -125,7 +125,15 @@ TEST(ParallelScan, SerialAndParallelRunsAreByteIdentical) {
   const std::string reference = serialize(serial.scan_db());
   const std::string table4 = core::report_table4_exposed(serial);
   const std::string table5 = core::report_table5_misconfigured(serial);
+  // Snapshot the observability exports NOW: constructing the next Study
+  // resets the process-wide registry.
+  const std::string metrics_prometheus = serial.metrics_prometheus();
+  const std::string metrics_csv = serial.metrics_csv();
   ASSERT_GT(serial.scan_db().size(), 0u);
+#ifndef OFH_NO_METRICS
+  ASSERT_FALSE(metrics_prometheus.empty());
+  ASSERT_FALSE(metrics_csv.empty());
+#endif
 
   for (const unsigned threads : {2u, 8u, 0u}) {  // 0 = hardware concurrency
     core::Study study(scan_config(threads));
@@ -133,6 +141,13 @@ TEST(ParallelScan, SerialAndParallelRunsAreByteIdentical) {
     study.run_scan();
     study.run_datasets();
     EXPECT_EQ(serialize(study.scan_db()), reference)
+        << "scan_threads=" << threads;
+    // The deterministic telemetry exports are byte-identical too: every
+    // Domain::kSim cell is an order-independent sum over identical
+    // per-shard work, and wall-domain metrics never reach these exports.
+    EXPECT_EQ(study.metrics_prometheus(), metrics_prometheus)
+        << "scan_threads=" << threads;
+    EXPECT_EQ(study.metrics_csv(), metrics_csv)
         << "scan_threads=" << threads;
     EXPECT_EQ(core::report_table4_exposed(study), table4)
         << "scan_threads=" << threads;
