@@ -25,6 +25,7 @@
 #include "devices/device.h"
 #include "net/fabric.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scanner/scanner.h"
 #include "sim/parallel.h"
 #include "sim/simulation.h"
@@ -54,6 +55,32 @@ void BM_MetricsHistogramObserve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MetricsHistogramObserve);
+
+// The trace hot path: stamp shard/seq, append into the current chunk, and
+// (once the ring is full) evict an oldest chunk every chunk_events records.
+// The budget is ~2x the metrics histogram path above — a trace event writes
+// 40 bytes plus bookkeeping where the histogram does three atomic adds.
+void BM_TraceRecordPacketEvent(benchmark::State& state) {
+  auto& traces = ofh::obs::TraceRegistry::global();
+  traces.reset();
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    ofh::obs::trace_event(ofh::obs::TraceEventType::kPacketSend, now++,
+                          /*trace_id=*/42, /*src=*/1, /*dst=*/2, /*port=*/23);
+  }
+  state.SetItemsProcessed(state.iterations());
+  traces.reset();
+}
+BENCHMARK(BM_TraceRecordPacketEvent);
+
+// Minting is the other per-probe cost: one shifted-or on the shard counter.
+void BM_TraceMintId(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ofh::obs::mint_trace_id());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceMintId);
 
 // 48-byte capture: fits SmallCallable's inline buffer, like the scanner's
 // banner-window callback.

@@ -63,8 +63,16 @@ int main(int argc, char** argv) {
       << study.metrics_prometheus() << "```\n\n```\n"
       << study.metrics_profile() << "```\n";
 
-  std::printf("wrote %s (%zu attack events, %zu scan records)\n",
+  // Causal-trace appendix: the attack-chain provenance report inline, the
+  // Chrome trace JSON to a side file (load it in Perfetto).
+  out << "\n## Attack-chain provenance\n\n```\n"
+      << study.attack_chains() << "```\n";
+  const std::string trace_path = path + ".trace.json";
+  std::ofstream trace_out(trace_path);
+  if (trace_out) trace_out << study.trace_json();
+
+  std::printf("wrote %s (%zu attack events, %zu scan records) and %s\n",
               path.c_str(), study.attack_log().size(),
-              study.scan_db().size());
+              study.scan_db().size(), trace_path.c_str());
   return 0;
 }

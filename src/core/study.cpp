@@ -4,8 +4,10 @@
 #include <chrono>
 #include <functional>
 
+#include "core/trace_report.h"
 #include "devices/paper_stats.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scanner/scanner.h"
 #include "sim/parallel.h"
 
@@ -71,7 +73,13 @@ struct ScanShard {
 // shard owns its Simulation, Fabric and ScanDb, so shards share no mutable
 // state and are free to run concurrently.
 ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
-                         std::uint64_t sweep_seed, sim::Time start) {
+                         std::uint64_t sweep_seed, sim::Time start,
+                         std::uint16_t trace_shard) {
+  // All trace events this sweep produces — probe mints, packet fates, TCP
+  // transitions — land in the sweep's own deterministic shard recorder
+  // (shard 0 is the main simulation), regardless of which worker thread
+  // runs the job.
+  const obs::TraceShardScope trace_scope(trace_shard);
   sim::Simulation sim;
   net::Fabric fabric(sim, config.seed);
   fabric.set_latency(sim::msec(15), sim::msec(25));
@@ -122,8 +130,10 @@ ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
 Study::Study(StudyConfig config) : config_(config) {
   // One Study at a time: the obs registry is process-wide and cumulative,
   // so each study starts from zero. Callers comparing metrics across runs
-  // must snapshot (metrics_prometheus) before constructing the next Study.
+  // must snapshot (metrics_prometheus / trace_json) before constructing the
+  // next Study.
   obs::Registry::global().reset();
+  obs::TraceRegistry::global().reset();
   fabric_ = std::make_unique<net::Fabric>(sim_, config_.seed);
   fabric_->set_latency(sim::msec(15), sim::msec(25));
 }
@@ -184,8 +194,10 @@ void Study::run_scan() {
     const sim::Time start = scan_epoch + sim::days(kDayOffsets[i]);
     scan_dates_[protocol] = start;
     const std::uint64_t sweep_seed = sim::shard_seed(config_.seed, i);
-    jobs.emplace_back([this, protocol, sweep_seed, start] {
-      return run_scan_shard(config_, protocol, sweep_seed, start);
+    const auto trace_shard = static_cast<std::uint16_t>(i + 1);
+    jobs.emplace_back([this, protocol, sweep_seed, start, trace_shard] {
+      return run_scan_shard(config_, protocol, sweep_seed, start,
+                            trace_shard);
     });
   }
   auto shards = sim::ParallelRunner(config_.scan_threads).run(std::move(jobs));
@@ -217,6 +229,15 @@ void Study::run_scan() {
                   ? classify::filter_honeypots(unfiltered_findings_,
                                                fingerprints_)
                   : unfiltered_findings_;
+  // One kVerdict trace event per surviving finding, closing the causal
+  // chain scan probe -> banner -> classifier verdict. Findings are already
+  // in deterministic (merged scan DB) order; all verdicts land in shard 0.
+  for (const auto& finding : findings_) {
+    obs::trace_event(obs::TraceEventType::kVerdict, sim_.now(), 0,
+                     finding.host.value(), 0, 0,
+                     static_cast<std::uint8_t>(finding.misconfig),
+                     static_cast<std::uint8_t>(finding.protocol));
+  }
 }
 
 void Study::run_datasets() {
@@ -284,6 +305,10 @@ std::string Study::metrics_csv() const {
 std::string Study::metrics_profile() const {
   return obs::Registry::global().export_profile();
 }
+
+std::string Study::trace_json() const { return trace_chrome_json(); }
+
+std::string Study::attack_chains() const { return attack_chain_report(); }
 
 std::vector<std::string> Study::scan_service_domains() const {
   std::vector<std::string> domains;

@@ -149,6 +149,14 @@ class Study {
       const {
     return phase_metrics_;
   }
+  // Chrome trace-event JSON of this run: phase spans plus the merged
+  // flight-recorder events, loadable in Perfetto / chrome://tracing.
+  // Deterministic (sim-time only) and byte-identical across scan_threads.
+  std::string trace_json() const;
+  // Figure 9 analogue: per-source multistage attack chains reconstructed
+  // from the trace session events, plus the §5.3 scan x honeynet x
+  // telescope provenance join. Deterministic like trace_json().
+  std::string attack_chains() const;
 
  private:
   StudyConfig config_;

@@ -1,0 +1,358 @@
+#include "core/trace_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "devices/misconfig.h"
+#include "honeynet/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "proto/service.h"
+#include "sim/time.h"
+#include "util/ipv4.h"
+
+namespace ofh::core {
+namespace {
+
+using obs::TraceEvent;
+using obs::TraceEventType;
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  append_json_escaped(out, text);
+  out += '"';
+}
+
+std::string_view protocol_label(std::uint8_t code) {
+  if (code > static_cast<std::uint8_t>(proto::Protocol::kS7)) return "other";
+  return proto::protocol_name(static_cast<proto::Protocol>(code));
+}
+
+std::string_view attack_label(std::uint8_t code) {
+  if (code > static_cast<std::uint8_t>(honeynet::AttackType::kMultistageStep))
+    return "?";
+  return honeynet::attack_type_name(static_cast<honeynet::AttackType>(code));
+}
+
+std::string_view misconfig_label(std::uint8_t code) {
+  if (code > static_cast<std::uint8_t>(devices::Misconfig::kUpnpReflector))
+    return "?";
+  return devices::misconfig_name(static_cast<devices::Misconfig>(code));
+}
+
+// Track grouping for the Chrome viewer's category filter.
+std::string_view category_of(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kPacketSend:
+    case TraceEventType::kPacketDeliver:
+    case TraceEventType::kPacketDrop:
+      return "packet";
+    case TraceEventType::kTcpState: return "tcp";
+    case TraceEventType::kProbe: return "probe";
+    case TraceEventType::kSessionBegin:
+    case TraceEventType::kSessionCommand:
+    case TraceEventType::kSessionEnd:
+      return "session";
+    case TraceEventType::kFlowTuple:
+    case TraceEventType::kBackscatter:
+      return "telescope";
+    case TraceEventType::kVerdict: return "verdict";
+  }
+  return "trace";
+}
+
+// The type-specific decoding of the a/b detail bytes, rendered as one args
+// entry so the viewer shows readable strings instead of codes.
+void append_event_args(std::string& out, const TraceEvent& event) {
+  switch (event.type) {
+    case TraceEventType::kTcpState:
+      out += ",\"state\":";
+      append_json_string(
+          out, obs::tcp_trace_name(static_cast<obs::TcpTrace>(event.a)));
+      break;
+    case TraceEventType::kProbe:
+      out += ",\"origin\":";
+      append_json_string(out, event.a == 0 ? "scanner" : "attacker");
+      out += ",\"protocol\":";
+      append_json_string(out, protocol_label(event.b));
+      break;
+    case TraceEventType::kSessionBegin:
+    case TraceEventType::kSessionEnd:
+      out += ",\"protocol\":";
+      append_json_string(out, protocol_label(event.b));
+      break;
+    case TraceEventType::kSessionCommand:
+      out += ",\"attack\":";
+      append_json_string(out, attack_label(event.a));
+      out += ",\"protocol\":";
+      append_json_string(out, protocol_label(event.b));
+      break;
+    case TraceEventType::kVerdict:
+      out += ",\"misconfig\":";
+      append_json_string(out, misconfig_label(event.a));
+      out += ",\"protocol\":";
+      append_json_string(out, protocol_label(event.b));
+      break;
+    case TraceEventType::kFlowTuple:
+      out += ",\"protocol\":";
+      append_json_string(out, protocol_label(event.b));
+      break;
+    default:
+      break;
+  }
+}
+
+// --------------------------------------------------------- chain building
+
+// One stage of a source's honeypot narrative: consecutive same-type
+// commands collapse into a single stage (10 failed logins = one
+// brute-force stage), matching how Figure 9 presents chains.
+struct ChainStage {
+  std::uint8_t attack_type = 0;
+  std::uint8_t protocol = 0;
+  std::uint64_t events = 0;
+  std::uint64_t first_time = 0;
+  std::uint64_t last_time = 0;
+};
+
+struct SourceChain {
+  std::uint32_t source = 0;
+  std::vector<ChainStage> stages;
+  std::uint64_t events = 0;
+};
+
+bool is_scan_stage(std::uint8_t type) {
+  const auto t = static_cast<honeynet::AttackType>(type);
+  return t == honeynet::AttackType::kScan ||
+         t == honeynet::AttackType::kDiscovery;
+}
+
+bool is_bruteforce_stage(std::uint8_t type) {
+  const auto t = static_cast<honeynet::AttackType>(type);
+  return t == honeynet::AttackType::kBruteForce ||
+         t == honeynet::AttackType::kDictionary;
+}
+
+bool is_injection_stage(std::uint8_t type) {
+  const auto t = static_cast<honeynet::AttackType>(type);
+  return t == honeynet::AttackType::kMalwareDrop ||
+         t == honeynet::AttackType::kPoisoning ||
+         t == honeynet::AttackType::kExploit;
+}
+
+// True when the chain contains a scan stage, then (later) a brute-force
+// stage, then (later still) an injection stage — the paper's canonical
+// scanning -> credentials -> payload escalation.
+bool has_escalation(const SourceChain& chain) {
+  int progress = 0;
+  for (const auto& stage : chain.stages) {
+    if (progress == 0 && is_scan_stage(stage.attack_type)) progress = 1;
+    else if (progress == 1 && is_bruteforce_stage(stage.attack_type))
+      progress = 2;
+    else if (progress == 2 && is_injection_stage(stage.attack_type))
+      return true;
+  }
+  return false;
+}
+
+std::vector<SourceChain> build_chains(const std::vector<TraceEvent>& events) {
+  // events are already in the (time, shard, seq) total order, so each
+  // source's command sequence comes out time-ordered.
+  std::map<std::uint32_t, SourceChain> by_source;
+  for (const auto& event : events) {
+    if (event.type != TraceEventType::kSessionCommand) continue;
+    SourceChain& chain = by_source[event.src];
+    chain.source = event.src;
+    ++chain.events;
+    if (!chain.stages.empty() &&
+        chain.stages.back().attack_type == event.a &&
+        chain.stages.back().protocol == event.b) {
+      ++chain.stages.back().events;
+      chain.stages.back().last_time = event.time;
+      continue;
+    }
+    ChainStage stage;
+    stage.attack_type = event.a;
+    stage.protocol = event.b;
+    stage.events = 1;
+    stage.first_time = event.time;
+    stage.last_time = event.time;
+    chain.stages.push_back(stage);
+  }
+  std::vector<SourceChain> chains;
+  chains.reserve(by_source.size());
+  for (auto& [source, chain] : by_source) chains.push_back(std::move(chain));
+  return chains;  // already sorted by source (map order)
+}
+
+}  // namespace
+
+std::string trace_chrome_json() {
+  const auto spans = obs::Registry::global().spans();
+  const auto events = obs::TraceRegistry::global().merged();
+
+  std::string out;
+  out.reserve(256 + spans.size() * 96 + events.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  // Phase spans as complete events on the coordinating track. Only sim
+  // timestamps are exported; the wall-clock channel stays in the profile.
+  for (const auto& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, span.name);
+    out += ",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(span.sim_start);
+    out += ",\"dur\":";
+    out += std::to_string(span.sim_end - span.sim_start);
+    out += ",\"pid\":1,\"tid\":0}";
+  }
+
+  for (const auto& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, obs::trace_event_name(event.type));
+    out += ",\"cat\":";
+    append_json_string(out, category_of(event.type));
+    out += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+    out += std::to_string(event.time);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.shard);
+    out += ",\"args\":{\"trace_id\":";
+    char id[24];
+    std::snprintf(id, sizeof(id), "\"0x%llx\"",
+                  static_cast<unsigned long long>(event.trace_id));
+    out += id;
+    out += ",\"src\":";
+    append_json_string(out, util::Ipv4Addr(event.src).to_string());
+    out += ",\"dst\":";
+    append_json_string(out, util::Ipv4Addr(event.dst).to_string());
+    out += ",\"port\":";
+    out += std::to_string(event.port);
+    append_event_args(out, event);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string attack_chain_report() {
+  auto& registry = obs::TraceRegistry::global();
+  const auto events = registry.merged();
+  const auto chains = build_chains(events);
+
+  std::string out;
+  out += "attack-chain provenance (trace-derived)\n";
+  out += "flight recorder: " + std::to_string(registry.events_recorded()) +
+         " events recorded, " + std::to_string(registry.events_dropped()) +
+         " evicted (ring capacity " +
+         std::to_string(registry.packet_capacity()) + " packet / " +
+         std::to_string(registry.session_capacity()) +
+         " session events per shard)\n";
+
+  // ---- Figure 9 analogue: multistage chains per source ------------------
+  out += "\nmultistage chains (>= 2 stages, per source):\n";
+  constexpr std::size_t kMaxPrinted = 40;
+  std::size_t multistage = 0;
+  std::size_t escalations = 0;
+  for (const auto& chain : chains) {
+    if (chain.stages.size() < 2) continue;
+    ++multistage;
+    if (has_escalation(chain)) ++escalations;
+    if (multistage > kMaxPrinted) continue;
+    out += "  " + util::Ipv4Addr(chain.source).to_string() + "  d" +
+           std::to_string(sim::to_days(chain.stages.front().first_time)) +
+           ": ";
+    for (std::size_t i = 0; i < chain.stages.size(); ++i) {
+      const auto& stage = chain.stages[i];
+      if (i != 0) out += " -> ";
+      out += std::string(attack_label(stage.attack_type)) + "[" +
+             std::string(protocol_label(stage.protocol)) + "]";
+      if (stage.events > 1) {
+        out += " x" + std::to_string(stage.events);
+      }
+    }
+    out += "\n";
+  }
+  if (multistage > kMaxPrinted) {
+    out += "  ... and " + std::to_string(multistage - kMaxPrinted) +
+           " more chains\n";
+  }
+  out += "sources with multistage chains: " + std::to_string(multistage) +
+         " of " + std::to_string(chains.size()) + " attacking sources\n";
+  out += "scan -> brute-force -> injection escalations: " +
+         std::to_string(escalations) + "\n";
+
+  // ---- Section 5.3 analogue: scan x honeynet x telescope join -----------
+  std::set<std::uint32_t> honeynet_sources;
+  std::set<std::uint32_t> telescope_sources;
+  std::set<std::uint32_t> misconfigured_hosts;
+  for (const auto& event : events) {
+    switch (event.type) {
+      case TraceEventType::kSessionCommand:
+        honeynet_sources.insert(event.src);
+        break;
+      case TraceEventType::kFlowTuple:
+        telescope_sources.insert(event.src);
+        break;
+      case TraceEventType::kVerdict:
+        misconfigured_hosts.insert(event.src);
+        break;
+      default:
+        break;
+    }
+  }
+  const auto intersect = [](const std::set<std::uint32_t>& a,
+                            const std::set<std::uint32_t>& b) {
+    std::vector<std::uint32_t> both;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(both));
+    return both.size();
+  };
+  out += "\nprovenance join (sources seen across experiments):\n";
+  out += "  honeynet sources (session commands): " +
+         std::to_string(honeynet_sources.size()) + "\n";
+  out += "  telescope sources (flowtuples):      " +
+         std::to_string(telescope_sources.size()) + "\n";
+  out += "  misconfigured hosts (verdicts):      " +
+         std::to_string(misconfigured_hosts.size()) + "\n";
+  out += "  honeynet & telescope:                " +
+         std::to_string(intersect(honeynet_sources, telescope_sources)) +
+         "\n";
+  out += "  misconfigured & honeynet:            " +
+         std::to_string(intersect(misconfigured_hosts, honeynet_sources)) +
+         "\n";
+  out += "  misconfigured & telescope:           " +
+         std::to_string(intersect(misconfigured_hosts, telescope_sources)) +
+         "\n";
+  return out;
+}
+
+}  // namespace ofh::core

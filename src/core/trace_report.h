@@ -1,0 +1,28 @@
+// Exporters over the obs/trace.h flight recorder. They live in core (not
+// obs) because rendering an event needs the protocol / attack-type /
+// misconfiguration name tables from the proto, honeynet and devices layers,
+// which the base obs library must not link against.
+//
+// Both exports are deterministic: they read only sim-time-stamped events in
+// the (time, shard, seq) total order plus the sim timestamps of the phase
+// spans, so the bytes are identical for any scan_threads setting.
+#pragma once
+
+#include <string>
+
+namespace ofh::core {
+
+// Chrome trace-event JSON ("JSON Object Format") over the current trace
+// registry: phase spans as "ph":"X" complete events (ts/dur = sim-time
+// microseconds; wall durations never appear) and flight-recorder events as
+// "ph":"i" instant events, one track (tid) per deterministic shard. Loads
+// in Perfetto and chrome://tracing.
+std::string trace_chrome_json();
+
+// Deterministic text report reconstructing causal narratives from the
+// session-class trace events: per-source multistage attack chains (the
+// Figure 9 analogue) and the scan x honeynet x telescope provenance join
+// (the Section 5.3 analogue), plus flight-recorder accounting.
+std::string attack_chain_report();
+
+}  // namespace ofh::core

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ofh::honeynet {
 
@@ -39,6 +40,35 @@ void EventLog::record(AttackEvent event) {
   metrics().total.inc();
   const auto type = static_cast<std::size_t>(event.type);
   if (type < kAttackTypes) metrics().by_type[type].inc();
+
+  // Sessionize for the trace layer: honeypot protocols have no explicit
+  // session teardown, so a (source, protocol) pair going quiet for the gap
+  // ends its session; the end event is stamped at detection time (the next
+  // event from that pair), keeping per-shard append order time-monotonic.
+  const auto session_key = std::make_pair(
+      event.source.value(), static_cast<std::uint8_t>(event.protocol));
+  const std::uint64_t trace_id = obs::current_trace_id();
+  const std::uint8_t protocol_code =
+      static_cast<std::uint8_t>(event.protocol);
+  const auto [it, first_contact] =
+      last_seen_.try_emplace(session_key, event.when);
+  if (first_contact) {
+    obs::trace_event(obs::TraceEventType::kSessionBegin, event.when, trace_id,
+                     event.source.value(), 0, 0, 0, protocol_code);
+  } else {
+    if (event.when - it->second > kSessionGap) {
+      obs::trace_event(obs::TraceEventType::kSessionEnd, event.when, trace_id,
+                       event.source.value(), 0, 0, 0, protocol_code);
+      obs::trace_event(obs::TraceEventType::kSessionBegin, event.when,
+                       trace_id, event.source.value(), 0, 0, 0,
+                       protocol_code);
+    }
+    it->second = event.when;
+  }
+  obs::trace_event(obs::TraceEventType::kSessionCommand, event.when, trace_id,
+                   event.source.value(), 0, 0,
+                   static_cast<std::uint8_t>(event.type), protocol_code);
+
   events_.push_back(std::move(event));
 }
 

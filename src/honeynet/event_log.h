@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "proto/service.h"
@@ -41,9 +43,15 @@ struct AttackEvent {
 
 class EventLog {
  public:
+  // A (source, protocol) pair with no event for this long starts a new
+  // trace session on its next event — the sessionization gap behind the
+  // kSessionBegin/End trace events (obs/trace.h).
+  static constexpr sim::Duration kSessionGap = sim::minutes(10);
+
   // Appends the event and bumps the honeynet.events obs counters (total and
-  // per attack-type class); defined in event_log.cpp to keep the obs
-  // dependency out of this header.
+  // per attack-type class); also emits the session begin/command/end trace
+  // events that the attack-chain report reconstructs Figure 9 from. Defined
+  // in event_log.cpp to keep the obs dependency out of this header.
   void record(AttackEvent event);
 
   const std::vector<AttackEvent>& events() const { return events_; }
@@ -59,6 +67,8 @@ class EventLog {
       const std::string& honeypot) const;
 
  private:
+  // Last event time per (source, protocol), for session-gap detection.
+  std::map<std::pair<std::uint32_t, std::uint8_t>, sim::Time> last_seen_;
   std::vector<AttackEvent> events_;
 };
 

@@ -2,6 +2,7 @@
 
 #include "net/host.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ofh::net {
 
@@ -53,15 +54,24 @@ sim::Duration Fabric::sample_latency(const Packet& packet) const {
 }
 
 void Fabric::send(Packet packet) {
+  // A packet sent from inside a traced context (a probe, or a host
+  // responding to a traced delivery) inherits the ambient causal id.
+  if (packet.trace_id == 0) packet.trace_id = obs::current_trace_id();
   ++packets_sent_;
   metrics().sent.inc();
   metrics().inflight.add(1);
+  obs::trace_event(obs::TraceEventType::kPacketSend, sim_.now(),
+                   packet.trace_id, packet.src.value(), packet.dst.value(),
+                   packet.dst_port);
   for (PacketSink* tap : taps_) tap->observe(packet, sim_.now());
 
   if (loss_rate_ > 0 && rng_.chance(loss_rate_)) {
     ++packets_dropped_;
     metrics().dropped.inc();
     metrics().inflight.sub(1);
+    obs::trace_event(obs::TraceEventType::kPacketDrop, sim_.now(),
+                     packet.trace_id, packet.src.value(), packet.dst.value(),
+                     packet.dst_port);
     return;
   }
 
@@ -75,6 +85,9 @@ void Fabric::send(Packet packet) {
         metrics().delivered.inc();
         metrics().inflight.sub(1);
         metrics().latency.observe(delay);
+        obs::trace_event(obs::TraceEventType::kPacketDeliver, sim_.now(),
+                         packet.trace_id, packet.src.value(),
+                         packet.dst.value(), packet.dst_port);
         sink->observe(packet, sim_.now());
       });
       return;
@@ -91,12 +104,18 @@ void Fabric::send(Packet packet) {
       ++packets_dropped_;
       metrics().dropped.inc();
       metrics().inflight.sub(1);
+      obs::trace_event(obs::TraceEventType::kPacketDrop, sim_.now(),
+                       packet.trace_id, packet.src.value(),
+                       packet.dst.value(), packet.dst_port);
       return;
     }
     ++packets_delivered_;
     metrics().delivered.inc();
     metrics().inflight.sub(1);
     metrics().latency.observe(delay);
+    obs::trace_event(obs::TraceEventType::kPacketDeliver, sim_.now(),
+                     packet.trace_id, packet.src.value(), packet.dst.value(),
+                     packet.dst_port);
     host->deliver(packet);
   });
 }

@@ -1,6 +1,7 @@
 #include "net/host.h"
 
 #include "net/fabric.h"
+#include "obs/trace.h"
 
 namespace ofh::net {
 
@@ -22,6 +23,9 @@ sim::Simulation& Host::sim() { return fabric().sim(); }
 
 void Host::deliver(const Packet& packet) {
   if (ingress_filter_ && !ingress_filter_(packet)) return;  // firewalled
+  // Everything the host does in response — honeypot logging, replies sent
+  // back through the fabric — inherits the packet's causal id.
+  const obs::TraceContext trace_context(packet.trace_id);
   switch (packet.transport) {
     case Transport::kTcp:
       tcp_->handle(packet);

@@ -35,6 +35,11 @@ struct Packet {
   // is_spoofed / is_masscan annotations).
   bool spoofed_src = false;
   bool from_masscan = false;
+  // Causal id minted by the originating probe (obs/trace.h); 0 means
+  // unattributed. Adopted from the ambient TraceContext at Fabric::send and
+  // re-published while the receiving host handles the packet, so responses
+  // and follow-on traffic inherit the originating probe's id.
+  std::uint64_t trace_id = 0;
   util::Bytes payload;
 
   bool has_flag(std::uint8_t flag) const { return (tcp_flags & flag) != 0; }

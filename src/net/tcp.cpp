@@ -3,6 +3,7 @@
 #include "net/fabric.h"
 #include "net/host.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ofh::net {
 
@@ -23,6 +24,16 @@ struct TcpMetrics {
 const TcpMetrics& metrics() {
   static const TcpMetrics m;
   return m;
+}
+
+// One kTcpState trace event per transition, seen from this endpoint. The
+// port is always the *service* port (the listener side), so a connection's
+// client and server transitions group under the same port in reports.
+void trace_state(Host& host, const ConnKey& key, std::uint64_t trace_id,
+                 obs::TcpTrace state, std::uint16_t service_port) {
+  obs::trace_event(obs::TraceEventType::kTcpState, host.sim().now(), trace_id,
+                   host.address().value(), key.remote.value(), service_port,
+                   static_cast<std::uint8_t>(state));
 }
 
 }  // namespace
@@ -70,9 +81,12 @@ void TcpStack::connect(util::Ipv4Addr dst, std::uint16_t dst_port,
   auto conn = std::unique_ptr<TcpConnection>(
       new TcpConnection(*this, key, TcpConnection::State::kSynSent));
   conn->opened_at_ = host_.sim().now();
+  conn->trace_id_ = obs::current_trace_id();
   conns_[key] = std::move(conn);
   pending_connects_[key] = std::move(handler);
   metrics().connects.inc();
+  trace_state(host_, key, obs::current_trace_id(), obs::TcpTrace::kSynSent,
+              key.remote_port);
   send_flags(key, TcpFlags::kSyn);
 
   host_.sim().after(timeout, [this, key] {
@@ -81,6 +95,8 @@ void TcpStack::connect(util::Ipv4Addr dst, std::uint16_t dst_port,
       return;  // already established or gone
     }
     metrics().timeouts.inc();
+    trace_state(host_, key, conn->trace_id_, obs::TcpTrace::kTimeout,
+                key.remote_port);
     auto pending = pending_connects_.extract(key);
     erase(key);
     if (!pending.empty() && pending.mapped()) pending.mapped()(nullptr);
@@ -90,11 +106,19 @@ void TcpStack::connect(util::Ipv4Addr dst, std::uint16_t dst_port,
 void TcpStack::handle(const Packet& packet) {
   const ConnKey key{packet.dst_port, packet.src, packet.src_port};
   TcpConnection* conn = find(key);
+  // Service port for trace events: our local port when we listen on it
+  // (server side), the remote port otherwise (client side).
+  const std::uint16_t service_port =
+      listeners_.count(key.local_port) != 0 ? key.local_port
+                                            : key.remote_port;
 
   if (packet.has_flag(TcpFlags::kRst)) {
     if (conn == nullptr) return;
     const bool was_pending = conn->state_ == TcpConnection::State::kSynSent;
     conn->state_ = TcpConnection::State::kClosed;
+    trace_state(host_, key, conn->trace_id_,
+                was_pending ? obs::TcpTrace::kRefused : obs::TcpTrace::kReset,
+                service_port);
     auto pending = pending_connects_.extract(key);
     auto on_close = conn->on_close;
     erase(key);
@@ -131,7 +155,10 @@ void TcpStack::handle(const Packet& packet) {
     auto server_conn = std::unique_ptr<TcpConnection>(
         new TcpConnection(*this, key, TcpConnection::State::kSynReceived));
     server_conn->opened_at_ = host_.sim().now();
+    server_conn->trace_id_ = packet.trace_id;
     conns_[key] = std::move(server_conn);
+    trace_state(host_, key, packet.trace_id, obs::TcpTrace::kSynReceived,
+                key.local_port);
     send_flags(key, TcpFlags::kSyn | TcpFlags::kAck);
     // Garbage-collect half-open entries (e.g. spoofed SYNs never ACKed).
     host_.sim().after(sim::seconds(30), [this, key] {
@@ -151,6 +178,8 @@ void TcpStack::handle(const Packet& packet) {
     }
     conn->state_ = TcpConnection::State::kEstablished;
     metrics().established.inc();
+    trace_state(host_, key, conn->trace_id_, obs::TcpTrace::kEstablished,
+                key.remote_port);
     send_flags(key, TcpFlags::kAck);
     auto pending = pending_connects_.extract(key);
     if (!pending.empty() && pending.mapped()) pending.mapped()(conn);
@@ -160,6 +189,8 @@ void TcpStack::handle(const Packet& packet) {
   if (packet.has_flag(TcpFlags::kFin)) {
     if (conn == nullptr) return;
     conn->state_ = TcpConnection::State::kClosed;
+    trace_state(host_, key, conn->trace_id_, obs::TcpTrace::kClosed,
+                service_port);
     auto on_close = conn->on_close;
     TcpConnection copy(*this, key, TcpConnection::State::kClosed);
     erase(key);
@@ -173,6 +204,8 @@ void TcpStack::handle(const Packet& packet) {
         conn->state_ == TcpConnection::State::kSynReceived) {
       conn->state_ = TcpConnection::State::kEstablished;
       metrics().accepts.inc();
+      trace_state(host_, key, conn->trace_id_, obs::TcpTrace::kAccepted,
+                  key.local_port);
       const auto listener = listeners_.find(key.local_port);
       if (listener != listeners_.end() && listener->second) {
         listener->second(*conn);
@@ -187,6 +220,8 @@ void TcpStack::handle(const Packet& packet) {
       // Data may arrive back-to-back with the ACK; promote implicitly.
       conn->state_ = TcpConnection::State::kEstablished;
       metrics().accepts.inc();
+      trace_state(host_, key, conn->trace_id_, obs::TcpTrace::kAccepted,
+                  key.local_port);
       const auto listener = listeners_.find(key.local_port);
       if (listener != listeners_.end() && listener->second) {
         listener->second(*conn);
@@ -215,6 +250,9 @@ void TcpStack::send_flags(const ConnKey& key, std::uint8_t flags) {
   packet.dst_port = key.remote_port;
   packet.transport = Transport::kTcp;
   packet.tcp_flags = flags;
+  // Segments carry the connection's causal id even when sent from a
+  // deferred callback (banner-window abort) where no context is ambient.
+  if (const TcpConnection* conn = find(key)) packet.trace_id = conn->trace_id_;
   host_.fabric().send(std::move(packet));
 }
 
@@ -227,6 +265,7 @@ void TcpStack::send_data(const ConnKey& key, util::Bytes data) {
   packet.transport = Transport::kTcp;
   packet.tcp_flags = TcpFlags::kPsh | TcpFlags::kAck;
   packet.payload = std::move(data);
+  if (const TcpConnection* conn = find(key)) packet.trace_id = conn->trace_id_;
   host_.fabric().send(std::move(packet));
 }
 

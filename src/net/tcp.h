@@ -45,6 +45,12 @@ class TcpConnection {
   State state() const { return state_; }
   bool established() const { return state_ == State::kEstablished; }
   sim::Time opened_at() const { return opened_at_; }
+  // Causal id of the probe that opened this connection (obs/trace.h);
+  // adopted from the ambient context at active open or from the SYN packet
+  // at passive open, and stamped onto every segment the connection sends —
+  // including deferred sends (banner-window aborts) that run outside the
+  // originating context.
+  std::uint64_t trace_id() const { return trace_id_; }
 
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
@@ -57,6 +63,7 @@ class TcpConnection {
   ConnKey key_;
   TcpStack& stack_;
   State state_;
+  std::uint64_t trace_id_ = 0;
   sim::Time opened_at_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;

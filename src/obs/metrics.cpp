@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace ofh::obs {
@@ -44,6 +45,24 @@ std::uint64_t bucket_upper(std::size_t bucket) {
   return (std::uint64_t{1} << bucket) - 1;
 }
 
+// RFC-4180: a field containing a comma, quote, CR or LF is wrapped in
+// double quotes with embedded quotes doubled; anything else passes through.
+std::string csv_field(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 std::string labeled(std::string_view base, std::string_view key,
@@ -52,9 +71,30 @@ std::string labeled(std::string_view base, std::string_view key,
   out += '{';
   out += key;
   out += "=\"";
-  out += value;
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c); break;
+    }
+  }
   out += "\"}";
   return out;
+}
+
+std::uint64_t histogram_quantile(const MetricRow& row, double q) {
+  if (row.count == 0) return 0;
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(row.count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += row.buckets[b];
+    if (cumulative >= rank) return bucket_upper(b);
+  }
+  return bucket_upper(kHistogramBuckets - 1);
 }
 
 Registry& Registry::global() {
@@ -196,26 +236,27 @@ std::string Registry::export_csv(bool include_wall) const {
   std::string out = "metric,kind,field,value\n";
   for (const auto& row : snapshot()) {
     if (row.domain == Domain::kWall && !include_wall) continue;
+    const std::string name = csv_field(row.name);
     if (row.kind == Kind::kHistogram) {
-      out += row.name + ",histogram,count," + std::to_string(row.count) + "\n";
-      out += row.name + ",histogram,sum," + std::to_string(row.sum) + "\n";
+      out += name + ",histogram,count," + std::to_string(row.count) + "\n";
+      out += name + ",histogram,sum," + std::to_string(row.sum) + "\n";
       for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
         if (row.buckets[b] == 0) continue;
-        out += row.name + ",histogram,bucket_le_" +
+        out += name + ",histogram,bucket_le_" +
                std::to_string(bucket_upper(b)) + "," +
                std::to_string(row.buckets[b]) + "\n";
       }
     } else {
-      out += row.name + "," +
+      out += name + "," +
              std::string(row.kind == Kind::kCounter ? "counter" : "gauge") +
              ",value," + std::to_string(row.value) + "\n";
     }
   }
   for (const auto& span : spans()) {
-    out += "span," + span.name + ",sim_start," +
+    out += "span," + csv_field(span.name) + ",sim_start," +
            std::to_string(span.sim_start) + "\n";
-    out += "span," + span.name + ",sim_end," + std::to_string(span.sim_end) +
-           "\n";
+    out += "span," + csv_field(span.name) + ",sim_end," +
+           std::to_string(span.sim_end) + "\n";
   }
   return out;
 }
@@ -226,7 +267,10 @@ std::string Registry::export_profile() const {
     if (row.domain != Domain::kWall) continue;
     if (row.kind == Kind::kHistogram) {
       out += row.name + " count=" + std::to_string(row.count) +
-             " sum=" + std::to_string(row.sum) + "\n";
+             " sum=" + std::to_string(row.sum) +
+             " p50=" + std::to_string(histogram_quantile(row, 0.50)) +
+             " p95=" + std::to_string(histogram_quantile(row, 0.95)) +
+             " p99=" + std::to_string(histogram_quantile(row, 0.99)) + "\n";
     } else {
       out += row.name + " " + std::to_string(row.value) + "\n";
     }

@@ -237,9 +237,16 @@ inline Histogram histogram(std::string_view name,
 }
 
 // "scanner.probes" + ("protocol", "Telnet") -> scanner.probes{protocol="Telnet"}
-// The exporter passes the {...} suffix through as a Prometheus label set.
+// The exporter passes the {...} suffix through as a Prometheus label set, so
+// the value is escaped here per the Prometheus exposition rules: backslash,
+// double quote and newline become \\, \" and \n.
 std::string labeled(std::string_view base, std::string_view key,
                     std::string_view value);
+
+// Exact quantile (q in [0, 1]) of a merged histogram row, computed from the
+// log2 bucket counts: the upper bound (2^b - 1) of the bucket holding the
+// ceil(q * count)-th smallest sample. Returns 0 for an empty histogram.
+std::uint64_t histogram_quantile(const MetricRow& row, double q);
 
 // Convenience for phase instrumentation: records the span on destruction.
 // Wall time is measured with a steady clock; sim times are caller-supplied.

@@ -1,0 +1,233 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace ofh::obs {
+namespace {
+
+// Clamp floor for ring capacities: small enough for wraparound tests,
+// large enough that a chunk always holds a few events.
+constexpr std::size_t kMinRingEvents = 16;
+
+// Chunks per ring at capacity. Eviction granularity is capacity / kChunks,
+// so a full ring keeps at least (kChunks - 1) / kChunks of its capacity
+// after evicting the oldest chunk.
+constexpr std::size_t kChunksPerRing = 8;
+
+std::size_t chunk_events_for(std::size_t capacity) {
+  return std::max<std::size_t>(1, capacity / kChunksPerRing);
+}
+
+}  // namespace
+
+std::string_view trace_event_name(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kPacketSend: return "packet_send";
+    case TraceEventType::kPacketDeliver: return "packet_deliver";
+    case TraceEventType::kPacketDrop: return "packet_drop";
+    case TraceEventType::kTcpState: return "tcp_state";
+    case TraceEventType::kProbe: return "probe";
+    case TraceEventType::kSessionBegin: return "session_begin";
+    case TraceEventType::kSessionCommand: return "session_command";
+    case TraceEventType::kSessionEnd: return "session_end";
+    case TraceEventType::kFlowTuple: return "flowtuple";
+    case TraceEventType::kBackscatter: return "backscatter";
+    case TraceEventType::kVerdict: return "verdict";
+  }
+  return "unknown";
+}
+
+std::string_view tcp_trace_name(TcpTrace state) {
+  switch (state) {
+    case TcpTrace::kSynSent: return "syn_sent";
+    case TcpTrace::kSynReceived: return "syn_received";
+    case TcpTrace::kEstablished: return "established";
+    case TcpTrace::kAccepted: return "accepted";
+    case TcpTrace::kClosed: return "closed";
+    case TcpTrace::kReset: return "reset";
+    case TcpTrace::kRefused: return "refused";
+    case TcpTrace::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+bool TraceRecorder::is_session_class(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kSessionBegin:
+    case TraceEventType::kSessionCommand:
+    case TraceEventType::kSessionEnd:
+    case TraceEventType::kVerdict:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TraceRecorder::Ring& TraceRecorder::ring_for(TraceEventType type) {
+  return is_session_class(type) ? session_ring_ : packet_ring_;
+}
+
+void TraceRecorder::configure(Ring& ring, std::size_t capacity) {
+  ring.capacity = std::max(capacity, kMinRingEvents);
+  ring.chunk_events = chunk_events_for(ring.capacity);
+}
+
+void TraceRecorder::clear() {
+  packet_ring_.chunks.clear();
+  packet_ring_.events = 0;
+  session_ring_.chunks.clear();
+  session_ring_.events = 0;
+  next_seq_ = 0;
+  minted_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  event.shard = shard_;
+  event.seq = next_seq_++;
+  ++recorded_;
+
+  Ring& ring = ring_for(event.type);
+  if (ring.chunks.empty() || ring.chunks.back().size() >= ring.chunk_events) {
+    ring.chunks.emplace_back();
+    ring.chunks.back().reserve(ring.chunk_events);
+  }
+  ring.chunks.back().push_back(event);
+  ++ring.events;
+  while (ring.events > ring.capacity && ring.chunks.size() > 1) {
+    const std::size_t evicted = ring.chunks.front().size();
+    ring.events -= evicted;
+    dropped_ += evicted;
+    ring.chunks.pop_front();
+  }
+}
+
+TraceRegistry& TraceRegistry::global() {
+  static TraceRegistry* const instance = new TraceRegistry();
+  return *instance;
+}
+
+TraceRecorder& TraceRegistry::recorder(std::uint16_t shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = recorders_.find(shard);
+  if (it == recorders_.end()) {
+    auto owned = std::unique_ptr<TraceRecorder>(new TraceRecorder(shard));
+    owned->configure(owned->packet_ring_, packet_capacity_);
+    owned->configure(owned->session_ring_, session_capacity_);
+    it = recorders_.emplace(shard, std::move(owned)).first;
+  }
+  return *it->second;
+}
+
+void TraceRegistry::set_capacity(std::size_t packet_events,
+                                 std::size_t session_events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  packet_capacity_ = std::max(packet_events, kMinRingEvents);
+  session_capacity_ = std::max(session_events, kMinRingEvents);
+  for (auto& [shard, recorder] : recorders_) {
+    recorder->configure(recorder->packet_ring_, packet_capacity_);
+    recorder->configure(recorder->session_ring_, session_capacity_);
+  }
+}
+
+std::size_t TraceRegistry::packet_capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return packet_capacity_;
+}
+
+std::size_t TraceRegistry::session_capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return session_capacity_;
+}
+
+void TraceRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [shard, recorder] : recorders_) {
+    recorder->clear();
+  }
+}
+
+std::vector<TraceEvent> TraceRegistry::merged() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& [unused_shard, recorder] : recorders_) {
+      total += recorder->packet_ring_.events + recorder->session_ring_.events;
+    }
+    events.reserve(total);
+    for (const auto& [unused_shard, recorder] : recorders_) {
+      for (const TraceRecorder::Ring* ring :
+           {&recorder->packet_ring_, &recorder->session_ring_}) {
+        for (const auto& chunk : ring->chunks) {
+          events.insert(events.end(), chunk.begin(), chunk.end());
+        }
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& lhs, const TraceEvent& rhs) {
+              if (lhs.time != rhs.time) return lhs.time < rhs.time;
+              if (lhs.shard != rhs.shard) return lhs.shard < rhs.shard;
+              return lhs.seq < rhs.seq;
+            });
+  return events;
+}
+
+std::uint64_t TraceRegistry::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [unused_shard, recorder] : recorders_) {
+    total += recorder->recorded_;
+  }
+  return total;
+}
+
+std::uint64_t TraceRegistry::events_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [unused_shard, recorder] : recorders_) {
+    total += recorder->dropped_;
+  }
+  return total;
+}
+
+#ifndef OFH_NO_METRICS
+
+namespace trace_detail {
+
+thread_local TraceRecorder* tl_recorder = nullptr;
+thread_local std::uint64_t tl_trace_id = 0;
+
+TraceRecorder& current_recorder() {
+  if (tl_recorder == nullptr) {
+    // Threads with no TraceShardScope (the coordinating thread, tests)
+    // record into the main-simulation shard.
+    tl_recorder = &TraceRegistry::global().recorder(0);
+  }
+  return *tl_recorder;
+}
+
+}  // namespace trace_detail
+
+void trace_event(TraceEventType type, std::uint64_t when,
+                 std::uint64_t trace_id, std::uint32_t src, std::uint32_t dst,
+                 std::uint16_t port, std::uint8_t a, std::uint8_t b) {
+  TraceEvent event;
+  event.time = when;
+  event.trace_id = trace_id;
+  event.src = src;
+  event.dst = dst;
+  event.port = port;
+  event.type = type;
+  event.a = a;
+  event.b = b;
+  trace_detail::current_recorder().record(event);
+}
+
+std::uint64_t mint_trace_id() { return trace_detail::current_recorder().mint(); }
+
+#endif  // OFH_NO_METRICS
+
+}  // namespace ofh::obs

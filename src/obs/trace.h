@@ -1,0 +1,276 @@
+// Deterministic causal tracing: the flight recorder under the aggregate
+// metrics layer (obs/metrics.h). Where metrics answer "how many", traces
+// answer "which probe caused which response, and what happened next on
+// that session" — the per-event narrative behind the paper's multistage
+// attack chains (Figure 9) and the scan x honeynet x telescope provenance
+// join (Section 5.3).
+//
+// Event model: fixed-size typed TraceEvents (packet send/deliver/drop, TCP
+// state transitions, probe issuance, honeypot session begin/command/end,
+// telescope flowtuples, RSDoS backscatter, classifier verdicts), each
+// stamped with sim-time and a 64-bit causal id. Probes *mint* an id; the id
+// rides net::Packet::trace_id through every fabric hop, is adopted by the
+// TCP connection the probe opens, and is re-published as the ambient
+// TraceContext while the receiving host handles the packet — so honeypot
+// event-log entries and telescope flowtuples carry the id of the probe
+// that caused them, and a full request/response/attack chain can be
+// reconstructed by id alone.
+//
+// Determinism contract (same sim/wall split as metrics): every event is
+// stamped with sim-time, a *shard* id and a per-shard append sequence.
+// Shard 0 is the coordinating thread's main simulation; the parallel scan
+// layer runs each protocol sweep under a TraceShardScope with the sweep's
+// job index + 1. A shard executes on exactly one thread, its event stream
+// is a pure function of the simulation inputs, and merged() orders events
+// by (time, shard, seq) — a total order — so the exported trace is
+// byte-identical for scan_threads = 1/2/8/hardware (tests/parallel_test).
+// Wall-clock time never enters a trace event.
+//
+// Flight-recorder memory bounds: each shard owns two fixed-capacity rings
+// backed by a chunked arena — one for high-volume packet-level events, one
+// for low-volume session-level events (sessions, verdicts) — so a packet
+// flood cannot evict the attack-chain narrative. When a ring exceeds its
+// capacity the oldest chunk is evicted and the trace.events_dropped
+// counter increments; eviction depends only on the shard's own event
+// stream, never on thread count.
+//
+// Threading: recording is lock-free — a shard's recorder has exactly one
+// writer (the thread currently inside its TraceShardScope), and the
+// coordinating thread reads only after a synchronization point
+// (ThreadPool::wait_idle / pool join). The registry mutex guards only
+// recorder creation and merged reads.
+//
+// Compile-time escape hatch: -DOFH_NO_METRICS turns every recording
+// function into an empty inline and mint/current ids into constant 0 —
+// the tracing layer is genuinely zero-cost when compiled out. Exporters
+// (Chrome trace JSON, attack-chain report) live in core/trace_report.h:
+// they need protocol/attack-type/misconfig name tables from higher layers,
+// which the base obs library must not depend on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace ofh::obs {
+
+enum class TraceEventType : std::uint8_t {
+  kPacketSend,      // fabric accepted a packet
+  kPacketDeliver,   // delivered to a host or darknet sink
+  kPacketDrop,      // lost (loss model or vanished host)
+  kTcpState,        // connection state transition; `a` = TcpTrace code
+  kProbe,           // a probe minted a causal id; `a` = TraceProbeOrigin
+  kSessionBegin,    // honeypot saw the first event of a (source, protocol)
+  kSessionCommand,  // honeypot attack event; `a` = AttackType, `b` = Protocol
+  kSessionEnd,      // session idle past the gap; stamped when detected
+  kFlowTuple,       // telescope observed a darknet packet
+  kBackscatter,     // RSDoS detector accepted a backscatter packet
+  kVerdict,         // classifier finding; `a` = Misconfig, `b` = Protocol
+};
+std::string_view trace_event_name(TraceEventType type);
+
+// TCP transition codes carried in TraceEvent::a for kTcpState events.
+enum class TcpTrace : std::uint8_t {
+  kSynSent,      // active open issued
+  kSynReceived,  // passive open reached SYN_RCVD
+  kEstablished,  // active open completed
+  kAccepted,     // passive open completed
+  kClosed,       // FIN teardown
+  kReset,        // RST teardown
+  kRefused,      // active open answered with RST
+  kTimeout,      // active open expired unanswered
+};
+std::string_view tcp_trace_name(TcpTrace state);
+
+// Probe origin codes carried in TraceEvent::a for kProbe events.
+enum class TraceProbeOrigin : std::uint8_t { kScanner, kAttacker };
+
+// One recorded trace event. 40 bytes; `a`/`b` are type-specific detail
+// codes (see the enum comments above). trace_id 0 means "no known origin"
+// (e.g. a packet sent outside any probe context).
+struct TraceEvent {
+  std::uint64_t time = 0;      // sim-time, microseconds
+  std::uint64_t trace_id = 0;  // causal id; 0 = unattributed
+  std::uint64_t seq = 0;       // per-shard append order (merge tiebreak)
+  std::uint32_t src = 0;       // IPv4 of the acting endpoint
+  std::uint32_t dst = 0;
+  std::uint16_t port = 0;      // destination / service port
+  std::uint16_t shard = 0;     // deterministic shard id (0 = main sim)
+  TraceEventType type = TraceEventType::kPacketSend;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+};
+
+// Default per-shard ring capacities (events). Packet-level traffic dwarfs
+// session-level narrative, so the classes evict independently.
+inline constexpr std::size_t kDefaultPacketRingEvents = 1u << 16;
+inline constexpr std::size_t kDefaultSessionRingEvents = 1u << 15;
+
+// Per-shard flight recorder: two chunked rings plus the shard's causal-id
+// mint. Single-writer by contract (see the threading note above); obtain
+// through TraceRegistry / TraceShardScope, never construct directly.
+class TraceRecorder {
+ public:
+  void record(TraceEvent event);
+
+  // Mints the next causal id for this shard: (shard + 1) << 40 | n.
+  std::uint64_t mint() {
+    return ((static_cast<std::uint64_t>(shard_) + 1) << 40) | ++minted_;
+  }
+
+  std::uint16_t shard() const { return shard_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  friend class TraceRegistry;
+
+  // A fixed-capacity ring over a chunked arena: appends go to the newest
+  // chunk, eviction pops whole oldest chunks once the event count exceeds
+  // the capacity. Chunk size derives from capacity alone, so eviction is a
+  // pure function of the event stream.
+  struct Ring {
+    std::deque<std::vector<TraceEvent>> chunks;
+    std::size_t capacity = 0;
+    std::size_t chunk_events = 0;
+    std::size_t events = 0;
+  };
+
+  explicit TraceRecorder(std::uint16_t shard) : shard_(shard) {}
+  Ring& ring_for(TraceEventType type);
+  static bool is_session_class(TraceEventType type);
+  void configure(Ring& ring, std::size_t capacity);
+  void clear();
+
+  std::uint16_t shard_;
+  Ring packet_ring_;
+  Ring session_ring_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t minted_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+class TraceRegistry {
+ public:
+  // The process-wide registry (leaked for the same teardown reason as
+  // obs::Registry: thread-local recorder caches may outlive statics).
+  static TraceRegistry& global();
+
+  // Finds or creates the recorder for a shard. Cold path (mutex); the hot
+  // path caches the pointer thread-locally via TraceShardScope.
+  TraceRecorder& recorder(std::uint16_t shard);
+
+  // Reconfigures ring capacities for every current and future recorder.
+  // Call from the coordinating thread only (e.g. before a Study run);
+  // values clamp to >= 16 events.
+  void set_capacity(std::size_t packet_events, std::size_t session_events);
+  std::size_t packet_capacity() const;
+  std::size_t session_capacity() const;
+
+  // Drops every recorded event and resets seq/mint/drop counters; keeps
+  // recorder objects (thread-local caches stay valid) and capacities.
+  // Coordinating thread only, while no shard scope is live.
+  void reset();
+
+  // Merged view of every shard's rings, sorted by (time, shard, seq) — a
+  // total order, so the result is byte-identical for any thread count.
+  // Call from the coordinating thread after a synchronization point.
+  std::vector<TraceEvent> merged() const;
+
+  std::uint64_t events_recorded() const;
+  std::uint64_t events_dropped() const;
+
+ private:
+  TraceRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint16_t, std::unique_ptr<TraceRecorder>> recorders_;
+  std::size_t packet_capacity_ = kDefaultPacketRingEvents;
+  std::size_t session_capacity_ = kDefaultSessionRingEvents;
+};
+
+#ifndef OFH_NO_METRICS
+
+namespace trace_detail {
+// Thread-local recording state. The recorder pointer is bound by
+// TraceShardScope (worker shards) or lazily to shard 0 (the coordinating
+// thread); the ambient trace id is bound by TraceContext while a host
+// handles a delivered packet.
+TraceRecorder& current_recorder();
+extern thread_local TraceRecorder* tl_recorder;
+extern thread_local std::uint64_t tl_trace_id;
+}  // namespace trace_detail
+
+// Records one event into the current shard's flight recorder.
+void trace_event(TraceEventType type, std::uint64_t when,
+                 std::uint64_t trace_id, std::uint32_t src, std::uint32_t dst,
+                 std::uint16_t port, std::uint8_t a = 0, std::uint8_t b = 0);
+
+// Mints a fresh causal id from the current shard: (shard + 1) << 40 | n,
+// where n counts mints within the shard — deterministic for any thread
+// count because shards are deterministic.
+std::uint64_t mint_trace_id();
+
+// The ambient causal id (0 outside any TraceContext).
+inline std::uint64_t current_trace_id() { return trace_detail::tl_trace_id; }
+
+// Binds the current shard recorder for the scope's lifetime. The parallel
+// scan layer opens one per sweep job; nesting restores the previous
+// binding. A shard must never be bound on two threads at once.
+class TraceShardScope {
+ public:
+  explicit TraceShardScope(std::uint16_t shard)
+      : previous_(trace_detail::tl_recorder) {
+    trace_detail::tl_recorder = &TraceRegistry::global().recorder(shard);
+  }
+  ~TraceShardScope() { trace_detail::tl_recorder = previous_; }
+  TraceShardScope(const TraceShardScope&) = delete;
+  TraceShardScope& operator=(const TraceShardScope&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+};
+
+// Publishes a causal id as the ambient context for the scope's lifetime.
+// Host::deliver opens one around packet dispatch; probes open one around
+// the sends their minted id should ride on.
+class TraceContext {
+ public:
+  explicit TraceContext(std::uint64_t id)
+      : previous_(trace_detail::tl_trace_id) {
+    trace_detail::tl_trace_id = id;
+  }
+  ~TraceContext() { trace_detail::tl_trace_id = previous_; }
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+#else  // OFH_NO_METRICS: the whole recording surface compiles to nothing.
+
+inline void trace_event(TraceEventType, std::uint64_t, std::uint64_t,
+                        std::uint32_t, std::uint32_t, std::uint16_t,
+                        std::uint8_t = 0, std::uint8_t = 0) {}
+inline std::uint64_t mint_trace_id() { return 0; }
+inline std::uint64_t current_trace_id() { return 0; }
+
+class TraceShardScope {
+ public:
+  explicit TraceShardScope(std::uint16_t) {}
+};
+
+class TraceContext {
+ public:
+  explicit TraceContext(std::uint64_t) {}
+};
+
+#endif  // OFH_NO_METRICS
+
+}  // namespace ofh::obs

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/amqp.h"
 #include "proto/coap.h"
 #include "proto/mqtt.h"
@@ -157,6 +158,16 @@ void Scanner::probe(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target) {
   metrics().probes.inc();
   sweep->probes_by_proto.inc();
   const auto ports = proto::protocol_ports(sweep->config.protocol);
+  // Mint one causal id per probe (covering both ports of a multi-port
+  // protocol) and keep it ambient while the probe traffic is issued, so
+  // everything downstream — connect, banner exchange, honeypot log entry —
+  // carries the id of this probe.
+  const std::uint64_t trace_id = obs::mint_trace_id();
+  const obs::TraceContext trace_context(trace_id);
+  obs::trace_event(obs::TraceEventType::kProbe, sim().now(), trace_id,
+                   address().value(), target.value(), ports.front(),
+                   static_cast<std::uint8_t>(obs::TraceProbeOrigin::kScanner),
+                   static_cast<std::uint8_t>(sweep->config.protocol));
   if (proto::is_udp(sweep->config.protocol)) {
     probe_udp(sweep, target, ports.front());
   } else {
@@ -261,6 +272,9 @@ void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
                         std::uint16_t port) {
   ++sweep->outstanding;
   sweep->udp_waiting[target.value()];  // open collection slot
+  // Captured for the deferred CoAP follow-up GET, which runs outside the
+  // probe's ambient context.
+  const std::uint64_t probe_trace_id = obs::current_trace_id();
 
   switch (sweep->config.protocol) {
     case proto::Protocol::kCoap: {
@@ -280,7 +294,8 @@ void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
       break;
   }
 
-  sim().after(sweep->config.banner_wait, [this, sweep, target, port] {
+  sim().after(sweep->config.banner_wait,
+              [this, sweep, target, port, probe_trace_id] {
     const auto it = sweep->udp_waiting.find(target.value());
     std::string raw = it == sweep->udp_waiting.end() ? "" : it->second;
     sweep->udp_waiting.erase(target.value());
@@ -322,8 +337,11 @@ void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
         follow.message_id =
             static_cast<std::uint16_t>((target.value() >> 8) & 0xffff);
         follow.set_uri_path(follow_path);
-        udp().send(target, port, proto::coap::encode(follow),
-                   sweep->udp_port);
+        {
+          const obs::TraceContext trace_context(probe_trace_id);
+          udp().send(target, port, proto::coap::encode(follow),
+                     sweep->udp_port);
+        }
         sim().after(sweep->config.banner_wait,
                     [this, sweep, target, port, banner] {
                       const auto follow_it =

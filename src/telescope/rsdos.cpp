@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ofh::telescope {
 
@@ -35,6 +36,9 @@ void RsdosDetector::observe(const net::Packet& packet, sim::Time when) {
   if (!is_backscatter(packet)) return;
   ++backscatter_packets_;
   metrics().backscatter.inc();
+  obs::trace_event(obs::TraceEventType::kBackscatter, when, packet.trace_id,
+                   packet.src.value(), packet.dst.value(), packet.dst_port,
+                   packet.tcp_flags);
 
   auto& state = victims_[packet.src.value()];
   if (state.active && when - state.current.last_seen > attack_gap_) {

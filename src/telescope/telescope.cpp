@@ -1,6 +1,7 @@
 #include "telescope/telescope.h"
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ofh::telescope {
 
@@ -58,6 +59,13 @@ void Telescope::observe(const net::Packet& packet, sim::Time when) {
   auto& tuple = tuples_[key];
   if (tuple.packet_count == 0) {
     metrics().flowtuples.inc();
+    // One trace event per flowtuple (not per packet): the provenance join
+    // needs the source's presence at the telescope, not its packet volume.
+    const auto protocol = protocol_for_port(packet.dst_port);
+    obs::trace_event(
+        obs::TraceEventType::kFlowTuple, when, packet.trace_id,
+        packet.src.value(), packet.dst.value(), packet.dst_port, 0,
+        protocol ? static_cast<std::uint8_t>(*protocol) : 0xff);
     tuple.minute = minute;
     tuple.src = packet.src;
     tuple.dst = packet.dst;

@@ -14,6 +14,7 @@
 #include "core/study.h"
 #include "devices/device.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scanner/scanner.h"
 #include "test_helpers.h"
 #include "util/thread_pool.h"
@@ -120,6 +121,71 @@ TEST(ObsRegistry, LabeledComposesPrometheusStyleNames) {
             "scanner.probes{protocol=\"Telnet\"}");
 }
 
+TEST(ObsRegistry, LabeledEscapesHostileValues) {
+  // Prometheus exposition rules: backslash, quote and newline are escaped
+  // inside label values; anything else (commas included) passes through.
+  EXPECT_EQ(obs::labeled("m", "k", "a\\b"), "m{k=\"a\\\\b\"}");
+  EXPECT_EQ(obs::labeled("m", "k", "say \"hi\""),
+            "m{k=\"say \\\"hi\\\"\"}");
+  EXPECT_EQ(obs::labeled("m", "k", "line1\nline2"),
+            "m{k=\"line1\\nline2\"}");
+  EXPECT_EQ(obs::labeled("m", "k", "a,b"), "m{k=\"a,b\"}");
+}
+
+TEST(ObsRegistry, CsvQuotesHostileMetricNames) {
+  reg().reset();
+  // A banner-derived label value with a comma and a quote: the metric name
+  // holds them verbatim (after Prometheus escaping of the quote), so the
+  // CSV exporter must emit an RFC-4180 quoted field with doubled quotes —
+  // otherwise the row grows extra columns.
+  const std::string name = obs::labeled("t.hostile", "banner", "Ac,me \"v2\"");
+  const auto cell = reg().define(name, obs::Kind::kCounter, obs::Domain::kSim);
+  reg().add(cell, 7);
+
+  const std::string csv = reg().export_csv();
+  EXPECT_NE(
+      csv.find(
+          "\"t.hostile{banner=\"\"Ac,me \\\"\"v2\\\"\"\"\"}\",counter,value,7"),
+      std::string::npos)
+      << csv;
+  // The raw (unquoted) name must not appear as a bare field.
+  EXPECT_EQ(csv.find("t.hostile{banner=\"Ac,me"), std::string::npos) << csv;
+}
+
+TEST(ObsRegistry, HistogramQuantilesAreExactFromBuckets) {
+  // 100 samples: 50 land in bucket_of(3)=2 (upper bound 3), 45 in
+  // bucket_of(100)=7 (upper 127), 5 in bucket_of(5000)=13 (upper 8191).
+  obs::MetricRow row;
+  row.kind = obs::Kind::kHistogram;
+  row.count = 100;
+  row.buckets[obs::Registry::bucket_of(3)] = 50;
+  row.buckets[obs::Registry::bucket_of(100)] = 45;
+  row.buckets[obs::Registry::bucket_of(5'000)] = 5;
+
+  EXPECT_EQ(obs::histogram_quantile(row, 0.50), 3u);    // rank 50: 1st bucket
+  EXPECT_EQ(obs::histogram_quantile(row, 0.95), 127u);  // rank 95: 2nd bucket
+  EXPECT_EQ(obs::histogram_quantile(row, 0.99), 8'191u);
+  EXPECT_EQ(obs::histogram_quantile(row, 0.0), 3u);  // clamped to rank 1
+  EXPECT_EQ(obs::histogram_quantile(row, 1.0), 8'191u);
+
+  const obs::MetricRow empty;
+  EXPECT_EQ(obs::histogram_quantile(empty, 0.5), 0u);
+}
+
+TEST(ObsRegistry, ProfileCarriesHistogramPercentiles) {
+  reg().reset();
+  const auto cell = reg().define("t.profile_hist", obs::Kind::kHistogram,
+                                 obs::Domain::kWall);
+  for (std::uint64_t v = 1; v <= 100; ++v) reg().observe(cell, v);
+  const std::string profile = reg().export_profile();
+  // Values 1..100: rank 50 lands in bucket_of(50)=6 (upper 63), ranks 95
+  // and 99 in bucket_of(95)=7 (upper 127).
+  EXPECT_NE(profile.find("t.profile_hist count=100 sum=5050 "
+                         "p50=63 p95=127 p99=127"),
+            std::string::npos)
+      << profile;
+}
+
 TEST(ObsRegistry, WallDomainStaysOutOfDeterministicExports) {
   reg().reset();
   const auto sim_cell = reg().define("t.sim_only", obs::Kind::kCounter,
@@ -187,6 +253,76 @@ TEST(ObsThreading, ShardsMergeExactlyAcrossWorkerThreads) {
   // ...and retired shards keep their totals after the pool is destroyed.
   EXPECT_EQ(value_of("t.hammer"), kTasks * kIncrementsPerTask);
 #endif
+}
+
+// ------------------------------------------------------- flight recorder
+
+obs::TraceEvent packet_event(std::uint64_t when) {
+  obs::TraceEvent event;
+  event.type = obs::TraceEventType::kPacketSend;
+  event.time = when;
+  event.src = 1;
+  event.dst = 2;
+  event.port = 23;
+  return event;
+}
+
+TEST(ObsTrace, RingWraparoundEvictsOldestAndCountsDrops) {
+  auto& traces = obs::TraceRegistry::global();
+  traces.reset();
+  traces.set_capacity(/*packet_events=*/32, /*session_events=*/32);
+  obs::TraceRecorder& recorder = traces.recorder(/*shard=*/7);
+
+  for (std::uint64_t i = 0; i < 100; ++i) recorder.record(packet_event(i));
+
+  EXPECT_EQ(recorder.recorded(), 100u);
+  EXPECT_GT(recorder.dropped(), 0u);
+  const auto events = traces.merged();
+  // The ring holds at most its capacity; eviction pops whole oldest chunks,
+  // so what remains is exactly the newest suffix of the stream.
+  ASSERT_LE(events.size(), 32u);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.size() + recorder.dropped(), 100u);
+  EXPECT_EQ(events.back().time, 99u);
+  EXPECT_EQ(events.front().time, 100 - events.size());  // oldest are gone
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].time, events[i - 1].time + 1);  // contiguous suffix
+  }
+
+  // Restore defaults so later study tests run with real capacities.
+  traces.set_capacity(obs::kDefaultPacketRingEvents,
+                      obs::kDefaultSessionRingEvents);
+  traces.reset();
+}
+
+TEST(ObsTrace, SessionRingSurvivesPacketFlood) {
+  auto& traces = obs::TraceRegistry::global();
+  traces.reset();
+  traces.set_capacity(/*packet_events=*/32, /*session_events=*/32);
+  obs::TraceRecorder& recorder = traces.recorder(/*shard=*/7);
+
+  // Interleave: a packet flood must not evict the session narrative,
+  // because the two classes ring independently.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    obs::TraceEvent session;
+    session.type = obs::TraceEventType::kSessionCommand;
+    session.time = i;
+    session.src = 3;
+    recorder.record(session);
+    for (std::uint64_t j = 0; j < 50; ++j) {
+      recorder.record(packet_event(i * 100 + j));
+    }
+  }
+
+  std::size_t sessions = 0;
+  for (const auto& event : traces.merged()) {
+    if (event.type == obs::TraceEventType::kSessionCommand) ++sessions;
+  }
+  EXPECT_EQ(sessions, 10u);  // every session event retained
+
+  traces.set_capacity(obs::kDefaultPacketRingEvents,
+                      obs::kDefaultSessionRingEvents);
+  traces.reset();
 }
 
 // ------------------------------------------------------ fabric conservation

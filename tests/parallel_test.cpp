@@ -126,13 +126,18 @@ TEST(ParallelScan, SerialAndParallelRunsAreByteIdentical) {
   const std::string table4 = core::report_table4_exposed(serial);
   const std::string table5 = core::report_table5_misconfigured(serial);
   // Snapshot the observability exports NOW: constructing the next Study
-  // resets the process-wide registry.
+  // resets the process-wide registries (metrics and traces).
   const std::string metrics_prometheus = serial.metrics_prometheus();
   const std::string metrics_csv = serial.metrics_csv();
+  const std::string trace_json = serial.trace_json();
+  const std::string attack_chains = serial.attack_chains();
   ASSERT_GT(serial.scan_db().size(), 0u);
 #ifndef OFH_NO_METRICS
   ASSERT_FALSE(metrics_prometheus.empty());
   ASSERT_FALSE(metrics_csv.empty());
+  // The serial scan leaves a real trace (probes, packets, verdicts).
+  ASSERT_NE(trace_json.find("\"cat\":\"probe\""), std::string::npos);
+  ASSERT_NE(trace_json.find("\"name\":\"verdict\""), std::string::npos);
 #endif
 
   for (const unsigned threads : {2u, 8u, 0u}) {  // 0 = hardware concurrency
@@ -148,6 +153,13 @@ TEST(ParallelScan, SerialAndParallelRunsAreByteIdentical) {
     EXPECT_EQ(study.metrics_prometheus(), metrics_prometheus)
         << "scan_threads=" << threads;
     EXPECT_EQ(study.metrics_csv(), metrics_csv)
+        << "scan_threads=" << threads;
+    // The causal trace is byte-identical too: events are recorded per
+    // deterministic *shard* (not per thread), stamped with sim-time and a
+    // per-shard seq, and merged in (time, shard, seq) total order.
+    EXPECT_EQ(study.trace_json(), trace_json)
+        << "scan_threads=" << threads;
+    EXPECT_EQ(study.attack_chains(), attack_chains)
         << "scan_threads=" << threads;
     EXPECT_EQ(core::report_table4_exposed(study), table4)
         << "scan_threads=" << threads;

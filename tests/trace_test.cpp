@@ -1,0 +1,166 @@
+// The causal tracing layer: id minting and context propagation, the
+// (time, shard, seq) total order, and the end-to-end exports — Chrome trace
+// JSON shape and the attack-chain provenance report, including the paper's
+// scan -> brute-force -> injection escalation reconstructed from traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "core/study.h"
+#include "obs/trace.h"
+
+namespace ofh {
+namespace {
+
+obs::TraceRegistry& traces() { return obs::TraceRegistry::global(); }
+
+// Reads the integer that follows `key` in `text`; -1 when absent.
+long count_after(const std::string& text, const std::string& key) {
+  const auto pos = text.find(key);
+  if (pos == std::string::npos) return -1;
+  return std::atol(text.c_str() + pos + key.size());
+}
+
+// --------------------------------------------------------------- identity
+
+TEST(TraceId, MintEncodesShardAndSequence) {
+#ifdef OFH_NO_METRICS
+  GTEST_SKIP() << "instrumentation compiled out";
+#else
+  traces().reset();
+  {
+    const obs::TraceShardScope scope(3);
+    EXPECT_EQ(obs::mint_trace_id(), (std::uint64_t{4} << 40) | 1);
+    EXPECT_EQ(obs::mint_trace_id(), (std::uint64_t{4} << 40) | 2);
+  }
+  {
+    const obs::TraceShardScope scope(5);
+    EXPECT_EQ(obs::mint_trace_id(), (std::uint64_t{6} << 40) | 1);
+  }
+  traces().reset();
+#endif
+}
+
+TEST(TraceId, ContextNestsAndRestores) {
+#ifdef OFH_NO_METRICS
+  GTEST_SKIP() << "instrumentation compiled out";
+#else
+  EXPECT_EQ(obs::current_trace_id(), 0u);
+  {
+    const obs::TraceContext outer(42);
+    EXPECT_EQ(obs::current_trace_id(), 42u);
+    {
+      const obs::TraceContext inner(7);
+      EXPECT_EQ(obs::current_trace_id(), 7u);
+    }
+    EXPECT_EQ(obs::current_trace_id(), 42u);
+  }
+  EXPECT_EQ(obs::current_trace_id(), 0u);
+#endif
+}
+
+// ------------------------------------------------------------ total order
+
+TEST(TraceMerge, OrdersByTimeThenShardThenSeq) {
+  traces().reset();
+  const auto record = [](std::uint16_t shard, std::uint64_t when) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kPacketSend;
+    event.time = when;
+    traces().recorder(shard).record(event);
+  };
+  // Interleaved times across shards, including a tie at t=10.
+  record(2, 10);
+  record(1, 20);
+  record(1, 10);
+  record(2, 5);
+  record(1, 10);  // same (time, shard) as an earlier event: seq breaks tie
+
+  const auto merged = traces().merged();
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged[0].time, 5u);
+  EXPECT_EQ(merged[1].time, 10u);
+  EXPECT_EQ(merged[1].shard, 1u);  // tie at t=10: lower shard first
+  EXPECT_EQ(merged[2].shard, 1u);
+  EXPECT_LT(merged[1].seq, merged[2].seq);  // within shard: append order
+  EXPECT_EQ(merged[3].shard, 2u);
+  EXPECT_EQ(merged[4].time, 20u);
+  traces().reset();
+}
+
+// ------------------------------------------------------ end-to-end exports
+
+core::StudyConfig reduced_config() {
+  core::StudyConfig config;
+  config.population_scale = 1.0 / 8'192;
+  config.attack_scale = 1.0 / 128;
+  config.attack_duration = sim::days(6);
+  return config;
+}
+
+TEST(TraceStudy, ExportsChromeJsonAndReconstructsAttackChains) {
+  core::Study study(reduced_config());
+  study.run_all();
+
+  // --- Chrome trace JSON shape (CI also runs it through json.tool) -------
+  const std::string json = study.trace_json();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+
+#ifdef OFH_NO_METRICS
+  GTEST_SKIP() << "instrumentation compiled out";
+#else
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // phase spans
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instants
+  EXPECT_NE(json.find("\"cat\":\"probe\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"session\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"verdict\""), std::string::npos);
+  // Wall-clock never reaches the trace: only sim timestamps are exported.
+  EXPECT_EQ(json.find("wall"), std::string::npos);
+
+  // --- attack-chain report: the Figure 9 analogue ------------------------
+  const std::string chains = study.attack_chains();
+  EXPECT_GT(count_after(chains, "sources with multistage chains: "), 0)
+      << chains;
+  EXPECT_GE(count_after(chains,
+                        "scan -> brute-force -> injection escalations: "),
+            1)
+      << chains;
+  EXPECT_GT(count_after(chains, "honeynet sources (session commands): "), 0);
+  EXPECT_GT(count_after(chains, "telescope sources (flowtuples):      "), 0);
+
+  // --- causal join: a honeypot session command carries the id minted by
+  // the attacker probe that caused it, so the chain joins to the packet
+  // narrative by id alone.
+  std::set<std::uint64_t> probe_ids;
+  bool joined = false;
+  const auto events = traces().merged();
+  ASSERT_FALSE(events.empty());
+  for (const auto& event : events) {
+    if (event.type == obs::TraceEventType::kProbe && event.trace_id != 0) {
+      probe_ids.insert(event.trace_id);
+    }
+  }
+  EXPECT_FALSE(probe_ids.empty());
+  for (const auto& event : events) {
+    if (event.type == obs::TraceEventType::kSessionCommand &&
+        probe_ids.count(event.trace_id) != 0) {
+      joined = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(joined)
+      << "no session command carries a probe-minted causal id";
+
+  // The flight recorder accounting matches the merged view.
+  EXPECT_EQ(traces().events_recorded(),
+            events.size() + traces().events_dropped());
+#endif
+}
+
+}  // namespace
+}  // namespace ofh
