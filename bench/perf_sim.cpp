@@ -24,6 +24,7 @@
 
 #include "devices/device.h"
 #include "net/fabric.h"
+#include "net/faults.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scanner/scanner.h"
@@ -193,6 +194,59 @@ void BM_ParallelSweeps(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelSweeps)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// The fault-check cost on the Fabric::send hot path (net/faults.h). With no
+// schedule the injector pointer is null and the check is a single branch —
+// compare NoSchedule against the kernel benches above to verify it stays
+// under 5%. QuietSchedule measures the realistic chaos case: an injector
+// installed with window faults that are not active now, so every send walks
+// the window list and the burst/rate draws. ActiveUniformLoss adds the 5%
+// drop path itself.
+void fabric_send_bench(benchmark::State& state,
+                       const ofh::net::FaultSchedule* schedule) {
+  ofh::sim::Simulation sim;
+  ofh::net::Fabric fabric(sim, 7);
+  fabric.set_latency(0, 0);
+  if (schedule != nullptr) fabric.set_fault_schedule(*schedule);
+
+  ofh::net::Packet packet;
+  packet.src = ofh::util::Ipv4Addr(10, 0, 0, 1);
+  packet.dst = ofh::util::Ipv4Addr(10, 0, 0, 2);  // unattached: drops cheap
+  packet.transport = ofh::net::Transport::kUdp;
+
+  std::uint64_t pending = 0;
+  for (auto _ : state) {
+    fabric.send(packet);
+    if (++pending == 1024) {  // drain queued deliveries, amortised
+      sim.run_until(sim.now() + 1);
+      pending = 0;
+    }
+  }
+  sim.run_until(sim.now() + 1);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FabricSendNoSchedule(benchmark::State& state) {
+  fabric_send_bench(state, nullptr);
+}
+BENCHMARK(BM_FabricSendNoSchedule);
+
+void BM_FabricSendQuietSchedule(benchmark::State& state) {
+  ofh::net::ChaosOptions options;
+  options.ranges = {*ofh::util::Cidr::parse("172.16.0.0/16")};
+  options.start = ofh::sim::days(100);  // windows exist but never activate
+  options.end = ofh::sim::days(101);
+  ofh::net::FaultSchedule schedule = ofh::net::FaultSchedule::chaos(7, options);
+  fabric_send_bench(state, &schedule);
+}
+BENCHMARK(BM_FabricSendQuietSchedule);
+
+void BM_FabricSendActiveUniformLoss(benchmark::State& state) {
+  ofh::net::FaultSchedule schedule;
+  schedule.uniform_loss = 0.05;
+  fabric_send_bench(state, &schedule);
+}
+BENCHMARK(BM_FabricSendActiveUniformLoss);
 
 }  // namespace
 

@@ -46,6 +46,19 @@ if [[ "$FAST" == "1" ]]; then
   ctest --test-dir build-ci-asan -L codec --output-on-failure -j "$(nproc)"
 else
   ctest --test-dir build-ci-asan --output-on-failure -j "$(nproc)"
+
+  # Chaos gate: the full study under a canned fault schedule (loss bursts,
+  # flaps, partitions, refusal windows, crashes) must hold its invariants
+  # with the sanitizers watching — packet conservation, scanner outcome
+  # accounting, no phase over its fault budget — and still report against
+  # the fault-free baseline.
+  echo "==> chaos degradation report (ASan+UBSan)"
+  ./build-ci-asan/examples/chaos_report > build-ci-asan/chaos_report.txt
+  grep -q "conservation=OK" build-ci-asan/chaos_report.txt
+  grep -q "accounting=OK" build-ci-asan/chaos_report.txt
+  grep -q "vs fault-free baseline" build-ci-asan/chaos_report.txt
+  ! grep -q "VIOLATED" build-ci-asan/chaos_report.txt
+  ! grep -q "OVER$" build-ci-asan/chaos_report.txt
 fi
 
 echo "==> [3/3] TSan + -Werror (thread-labelled tests)"

@@ -328,7 +328,8 @@ void Fleet::attack_session(net::Host& source, const HoneypotTarget& target,
       const MalwareSample* drop =
           rng.chance(0.5) ? &malware_.pick(P::kTelnet, rng) : nullptr;
       bruteforce_telnet(source, target.address,
-                        sample_credentials(P::kTelnet, rng, 3), drop);
+                        sample_credentials(P::kTelnet, rng, 3), drop,
+                        config_.session_connect_attempts);
       break;
     }
     case P::kSsh: {

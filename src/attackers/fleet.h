@@ -40,6 +40,9 @@ struct FleetConfig {
   // Multiplier applied to malicious arrivals after public listings begin
   // (Figure 8's post-listing uptrend).
   double listing_boost = 1.6;
+  // SYN retries per Telnet attack session when a connect times out under
+  // fault injection (net/faults.h). 1 = no retries, the fault-free default.
+  int session_connect_attempts = 1;
 };
 
 class Fleet {

@@ -128,7 +128,7 @@ void probe_all_protocols(net::Host& from, util::Ipv4Addr target) {
 
 void bruteforce_telnet(net::Host& from, util::Ipv4Addr target,
                        std::vector<proto::Credentials> credentials,
-                       const MalwareSample* drop) {
+                       const MalwareSample* drop, int connect_attempts) {
   const obs::TraceContext trace(
       trace_attack(from, target, 23, proto::Protocol::kTelnet));
   std::vector<std::string> commands;
@@ -138,8 +138,8 @@ void bruteforce_telnet(net::Host& from, util::Ipv4Addr target,
                        "; /tmp/" + drop->variant + " sha256=" + drop->sha256);
   }
   proto::telnet::TelnetClient::run(from, target, 23, std::move(credentials),
-                                   std::move(commands),
-                                   [](const auto&) {});
+                                   std::move(commands), [](const auto&) {},
+                                   sim::seconds(2), connect_attempts);
 }
 
 void bruteforce_ssh(net::Host& from, util::Ipv4Addr target,

@@ -23,10 +23,12 @@ void probe_all_protocols(net::Host& from, util::Ipv4Addr target);
 // Malicious primitives ------------------------------------------------------
 
 // Telnet/SSH brute force; on success sends a dropper one-liner fetching the
-// given malware sample.
+// given malware sample. connect_attempts bounds Telnet SYN retries when the
+// connect times out under fault injection (Mirai loaders retry lost SYNs);
+// the default of 1 preserves fault-free behaviour.
 void bruteforce_telnet(net::Host& from, util::Ipv4Addr target,
                        std::vector<proto::Credentials> credentials,
-                       const MalwareSample* drop);
+                       const MalwareSample* drop, int connect_attempts = 1);
 void bruteforce_ssh(net::Host& from, util::Ipv4Addr target,
                     std::vector<proto::Credentials> credentials,
                     const MalwareSample* drop);

@@ -2,6 +2,7 @@
 
 #include "classify/fingerprint.h"
 #include "honeynet/signatures.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace ofh::classify {
@@ -14,6 +15,9 @@ struct ProbeState {
   std::string second_banner;
   std::string garbage_reply;
   int stage = 0;  // 0: first grab, 1: second grab, 2: garbage
+  int attempt = 1;          // connect attempt within the current stage
+  int connect_attempts = 1;
+  std::uint64_t trace_id = 0;  // causal id re-published across retry timers
   bool finished = false;
   ActiveFingerprinter::Callback callback;
 
@@ -32,6 +36,7 @@ void evaluate(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
               std::shared_ptr<ProbeState> state,
               sim::Duration step_timeout) {
   ++state->stage;
+  state->attempt = 1;  // each stage gets a fresh retry budget
   if (state->stage < 3) {
     run_stage(from, target, port, state, step_timeout);
     return;
@@ -58,10 +63,25 @@ void evaluate(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
 void run_stage(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
                std::shared_ptr<ProbeState> state,
                sim::Duration step_timeout) {
-  from.tcp().connect(
+  from.tcp().connect_ex(
       target, port,
-      [&from, target, port, state, step_timeout](net::TcpConnection* conn) {
+      [&from, target, port, state, step_timeout](net::TcpConnection* conn,
+                                                 net::ConnectOutcome outcome) {
         if (conn == nullptr) {
+          if (outcome == net::ConnectOutcome::kTimeout &&
+              state->attempt < state->connect_attempts) {
+            // A lost SYN under fault injection would otherwise read as an
+            // unreachable (stage 0) or non-deterministic (stage 1) target.
+            ++state->attempt;
+            from.sim().after(step_timeout / 2,
+                             [&from, target, port, state, step_timeout] {
+                               const obs::TraceContext trace_context(
+                                   state->trace_id);
+                               run_stage(from, target, port, state,
+                                         step_timeout);
+                             });
+            return;
+          }
           if (state->stage == 0) {
             state->finish();  // unreachable: nothing to fingerprint
           } else {
@@ -100,9 +120,12 @@ void run_stage(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
 
 void ActiveFingerprinter::probe(net::Host& from, util::Ipv4Addr target,
                                 std::uint16_t port, Callback done,
-                                sim::Duration step_timeout) {
+                                sim::Duration step_timeout,
+                                int connect_attempts) {
   auto state = std::make_shared<ProbeState>();
   state->callback = std::move(done);
+  state->connect_attempts = connect_attempts;
+  state->trace_id = obs::current_trace_id();
   run_stage(from, target, port, state, step_timeout);
 }
 

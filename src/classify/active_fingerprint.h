@@ -42,14 +42,18 @@ struct ActiveProbeResult {
 };
 
 // Runs the battery against target:port from the given vantage host. The
-// callback fires once all checks resolve (or time out).
+// callback fires once all checks resolve (or time out). connect_attempts
+// bounds per-stage SYN retries when the connect times out (fault-injected
+// loss would otherwise abort the whole battery); refusals end the stage
+// immediately. The default of 1 keeps fault-free runs unchanged.
 class ActiveFingerprinter {
  public:
   using Callback = std::function<void(const ActiveProbeResult&)>;
 
   static void probe(net::Host& from, util::Ipv4Addr target,
                     std::uint16_t port, Callback done,
-                    sim::Duration step_timeout = sim::seconds(2));
+                    sim::Duration step_timeout = sim::seconds(2),
+                    int connect_attempts = 1);
 };
 
 }  // namespace ofh::classify

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <functional>
 
 #include "core/trace_report.h"
@@ -14,19 +15,48 @@
 namespace ofh::core {
 namespace {
 
+// Current value of one Domain::kSim counter/gauge by name (0 if the metric
+// was never defined). Snapshots the registry: call only at phase
+// boundaries / report time, never on a hot path.
+std::int64_t metric_value(std::string_view name) {
+  for (const auto& row : obs::Registry::global().snapshot()) {
+    if (row.name == name) return row.value;
+  }
+  return 0;
+}
+
+// (fabric.packets_sent, fabric.packets_faulted) in one snapshot pass.
+std::pair<std::uint64_t, std::uint64_t> fabric_traffic() {
+  std::uint64_t sent = 0;
+  std::uint64_t faulted = 0;
+  for (const auto& row : obs::Registry::global().snapshot()) {
+    if (row.name == "fabric.packets_sent") {
+      sent = static_cast<std::uint64_t>(row.value);
+    } else if (row.name == "fabric.packets_faulted") {
+      faulted = static_cast<std::uint64_t>(row.value);
+    }
+  }
+  return {sent, faulted};
+}
+
 // Wraps one Study phase in a trace span: sim timestamps are deterministic,
 // the wall-clock duration feeds only the profile channel. When the scope
 // closes it optionally appends a Prometheus snapshot to the Study's
-// phase_metrics_ sequence (sub-spans like scan/filter pass nullptr).
+// phase_metrics_ sequence and the phase's fabric sent/faulted deltas to
+// its fault-stats sequence (sub-spans like scan/filter pass nullptr).
 class PhaseScope {
  public:
   PhaseScope(std::string name, sim::Simulation& sim,
-             std::vector<std::pair<std::string, std::string>>* phase_metrics)
+             std::vector<std::pair<std::string, std::string>>* phase_metrics,
+             std::vector<PhaseFaultStats>* fault_stats = nullptr)
       : name_(std::move(name)),
         sim_(sim),
         phase_metrics_(phase_metrics),
+        fault_stats_(fault_stats),
         sim_start_(sim.now()),
-        wall_start_(std::chrono::steady_clock::now()) {}
+        wall_start_(std::chrono::steady_clock::now()) {
+    if (fault_stats_ != nullptr) traffic_start_ = fabric_traffic();
+  }
 
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
@@ -42,12 +72,19 @@ class PhaseScope {
       phase_metrics_->emplace_back(
           name_, obs::Registry::global().export_prometheus());
     }
+    if (fault_stats_ != nullptr) {
+      const auto [sent, faulted] = fabric_traffic();
+      fault_stats_->push_back({name_, sent - traffic_start_.first,
+                               faulted - traffic_start_.second});
+    }
   }
 
  private:
   std::string name_;
   sim::Simulation& sim_;
   std::vector<std::pair<std::string, std::string>>* phase_metrics_;
+  std::vector<PhaseFaultStats>* fault_stats_;
+  std::pair<std::uint64_t, std::uint64_t> traffic_start_{0, 0};
   std::uint64_t sim_start_;
   std::chrono::steady_clock::time_point wall_start_;
 };
@@ -62,6 +99,12 @@ std::uint64_t scale_count(std::uint64_t paper, double scale) {
 struct ScanShard {
   std::vector<scanner::ScanRecord> records;  // in event (= time) order
   std::uint64_t probes = 0;
+  // Per-target outcome accounting (scanner/scan_db.h): folded into the
+  // study DB so probes == responsive + refused + unresolved holds there too.
+  std::uint64_t responsive = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t unresolved = 0;
+  std::uint64_t retries = 0;
   sim::Time finished = 0;  // shard clock when the sweep resolved
 };
 
@@ -83,6 +126,12 @@ ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
   sim::Simulation sim;
   net::Fabric fabric(sim, config.seed);
   fabric.set_latency(sim::msec(15), sim::msec(25));
+  // Same schedule and same fabric seed as the main internet: the replica's
+  // fault timeline is a pure function of (seed, sim-time), so a sweep sees
+  // identical faults whether it runs inline or on a worker thread.
+  if (!config.fault_schedule.empty()) {
+    fabric.set_fault_schedule(config.fault_schedule);
+  }
 
   devices::PopulationSpec spec;
   spec.seed = config.seed;
@@ -113,6 +162,7 @@ ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
   scan.blocklist = scanner::default_blocklist();
   scan.seed = sweep_seed;
   scan.batch_size = config.scan_batch;
+  scan.max_attempts = config.scan_attempts;
   bool done = false;
   scanner.start(scan, [&done] { done = true; });
   while (!done && sim.step()) {
@@ -121,6 +171,10 @@ ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
   ScanShard shard;
   shard.records = db.records();
   shard.probes = db.probes_sent();
+  shard.responsive = db.responsive();
+  shard.refused = db.refused();
+  shard.unresolved = db.unresolved();
+  shard.retries = db.retries();
   shard.finished = sim.now();
   return shard;
 }
@@ -136,6 +190,9 @@ Study::Study(StudyConfig config) : config_(config) {
   obs::TraceRegistry::global().reset();
   fabric_ = std::make_unique<net::Fabric>(sim_, config_.seed);
   fabric_->set_latency(sim::msec(15), sim::msec(25));
+  if (!config_.fault_schedule.empty()) {
+    fabric_->set_fault_schedule(config_.fault_schedule);
+  }
 }
 
 Study::~Study() = default;
@@ -149,7 +206,7 @@ std::uint64_t Study::scaled_attack(std::uint64_t paper) const {
 }
 
 void Study::setup_internet() {
-  PhaseScope span("setup", sim_, &phase_metrics_);
+  PhaseScope span("setup", sim_, &phase_metrics_, &phase_fault_stats_);
   devices::PopulationSpec spec;
   spec.seed = config_.seed;
   spec.scale = config_.population_scale;
@@ -177,7 +234,7 @@ void Study::setup_internet() {
 }
 
 void Study::run_scan() {
-  PhaseScope span("scan", sim_, &phase_metrics_);
+  PhaseScope span("scan", sim_, &phase_metrics_, &phase_fault_stats_);
   // Six sweeps spread across one week at the paper's day offsets
   // (Appendix Table 9: CoAP Mar 1; UPnP+Telnet Mar 2; MQTT+AMQP Mar 4;
   // XMPP Mar 5). Each sweep is an independent shard with a splitmix64-
@@ -208,6 +265,10 @@ void Study::run_scan() {
   for (auto& shard : shards) {
     scan_end = std::max(scan_end, shard.finished);
     scan_db_.note_probes(shard.probes);
+    scan_db_.note_responsive(shard.responsive);
+    scan_db_.note_refused(shard.refused);
+    scan_db_.note_unresolved(shard.unresolved);
+    scan_db_.note_retries(shard.retries);
     per_shard.push_back(std::move(shard.records));
   }
   for (auto& record : sim::merge_by_time(
@@ -241,7 +302,7 @@ void Study::run_scan() {
 }
 
 void Study::run_datasets() {
-  PhaseScope span("datasets", sim_, &phase_metrics_);
+  PhaseScope span("datasets", sim_, &phase_metrics_, &phase_fault_stats_);
   sonar_ = datasets::generate_snapshot(datasets::project_sonar_model(),
                                        *population_, config_.seed + 11);
   shodan_ = datasets::generate_snapshot(datasets::shodan_model(),
@@ -249,7 +310,7 @@ void Study::run_datasets() {
 }
 
 void Study::run_attack_month() {
-  PhaseScope span("attack_month", sim_, &phase_metrics_);
+  PhaseScope span("attack_month", sim_, &phase_metrics_, &phase_fault_stats_);
   // Six public addresses for the honeypot groups (Figure 1).
   std::vector<util::Ipv4Addr> addresses;
   for (int i = 0; i < 6; ++i) {
@@ -265,6 +326,7 @@ void Study::run_attack_month() {
   fleet_config.duration = config_.attack_duration;
   fleet_config.event_scale = config_.attack_scale;
   fleet_config.listing_boost = config_.listing_boost;
+  fleet_config.session_connect_attempts = config_.session_connect_attempts;
   fleet_ = std::make_unique<attackers::Fleet>(fleet_config, *population_,
                                               deployment_, *telescope_);
   fleet_->deploy(*fabric_, rdns_, virustotal_, greynoise_, censys_);
@@ -274,7 +336,7 @@ void Study::run_attack_month() {
 }
 
 void Study::correlate() {
-  PhaseScope span("correlate", sim_, &phase_metrics_);
+  PhaseScope span("correlate", sim_, &phase_metrics_, &phase_fault_stats_);
   infected_ = correlate_infected(findings_, attack_log_, *telescope_);
   std::set<std::uint32_t> correlated;
   correlated.insert(infected_.both.begin(), infected_.both.end());
@@ -309,6 +371,123 @@ std::string Study::metrics_profile() const {
 std::string Study::trace_json() const { return trace_chrome_json(); }
 
 std::string Study::attack_chains() const { return attack_chain_report(); }
+
+DegradationBaseline Study::baseline() const {
+  DegradationBaseline b;
+  b.responsive_hosts = scan_db_.unique_hosts_total();
+  b.findings = findings_.size();
+  b.attack_events = attack_log_.size();
+  b.flowtuples = telescope_ == nullptr ? 0 : telescope_->total_packets();
+  return b;
+}
+
+std::string Study::degradation_report(
+    const DegradationBaseline* fault_free) const {
+  const auto value = [](std::string_view name) {
+    return static_cast<std::uint64_t>(std::max<std::int64_t>(
+        0, metric_value(name)));
+  };
+  const auto fixed = [](double v, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+    return std::string(buf);
+  };
+  const auto pct = [&fixed](std::uint64_t part, std::uint64_t whole) {
+    return fixed(whole == 0 ? 0.0
+                            : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole),
+                 1) +
+           "%";
+  };
+  const auto num = [](std::uint64_t v) { return std::to_string(v); };
+
+  std::string out;
+  out += "degradation report\n";
+
+  const auto& schedule = config_.fault_schedule;
+  if (schedule.empty()) {
+    out += "schedule: none (fault-free run)\n";
+  } else {
+    out += "schedule: active windows=" + num(schedule.windows.size()) +
+           " uniform_loss=" + fixed(schedule.uniform_loss, 4) +
+           " duplicate_rate=" + fixed(schedule.duplicate_rate, 4) +
+           " reorder_rate=" + fixed(schedule.reorder_rate, 4) + " burst=";
+    out += schedule.burst.enabled ? "on" : "off";
+    out += "\n";
+  }
+
+  // Fabric conservation: after a full drain inflight is zero and every
+  // sent packet is accounted for as delivered, dropped or faulted.
+  const std::uint64_t sent = value("fabric.packets_sent");
+  const std::uint64_t delivered = value("fabric.packets_delivered");
+  const std::uint64_t dropped = value("fabric.packets_dropped");
+  const std::uint64_t faulted = value("fabric.packets_faulted");
+  const std::uint64_t inflight = value("fabric.packets_inflight");
+  const bool conserved = sent == delivered + dropped + faulted + inflight;
+  out += "fabric: sent=" + num(sent) + " delivered=" + num(delivered) +
+         " dropped=" + num(dropped) + " faulted=" + num(faulted) +
+         " inflight=" + num(inflight) + " conservation=";
+  out += conserved ? "OK" : "VIOLATED";
+  out += "\n";
+
+  out += "faults:";
+  for (std::size_t i = 0; i < net::kFaultKindCount; ++i) {
+    const auto name = net::fault_kind_name(static_cast<net::FaultKind>(i));
+    out += " ";
+    out += name;
+    out += "=" + num(value(obs::labeled("fabric.faults_injected", "kind",
+                                        name)));
+  }
+  out += " host_crashes=" + num(value("fabric.host_crashes")) + "\n";
+
+  // Scanner outcome accounting (scanner/scan_db.h identity).
+  const std::uint64_t probes = scan_db_.probes_sent();
+  const std::uint64_t responsive = scan_db_.responsive();
+  const std::uint64_t refused = scan_db_.refused();
+  const std::uint64_t unresolved = scan_db_.unresolved();
+  const bool identity = probes == responsive + refused + unresolved;
+  out += "scan: probes=" + num(probes) + " responsive=" + num(responsive) +
+         " refused=" + num(refused) + " unresolved=" + num(unresolved) +
+         " retries=" + num(scan_db_.retries()) + " accounting=";
+  out += identity ? "OK" : "VIOLATED";
+  out += "\n";
+
+  out += "phase budgets (max " + fixed(100.0 * config_.fault_budget, 1) +
+         "% of sent packets faulted):\n";
+  for (const auto& stats : phase_fault_stats_) {
+    const bool over =
+        stats.sent > 0 &&
+        static_cast<double>(stats.faulted) >
+            config_.fault_budget * static_cast<double>(stats.sent);
+    out += "  " + stats.phase + ": sent=" + num(stats.sent) +
+           " faulted=" + num(stats.faulted) + " (" +
+           pct(stats.faulted, stats.sent) + ") ";
+    out += over ? "OVER" : "OK";
+    out += "\n";
+  }
+
+  const DegradationBaseline now = baseline();
+  out += "results: responsive_hosts=" + num(now.responsive_hosts) +
+         " findings=" + num(now.findings) +
+         " attack_events=" + num(now.attack_events) +
+         " flowtuples=" + num(now.flowtuples) + "\n";
+  if (fault_free != nullptr) {
+    out += "vs fault-free baseline:\n";
+    out += "  responsive_hosts: " + num(now.responsive_hosts) + "/" +
+           num(fault_free->responsive_hosts) + " retained (" +
+           pct(now.responsive_hosts, fault_free->responsive_hosts) + ")\n";
+    out += "  findings: " + num(now.findings) + "/" +
+           num(fault_free->findings) + " retained (" +
+           pct(now.findings, fault_free->findings) + ")\n";
+    out += "  attack_events: " + num(now.attack_events) + "/" +
+           num(fault_free->attack_events) + " retained (" +
+           pct(now.attack_events, fault_free->attack_events) + ")\n";
+    out += "  flowtuples: " + num(now.flowtuples) + "/" +
+           num(fault_free->flowtuples) + " retained (" +
+           pct(now.flowtuples, fault_free->flowtuples) + ")\n";
+  }
+  return out;
+}
 
 std::vector<std::string> Study::scan_service_domains() const {
   std::vector<std::string> domains;

@@ -58,6 +58,34 @@ struct StudyConfig {
   // Telescope darknet; defaults to 44.0.0.0/8 (reserved by the population).
   util::Cidr telescope_range =
       util::Cidr(util::Ipv4Addr(44, 0, 0, 0), 8);
+  // Chaos engineering (net/faults.h). The schedule is installed on the main
+  // fabric and on every scan-shard replica, so faults replay identically
+  // for every scan_threads value. The empty default leaves the fabric
+  // untouched and every golden byte-identical.
+  net::FaultSchedule fault_schedule;
+  // Per-port scan probe attempts (scanner retry/backoff; 1 = no retries).
+  std::uint32_t scan_attempts = 1;
+  // Telnet attack-session SYN retries (attackers::FleetConfig).
+  int session_connect_attempts = 1;
+  // Fraction of a phase's sent packets the schedule may perturb before
+  // degradation_report() marks the phase OVER budget.
+  double fault_budget = 0.25;
+};
+
+// Fault-free reference totals a chaos run is compared against
+// (Study::baseline() from a clean run; degradation_report()).
+struct DegradationBaseline {
+  std::uint64_t responsive_hosts = 0;  // scan_db().unique_hosts_total()
+  std::uint64_t findings = 0;          // surviving misconfig findings
+  std::uint64_t attack_events = 0;     // honeynet event-log entries
+  std::uint64_t flowtuples = 0;        // telescope packets captured
+};
+
+// Per-phase fabric traffic perturbed by fault injection.
+struct PhaseFaultStats {
+  std::string phase;
+  std::uint64_t sent = 0;     // fabric.packets_sent delta over the phase
+  std::uint64_t faulted = 0;  // fabric.packets_faulted delta
 };
 
 class Study {
@@ -158,6 +186,22 @@ class Study {
   // telescope provenance join. Deterministic like trace_json().
   std::string attack_chains() const;
 
+  // --- graceful degradation ----------------------------------------------
+  // End-of-run totals for use as the fault-free reference of a later
+  // chaos run. Capture after run_all() on a Study with an empty schedule.
+  DegradationBaseline baseline() const;
+  // Human-readable chaos summary: schedule shape, fabric packet
+  // conservation, per-kind fault counts, scanner outcome accounting,
+  // per-phase fault budgets, and (when a fault-free baseline is supplied)
+  // retained fractions of the headline results. Deterministic: built only
+  // from Domain::kSim metrics and study state, so it is byte-identical
+  // across scan_threads values (tests/faults_test.cpp).
+  std::string degradation_report(
+      const DegradationBaseline* fault_free = nullptr) const;
+  const std::vector<PhaseFaultStats>& phase_fault_stats() const {
+    return phase_fault_stats_;
+  }
+
  private:
   StudyConfig config_;
   sim::Simulation sim_;
@@ -189,6 +233,7 @@ class Study {
   std::uint64_t censys_extra_ = 0;
 
   std::vector<std::pair<std::string, std::string>> phase_metrics_;
+  std::vector<PhaseFaultStats> phase_fault_stats_;
 };
 
 }  // namespace ofh::core

@@ -9,6 +9,7 @@
 
 #include "devices/misconfig.h"
 #include "honeynet/event_log.h"
+#include "net/faults.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "proto/service.h"
@@ -64,6 +65,11 @@ std::string_view misconfig_label(std::uint8_t code) {
   return devices::misconfig_name(static_cast<devices::Misconfig>(code));
 }
 
+std::string_view fault_label(std::uint8_t code) {
+  if (code >= net::kFaultKindCount) return "?";
+  return net::fault_kind_name(static_cast<net::FaultKind>(code));
+}
+
 // Track grouping for the Chrome viewer's category filter.
 std::string_view category_of(TraceEventType type) {
   switch (type) {
@@ -81,6 +87,9 @@ std::string_view category_of(TraceEventType type) {
     case TraceEventType::kBackscatter:
       return "telescope";
     case TraceEventType::kVerdict: return "verdict";
+    case TraceEventType::kPacketFault:
+    case TraceEventType::kHostFault:
+      return "fault";
   }
   return "trace";
 }
@@ -120,6 +129,14 @@ void append_event_args(std::string& out, const TraceEvent& event) {
     case TraceEventType::kFlowTuple:
       out += ",\"protocol\":";
       append_json_string(out, protocol_label(event.b));
+      break;
+    case TraceEventType::kPacketFault:
+      out += ",\"fault\":";
+      append_json_string(out, fault_label(event.a));
+      break;
+    case TraceEventType::kHostFault:
+      out += ",\"fault\":";
+      append_json_string(out, event.a == 0 ? "crash" : "restart");
       break;
     default:
       break;

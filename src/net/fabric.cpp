@@ -1,5 +1,8 @@
 #include "net/fabric.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "net/host.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -12,21 +15,45 @@ namespace {
 // the scan layer's private per-sweep replicas. All Domain::kSim — packet
 // fates are pure functions of the simulation inputs, so these are
 // byte-identical across scan_threads settings. Conservation invariant:
-//   packets_sent == packets_delivered + packets_dropped + packets_inflight
+//   packets_sent ==
+//       packets_delivered + packets_dropped + packets_faulted + inflight
 // where inflight covers packets scheduled but not yet resolved when the
-// simulation stops (zero after a full drain).
+// simulation stops (zero after a full drain) and faulted counts terminal
+// injector fates (drops and refusals; see net/faults.h).
 struct FabricMetrics {
   obs::Counter sent = obs::counter("fabric.packets_sent");
   obs::Counter delivered = obs::counter("fabric.packets_delivered");
   obs::Counter dropped = obs::counter("fabric.packets_dropped");
+  obs::Counter faulted = obs::counter("fabric.packets_faulted");
+  obs::Counter host_crashes = obs::counter("fabric.host_crashes");
   obs::Gauge inflight = obs::gauge("fabric.packets_inflight");
   obs::Gauge hosts = obs::gauge("fabric.hosts_attached");
   obs::Histogram latency = obs::histogram("fabric.latency_usec");
+  std::array<obs::Counter, kFaultKindCount> by_kind{};
 };
 
 const FabricMetrics& metrics() {
-  static const FabricMetrics m;
+  static const FabricMetrics m = [] {
+    FabricMetrics built;
+    for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+      built.by_kind[i] = obs::counter(
+          obs::labeled("fabric.faults_injected", "kind",
+                       fault_kind_name(static_cast<FaultKind>(i))));
+    }
+    return built;
+  }();
   return m;
+}
+
+void count_fault(FaultInjector& injector, FaultKind kind) {
+  injector.count(kind);
+  metrics().by_kind[static_cast<std::size_t>(kind)].inc();
+}
+
+void trace_fault(const Packet& packet, sim::Time now, FaultKind kind) {
+  obs::trace_event(obs::TraceEventType::kPacketFault, now, packet.trace_id,
+                   packet.src.value(), packet.dst.value(), packet.dst_port,
+                   static_cast<std::uint8_t>(kind));
 }
 
 }  // namespace
@@ -53,6 +80,44 @@ sim::Duration Fabric::sample_latency(const Packet& packet) const {
   return latency_base_ + util::splitmix64(key) % latency_jitter_;
 }
 
+void Fabric::set_fault_schedule(const FaultSchedule& schedule) {
+  if (schedule.empty()) {
+    injector_.reset();
+    return;
+  }
+  injector_ = std::make_unique<FaultInjector>(schedule, seed_);
+  // Crash windows act on hosts, not packets: one sim event per boundary
+  // wipes (start) or restores (end) the scoped hosts' connection state.
+  for (const auto& window : schedule.windows) {
+    if (window.kind != FaultKind::kCrash) continue;
+    sim_.at(window.start,
+            [this, window] { apply_crash_window(window, /*restart=*/false); });
+    sim_.at(window.end,
+            [this, window] { apply_crash_window(window, /*restart=*/true); });
+  }
+}
+
+void Fabric::apply_crash_window(const FaultWindow& window, bool restart) {
+  // Address-sorted victims: hosts_ is an unordered_map, and the kHostFault
+  // event order must not depend on hash-table iteration order.
+  std::vector<Host*> victims;
+  for (const auto& [addr, host] : hosts_) {
+    if (window.scope.contains(util::Ipv4Addr(addr))) victims.push_back(host);
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Host* lhs, const Host* rhs) {
+              return lhs->address().value() < rhs->address().value();
+            });
+  for (Host* host : victims) {
+    if (!restart) {
+      host->fault_crash();
+      metrics().host_crashes.inc();
+    }
+    obs::trace_event(obs::TraceEventType::kHostFault, sim_.now(), 0,
+                     host->address().value(), 0, 0, restart ? 1 : 0);
+  }
+}
+
 void Fabric::send(Packet packet) {
   // A packet sent from inside a traced context (a probe, or a host
   // responding to a traced delivery) inherits the ambient causal id.
@@ -75,11 +140,64 @@ void Fabric::send(Packet packet) {
     return;
   }
 
+  sim::Duration extra_delay = 0;
+  if (injector_ != nullptr) {
+    const FaultDecision decision = injector_->decide(packet, sim_.now());
+    if (decision.drop) {
+      count_fault(*injector_, decision.drop_kind);
+      ++packets_faulted_;
+      metrics().faulted.inc();
+      metrics().inflight.sub(1);
+      trace_fault(packet, sim_.now(), decision.drop_kind);
+      return;
+    }
+    if (decision.refuse) {
+      count_fault(*injector_, FaultKind::kRefusal);
+      ++packets_faulted_;
+      metrics().faulted.inc();
+      metrics().inflight.sub(1);
+      trace_fault(packet, sim_.now(), FaultKind::kRefusal);
+      // The ICMP-unreachable analogue in a TCP-lite world: answer the SYN
+      // with an RST on the refused host's behalf, through the normal send
+      // path (an RST is not a SYN, so this cannot recurse into refusal).
+      Packet rst;
+      rst.src = packet.dst;
+      rst.dst = packet.src;
+      rst.src_port = packet.dst_port;
+      rst.dst_port = packet.src_port;
+      rst.transport = Transport::kTcp;
+      rst.tcp_flags = TcpFlags::kRst;
+      rst.trace_id = packet.trace_id;
+      send(std::move(rst));
+      return;
+    }
+    if (decision.duplicate) {
+      count_fault(*injector_, FaultKind::kDuplicate);
+      trace_fault(packet, sim_.now(), FaultKind::kDuplicate);
+      Packet copy = packet;
+      copy.fault_copy = true;
+      send(std::move(copy));  // counts as its own sent packet
+    }
+    if (decision.spike_delay > 0) {
+      count_fault(*injector_, FaultKind::kLatencySpike);
+      trace_fault(packet, sim_.now(), FaultKind::kLatencySpike);
+      extra_delay += decision.spike_delay;
+    }
+    if (decision.reorder_delay > 0) {
+      count_fault(*injector_, FaultKind::kReorder);
+      trace_fault(packet, sim_.now(), FaultKind::kReorder);
+      extra_delay += decision.reorder_delay;
+    }
+  }
+  deliver_packet(std::move(packet), extra_delay);
+}
+
+void Fabric::deliver_packet(Packet packet, sim::Duration extra_delay) {
   // Darknet ranges swallow traffic into their sink: no host ever answers.
   for (const auto& darknet : darknets_) {
     if (darknet.range.contains(packet.dst)) {
       PacketSink* sink = darknet.sink;
-      const sim::Duration delay = sample_latency(packet);
+      const sim::Duration delay = sample_latency(packet) + extra_delay;
       sim_.after(delay, [sink, packet = std::move(packet), delay, this] {
         ++packets_delivered_;
         metrics().delivered.inc();
@@ -94,7 +212,7 @@ void Fabric::send(Packet packet) {
     }
   }
 
-  const sim::Duration delay = sample_latency(packet);
+  const sim::Duration delay = sample_latency(packet) + extra_delay;
   sim_.after(delay, [this, delay, packet = std::move(packet)]() mutable {
     // Resolve at delivery time: hosts may churn while the packet is in
     // flight, in which case the packet is silently lost (as on the real

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/faults.h"
 #include "net/packet.h"
 #include "sim/simulation.h"
 #include "util/ipv4.h"
@@ -28,7 +29,7 @@ class PacketSink {
 class Fabric {
  public:
   Fabric(sim::Simulation& sim, std::uint64_t seed)
-      : sim_(sim), rng_(util::Rng(seed).fork("fabric")) {}
+      : sim_(sim), seed_(seed), rng_(util::Rng(seed).fork("fabric")) {}
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -72,19 +73,34 @@ class Fabric {
   }
   double loss_rate() const { return loss_rate_; }
 
+  // Installs a seeded fault schedule (net/faults.h): an injector is built
+  // from (schedule, this fabric's construction seed), the schedule's
+  // uniform_loss is applied, and one sim event per crash window boundary is
+  // scheduled to wipe/restore the affected hosts' connection state. An
+  // empty schedule uninstalls the injector; the no-schedule hot path is a
+  // single null check (bench/perf_sim BM_FabricSend).
+  void set_fault_schedule(const FaultSchedule& schedule);
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+
   // Per-instance accounting. The fleet-wide totals (summed over every
   // fabric, including the parallel scan layer's private replicas) live in
   // the obs registry under fabric.packets_*; conservation holds exactly:
-  // sent == delivered + dropped + inflight (see tests/obs_test.cpp).
+  // sent == delivered + dropped + faulted + inflight (tests/obs_test.cpp,
+  // tests/faults_test.cpp).
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_delivered() const { return packets_delivered_; }
   std::uint64_t packets_dropped() const { return packets_dropped_; }
+  std::uint64_t packets_faulted() const { return packets_faulted_; }
 
  private:
   sim::Duration sample_latency(const Packet& packet) const;
+  void deliver_packet(Packet packet, sim::Duration extra_delay);
+  void apply_crash_window(const FaultWindow& window, bool restart);
 
   sim::Simulation& sim_;
+  std::uint64_t seed_;
   util::Rng rng_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unordered_map<std::uint32_t, Host*> hosts_;
   struct Darknet {
     util::Cidr range;
@@ -98,6 +114,7 @@ class Fabric {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_faulted_ = 0;
 };
 
 }  // namespace ofh::net

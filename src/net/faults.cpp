@@ -1,0 +1,239 @@
+#include "net/faults.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace ofh::net {
+
+namespace {
+
+// Purpose tags decorrelate the per-packet draws: each (ordinal, purpose)
+// pair hashes to an independent uniform, so adding a new check never
+// shifts an existing one's stream.
+enum Purpose : std::uint64_t {
+  kDrawBurst = 1,
+  kDrawDuplicate = 2,
+  kDrawReorder = 3,
+  kDrawUniform = 4,
+};
+
+double unit_from_bits(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLossBurst: return "loss_burst";
+    case FaultKind::kLinkFlap: return "link_flap";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLatencySpike: return "latency_spike";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kRefusal: return "refusal";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+FaultSchedule FaultSchedule::chaos(std::uint64_t seed,
+                                   const ChaosOptions& options) {
+  FaultSchedule schedule;
+  schedule.duplicate_rate = options.duplicate_rate;
+  schedule.reorder_rate = options.reorder_rate;
+  schedule.burst.enabled = options.burst;
+  if (options.ranges.empty() || options.end <= options.start) return schedule;
+
+  util::Rng rng = util::Rng(seed).fork("chaos");
+  const auto span = options.end - options.start;
+
+  // A window's victims are a narrow sub-prefix (/24 at the widest) of one
+  // of the host ranges, so a crash or flap degrades the study instead of
+  // blacking it out.
+  const auto sub_scope = [&rng, &options] {
+    const util::Cidr& range = rng.pick(options.ranges);
+    const int prefix_len = std::max(range.prefix_len(), 24);
+    const std::uint64_t subnets = range.size() >> (32 - prefix_len);
+    const std::uint32_t base =
+        range.base().value() +
+        static_cast<std::uint32_t>(rng.below(std::max<std::uint64_t>(
+            1, subnets))) *
+            (1u << (32 - prefix_len));
+    return util::Cidr(util::Ipv4Addr(base), prefix_len);
+  };
+  const auto make_window = [&](FaultKind kind) {
+    FaultWindow window;
+    window.kind = kind;
+    window.start = options.start + rng.below(span);
+    const auto mean = static_cast<double>(options.mean_window);
+    auto length = static_cast<sim::Duration>(rng.exponential(mean));
+    length = std::clamp<sim::Duration>(length, sim::seconds(30), span / 4);
+    window.end = std::min(options.end, window.start + length);
+    window.scope = sub_scope();
+    return window;
+  };
+
+  for (std::uint32_t i = 0; i < options.link_flaps; ++i) {
+    schedule.windows.push_back(make_window(FaultKind::kLinkFlap));
+  }
+  for (std::uint32_t i = 0; i < options.latency_spikes; ++i) {
+    FaultWindow window = make_window(FaultKind::kLatencySpike);
+    window.magnitude = options.spike_magnitude;
+    schedule.windows.push_back(window);
+  }
+  for (std::uint32_t i = 0; i < options.partitions; ++i) {
+    FaultWindow window = make_window(FaultKind::kPartition);
+    window.peer = sub_scope();
+    schedule.windows.push_back(window);
+  }
+  for (std::uint32_t i = 0; i < options.refusals; ++i) {
+    schedule.windows.push_back(make_window(FaultKind::kRefusal));
+  }
+  for (std::uint32_t i = 0; i < options.crashes; ++i) {
+    schedule.windows.push_back(make_window(FaultKind::kCrash));
+  }
+
+  // (start, kind, scope) order so the schedule itself — not the generator's
+  // insertion order — defines the replayed sequence.
+  std::sort(schedule.windows.begin(), schedule.windows.end(),
+            [](const FaultWindow& lhs, const FaultWindow& rhs) {
+              if (lhs.start != rhs.start) return lhs.start < rhs.start;
+              if (lhs.kind != rhs.kind) return lhs.kind < rhs.kind;
+              return lhs.scope.base().value() < rhs.scope.base().value();
+            });
+  return schedule;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
+    : schedule_(std::move(schedule)),
+      seed_(util::splitmix64(seed ^ util::fnv1a("fault-injector"))) {}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const auto count : injected_) total += count;
+  return total;
+}
+
+double FaultInjector::draw(std::uint64_t ordinal,
+                           std::uint64_t purpose) const {
+  return unit_from_bits(util::splitmix64(
+      seed_ ^ (ordinal * 0x9e3779b97f4a7c15ULL) ^ (purpose << 56)));
+}
+
+double FaultInjector::burst_loss_probability(sim::Time now) {
+  const GilbertElliott& ge = schedule_.burst;
+  const std::uint64_t slot = ge.slot == 0 ? 0 : now / ge.slot;
+  // Transitions are decided per slot from (seed, slot index) alone, so the
+  // chain's state at any sim-time is independent of how many packets — or
+  // which shard's packets — asked before.
+  while (ge_slot_cursor_ < slot) {
+    const double u = unit_from_bits(
+        util::splitmix64(seed_ ^ util::fnv1a("ge-slot") ^ ge_slot_cursor_));
+    ge_bad_ = ge_bad_ ? u >= ge.p_exit : u < ge.p_enter;
+    ++ge_slot_cursor_;
+  }
+  return ge_bad_ ? ge.loss_bad : ge.loss_good;
+}
+
+bool FaultInjector::host_down(util::Ipv4Addr addr, sim::Time now) const {
+  for (const auto& window : schedule_.windows) {
+    if (window.kind == FaultKind::kCrash && window.active_at(now) &&
+        window.scope.contains(addr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultDecision FaultInjector::decide(const Packet& packet, sim::Time now) {
+  FaultDecision decision;
+  const std::uint64_t ordinal = ++ordinal_;
+
+  // Terminal fates first, most specific cause wins: a packet to a crashed
+  // host is "crash", not whatever burst state the link happens to be in.
+  if (host_down(packet.dst, now) || host_down(packet.src, now)) {
+    decision.drop = true;
+    decision.drop_kind = FaultKind::kCrash;
+    return decision;
+  }
+  for (const auto& window : schedule_.windows) {
+    if (!window.active_at(now)) continue;
+    switch (window.kind) {
+      case FaultKind::kLinkFlap:
+        if (window.scope.contains(packet.src) ||
+            window.scope.contains(packet.dst)) {
+          decision.drop = true;
+          decision.drop_kind = FaultKind::kLinkFlap;
+          return decision;
+        }
+        break;
+      case FaultKind::kPartition:
+        if ((window.scope.contains(packet.src) &&
+             window.peer.contains(packet.dst)) ||
+            (window.scope.contains(packet.dst) &&
+             window.peer.contains(packet.src))) {
+          decision.drop = true;
+          decision.drop_kind = FaultKind::kPartition;
+          return decision;
+        }
+        break;
+      case FaultKind::kRefusal:
+        if (window.scope.contains(packet.dst)) {
+          // The ICMP-unreachable analogue: a TCP SYN is answered with an
+          // RST so the prober learns "refused" instead of burning its
+          // timeout; anything else to the scope is dropped.
+          if (packet.transport == Transport::kTcp && packet.is_syn_only()) {
+            decision.refuse = true;
+          } else {
+            decision.drop = true;
+            decision.drop_kind = FaultKind::kRefusal;
+          }
+          return decision;
+        }
+        break;
+      case FaultKind::kLatencySpike:
+        if (window.scope.contains(packet.src) ||
+            window.scope.contains(packet.dst)) {
+          decision.spike_delay += window.magnitude;
+        }
+        break;
+      default:
+        break;  // kCrash handled above; rate faults have no windows
+    }
+  }
+
+  // Rate losses share the kLossBurst kind: uniform loss is the memoryless
+  // special case of the burst model.
+  if (schedule_.uniform_loss > 0 &&
+      draw(ordinal, kDrawUniform) < schedule_.uniform_loss) {
+    decision.drop = true;
+    decision.drop_kind = FaultKind::kLossBurst;
+    decision.spike_delay = 0;
+    return decision;
+  }
+  if (schedule_.burst.enabled) {
+    const double loss = burst_loss_probability(now);
+    if (loss > 0 && draw(ordinal, kDrawBurst) < loss) {
+      decision.drop = true;
+      decision.drop_kind = FaultKind::kLossBurst;
+      decision.spike_delay = 0;
+      return decision;
+    }
+  }
+
+  // Duplicated copies are flagged fault_copy and never re-duplicated, so
+  // one send can at most double.
+  if (schedule_.duplicate_rate > 0 && !packet.fault_copy &&
+      draw(ordinal, kDrawDuplicate) < schedule_.duplicate_rate) {
+    decision.duplicate = true;
+  }
+  if (schedule_.reorder_rate > 0 &&
+      draw(ordinal, kDrawReorder) < schedule_.reorder_rate) {
+    decision.reorder_delay = schedule_.reorder_delay;
+  }
+  return decision;
+}
+
+}  // namespace ofh::net

@@ -51,6 +51,13 @@ class Host {
 
   void deliver(const Packet& packet);
 
+  // Host-level fault (net/faults.h kCrash): the device loses power. All
+  // TCP connection state — established sessions and pending active opens —
+  // vanishes without FIN/RST or callbacks; TCP listeners and UDP bindings
+  // survive, as restarted firmware brings its services back up. Invoked by
+  // Fabric::apply_crash_window at crash-window start.
+  void fault_crash() { tcp_->reset_connections(); }
+
  protected:
   virtual void on_attached() {}
   virtual void on_detached() {}

@@ -40,6 +40,9 @@ struct Packet {
   // re-published while the receiving host handles the packet, so responses
   // and follow-on traffic inherit the originating probe's id.
   std::uint64_t trace_id = 0;
+  // Set on copies created by the fault injector's duplication fault so a
+  // duplicate is never duplicated again (net/faults.h).
+  bool fault_copy = false;
   util::Bytes payload;
 
   bool has_flag(std::uint8_t flag) const { return (tcp_flags & flag) != 0; }

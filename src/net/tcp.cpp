@@ -68,6 +68,17 @@ util::Ipv4Addr TcpConnection::local_addr() const {
 
 void TcpStack::connect(util::Ipv4Addr dst, std::uint16_t dst_port,
                        ConnectHandler handler, sim::Duration timeout) {
+  connect_ex(
+      dst, dst_port,
+      [handler = std::move(handler)](TcpConnection* conn, ConnectOutcome) {
+        if (handler) handler(conn);
+      },
+      timeout);
+}
+
+void TcpStack::connect_ex(util::Ipv4Addr dst, std::uint16_t dst_port,
+                          ConnectOutcomeHandler handler,
+                          sim::Duration timeout) {
   // Allocate an unused ephemeral port for this (remote, remote_port) pair.
   ConnKey key{0, dst, dst_port};
   for (int attempts = 0; attempts < 0x8000; ++attempts) {
@@ -82,6 +93,8 @@ void TcpStack::connect(util::Ipv4Addr dst, std::uint16_t dst_port,
       new TcpConnection(*this, key, TcpConnection::State::kSynSent));
   conn->opened_at_ = host_.sim().now();
   conn->trace_id_ = obs::current_trace_id();
+  conn->generation_ = ++next_generation_;
+  const std::uint64_t generation = conn->generation_;
   conns_[key] = std::move(conn);
   pending_connects_[key] = std::move(handler);
   metrics().connects.inc();
@@ -89,17 +102,24 @@ void TcpStack::connect(util::Ipv4Addr dst, std::uint16_t dst_port,
               key.remote_port);
   send_flags(key, TcpFlags::kSyn);
 
-  host_.sim().after(timeout, [this, key] {
+  // The timeout is keyed by (key, generation): once this connection is
+  // established and torn down, a later connection may reuse the key (the
+  // ephemeral allocator wraps at 0xffff), and without the generation check
+  // this stale timer would kill the newer, unrelated connection.
+  host_.sim().after(timeout, [this, key, generation] {
     TcpConnection* conn = find(key);
-    if (conn == nullptr || conn->state_ != TcpConnection::State::kSynSent) {
-      return;  // already established or gone
+    if (conn == nullptr || conn->generation_ != generation ||
+        conn->state_ != TcpConnection::State::kSynSent) {
+      return;  // already established, gone, or a newer incarnation
     }
     metrics().timeouts.inc();
     trace_state(host_, key, conn->trace_id_, obs::TcpTrace::kTimeout,
                 key.remote_port);
     auto pending = pending_connects_.extract(key);
     erase(key);
-    if (!pending.empty() && pending.mapped()) pending.mapped()(nullptr);
+    if (!pending.empty() && pending.mapped()) {
+      pending.mapped()(nullptr, ConnectOutcome::kTimeout);
+    }
   });
 }
 
@@ -124,7 +144,9 @@ void TcpStack::handle(const Packet& packet) {
     erase(key);
     if (was_pending) {
       metrics().refused.inc();
-      if (!pending.empty() && pending.mapped()) pending.mapped()(nullptr);
+      if (!pending.empty() && pending.mapped()) {
+        pending.mapped()(nullptr, ConnectOutcome::kRefused);
+      }
     } else if (on_close) {
       // The connection object is gone; closing notifications for RST carry
       // a transient object so services can log the teardown.
@@ -182,7 +204,9 @@ void TcpStack::handle(const Packet& packet) {
                 key.remote_port);
     send_flags(key, TcpFlags::kAck);
     auto pending = pending_connects_.extract(key);
-    if (!pending.empty() && pending.mapped()) pending.mapped()(conn);
+    if (!pending.empty() && pending.mapped()) {
+      pending.mapped()(conn, ConnectOutcome::kEstablished);
+    }
     return;
   }
 

@@ -63,10 +63,25 @@ class TcpConnection {
   ConnKey key_;
   TcpStack& stack_;
   State state_;
+  // Distinguishes successive connections reusing one key: deferred events
+  // (connect timeouts) capture (key, generation) and stand down when the
+  // key now names a newer incarnation.
+  std::uint64_t generation_ = 0;
   std::uint64_t trace_id_ = 0;
   sim::Time opened_at_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
+};
+
+// How an active open resolved. Delivered alongside the connection pointer
+// by connect_ex so callers can tell an answered refusal (RST: the host is
+// up, the port is closed or fault-refused) from a silent timeout (SYN or
+// SYN|ACK lost) — the distinction retry policies key on: refusals are
+// answers and are never retried, timeouts may be.
+enum class ConnectOutcome : std::uint8_t {
+  kEstablished,
+  kRefused,
+  kTimeout,
 };
 
 class TcpStack {
@@ -76,6 +91,9 @@ class TcpStack {
   using AcceptHandler = std::function<void(TcpConnection&)>;
   // Invoked with the established connection, or nullptr on timeout/refusal.
   using ConnectHandler = std::function<void(TcpConnection*)>;
+  // connect_ex variant carrying the outcome (nullptr iff not kEstablished).
+  using ConnectOutcomeHandler =
+      std::function<void(TcpConnection*, ConnectOutcome)>;
 
   explicit TcpStack(Host& host) : host_(host) {}
   TcpStack(const TcpStack&) = delete;
@@ -92,6 +110,9 @@ class TcpStack {
   void connect(util::Ipv4Addr dst, std::uint16_t dst_port,
                ConnectHandler handler,
                sim::Duration timeout = sim::seconds(5));
+  void connect_ex(util::Ipv4Addr dst, std::uint16_t dst_port,
+                  ConnectOutcomeHandler handler,
+                  sim::Duration timeout = sim::seconds(5));
 
   // Packet ingress from the owning host.
   void handle(const Packet& packet);
@@ -105,6 +126,20 @@ class TcpStack {
   // Limits half-open (SYN_RCVD) server-side entries, making SYN floods
   // observable as accept-queue exhaustion.
   void set_backlog_limit(std::size_t limit) { backlog_limit_ = limit; }
+
+  // Power-loss semantics for host crash faults (net/faults.h kCrash):
+  // every connection and pending active open vanishes without FIN/RST or
+  // callbacks — the crashed software's completion handlers are gone with
+  // it. Listeners survive: restarted firmware brings its services back up.
+  // Deferred timers holding (key, generation) find nothing and stand down.
+  void reset_connections() {
+    pending_connects_.clear();
+    conns_.clear();
+  }
+
+  // Test hook: pins the next ephemeral port so port-reuse scenarios (the
+  // (key, generation) timeout regression) can be forced deterministically.
+  void set_next_ephemeral(std::uint16_t port) { next_ephemeral_ = port; }
 
   Host& host() { return host_; }
 
@@ -124,7 +159,9 @@ class TcpStack {
   std::unordered_map<std::uint16_t, AcceptHandler> listeners_;
   std::unordered_map<ConnKey, std::unique_ptr<TcpConnection>, ConnKeyHash>
       conns_;
-  std::unordered_map<ConnKey, ConnectHandler, ConnKeyHash> pending_connects_;
+  std::unordered_map<ConnKey, ConnectOutcomeHandler, ConnKeyHash>
+      pending_connects_;
+  std::uint64_t next_generation_ = 0;
   std::uint16_t next_ephemeral_ = 32768;
   std::size_t backlog_limit_ = 4096;
 };

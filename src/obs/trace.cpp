@@ -33,6 +33,8 @@ std::string_view trace_event_name(TraceEventType type) {
     case TraceEventType::kFlowTuple: return "flowtuple";
     case TraceEventType::kBackscatter: return "backscatter";
     case TraceEventType::kVerdict: return "verdict";
+    case TraceEventType::kPacketFault: return "packet_fault";
+    case TraceEventType::kHostFault: return "host_fault";
   }
   return "unknown";
 }
@@ -57,7 +59,8 @@ bool TraceRecorder::is_session_class(TraceEventType type) {
     case TraceEventType::kSessionCommand:
     case TraceEventType::kSessionEnd:
     case TraceEventType::kVerdict:
-      return true;
+    case TraceEventType::kHostFault:  // rare narrative events, keep with
+      return true;                    // the sessions they interrupt
     default:
       return false;
   }

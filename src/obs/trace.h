@@ -70,6 +70,8 @@ enum class TraceEventType : std::uint8_t {
   kFlowTuple,       // telescope observed a darknet packet
   kBackscatter,     // RSDoS detector accepted a backscatter packet
   kVerdict,         // classifier finding; `a` = Misconfig, `b` = Protocol
+  kPacketFault,     // fault injector perturbed a packet; `a` = FaultKind
+  kHostFault,       // host-level fault; `a` = 0 crash, 1 restart
 };
 std::string_view trace_event_name(TraceEventType type);
 

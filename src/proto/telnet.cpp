@@ -1,5 +1,6 @@
 #include "proto/telnet.h"
 
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace ofh::proto::telnet {
@@ -228,21 +229,30 @@ bool looks_like_shell_prompt(const std::string& text) {
   return last == '$' || last == '#' || last == '>';
 }
 
-}  // namespace
-
-void TelnetClient::run(net::Host& from, util::Ipv4Addr target,
-                       std::uint16_t port,
-                       std::vector<Credentials> credentials,
-                       std::vector<std::string> commands, Callback done,
-                       sim::Duration step_timeout) {
-  auto session = std::make_shared<ClientSession>();
-  session->credentials = std::move(credentials);
-  session->commands = std::move(commands);
-  session->callback = std::move(done);
-
-  from.tcp().connect(target, port, [session, &from, step_timeout](
-                                       net::TcpConnection* conn) {
+// One connect attempt; recurses (bounded by connect_attempts) when the SYN
+// times out, since under fault injection a lost SYN is indistinguishable
+// from a dead host. A refusal is an answer and ends the session at once.
+// trace_id is the session's causal id, re-published across the retry timer.
+void client_connect(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
+                    std::shared_ptr<ClientSession> session,
+                    sim::Duration step_timeout, int attempt,
+                    int connect_attempts, std::uint64_t trace_id) {
+  from.tcp().connect_ex(target, port, [session, &from, target, port,
+                                       step_timeout, attempt, connect_attempts,
+                                       trace_id](net::TcpConnection* conn,
+                                                 net::ConnectOutcome outcome) {
     if (conn == nullptr) {
+      if (outcome == net::ConnectOutcome::kTimeout &&
+          attempt < connect_attempts) {
+        from.sim().after(step_timeout / 2, [&from, target, port, session,
+                                            step_timeout, attempt,
+                                            connect_attempts, trace_id] {
+          const obs::TraceContext trace_context(trace_id);
+          client_connect(from, target, port, session, step_timeout,
+                         attempt + 1, connect_attempts, trace_id);
+        });
+        return;
+      }
       session->finish();
       return;
     }
@@ -327,6 +337,21 @@ void TelnetClient::run(net::Host& from, util::Ipv4Addr target,
     // Overall safety timeout.
     from.sim().after(step_timeout * 20, [session] { session->finish(); });
   });
+}
+
+}  // namespace
+
+void TelnetClient::run(net::Host& from, util::Ipv4Addr target,
+                       std::uint16_t port,
+                       std::vector<Credentials> credentials,
+                       std::vector<std::string> commands, Callback done,
+                       sim::Duration step_timeout, int connect_attempts) {
+  auto session = std::make_shared<ClientSession>();
+  session->credentials = std::move(credentials);
+  session->commands = std::move(commands);
+  session->callback = std::move(done);
+  client_connect(from, target, port, std::move(session), step_timeout,
+                 /*attempt=*/1, connect_attempts, obs::current_trace_id());
 }
 
 }  // namespace ofh::proto::telnet

@@ -119,10 +119,14 @@ class TelnetClient {
 
   // Tries each credential pair in order until one yields a shell. commands
   // are sent once a shell is reached (e.g. a malware dropper one-liner).
+  // connect_attempts bounds SYN retries when the connect times out (chaos
+  // loss looks like a dead host); refusals are never retried. The default
+  // of 1 preserves pre-retry behaviour byte for byte.
   static void run(net::Host& from, util::Ipv4Addr target, std::uint16_t port,
                   std::vector<Credentials> credentials,
                   std::vector<std::string> commands, Callback done,
-                  sim::Duration step_timeout = sim::seconds(2));
+                  sim::Duration step_timeout = sim::seconds(2),
+                  int connect_attempts = 1);
 };
 
 }  // namespace ofh::proto::telnet

@@ -62,10 +62,30 @@ class ScanDb {
   void note_probes(std::uint64_t n) { probes_sent_ += n; }
   std::uint64_t probes_sent() const { return probes_sent_; }
 
+  // Per-target outcome accounting: every probed target resolves to exactly
+  // one of responsive / refused / unresolved (priority responsive > refused
+  // > unresolved across a multi-port protocol's ports), so
+  //   probes_sent == responsive + refused + unresolved
+  // once every sweep feeding this DB has drained (tests/faults_test.cpp).
+  // Retries count per-port re-sends beyond the first attempt. The n-ary
+  // forms let the parallel scan layer fold a shard-private DB's totals in.
+  void note_responsive(std::uint64_t n = 1) { responsive_ += n; }
+  void note_refused(std::uint64_t n = 1) { refused_ += n; }
+  void note_unresolved(std::uint64_t n = 1) { unresolved_ += n; }
+  void note_retries(std::uint64_t n = 1) { retries_ += n; }
+  std::uint64_t responsive() const { return responsive_; }
+  std::uint64_t refused() const { return refused_; }
+  std::uint64_t unresolved() const { return unresolved_; }
+  std::uint64_t retries() const { return retries_; }
+
  private:
   std::vector<ScanRecord> records_;
   std::map<proto::Protocol, std::set<std::uint32_t>> hosts_by_protocol_;
   std::uint64_t probes_sent_ = 0;
+  std::uint64_t responsive_ = 0;
+  std::uint64_t refused_ = 0;
+  std::uint64_t unresolved_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace ofh::scanner

@@ -24,11 +24,32 @@ struct ScannerMetrics {
   obs::Counter probes = obs::counter("scanner.probes_sent");
   obs::Counter records = obs::counter("scanner.records");
   obs::Counter banner_grabs = obs::counter("scanner.banner_grabs");
+  // Per-target outcome trio: probes_sent == the sum of these three once
+  // every sweep drains (the accounting identity of tests/faults_test.cpp).
+  obs::Counter responsive = obs::counter("scanner.targets_responsive");
+  obs::Counter refused = obs::counter("scanner.targets_refused");
+  obs::Counter unresolved = obs::counter("scanner.targets_unresolved");
+  obs::Counter retries = obs::counter("scanner.probe_retries");
 };
 
 const ScannerMetrics& metrics() {
   static const ScannerMetrics m;
   return m;
+}
+
+// Exponential backoff with deterministic jitter: the jitter is a pure
+// function of (seed, target, port, attempt), so the retry timeline is
+// identical on every run and for every scan_threads value.
+sim::Duration retry_delay(const ScanConfig& config, util::Ipv4Addr target,
+                          std::uint16_t port, std::uint32_t attempt) {
+  sim::Duration delay = config.retry_backoff * (std::uint64_t{1} << (attempt - 1));
+  if (config.retry_jitter > 0) {
+    delay += util::splitmix64(config.seed ^
+                              (std::uint64_t{target.value()} << 16) ^
+                              (std::uint64_t{port} << 3) ^ attempt) %
+             config.retry_jitter;
+  }
+  return delay;
 }
 
 }  // namespace
@@ -168,26 +189,91 @@ void Scanner::probe(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target) {
                    address().value(), target.value(), ports.front(),
                    static_cast<std::uint8_t>(obs::TraceProbeOrigin::kScanner),
                    static_cast<std::uint8_t>(sweep->config.protocol));
+  // One outstanding entry — and exactly one booked outcome — per target,
+  // however many ports the protocol probes.
+  ++sweep->outstanding;
   if (proto::is_udp(sweep->config.protocol)) {
-    probe_udp(sweep, target, ports.front());
+    probe_udp(sweep, target, ports.front(), /*attempt=*/1);
   } else {
     // Multi-port protocols (Telnet 23+2323, XMPP 5222+5269) probe each port.
-    for (const auto port : ports) probe_tcp(sweep, target, port);
+    auto outcome = std::make_shared<TargetOutcome>();
+    outcome->pending = static_cast<int>(ports.size());
+    for (const auto port : ports) {
+      probe_tcp(sweep, outcome, target, port, /*attempt=*/1);
+    }
   }
 }
 
-void Scanner::probe_tcp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
-                        std::uint16_t port) {
-  ++sweep->outstanding;
-  const proto::Protocol protocol = sweep->config.protocol;
+void Scanner::schedule_retry(std::shared_ptr<Sweep> sweep,
+                             util::Ipv4Addr target, std::uint16_t port,
+                             std::uint32_t attempt,
+                             std::function<void()> resend) {
+  db_->note_retries();
+  metrics().retries.inc();
+  const std::uint64_t probe_trace_id = obs::current_trace_id();
+  sim().after(retry_delay(sweep->config, target, port, attempt),
+              [probe_trace_id, resend = std::move(resend)] {
+                // The retry re-sends under the original probe's causal id:
+                // it is the same probe, trying again.
+                const obs::TraceContext trace_context(probe_trace_id);
+                resend();
+              });
+}
 
-  tcp().connect(
+void Scanner::port_resolved(std::shared_ptr<Sweep> sweep,
+                            std::shared_ptr<TargetOutcome> outcome) {
+  if (--outcome->pending > 0) return;
+  resolve_target(std::move(sweep), outcome->responsive, outcome->refused);
+}
+
+void Scanner::resolve_target(std::shared_ptr<Sweep> sweep, bool responsive,
+                             bool refused) {
+  if (responsive) {
+    db_->note_responsive();
+    metrics().responsive.inc();
+  } else if (refused) {
+    db_->note_refused();
+    metrics().refused.inc();
+  } else {
+    db_->note_unresolved();
+    metrics().unresolved.inc();
+  }
+  finish_probe(std::move(sweep));
+}
+
+void Scanner::probe_tcp(std::shared_ptr<Sweep> sweep,
+                        std::shared_ptr<TargetOutcome> outcome,
+                        util::Ipv4Addr target, std::uint16_t port,
+                        std::uint32_t attempt) {
+  const proto::Protocol protocol = sweep->config.protocol;
+  // The probe's causal id, re-published around retries: the connect
+  // timeout fires from a bare timer where no context is ambient.
+  const std::uint64_t probe_trace_id = obs::current_trace_id();
+
+  tcp().connect_ex(
       target, port,
-      [this, sweep, target, port, protocol](net::TcpConnection* conn) {
-        if (conn == nullptr) {  // closed or filtered
-          finish_probe(sweep);
+      [this, sweep, outcome, target, port, protocol, attempt,
+       probe_trace_id](net::TcpConnection* conn, net::ConnectOutcome result) {
+        if (conn == nullptr) {  // refused, timed out, or filtered
+          if (result == net::ConnectOutcome::kTimeout &&
+              attempt < sweep->config.max_attempts) {
+            // A timeout is indistinguishable from loss: try again. A
+            // refusal is an answer and resolves the port immediately.
+            const obs::TraceContext trace_context(probe_trace_id);
+            schedule_retry(sweep, target, port, attempt,
+                           [this, sweep, outcome, target, port, attempt] {
+                             probe_tcp(sweep, outcome, target, port,
+                                       attempt + 1);
+                           });
+            return;
+          }
+          if (result == net::ConnectOutcome::kRefused) {
+            outcome->refused = true;
+          }
+          port_resolved(sweep, outcome);
           return;
         }
+        outcome->responsive = true;
         // ZGrab stage: optional protocol-specific stimulus, then collect
         // whatever arrives during the banner window.
         auto collected = std::make_shared<std::string>();
@@ -252,7 +338,7 @@ void Scanner::probe_tcp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
         const net::ConnKey key{conn->local_port(), conn->remote_addr(),
                                conn->remote_port()};
         sim().after(sweep->config.banner_wait,
-                    [this, sweep, target, port, collected, key] {
+                    [this, sweep, outcome, target, port, collected, key] {
                       net::TcpConnection* live = tcp().lookup(key);
                       if (live != nullptr) live->abort();
                       ScanRecord record;
@@ -262,46 +348,60 @@ void Scanner::probe_tcp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
                       record.banner = *collected;
                       record.when = sim().now();
                       store(*sweep, std::move(record));
-                      finish_probe(sweep);
+                      port_resolved(sweep, outcome);
                     });
       },
       sweep->config.connect_timeout);
 }
 
-void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
-                        std::uint16_t port) {
-  ++sweep->outstanding;
-  sweep->udp_waiting[target.value()];  // open collection slot
-  // Captured for the deferred CoAP follow-up GET, which runs outside the
-  // probe's ambient context.
-  const std::uint64_t probe_trace_id = obs::current_trace_id();
-
-  switch (sweep->config.protocol) {
+void Scanner::send_udp_stimulus(Sweep& sweep, util::Ipv4Addr target,
+                                std::uint16_t port) {
+  switch (sweep.config.protocol) {
     case proto::Protocol::kCoap: {
       const auto request = proto::coap::make_discovery_request(
           static_cast<std::uint16_t>(target.value() & 0xffff));
-      udp().send(target, port, proto::coap::encode(request), sweep->udp_port);
+      udp().send(target, port, proto::coap::encode(request), sweep.udp_port);
       break;
     }
     case proto::Protocol::kUpnp: {
       proto::ssdp::MSearch search;
       search.search_target = "upnp:rootdevice";
       udp().send(target, port, proto::ssdp::encode_msearch(search),
-                 sweep->udp_port);
+                 sweep.udp_port);
       break;
     }
     default:
       break;
   }
+}
+
+void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
+                        std::uint16_t port, std::uint32_t attempt) {
+  sweep->udp_waiting[target.value()];  // open collection slot
+  // Captured for the deferred CoAP follow-up GET, which runs outside the
+  // probe's ambient context.
+  const std::uint64_t probe_trace_id = obs::current_trace_id();
+
+  send_udp_stimulus(*sweep, target, port);
 
   sim().after(sweep->config.banner_wait,
-              [this, sweep, target, port, probe_trace_id] {
+              [this, sweep, target, port, probe_trace_id, attempt] {
     const auto it = sweep->udp_waiting.find(target.value());
     std::string raw = it == sweep->udp_waiting.end() ? "" : it->second;
     sweep->udp_waiting.erase(target.value());
 
-    if (raw.empty()) {  // silent: not exposed
-      finish_probe(sweep);
+    if (raw.empty()) {  // silent: lost, filtered, or genuinely not exposed
+      if (attempt < sweep->config.max_attempts) {
+        // UDP gives no refusal signal, so silence is retried like a TCP
+        // timeout (re-sending the discovery stimulus, not the follow-up).
+        const obs::TraceContext trace_context(probe_trace_id);
+        schedule_retry(sweep, target, port, attempt,
+                       [this, sweep, target, port, attempt] {
+                         probe_udp(sweep, target, port, attempt + 1);
+                       });
+        return;
+      }
+      resolve_target(sweep, /*responsive=*/false, /*refused=*/false);
       return;
     }
 
@@ -367,7 +467,8 @@ void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
                       record.banner = std::move(full);
                       record.when = sim().now();
                       store(*sweep, std::move(record));
-                      finish_probe(sweep);
+                      resolve_target(sweep, /*responsive=*/true,
+                                     /*refused=*/false);
                     });
         return;
       }
@@ -379,7 +480,7 @@ void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
       record.banner = std::move(banner);
       record.when = sim().now();
       store(*sweep, std::move(record));
-      finish_probe(sweep);
+      resolve_target(sweep, /*responsive=*/true, /*refused=*/false);
       return;
     }
 
@@ -391,7 +492,7 @@ void Scanner::probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
     record.banner = std::move(raw);
     record.when = sim().now();
     store(*sweep, std::move(record));
-    finish_probe(sweep);
+    resolve_target(sweep, /*responsive=*/true, /*refused=*/false);
   });
 }
 

@@ -28,6 +28,18 @@ struct ScanConfig {
   // await a UDP response.
   sim::Duration banner_wait = sim::seconds(2);
   sim::Duration connect_timeout = sim::seconds(3);
+  // Per-port probe retries (ZMap retries lost probes; so do we). A connect
+  // timeout (TCP) or a silent response window (UDP) is retried until the
+  // port has been tried max_attempts times, waiting
+  //   retry_backoff * 2^(attempt-1) + jitter
+  // between attempts, where jitter is a deterministic hash of
+  // (seed, target, port, attempt) in [0, retry_jitter). Refusals are
+  // answers, not losses, and are never retried. The default of 1 (no
+  // retries) keeps fault-free runs byte-identical to the pre-retry
+  // goldens.
+  std::uint32_t max_attempts = 1;
+  sim::Duration retry_backoff = sim::msec(500);
+  sim::Duration retry_jitter = sim::msec(100);
 };
 
 // ZMap's default blocklist equivalent: reserved/special-purpose ranges.
@@ -48,6 +60,14 @@ class Scanner : public net::Host {
 
  private:
   struct Sweep;
+  // Aggregates one target's per-port fates (multi-port protocols probe two
+  // ports per target) into the single outcome the accounting identity
+  // probes_sent == responsive + refused + unresolved counts.
+  struct TargetOutcome {
+    int pending = 0;
+    bool responsive = false;
+    bool refused = false;
+  };
 
   std::uint16_t allocate_udp_source_port(std::uint64_t seed);
   void pump(std::shared_ptr<Sweep> sweep);
@@ -55,10 +75,25 @@ class Scanner : public net::Host {
   // Single point every resolved probe result funnels through: updates the
   // obs hit-rate counters and appends to the scan DB.
   void store(Sweep& sweep, ScanRecord record);
-  void probe_tcp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
-                 std::uint16_t port);
+  void probe_tcp(std::shared_ptr<Sweep> sweep,
+                 std::shared_ptr<TargetOutcome> outcome, util::Ipv4Addr target,
+                 std::uint16_t port, std::uint32_t attempt);
   void probe_udp(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
-                 std::uint16_t port);
+                 std::uint16_t port, std::uint32_t attempt);
+  void send_udp_stimulus(Sweep& sweep, util::Ipv4Addr target,
+                         std::uint16_t port);
+  // Counts a retry and re-runs `resend` after the deterministic backoff,
+  // re-publishing the probe's original causal id.
+  void schedule_retry(std::shared_ptr<Sweep> sweep, util::Ipv4Addr target,
+                      std::uint16_t port, std::uint32_t attempt,
+                      std::function<void()> resend);
+  // Port-level completion: folds the port's fate into the target outcome
+  // and resolves the target when its last port reports.
+  void port_resolved(std::shared_ptr<Sweep> sweep,
+                     std::shared_ptr<TargetOutcome> outcome);
+  // Target-level completion: books exactly one outcome per probed target.
+  void resolve_target(std::shared_ptr<Sweep> sweep, bool responsive,
+                      bool refused);
   void finish_probe(std::shared_ptr<Sweep> sweep);
 
   ScanDb* db_;

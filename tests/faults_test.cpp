@@ -1,0 +1,575 @@
+// Deterministic fault injection (net/faults.h) and graceful degradation:
+// injector decision determinism, Gilbert-Elliott burst statistics, window
+// semantics (partition symmetry, link flaps, refusal, latency spikes,
+// crashes), fabric packet conservation under duplication, scanner
+// retry/backoff recovery with outcome accounting, and the headline chaos
+// property — a full Study under a nonzero schedule is byte-identical for
+// every scan_threads value, degradation report included.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "devices/device.h"
+#include "devices/population.h"
+#include "honeynet/deployments.h"
+#include "honeynet/event_log.h"
+#include "net/fabric.h"
+#include "net/faults.h"
+#include "scanner/scanner.h"
+#include "test_helpers.h"
+#include "util/bytes.h"
+
+namespace ofh {
+namespace {
+
+using test::PlainHost;
+using test::SimTest;
+using util::Ipv4Addr;
+
+// ---------------------------------------------------------------- injector
+
+TEST(FaultInjector, FaultKindNamesAreDistinct) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < net::kFaultKindCount; ++i) {
+    names.insert(
+        std::string(net::fault_kind_name(static_cast<net::FaultKind>(i))));
+  }
+  EXPECT_EQ(names.size(), net::kFaultKindCount);
+}
+
+net::Packet make_packet(Ipv4Addr src, Ipv4Addr dst) {
+  net::Packet packet;
+  packet.src = src;
+  packet.dst = dst;
+  packet.transport = net::Transport::kUdp;
+  return packet;
+}
+
+TEST(FaultInjector, DecisionSequenceIsDeterministic) {
+  net::FaultSchedule schedule;
+  schedule.duplicate_rate = 0.05;
+  schedule.reorder_rate = 0.05;
+  schedule.burst.enabled = true;
+  schedule.burst.p_enter = 0.05;
+  schedule.burst.p_exit = 0.2;
+  schedule.burst.loss_bad = 0.8;
+
+  net::FaultInjector a(schedule, 42);
+  net::FaultInjector b(schedule, 42);
+  const auto packet = make_packet(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  std::uint64_t perturbed = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const sim::Time now = static_cast<sim::Time>(i) * sim::msec(7);
+    const auto da = a.decide(packet, now);
+    const auto db = b.decide(packet, now);
+    ASSERT_EQ(da.drop, db.drop) << i;
+    ASSERT_EQ(da.drop_kind, db.drop_kind) << i;
+    ASSERT_EQ(da.refuse, db.refuse) << i;
+    ASSERT_EQ(da.duplicate, db.duplicate) << i;
+    ASSERT_EQ(da.spike_delay, db.spike_delay) << i;
+    ASSERT_EQ(da.reorder_delay, db.reorder_delay) << i;
+    if (da.perturbed()) ++perturbed;
+  }
+  EXPECT_GT(perturbed, 0u);  // the schedule actually exercised the draws
+}
+
+TEST(FaultInjector, GilbertElliottLossIsBurstyAndNearStationaryRate) {
+  // With loss_bad = 1 and loss_good = 0, drops expose the chain state
+  // directly: the stationary bad probability is p_enter/(p_enter+p_exit).
+  net::FaultSchedule schedule;
+  schedule.burst.enabled = true;
+  schedule.burst.p_enter = 0.05;
+  schedule.burst.p_exit = 0.2;
+  schedule.burst.loss_good = 0.0;
+  schedule.burst.loss_bad = 1.0;
+  schedule.burst.slot = sim::msec(100);
+
+  net::FaultInjector injector(schedule, 7);
+  const auto packet = make_packet(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  const int packets = 50'000;  // 10 per slot over 5000 slots
+  int drops = 0, pairs = 0, both = 0;
+  bool previous = false;
+  for (int i = 0; i < packets; ++i) {
+    const sim::Time now = static_cast<sim::Time>(i) * sim::msec(10);
+    const bool dropped = injector.decide(packet, now).drop;
+    if (dropped) ++drops;
+    if (i > 0) {
+      ++pairs;
+      if (previous && dropped) ++both;
+    }
+    previous = dropped;
+  }
+  const double rate = static_cast<double>(drops) / packets;
+  EXPECT_GT(rate, 0.08);  // stationary expectation 0.2, loose tolerance
+  EXPECT_LT(rate, 0.35);
+  // Burstiness: a drop is far more likely right after a drop than the
+  // marginal rate (same slot or a persisting bad state), which uniform
+  // loss cannot produce.
+  const double conditional =
+      static_cast<double>(both) / std::max(1, drops);
+  EXPECT_GT(conditional, 2.0 * rate);
+  EXPECT_GT(pairs, 0);
+}
+
+TEST(FaultInjector, ChaosScheduleIsAPureFunctionOfSeed) {
+  net::ChaosOptions options;
+  options.ranges = {*util::Cidr::parse("10.0.0.0/16"),
+                    *util::Cidr::parse("172.16.0.0/16")};
+  const auto a = net::FaultSchedule::chaos(99, options);
+  const auto b = net::FaultSchedule::chaos(99, options);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  ASSERT_GT(a.windows.size(), 0u);
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].kind, b.windows[i].kind) << i;
+    EXPECT_EQ(a.windows[i].start, b.windows[i].start) << i;
+    EXPECT_EQ(a.windows[i].end, b.windows[i].end) << i;
+    EXPECT_EQ(a.windows[i].scope.base().value(),
+              b.windows[i].scope.base().value())
+        << i;
+    EXPECT_EQ(a.windows[i].magnitude, b.windows[i].magnitude) << i;
+  }
+  // Every requested kind is represented.
+  std::set<net::FaultKind> kinds;
+  for (const auto& window : a.windows) kinds.insert(window.kind);
+  EXPECT_TRUE(kinds.count(net::FaultKind::kLinkFlap));
+  EXPECT_TRUE(kinds.count(net::FaultKind::kPartition));
+  EXPECT_TRUE(kinds.count(net::FaultKind::kLatencySpike));
+  EXPECT_TRUE(kinds.count(net::FaultKind::kRefusal));
+  EXPECT_TRUE(kinds.count(net::FaultKind::kCrash));
+  // A different seed lands the windows elsewhere.
+  const auto c = net::FaultSchedule::chaos(100, options);
+  bool any_difference = c.windows.size() != a.windows.size();
+  for (std::size_t i = 0; !any_difference && i < a.windows.size(); ++i) {
+    any_difference = a.windows[i].start != c.windows[i].start ||
+                     a.windows[i].scope.base() != c.windows[i].scope.base();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// ---------------------------------------------------------- fault windows
+
+class FaultWindowTest : public SimTest {};
+
+TEST_F(FaultWindowTest, PartitionDropsBothDirectionsThenHeals) {
+  PlainHost a(Ipv4Addr(10, 0, 0, 1));
+  PlainHost b(Ipv4Addr(10, 1, 0, 1));
+  a.attach(fabric_);
+  b.attach(fabric_);
+  int received_by_a = 0, received_by_b = 0;
+  a.udp().bind(9000, [&](const net::Datagram&) { ++received_by_a; });
+  b.udp().bind(9000, [&](const net::Datagram&) { ++received_by_b; });
+
+  net::FaultSchedule schedule;
+  schedule.windows.push_back({net::FaultKind::kPartition, 0, sim::seconds(5),
+                              *util::Cidr::parse("10.0.0.0/24"),
+                              *util::Cidr::parse("10.1.0.0/24"), 0});
+  fabric_.set_fault_schedule(schedule);
+
+  sim_.at(sim::seconds(1), [&] {
+    a.udp().send(b.address(), 9000, util::to_bytes("ping"));
+    b.udp().send(a.address(), 9000, util::to_bytes("pong"));
+  });
+  sim_.at(sim::seconds(10), [&] {
+    a.udp().send(b.address(), 9000, util::to_bytes("ping"));
+    b.udp().send(a.address(), 9000, util::to_bytes("pong"));
+  });
+  run();
+
+  EXPECT_EQ(received_by_a, 1);  // only the post-window exchange arrives
+  EXPECT_EQ(received_by_b, 1);
+  EXPECT_EQ(fabric_.fault_injector()->injected(net::FaultKind::kPartition),
+            2u);
+  EXPECT_EQ(fabric_.packets_faulted(), 2u);
+  EXPECT_EQ(fabric_.packets_sent(),
+            fabric_.packets_delivered() + fabric_.packets_dropped() +
+                fabric_.packets_faulted());
+}
+
+TEST_F(FaultWindowTest, LinkFlapSilencesTheScopedHostInBothDirections) {
+  PlainHost a(Ipv4Addr(10, 0, 0, 1));
+  PlainHost b(Ipv4Addr(10, 5, 0, 1));
+  a.attach(fabric_);
+  b.attach(fabric_);
+  int received_by_a = 0, received_by_b = 0;
+  a.udp().bind(9000, [&](const net::Datagram&) { ++received_by_a; });
+  b.udp().bind(9000, [&](const net::Datagram&) { ++received_by_b; });
+
+  net::FaultSchedule schedule;
+  schedule.windows.push_back({net::FaultKind::kLinkFlap, 0, sim::seconds(5),
+                              *util::Cidr::parse("10.5.0.1/32"),
+                              util::Cidr(), 0});
+  fabric_.set_fault_schedule(schedule);
+
+  sim_.at(sim::seconds(1), [&] {
+    a.udp().send(b.address(), 9000, util::to_bytes("to-flapped"));
+    b.udp().send(a.address(), 9000, util::to_bytes("from-flapped"));
+  });
+  sim_.at(sim::seconds(8), [&] {
+    a.udp().send(b.address(), 9000, util::to_bytes("to-flapped"));
+  });
+  run();
+
+  EXPECT_EQ(received_by_a, 0);
+  EXPECT_EQ(received_by_b, 1);
+  EXPECT_EQ(fabric_.fault_injector()->injected(net::FaultKind::kLinkFlap), 2u);
+}
+
+TEST_F(FaultWindowTest, LatencySpikeDelaysDeliveryWithinTheWindow) {
+  PlainHost a(Ipv4Addr(10, 0, 0, 1));
+  PlainHost b(Ipv4Addr(10, 6, 0, 1));
+  a.attach(fabric_);
+  b.attach(fabric_);
+  sim::Time arrival = 0;
+  b.udp().bind(9000, [&](const net::Datagram&) { arrival = sim_.now(); });
+
+  net::FaultSchedule schedule;
+  schedule.windows.push_back({net::FaultKind::kLatencySpike, 0,
+                              sim::seconds(5),
+                              *util::Cidr::parse("10.6.0.0/24"), util::Cidr(),
+                              sim::msec(500)});
+  fabric_.set_fault_schedule(schedule);
+
+  sim_.at(sim::seconds(1),
+          [&] { a.udp().send(b.address(), 9000, util::to_bytes("slow")); });
+  run();
+
+  // Base latency is ~5ms; the spike adds 500ms on top.
+  ASSERT_GT(arrival, 0u);
+  EXPECT_GE(arrival, sim::seconds(1) + sim::msec(500));
+  EXPECT_LT(arrival, sim::seconds(1) + sim::msec(600));
+  EXPECT_EQ(fabric_.fault_injector()->injected(net::FaultKind::kLatencySpike),
+            1u);
+}
+
+TEST_F(FaultWindowTest, RefusalWindowAnswersSynsWithRstThenRecovers) {
+  PlainHost server(Ipv4Addr(10, 7, 0, 1));
+  PlainHost client(Ipv4Addr(10, 0, 0, 2));
+  server.attach(fabric_);
+  client.attach(fabric_);
+  server.tcp().listen(23, [](net::TcpConnection&) {});
+
+  net::FaultSchedule schedule;
+  schedule.windows.push_back({net::FaultKind::kRefusal, 0, sim::seconds(5),
+                              *util::Cidr::parse("10.7.0.0/24"), util::Cidr(),
+                              0});
+  fabric_.set_fault_schedule(schedule);
+
+  std::vector<net::ConnectOutcome> outcomes;
+  std::vector<sim::Time> when;
+  const auto record = [&](net::TcpConnection*, net::ConnectOutcome outcome) {
+    outcomes.push_back(outcome);
+    when.push_back(sim_.now());
+  };
+  sim_.at(sim::seconds(1),
+          [&] { client.tcp().connect_ex(server.address(), 23, record); });
+  sim_.at(sim::seconds(8),
+          [&] { client.tcp().connect_ex(server.address(), 23, record); });
+  run();
+
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0], net::ConnectOutcome::kRefused);
+  // A refusal is an answer: it arrives at RTT speed, not after the 5s
+  // connect timeout a silent drop would burn.
+  EXPECT_LT(when[0], sim::seconds(2));
+  EXPECT_EQ(outcomes[1], net::ConnectOutcome::kEstablished);
+  EXPECT_GE(fabric_.fault_injector()->injected(net::FaultKind::kRefusal), 1u);
+}
+
+TEST_F(FaultWindowTest, DuplicationAndReorderingPreserveConservation) {
+  PlainHost a(Ipv4Addr(10, 0, 0, 1));
+  PlainHost b(Ipv4Addr(10, 0, 0, 2));
+  a.attach(fabric_);
+  b.attach(fabric_);
+  int received = 0;
+  b.udp().bind(9000, [&](const net::Datagram&) { ++received; });
+
+  net::FaultSchedule schedule;
+  schedule.duplicate_rate = 0.2;
+  schedule.reorder_rate = 0.2;
+  fabric_.set_fault_schedule(schedule);
+
+  const int sends = 500;
+  for (int i = 0; i < sends; ++i) {
+    sim_.at(sim::msec(10) * static_cast<std::uint64_t>(i + 1), [&] {
+      a.udp().send(b.address(), 9000, util::to_bytes("dup-me"));
+    });
+  }
+  run();
+
+  const auto* injector = fabric_.fault_injector();
+  const auto duplicates = injector->injected(net::FaultKind::kDuplicate);
+  EXPECT_GT(duplicates, 0u);
+  EXPECT_GT(injector->injected(net::FaultKind::kReorder), 0u);
+  // Each duplicate re-enters send() as its own packet, so conservation
+  // holds and the receiver sees original + copy.
+  EXPECT_EQ(static_cast<std::uint64_t>(received),
+            static_cast<std::uint64_t>(sends) + duplicates);
+  EXPECT_EQ(fabric_.packets_sent(),
+            fabric_.packets_delivered() + fabric_.packets_dropped() +
+                fabric_.packets_faulted());
+}
+
+TEST_F(FaultWindowTest, CrashWipesSessionsButKeepsListenersAndEventLog) {
+  honeynet::EventLog log;
+  honeynet::HosTaGe honeypot(Ipv4Addr(10, 9, 0, 5), log);
+  PlainHost client(Ipv4Addr(10, 0, 0, 2));
+  honeypot.attach(fabric_);
+  client.attach(fabric_);
+
+  net::FaultSchedule schedule;
+  schedule.windows.push_back({net::FaultKind::kCrash, sim::seconds(2),
+                              sim::seconds(8),
+                              *util::Cidr::parse("10.9.0.5/32"), util::Cidr(),
+                              0});
+  fabric_.set_fault_schedule(schedule);
+
+  // Session established before the crash; more data sent mid-window.
+  client.tcp().connect(honeypot.address(), 23, [&](net::TcpConnection* conn) {
+    ASSERT_NE(conn, nullptr);
+  });
+  sim_.run_until(sim::seconds(1));
+  ASSERT_EQ(honeypot.tcp().open_connections(), 1u);
+  const std::size_t events_before_crash = log.size();
+  ASSERT_GE(events_before_crash, 1u);  // the connect was logged
+
+  sim_.run_until(sim::seconds(3));
+  // Power loss: connection state is gone without FIN/RST, the listener and
+  // the already-written event log survive.
+  EXPECT_EQ(honeypot.tcp().open_connections(), 0u);
+  EXPECT_TRUE(honeypot.tcp().listening(23));
+  EXPECT_EQ(log.size(), events_before_crash);
+  EXPECT_GE(fabric_.fault_injector()->injected(net::FaultKind::kCrash), 0u);
+
+  // While down, new connects die silently (SYN swallowed as kCrash).
+  bool mid_window_called = false;
+  net::TcpConnection* mid_window_conn = nullptr;
+  client.tcp().connect(
+      honeypot.address(), 23,
+      [&](net::TcpConnection* conn) {
+        mid_window_called = true;
+        mid_window_conn = conn;
+      },
+      sim::seconds(3));
+  sim_.run_until(sim::seconds(7));
+  EXPECT_TRUE(mid_window_called);
+  EXPECT_EQ(mid_window_conn, nullptr);
+  EXPECT_GE(fabric_.fault_injector()->injected(net::FaultKind::kCrash), 1u);
+
+  // After restart the service accepts again and keeps logging.
+  bool reconnected = false;
+  sim_.at(sim::seconds(9), [&] {
+    client.tcp().connect(honeypot.address(), 23,
+                         [&](net::TcpConnection* conn) {
+                           reconnected = conn != nullptr;
+                         });
+  });
+  run();
+  EXPECT_TRUE(reconnected);
+  EXPECT_GT(log.size(), events_before_crash);
+}
+
+// ------------------------------------------------- scanner retry recovery
+
+struct SweepResult {
+  std::uint64_t probes = 0;
+  std::uint64_t responsive = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t unresolved = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t unique_hosts = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t faulted = 0;
+};
+
+// One Telnet sweep over a /24 with 60 responsive devices, under the given
+// schedule and retry budget; its own sim/fabric so fault-free and chaos
+// runs are independent.
+SweepResult run_telnet_sweep(const net::FaultSchedule& schedule,
+                             std::uint32_t max_attempts) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim, 7);
+  fabric.set_latency(sim::msec(5), sim::msec(1));
+  if (!schedule.empty()) fabric.set_fault_schedule(schedule);
+
+  std::vector<std::unique_ptr<devices::Device>> hosts;
+  for (int i = 1; i <= 60; ++i) {
+    devices::DeviceSpec spec;
+    spec.address = Ipv4Addr(10, 1, 0, static_cast<std::uint8_t>(i));
+    spec.primary = proto::Protocol::kTelnet;
+    spec.misconfig = devices::Misconfig::kTelnetNoAuthRoot;
+    hosts.push_back(std::make_unique<devices::Device>(std::move(spec)));
+    hosts.back()->attach(fabric);
+  }
+
+  scanner::ScanDb db;
+  scanner::Scanner scanner(Ipv4Addr(9, 9, 9, 9), db);
+  scanner.attach(fabric);
+  scanner::ScanConfig config;
+  config.protocol = proto::Protocol::kTelnet;
+  config.targets = {*util::Cidr::parse("10.1.0.0/24")};
+  config.batch_size = 64;
+  config.max_attempts = max_attempts;
+  bool done = false;
+  scanner.start(config, [&done] { done = true; });
+  while (!done && sim.step()) {
+  }
+  sim.run_until(sim.now() + sim::minutes(1));  // drain in-flight teardown
+
+  SweepResult result;
+  result.probes = db.probes_sent();
+  result.responsive = db.responsive();
+  result.refused = db.refused();
+  result.unresolved = db.unresolved();
+  result.retries = db.retries();
+  result.unique_hosts = db.unique_hosts(proto::Protocol::kTelnet);
+  result.sent = fabric.packets_sent();
+  result.delivered = fabric.packets_delivered();
+  result.dropped = fabric.packets_dropped();
+  result.faulted = fabric.packets_faulted();
+  return result;
+}
+
+TEST(ScannerRetries, FaultFreeSweepResolvesEveryTargetWithoutRetries) {
+  const SweepResult result = run_telnet_sweep(net::FaultSchedule(), 1);
+  EXPECT_EQ(result.unique_hosts, 60u);
+  EXPECT_EQ(result.responsive, 60u);
+  EXPECT_EQ(result.retries, 0u);
+  // Every probed target resolves to exactly one outcome.
+  EXPECT_EQ(result.probes,
+            result.responsive + result.refused + result.unresolved);
+  EXPECT_EQ(result.sent, result.delivered + result.dropped + result.faulted);
+}
+
+TEST(ScannerRetries, BackoffRecoversNinetyPercentAtFivePercentLoss) {
+  const SweepResult clean = run_telnet_sweep(net::FaultSchedule(), 1);
+  ASSERT_EQ(clean.unique_hosts, 60u);
+
+  net::FaultSchedule lossy;
+  lossy.uniform_loss = 0.05;
+
+  // Without retries, 5% per-packet loss knocks out a visible slice of the
+  // responsive set (each connect needs SYN and SYN|ACK to survive).
+  const SweepResult no_retries = run_telnet_sweep(lossy, 1);
+  EXPECT_EQ(no_retries.probes, no_retries.responsive + no_retries.refused +
+                                   no_retries.unresolved);
+
+  // With exponential backoff the sweep recovers at least 90% of the
+  // fault-free responsive set (the ISSUE acceptance bar; in practice, with
+  // 4 attempts at this loss rate, it recovers all of it).
+  const SweepResult retried = run_telnet_sweep(lossy, 4);
+  EXPECT_GE(retried.unique_hosts * 10, clean.unique_hosts * 9);
+  EXPECT_GE(retried.unique_hosts, no_retries.unique_hosts);
+  EXPECT_GT(retried.retries, 0u);
+  EXPECT_EQ(retried.probes,
+            retried.responsive + retried.refused + retried.unresolved);
+  EXPECT_EQ(retried.sent,
+            retried.delivered + retried.dropped + retried.faulted);
+}
+
+// -------------------------------------------------- study-level chaos runs
+
+net::FaultSchedule study_chaos_schedule() {
+  // Chaos windows over the same prefixes the study's population occupies,
+  // derived from a throwaway population replica (Population::build is a
+  // pure function of its spec).
+  devices::PopulationSpec spec;
+  spec.seed = 2021;
+  spec.scale = 1.0 / 16'384;
+  devices::Population population(spec);
+  population.build();
+  net::ChaosOptions options;
+  options.ranges = population.prefixes();
+  options.end = sim::days(10);
+  net::FaultSchedule schedule = net::FaultSchedule::chaos(2021, options);
+  schedule.uniform_loss = 0.02;
+  return schedule;
+}
+
+core::StudyConfig chaos_config(unsigned threads) {
+  core::StudyConfig config;
+  config.seed = 2021;
+  config.population_scale = 1.0 / 16'384;
+  config.attack_scale = 1.0 / 128;
+  config.attack_duration = sim::days(4);
+  config.scan_threads = threads;
+  config.scan_attempts = 3;
+  config.session_connect_attempts = 2;
+  config.fault_schedule = study_chaos_schedule();
+  return config;
+}
+
+TEST(ChaosStudy, FullPipelineIsByteIdenticalForEveryThreadCount) {
+  core::Study reference(chaos_config(1));
+  reference.run_all();
+  // Snapshot everything before the next Study resets the registries.
+  const std::string metrics = reference.metrics_csv();
+  const std::string trace = reference.trace_json();
+  const std::string chains = reference.attack_chains();
+  const std::string report = reference.degradation_report();
+
+  ASSERT_NE(report.find("schedule: active"), std::string::npos);
+  ASSERT_NE(report.find("conservation=OK"), std::string::npos);
+  ASSERT_NE(report.find("accounting=OK"), std::string::npos);
+  ASSERT_GT(reference.scan_db().unique_hosts_total(), 0u);
+#ifndef OFH_NO_METRICS
+  // Faults actually fired and left their marks in the exports.
+  ASSERT_NE(metrics.find("fabric.packets_faulted"), std::string::npos);
+  ASSERT_NE(trace.find("packet_fault"), std::string::npos);
+#endif
+
+  for (const unsigned threads : {2u, 8u, 0u}) {  // 0 = hardware concurrency
+    core::Study study(chaos_config(threads));
+    study.run_all();
+    EXPECT_EQ(study.metrics_csv(), metrics) << "scan_threads=" << threads;
+    EXPECT_EQ(study.trace_json(), trace) << "scan_threads=" << threads;
+    EXPECT_EQ(study.attack_chains(), chains) << "scan_threads=" << threads;
+    EXPECT_EQ(study.degradation_report(), report)
+        << "scan_threads=" << threads;
+  }
+}
+
+TEST(ChaosStudy, DegradationReportComparesAgainstFaultFreeBaseline) {
+  core::StudyConfig clean_config;
+  clean_config.seed = 2021;
+  clean_config.population_scale = 1.0 / 16'384;
+  core::Study clean(clean_config);
+  clean.setup_internet();
+  clean.run_scan();
+  const core::DegradationBaseline baseline = clean.baseline();
+  ASSERT_GT(baseline.responsive_hosts, 0u);
+
+  // Uniform 5% loss with retries: the acceptance bar is >= 90% of the
+  // fault-free responsive set recovered.
+  core::StudyConfig lossy_config = clean_config;
+  lossy_config.fault_schedule.uniform_loss = 0.05;
+  lossy_config.scan_attempts = 4;
+  core::Study lossy(lossy_config);
+  lossy.setup_internet();
+  lossy.run_scan();
+
+  EXPECT_GE(lossy.scan_db().unique_hosts_total() * 10,
+            baseline.responsive_hosts * 9);
+
+  const std::string report = lossy.degradation_report(&baseline);
+  EXPECT_NE(report.find("schedule: active"), std::string::npos);
+  EXPECT_NE(report.find("accounting=OK"), std::string::npos);
+  EXPECT_NE(report.find("conservation=OK"), std::string::npos);
+  EXPECT_NE(report.find("vs fault-free baseline"), std::string::npos);
+  EXPECT_NE(report.find("retained"), std::string::npos);
+  // Scan-phase traffic stayed within the fault budget at this loss rate.
+  EXPECT_NE(report.find("scan:"), std::string::npos);
+  ASSERT_GE(lossy.phase_fault_stats().size(), 2u);  // setup + scan
+  const auto& scan_stats = lossy.phase_fault_stats()[1];
+  EXPECT_EQ(scan_stats.phase, "scan");
+  EXPECT_GT(scan_stats.sent, 0u);
+  EXPECT_GT(scan_stats.faulted, 0u);
+}
+
+}  // namespace
+}  // namespace ofh

@@ -333,6 +333,55 @@ TEST_F(NetTest, IngressFilterMakesTcpConnectTimeOut) {
   EXPECT_TRUE(failed);  // firewalled: no SYN-ACK, no RST — just a timeout
 }
 
+TEST_F(NetTest, StaleConnectTimeoutDoesNotFireOnReusedKey) {
+  PlainHost server(Ipv4Addr(10, 0, 0, 1));
+  PlainHost client(Ipv4Addr(10, 0, 0, 2));
+  server.attach(fabric_);
+  client.attach(fabric_);
+  server.tcp().listen(80, [](TcpConnection&) {});
+  bool silent = false;
+  server.set_ingress_filter([&silent](const Packet&) { return !silent; });
+
+  client.tcp().set_next_ephemeral(40'000);
+  TcpConnection* first = nullptr;
+  client.tcp().connect_ex(
+      server.address(), 80,
+      [&first](TcpConnection* conn, ConnectOutcome outcome) {
+        ASSERT_EQ(outcome, ConnectOutcome::kEstablished);
+        first = conn;
+      },
+      sim::seconds(5));  // this attempt's timeout timer pends until t=5s
+  run(sim::seconds(1));
+  ASSERT_NE(first, nullptr);
+  first->abort();  // frees the (40000 -> 10.0.0.1:80) key immediately
+
+  // Reuse the exact key while the first connect's timer is still pending;
+  // the server has gone silent, so this attempt sits in SynSent when the
+  // stale timer fires at t=5s.
+  silent = true;
+  client.tcp().set_next_ephemeral(40'000);
+  int callbacks = 0;
+  ConnectOutcome second_outcome = ConnectOutcome::kEstablished;
+  sim::Time resolved_at = 0;
+  client.tcp().connect_ex(
+      server.address(), 80,
+      [&](TcpConnection* conn, ConnectOutcome outcome) {
+        ++callbacks;
+        EXPECT_EQ(conn, nullptr);
+        second_outcome = outcome;
+        resolved_at = sim_.now();
+      },
+      sim::seconds(10));
+  run();
+
+  // Timers are keyed by (key, generation): the first connect's stale timer
+  // must stand down instead of killing the reused key at t=5s, and the
+  // second attempt must run its full 10s timeout and resolve exactly once.
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(second_outcome, ConnectOutcome::kTimeout);
+  EXPECT_GE(resolved_at, sim::seconds(11));
+}
+
 TEST_F(NetTest, PacketWireSizeIncludesPayload) {
   Packet packet;
   packet.payload = util::to_bytes("12345");
