@@ -26,6 +26,12 @@ cmake --preset ci
 cmake --build --preset ci -j "$(nproc)"
 ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
 
+# Determinism lint: the static half of the byte-identical-replay contract.
+# Required — an unsuppressed nondeterminism source, unordered-iteration in an
+# export path, or a justification-free suppression fails CI here.
+echo "==> determinism lint (ofh-lint)"
+scripts/lint.sh --build-dir build-ci
+
 # The exported Chrome trace must actually load: parse it with the stock
 # json module, then check the trace-event-format invariants, then make sure
 # the chain report reconstructed the paper's escalation pattern.

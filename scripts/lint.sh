@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Determinism lint: build ofh-lint and run it over src/ with the repo config.
+# This is a required CI gate — any error-severity finding (including a
+# suppression pragma with no justification, or a stale suppression that no
+# longer suppresses anything) fails the job. See DESIGN.md "Determinism lint"
+# for the rule catalog and suppression policy.
+#
+# The run is also timed: the lint pass is budgeted at 5 seconds wall clock so
+# it stays cheap enough to run in every CI flavor and every pre-push loop.
+# Exceeding the budget fails the script — a slow lint gets skipped, and a
+# skipped lint proves nothing.
+#
+# Usage: scripts/lint.sh [--build-dir DIR] [extra ofh-lint args...]
+#   --build-dir DIR  reuse an existing configured build tree (e.g. build-ci
+#                    in CI) instead of configuring the default preset.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=""
+if [[ "${1:-}" == "--build-dir" ]]; then
+  BUILD_DIR="$2"
+  shift 2
+fi
+
+# Prefer an explicitly requested tree, then any already-configured one.
+if [[ -z "$BUILD_DIR" ]]; then
+  for d in build build-ci build-ci-asan build-ci-tsan; do
+    if [[ -f "$d/CMakeCache.txt" ]]; then
+      BUILD_DIR="$d"
+      break
+    fi
+  done
+fi
+if [[ -z "$BUILD_DIR" ]]; then
+  echo "==> No configured build tree found; configuring the 'default' preset"
+  cmake --preset default >/dev/null
+  BUILD_DIR=build
+fi
+
+cmake --build "$BUILD_DIR" --target ofh-lint -j "$(nproc)" >/dev/null
+
+echo "==> ofh-lint over src/ (config: .ofh-lint.toml, build: $BUILD_DIR)"
+START_MS=$(($(date +%s%N) / 1000000))
+"$BUILD_DIR/tools/lint/ofh-lint" --config .ofh-lint.toml --root . "$@" src
+ELAPSED_MS=$((($(date +%s%N) / 1000000) - START_MS))
+
+# Timing log + budget: the determinism lint must stay under ~5s so it can be
+# a required job in every CI flavor without anyone being tempted to skip it.
+BUDGET_MS=5000
+echo "==> lint wall time: ${ELAPSED_MS} ms (budget: ${BUDGET_MS} ms)"
+if (( ELAPSED_MS > BUDGET_MS )); then
+  echo "error: lint pass exceeded its ${BUDGET_MS} ms budget" >&2
+  exit 1
+fi

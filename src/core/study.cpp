@@ -54,6 +54,7 @@ class PhaseScope {
         phase_metrics_(phase_metrics),
         fault_stats_(fault_stats),
         sim_start_(sim.now()),
+        // ofh-lint: allow(wall-clock) — phase wall profile: feeds only the obs Domain::kWall channel, quarantined out of every deterministic export
         wall_start_(std::chrono::steady_clock::now()) {
     if (fault_stats_ != nullptr) traffic_start_ = fabric_traffic();
   }
@@ -64,6 +65,7 @@ class PhaseScope {
   ~PhaseScope() {
     const auto wall_usec =
         std::chrono::duration_cast<std::chrono::microseconds>(
+            // ofh-lint: allow(wall-clock) — phase wall profile: the span's wall_usec lands in Domain::kWall only, never in a deterministic export
             std::chrono::steady_clock::now() - wall_start_)
             .count();
     obs::record_span(name_, sim_start_, sim_.now(),
@@ -86,6 +88,7 @@ class PhaseScope {
   std::vector<PhaseFaultStats>* fault_stats_;
   std::pair<std::uint64_t, std::uint64_t> traffic_start_{0, 0};
   std::uint64_t sim_start_;
+  // ofh-lint: allow(wall-clock) — storage for the wall-profile anchor above; same Domain::kWall quarantine
   std::chrono::steady_clock::time_point wall_start_;
 };
 

@@ -101,6 +101,7 @@ void Fabric::apply_crash_window(const FaultWindow& window, bool restart) {
   // Address-sorted victims: hosts_ is an unordered_map, and the kHostFault
   // event order must not depend on hash-table iteration order.
   std::vector<Host*> victims;
+  // ofh-lint: allow(unordered-iteration) — collected then address-sorted below; hash order cannot reach the kHostFault event sequence
   for (const auto& [addr, host] : hosts_) {
     if (window.scope.contains(util::Ipv4Addr(addr))) victims.push_back(host);
   }

@@ -300,6 +300,7 @@ void TcpStack::erase(const ConnKey& key) {
 
 std::size_t TcpStack::half_open_count() const {
   std::size_t n = 0;
+  // ofh-lint: allow(unordered-iteration) — order-independent fold: counting matching states commutes, so iteration order cannot reach the result
   for (const auto& [key, conn] : conns_) {
     if (conn->state() == TcpConnection::State::kSynReceived) ++n;
   }

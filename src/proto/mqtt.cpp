@@ -1,7 +1,6 @@
 #include "proto/mqtt.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <map>
 
 #include "util/strings.h"
 

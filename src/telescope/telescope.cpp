@@ -1,5 +1,8 @@
 #include "telescope/telescope.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -89,7 +92,18 @@ void Telescope::observe(const net::Packet& packet, sim::Time when) {
 std::vector<FlowTuple> Telescope::tuples() const {
   std::vector<FlowTuple> out;
   out.reserve(tuples_.size());
+  // ofh-lint: allow(unordered-iteration) — collected then key-sorted below; hash order cannot reach the returned sequence
   for (const auto& [key, tuple] : tuples_) out.push_back(tuple);
+  // Restore the deterministic (minute, src, dst, ports, transport) order
+  // the ordered-map store used to provide for free: every Table 8 row and
+  // golden snapshot downstream consumes this sequence.
+  std::sort(out.begin(), out.end(),
+            [](const FlowTuple& lhs, const FlowTuple& rhs) {
+              return std::tie(lhs.minute, lhs.src, lhs.dst, lhs.src_port,
+                              lhs.dst_port, lhs.transport) <
+                     std::tie(rhs.minute, rhs.src, rhs.dst, rhs.src_port,
+                              rhs.dst_port, rhs.transport);
+            });
   return out;
 }
 

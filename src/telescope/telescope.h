@@ -7,10 +7,12 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "net/fabric.h"
 #include "telescope/flowtuple.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace ofh::telescope {
@@ -25,7 +27,12 @@ class Telescope : public net::PacketSink {
   // PacketSink: aggregate into the current minute's tuple.
   void observe(const net::Packet& packet, sim::Time when) override;
 
-  // All tuples, ordered by minute bucket.
+  // All tuples, sorted by (minute, src, dst, ports, transport). The store
+  // is an unordered_map for the per-packet hot path; this export is the
+  // only place its contents leave the class wholesale, and the sort is
+  // what keeps every downstream table byte-identical (tests/telescope_test
+  // proves insertion-order independence, tests/parallel_test proves
+  // byte-identical reports at any scan_threads).
   std::vector<FlowTuple> tuples() const;
 
   std::uint64_t total_packets() const { return total_packets_; }
@@ -52,10 +59,24 @@ class Telescope : public net::PacketSink {
     std::uint32_t ports;  // src<<16|dst
     std::uint8_t transport;
     auto operator<=>(const TupleKey&) const = default;
+    bool operator==(const TupleKey&) const = default;
+  };
+  // The telescope sees every flood/backscatter packet (Table 8 is 2.7B
+  // requests/day at paper scale), so the per-packet lookup must be O(1):
+  // an ordered map's log-n pointer chase dominated Telescope::observe.
+  // Determinism is preserved at the export boundary — tuples() sorts by
+  // key — never by relying on iteration order here.
+  struct TupleKeyHash {
+    std::size_t operator()(const TupleKey& key) const {
+      std::uint64_t h = util::splitmix64(
+          key.minute ^ (std::uint64_t{key.src} << 32 | key.dst));
+      return util::splitmix64(
+          h ^ (std::uint64_t{key.ports} << 8 | key.transport));
+    }
   };
 
   util::Cidr range_;
-  std::map<TupleKey, FlowTuple> tuples_;
+  std::unordered_map<TupleKey, FlowTuple, TupleKeyHash> tuples_;
   std::map<proto::Protocol, std::uint64_t> packets_by_protocol_;
   std::map<proto::Protocol, std::set<std::uint32_t>> sources_by_protocol_;
   std::uint64_t total_packets_ = 0;

@@ -1,0 +1,224 @@
+// ofh-lint self-test: the lint lints itself. The fixture corpus under
+// tools/lint/fixtures/ seeds every known-bad pattern with an
+// `// EXPECT: <rule>` marker; this suite asserts the lint flags 100% of
+// them (and nothing else), that justification-free suppressions are
+// rejected, and that src/ itself is clean under the repo configuration —
+// the static half of the byte-identical-replay contract.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "driver.h"
+#include "lexer.h"
+#include "rules.h"
+
+namespace {
+
+using ofh::lint::Config;
+using ofh::lint::Finding;
+using ofh::lint::Severity;
+
+const std::filesystem::path kRepoRoot = OFH_REPO_ROOT;
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Fixtures are linted with every rule active and unscoped: path scoping is
+// exercised separately (DomainScoping below), the corpus exercises the
+// patterns themselves.
+Config fixture_config() {
+  Config config = Config::defaults();
+  for (auto& [rule, rule_config] : config.rules) {
+    rule_config.paths.clear();
+    rule_config.allow_paths.clear();
+  }
+  return config;
+}
+
+// (line, rule) pairs demanded by the EXPECT markers in a fixture.
+std::set<std::pair<std::uint32_t, std::string>> expectations(
+    const std::string& source) {
+  std::set<std::pair<std::uint32_t, std::string>> expected;
+  for (const auto& comment : ofh::lint::lex(source).comments) {
+    const auto marker = comment.text.find("EXPECT:");
+    if (marker == std::string::npos) continue;
+    std::stringstream ss(comment.text.substr(marker + 7));
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      const auto begin = rule.find_first_not_of(" \t");
+      const auto end = rule.find_last_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      expected.insert({comment.line, rule.substr(begin, end - begin + 1)});
+    }
+  }
+  return expected;
+}
+
+std::string describe(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + " [" +
+         finding.rule + "] " + finding.message;
+}
+
+// Every seeded bad pattern must be flagged, and nothing unseeded may be:
+// 100% recall on the corpus is the acceptance bar, and precision keeps the
+// burn-down honest.
+TEST(LintFixtures, CorpusFullyFlaggedAndNothingElse) {
+  const Config config = fixture_config();
+  const auto files =
+      ofh::lint::collect_files(kRepoRoot, {"tools/lint/fixtures"});
+  ASSERT_GE(files.size(), 6u) << "fixture corpus went missing";
+
+  std::size_t seeded = 0;
+  for (const auto& relpath : files) {
+    const auto expected = expectations(read_file(kRepoRoot / relpath));
+    seeded += expected.size();
+    std::set<std::pair<std::uint32_t, std::string>> actual;
+    for (const auto& finding :
+         ofh::lint::lint_file(config, kRepoRoot, relpath, nullptr)) {
+      actual.insert({finding.line, finding.rule});
+    }
+    for (const auto& [line, rule] : expected) {
+      EXPECT_TRUE(actual.count({line, rule}) != 0)
+          << relpath << ":" << line << " expected [" << rule
+          << "] but the lint missed it";
+    }
+    for (const auto& [line, rule] : actual) {
+      EXPECT_TRUE(expected.count({line, rule}) != 0)
+          << relpath << ":" << line << " unexpected [" << rule << "]";
+    }
+  }
+  // The corpus must keep seeding a meaningful spread of bad patterns.
+  EXPECT_GE(seeded, 20u);
+}
+
+// The corpus covers every rule in the catalog (except the meta rules'
+// happy paths, which the suppression fixture seeds directly).
+TEST(LintFixtures, CorpusCoversEveryRule) {
+  const auto files =
+      ofh::lint::collect_files(kRepoRoot, {"tools/lint/fixtures"});
+  std::set<std::string> seeded_rules;
+  for (const auto& relpath : files) {
+    for (const auto& [line, rule] :
+         expectations(read_file(kRepoRoot / relpath))) {
+      seeded_rules.insert(rule);
+    }
+  }
+  for (const auto& [rule, rule_config] : Config::defaults().rules) {
+    EXPECT_TRUE(seeded_rules.count(rule) != 0)
+        << "no fixture seeds rule '" << rule << "'";
+  }
+}
+
+// A suppression without a justification is rejected and does not suppress.
+TEST(LintPragmas, JustificationRequired) {
+  const Config config = fixture_config();
+  const auto findings = ofh::lint::lint_source(
+      config, "src/core/x.cpp",
+      "long f() {\n"
+      "  return time(nullptr);  // ofh-lint: allow(wall-clock)\n"
+      "}\n");
+  std::set<std::string> rules;
+  for (const auto& finding : findings) rules.insert(finding.rule);
+  EXPECT_TRUE(rules.count("bad-pragma") != 0);
+  EXPECT_TRUE(rules.count("wall-clock") != 0) << "bad pragma must not suppress";
+}
+
+TEST(LintPragmas, JustifiedSuppressionSilences) {
+  const Config config = fixture_config();
+  const auto findings = ofh::lint::lint_source(
+      config, "src/core/x.cpp",
+      "long f() {\n"
+      "  return time(nullptr);  // ofh-lint: allow(wall-clock) — wall "
+      "profile channel, quarantined from exports\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : describe(findings.front()));
+}
+
+// The obs wall-metric domain is the one place wall reads are sanctioned.
+TEST(LintScoping, WallDomainSplit) {
+  const Config config = Config::defaults();
+  const std::string source =
+      "#include <chrono>\n"
+      "long f() { return std::chrono::steady_clock::now()"
+      ".time_since_epoch().count(); }\n";
+  EXPECT_TRUE(ofh::lint::lint_source(config, "src/obs/wall.cpp", source)
+                  .empty());
+  const auto findings =
+      ofh::lint::lint_source(config, "src/core/study.cpp", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+}
+
+TEST(LintConfig, UnknownRuleInConfigFails) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ofh_lint_bad_config.toml";
+  std::ofstream(path) << "[rule.no-such-rule]\nseverity = \"off\"\n";
+  std::string error;
+  EXPECT_FALSE(Config::load(path.string(), &error).has_value());
+  EXPECT_NE(error.find("no-such-rule"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(LintConfig, SeverityAndScopingOverrides) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ofh_lint_config.toml";
+  std::ofstream(path) << "[rule.wall-clock]\n"
+                         "severity = \"warn\"\n"
+                         "allow-paths = [\"src/obs/\", \"src/bench/\"]\n";
+  std::string error;
+  const auto config = Config::load(path.string(), &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->severity("wall-clock"), Severity::kWarn);
+  EXPECT_FALSE(config->applies("wall-clock", "src/bench/x.cpp"));
+  EXPECT_TRUE(config->applies("wall-clock", "src/core/x.cpp"));
+  std::filesystem::remove(path);
+}
+
+// The load-bearing gate: src/ is clean under the repo configuration.
+// Every deliberate wall-clock read or unordered iteration must carry a
+// justified suppression; anything else is a regression.
+TEST(LintSrcTree, CleanUnderRepoConfig) {
+  std::string error;
+  const auto config =
+      Config::load((kRepoRoot / ".ofh-lint.toml").string(), &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  const auto files = ofh::lint::collect_files(kRepoRoot, {"src"});
+  ASSERT_GE(files.size(), 100u) << "src/ went missing";
+  const auto findings = ofh::lint::lint_files(*config, kRepoRoot, files,
+                                              nullptr);
+  for (const auto& finding : findings) {
+    ADD_FAILURE() << describe(finding);
+  }
+}
+
+// The lint's own output is deterministic: same tree, same findings, same
+// order — a lint that ordered its output by hash-map iteration would fail
+// its own contract.
+TEST(LintSrcTree, OutputDeterministic) {
+  const Config config = fixture_config();
+  const auto files =
+      ofh::lint::collect_files(kRepoRoot, {"tools/lint/fixtures"});
+  const auto first = ofh::lint::lint_files(config, kRepoRoot, files, nullptr);
+  const auto second = ofh::lint::lint_files(config, kRepoRoot, files, nullptr);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].file, second[i].file);
+    EXPECT_EQ(first[i].line, second[i].line);
+    EXPECT_EQ(first[i].rule, second[i].rule);
+    EXPECT_EQ(first[i].message, second[i].message);
+  }
+}
+
+}  // namespace

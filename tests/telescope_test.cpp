@@ -2,6 +2,9 @@
 // sources, spoofed/masscan annotations and darknet behaviour on the fabric.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 #include "telescope/telescope.h"
 #include "test_helpers.h"
 
@@ -49,6 +52,57 @@ TEST(Telescope, AggregatesRepeatedPacketsIntoOneTuplePerMinute) {
   EXPECT_EQ(tuples[1].packet_count, 1u);
   EXPECT_EQ(telescope.total_packets(), 3u);
   EXPECT_EQ(tuples[0].byte_count, 2 * packet.wire_size());
+}
+
+// Regression test for the ofh-lint burn-down's ordering fix: the tuple
+// store is an unordered_map (O(1) per-packet hot path), so the export must
+// sort by key or Table 8 would depend on hash-table iteration order. Feed
+// the same flows in opposite orders and demand byte-identical sequences —
+// the same contract tests/parallel_test proves end-to-end for the full
+// study's reports at scan_threads 1/2/8/hardware.
+TEST(Telescope, TupleExportIsInsertionOrderIndependent) {
+  const auto flows = [](Telescope& telescope, bool reversed) {
+    std::vector<net::Packet> packets;
+    for (std::uint32_t src = 1; src <= 64; ++src) {
+      for (const std::uint16_t port : {23, 1883, 1900, 443}) {
+        packets.push_back(syn(Ipv4Addr(src * 7919), Ipv4Addr(44 << 24 | src),
+                              port, static_cast<std::uint16_t>(1000 + src)));
+      }
+    }
+    if (reversed) std::reverse(packets.begin(), packets.end());
+    for (const auto& packet : packets) {
+      // The timestamp is a function of the packet, not of arrival order, so
+      // both feeds describe the same flows in the same minute buckets.
+      telescope.observe(packet, sim::minutes(packet.src.value() % 3));
+    }
+    return telescope.tuples();
+  };
+
+  Telescope forward(*util::Cidr::parse("44.0.0.0/8"));
+  Telescope backward(*util::Cidr::parse("44.0.0.0/8"));
+  const auto lhs = flows(forward, false);
+  const auto rhs = flows(backward, true);
+
+  ASSERT_EQ(lhs.size(), rhs.size());
+  ASSERT_EQ(lhs.size(), 64u * 4u);
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].src, rhs[i].src) << "tuple " << i;
+    EXPECT_EQ(lhs[i].dst, rhs[i].dst) << "tuple " << i;
+    EXPECT_EQ(lhs[i].src_port, rhs[i].src_port) << "tuple " << i;
+    EXPECT_EQ(lhs[i].dst_port, rhs[i].dst_port) << "tuple " << i;
+    EXPECT_EQ(lhs[i].minute, rhs[i].minute) << "tuple " << i;
+    EXPECT_EQ(lhs[i].packet_count, rhs[i].packet_count) << "tuple " << i;
+    EXPECT_EQ(lhs[i].byte_count, rhs[i].byte_count) << "tuple " << i;
+  }
+  // And the sequence is genuinely sorted by the deterministic key.
+  for (std::size_t i = 1; i < lhs.size(); ++i) {
+    const bool ordered =
+        std::tie(lhs[i - 1].minute, lhs[i - 1].src, lhs[i - 1].dst,
+                 lhs[i - 1].src_port, lhs[i - 1].dst_port) <
+        std::tie(lhs[i].minute, lhs[i].src, lhs[i].dst, lhs[i].src_port,
+                 lhs[i].dst_port);
+    EXPECT_TRUE(ordered) << "export not key-sorted at index " << i;
+  }
 }
 
 TEST(Telescope, DistinguishesFlowsByPorts) {

@@ -1,0 +1,194 @@
+#include "config.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ofh::lint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+// Strips a trailing comment that is not inside a quoted string.
+std::string strip_comment(const std::string& s) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') in_string = !in_string;
+    if (s[i] == '#' && !in_string) return s.substr(0, i);
+  }
+  return s;
+}
+
+bool parse_string(const std::string& value, std::string* out) {
+  if (value.size() < 2 || value.front() != '"' || value.back() != '"') {
+    return false;
+  }
+  *out = value.substr(1, value.size() - 2);
+  return true;
+}
+
+bool parse_string_array(const std::string& value,
+                        std::vector<std::string>* out) {
+  if (value.size() < 2 || value.front() != '[' || value.back() != ']') {
+    return false;
+  }
+  out->clear();
+  std::string inner = value.substr(1, value.size() - 2);
+  std::stringstream ss(inner);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    std::string text;
+    if (!parse_string(item, &text)) return false;
+    out->push_back(std::move(text));
+  }
+  return true;
+}
+
+bool parse_severity(const std::string& text, Severity* out) {
+  if (text == "off") {
+    *out = Severity::kOff;
+  } else if (text == "warn") {
+    *out = Severity::kWarn;
+  } else if (text == "error") {
+    *out = Severity::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kOff: return "off";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+Config Config::defaults() {
+  Config config;
+  const std::vector<std::string> shared_state_scope = {
+      "src/sim/", "src/net/", "src/scanner/"};
+
+  // Nondeterminism sources: any of these inside the sim domain breaks
+  // byte-identical replay, so they default to error everywhere under the
+  // linted roots. The obs wall-metric domain is the one sanctioned home
+  // for wall-clock reads (metrics.h Domain::kWall quarantines them out of
+  // every deterministic export).
+  config.rules["random-device"] = {Severity::kError, {}, {}};
+  config.rules["libc-rand"] = {Severity::kError, {}, {}};
+  config.rules["wall-clock"] = {Severity::kError, {}, {"src/obs/"}};
+  config.rules["env-read"] = {Severity::kError, {}, {}};
+  config.rules["thread-sleep"] = {Severity::kError, {}, {}};
+
+  // Ordering hazards: iteration order of unordered containers and any
+  // ordering derived from pointer values can leak allocator or hash-seed
+  // dependent order into exports and merges.
+  config.rules["unordered-iteration"] = {Severity::kError, {}, {}};
+  config.rules["pointer-hash"] = {Severity::kError, {}, {}};
+  config.rules["pointer-order"] = {Severity::kError, {}, {}};
+
+  // Shared-state hazards: mutable statics in the threaded shard domain,
+  // and atomics that silently take seq_cst on a hot path.
+  config.rules["unmarked-static"] = {Severity::kError, shared_state_scope, {}};
+  config.rules["atomic-default-order"] = {Severity::kError, {"src/obs/"}, {}};
+
+  // Lint hygiene: malformed/justification-free pragmas and suppressions
+  // that no longer suppress anything are themselves violations, so the
+  // suppression inventory stays exact.
+  config.rules["bad-pragma"] = {Severity::kError, {}, {}};
+  config.rules["unused-suppression"] = {Severity::kError, {}, {}};
+  return config;
+}
+
+Severity Config::severity(const std::string& rule) const {
+  const auto it = rules.find(rule);
+  return it == rules.end() ? Severity::kOff : it->second.severity;
+}
+
+bool Config::applies(const std::string& rule,
+                     const std::string& relpath) const {
+  const auto it = rules.find(rule);
+  if (it == rules.end() || it->second.severity == Severity::kOff) return false;
+  const auto prefix_match = [&](const std::vector<std::string>& prefixes) {
+    for (const auto& prefix : prefixes) {
+      if (relpath.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+  if (!it->second.paths.empty() && !prefix_match(it->second.paths)) {
+    return false;
+  }
+  return !prefix_match(it->second.allow_paths);
+}
+
+std::optional<Config> Config::load(const std::string& path,
+                                   std::string* error) {
+  Config config = defaults();
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open config file: " + path;
+    return std::nullopt;
+  }
+  std::string line;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = trim(strip_comment(line));
+    if (line.empty()) continue;
+    const auto fail = [&](const std::string& message) {
+      *error = path + ":" + std::to_string(line_no) + ": " + message;
+      return std::nullopt;
+    };
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("unterminated section header");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section != "lint" && section.rfind("rule.", 0) != 0) {
+        return fail("unknown section [" + section + "]");
+      }
+      if (section.rfind("rule.", 0) == 0 &&
+          !config.known_rule(section.substr(5))) {
+        return fail("unknown rule '" + section.substr(5) + "'");
+      }
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (section.rfind("rule.", 0) != 0) {
+      return fail("key '" + key + "' outside a [rule.*] section");
+    }
+    RuleConfig& rule = config.rules[section.substr(5)];
+    if (key == "severity") {
+      std::string text;
+      if (!parse_string(value, &text) || !parse_severity(text, &rule.severity)) {
+        return fail("severity must be \"off\", \"warn\" or \"error\"");
+      }
+    } else if (key == "paths") {
+      if (!parse_string_array(value, &rule.paths)) {
+        return fail("paths must be an array of strings");
+      }
+    } else if (key == "allow-paths") {
+      if (!parse_string_array(value, &rule.allow_paths)) {
+        return fail("allow-paths must be an array of strings");
+      }
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+}  // namespace ofh::lint

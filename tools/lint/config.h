@@ -1,0 +1,45 @@
+// Rule catalog and configuration for ofh-lint. Defaults are compiled in so
+// the tool works standalone; `.ofh-lint.toml` at the repo root overrides
+// severity and path scoping per rule (see Config::load).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ofh::lint {
+
+enum class Severity { kOff, kWarn, kError };
+
+struct RuleConfig {
+  Severity severity = Severity::kError;
+  // Repo-relative path prefixes the rule is restricted to; empty = all
+  // linted files. Uses '/'-separated prefixes, e.g. "src/net/".
+  std::vector<std::string> paths;
+  // Repo-relative path prefixes the rule never fires in, e.g. the obs
+  // wall-metric domain for wall-clock.
+  std::vector<std::string> allow_paths;
+};
+
+struct Config {
+  std::map<std::string, RuleConfig> rules;
+
+  // The built-in rule catalog with the project's default scoping.
+  static Config defaults();
+  // defaults() overlaid with the TOML-subset file at `path`. Returns
+  // std::nullopt and fills `error` on parse failure or unknown rule names.
+  static std::optional<Config> load(const std::string& path,
+                                    std::string* error);
+
+  bool known_rule(const std::string& rule) const {
+    return rules.count(rule) != 0;
+  }
+  Severity severity(const std::string& rule) const;
+  // True when `rule` applies to the repo-relative path `relpath`.
+  bool applies(const std::string& rule, const std::string& relpath) const;
+};
+
+const char* severity_name(Severity severity);
+
+}  // namespace ofh::lint

@@ -1,0 +1,88 @@
+#include "driver.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace ofh::lint {
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool lintable(const std::filesystem::path& path) {
+  const auto ext = path.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp";
+}
+
+std::string to_rel(const std::filesystem::path& root,
+                   const std::filesystem::path& path) {
+  return std::filesystem::relative(path, root).generic_string();
+}
+
+}  // namespace
+
+std::vector<std::string> collect_files(
+    const std::filesystem::path& root, const std::vector<std::string>& inputs) {
+  std::vector<std::string> files;
+  for (const auto& input : inputs) {
+    const std::filesystem::path as_path(input);
+    const std::filesystem::path path =
+        as_path.is_absolute() ? as_path : root / as_path;
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(to_rel(root, entry.path()));
+        }
+      }
+    } else if (std::filesystem::is_regular_file(path) && lintable(path)) {
+      files.push_back(to_rel(root, path));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<Finding> lint_file(const Config& config,
+                               const std::filesystem::path& root,
+                               const std::string& relpath, LintStats* stats) {
+  const std::filesystem::path path = root / relpath;
+  const std::string source = read_file(path);
+  std::string header_source;
+  if (path.extension() == ".cpp" || path.extension() == ".cc") {
+    std::filesystem::path header = path;
+    header.replace_extension(".h");
+    if (std::filesystem::is_regular_file(header)) {
+      header_source = read_file(header);
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->files;
+    stats->lines += static_cast<std::uint64_t>(
+        std::count(source.begin(), source.end(), '\n'));
+  }
+  return lint_source(config, relpath, source, header_source);
+}
+
+std::vector<Finding> lint_files(const Config& config,
+                                const std::filesystem::path& root,
+                                const std::vector<std::string>& relpaths,
+                                LintStats* stats) {
+  std::vector<Finding> findings;
+  for (const auto& relpath : relpaths) {
+    auto file_findings = lint_file(config, root, relpath, stats);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+}  // namespace ofh::lint

@@ -1,0 +1,39 @@
+// File collection and per-file driving shared by the ofh-lint CLI and the
+// self-test: deterministic (sorted) traversal, paired-header resolution,
+// and aggregate stats.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "rules.h"
+
+namespace ofh::lint {
+
+struct LintStats {
+  std::uint64_t files = 0;
+  std::uint64_t lines = 0;
+  std::uint64_t suppressible = 0;  // findings dropped by valid pragmas
+};
+
+// Expands `inputs` (files or directories, relative to `root`) into a sorted
+// list of repo-relative *.h / *.cpp paths. Directories recurse.
+std::vector<std::string> collect_files(const std::filesystem::path& root,
+                                       const std::vector<std::string>& inputs);
+
+// Lints one repo-relative file, resolving the paired header (X.h beside
+// X.cpp) for cross-TU unordered-container declarations.
+std::vector<Finding> lint_file(const Config& config,
+                               const std::filesystem::path& root,
+                               const std::string& relpath, LintStats* stats);
+
+// Lints every file in `relpaths`, concatenating sorted per-file findings.
+std::vector<Finding> lint_files(const Config& config,
+                                const std::filesystem::path& root,
+                                const std::vector<std::string>& relpaths,
+                                LintStats* stats);
+
+}  // namespace ofh::lint

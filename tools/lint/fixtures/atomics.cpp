@@ -1,0 +1,27 @@
+// ofh-lint fixture: hot-path atomics must spell their memory ordering, and
+// seq_cst needs a justification. Lint input only, never compiled.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Counters {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+};
+
+std::uint64_t record(Counters& counters, std::atomic<std::uint64_t>* cell) {
+  counters.hits.fetch_add(1);                                // EXPECT: atomic-default-order
+  counters.misses.fetch_add(1, std::memory_order_seq_cst);   // EXPECT: atomic-default-order
+  cell->store(7);                                            // EXPECT: atomic-default-order
+  std::uint64_t total = counters.hits.load();                // EXPECT: atomic-default-order
+
+  // Explicit relaxed ordering is the hot-path idiom; not flagged.
+  counters.hits.fetch_add(1, std::memory_order_relaxed);
+  cell->store(7, std::memory_order_relaxed);
+  total += counters.misses.load(std::memory_order_relaxed);
+  total += counters.hits.load(std::memory_order_acquire);
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,64 @@
+// ofh-lint fixture: every nondeterminism source the lint must flag.
+// An EXPECT marker names the finding the self-test requires on its line;
+// a line without a marker must produce no finding. This file is lint
+// input only — it is never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace fixture {
+
+unsigned seed_from_entropy() {
+  std::random_device entropy;               // EXPECT: random-device
+  return entropy();
+}
+
+int libc_randomness() {
+  srand(42);                                // EXPECT: libc-rand
+  int a = rand();                           // EXPECT: libc-rand
+  a += static_cast<int>(drand48() * 100);   // EXPECT: libc-rand
+  return a;
+}
+
+long wall_clock_reads() {
+  auto now = std::chrono::system_clock::now();   // EXPECT: wall-clock
+  auto tick = std::chrono::steady_clock::now();  // EXPECT: wall-clock
+  long stamp = time(nullptr);                    // EXPECT: wall-clock
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);                    // EXPECT: wall-clock
+  (void)now;
+  (void)tick;
+  return stamp + tv.tv_sec;
+}
+
+const char* environment_read() {
+  return getenv("OFH_SCALE");               // EXPECT: env-read
+}
+
+void blocking_sleep() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // EXPECT: thread-sleep
+  usleep(1000);                             // EXPECT: thread-sleep
+}
+
+// Deterministic alternatives: none of these may be flagged.
+std::uint64_t sanctioned(std::uint64_t study_seed) {
+  ofh::util::Rng rng(study_seed);
+  const std::uint64_t draw = rng.next();
+  const std::uint64_t keyed = ofh::util::splitmix64(study_seed ^ draw);
+  return keyed;
+}
+
+// Member access is not the libc call: none of these may be flagged. (The
+// fixture is lint input only, so the callees need no declarations.)
+struct Handle {};
+int member_named_like_libc(Handle* h, Handle& ref) {
+  h->rand();
+  ref.clock();
+  return ref.sleep;
+}
+
+}  // namespace fixture

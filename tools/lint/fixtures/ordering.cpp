@@ -1,0 +1,85 @@
+// ofh-lint fixture: ordering hazards — unordered-container iteration and
+// ordering derived from pointer values. Lint input only, never compiled.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Device {
+  std::uint32_t addr;
+};
+
+struct Exporter {
+  std::unordered_map<std::uint32_t, std::string> banners_;
+  std::unordered_set<std::uint32_t> seen_;
+  std::map<std::uint32_t, std::string> ordered_;
+
+  std::string dump() const {
+    std::string out;
+    for (const auto& [addr, banner] : banners_) {  // EXPECT: unordered-iteration
+      out += banner;
+    }
+    for (const auto addr : seen_) {                // EXPECT: unordered-iteration
+      out += std::to_string(addr);
+    }
+    // Ordered container: iteration order is the key order; not flagged.
+    for (const auto& [addr, banner] : ordered_) {
+      out += banner;
+    }
+    return out;
+  }
+
+  std::size_t iterator_loop() const {
+    std::size_t n = 0;
+    for (auto it = banners_.begin(); it != banners_.end(); ++it) {  // EXPECT: unordered-iteration
+      ++n;
+    }
+    return n;
+  }
+
+  // Keyed lookup does not leak iteration order; not flagged.
+  bool contains(std::uint32_t addr) const {
+    return banners_.find(addr) != banners_.end();
+  }
+};
+
+std::string local_unordered() {
+  std::unordered_map<int, int> counts;
+  std::string out;
+  for (const auto& [key, count] : counts) {  // EXPECT: unordered-iteration
+    out += std::to_string(key * count);
+  }
+  return out;
+}
+
+std::size_t hash_of_pointer(Device* device) {
+  return std::hash<Device*>{}(device);       // EXPECT: pointer-hash
+}
+
+// Hash of a value type is fine; not flagged.
+std::size_t hash_of_value(std::uint64_t id) {
+  return std::hash<std::uint64_t>{}(id);
+}
+
+void sort_by_address(std::vector<Device*>& devices) {
+  std::sort(devices.begin(), devices.end(), std::less<Device*>());  // EXPECT: pointer-order
+}
+
+std::uint64_t key_from_pointer(const Device* device) {
+  return reinterpret_cast<std::uintptr_t>(device);  // EXPECT: pointer-order
+}
+
+// Sorting by a stable field is the sanctioned fix; not flagged.
+void sort_by_stable_key(std::vector<Device*>& devices) {
+  std::sort(devices.begin(), devices.end(),
+            [](const Device* lhs, const Device* rhs) {
+              return lhs->addr < rhs->addr;
+            });
+}
+
+}  // namespace fixture

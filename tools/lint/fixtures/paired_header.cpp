@@ -1,0 +1,19 @@
+// ofh-lint fixture: TU half of the paired-header test — iterates a member
+// container whose unordered declaration is only visible in paired_header.h.
+#include "paired_header.h"
+
+namespace fixture {
+
+void Registry::add(std::uint32_t addr, std::string banner) {
+  entries_[addr] = std::move(banner);
+}
+
+std::string Registry::dump() const {
+  std::string out;
+  for (const auto& [addr, banner] : entries_) {  // EXPECT: unordered-iteration
+    out += banner;
+  }
+  return out;
+}
+
+}  // namespace fixture

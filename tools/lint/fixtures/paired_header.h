@@ -1,0 +1,22 @@
+// ofh-lint fixture: header half of the paired-header test. The container
+// is declared here; the iteration hazard lives in paired_header.cpp, which
+// the lint must resolve by reading this header alongside the TU.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class Registry {
+ public:
+  void add(std::uint32_t addr, std::string banner);
+  std::string dump() const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::string> entries_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// ofh-lint fixture: shared-state hazards — mutable statics without a
+// concurrency marker. Lint input only, never compiled.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+static std::uint64_t g_packet_count = 0;       // EXPECT: unmarked-static
+static std::vector<std::string> g_log_lines;   // EXPECT: unmarked-static
+
+// Marked variants: none of these may be flagged.
+static const std::uint64_t kLimit = 512;
+static constexpr std::uint32_t kMask = 0xffff;
+static std::atomic<std::uint64_t> g_counted{0};
+static std::mutex g_log_mutex;
+static thread_local std::uint64_t t_scratch = 0;
+
+std::uint64_t bump() {
+  static std::uint64_t calls = 0;              // EXPECT: unmarked-static
+  return ++calls;
+}
+
+const std::vector<std::string>& table() {
+  // Immutable after construction; const marks it safe.
+  static const std::vector<std::string> kRows = {"a", "b"};
+  return kRows;
+}
+
+// Function declarations and definitions are not variables; not flagged.
+static std::uint64_t helper(std::uint64_t x) { return x + 1; }
+
+inline std::uint64_t g_inline_counter = 0;     // EXPECT: unmarked-static
+
+std::uint64_t use_all(std::uint64_t x) {
+  g_packet_count += x;
+  g_log_lines.push_back("x");
+  return helper(kLimit + kMask + g_counted.load(std::memory_order_relaxed) +
+                t_scratch + g_inline_counter);
+}
+
+}  // namespace fixture

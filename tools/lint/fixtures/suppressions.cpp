@@ -1,0 +1,50 @@
+// ofh-lint fixture: the suppression pragma contract. A justified allow()
+// silences exactly its line and rule; a justification-free or malformed
+// pragma is itself a violation; a pragma that suppresses nothing is stale
+// and flagged. Lint input only, never compiled.
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+// Trailing-comment form: suppresses the finding on its own line.
+long sanctioned_wall_read() {
+  return time(nullptr);  // ofh-lint: allow(wall-clock) — fixture stand-in for the obs wall-profile channel
+}
+
+// Own-line form: covers the next line that has code on it.
+// ofh-lint: allow(libc-rand) — fixture stand-in for a vetted legacy call
+int own_line_form() { return rand(); }
+
+// One pragma may name several rules when one line trips more than one.
+long multi_rule() {
+  return time(nullptr) + rand();  // ofh-lint: allow(wall-clock, libc-rand) -- fixture: both hazards vetted together
+}
+
+// A justification-free pragma never suppresses: both the pragma and the
+// underlying hazard are reported.
+long missing_justification() {
+  return time(nullptr); /* EXPECT: bad-pragma, wall-clock */  // ofh-lint: allow(wall-clock)
+}
+
+// Too-short justifications don't count either.
+long terse_justification() {
+  return time(nullptr); /* EXPECT: bad-pragma, wall-clock */  // ofh-lint: allow(wall-clock) — fixme
+}
+
+// Unknown rule names are typos, not suppressions.
+long unknown_rule() {
+  return time(nullptr); /* EXPECT: bad-pragma, wall-clock */  // ofh-lint: allow(wall-clocks) — justified but misspelled
+}
+
+// Unrecognized verbs are rejected outright.
+int unknown_verb() {
+  return 1; /* EXPECT: bad-pragma */  // ofh-lint: ignore(wall-clock) — wrong pragma verb
+}
+
+// A pragma that suppresses nothing is stale and must be removed.
+int stale_pragma() {
+  return 2; /* EXPECT: unused-suppression */  // ofh-lint: allow(libc-rand) — nothing here draws randomness
+}
+
+}  // namespace fixture

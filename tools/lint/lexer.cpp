@@ -1,0 +1,190 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace ofh::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Raw-string openers: the lexer folds the prefix identifier into the string
+// token, so only exact-prefix identifiers are treated as openers.
+bool raw_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "LR";
+}
+
+}  // namespace
+
+LexResult lex(std::string_view source) {
+  LexResult out;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  std::uint32_t line = 1;
+  // Line of the most recently emitted code token, for Comment::own_line.
+  std::uint32_t last_token_line = 0;
+
+  const auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back({kind, line, std::move(text)});
+    last_token_line = line;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      std::size_t end = start;
+      while (end < n && source[end] != '\n') ++end;
+      out.comments.push_back({line, last_token_line != line,
+                              std::string(source.substr(start, end - start))});
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const std::uint32_t start_line = line;
+      const bool own = last_token_line != line;
+      std::size_t end = i + 2;
+      while (end + 1 < n && !(source[end] == '*' && source[end + 1] == '/')) {
+        if (source[end] == '\n') ++line;
+        ++end;
+      }
+      out.comments.push_back(
+          {start_line, own, std::string(source.substr(i + 2, end - (i + 2)))});
+      i = end + 1 < n ? end + 2 : n;
+      continue;
+    }
+
+    // Preprocessor: #include header-names would otherwise lex as ident
+    // inside angle brackets and confuse template-depth tracking, so the
+    // whole include line is skipped. Other directives lex normally (a
+    // macro body wrapping rand() should still be flagged).
+    if (c == '#') {
+      std::size_t j = i + 1;
+      while (j < n && (source[j] == ' ' || source[j] == '\t')) ++j;
+      std::size_t k = j;
+      while (k < n && ident_char(source[k])) ++k;
+      const std::string_view directive = source.substr(j, k - j);
+      if (directive == "include" || directive == "include_next") {
+        while (i < n && source[i] != '\n') ++i;
+        continue;
+      }
+      push(TokKind::kPunct, "#");
+      ++i;
+      continue;
+    }
+
+    // Identifiers (and raw-string openers).
+    if (ident_start(c)) {
+      std::size_t end = i;
+      while (end < n && ident_char(source[end])) ++end;
+      std::string ident(source.substr(i, end - i));
+      if (end < n && source[end] == '"' && raw_string_prefix(ident)) {
+        // R"delim( ... )delim"
+        std::size_t d = end + 1;
+        std::size_t dend = d;
+        while (dend < n && source[dend] != '(') ++dend;
+        const std::string_view delim = source.substr(d, dend - d);
+        const std::string closer = ")" + std::string(delim) + "\"";
+        std::size_t body = dend < n ? dend + 1 : n;
+        const std::size_t close = source.find(closer, body);
+        const std::size_t stop = close == std::string_view::npos
+                                     ? n
+                                     : close + closer.size();
+        for (std::size_t p = i; p < stop && p < n; ++p) {
+          if (source[p] == '\n') ++line;
+        }
+        push(TokKind::kString,
+             std::string(source.substr(body, (close == std::string_view::npos
+                                                  ? n
+                                                  : close) -
+                                                 body)));
+        i = stop;
+        continue;
+      }
+      push(TokKind::kIdent, std::move(ident));
+      i = end;
+      continue;
+    }
+
+    // Numbers (loose: consumes separators, suffixes, exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) != 0)) {
+      std::size_t end = i;
+      while (end < n) {
+        const char d = source[end];
+        if (ident_char(d) || d == '\'' || d == '.') {
+          ++end;
+          continue;
+        }
+        if ((d == '+' || d == '-') && end > i) {
+          const char prev = source[end - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++end;
+            continue;
+          }
+        }
+        break;
+      }
+      push(TokKind::kNumber, std::string(source.substr(i, end - i)));
+      i = end;
+      continue;
+    }
+
+    // String and character literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t end = i + 1;
+      while (end < n && source[end] != quote) {
+        if (source[end] == '\\' && end + 1 < n) {
+          end += 2;
+          continue;
+        }
+        if (source[end] == '\n') ++line;  // unterminated; keep line counts sane
+        ++end;
+      }
+      push(quote == '"' ? TokKind::kString : TokKind::kChar,
+           std::string(source.substr(i + 1, end - (i + 1))));
+      i = end < n ? end + 1 : n;
+      continue;
+    }
+
+    // Punctuation. "::" and "->" matter to the rules (qualification and
+    // member access); everything else is emitted one character at a time,
+    // which keeps <...> template-depth tracking simple (">>" is two ">").
+    if (c == ':' && i + 1 < n && source[i + 1] == ':') {
+      push(TokKind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+      push(TokKind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+
+  out.line_count = line;
+  return out;
+}
+
+}  // namespace ofh::lint

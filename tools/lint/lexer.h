@@ -1,0 +1,45 @@
+// Deterministic single-pass C++ lexer for ofh-lint. Produces a flat token
+// stream (comments split out, with own-line tracking for suppression
+// pragmas) with line numbers. This is intentionally not a parser: the rule
+// engine (rules.cpp) pattern-matches over tokens, which keeps the tool
+// dependency-free (no libclang) and fast enough for the CI fast path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ofh::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,   // identifiers and keywords ("static", "unordered_map", ...)
+  kNumber,  // numeric literals, including separators and suffixes
+  kString,  // string literals (plain, raw, prefixed); text excludes quotes
+  kChar,    // character literals
+  kPunct,   // operators/punctuation; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokKind kind;
+  std::uint32_t line;
+  std::string text;
+};
+
+struct Comment {
+  std::uint32_t line;  // line the comment starts on
+  bool own_line;       // true when no code token precedes it on its line
+  std::string text;    // body without the // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::uint32_t line_count = 0;
+};
+
+// Lexes a whole translation unit. Never fails: unterminated constructs are
+// consumed to end-of-input so a half-edited file still lints.
+LexResult lex(std::string_view source);
+
+}  // namespace ofh::lint

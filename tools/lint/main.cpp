@@ -1,0 +1,154 @@
+// ofh-lint: the project's determinism static-analysis pass. Proves the
+// byte-identical-replay contract structurally: no nondeterminism sources,
+// no hash-order leaks into exports, no unmarked shared state — at CI time,
+// before a probabilistic replay failure ever gets the chance.
+//
+// Usage: ofh-lint [--config FILE] [--root DIR] [--format text|json] PATH...
+//   PATHs are files or directories (recursed for *.h/*.cpp), relative to
+//   --root (default: current directory). Exit code 1 when any error-severity
+//   finding survives suppression, 0 otherwise.
+//
+// This tool itself uses std::chrono::steady_clock for its elapsed-time
+// summary — it lives in tools/, outside the linted sim domain, which is
+// exactly the wall/sim split the lint enforces.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "driver.h"
+
+namespace {
+
+using ofh::lint::Config;
+using ofh::lint::Finding;
+using ofh::lint::Severity;
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ofh-lint [--config FILE] [--root DIR] [--format text|json] "
+      "PATH...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string root = ".";
+  std::string format = "text";
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--config") {
+      if (!value(&config_path)) return usage();
+    } else if (arg == "--root") {
+      if (!value(&root)) return usage();
+    } else if (arg == "--format") {
+      if (!value(&format) || (format != "text" && format != "json")) {
+        return usage();
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ofh-lint: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  Config config = Config::defaults();
+  if (!config_path.empty()) {
+    std::string error;
+    const auto loaded = Config::load(config_path, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "ofh-lint: %s\n", error.c_str());
+      return 2;
+    }
+    config = *loaded;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto files = ofh::lint::collect_files(root, inputs);
+  ofh::lint::LintStats stats;
+  const auto findings = ofh::lint::lint_files(config, root, files, &stats);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::uint64_t errors = 0;
+  std::uint64_t warnings = 0;
+  for (const Finding& finding : findings) {
+    (finding.severity == Severity::kError ? errors : warnings) += 1;
+  }
+
+  if (format == "json") {
+    std::printf("{\n  \"files\": %llu,\n  \"lines\": %llu,\n"
+                "  \"elapsed_ms\": %lld,\n  \"errors\": %llu,\n"
+                "  \"warnings\": %llu,\n  \"findings\": [",
+                static_cast<unsigned long long>(stats.files),
+                static_cast<unsigned long long>(stats.lines),
+                static_cast<long long>(elapsed_ms),
+                static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(warnings));
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::printf(
+          "%s\n    {\"file\": \"%s\", \"line\": %u, \"rule\": \"%s\", "
+          "\"severity\": \"%s\", \"message\": \"%s\"}",
+          i == 0 ? "" : ",", json_escape(f.file).c_str(), f.line,
+          json_escape(f.rule).c_str(), ofh::lint::severity_name(f.severity),
+          json_escape(f.message).c_str());
+    }
+    std::printf("%s]\n}\n", findings.empty() ? "" : "\n  ");
+  } else {
+    for (const Finding& finding : findings) {
+      std::printf("%s:%u: %s[%s]: %s\n", finding.file.c_str(), finding.line,
+                  ofh::lint::severity_name(finding.severity),
+                  finding.rule.c_str(), finding.message.c_str());
+    }
+    std::printf(
+        "ofh-lint: %llu files, %llu lines, %llu errors, %llu warnings "
+        "in %lld ms\n",
+        static_cast<unsigned long long>(stats.files),
+        static_cast<unsigned long long>(stats.lines),
+        static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(warnings),
+        static_cast<long long>(elapsed_ms));
+  }
+  return errors > 0 ? 1 : 0;
+}

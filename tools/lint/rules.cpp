@@ -1,0 +1,555 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "lexer.h"
+
+namespace ofh::lint {
+
+namespace {
+
+const std::set<std::string>& unordered_types() {
+  static const std::set<std::string> kTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kTypes;
+}
+
+bool is_punct(const Token& tok, const char* text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+bool is_ident(const Token& tok, const char* text) {
+  return tok.kind == TokKind::kIdent && tok.text == text;
+}
+
+// Skips a balanced <...> starting at tokens[i] == "<". Returns the index
+// one past the closing ">", or `end` when unbalanced. Fills `saw` with the
+// idents/punct seen inside when non-null.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i,
+                        std::vector<const Token*>* saw = nullptr) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "<")) {
+      ++depth;
+    } else if (is_punct(toks[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (depth > 0 && saw != nullptr) {
+      saw->push_back(&toks[i]);
+    }
+    // Angle brackets in type context never nest across these.
+    if (is_punct(toks[i], ";") || is_punct(toks[i], "{")) break;
+  }
+  return toks.size();
+}
+
+// Skips a balanced (...) starting at tokens[i] == "(". Returns the index of
+// the matching ")" or toks.size().
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "(")) ++depth;
+    if (is_punct(toks[i], ")") && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// The identifier before a "::" qualifier, or empty when unqualified.
+std::string qualifier(const std::vector<Token>& toks, std::size_t i) {
+  if (i >= 2 && is_punct(toks[i - 1], "::") &&
+      toks[i - 2].kind == TokKind::kIdent) {
+    return toks[i - 2].text;
+  }
+  return "";
+}
+
+bool member_access(const std::vector<Token>& toks, std::size_t i) {
+  return i >= 1 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+}
+
+bool followed_by_call(const std::vector<Token>& toks, std::size_t i) {
+  return i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+}
+
+// --------------------------------------------------------------- pragmas
+
+struct Suppression {
+  bool used = false;
+};
+
+struct PragmaState {
+  // (line, rule) -> suppression
+  std::map<std::pair<std::uint32_t, std::string>, Suppression> allows;
+  std::vector<Finding> problems;  // bad-pragma findings
+};
+
+std::string trimmed(std::string s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r';
+  };
+  while (!s.empty() && is_space(s.front())) s.erase(s.begin());
+  while (!s.empty() && is_space(s.back())) s.pop_back();
+  return s;
+}
+
+// Parses "ofh-lint: allow(rule[,rule]) — justification" out of a comment.
+// The justification separator may be an em dash, "--", or ":"; what follows
+// must be substantial (>= 10 characters) so "fixme" can't stand in for a
+// reason. A malformed pragma is a bad-pragma finding, never silently inert.
+void parse_pragma(const Config& config, const std::string& relpath,
+                  const Comment& comment, std::uint32_t target_line,
+                  PragmaState* state) {
+  const auto marker = comment.text.find("ofh-lint:");
+  if (marker == std::string::npos) return;
+  const auto bad = [&](const std::string& message) {
+    state->problems.push_back({"bad-pragma", relpath, comment.line,
+                               config.severity("bad-pragma"), message});
+  };
+  std::string rest = trimmed(comment.text.substr(marker + 9));
+  if (rest.rfind("allow", 0) != 0) {
+    bad("unrecognized ofh-lint pragma (expected 'allow(<rule>) — "
+        "<justification>')");
+    return;
+  }
+  rest = trimmed(rest.substr(5));
+  if (rest.empty() || rest.front() != '(') {
+    bad("allow pragma missing '(<rule>)' list");
+    return;
+  }
+  const auto close = rest.find(')');
+  if (close == std::string::npos) {
+    bad("allow pragma missing closing ')'");
+    return;
+  }
+  // Split the comma-separated rule list.
+  std::vector<std::string> rule_names;
+  std::string list = rest.substr(1, close - 1);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const auto comma = list.find(',', start);
+    const std::string name = trimmed(
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start));
+    if (!name.empty()) rule_names.push_back(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (rule_names.empty()) {
+    bad("allow pragma names no rules");
+    return;
+  }
+  for (const auto& name : rule_names) {
+    if (!config.known_rule(name)) {
+      bad("allow pragma names unknown rule '" + name + "'");
+      return;
+    }
+    if (name == "bad-pragma" || name == "unused-suppression") {
+      bad("rule '" + name + "' cannot be suppressed");
+      return;
+    }
+  }
+  // Everything after the rule list, minus separator dashes/colons, is the
+  // justification.
+  std::string justification = trimmed(rest.substr(close + 1));
+  while (!justification.empty() &&
+         (justification.front() == '-' || justification.front() == ':' ||
+          justification.front() == ',')) {
+    justification.erase(justification.begin());
+  }
+  // UTF-8 em dash (0xE2 0x80 0x94) used as the canonical separator.
+  while (justification.size() >= 3 &&
+         static_cast<unsigned char>(justification[0]) == 0xe2 &&
+         static_cast<unsigned char>(justification[1]) == 0x80) {
+    justification.erase(0, 3);
+  }
+  justification = trimmed(justification);
+  if (justification.size() < 10) {
+    bad("allow pragma requires a justification ('allow(<rule>) — <why this "
+        "is deterministic>')");
+    return;
+  }
+  for (const auto& name : rule_names) {
+    state->allows[{target_line, name}] = Suppression{};
+  }
+}
+
+// ------------------------------------------------- unordered declarations
+
+// Collects names of variables/members declared with an unordered container
+// type in this token stream. Heuristic, not a parser: it resolves the
+// dominant idiom `std::unordered_map<K, V> name` (members, locals, and
+// parameters). Aliased types (`using M = std::unordered_map<...>`) are a
+// documented blind spot — keep unordered types spelled at the declaration.
+void collect_unordered_decls(const std::vector<Token>& toks,
+                             std::set<std::string>* names) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        unordered_types().count(toks[i].text) == 0) {
+      continue;
+    }
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "<")) continue;
+    std::size_t after = skip_angles(toks, i + 1);
+    // Skip declarator decorations.
+    while (after < toks.size() &&
+           (is_punct(toks[after], "*") || is_punct(toks[after], "&") ||
+            is_ident(toks[after], "const"))) {
+      ++after;
+    }
+    if (after >= toks.size() || toks[after].kind != TokKind::kIdent) continue;
+    // A following "(" means this named a function returning the container.
+    if (after + 1 < toks.size() && is_punct(toks[after + 1], "(")) continue;
+    names->insert(toks[after].text);
+  }
+}
+
+// ------------------------------------------------------------ rule passes
+
+struct Pass {
+  const Config& config;
+  const std::string& relpath;
+  const std::vector<Token>& toks;
+  std::vector<Finding>* findings;
+
+  void emit(const std::string& rule, std::uint32_t line,
+            std::string message) const {
+    if (!config.applies(rule, relpath)) return;
+    findings->push_back(
+        {rule, relpath, line, config.severity(rule), std::move(message)});
+  }
+};
+
+void check_banned_names(const Pass& pass) {
+  static const std::set<std::string> kRand = {
+      "rand", "srand", "random", "srandom", "drand48", "lrand48",
+      "mrand48", "rand_r"};
+  static const std::set<std::string> kClockTypes = {
+      "system_clock", "steady_clock", "high_resolution_clock", "file_clock",
+      "utc_clock", "tai_clock", "gps_clock"};
+  static const std::set<std::string> kTimeFuncs = {
+      "time", "gettimeofday", "clock_gettime", "clock", "localtime",
+      "gmtime", "mktime", "ctime", "strftime", "timespec_get"};
+  static const std::set<std::string> kEnvFuncs = {
+      "getenv", "secure_getenv", "setenv", "putenv", "unsetenv"};
+  static const std::set<std::string> kSleepFuncs = {
+      "sleep_for", "sleep_until", "usleep", "nanosleep", "sleep"};
+
+  const auto& toks = pass.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& name = toks[i].text;
+    const std::string qual = qualifier(toks, i);
+    const bool member = member_access(toks, i);
+    const bool std_or_bare = qual.empty() || qual == "std" ||
+                             qual == "chrono" || qual == "this_thread";
+
+    if (name == "random_device" && !member && std_or_bare) {
+      pass.emit("random-device", toks[i].line,
+                "std::random_device is a nondeterminism source; derive "
+                "streams from the study seed (util::Rng / util::splitmix64)");
+      continue;
+    }
+    if (kRand.count(name) != 0 && followed_by_call(toks, i) && !member &&
+        std_or_bare) {
+      pass.emit("libc-rand", toks[i].line,
+                "'" + name + "' draws from hidden libc global state; use "
+                "util::Rng seeded from the study seed");
+      continue;
+    }
+    if (kClockTypes.count(name) != 0 && !member && std_or_bare) {
+      pass.emit("wall-clock", toks[i].line,
+                "'" + name + "' reads wall time; sim-domain code must use "
+                "sim::Simulation::now() (wall reads belong to the obs "
+                "wall-metric domain)");
+      continue;
+    }
+    if (kTimeFuncs.count(name) != 0 && followed_by_call(toks, i) && !member &&
+        (qual.empty() || qual == "std")) {
+      pass.emit("wall-clock", toks[i].line,
+                "'" + name + "()' reads wall time; sim-domain code must use "
+                "sim::Simulation::now()");
+      continue;
+    }
+    if (kEnvFuncs.count(name) != 0 && followed_by_call(toks, i) && !member &&
+        (qual.empty() || qual == "std")) {
+      pass.emit("env-read", toks[i].line,
+                "'" + name + "' makes replay depend on the process "
+                "environment; thread configuration through explicit config "
+                "structs");
+      continue;
+    }
+    if (kSleepFuncs.count(name) != 0 && followed_by_call(toks, i) &&
+        std_or_bare && (!member || name == "sleep_for" ||
+                        name == "sleep_until")) {
+      pass.emit("thread-sleep", toks[i].line,
+                "'" + name + "' blocks on wall time; schedule future work "
+                "with sim().after()/at() instead");
+      continue;
+    }
+  }
+}
+
+void check_unordered_iteration(const Pass& pass,
+                               const std::set<std::string>& unordered_names) {
+  const auto& toks = pass.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = match_paren(toks, open);
+    if (close >= toks.size()) continue;
+
+    // Range-for: a lone ":" at paren depth 1 splits declaration from range
+    // expression; the last identifier of the expression names the container
+    // in the dominant idioms (`m_`, `obj.member`, `ptr->member`).
+    int depth = 0;
+    std::size_t colon = 0;
+    for (std::size_t j = open; j < close; ++j) {
+      if (is_punct(toks[j], "(")) ++depth;
+      if (is_punct(toks[j], ")")) --depth;
+      if (depth == 1 && is_punct(toks[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon != 0) {
+      const Token* last_ident = nullptr;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind == TokKind::kIdent) last_ident = &toks[j];
+      }
+      if (last_ident != nullptr &&
+          unordered_names.count(last_ident->text) != 0) {
+        pass.emit("unordered-iteration", toks[i].line,
+                  "range-for over unordered container '" + last_ident->text +
+                      "' leaks hash-table iteration order; collect and sort "
+                      "by a deterministic key, or use an ordered container");
+      }
+    }
+
+    // Iterator loop: `x.begin()` / `x->cbegin()` inside the for header.
+    for (std::size_t j = open; j + 2 < close; ++j) {
+      if (toks[j].kind == TokKind::kIdent &&
+          unordered_names.count(toks[j].text) != 0 &&
+          (is_punct(toks[j + 1], ".") || is_punct(toks[j + 1], "->")) &&
+          (is_ident(toks[j + 2], "begin") || is_ident(toks[j + 2], "cbegin"))) {
+        pass.emit("unordered-iteration", toks[i].line,
+                  "iterator loop over unordered container '" + toks[j].text +
+                      "' leaks hash-table iteration order; collect and sort "
+                      "by a deterministic key, or use an ordered container");
+        break;
+      }
+    }
+  }
+}
+
+void check_pointer_order(const Pass& pass) {
+  const auto& toks = pass.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !is_punct(toks[i + 1], "<")) {
+      continue;
+    }
+    const std::string& name = toks[i].text;
+    const std::string qual = qualifier(toks, i);
+    std::vector<const Token*> inside;
+    if (name == "hash" && (qual == "std")) {
+      skip_angles(toks, i + 1, &inside);
+      for (const Token* tok : inside) {
+        if (tok->kind == TokKind::kPunct && tok->text == "*") {
+          pass.emit("pointer-hash", toks[i].line,
+                    "std::hash over a pointer type feeds allocation-"
+                    "dependent values into whatever consumes it; hash a "
+                    "stable id instead");
+          break;
+        }
+      }
+    } else if (name == "less" && qual == "std") {
+      skip_angles(toks, i + 1, &inside);
+      for (const Token* tok : inside) {
+        if (tok->kind == TokKind::kPunct && tok->text == "*") {
+          pass.emit("pointer-order", toks[i].line,
+                    "std::less over a pointer type orders by address; order "
+                    "by a stable key instead");
+          break;
+        }
+      }
+    } else if (name == "reinterpret_cast") {
+      skip_angles(toks, i + 1, &inside);
+      for (const Token* tok : inside) {
+        if (tok->kind == TokKind::kIdent &&
+            (tok->text == "uintptr_t" || tok->text == "intptr_t")) {
+          pass.emit("pointer-order", toks[i].line,
+                    "casting a pointer to uintptr_t derives a value from an "
+                    "allocation address; key on a stable id instead");
+          break;
+        }
+      }
+    }
+  }
+}
+
+void check_unmarked_static(const Pass& pass) {
+  static const std::set<std::string> kMarkers = {
+      "const", "constexpr", "constinit", "thread_local", "atomic",
+      "atomic_flag", "atomic_bool", "atomic_int", "atomic_uint64_t",
+      "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+      "once_flag", "condition_variable", "condition_variable_any"};
+  const auto& toks = pass.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const bool is_static = is_ident(toks[i], "static");
+    const bool is_inline = is_ident(toks[i], "inline") &&
+                           !(i >= 1 && is_ident(toks[i - 1], "static"));
+    if (!is_static && !is_inline) continue;
+    bool marked = false;
+    bool function_or_type = false;
+    const Token* last_name = nullptr;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      const Token& tok = toks[j];
+      if (tok.kind == TokKind::kIdent) {
+        if (kMarkers.count(tok.text) != 0) {
+          marked = true;
+          break;
+        }
+        if (tok.text == "namespace" || tok.text == "class" ||
+            tok.text == "struct" || tok.text == "union" ||
+            tok.text == "enum" || tok.text == "using" ||
+            tok.text == "typedef" || tok.text == "template" ||
+            tok.text == "friend" || tok.text == "operator" ||
+            tok.text == "static" || tok.text == "virtual" ||
+            tok.text == "explicit") {
+          function_or_type = true;
+          break;
+        }
+        last_name = &tok;
+        continue;
+      }
+      if (is_punct(tok, "(")) {  // function declaration/definition
+        function_or_type = true;
+        break;
+      }
+      if (is_punct(tok, "<")) {  // skip template arguments of the type
+        j = skip_angles(toks, j) - 1;
+        continue;
+      }
+      if (is_punct(tok, ";") || is_punct(tok, "=") || is_punct(tok, "{")) {
+        break;
+      }
+    }
+    if (marked || function_or_type || last_name == nullptr) continue;
+    pass.emit("unmarked-static", toks[i].line,
+              "mutable static '" + last_name->text +
+                  "' is shared across scan shards without a concurrency "
+                  "marker; make it const/constexpr, std::atomic, "
+                  "mutex-guarded, or thread_local");
+  }
+}
+
+void check_atomic_order(const Pass& pass) {
+  static const std::set<std::string> kAtomicOps = {
+      "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+      "load", "store", "exchange", "compare_exchange_weak",
+      "compare_exchange_strong", "test_and_set"};
+  const auto& toks = pass.toks;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        kAtomicOps.count(toks[i].text) == 0 || !member_access(toks, i) ||
+        !followed_by_call(toks, i)) {
+      continue;
+    }
+    const std::size_t close = match_paren(toks, i + 1);
+    bool has_order = false;
+    bool seq_cst = false;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      if (toks[j].text.rfind("memory_order", 0) == 0) {
+        has_order = true;
+        if (toks[j].text == "memory_order_seq_cst") seq_cst = true;
+        // std::memory_order::seq_cst spelling
+        if (toks[j].text == "memory_order" && j + 2 < close &&
+            is_punct(toks[j + 1], "::") && is_ident(toks[j + 2], "seq_cst")) {
+          seq_cst = true;
+        }
+      }
+    }
+    if (!has_order) {
+      pass.emit("atomic-default-order", toks[i].line,
+                "'" + toks[i].text + "' without an explicit memory_order "
+                "defaults to seq_cst on a hot path; spell the ordering "
+                "(relaxed for counters)");
+    } else if (seq_cst) {
+      pass.emit("atomic-default-order", toks[i].line,
+                "'" + toks[i].text + "' uses memory_order_seq_cst on a hot "
+                "path; counters and flags here should be relaxed (justify "
+                "stronger orderings with a suppression)");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(const Config& config,
+                                 const std::string& relpath,
+                                 std::string_view source,
+                                 std::string_view header_source) {
+  const LexResult lexed = lex(source);
+
+  // Suppression pragmas: a comment alone on its line covers the next code
+  // line; a trailing comment covers its own line.
+  PragmaState pragmas;
+  for (const Comment& comment : lexed.comments) {
+    std::uint32_t target = comment.line;
+    if (comment.own_line) {
+      target = 0;
+      for (const Token& tok : lexed.tokens) {
+        if (tok.line > comment.line) {
+          target = tok.line;
+          break;
+        }
+      }
+      if (target == 0) target = comment.line;
+    }
+    parse_pragma(config, relpath, comment, target, &pragmas);
+  }
+
+  std::set<std::string> unordered_names;
+  if (!header_source.empty()) {
+    collect_unordered_decls(lex(header_source).tokens, &unordered_names);
+  }
+  collect_unordered_decls(lexed.tokens, &unordered_names);
+
+  std::vector<Finding> raw;
+  const Pass pass{config, relpath, lexed.tokens, &raw};
+  check_banned_names(pass);
+  check_unordered_iteration(pass, unordered_names);
+  check_pointer_order(pass);
+  check_unmarked_static(pass);
+  check_atomic_order(pass);
+
+  // Apply suppressions; anything left in `allows` unused is itself a
+  // finding, so stale pragmas can't accumulate.
+  std::vector<Finding> out;
+  for (Finding& finding : raw) {
+    const auto it = pragmas.allows.find({finding.line, finding.rule});
+    if (it != pragmas.allows.end()) {
+      it->second.used = true;
+      continue;
+    }
+    out.push_back(std::move(finding));
+  }
+  for (Finding& problem : pragmas.problems) {
+    if (config.applies("bad-pragma", relpath)) {
+      out.push_back(std::move(problem));
+    }
+  }
+  for (const auto& [key, suppression] : pragmas.allows) {
+    if (suppression.used) continue;
+    if (!config.applies("unused-suppression", relpath)) continue;
+    out.push_back({"unused-suppression", relpath, key.first,
+                   config.severity("unused-suppression"),
+                   "allow(" + key.second + ") suppresses nothing on this "
+                   "line; remove the stale pragma"});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ofh::lint

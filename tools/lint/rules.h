@@ -1,0 +1,60 @@
+// The ofh-lint rule engine: pattern matching over the lexer's token stream,
+// suppression-pragma handling, and the per-file entry point shared by the
+// CLI driver and the self-test (tests/lint_test.cpp).
+//
+// Rule catalog (see DESIGN.md "Determinism lint" for the rationale):
+//   random-device        std::random_device construction
+//   libc-rand            rand()/srand()/random()/drand48() family
+//   wall-clock           chrono clock reads and C time functions outside
+//                        the obs wall-metric domain
+//   env-read             getenv/setenv family in sim code
+//   thread-sleep         sleep_for/sleep_until/usleep/nanosleep
+//   unordered-iteration  range-for or begin() loops over a container
+//                        declared unordered in this TU or its paired header
+//   pointer-hash         std::hash over a pointer type
+//   pointer-order        reinterpret_cast<uintptr_t> / std::less<T*>:
+//                        ordering derived from addresses
+//   unmarked-static      mutable static/inline variable without
+//                        const/constexpr/atomic/mutex/thread_local marking
+//   atomic-default-order atomic RMW/load/store without an explicit
+//                        memory_order, or with seq_cst, on a hot path
+//   bad-pragma           ofh-lint pragma without a justification or with
+//                        an unknown rule name
+//   unused-suppression   allow() pragma that suppressed nothing
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config.h"
+
+namespace ofh::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-relative path
+  std::uint32_t line = 0;
+  Severity severity = Severity::kError;
+  std::string message;
+
+  bool operator<(const Finding& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    return rule < other.rule;
+  }
+};
+
+// Lints one translation unit. `header_source` carries the paired header's
+// contents (X.h next to X.cpp) so member containers declared in the header
+// and iterated in the .cpp resolve; pass an empty view when there is none.
+// Findings are sorted by (file, line, rule) and already have suppressions
+// applied; suppressed findings are dropped, and pragma problems surface as
+// bad-pragma / unused-suppression findings.
+std::vector<Finding> lint_source(const Config& config,
+                                 const std::string& relpath,
+                                 std::string_view source,
+                                 std::string_view header_source = {});
+
+}  // namespace ofh::lint
