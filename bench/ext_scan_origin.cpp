@@ -42,9 +42,12 @@ int main(int argc, char** argv) {
   // (198.108.0.0/16 here), as real networks blocklist Shodan/Censys.
   const auto scanner_range = *ofh::util::Cidr::parse("198.108.0.0/16");
   std::size_t firewalled = 0;
-  for (const auto& device : study.population().devices()) {
-    if (device->address().value() % 4 == 0) {
-      device->set_ingress_filter(
+  auto& population = study.population();
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    if (population.address_at(i).value() % 4 == 0) {
+      // Ingress filters live on real hosts, so the firewalled quarter of
+      // the population materializes up front (as the eager world had it).
+      population.device_at(i)->set_ingress_filter(
           [scanner_range](const ofh::net::Packet& packet) {
             return !scanner_range.contains(packet.src);
           });

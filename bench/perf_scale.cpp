@@ -1,0 +1,187 @@
+// Scale trajectory bench: runs the full study pipeline at a descending
+// sequence of population-scale denominators and emits BENCH_scale.json —
+// the checked-in record of what one machine sustains. Per scale it reports
+//   hosts          population size (devices)
+//   hosts_per_sec  population build+attach throughput
+//   events_per_sec main-simulation events over the whole run's wall time
+//   peak_rss_mb    /proc/self/status VmHWM after the run (cumulative
+//                  high-water mark, so scales must run smallest-first)
+//   conservation   sent == delivered + dropped + faulted  and
+//                  probes == responsive + refused + unresolved
+// and exits nonzero if any conservation identity fails — that is the only
+// gating condition; throughput numbers are informational (scripts/ci.sh
+// runs this non-gating at scale 512/64).
+//
+// Flags: --scales=512,64,8   denominators, run in the order given
+//        --out=FILE          JSON output path (default: stdout only)
+//        --full              append scale 1 (14.4M hosts) to the list
+//        --seed=N            study seed (default 42)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Peak resident set in MiB from /proc/self/status (Linux; 0 elsewhere).
+double peak_rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::atof(line.c_str() + 6) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+struct ScaleResult {
+  double denominator = 0;
+  std::uint64_t hosts = 0;
+  double setup_seconds = 0;
+  double total_seconds = 0;
+  std::uint64_t events = 0;
+  double rss_mb = 0;
+  bool packets_conserved = false;
+  bool probes_conserved = false;
+};
+
+ScaleResult run_scale(double denominator, std::uint64_t seed) {
+  ofh::core::StudyConfig config;
+  config.seed = seed;
+  config.population_scale = 1.0 / denominator;
+  // Attack volume scales with the population so the honeynet/telescope
+  // phases stress proportionally; two simulated days keep the attack
+  // month from dominating the scan-phase measurement.
+  config.attack_scale = 1.0 / (denominator * 4.0);
+  config.attack_duration = ofh::sim::days(2);
+  config.scan_threads = 0;  // one worker per hardware thread
+
+  ScaleResult result;
+  result.denominator = denominator;
+
+  const auto start = Clock::now();
+  ofh::core::Study study(config);
+  study.setup_internet();
+  result.setup_seconds = seconds_since(start);
+  result.hosts = study.population().total_devices();
+
+  study.run_scan();
+  study.run_attack_month();
+  // Drain late deliveries so inflight is zero and conservation is exact.
+  study.sim().run_until(study.sim().now() + ofh::sim::hours(2));
+  result.total_seconds = seconds_since(start);
+  result.events = study.sim().events_processed() + study.scan_events();
+  result.rss_mb = peak_rss_mb();
+
+  const auto& fabric = study.fabric();
+  result.packets_conserved =
+      fabric.packets_sent() == fabric.packets_delivered() +
+                                   fabric.packets_dropped() +
+                                   fabric.packets_faulted();
+  const auto& db = study.scan_db();
+  result.probes_conserved =
+      db.probes_sent() == db.responsive() + db.refused() + db.unresolved();
+  return result;
+}
+
+std::string to_json(const std::vector<ScaleResult>& results) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"perf_scale\",\n  \"scales\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double hosts_per_sec =
+        r.setup_seconds > 0 ? static_cast<double>(r.hosts) / r.setup_seconds
+                            : 0;
+    const double events_per_sec =
+        r.total_seconds > 0 ? static_cast<double>(r.events) / r.total_seconds
+                            : 0;
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof buffer,
+        "    {\"scale\": %.0f, \"hosts\": %llu, \"setup_seconds\": %.2f,\n"
+        "     \"total_seconds\": %.2f, \"hosts_per_sec\": %.0f,\n"
+        "     \"events\": %llu, \"events_per_sec\": %.0f,\n"
+        "     \"peak_rss_mb\": %.1f, \"packets_conserved\": %s,\n"
+        "     \"probes_conserved\": %s}%s\n",
+        r.denominator, static_cast<unsigned long long>(r.hosts),
+        r.setup_seconds, r.total_seconds, hosts_per_sec,
+        static_cast<unsigned long long>(r.events), events_per_sec, r.rss_mb,
+        r.packets_conserved ? "true" : "false",
+        r.probes_conserved ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+    out << buffer;
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<double> scales = {512, 64, 8};
+  std::string out_path;
+  std::uint64_t seed = 42;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scales=", 9) == 0) {
+      scales.clear();
+      const char* cursor = argv[i] + 9;
+      while (*cursor != '\0') {
+        scales.push_back(std::atof(cursor));
+        cursor = std::strchr(cursor, ',');
+        if (cursor == nullptr) break;
+        ++cursor;
+      }
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    }
+  }
+  if (full) scales.push_back(1);
+
+  std::printf("perf_scale: study pipeline at %zu scale points\n",
+              scales.size());
+  std::vector<ScaleResult> results;
+  bool conserved = true;
+  for (const double denominator : scales) {
+    if (!(denominator > 0)) continue;
+    std::printf("-- scale 1/%.0f ...\n", denominator);
+    std::fflush(stdout);
+    results.push_back(run_scale(denominator, seed));
+    const auto& r = results.back();
+    std::printf(
+        "   %llu hosts, %.1fs total, %.0f events/sec, peak RSS %.1f MB, "
+        "conservation %s\n",
+        static_cast<unsigned long long>(r.hosts), r.total_seconds,
+        r.total_seconds > 0 ? static_cast<double>(r.events) / r.total_seconds
+                            : 0,
+        r.rss_mb,
+        r.packets_conserved && r.probes_conserved ? "OK" : "VIOLATED");
+    conserved = conserved && r.packets_conserved && r.probes_conserved;
+  }
+
+  const std::string json = to_json(results);
+  std::printf("%s", json.c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json;
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return conserved ? 0 : 1;
+}

@@ -58,9 +58,10 @@ int main() {
   });
 
   std::size_t firing_bots = 0;
-  for (const auto& device : population.devices()) {
-    if (!epidemic.is_infected(device->address())) continue;
-    attackers::flood_coap(*device, victim_host.address(), 20);
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    if (!epidemic.is_infected(population.address_at(i))) continue;
+    // Infected devices were materialized when the epidemic took them over.
+    attackers::flood_coap(*population.device_at(i), victim_host.address(), 20);
     ++firing_bots;
   }
   sim.run_until(sim.now() + sim::minutes(10));

@@ -32,6 +32,13 @@ ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
 echo "==> determinism lint (ofh-lint)"
 scripts/lint.sh --build-dir build-ci
 
+# Scale trajectory: the full pipeline at 1/512 and 1/64. Non-gating on
+# throughput (numbers drift with CI hardware) — but a conservation-identity
+# violation makes perf_scale exit nonzero, and that DOES fail the job: the
+# flow-level fast paths must never lose a packet at any scale.
+echo "==> scale trajectory (perf_scale, conservation-gated)"
+./build-ci/bench/perf_scale --scales=512,64 --out=build-ci/BENCH_scale.json
+
 # The exported Chrome trace must actually load: parse it with the stock
 # json module, then check the trace-event-format invariants, then make sure
 # the chain report reconstructed the paper's escalation pattern.

@@ -35,6 +35,11 @@ double events_per_session(proto::Protocol protocol) {
 
 }  // namespace
 
+std::uint64_t bg_packets_today(double packets_per_day) {
+  if (!(packets_per_day > 0)) return 0;  // negative or NaN: emit nothing
+  return static_cast<std::uint64_t>(packets_per_day);
+}
+
 Fleet::Fleet(FleetConfig config, devices::Population& population,
              const honeynet::Deployment& deployment,
              telescope::Telescope& telescope)
@@ -102,8 +107,12 @@ void Fleet::deploy(net::Fabric& fabric, intel::ReverseDns& rdns,
 
 void Fleet::deploy_infected_devices(intel::VirusTotalDb& virustotal,
                                     intel::CensysDb& censys) {
-  for (const auto& device : population_.devices()) {
-    if (device->spec().infected) infected_.push_back(device.get());
+  // Infected devices run bot behaviour, so they are the one slice of the
+  // population that must exist as real hosts: materialize exactly them.
+  for (std::uint64_t i = 0; i < population_.size(); ++i) {
+    if (population_.infected_at(i)) {
+      infected_.push_back(population_.device_at(i));
+    }
   }
 
   util::Rng rng = rng_.fork("infected");
@@ -304,9 +313,11 @@ void Fleet::schedule_sessions(double total_sessions,
       // The post-listing uptrend of Figure 8.
       const double rate =
           base_per_day * (listed_ ? config_.listing_boost : 1.0);
-      const int arrivals = static_cast<int>(rate) +
-                           (day_rng.chance(rate - std::floor(rate)) ? 1 : 0);
-      for (int i = 0; i < arrivals; ++i) {
+      // 64-bit: at paper scale a single day's arrivals can exceed INT_MAX.
+      const std::int64_t arrivals =
+          static_cast<std::int64_t>(rate) +
+          (day_rng.chance(rate - std::floor(rate)) ? 1 : 0);
+      for (std::int64_t i = 0; i < arrivals; ++i) {
         const sim::Time when =
             fabric_->sim().now() + day_rng.below(sim::days(1));
         auto arrival_rng = std::make_shared<util::Rng>(
@@ -408,10 +419,12 @@ void Fleet::deploy_dos_events() {
 
   // Spike sizes scale with the overall attack volume so the Figure 8 peaks
   // stay in proportion to the daily baseline.
-  const int coap_flood = std::max(
-      40, static_cast<int>(11'543 * config_.event_scale / 4));
-  const int ssdp_flood = std::max(
-      40, static_cast<int>(17'101 * config_.event_scale / 3));
+  // 64-bit: at event_scale = 1 these are small, but the scale sweep keeps
+  // every packet-count computation wide so no future scale-up can wrap.
+  const std::int64_t coap_flood = std::max<std::int64_t>(
+      40, static_cast<std::int64_t>(11'543 * config_.event_scale / 4));
+  const std::int64_t ssdp_flood = std::max<std::int64_t>(
+      40, static_cast<std::int64_t>(17'101 * config_.event_scale / 3));
 
   if (hostage != nullptr) {
     const util::Ipv4Addr victim = hostage->address;
@@ -458,18 +471,19 @@ void Fleet::deploy_dos_events() {
       const sim::Time when = rsdos_rng.below(config_.duration);
       sim.at(when, [this, attack] {
         util::Rng rng = rng_.fork("rsdos" + std::to_string(attack));
-        // Victim: a random Telnet device with an open listener.
-        const auto& devices = population_.devices();
+        // Victim: a random Telnet device with an open listener. The victim
+        // stays a packed column entry — the flood's handshake responses are
+        // emulated by the fabric (Fabric::send_flood), so no Device is
+        // materialized for a pure DoS target.
         for (int tries = 0; tries < 32; ++tries) {
-          devices::Device* victim =
-              devices[rng.below(devices.size())].get();
-          if (victim->spec().primary != proto::Protocol::kTelnet ||
-              !victim->attached()) {
+          const std::uint64_t victim = rng.below(population_.size());
+          if (population_.primary_at(victim) != proto::Protocol::kTelnet) {
             continue;
           }
           net::Host& source =
               *external_hosts_[rng.below(external_hosts_.size())];
-          syn_flood_spoofed(source, victim->address(), 23, 2'500, rng);
+          syn_flood_spoofed(source, population_.address_at(victim), 23, 2'500,
+                            rng);
           break;
         }
       });
@@ -572,8 +586,12 @@ void Fleet::deploy_background_radiation(intel::VirusTotalDb& virustotal) {
     sim.at(sim::days(day), [this, day, pools] {
       util::Rng day_rng = rng_.fork("bg-day" + std::to_string(day));
       for (const auto& pool : pools) {
-        const int packets = static_cast<int>(pool.packets_per_day);
-        for (int i = 0; i < packets; ++i) {
+        // 64-bit day count: at paper scale the Telnet pool alone tops 2.7e9
+        // packets/day, which a 32-bit cast would truncate.
+        const std::uint64_t packets = bg_packets_today(pool.packets_per_day);
+        std::vector<net::FlowPacket> batch;
+        batch.reserve(packets);
+        for (std::uint64_t i = 0; i < packets; ++i) {
           const auto src = pool.sources[day_rng.below(pool.sources.size())];
           const util::Ipv4Addr dst(
               telescope_.range().base().value() +
@@ -601,11 +619,11 @@ void Fleet::deploy_background_radiation(intel::VirusTotalDb& virustotal) {
           }
           const sim::Time when =
               fabric_->sim().now() + day_rng.below(sim::days(1));
-          auto packet_copy = std::make_shared<net::Packet>(std::move(packet));
-          fabric_->sim().at(when, [this, packet_copy] {
-            fabric_->send(*packet_copy);
-          });
+          batch.push_back(net::FlowPacket{std::move(packet), when});
         }
+        // One flow call replaces `packets` heap-scheduled closures. Telescope
+        // traffic rides the inline fast path: same tables, no event storm.
+        fabric_->send_flow(std::move(batch));
       }
     });
   }

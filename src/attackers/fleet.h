@@ -45,6 +45,12 @@ struct FleetConfig {
   int session_connect_attempts = 1;
 };
 
+// Whole packets a Table 8 pool emits on one day. Truncation (not rounding)
+// preserves the historical `static_cast<int>` semantics, but in 64 bits: at
+// telescope_rate_scale = 1 the Telnet row alone is 2.7B packets/day, which
+// wrapped the old 32-bit cast (tests/fleet_test.cpp pins the fix).
+std::uint64_t bg_packets_today(double packets_per_day);
+
 class Fleet {
  public:
   Fleet(FleetConfig config, devices::Population& population,

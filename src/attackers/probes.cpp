@@ -236,28 +236,30 @@ void attack_coap(net::Host& from, util::Ipv4Addr target, bool poison) {
   }
 }
 
-void flood_coap(net::Host& from, util::Ipv4Addr target, int packets) {
+void flood_coap(net::Host& from, util::Ipv4Addr target,
+                std::int64_t packets) {
   const obs::TraceContext trace(
       trace_attack(from, target, 5683, proto::Protocol::kCoap));
-  for (int i = 0; i < packets; ++i) {
+  for (std::int64_t i = 0; i < packets; ++i) {
     from.udp().send(target, 5683,
                     proto::coap::encode(proto::coap::make_discovery_request(
                         static_cast<std::uint16_t>(i))));
   }
 }
 
-void flood_ssdp(net::Host& from, util::Ipv4Addr target, int packets) {
+void flood_ssdp(net::Host& from, util::Ipv4Addr target,
+                std::int64_t packets) {
   const obs::TraceContext trace(
       trace_attack(from, target, 1900, proto::Protocol::kUpnp));
   const auto probe = proto::ssdp::encode_msearch(proto::ssdp::MSearch{});
-  for (int i = 0; i < packets; ++i) {
+  for (std::int64_t i = 0; i < packets; ++i) {
     from.udp().send(target, 1900, probe);
   }
 }
 
 void reflect_udp(net::Host& from, util::Ipv4Addr reflector,
                  util::Ipv4Addr victim, proto::Protocol protocol,
-                 int packets) {
+                 std::int64_t packets) {
   const obs::TraceContext trace(trace_attack(
       from, reflector, protocol == proto::Protocol::kCoap ? 5683 : 1900,
       protocol));
@@ -267,7 +269,7 @@ void reflect_udp(net::Host& from, util::Ipv4Addr reflector,
           : proto::ssdp::encode_msearch(proto::ssdp::MSearch{});
   const std::uint16_t port =
       protocol == proto::Protocol::kCoap ? 5683 : 1900;
-  for (int i = 0; i < packets; ++i) {
+  for (std::int64_t i = 0; i < packets; ++i) {
     from.udp().send_spoofed(victim, reflector, port, probe, 33'000);
   }
 }
@@ -295,12 +297,13 @@ void attack_http(net::Host& from, util::Ipv4Addr target, bool scrape,
   }
 }
 
-void flood_http(net::Host& from, util::Ipv4Addr target, int requests) {
+void flood_http(net::Host& from, util::Ipv4Addr target,
+                std::int64_t requests) {
   const obs::TraceContext trace(
       trace_attack(from, target, 80, proto::Protocol::kHttp));
   proto::http::Request request;
   const auto bytes = proto::http::encode_request(request);
-  for (int i = 0; i < requests; ++i) {
+  for (std::int64_t i = 0; i < requests; ++i) {
     tcp_touch(from, target, 80, util::Bytes(bytes));
   }
 }
@@ -375,11 +378,14 @@ void attack_s7(net::Host& from, util::Ipv4Addr target, int jobs) {
 }
 
 void syn_flood_spoofed(net::Host& from, util::Ipv4Addr victim,
-                       std::uint16_t port, int packets, util::Rng& rng) {
+                       std::uint16_t port, std::int64_t packets,
+                       util::Rng& rng) {
   // 0xff: a SYN flood is port-directed, not tied to one IoT protocol.
   const obs::TraceContext trace(
       trace_attack(from, victim, port, std::uint8_t{0xff}));
-  for (int i = 0; i < packets; ++i) {
+  std::vector<net::Packet> flood;
+  flood.reserve(packets > 0 ? static_cast<std::size_t>(packets) : 0);
+  for (std::int64_t i = 0; i < packets; ++i) {
     net::Packet packet;
     packet.src = util::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
     packet.dst = victim;
@@ -388,8 +394,11 @@ void syn_flood_spoofed(net::Host& from, util::Ipv4Addr victim,
     packet.transport = net::Transport::kTcp;
     packet.tcp_flags = net::TcpFlags::kSyn;
     packet.spoofed_src = true;
-    from.fabric().send(std::move(packet));
+    flood.push_back(std::move(packet));
   }
+  // Batched: an unmaterialized victim's handshake responses are emulated
+  // inline by the fabric instead of costing 2 sim events per SYN.
+  from.fabric().send_flood(std::move(flood));
 }
 
 void scan_address(net::Host& from, util::Ipv4Addr target,

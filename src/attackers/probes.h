@@ -3,6 +3,7 @@
 // probes; bots compose the malicious ones into sessions.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -44,20 +45,23 @@ void attack_xmpp(net::Host& from, util::Ipv4Addr target);
 
 // CoAP: discovery, then PUT-poison a resource.
 void attack_coap(net::Host& from, util::Ipv4Addr target, bool poison);
-// CoAP/SSDP UDP flood (DoS): `packets` datagrams in a burst.
-void flood_coap(net::Host& from, util::Ipv4Addr target, int packets);
-void flood_ssdp(net::Host& from, util::Ipv4Addr target, int packets);
+// CoAP/SSDP UDP flood (DoS): `packets` datagrams in a burst. Counts are
+// 64-bit: flood sizes scale with event_scale and must not wrap at paper
+// scale (the 32-bit overflow sweep of the scale PR).
+void flood_coap(net::Host& from, util::Ipv4Addr target, std::int64_t packets);
+void flood_ssdp(net::Host& from, util::Ipv4Addr target, std::int64_t packets);
 
 // Reflection: spoofed discovery requests bouncing off `reflector` onto
 // `victim`.
 void reflect_udp(net::Host& from, util::Ipv4Addr reflector,
                  util::Ipv4Addr victim, proto::Protocol protocol,
-                 int packets);
+                 std::int64_t packets);
 
 // HTTP: scrape paths / brute-force the login form / flood.
 void attack_http(net::Host& from, util::Ipv4Addr target, bool scrape,
                  bool bruteforce);
-void flood_http(net::Host& from, util::Ipv4Addr target, int requests);
+void flood_http(net::Host& from, util::Ipv4Addr target,
+                std::int64_t requests);
 
 // SMB: negotiate then launch an Eternal*-style exploit.
 void attack_smb(net::Host& from, util::Ipv4Addr target, bool exploit);
@@ -83,6 +87,7 @@ void scan_address(net::Host& from, util::Ipv4Addr target,
 // replies spray everywhere — the slice landing in a darknet is the
 // backscatter that telescope RSDoS detection reconstructs attacks from.
 void syn_flood_spoofed(net::Host& from, util::Ipv4Addr victim,
-                       std::uint16_t port, int packets, util::Rng& rng);
+                       std::uint16_t port, std::int64_t packets,
+                       util::Rng& rng);
 
 }  // namespace ofh::attackers

@@ -17,6 +17,16 @@ bool is_susceptible(const devices::Device& device) {
          spec.weak_credentials;
 }
 
+// Column-level twin of is_susceptible, so the census doesn't materialize.
+bool is_susceptible_at(const devices::Population& population,
+                       std::uint64_t i) {
+  if (population.primary_at(i) != proto::Protocol::kTelnet) return false;
+  const auto misconfig = population.misconfig_at(i);
+  return misconfig == devices::Misconfig::kTelnetNoAuth ||
+         misconfig == devices::Misconfig::kTelnetNoAuthRoot ||
+         population.weak_credentials_at(i);
+}
+
 }  // namespace
 
 Epidemic::Epidemic(PropagationConfig config, devices::Population& population,
@@ -28,26 +38,30 @@ Epidemic::Epidemic(PropagationConfig config, devices::Population& population,
 
 std::size_t Epidemic::susceptible_count() const {
   std::size_t count = 0;
-  for (const auto& device : population_.devices()) {
-    if (is_susceptible(*device)) ++count;
+  for (std::uint64_t i = 0; i < population_.size(); ++i) {
+    if (is_susceptible_at(population_, i)) ++count;
   }
   return count;
 }
 
 void Epidemic::deploy(net::Fabric& fabric) {
   fabric_ = &fabric;
-  // Seed with unauthenticated-Telnet devices (trivially infected).
-  std::vector<devices::Device*> seeds;
-  for (const auto& device : population_.devices()) {
-    if (device->spec().misconfig == devices::Misconfig::kTelnetNoAuth ||
-        device->spec().misconfig == devices::Misconfig::kTelnetNoAuthRoot) {
-      seeds.push_back(device.get());
+  // Seed with unauthenticated-Telnet devices (trivially infected). Only the
+  // sampled seeds materialize; the candidate census stays in the columns.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < population_.size(); ++i) {
+    const auto misconfig = population_.misconfig_at(i);
+    if (misconfig == devices::Misconfig::kTelnetNoAuth ||
+        misconfig == devices::Misconfig::kTelnetNoAuthRoot) {
+      seeds.push_back(i);
     }
   }
   for (std::size_t i = 0; i < config_.initial_bots && !seeds.empty(); ++i) {
-    devices::Device* seed = seeds[rng_.below(seeds.size())];
-    if (infected_addresses_.count(seed->address().value()) != 0) continue;
-    infect(seed);
+    const std::uint64_t seed = seeds[rng_.below(seeds.size())];
+    if (infected_addresses_.count(population_.address_at(seed).value()) != 0) {
+      continue;
+    }
+    infect(population_.device_at(seed));
   }
 }
 

@@ -108,7 +108,8 @@ struct ScanShard {
   std::uint64_t refused = 0;
   std::uint64_t unresolved = 0;
   std::uint64_t retries = 0;
-  sim::Time finished = 0;  // shard clock when the sweep resolved
+  std::uint64_t events = 0;  // shard-simulation events processed
+  sim::Time finished = 0;    // shard clock when the sweep resolved
 };
 
 // Runs one sweep on a private replica of the simulated Internet. The
@@ -178,6 +179,7 @@ ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
   shard.refused = db.refused();
   shard.unresolved = db.unresolved();
   shard.retries = db.retries();
+  shard.events = sim.events_processed();
   shard.finished = sim.now();
   return shard;
 }
@@ -265,6 +267,7 @@ void Study::run_scan() {
   sim::Time scan_end = scan_epoch;
   std::vector<std::vector<scanner::ScanRecord>> per_shard;
   per_shard.reserve(shards.size());
+  std::size_t total_records = 0;
   for (auto& shard : shards) {
     scan_end = std::max(scan_end, shard.finished);
     scan_db_.note_probes(shard.probes);
@@ -272,8 +275,14 @@ void Study::run_scan() {
     scan_db_.note_refused(shard.refused);
     scan_db_.note_unresolved(shard.unresolved);
     scan_db_.note_retries(shard.retries);
+    scan_events_ += shard.events;
+    total_records += shard.records.size();
     per_shard.push_back(std::move(shard.records));
   }
+  // The merged record count is known exactly before the fold: reserve once
+  // so the fold never reallocates (at paper scale the six sweeps land
+  // millions of records; tests/parallel_test.cpp pins capacity stability).
+  scan_db_.reserve(total_records);
   for (auto& record : sim::merge_by_time(
            std::move(per_shard),
            [](const scanner::ScanRecord& record) { return record.when; })) {
@@ -319,6 +328,13 @@ void Study::run_attack_month() {
   for (int i = 0; i < 6; ++i) {
     addresses.push_back(population_->allocate_extra());
   }
+  // The campaign's event volume is calibrated to Table 7's monthly total at
+  // attack_scale, so pre-size the log (with headroom for the DoS spikes and
+  // multistage chains layered on top) instead of growing through ~log2(n)
+  // reallocations over the month.
+  const auto expected_events = scaled_attack(devices::paper::kTable7Total);
+  attack_log_.reserve(
+      static_cast<std::size_t>(expected_events + expected_events / 2));
   deployment_ = honeynet::make_deployment(addresses, attack_log_);
   for (auto& honeypot : deployment_.honeypots) {
     honeypot->attach(*fabric_);
@@ -330,6 +346,8 @@ void Study::run_attack_month() {
   fleet_config.event_scale = config_.attack_scale;
   fleet_config.listing_boost = config_.listing_boost;
   fleet_config.session_connect_attempts = config_.session_connect_attempts;
+  fleet_config.telescope_rate_scale = config_.telescope_rate_scale;
+  fleet_config.telescope_source_scale = config_.telescope_source_scale;
   fleet_ = std::make_unique<attackers::Fleet>(fleet_config, *population_,
                                               deployment_, *telescope_);
   fleet_->deploy(*fabric_, rdns_, virustotal_, greynoise_, censys_);

@@ -67,6 +67,14 @@ struct StudyConfig {
   std::uint32_t scan_attempts = 1;
   // Telnet attack-session SYN retries (attackers::FleetConfig).
   int session_connect_attempts = 1;
+  // Telescope background-radiation scaling, forwarded to FleetConfig
+  // (attackers/fleet.h). rate scales Table 8's packets/day (1.0 = the
+  // paper's full 2.7e9 Telnet packets/day), source scales the unique-IP
+  // pools behind them. The defaults match FleetConfig's and leave every
+  // golden byte-identical; bench/perf_scale raises them toward 1.0 to
+  // exercise the flow-level fast path at paper volume.
+  double telescope_rate_scale = 1.0 / 4'000'000;
+  double telescope_source_scale = 1.0 / 40'000;
   // Fraction of a phase's sent packets the schedule may perturb before
   // degradation_report() marks the phase OVER budget.
   double fault_budget = 0.25;
@@ -117,6 +125,10 @@ class Study {
   const StudyConfig& config() const { return config_; }
   sim::Simulation& sim() { return sim_; }
   net::Fabric& fabric() { return *fabric_; }
+  // Events processed by the scan shards' private simulations (the main
+  // sim's events_processed() misses them); bench/perf_scale sums both for
+  // its events/sec figure.
+  std::uint64_t scan_events() const { return scan_events_; }
   devices::Population& population() { return *population_; }
   const scanner::ScanDb& scan_db() const { return scan_db_; }
   const std::vector<classify::MisconfigFinding>& findings() const {
@@ -217,6 +229,7 @@ class Study {
   intel::CensysDb censys_;
 
   scanner::ScanDb scan_db_;
+  std::uint64_t scan_events_ = 0;
   std::map<proto::Protocol, sim::Time> scan_dates_;
   std::vector<classify::MisconfigFinding> findings_;
   std::vector<classify::MisconfigFinding> unfiltered_findings_;

@@ -63,15 +63,16 @@ DatasetSnapshot generate_snapshot(const CoverageModel& model,
   DatasetSnapshot snapshot(model.name);
   util::Rng rng = util::Rng(seed).fork("dataset:" + model.name);
 
-  for (const auto& device : population.devices()) {
-    const auto& spec = device->spec();
-    const auto coverage = model.coverage.find(spec.primary);
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    const Protocol primary = population.primary_at(i);
+    const util::Ipv4Addr address = population.address_at(i);
+    const auto coverage = model.coverage.find(primary);
     if (coverage == model.coverage.end()) continue;  // protocol not published
 
-    std::uint16_t port = proto::default_port(spec.primary);
-    if (spec.primary == Protocol::kTelnet) {
+    std::uint16_t port = proto::default_port(primary);
+    if (primary == Protocol::kTelnet) {
       // Mirror the device's own port selection (see Device::install_telnet).
-      const bool alt_port = (spec.address.value() % 16) == 0;
+      const bool alt_port = (address.value() % 16) == 0;
       if (alt_port) {
         if (!model.telnet_includes_2323) continue;  // invisible to Sonar
         port = 2323;
@@ -81,17 +82,19 @@ DatasetSnapshot generate_snapshot(const CoverageModel& model,
     // Coverage is expressed over all exposed hosts; hosts already excluded
     // by the port model count against it, so rescale the per-host draw.
     double p = coverage->second;
-    if (spec.primary == Protocol::kTelnet && !model.telnet_includes_2323) {
+    if (primary == Protocol::kTelnet && !model.telnet_includes_2323) {
       p = std::min(1.0, p / (15.0 / 16.0));
     }
     if (!rng.chance(p)) continue;
 
     DatasetEntry entry;
-    entry.host = spec.address;
+    entry.host = address;
     entry.port = port;
-    entry.protocol = spec.primary;
-    entry.banner = spec.model != nullptr ? std::string(spec.model->identifier)
-                                         : std::string{};
+    entry.protocol = primary;
+    const devices::DeviceModel* device_model = population.model_at(i);
+    entry.banner = device_model != nullptr
+                       ? std::string(device_model->identifier)
+                       : std::string{};
     snapshot.add(std::move(entry));
   }
   return snapshot;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <unordered_map>
 
 #include "devices/paper_stats.h"
 
@@ -53,6 +55,35 @@ std::vector<std::uint64_t> apportion(std::uint64_t total,
     ++assigned;
   }
   return counts;
+}
+
+// Predicted TCP listener set per primary protocol. Must mirror exactly what
+// Device::on_attached wires up (devices/device.cpp): the lazy-host verdict
+// for a SYN is "this port would accept" vs "this port would RST", and a
+// wrong prediction changes scan results. tests/population_test.cpp
+// cross-checks against real materialized stacks.
+bool predicted_tcp_listener(proto::Protocol protocol, std::uint32_t addr,
+                            std::uint16_t port) {
+  using P = proto::Protocol;
+  switch (protocol) {
+    case P::kTelnet:
+      // Some devices listen on 2323 instead of 23 (install_telnet).
+      return port == ((addr % 16) == 0 ? 2323 : 23);
+    case P::kMqtt: return port == 1883;
+    case P::kAmqp: return port == 5672;
+    case P::kXmpp: return port == 5222 || port == 5269;
+    default: return false;  // CoAP/UPnP devices expose no TCP listener
+  }
+}
+
+// Predicted UDP bindings, same contract as predicted_tcp_listener.
+bool predicted_udp_binding(proto::Protocol protocol, std::uint16_t port) {
+  using P = proto::Protocol;
+  switch (protocol) {
+    case P::kCoap: return port == 5683;
+    case P::kUpnp: return port == 1900;
+    default: return false;
+  }
 }
 
 }  // namespace
@@ -168,15 +199,44 @@ void Population::build() {
 
   allocate_prefixes(device_total);
 
+  // First covering prefix per /20 base — the same prefix the old
+  // first-match linear walk found (the prefix pool can repeat a base once
+  // the slot stride wraps, so "first" matters for country/ASN assignment).
+  std::unordered_map<std::uint32_t, std::uint32_t> first_prefix;
+  first_prefix.reserve(prefixes_.size() * 2);
+  for (std::size_t p = 0; p < prefixes_.size(); ++p) {
+    first_prefix.emplace(prefixes_[p].base().value(),
+                         static_cast<std::uint32_t>(p));
+  }
+
+  addresses_.reserve(device_total);
+  prefix_index_.reserve(device_total);
+  models_.reserve(device_total);
+  type_index_.reserve(device_total);
+  primary_.reserve(device_total);
+  misconfig_.reserve(device_total);
+  flags_.reserve(device_total);
+
   // Country assignment follows the prefix the address lands in, so the
   // country distribution is inherited from the prefix allocation.
-  devices_.reserve(device_total);
   for (const auto& plan : plans) {
-    // Per-device-type model pools for this protocol.
-    const auto shares = type_shares(plan.protocol);
+    // Per-device-type model pools for this protocol, hoisted out of the
+    // per-device loop (they depend only on the plan). A pool stays empty
+    // for "Unidentified" shares: no model draw happens for those, exactly
+    // as the per-device string comparison used to decide.
+    const auto& shares = type_shares(plan.protocol);
     std::vector<double> weights;
     for (const auto& share : shares) weights.push_back(share.share);
     const auto models = models_for(plan.protocol);
+    std::vector<std::vector<const DeviceModel*>> pools(shares.size());
+    for (std::size_t t = 0; t < shares.size(); ++t) {
+      if (shares[t].device_type == "Unidentified") continue;
+      for (const auto* model : models) {
+        if (model->device_type == shares[t].device_type) {
+          pools[t].push_back(model);
+        }
+      }
+    }
 
     std::uint64_t misconfig_budget = 0;
     for (const auto& [kind, count] : plan.misconfigs) misconfig_budget += count;
@@ -185,12 +245,12 @@ void Population::build() {
     std::uint64_t misconfig_emitted = 0;  // within the bucket
 
     for (std::uint64_t i = 0; i < plan.exposed; ++i) {
-      DeviceSpec spec;
-      spec.address = next_address(rng);
-      spec.primary = plan.protocol;
+      const util::Ipv4Addr address = next_address(rng);
 
       // The first `misconfig_budget` devices of each protocol receive the
       // misconfigurations; addresses are already decorrelated from order.
+      Misconfig misconfig = Misconfig::kNone;
+      std::uint8_t flags = 0;
       if (i < misconfig_budget) {
         while (misconfig_index < plan.misconfigs.size() &&
                misconfig_emitted >= plan.misconfigs[misconfig_index].second) {
@@ -198,54 +258,148 @@ void Population::build() {
           ++misconfig_index;
         }
         if (misconfig_index < plan.misconfigs.size()) {
-          spec.misconfig = plan.misconfigs[misconfig_index].first;
+          misconfig = plan.misconfigs[misconfig_index].first;
           ++misconfig_emitted;
         }
-      } else {
-        spec.weak_credentials = rng.chance(spec_.weak_credential_share);
+      } else if (rng.chance(spec_.weak_credential_share)) {
+        flags |= kWeakCredentialsBit;
       }
 
       // Device type / model.
       const std::size_t type_index = rng.weighted(weights);
-      spec.device_type = type_index < shares.size()
-                             ? std::string(shares[type_index].device_type)
-                             : "Unidentified";
-      if (spec.device_type != "Unidentified") {
-        std::vector<const DeviceModel*> pool;
-        for (const auto* model : models) {
-          if (model->device_type == spec.device_type) pool.push_back(model);
-        }
-        if (!pool.empty()) spec.model = pool[rng.below(pool.size())];
+      const DeviceModel* model = nullptr;
+      if (type_index < pools.size() && !pools[type_index].empty()) {
+        model = pools[type_index][rng.below(pools[type_index].size())];
       }
 
-      // Country from the covering prefix.
-      for (std::size_t p = 0; p < prefixes_.size(); ++p) {
-        if (prefixes_[p].contains(spec.address)) {
-          spec.country = prefix_country_[p];
-          spec.asn = static_cast<std::uint32_t>(64'000 + p);
-          break;
-        }
+      if (misconfig != Misconfig::kNone && rng.chance(spec_.infected_share)) {
+        flags |= kInfectedBit;
       }
 
-      if (spec.misconfig != Misconfig::kNone) {
-        spec.infected = rng.chance(spec_.infected_share);
-      }
-
-      devices_.push_back(std::make_unique<Device>(std::move(spec)));
+      addresses_.push_back(address.value());
+      prefix_index_.push_back(first_prefix.at(address.value() & 0xFFFFF000u));
+      models_.push_back(model);
+      type_index_.push_back(type_index < shares.size()
+                                ? static_cast<std::uint8_t>(type_index)
+                                : kUntypedIndex);
+      primary_.push_back(static_cast<std::uint8_t>(plan.protocol));
+      misconfig_.push_back(static_cast<std::uint8_t>(misconfig));
+      flags_.push_back(flags);
     }
   }
+
+  materialized_.resize(addresses_.size());
+
+  by_address_.reserve(addresses_.size());
+  for (std::size_t i = 0; i < addresses_.size(); ++i) {
+    by_address_.push_back({addresses_[i], static_cast<std::uint32_t>(i)});
+  }
+  std::sort(by_address_.begin(), by_address_.end());
+  for (std::size_t i = 0; i < by_address_.size();) {
+    std::size_t j = i + 1;
+    while (j < by_address_.size() &&
+           by_address_[j].first == by_address_[i].first) {
+      ++j;
+    }
+    if (j - i > 1) {
+      for (std::size_t k = i; k < j; ++k) {
+        duplicate_rows_.push_back(by_address_[k].second);
+      }
+    }
+    i = j;
+  }
+  std::sort(duplicate_rows_.begin(), duplicate_rows_.end());
+}
+
+DeviceSpec Population::spec_at(std::uint64_t i) const {
+  DeviceSpec spec;
+  spec.address = util::Ipv4Addr(addresses_[i]);
+  spec.model = models_[i];
+  spec.primary = static_cast<proto::Protocol>(primary_[i]);
+  if (type_index_[i] != kUntypedIndex) {
+    const auto& shares = type_shares(spec.primary);
+    spec.device_type = std::string(shares[type_index_[i]].device_type);
+  }
+  spec.country = prefix_country_[prefix_index_[i]];
+  spec.asn = static_cast<std::uint32_t>(64'000 + prefix_index_[i]);
+  spec.misconfig = static_cast<Misconfig>(misconfig_[i]);
+  spec.weak_credentials = (flags_[i] & kWeakCredentialsBit) != 0;
+  spec.infected = (flags_[i] & kInfectedBit) != 0;
+  return spec;
+}
+
+std::optional<std::uint64_t> Population::index_of(util::Ipv4Addr addr) const {
+  auto it = std::upper_bound(
+      by_address_.begin(), by_address_.end(),
+      std::make_pair(addr.value(), std::numeric_limits<std::uint32_t>::max()));
+  if (it == by_address_.begin()) return std::nullopt;
+  --it;
+  if (it->first != addr.value()) return std::nullopt;
+  return it->second;
+}
+
+Device* Population::device_at(std::uint64_t i) {
+  auto& slot = materialized_[i];
+  if (slot == nullptr) slot = std::make_unique<Device>(spec_at(i));
+  if (fabric_ != nullptr && !slot->attached()) slot->attach(*fabric_);
+  return slot.get();
+}
+
+std::uint64_t Population::materialized_count() const {
+  std::uint64_t count = 0;
+  for (const auto& device : materialized_) {
+    if (device != nullptr) ++count;
+  }
+  return count;
+}
+
+Population::Verdict Population::classify(const net::Packet& packet) const {
+  const auto row = index_of(packet.dst);
+  if (!row) return Verdict::kNotOwned;
+  if (materialized_[*row] != nullptr) {
+    // Materialized but not registered: the device was detached (teardown or
+    // churn), so the address no longer answers — same as a vanished host.
+    return Verdict::kNotOwned;
+  }
+  const auto protocol = static_cast<proto::Protocol>(primary_[*row]);
+  if (packet.transport == net::Transport::kUdp) {
+    // Unbound UDP ports are silent (no ICMP in the model): consumed without
+    // reaction, so no materialization needed.
+    return predicted_udp_binding(protocol, packet.dst_port)
+               ? Verdict::kMaterialize
+               : Verdict::kConsume;
+  }
+  // TCP: a fresh stack silently ignores anything without a matching
+  // connection except a SYN, which either reaches a listener (materialize:
+  // the handshake builds state) or draws a closed-port RST.
+  if (!packet.is_syn_only()) return Verdict::kConsume;
+  return predicted_tcp_listener(protocol, addresses_[*row], packet.dst_port)
+             ? Verdict::kMaterialize
+             : Verdict::kReset;
+}
+
+net::Host* Population::materialize(util::Ipv4Addr addr) {
+  const auto row = index_of(addr);
+  if (!row) return nullptr;
+  return device_at(*row);
 }
 
 void Population::attach_all(net::Fabric& fabric) {
   fabric_ = &fabric;
-  for (auto& device : devices_) device->attach(fabric);
+  fabric.set_lazy_source(this);
+  // Devices sharing an address must exist eagerly: with both attached (in
+  // build order), the fabric's host map holds the later one — identical to
+  // the eager world's last-registration-wins. Lazy classification would
+  // otherwise answer for the canonical row only.
+  for (const std::uint32_t row : duplicate_rows_) device_at(row);
 }
 
 void Population::detach_all() {
   if (fabric_ == nullptr) return;
-  for (auto& device : devices_) {
-    if (device->attached()) device->detach();
+  for (auto& device : materialized_) {
+    if (device != nullptr && device->attached()) device->detach();
   }
+  fabric_->clear_lazy_source(this);
   fabric_ = nullptr;
 }
 
@@ -256,36 +410,32 @@ util::Ipv4Addr Population::allocate_extra() {
     const util::Ipv4Addr addr = next_address(rng);
     bool taken = false;
     if (fabric_ != nullptr && fabric_->host_at(addr) != nullptr) taken = true;
-    for (const auto& device : devices_) {
-      if (device->address() == addr) {
-        taken = true;
-        break;
-      }
-    }
+    if (!taken && index_of(addr).has_value()) taken = true;
     if (!taken) return addr;
   }
 }
 
 std::uint64_t Population::misconfigured_count() const {
   std::uint64_t count = 0;
-  for (const auto& device : devices_) {
-    if (device->misconfigured()) ++count;
+  for (const auto value : misconfig_) {
+    if (value != static_cast<std::uint8_t>(Misconfig::kNone)) ++count;
   }
   return count;
 }
 
 std::uint64_t Population::infected_count() const {
   std::uint64_t count = 0;
-  for (const auto& device : devices_) {
-    if (device->spec().infected) ++count;
+  for (const auto flags : flags_) {
+    if ((flags & kInfectedBit) != 0) ++count;
   }
   return count;
 }
 
 std::uint64_t Population::count_for(proto::Protocol protocol) const {
   std::uint64_t count = 0;
-  for (const auto& device : devices_) {
-    if (device->spec().primary == protocol) ++count;
+  const auto wanted = static_cast<std::uint8_t>(protocol);
+  for (const auto value : primary_) {
+    if (value == wanted) ++count;
   }
   return count;
 }

@@ -4,10 +4,21 @@
 // misconfigurations (Table 5), countries (Table 10) and device types
 // (Figure 2 / Table 11). The scanner then *measures* these distributions
 // back — with known ground truth, recall is checkable.
+//
+// Storage is struct-of-arrays: build() fills packed per-device columns
+// (address, model, misconfig, flags — ~15 bytes/device), not Device heap
+// objects. A real Device (host + services + TCP state, ~600 bytes plus
+// allocator overhead) is materialized lazily, only when a packet would
+// actually change its state: the population registers itself as the
+// fabric's LazyHostSource and predicts, from the columns alone, whether a
+// packet reaches a bound service. At paper scale (14.4M devices) the scan
+// phase touches a few percent of hosts per shard, so the columns are the
+// difference between ~2 GB and ~60 GB of resident population.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,21 +44,70 @@ struct PopulationSpec {
   double infected_share = 11'118.0 / 1'832'893.0;
 };
 
-class Population {
+class Population : public net::LazyHostSource {
  public:
   explicit Population(PopulationSpec spec);
-  ~Population();
+  ~Population() override;
   Population(const Population&) = delete;
   Population& operator=(const Population&) = delete;
 
   // Generates all devices (deterministic in the spec seed).
   void build();
+  // Installs this population as the fabric's lazy host source. Only devices
+  // whose address is duplicated (the address cursor wrapped a full pass over
+  // the prefix pool) attach eagerly, to preserve the last-registration-wins
+  // semantics eager attachment had; everything else materializes on demand.
   void attach_all(net::Fabric& fabric);
   void detach_all();
 
-  const std::vector<std::unique_ptr<Device>>& devices() const {
-    return devices_;
+  // Per-device column accessors, indexed by build order.
+  std::uint64_t size() const { return addresses_.size(); }
+  util::Ipv4Addr address_at(std::uint64_t i) const {
+    return util::Ipv4Addr(addresses_[i]);
   }
+  proto::Protocol primary_at(std::uint64_t i) const {
+    return static_cast<proto::Protocol>(primary_[i]);
+  }
+  Misconfig misconfig_at(std::uint64_t i) const {
+    return static_cast<Misconfig>(misconfig_[i]);
+  }
+  bool misconfigured_at(std::uint64_t i) const {
+    return misconfig_[i] != static_cast<std::uint8_t>(Misconfig::kNone);
+  }
+  bool weak_credentials_at(std::uint64_t i) const {
+    return (flags_[i] & kWeakCredentialsBit) != 0;
+  }
+  bool infected_at(std::uint64_t i) const {
+    return (flags_[i] & kInfectedBit) != 0;
+  }
+  const DeviceModel* model_at(std::uint64_t i) const { return models_[i]; }
+  std::string country_at(std::uint64_t i) const {
+    return prefix_country_[prefix_index_[i]];
+  }
+  // The full spec, reassembled from the columns. Exactly what the eager
+  // build() used to store per device.
+  DeviceSpec spec_at(std::uint64_t i) const;
+
+  // The canonical device index owning an address (the last build index when
+  // the cursor wrapped and assigned one address twice), or nullopt.
+  std::optional<std::uint64_t> index_of(util::Ipv4Addr addr) const;
+
+  // The materialized Device for index i, building (and attaching, when a
+  // fabric is installed) it on first use.
+  Device* device_at(std::uint64_t i);
+  // Already-materialized device, or nullptr. Never builds.
+  Device* materialized_at(std::uint64_t i) const {
+    return materialized_[i].get();
+  }
+  std::uint64_t materialized_count() const;
+
+  // LazyHostSource: predicts, from the packed columns, what the device's
+  // stacks would do with the packet. Must agree with Device::on_attached's
+  // service wiring — tests/population_test.cpp cross-checks the prediction
+  // against real materialized stacks for every protocol.
+  Verdict classify(const net::Packet& packet) const override;
+  net::Host* materialize(util::Ipv4Addr addr) override;
+
   const std::vector<util::Cidr>& prefixes() const { return prefixes_; }
   // Country of each prefix, parallel to prefixes(): the ground truth the
   // synthetic geolocation database (intel/geo.h) is built from.
@@ -64,17 +124,39 @@ class Population {
   util::Ipv4Addr allocate_extra();
 
   // Ground-truth tallies for validation.
-  std::uint64_t total_devices() const { return devices_.size(); }
+  std::uint64_t total_devices() const { return addresses_.size(); }
   std::uint64_t misconfigured_count() const;
   std::uint64_t infected_count() const;
   std::uint64_t count_for(proto::Protocol protocol) const;
 
  private:
+  static constexpr std::uint8_t kWeakCredentialsBit = 0x01;
+  static constexpr std::uint8_t kInfectedBit = 0x02;
+  // type_index_ sentinel: the weighted draw fell past the share table
+  // ("Unidentified", no model pool consulted).
+  static constexpr std::uint8_t kUntypedIndex = 0xff;
+
   void allocate_prefixes(std::uint64_t device_total);
   util::Ipv4Addr next_address(util::Rng& rng);
 
   PopulationSpec spec_;
-  std::vector<std::unique_ptr<Device>> devices_;
+  // Packed per-device columns, parallel, indexed by build order.
+  std::vector<std::uint32_t> addresses_;
+  std::vector<std::uint32_t> prefix_index_;  // covering prefix (first match)
+  std::vector<const DeviceModel*> models_;
+  std::vector<std::uint8_t> type_index_;
+  std::vector<std::uint8_t> primary_;    // proto::Protocol
+  std::vector<std::uint8_t> misconfig_;  // devices::Misconfig
+  std::vector<std::uint8_t> flags_;
+  // Lazily-built Device objects, parallel to the columns.
+  std::vector<std::unique_ptr<Device>> materialized_;
+  // (address, build index) sorted for O(log n) address lookup. Where an
+  // address repeats, the canonical owner is the highest build index —
+  // matching the fabric's last-registration-wins map in the eager world.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> by_address_;
+  // Build indices sharing an address with another device; attached eagerly.
+  std::vector<std::uint32_t> duplicate_rows_;
+
   std::vector<util::Cidr> prefixes_;
   // Per-prefix country so extras inherit plausible geolocation.
   std::vector<std::string> prefix_country_;

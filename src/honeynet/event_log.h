@@ -54,6 +54,13 @@ class EventLog {
   // in event_log.cpp to keep the obs dependency out of this header.
   void record(AttackEvent event);
 
+  // Reserve-ahead for bulk replay: callers that can bound the event volume
+  // (core/study.cpp folds per-group logs into the study log) pre-size the
+  // arena once so the fold never reallocates mid-merge.
+  // tests/parallel_test.cpp asserts capacity stability across the merge.
+  void reserve(std::size_t events) { events_.reserve(events); }
+  std::size_t events_capacity() const { return events_.capacity(); }
+
   const std::vector<AttackEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "net/host.h"
+#include "net/tcp.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -119,25 +120,41 @@ void Fabric::apply_crash_window(const FaultWindow& window, bool restart) {
   }
 }
 
+void Fabric::note_sent(const Packet& packet, sim::Time when) {
+  ++packets_sent_;
+  metrics().sent.inc();
+  metrics().inflight.add(1);
+  obs::trace_event(obs::TraceEventType::kPacketSend, when, packet.trace_id,
+                   packet.src.value(), packet.dst.value(), packet.dst_port);
+  for (PacketSink* tap : taps_) tap->observe(packet, when);
+}
+
+void Fabric::note_delivered(const Packet& packet, sim::Duration delay,
+                            sim::Time when) {
+  ++packets_delivered_;
+  metrics().delivered.inc();
+  metrics().inflight.sub(1);
+  metrics().latency.observe(delay);
+  obs::trace_event(obs::TraceEventType::kPacketDeliver, when, packet.trace_id,
+                   packet.src.value(), packet.dst.value(), packet.dst_port);
+}
+
+void Fabric::note_dropped(const Packet& packet, sim::Time when) {
+  ++packets_dropped_;
+  metrics().dropped.inc();
+  metrics().inflight.sub(1);
+  obs::trace_event(obs::TraceEventType::kPacketDrop, when, packet.trace_id,
+                   packet.src.value(), packet.dst.value(), packet.dst_port);
+}
+
 void Fabric::send(Packet packet) {
   // A packet sent from inside a traced context (a probe, or a host
   // responding to a traced delivery) inherits the ambient causal id.
   if (packet.trace_id == 0) packet.trace_id = obs::current_trace_id();
-  ++packets_sent_;
-  metrics().sent.inc();
-  metrics().inflight.add(1);
-  obs::trace_event(obs::TraceEventType::kPacketSend, sim_.now(),
-                   packet.trace_id, packet.src.value(), packet.dst.value(),
-                   packet.dst_port);
-  for (PacketSink* tap : taps_) tap->observe(packet, sim_.now());
+  note_sent(packet, sim_.now());
 
   if (loss_rate_ > 0 && rng_.chance(loss_rate_)) {
-    ++packets_dropped_;
-    metrics().dropped.inc();
-    metrics().inflight.sub(1);
-    obs::trace_event(obs::TraceEventType::kPacketDrop, sim_.now(),
-                     packet.trace_id, packet.src.value(), packet.dst.value(),
-                     packet.dst_port);
+    note_dropped(packet, sim_.now());
     return;
   }
 
@@ -193,6 +210,223 @@ void Fabric::send(Packet packet) {
   deliver_packet(std::move(packet), extra_delay);
 }
 
+void Fabric::send_flow(std::vector<FlowPacket> batch) {
+  // Packets fire from the event loop, so (like the scheduled sends this
+  // replaces) they never adopt the caller's ambient trace context: a flow
+  // packet's trace_id is whatever the caller stamped, usually 0.
+  const bool fabric_clean = injector_ == nullptr && loss_rate_ == 0.0;
+  struct InlineSend {
+    std::size_t index;
+    sim::Time when;
+  };
+  std::vector<InlineSend> inline_sends;
+  inline_sends.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    FlowPacket& fp = batch[i];
+    if (fabric_clean && sink_for(fp.packet.dst) != nullptr) {
+      inline_sends.push_back({i, fp.when});
+      continue;
+    }
+    // Ineligible (lossy/faulty fabric, or a non-darknet destination):
+    // exactly the per-packet scheduling this API replaces.
+    sim_.at(fp.when, [this, packet = std::move(fp.packet)]() mutable {
+      send(std::move(packet));
+    });
+  }
+  if (inline_sends.empty()) return;
+
+  // Phase 1 — sends, in the order the event queue would run them: by time,
+  // ties broken by scheduling (input) order.
+  std::stable_sort(inline_sends.begin(), inline_sends.end(),
+                   [](const InlineSend& lhs, const InlineSend& rhs) {
+                     return lhs.when < rhs.when;
+                   });
+  struct InlineDelivery {
+    sim::Time when;
+    std::size_t rank;  // send order == the delivery event's scheduling order
+    std::size_t index;
+    sim::Duration delay;
+  };
+  std::vector<InlineDelivery> deliveries;
+  deliveries.reserve(inline_sends.size());
+  for (std::size_t rank = 0; rank < inline_sends.size(); ++rank) {
+    const InlineSend& entry = inline_sends[rank];
+    const Packet& packet = batch[entry.index].packet;
+    note_sent(packet, entry.when);
+    const sim::Duration delay = sample_latency(packet);
+    deliveries.push_back({entry.when + delay, rank, entry.index, delay});
+  }
+
+  // Phase 2 — darknet deliveries, again in event-queue order. Running all
+  // sends before all deliveries is safe because taps and sinks are
+  // independent observers keyed by the `when` timestamps they are handed.
+  std::stable_sort(deliveries.begin(), deliveries.end(),
+                   [](const InlineDelivery& lhs, const InlineDelivery& rhs) {
+                     return lhs.when != rhs.when ? lhs.when < rhs.when
+                                                 : lhs.rank < rhs.rank;
+                   });
+  for (const InlineDelivery& entry : deliveries) {
+    const Packet& packet = batch[entry.index].packet;
+    note_delivered(packet, entry.delay, entry.when);
+    sink_for(packet.dst)->observe(packet, entry.when);
+  }
+}
+
+void Fabric::send_flood(std::vector<Packet> packets) {
+  if (packets.empty()) return;
+  // send() semantics: synchronous sends from the caller's context, so the
+  // ambient causal id is adopted here.
+  for (Packet& packet : packets) {
+    if (packet.trace_id == 0) packet.trace_id = obs::current_trace_id();
+  }
+
+  const util::Ipv4Addr victim = packets.front().dst;
+  const std::uint16_t port = packets.front().dst_port;
+  bool uniform = true;
+  for (const Packet& packet : packets) {
+    if (packet.dst.value() != victim.value() || packet.dst_port != port ||
+        packet.transport != Transport::kTcp || !packet.is_syn_only()) {
+      uniform = false;
+      break;
+    }
+  }
+  LazyHostSource::Verdict verdict = LazyHostSource::Verdict::kNotOwned;
+  bool emulate = uniform && injector_ == nullptr && loss_rate_ == 0.0 &&
+                 lazy_source_ != nullptr && host_at(victim) == nullptr &&
+                 sink_for(victim) == nullptr;
+  if (emulate) {
+    verdict = lazy_source_->classify(packets.front());
+    emulate = verdict == LazyHostSource::Verdict::kMaterialize ||
+              verdict == LazyHostSource::Verdict::kReset;
+  }
+  if (!emulate) {
+    for (Packet& packet : packets) send(std::move(packet));
+    return;
+  }
+
+  // Emulated flood: the victim is owned but unmaterialized, and its
+  // TCP-lite passive-open behaviour is a pure function of (listener
+  // prediction, half-open ledger), so the whole exchange resolves inline.
+  const sim::Time t0 = sim_.now();
+  struct SynDelivery {
+    sim::Time when;
+    std::size_t index;
+    sim::Duration delay;
+  };
+  std::vector<SynDelivery> syns;
+  syns.reserve(packets.size());
+  // Send-side effects run synchronously in input order, exactly as the
+  // per-packet send() loop would.
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    note_sent(packets[i], t0);
+    const sim::Duration delay = sample_latency(packets[i]);
+    syns.push_back({t0 + delay, i, delay});
+  }
+  std::stable_sort(syns.begin(), syns.end(),
+                   [](const SynDelivery& lhs, const SynDelivery& rhs) {
+                     return lhs.when < rhs.when;
+                   });
+
+  // The victim's virtual kSynReceived entries. Entries whose GC horizon
+  // already passed can never influence a query at t >= t0 again.
+  auto& ledger = virtual_half_open_[victim.value()];
+  std::erase_if(ledger,
+                [t0](const VirtualHalfOpen& entry) { return entry.gc <= t0; });
+
+  struct ReplyDelivery {
+    Packet packet;
+    sim::Time when;
+    sim::Duration delay;
+    std::size_t rank;
+    PacketSink* sink;  // nullptr: consumed by an owned address, or dropped
+    bool dropped;
+  };
+  std::vector<ReplyDelivery> replies;
+  replies.reserve(packets.size());
+  std::size_t rank = 0;
+  for (const SynDelivery& entry : syns) {
+    const Packet& syn = packets[entry.index];
+    const sim::Time t = entry.when;
+    note_delivered(syn, entry.delay, t);
+
+    // Mirror TcpStack::handle's passive-open decision. A connection "exists"
+    // if a live ledger entry holds the same (src, src_port) key.
+    const std::uint64_t conn_key =
+        (std::uint64_t{syn.src.value()} << 16) | syn.src_port;
+    bool conn_exists = false;
+    std::size_t half_open = 0;
+    for (const VirtualHalfOpen& live : ledger) {
+      if (live.gc > t) {
+        ++half_open;
+        if (live.key == conn_key) conn_exists = true;
+      }
+    }
+
+    Packet reply;
+    reply.src = victim;
+    reply.dst = syn.src;
+    reply.src_port = port;
+    reply.dst_port = syn.src_port;
+    reply.transport = Transport::kTcp;
+    reply.trace_id = syn.trace_id;
+    const bool accept = verdict == LazyHostSource::Verdict::kMaterialize &&
+                        !conn_exists &&
+                        half_open < TcpStack::kDefaultBacklogLimit;
+    if (accept) {
+      obs::trace_event(obs::TraceEventType::kTcpState, t, syn.trace_id,
+                       victim.value(), syn.src.value(), port,
+                       static_cast<std::uint8_t>(obs::TcpTrace::kSynReceived));
+      reply.tcp_flags = TcpFlags::kSyn | TcpFlags::kAck;
+      ledger.push_back({conn_key, t + TcpStack::kHalfOpenGcDelay});
+    } else {
+      if (verdict == LazyHostSource::Verdict::kMaterialize && !conn_exists) {
+        note_emulated_backlog_drop();  // refused for capacity, not absence
+      }
+      // Like the real inline-RST path: no tcp.resets_sent, no state trace.
+      reply.tcp_flags = TcpFlags::kRst;
+    }
+
+    note_sent(reply, t);
+    const sim::Duration reply_delay = sample_latency(reply);
+    const sim::Time reply_when = t + reply_delay;
+    if (PacketSink* sink = sink_for(reply.dst)) {
+      // Backscatter into a darknet: the common case for spoofed sources.
+      replies.push_back(
+          {std::move(reply), reply_when, reply_delay, rank++, sink, false});
+    } else if (host_at(reply.dst) != nullptr) {
+      // A spoofed source colliding with a registered host: hand off to the
+      // event path at the send time so delivery-time host resolution (the
+      // churn rule) stays exact.
+      sim_.at(t, [this, reply = std::move(reply)]() mutable {
+        deliver_packet(std::move(reply), 0);
+      });
+    } else if (lazy_source_->classify(reply) !=
+               LazyHostSource::Verdict::kNotOwned) {
+      // Owned but unmaterialized: a real stack ignores a SYN|ACK or RST
+      // with no matching connection — delivered, consumed, no reaction.
+      replies.push_back(
+          {std::move(reply), reply_when, reply_delay, rank++, nullptr, false});
+    } else {
+      replies.push_back(
+          {std::move(reply), reply_when, reply_delay, rank++, nullptr, true});
+    }
+  }
+
+  std::stable_sort(replies.begin(), replies.end(),
+                   [](const ReplyDelivery& lhs, const ReplyDelivery& rhs) {
+                     return lhs.when != rhs.when ? lhs.when < rhs.when
+                                                 : lhs.rank < rhs.rank;
+                   });
+  for (const ReplyDelivery& entry : replies) {
+    if (entry.dropped) {
+      note_dropped(entry.packet, entry.when);
+    } else {
+      note_delivered(entry.packet, entry.delay, entry.when);
+      if (entry.sink != nullptr) entry.sink->observe(entry.packet, entry.when);
+    }
+  }
+}
+
 void Fabric::deliver_packet(Packet packet, sim::Duration extra_delay) {
   // Darknet ranges swallow traffic into their sink: no host ever answers.
   for (const auto& darknet : darknets_) {
@@ -200,13 +434,7 @@ void Fabric::deliver_packet(Packet packet, sim::Duration extra_delay) {
       PacketSink* sink = darknet.sink;
       const sim::Duration delay = sample_latency(packet) + extra_delay;
       sim_.after(delay, [sink, packet = std::move(packet), delay, this] {
-        ++packets_delivered_;
-        metrics().delivered.inc();
-        metrics().inflight.sub(1);
-        metrics().latency.observe(delay);
-        obs::trace_event(obs::TraceEventType::kPacketDeliver, sim_.now(),
-                         packet.trace_id, packet.src.value(),
-                         packet.dst.value(), packet.dst_port);
+        note_delivered(packet, delay, sim_.now());
         sink->observe(packet, sim_.now());
       });
       return;
@@ -219,22 +447,45 @@ void Fabric::deliver_packet(Packet packet, sim::Duration extra_delay) {
     // flight, in which case the packet is silently lost (as on the real
     // Internet when a route disappears).
     Host* host = host_at(packet.dst);
+    if (host == nullptr && lazy_source_ != nullptr) {
+      // The address may be owned by the lazy source: an unmaterialized
+      // population device. classify() answers what the real stacks would
+      // do so most packets never force a Host into existence.
+      switch (lazy_source_->classify(packet)) {
+        case LazyHostSource::Verdict::kNotOwned:
+          break;  // genuinely unrouted: fall through to the drop path
+        case LazyHostSource::Verdict::kConsume:
+          // Delivered into a real stack that would not react (stray ACK,
+          // unbound UDP port): accounting only.
+          note_delivered(packet, delay, sim_.now());
+          return;
+        case LazyHostSource::Verdict::kReset: {
+          note_delivered(packet, delay, sim_.now());
+          // Mirror TcpStack::handle's closed-port reply: a manual RST
+          // through the normal send path, inheriting the SYN's causal id
+          // (the real path adopts it from the delivery's ambient context).
+          // Like that inline path, this does not count tcp.resets_sent.
+          Packet rst;
+          rst.src = packet.dst;
+          rst.dst = packet.src;
+          rst.src_port = packet.dst_port;
+          rst.dst_port = packet.src_port;
+          rst.transport = Transport::kTcp;
+          rst.tcp_flags = TcpFlags::kRst;
+          rst.trace_id = packet.trace_id;
+          send(std::move(rst));
+          return;
+        }
+        case LazyHostSource::Verdict::kMaterialize:
+          host = lazy_source_->materialize(packet.dst);
+          break;
+      }
+    }
     if (host == nullptr) {
-      ++packets_dropped_;
-      metrics().dropped.inc();
-      metrics().inflight.sub(1);
-      obs::trace_event(obs::TraceEventType::kPacketDrop, sim_.now(),
-                       packet.trace_id, packet.src.value(),
-                       packet.dst.value(), packet.dst_port);
+      note_dropped(packet, sim_.now());
       return;
     }
-    ++packets_delivered_;
-    metrics().delivered.inc();
-    metrics().inflight.sub(1);
-    metrics().latency.observe(delay);
-    obs::trace_event(obs::TraceEventType::kPacketDeliver, sim_.now(),
-                     packet.trace_id, packet.src.value(), packet.dst.value(),
-                     packet.dst_port);
+    note_delivered(packet, delay, sim_.now());
     host->deliver(packet);
   });
 }

@@ -26,6 +26,37 @@ class PacketSink {
   virtual void observe(const Packet& packet, sim::Time when) = 0;
 };
 
+// Owns addresses without keeping a live Host per address. The population
+// registers itself as the fabric's lazy source so millions of hosts exist
+// as packed columns; a real Host is materialized only when a packet would
+// actually change its state. classify() must be a pure function of the
+// packet and the source's immutable columns — it is consulted at delivery
+// time and must answer exactly what the materialized host's stacks would do.
+class LazyHostSource {
+ public:
+  // What delivering this packet to the (unmaterialized) owner would do.
+  enum class Verdict : std::uint8_t {
+    kNotOwned,      // address is not ours: normal drop path applies
+    kConsume,       // delivered, no reply, no state change (e.g. stray ACK)
+    kReset,         // delivered; a closed TCP port answers the SYN with RST
+    kMaterialize,   // packet reaches a bound service: build the real Host
+  };
+
+  virtual ~LazyHostSource() = default;
+  virtual Verdict classify(const Packet& packet) const = 0;
+  // Builds, attaches and returns the Host for an owned address. Only called
+  // after classify() returned kMaterialize for a packet to that address.
+  virtual Host* materialize(util::Ipv4Addr addr) = 0;
+};
+
+// One packet of a flow batch: a send scheduled for `when`. Fabric::send_flow
+// takes these in bulk so floods and background radiation skip per-packet
+// event-queue traffic.
+struct FlowPacket {
+  Packet packet;
+  sim::Time when = 0;
+};
+
 class Fabric {
  public:
   Fabric(sim::Simulation& sim, std::uint64_t seed)
@@ -53,8 +84,40 @@ class Fabric {
   // Taps observe every packet accepted by the fabric.
   void add_tap(PacketSink& tap) { taps_.push_back(&tap); }
 
+  // Installs (or clears, with nullptr) the lazy host source. Last one wins;
+  // the population installs itself on attach_all and clears on detach_all.
+  void set_lazy_source(LazyHostSource* source) { lazy_source_ = source; }
+  // Clears only if `source` is still the installed one (a later population
+  // may have replaced it).
+  void clear_lazy_source(const LazyHostSource* source) {
+    if (lazy_source_ == source) lazy_source_ = nullptr;
+  }
+  LazyHostSource* lazy_source() const { return lazy_source_; }
+
   // Injects a packet; delivery is scheduled after the latency model.
   void send(Packet packet);
+
+  // Sends a batch of scheduled packets. Semantically identical to
+  //   for (fp : batch) sim.at(fp.when, [fp]{ send(fp.packet); })
+  // (with when <= now sent synchronously, in input order), but packets bound
+  // for a darknet range on a clean fabric (no loss, no fault injector) are
+  // resolved inline: send-side and delivery-side accounting run in event-
+  // queue order without ever touching the simulation heap. Counters, taps,
+  // sink observations and traces carry the same timestamps and per-packet
+  // order the event path would produce; only the trace-ring interleaving of
+  // independent send/deliver records can differ (not golden-pinned). The
+  // fast path requires taps and sinks to be independent observers.
+  void send_flow(std::vector<FlowPacket> batch);
+
+  // Sends a SYN flood (same victim, same port, SYN-only TCP) now. When the
+  // victim is owned by the lazy source but not materialized, the victim's
+  // TCP-lite handshake response is emulated inline — per-SYN SYN|ACK or RST
+  // with a virtual half-open ledger standing in for real connection state —
+  // so a 2500-packet flood costs zero heap events and never materializes
+  // the victim. Falls back to per-packet send() whenever the emulation
+  // could diverge (injector or loss active, victim registered, mixed
+  // destinations, non-SYN packets).
+  void send_flood(std::vector<Packet> packets);
 
   // Latency/loss configuration.
   void set_latency(sim::Duration base, sim::Duration jitter) {
@@ -96,6 +159,19 @@ class Fabric {
   sim::Duration sample_latency(const Packet& packet) const;
   void deliver_packet(Packet packet, sim::Duration extra_delay);
   void apply_crash_window(const FaultWindow& window, bool restart);
+  // Send-side accounting exactly as send() performs it (counters, inflight,
+  // kPacketSend trace, tap observation) stamped at `when`.
+  void note_sent(const Packet& packet, sim::Time when);
+  // Delivery-side accounting exactly as the delivery event performs it.
+  void note_delivered(const Packet& packet, sim::Duration delay,
+                      sim::Time when);
+  void note_dropped(const Packet& packet, sim::Time when);
+  PacketSink* sink_for(util::Ipv4Addr addr) const {
+    for (const auto& darknet : darknets_) {
+      if (darknet.range.contains(addr)) return darknet.sink;
+    }
+    return nullptr;
+  }
 
   sim::Simulation& sim_;
   std::uint64_t seed_;
@@ -108,6 +184,17 @@ class Fabric {
   };
   std::vector<Darknet> darknets_;
   std::vector<PacketSink*> taps_;
+  LazyHostSource* lazy_source_ = nullptr;
+  // Virtual half-open connections per emulated flood victim: (connection
+  // key, GC deadline) pairs mirroring the kSynReceived entries a real
+  // TcpStack would hold, so overlapping emulated floods see each other's
+  // backlog pressure exactly as materialized stacks would.
+  struct VirtualHalfOpen {
+    std::uint64_t key;  // (src << 16) | src_port
+    sim::Time gc;       // entry silently expires at this time
+  };
+  std::unordered_map<std::uint32_t, std::vector<VirtualHalfOpen>>
+      virtual_half_open_;
   sim::Duration latency_base_ = sim::msec(20);
   sim::Duration latency_jitter_ = sim::msec(10);
   double loss_rate_ = 0.0;

@@ -183,7 +183,7 @@ void TcpStack::handle(const Packet& packet) {
                 key.local_port);
     send_flags(key, TcpFlags::kSyn | TcpFlags::kAck);
     // Garbage-collect half-open entries (e.g. spoofed SYNs never ACKed).
-    host_.sim().after(sim::seconds(30), [this, key] {
+    host_.sim().after(kHalfOpenGcDelay, [this, key] {
       TcpConnection* half = find(key);
       if (half != nullptr &&
           half->state_ == TcpConnection::State::kSynReceived) {
@@ -297,6 +297,8 @@ void TcpStack::erase(const ConnKey& key) {
   pending_connects_.erase(key);
   conns_.erase(key);
 }
+
+void note_emulated_backlog_drop() { metrics().backlog_drops.inc(); }
 
 std::size_t TcpStack::half_open_count() const {
   std::size_t n = 0;

@@ -86,6 +86,13 @@ enum class ConnectOutcome : std::uint8_t {
 
 class TcpStack {
  public:
+  // Shared with the fabric's SYN-flood emulation (net/fabric.cpp), which
+  // mirrors this stack's passive-open behaviour for unmaterialized victims:
+  // the two must agree on the backlog ceiling and the half-open GC horizon
+  // or emulated and real floods would diverge.
+  static constexpr std::size_t kDefaultBacklogLimit = 4096;
+  static constexpr sim::Duration kHalfOpenGcDelay = sim::seconds(30);
+
   // Invoked for each accepted inbound connection; install on_data/on_close
   // inside the handler.
   using AcceptHandler = std::function<void(TcpConnection&)>;
@@ -163,7 +170,13 @@ class TcpStack {
       pending_connects_;
   std::uint64_t next_generation_ = 0;
   std::uint16_t next_ephemeral_ = 32768;
-  std::size_t backlog_limit_ = 4096;
+  std::size_t backlog_limit_ = kDefaultBacklogLimit;
 };
+
+// Counts a backlog refusal against the same tcp.backlog_drops counter the
+// real stack increments, for the fabric's SYN-flood emulation: when the
+// flood victim is never materialized there is no TcpStack to do it, but the
+// metric must not depend on whether the victim happened to be lazy.
+void note_emulated_backlog_drop();
 
 }  // namespace ofh::net

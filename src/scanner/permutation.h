@@ -19,13 +19,27 @@ class AddressPermutation {
   AddressPermutation(std::uint64_t size, std::uint64_t seed) : size_(size) {
     modulus_ = 1;
     while (modulus_ < size_) modulus_ <<= 1;
-    if (modulus_ < 2) modulus_ = 2;
-    // Hull–Dobell: c odd, a ≡ 1 (mod 4) gives full period over 2^k.
     const std::uint64_t h1 = util::splitmix64(seed);
     const std::uint64_t h2 = util::splitmix64(seed ^ 0x5851f42d4c957f2dULL);
-    multiplier_ = ((h1 & (modulus_ - 1)) & ~std::uint64_t{3}) | 1 | 4;
-    increment_ = (h2 & (modulus_ - 1)) | 1;
-    state_ = h1 >> 7 & (modulus_ - 1);
+    if (modulus_ < 64) {
+      // Tiny sizes degenerate under the masked derivation below: with
+      // modulus <= 4 the multiplier is forced to 5 ≡ 1 (mod 4), so the LCG
+      // collapses to a pure increment walk (a near-identity permutation).
+      // Widen the cycle to 64 states (rejection keeps outputs in range)
+      // and fold the full hash words so every seed bit reaches the
+      // parameters instead of only the low masked bits.
+      modulus_ = 64;
+      const std::uint64_t f1 = h1 ^ (h1 >> 32) ^ (h1 >> 16) ^ (h1 >> 8);
+      const std::uint64_t f2 = h2 ^ (h2 >> 32) ^ (h2 >> 16) ^ (h2 >> 8);
+      multiplier_ = ((f1 & 63) & ~std::uint64_t{3}) | 1 | 4;
+      increment_ = (f2 & 63) | 1;
+      state_ = (h1 >> 7) & 63;
+    } else {
+      // Hull–Dobell: c odd, a ≡ 1 (mod 4) gives full period over 2^k.
+      multiplier_ = ((h1 & (modulus_ - 1)) & ~std::uint64_t{3}) | 1 | 4;
+      increment_ = (h2 & (modulus_ - 1)) | 1;
+      state_ = h1 >> 7 & (modulus_ - 1);
+    }
     first_ = state_;
   }
 

@@ -2,11 +2,17 @@
 // for later classification (§3.1). One record per responsive (host, port,
 // protocol); raw response bytes are preserved (IAC sequences and all) since
 // honeypot fingerprinting matches on exact bytes.
+//
+// Layout is scale-oriented: records live in one append-only arena and
+// per-protocol host sets are sorted runs (append-then-sort/unique on first
+// query) instead of node-based std::set. At paper scale a sweep lands
+// millions of records; a red-black tree insert per record was ~100 bytes of
+// node overhead plus a cache miss each, while the sorted run costs 4 bytes
+// amortized and one O(n log n) pass when the report layer finally asks.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -26,8 +32,15 @@ struct ScanRecord {
 
 class ScanDb {
  public:
+  // Reserve-ahead for sharded sweeps: a caller that can bound the record
+  // volume (core/study.cpp sums its shard sizes before the merge fold)
+  // pre-sizes the arena once so the fold never reallocates mid-merge.
+  // tests/parallel_test.cpp asserts capacity stability across the merge.
+  void reserve(std::size_t records) { records_.reserve(records); }
+  std::size_t records_capacity() const { return records_.capacity(); }
+
   void add(ScanRecord record) {
-    hosts_by_protocol_[record.protocol].insert(record.host.value());
+    host_run(record.protocol).push_back(record.host.value());
     records_.push_back(std::move(record));
   }
 
@@ -43,17 +56,24 @@ class ScanDb {
     return out;
   }
 
-  // Unique responsive hosts per protocol (paper Table 4 is counted this way).
+  // Unique responsive hosts per protocol (paper Table 4 is counted this
+  // way). Sorts the protocol's run in place on first query after an append;
+  // queries between appends stay O(1).
   std::uint64_t unique_hosts(proto::Protocol protocol) const {
-    const auto it = hosts_by_protocol_.find(protocol);
-    return it == hosts_by_protocol_.end() ? 0 : it->second.size();
+    return sorted_run(protocol).size();
   }
 
   std::uint64_t unique_hosts_total() const {
-    std::set<std::uint32_t> all;
-    for (const auto& [protocol, hosts] : hosts_by_protocol_) {
-      all.insert(hosts.begin(), hosts.end());
+    std::vector<std::uint32_t> all;
+    std::size_t total = 0;
+    for (const auto& run : host_runs_) total += run.size();
+    all.reserve(total);
+    for (std::size_t i = 0; i < kProtocolSlots; ++i) {
+      const auto& run = sorted_run(static_cast<proto::Protocol>(i));
+      all.insert(all.end(), run.begin(), run.end());
     }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
     return all.size();
   }
 
@@ -79,8 +99,33 @@ class ScanDb {
   std::uint64_t retries() const { return retries_; }
 
  private:
+  // One run per Protocol enumerator; the tail entries (honeypot-side
+  // protocols) usually stay empty and cost one empty vector each.
+  static constexpr std::size_t kProtocolSlots =
+      static_cast<std::size_t>(proto::Protocol::kS7) + 1;
+
+  std::vector<std::uint32_t>& host_run(proto::Protocol protocol) {
+    return host_runs_[static_cast<std::size_t>(protocol)];
+  }
+
+  // Lazily restores the run's sorted/deduplicated invariant. `sorted_`
+  // tracks how much of the run the last sort covered; appends past that
+  // watermark trigger a re-sort on the next query.
+  const std::vector<std::uint32_t>& sorted_run(
+      proto::Protocol protocol) const {
+    const auto index = static_cast<std::size_t>(protocol);
+    auto& run = host_runs_[index];
+    if (sorted_[index] != run.size()) {
+      std::sort(run.begin(), run.end());
+      run.erase(std::unique(run.begin(), run.end()), run.end());
+      sorted_[index] = run.size();
+    }
+    return run;
+  }
+
   std::vector<ScanRecord> records_;
-  std::map<proto::Protocol, std::set<std::uint32_t>> hosts_by_protocol_;
+  mutable std::vector<std::uint32_t> host_runs_[kProtocolSlots];
+  mutable std::size_t sorted_[kProtocolSlots] = {};
   std::uint64_t probes_sent_ = 0;
   std::uint64_t responsive_ = 0;
   std::uint64_t refused_ = 0;

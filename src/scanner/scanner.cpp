@@ -1,5 +1,6 @@
 #include "scanner/scanner.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "obs/metrics.h"
@@ -76,6 +77,11 @@ struct Scanner::Sweep {
     std::uint64_t size;
   };
   std::vector<Range> ranges;
+  // ends[i] = cumulative address count through ranges[0..i]; address_at
+  // binary-searches it, so the per-probe lookup is O(log ranges) instead of
+  // a linear walk (at paper scale a sweep spans thousands of prefixes and
+  // issues one lookup per permutation index).
+  std::vector<std::uint64_t> ends;
   std::unique_ptr<AddressPermutation> permutation;
   std::uint64_t outstanding = 0;
   bool exhausted = false;
@@ -88,13 +94,12 @@ struct Scanner::Sweep {
   obs::Counter responses_by_proto;
 
   util::Ipv4Addr address_at(std::uint64_t index) const {
-    for (const auto& range : ranges) {
-      if (index < range.size) {
-        return util::Ipv4Addr(range.base + static_cast<std::uint32_t>(index));
-      }
-      index -= range.size;
-    }
-    return util::Ipv4Addr(0);
+    const auto it = std::upper_bound(ends.begin(), ends.end(), index);
+    if (it == ends.end()) return util::Ipv4Addr(0);
+    const auto slot = static_cast<std::size_t>(it - ends.begin());
+    const std::uint64_t start = slot == 0 ? 0 : ends[slot - 1];
+    return util::Ipv4Addr(ranges[slot].base +
+                          static_cast<std::uint32_t>(index - start));
   }
 
   bool blocked(util::Ipv4Addr addr) const {
@@ -117,9 +122,12 @@ void Scanner::start(ScanConfig config, DoneCallback done) {
       obs::counter(obs::labeled("scanner.responses", "protocol", proto_name));
 
   std::uint64_t total = 0;
+  sweep->ranges.reserve(sweep->config.targets.size());
+  sweep->ends.reserve(sweep->config.targets.size());
   for (const auto& target : sweep->config.targets) {
     sweep->ranges.push_back({target.base().value(), target.size()});
     total += target.size();
+    sweep->ends.push_back(total);
   }
   sweep->permutation =
       std::make_unique<AddressPermutation>(total, sweep->config.seed);

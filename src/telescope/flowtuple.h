@@ -24,7 +24,9 @@ struct FlowTuple {
   net::Transport transport = net::Transport::kTcp;
   std::uint8_t ttl = 0;
   std::uint8_t tcp_flags = 0;
-  std::uint32_t packet_count = 0;
+  // 64-bit: the paper's telescope absorbs 2.7B requests/day (Table 8), so
+  // a month-long tuple at full scale wraps 32 bits.
+  std::uint64_t packet_count = 0;
   std::uint64_t byte_count = 0;
   bool is_spoofed = false;
   bool is_masscan = false;

@@ -43,15 +43,21 @@ std::optional<proto::Protocol> protocol_for_port(std::uint16_t port) {
 }
 
 void Telescope::observe(const net::Packet& packet, sim::Time when) {
-  ++total_packets_;
-  metrics().packets.inc();
+  observe_aggregate(packet, when, 1);
+}
+
+void Telescope::observe_aggregate(const net::Packet& packet, sim::Time when,
+                                  std::uint64_t count) {
+  if (count == 0) return;
+  total_packets_ += count;
+  metrics().packets.inc(count);
   if (packet.spoofed_src) {
-    ++spoofed_packets_;
-    metrics().spoofed.inc();
+    spoofed_packets_ += count;
+    metrics().spoofed.inc(count);
   }
   if (packet.from_masscan) {
-    ++masscan_packets_;
-    metrics().masscan.inc();
+    masscan_packets_ += count;
+    metrics().masscan.inc(count);
   }
 
   const std::uint64_t minute = when / sim::minutes(1);
@@ -80,11 +86,11 @@ void Telescope::observe(const net::Packet& packet, sim::Time when) {
     tuple.is_spoofed = packet.spoofed_src;
     tuple.is_masscan = packet.from_masscan;
   }
-  ++tuple.packet_count;
-  tuple.byte_count += packet.wire_size();
+  tuple.packet_count += count;
+  tuple.byte_count += count * packet.wire_size();
 
   if (const auto protocol = protocol_for_port(packet.dst_port)) {
-    ++packets_by_protocol_[*protocol];
+    packets_by_protocol_[*protocol] += count;
     sources_by_protocol_[*protocol].insert(packet.src.value());
   }
 }

@@ -102,9 +102,9 @@ TEST(Correlate, ComputesOverlap) {
 
   // Pretend our scan found every exposed CoAP host.
   std::set<std::uint32_t> ours;
-  for (const auto& device : population.devices()) {
-    if (device->spec().primary == Protocol::kCoap) {
-      ours.insert(device->address().value());
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    if (population.primary_at(i) == Protocol::kCoap) {
+      ours.insert(population.address_at(i).value());
     }
   }
   const auto result = correlate(ours, shodan, Protocol::kCoap);

@@ -47,11 +47,10 @@ TEST(Population, BuildIsDeterministic) {
   Population a(small_spec()), b(small_spec());
   a.build();
   b.build();
-  ASSERT_EQ(a.devices().size(), b.devices().size());
-  for (std::size_t i = 0; i < a.devices().size(); ++i) {
-    EXPECT_EQ(a.devices()[i]->address(), b.devices()[i]->address());
-    EXPECT_EQ(a.devices()[i]->spec().misconfig,
-              b.devices()[i]->spec().misconfig);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::uint64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.address_at(i), b.address_at(i));
+    EXPECT_EQ(a.misconfig_at(i), b.misconfig_at(i));
   }
 }
 
@@ -63,9 +62,9 @@ TEST(Population, DifferentSeedsDiffer) {
   a.build();
   b.build();
   int differing = 0;
-  const auto count = std::min(a.devices().size(), b.devices().size());
-  for (std::size_t i = 0; i < count; ++i) {
-    if (a.devices()[i]->address() != b.devices()[i]->address()) ++differing;
+  const auto count = std::min(a.size(), b.size());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (a.address_at(i) != b.address_at(i)) ++differing;
   }
   EXPECT_GT(differing, 0);
 }
@@ -74,13 +73,14 @@ TEST(Population, AddressesAreUniqueAndInsidePrefixes) {
   Population population(small_spec(1.0 / 2'048));
   population.build();
   std::set<std::uint32_t> seen;
-  for (const auto& device : population.devices()) {
-    EXPECT_TRUE(seen.insert(device->address().value()).second);
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    const auto address = population.address_at(i);
+    EXPECT_TRUE(seen.insert(address.value()).second);
     bool covered = false;
     for (const auto& prefix : population.prefixes()) {
-      if (prefix.contains(device->address())) covered = true;
+      if (prefix.contains(address)) covered = true;
     }
-    EXPECT_TRUE(covered) << device->address().to_string();
+    EXPECT_TRUE(covered) << address.to_string();
   }
 }
 
@@ -111,9 +111,9 @@ TEST(Population, InfectedShareIsSmallSubsetOfMisconfigured) {
   const auto misconfigured = population.misconfigured_count();
   EXPECT_GT(misconfigured, 0u);
   EXPECT_LT(infected, misconfigured / 20);  // paper: ~0.61%
-  for (const auto& device : population.devices()) {
-    if (device->spec().infected) {
-      EXPECT_TRUE(device->misconfigured());  // only misconfigured get bots
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    if (population.infected_at(i)) {
+      EXPECT_TRUE(population.misconfigured_at(i));  // only misconfigured
     }
   }
 }
@@ -122,8 +122,8 @@ TEST(Population, CountryAllocationFollowsTable10Order) {
   Population population(small_spec(1.0 / 1'024));
   population.build();
   util::Counter countries;
-  for (const auto& device : population.devices()) {
-    countries.add(device->spec().country);
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    countries.add(population.country_at(i));
   }
   // USA should dominate (27% in the paper).
   const auto ranked = countries.ranked();
@@ -148,8 +148,8 @@ TEST(Population, AllocateExtraNeverCollides) {
   Population population(small_spec());
   population.build();
   std::set<std::uint32_t> device_addresses;
-  for (const auto& device : population.devices()) {
-    device_addresses.insert(device->address().value());
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    device_addresses.insert(population.address_at(i).value());
   }
   std::set<std::uint32_t> extras;
   for (int i = 0; i < 50; ++i) {

@@ -272,14 +272,14 @@ TEST(Epidemic, OnlySusceptibleDevicesGetInfected) {
   epidemic.deploy(fabric);
   sim.run_until(sim::days(3));
 
-  for (const auto& device : population.devices()) {
-    if (!epidemic.is_infected(device->address())) continue;
-    const auto& device_spec = device->spec();
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    if (!epidemic.is_infected(population.address_at(i))) continue;
+    const auto misconfig = population.misconfig_at(i);
     const bool susceptible =
-        device_spec.misconfig == devices::Misconfig::kTelnetNoAuth ||
-        device_spec.misconfig == devices::Misconfig::kTelnetNoAuthRoot ||
-        device_spec.weak_credentials;
-    EXPECT_TRUE(susceptible) << device->address().to_string();
+        misconfig == devices::Misconfig::kTelnetNoAuth ||
+        misconfig == devices::Misconfig::kTelnetNoAuthRoot ||
+        population.weak_credentials_at(i);
+    EXPECT_TRUE(susceptible) << population.address_at(i).to_string();
   }
 }
 

@@ -1,0 +1,45 @@
+// Fleet scale-safety tests: the background-radiation day count and the
+// 64-bit flood plumbing. At telescope_rate_scale = 1 the Telnet pool emits
+// 2.7e9 packets/day — past what a 32-bit count holds — so these pin the
+// widened arithmetic against regressions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <type_traits>
+
+#include "attackers/fleet.h"
+#include "attackers/probes.h"
+
+namespace ofh::attackers {
+namespace {
+
+TEST(BgPacketsToday, PaperScaleTelnetVolumeDoesNotWrap) {
+  // 2.7e9 > 2^31: the historical static_cast<int> wrapped this negative
+  // and the generator emitted nothing for the day.
+  EXPECT_EQ(bg_packets_today(2.7e9), 2'700'000'000ull);
+  EXPECT_EQ(bg_packets_today(6e9), 6'000'000'000ull);  // > 2^32 too
+}
+
+TEST(BgPacketsToday, TruncatesFractionsLikeTheHistoricalCast) {
+  EXPECT_EQ(bg_packets_today(12.9), 12u);
+  EXPECT_EQ(bg_packets_today(0.99), 0u);
+}
+
+TEST(BgPacketsToday, NonPositiveAndNanEmitNothing) {
+  EXPECT_EQ(bg_packets_today(0.0), 0u);
+  EXPECT_EQ(bg_packets_today(-5.0), 0u);
+  EXPECT_EQ(bg_packets_today(std::nan("")), 0u);
+}
+
+// Flood sizes are 64-bit end to end: a narrower parameter would silently
+// truncate paper-scale bursts at the call boundary. Pinned at compile time
+// so a signature regression fails the build, not a 4-billion-packet test.
+static_assert(
+    std::is_same_v<decltype(&flood_coap),
+                   void (*)(net::Host&, util::Ipv4Addr, std::int64_t)>);
+static_assert(
+    std::is_same_v<decltype(&flood_ssdp),
+                   void (*)(net::Host&, util::Ipv4Addr, std::int64_t)>);
+
+}  // namespace
+}  // namespace ofh::attackers

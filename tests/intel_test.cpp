@@ -30,8 +30,8 @@ TEST(GeoDb, BuildsFromPopulationGroundTruth) {
   const GeoDb geo(population);
   EXPECT_EQ(geo.prefix_count(), population.prefixes().size());
   // Every device's lookup must equal the spec's planted country.
-  for (const auto& device : population.devices()) {
-    EXPECT_EQ(geo.country(device->address()), device->spec().country);
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    EXPECT_EQ(geo.country(population.address_at(i)), population.country_at(i));
   }
 }
 

@@ -147,6 +147,11 @@ TEST(ParallelScan, SerialAndParallelRunsAreByteIdentical) {
     study.run_datasets();
     EXPECT_EQ(serialize(study.scan_db()), reference)
         << "scan_threads=" << threads;
+    // Capacity stability: run_scan reserves the exact merged record count
+    // before the fold, so the arena never grew past one allocation — the
+    // capacity equals the size instead of a geometric overshoot.
+    EXPECT_EQ(study.scan_db().records_capacity(), study.scan_db().size())
+        << "scan_threads=" << threads;
     // The deterministic telemetry exports are byte-identical too: every
     // Domain::kSim cell is an order-independent sum over identical
     // per-shard work, and wall-domain metrics never reach these exports.

@@ -1,0 +1,65 @@
+// Scale smoke tests: run the study pipeline at population scales far above
+// the unit-test default and assert the conservation identities that every
+// fast path must preserve:
+//   packets: sent == delivered + dropped + faulted   (after drain)
+//   probes:  sent == responsive + refused + unresolved
+// The flow-level fast paths (net/fabric.h send_flow/send_flood) and lazy
+// materialization are exactly the machinery that could break these at
+// scale while staying invisible at 1/8192. Scale 1/64 runs in every suite
+// invocation; 1/8 (1.8M devices) is minutes of work and gated behind
+// OFH_SCALE8=1 (scripts/ci.sh's non-gating perf step covers it instead).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/study.h"
+
+namespace ofh::core {
+namespace {
+
+void expect_conservation(double population_scale) {
+  StudyConfig config;
+  config.population_scale = population_scale;
+  config.attack_scale = 1.0 / 2'048;
+  config.attack_duration = sim::days(2);
+  config.scan_threads = 2;
+  Study study(config);
+  study.setup_internet();
+  study.run_scan();
+  study.run_attack_month();
+  // Let late deliveries (last-day background radiation, TCP teardowns)
+  // drain so inflight is zero and the packet identity is exact.
+  study.sim().run_until(study.sim().now() + sim::hours(2));
+
+  const auto& fabric = study.fabric();
+  EXPECT_EQ(fabric.packets_sent(),
+            fabric.packets_delivered() + fabric.packets_dropped() +
+                fabric.packets_faulted())
+      << "sent " << fabric.packets_sent() << " delivered "
+      << fabric.packets_delivered() << " dropped "
+      << fabric.packets_dropped() << " faulted "
+      << fabric.packets_faulted();
+
+  const auto& db = study.scan_db();
+  EXPECT_EQ(db.probes_sent(),
+            db.responsive() + db.refused() + db.unresolved())
+      << "probes " << db.probes_sent() << " responsive " << db.responsive()
+      << " refused " << db.refused() << " unresolved " << db.unresolved();
+  EXPECT_GT(db.probes_sent(), 0u);
+  EXPECT_GT(db.unique_hosts_total(), 0u);
+  EXPECT_GT(study.attack_log().size(), 0u);
+}
+
+TEST(ScaleSmoke, ConservationHoldsAtScale64) {
+  expect_conservation(1.0 / 64);
+}
+
+TEST(ScaleSmoke, ConservationHoldsAtScale8) {
+  if (std::getenv("OFH_SCALE8") == nullptr) {
+    GTEST_SKIP() << "set OFH_SCALE8=1 to run the 1.8M-device smoke";
+  }
+  expect_conservation(1.0 / 8);
+}
+
+}  // namespace
+}  // namespace ofh::core

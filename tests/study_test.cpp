@@ -36,8 +36,11 @@ TEST_F(StudyTest, ScanRecoversEveryPlantedMisconfiguration) {
   // Recall: every misconfigured device the population planted must be in
   // the (filtered) findings, and nothing else.
   std::set<std::uint32_t> planted;
-  for (const auto& device : study().population().devices()) {
-    if (device->misconfigured()) planted.insert(device->address().value());
+  const auto& population = study().population();
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    if (population.misconfigured_at(i)) {
+      planted.insert(population.address_at(i).value());
+    }
   }
   std::set<std::uint32_t> found;
   for (const auto& finding : study().findings()) {
@@ -129,9 +132,10 @@ TEST_F(StudyTest, CorrelationFindsInfectedDevices) {
   // Every correlated address is a planted infected device or at least a
   // misconfigured one that attacked.
   std::set<std::uint32_t> misconfigured;
-  for (const auto& device : study().population().devices()) {
-    if (device->misconfigured()) {
-      misconfigured.insert(device->address().value());
+  const auto& population = study().population();
+  for (std::uint64_t i = 0; i < population.size(); ++i) {
+    if (population.misconfigured_at(i)) {
+      misconfigured.insert(population.address_at(i).value());
     }
   }
   const auto check = [&](const std::set<std::uint32_t>& bucket) {

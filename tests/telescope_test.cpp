@@ -60,6 +60,25 @@ TEST(Telescope, AggregatesRepeatedPacketsIntoOneTuplePerMinute) {
 // the same flows in opposite orders and demand byte-identical sequences —
 // the same contract tests/parallel_test proves end-to-end for the full
 // study's reports at scan_threads 1/2/8/hardware.
+TEST(Telescope, AggregateCountsPastFourBillionDoNotWrap) {
+  // Flow-level aggregation plants more packets in one call than a 32-bit
+  // counter holds (paper scale: 2.7e9/day); every downstream total must
+  // carry the full 64-bit count.
+  Telescope telescope(*util::Cidr::parse("44.0.0.0/8"));
+  const auto packet = syn(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(44, 0, 0, 1), 23);
+  const std::uint64_t kHuge = (std::uint64_t{1} << 32) + 7;
+  telescope.observe_aggregate(packet, sim::seconds(10), kHuge);
+  telescope.observe(packet, sim::seconds(20));  // equivalent to count 1
+
+  const auto tuples = telescope.tuples();
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples.front().packet_count, kHuge + 1);
+  EXPECT_EQ(tuples.front().byte_count, (kHuge + 1) * 40);  // bare SYNs
+  EXPECT_EQ(telescope.total_packets(), kHuge + 1);
+  EXPECT_EQ(telescope.packets_for(proto::Protocol::kTelnet), kHuge + 1);
+  EXPECT_EQ(telescope.unique_sources_for(proto::Protocol::kTelnet), 1u);
+}
+
 TEST(Telescope, TupleExportIsInsertionOrderIndependent) {
   const auto flows = [](Telescope& telescope, bool reversed) {
     std::vector<net::Packet> packets;
