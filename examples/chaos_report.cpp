@@ -1,86 +1,40 @@
-// Chaos quick-start: run the study three times — fault-free, under 5%
-// uniform packet loss with probe retries, and under a canned chaos schedule
-// (loss bursts, link flaps, partitions, latency spikes, refusal windows,
-// host crashes) — and print each run's degradation report against the
-// fault-free baseline. Every run is deterministic: same seed, same report,
-// regardless of scan_threads.
+// Chaos quick-start, now a thin wrapper over the scenario corpus: the three
+// configurations this example used to hard-code (fault-free reference, 5%
+// uniform loss recovered by retries, full canned chaos schedule) live in
+// tests/scenarios/{baseline_clean,flaky_network,chaos_degraded}.ofh, where
+// CI runs them as regression tests with regexp-pinned degradation reports.
+// This wrapper just executes those scenarios and prints the reports.
 //
-//   $ ./build/examples/chaos_report
+//   $ ./build/examples/chaos_report [scenario-dir]
 #include <cstdio>
+#include <string>
 
-#include "core/study.h"
-#include "devices/population.h"
-#include "net/faults.h"
+#include "core/scenario.h"
 
-using namespace ofh;
-
-namespace {
-
-core::StudyConfig base_config() {
-  core::StudyConfig config;
-  config.seed = 2021;
-  config.population_scale = 1.0 / 16'384;
-  config.attack_scale = 1.0 / 128;
-  config.attack_duration = sim::days(3);
-  return config;
-}
-
-// Chaos windows need victim ranges; derive them from a throwaway replica of
-// the same population the study will build (build() is pure in its spec).
-net::FaultSchedule canned_chaos(const core::StudyConfig& config) {
-  devices::PopulationSpec spec;
-  spec.seed = config.seed;
-  spec.scale = config.population_scale;
-  devices::Population population(spec);
-  population.build();
-  net::ChaosOptions options;
-  options.ranges = population.prefixes();
-  options.end = sim::days(10);
-  net::FaultSchedule schedule = net::FaultSchedule::chaos(config.seed, options);
-  schedule.uniform_loss = 0.02;
-  return schedule;
-}
-
-void banner(const char* title) {
-  std::printf("\n================ %s ================\n", title);
-}
-
-}  // namespace
-
-int main() {
-  // Run 1: fault-free reference.
-  banner("fault-free");
-  core::DegradationBaseline baseline;
-  {
-    core::Study study(base_config());
-    study.run_all();
-    baseline = study.baseline();
-    std::printf("%s", study.degradation_report().c_str());
-  }
-
-  // Run 2: 5% uniform loss, recovered by scanner retry/backoff and
-  // attack-session reconnects.
-  banner("uniform 5% loss + retries");
-  {
-    core::StudyConfig config = base_config();
-    config.fault_schedule.uniform_loss = 0.05;
-    config.scan_attempts = 4;
-    config.session_connect_attempts = 2;
-    core::Study study(config);
-    study.run_all();
-    std::printf("%s", study.degradation_report(&baseline).c_str());
-  }
-
-  // Run 3: the full chaos schedule — bursty loss plus every window kind.
-  banner("chaos schedule");
-  {
-    core::StudyConfig config = base_config();
-    config.fault_schedule = canned_chaos(config);
-    config.scan_attempts = 3;
-    config.session_connect_attempts = 2;
-    core::Study study(config);
-    study.run_all();
-    std::printf("%s", study.degradation_report(&baseline).c_str());
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/scenarios";
+  const char* const names[] = {"baseline_clean", "flaky_network",
+                               "chaos_degraded"};
+  for (const char* name : names) {
+    const std::string path = dir + "/" + name + ".ofh";
+    ofh::core::ScenarioError error;
+    const auto scenario = ofh::core::parse_scenario_file(path, &error);
+    if (!scenario) {
+      std::fprintf(stderr, "%s\n", error.to_string().c_str());
+      return 1;
+    }
+    std::printf("\n================ %s ================\n",
+                scenario->title.c_str());
+    ofh::core::ScenarioRunOptions options;
+    options.thread_sweep = {1};
+    const auto result = ofh::core::run_scenario(*scenario, options);
+    for (const auto& report : result.reports) {
+      std::printf("%s", report.text.c_str());
+    }
+    for (const auto& failure : result.failures) {
+      std::fprintf(stderr, "%s\n", failure.c_str());
+    }
+    if (!result.passed) return 1;
   }
   return 0;
 }

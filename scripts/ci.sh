@@ -24,7 +24,14 @@ fi
 echo "==> [1/3] RelWithDebInfo + -Werror"
 cmake --preset ci
 cmake --build --preset ci -j "$(nproc)"
-ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
+ctest --test-dir build-ci --output-on-failure -j "$(nproc)" -LE scenario
+
+# Scenario corpus (tests/scenarios/*.ofh): each file runs the full study at
+# scan_threads 1/2/8 and must emit byte-identical reports before its regexp
+# expectations are checked. Serial on purpose: the sweep inside each case is
+# the parallelism, and interleaved output would bury a first-diff line.
+echo "==> scenario corpus (serial, threads 1/2/8 byte-identity)"
+ctest --test-dir build-ci --output-on-failure -L scenario
 
 # Determinism lint: the static half of the byte-identical-replay contract.
 # Required — an unsuppressed nondeterminism source, unordered-iteration in an
@@ -58,20 +65,23 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 if [[ "$FAST" == "1" ]]; then
   ctest --test-dir build-ci-asan -L codec --output-on-failure -j "$(nproc)"
 else
-  ctest --test-dir build-ci-asan --output-on-failure -j "$(nproc)"
+  ctest --test-dir build-ci-asan --output-on-failure -j "$(nproc)" -LE scenario
 
-  # Chaos gate: the full study under a canned fault schedule (loss bursts,
-  # flaps, partitions, refusal windows, crashes) must hold its invariants
-  # with the sanitizers watching — packet conservation, scanner outcome
-  # accounting, no phase over its fault budget — and still report against
-  # the fault-free baseline.
-  echo "==> chaos degradation report (ASan+UBSan)"
-  ./build-ci-asan/examples/chaos_report > build-ci-asan/chaos_report.txt
-  grep -q "conservation=OK" build-ci-asan/chaos_report.txt
-  grep -q "accounting=OK" build-ci-asan/chaos_report.txt
-  grep -q "vs fault-free baseline" build-ci-asan/chaos_report.txt
-  ! grep -q "VIOLATED" build-ci-asan/chaos_report.txt
-  ! grep -q "OVER$" build-ci-asan/chaos_report.txt
+  # Chaos gate, corpus edition: the old chaos_report example's three
+  # configurations live in tests/scenarios/ as regexp-pinned scenarios
+  # (baseline_clean, flaky_network, chaos_degraded) and run here with the
+  # sanitizers watching — conservation, accounting and fault budgets
+  # included, since their expectations pin those exact report lines.
+  echo "==> scenario corpus (ASan+UBSan, serial)"
+  ctest --test-dir build-ci-asan --output-on-failure -L scenario
+
+  # Parser fuzz: 500 seeded corpus mutations through parse + (every 25th
+  # parsed mutant) the full pipeline. Hostile input must die as a typed
+  # ScenarioError; any UB or OOB dies loudly here instead of in a user's
+  # hand-edited scenario file.
+  echo "==> scenario_fuzz (ASan+UBSan, 500 iterations, fixed seed)"
+  ./build-ci-asan/tools/scenario/scenario_fuzz --seed=1 --iterations=500 \
+    tests/scenarios/*.ofh
 fi
 
 echo "==> [3/3] TSan + -Werror (thread-labelled tests)"

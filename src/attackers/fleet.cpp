@@ -82,25 +82,34 @@ void Fleet::deploy(net::Fabric& fabric, intel::ReverseDns& rdns,
   scan_config.on_listing = [this](const ListingEvent&) { listed_ = true; };
   std::vector<util::Ipv4Addr> addresses;
   for (const auto& target : targets_) addresses.push_back(target.address);
+  // The fleet object always exists (accessors like listings() stay valid);
+  // only its deployment is roster-gated, so a scan-services-off run simply
+  // never lists the honeypots and listing_boost never kicks in.
   scan_services_ = std::make_unique<ScanServiceFleet>(
       std::move(scan_config), addresses, telescope_.range());
-  scan_services_->deploy(fabric, rdns,
-                         [this] { return population_.allocate_extra(); });
+  if (config_.roster.scan_services) {
+    scan_services_->deploy(fabric, rdns,
+                           [this] { return population_.allocate_extra(); });
 
-  // GreyNoise knows most — not all — scanning-service sources (the paper
-  // found 2,023 of 10,696 missing from GreyNoise, ~81% coverage).
-  util::Rng gn_rng = rng_.fork("greynoise");
-  for (const auto addr : scan_services_->source_addresses()) {
-    if (gn_rng.chance(0.81)) {
-      greynoise.classify(addr, intel::GreyNoiseClass::kBenign);
+    // GreyNoise knows most — not all — scanning-service sources (the paper
+    // found 2,023 of 10,696 missing from GreyNoise, ~81% coverage).
+    util::Rng gn_rng = rng_.fork("greynoise");
+    for (const auto addr : scan_services_->source_addresses()) {
+      if (gn_rng.chance(0.81)) {
+        greynoise.classify(addr, intel::GreyNoiseClass::kBenign);
+      }
     }
   }
 
-  deploy_infected_devices(virustotal, censys);
-  deploy_external_attackers(rdns, virustotal, greynoise, censys);
-  deploy_dos_events();
-  deploy_multistage_attackers();
-  deploy_background_radiation(virustotal);
+  // Each group forks its own labelled rng stream, so the subset that runs
+  // is bit-identical to the same group inside a full campaign.
+  if (config_.roster.infected) deploy_infected_devices(virustotal, censys);
+  if (config_.roster.external) {
+    deploy_external_attackers(rdns, virustotal, greynoise, censys);
+  }
+  if (config_.roster.dos) deploy_dos_events();
+  if (config_.roster.multistage) deploy_multistage_attackers();
+  if (config_.roster.background) deploy_background_radiation(virustotal);
 }
 
 // ------------------------------------------------------------ infected bots

@@ -26,6 +26,26 @@
 
 namespace ofh::attackers {
 
+// Which attacker groups the fleet actually deploys. Every toggle defaults
+// on (the paper's full campaign); scenario files (core/scenario.h) switch
+// groups off to carve out single-pipeline runs — a Mirai-only outbreak is
+// `infected` alone, a telescope-only vantage point is `background` alone.
+// Each group draws from its own labelled rng fork, so disabling one never
+// shifts another group's arrival sequence.
+struct Roster {
+  bool scan_services = true;  // recurring benign scanners + public listings
+  bool infected = true;       // misconfigured-population bots (§5.3 sources)
+  bool external = true;       // Table 7 external malicious pool + Tor exits
+  bool dos = true;            // Figure 8 day-24/26 DoS spikes + RSDoS floods
+  bool multistage = true;     // Figure 9 scan->bruteforce->inject attackers
+  bool background = true;     // Table 8 telescope background radiation
+
+  bool all_enabled() const {
+    return scan_services && infected && external && dos && multistage &&
+           background;
+  }
+};
+
 struct FleetConfig {
   std::uint64_t seed = 99;
   sim::Duration duration = sim::days(30);
@@ -43,6 +63,8 @@ struct FleetConfig {
   // SYN retries per Telnet attack session when a connect times out under
   // fault injection (net/faults.h). 1 = no retries, the fault-free default.
   int session_connect_attempts = 1;
+  // Attacker-group toggles; see Roster above.
+  Roster roster;
 };
 
 // Whole packets a Table 8 pool emits on one day. Truncation (not rounding)

@@ -1,6 +1,7 @@
 #include "core/study.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -186,7 +187,153 @@ ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
 
 }  // namespace
 
+// ------------------------------------------------------- config validation
+//
+// Bounds are deliberately generous — they exist to stop the values a hostile
+// scenario file can feed in (zero/negative scales, 2^64 thread counts,
+// telescope ranges inside populated space), not to police reasonable
+// experiments. Every check is written NaN-safe: !(x > 0) catches NaN where
+// (x <= 0) would not.
+
+namespace {
+
+// population_scale 16 = 16x the paper's 14.4M hosts (~230M devices), well
+// past the roadmap's 10x goal; anything above that is a typo or an attack.
+constexpr double kMaxPopulationScale = 16.0;
+constexpr double kMaxAttackScale = 1e6;
+constexpr std::uint32_t kMaxScanBatch = 1'000'000;
+constexpr unsigned kMaxScanThreads = 1'024;
+constexpr std::uint32_t kMaxScanAttempts = 16;
+constexpr int kMaxSessionAttempts = 16;
+constexpr double kMaxListingBoost = 100.0;
+constexpr sim::Duration kMaxAttackDuration = sim::days(366);
+
+bool rate_ok(double rate) { return rate >= 0.0 && rate <= 1.0; }
+
+// True when the range shares at least one /8 with the population's address
+// pool. allocate_extra() hands honeypots/attackers addresses from the same
+// pool, so an overlapping telescope would capture (and double-count)
+// legitimate unicast traffic.
+bool overlaps_population(const util::Cidr& range) {
+  const int lo = range.first().octet(0);
+  const int hi = range.last().octet(0);
+  for (const auto base : devices::usable_slash8()) {
+    if (base >= lo && base <= hi) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::string> StudyConfig::validate() const {
+  if (!(population_scale > 0.0) || population_scale > kMaxPopulationScale) {
+    return "population_scale must be in (0, 16]";
+  }
+  if (!(attack_scale > 0.0) || attack_scale > kMaxAttackScale) {
+    return "attack_scale must be in (0, 1e6]";
+  }
+  if (attack_duration < sim::hours(1) || attack_duration > kMaxAttackDuration) {
+    return "attack_duration must be between 1 hour and 366 days";
+  }
+  if (scan_batch == 0 || scan_batch > kMaxScanBatch) {
+    return "scan_batch must be in [1, 1000000]";
+  }
+  if (scan_threads > kMaxScanThreads) {
+    return "scan_threads must be at most 1024 (0 = hardware)";
+  }
+  if (scan_attempts == 0 || scan_attempts > kMaxScanAttempts) {
+    return "scan_attempts must be in [1, 16]";
+  }
+  if (session_connect_attempts < 1 ||
+      session_connect_attempts > kMaxSessionAttempts) {
+    return "session_connect_attempts must be in [1, 16]";
+  }
+  if (!(listing_boost > 0.0) || listing_boost > kMaxListingBoost) {
+    return "listing_boost must be in (0, 100]";
+  }
+  if (telescope_range.prefix_len() > 24) {
+    return "telescope_range must be /24 or wider";
+  }
+  if (overlaps_population(telescope_range)) {
+    return "telescope_range overlaps the population address pool";
+  }
+  if (!(telescope_rate_scale > 0.0) || telescope_rate_scale > 1.0) {
+    return "telescope_rate_scale must be in (0, 1]";
+  }
+  if (!(telescope_source_scale > 0.0) || telescope_source_scale > 1.0) {
+    return "telescope_source_scale must be in (0, 1]";
+  }
+  if (!rate_ok(fault_budget)) {
+    return "fault_budget must be in [0, 1]";
+  }
+  if (!rate_ok(fault_schedule.uniform_loss) ||
+      !rate_ok(fault_schedule.duplicate_rate) ||
+      !rate_ok(fault_schedule.reorder_rate)) {
+    return "fault rates must be in [0, 1]";
+  }
+  const auto& burst = fault_schedule.burst;
+  if (burst.enabled &&
+      (!rate_ok(burst.p_enter) || !rate_ok(burst.p_exit) ||
+       !rate_ok(burst.loss_good) || !rate_ok(burst.loss_bad))) {
+    return "burst probabilities must be in [0, 1]";
+  }
+  for (const auto& window : fault_schedule.windows) {
+    if (window.end < window.start) {
+      return "fault window must not end before it starts";
+    }
+  }
+  return std::nullopt;
+}
+
+StudyConfig StudyConfig::clamped() const {
+  StudyConfig safe = *this;
+  const StudyConfig defaults;
+  const auto clamp_rate = [](double& rate) {
+    if (!(rate >= 0.0)) rate = 0.0;  // negative or NaN
+    if (rate > 1.0) rate = 1.0;
+  };
+  const auto clamp_pos = [](double& v, double fallback, double max) {
+    if (!(v > 0.0)) v = fallback;  // non-positive or NaN
+    if (v > max) v = max;
+  };
+  clamp_pos(safe.population_scale, defaults.population_scale,
+            kMaxPopulationScale);
+  clamp_pos(safe.attack_scale, defaults.attack_scale, kMaxAttackScale);
+  safe.attack_duration = std::clamp<sim::Duration>(
+      safe.attack_duration, sim::hours(1), kMaxAttackDuration);
+  safe.scan_batch = std::clamp<std::uint32_t>(safe.scan_batch, 1,
+                                              kMaxScanBatch);
+  safe.scan_threads = std::min(safe.scan_threads, kMaxScanThreads);
+  safe.scan_attempts = std::clamp<std::uint32_t>(safe.scan_attempts, 1,
+                                                 kMaxScanAttempts);
+  safe.session_connect_attempts =
+      std::clamp(safe.session_connect_attempts, 1, kMaxSessionAttempts);
+  clamp_pos(safe.listing_boost, defaults.listing_boost, kMaxListingBoost);
+  if (safe.telescope_range.prefix_len() > 24 ||
+      overlaps_population(safe.telescope_range)) {
+    safe.telescope_range = defaults.telescope_range;
+  }
+  clamp_pos(safe.telescope_rate_scale, defaults.telescope_rate_scale, 1.0);
+  clamp_pos(safe.telescope_source_scale, defaults.telescope_source_scale,
+            1.0);
+  clamp_rate(safe.fault_budget);
+  clamp_rate(safe.fault_schedule.uniform_loss);
+  clamp_rate(safe.fault_schedule.duplicate_rate);
+  clamp_rate(safe.fault_schedule.reorder_rate);
+  clamp_rate(safe.fault_schedule.burst.p_enter);
+  clamp_rate(safe.fault_schedule.burst.p_exit);
+  clamp_rate(safe.fault_schedule.burst.loss_good);
+  clamp_rate(safe.fault_schedule.burst.loss_bad);
+  for (auto& window : safe.fault_schedule.windows) {
+    if (window.end < window.start) window.end = window.start;
+  }
+  return safe;
+}
+
 Study::Study(StudyConfig config) : config_(config) {
+  assert(!config_.validate().has_value() &&
+         "StudyConfig failed validation; see StudyConfig::validate()");
+  if (config_.validate().has_value()) config_ = config_.clamped();
   // One Study at a time: the obs registry is process-wide and cumulative,
   // so each study starts from zero. Callers comparing metrics across runs
   // must snapshot (metrics_prometheus / trace_json) before constructing the
@@ -348,6 +495,7 @@ void Study::run_attack_month() {
   fleet_config.session_connect_attempts = config_.session_connect_attempts;
   fleet_config.telescope_rate_scale = config_.telescope_rate_scale;
   fleet_config.telescope_source_scale = config_.telescope_source_scale;
+  fleet_config.roster = config_.roster;
   fleet_ = std::make_unique<attackers::Fleet>(fleet_config, *population_,
                                               deployment_, *telescope_);
   fleet_->deploy(*fabric_, rdns_, virustotal_, greynoise_, censys_);

@@ -78,6 +78,21 @@ struct StudyConfig {
   // Fraction of a phase's sent packets the schedule may perturb before
   // degradation_report() marks the phase OVER budget.
   double fault_budget = 0.25;
+  // Attacker-group toggles forwarded to FleetConfig (attackers/fleet.h):
+  // scenario files switch groups off to run single-pipeline studies
+  // (Mirai-only outbreak, telescope-only vantage point, ...).
+  attackers::Roster roster;
+
+  // First constraint this config violates, or nullopt when the config is
+  // runnable. The scenario parser (core/scenario.h) surfaces violations as
+  // typed errors with file:line provenance; Study's constructor asserts
+  // validity in debug builds and substitutes clamped() in release builds,
+  // so hostile values can never reach the pipeline (same idiom as
+  // Fabric::set_loss_rate).
+  std::optional<std::string> validate() const;
+  // Nearest runnable config: every out-of-range knob moved to the closest
+  // bound (NaN maps to the default-constructed value).
+  StudyConfig clamped() const;
 };
 
 // Fault-free reference totals a chaos run is compared against

@@ -10,10 +10,10 @@
 
 namespace ofh::devices {
 
-namespace {
-
 // Base /8s used for allocation; skips reserved/special-use ranges and 44/8,
-// which the study reserves as the network-telescope darknet.
+// which the study reserves as the network-telescope darknet. Public so
+// StudyConfig::validate can reject a telescope range that would collide
+// with populated space (core/study.cpp).
 const std::vector<std::uint8_t>& usable_slash8() {
   static const std::vector<std::uint8_t> kBases = [] {
     std::vector<std::uint8_t> bases;
@@ -28,6 +28,8 @@ const std::vector<std::uint8_t>& usable_slash8() {
   }();
   return kBases;
 }
+
+namespace {
 
 // Largest-remainder apportionment of total across weights; guarantees that
 // every strictly-positive weight receives at least one unit when total

@@ -29,6 +29,12 @@
 
 namespace ofh::devices {
 
+// The /8 bases the population (and everything that calls allocate_extra)
+// draws addresses from; reserved/special-use ranges and the 44/8 darknet
+// are excluded. StudyConfig::validate uses this to reject telescope ranges
+// that would overlap populated space.
+const std::vector<std::uint8_t>& usable_slash8();
+
 struct PopulationSpec {
   std::uint64_t seed = 42;
   // Population scale: paper counts are multiplied by this. 1/512 yields

@@ -1,0 +1,318 @@
+// Scenario language tests (core/scenario.h): the positive grammar surface,
+// the negative-parse suite over the seeded fixtures in tests/scenarios/bad/
+// (golden-pinned typed error text — the fuzzer's contract, made exact), and
+// the runner's expectation-matching semantics end-to-end at micro scale.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/scenario.h"
+
+namespace ofh::core {
+namespace {
+
+std::optional<Scenario> parse(std::string_view text, ScenarioError* error) {
+  return parse_scenario_text(text, "<test>", error);
+}
+
+// ------------------------------------------------------------- positives
+
+TEST(ScenarioParse, FullGrammarSurface) {
+  ScenarioError error;
+  const auto scenario = parse(
+      "// comment\n"
+      "scenario  a titled   run\n"
+      "\n"
+      "seed 99\n"
+      "scale 1/2048\n"
+      "attack-scale 0.25\n"
+      "duration-days 3\n"
+      "scan-threads 2\n"
+      "scan-batch 512\n"
+      "scan-attempts 4\n"
+      "session-attempts 2\n"
+      "filter-honeypots off\n"
+      "listing-boost 2.5\n"
+      "telescope-range 44.0.0.0/8\n"
+      "telescope-rate-scale 1/4000000\n"
+      "telescope-source-scale 1/40000\n"
+      "fault-budget 0.5\n"
+      "roster dos off\n"
+      "roster background off\n"
+      "fault uniform-loss 0.05\n"
+      "fault burst 0.01 0.2 0.8 100\n"
+      "fault flap 10.0.0.0/16 0.5 0.75\n"
+      "fault partition 10.0.0.0/16 11.0.0.0/16 1 1.5\n"
+      "fault spike 10.0.0.0/8 0 1 250\n"
+      "fault chaos 2\n"
+      "report summary\n"
+      "#^scenario summary$\n"
+      "#devices=\\d+\n"
+      "report degradation\n"
+      "#conservation=OK\n",
+      &error);
+  ASSERT_TRUE(scenario.has_value()) << error.to_string();
+  EXPECT_EQ(scenario->title, "a titled   run");
+  const auto& config = scenario->config;
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_DOUBLE_EQ(config.population_scale, 1.0 / 2048);
+  EXPECT_DOUBLE_EQ(config.attack_scale, 0.25);
+  EXPECT_EQ(config.attack_duration, sim::days(3));
+  EXPECT_EQ(config.scan_threads, 2u);
+  EXPECT_EQ(config.scan_batch, 512u);
+  EXPECT_EQ(config.scan_attempts, 4u);
+  EXPECT_EQ(config.session_connect_attempts, 2);
+  EXPECT_FALSE(config.filter_honeypots);
+  EXPECT_DOUBLE_EQ(config.listing_boost, 2.5);
+  EXPECT_DOUBLE_EQ(config.fault_budget, 0.5);
+  EXPECT_FALSE(config.roster.dos);
+  EXPECT_FALSE(config.roster.background);
+  EXPECT_TRUE(config.roster.infected);
+  EXPECT_DOUBLE_EQ(config.fault_schedule.uniform_loss, 0.05);
+  EXPECT_TRUE(config.fault_schedule.burst.enabled);
+  EXPECT_DOUBLE_EQ(config.fault_schedule.burst.loss_bad, 0.8);
+  ASSERT_EQ(config.fault_schedule.windows.size(), 3u);
+  EXPECT_EQ(config.fault_schedule.windows[0].kind, net::FaultKind::kLinkFlap);
+  EXPECT_EQ(config.fault_schedule.windows[1].kind,
+            net::FaultKind::kPartition);
+  EXPECT_EQ(config.fault_schedule.windows[2].kind,
+            net::FaultKind::kLatencySpike);
+  EXPECT_EQ(config.fault_schedule.windows[2].magnitude, sim::msec(250));
+  EXPECT_DOUBLE_EQ(scenario->chaos_end_days, 2.0);
+  ASSERT_EQ(scenario->reports.size(), 2u);
+  EXPECT_EQ(scenario->reports[0].name, "summary");
+  ASSERT_EQ(scenario->reports[0].expectations.size(), 2u);
+  EXPECT_EQ(scenario->reports[0].expectations[0].pattern,
+            "^scenario summary$");
+  // Expectation provenance: the '#' lines' own 1-based line numbers.
+  EXPECT_EQ(scenario->reports[0].expectations[0].line, 27);
+  EXPECT_EQ(scenario->reports[1].name, "degradation");
+  EXPECT_FALSE(scenario->wants_baseline);
+}
+
+TEST(ScenarioParse, BaselineReportSetsWantsBaseline) {
+  ScenarioError error;
+  const auto scenario = parse("report degradation-vs-baseline\n", &error);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_TRUE(scenario->wants_baseline);
+}
+
+TEST(ScenarioParse, CrlfAndMissingTrailingNewlineAccepted) {
+  ScenarioError error;
+  const auto scenario = parse("seed 7\r\nreport summary", &error);
+  ASSERT_TRUE(scenario.has_value()) << error.to_string();
+  EXPECT_EQ(scenario->config.seed, 7u);
+  ASSERT_EQ(scenario->reports.size(), 1u);
+}
+
+TEST(ScenarioParse, FractionsAcceptedWhereScalesAre) {
+  ScenarioError error;
+  const auto scenario =
+      parse("scale 1/16384\nattack-scale 3/4\n", &error);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_DOUBLE_EQ(scenario->config.population_scale, 1.0 / 16384);
+  EXPECT_DOUBLE_EQ(scenario->config.attack_scale, 0.75);
+}
+
+// ------------------------------------------------------------- negatives
+
+struct NegativeCase {
+  std::string_view text;
+  ScenarioErrorCode code;
+  int line;
+};
+
+TEST(ScenarioParse, TypedErrorsWithLineProvenance) {
+  const NegativeCase cases[] = {
+      {"scall 1\n", ScenarioErrorCode::kUnknownDirective, 1},
+      {"seed 1\nseed 2\n", ScenarioErrorCode::kDuplicateDirective, 2},
+      {"seed 1\nscale -1\n", ScenarioErrorCode::kOutOfRange, 2},
+      {"scale 1e309\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"scale nan\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"scale 1/0\n", ScenarioErrorCode::kBadValue, 1},
+      {"seed -3\n", ScenarioErrorCode::kBadValue, 1},
+      {"seed 1 2\n", ScenarioErrorCode::kBadValue, 1},
+      {"duration-days 9999\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"scan-batch 0\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"scan-attempts 17\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"filter-honeypots yes\n", ScenarioErrorCode::kBadValue, 1},
+      {"telescope-range 23.0.0.0/8\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"telescope-range 44.0.0.0/33\n", ScenarioErrorCode::kBadValue, 1},
+      {"telescope-range 44.0.0.0/30\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"roster infected maybe\n", ScenarioErrorCode::kBadValue, 1},
+      {"roster aliens on\n", ScenarioErrorCode::kUnknownDirective, 1},
+      {"roster dos off\nroster dos on\n",
+       ScenarioErrorCode::kDuplicateDirective, 2},
+      {"fault\n", ScenarioErrorCode::kBadValue, 1},
+      {"fault warp 0.5\n", ScenarioErrorCode::kUnknownDirective, 1},
+      {"fault uniform-loss 1.5\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"fault uniform-loss x\n", ScenarioErrorCode::kBadValue, 1},
+      {"fault burst 0.01 0.2\n", ScenarioErrorCode::kBadValue, 1},
+      {"fault burst 2 0.2 0.8\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"fault flap 10.0.0.0/16 2 1\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"fault flap not-a-cidr 0 1\n", ScenarioErrorCode::kBadValue, 1},
+      {"fault spike 10.0.0.0/8 0 1\n", ScenarioErrorCode::kBadValue, 1},
+      {"fault chaos 0\n", ScenarioErrorCode::kOutOfRange, 1},
+      {"seed 1\n#orphan\n", ScenarioErrorCode::kOrphanExpectation, 2},
+      {"report summary\n#(unclosed[\n", ScenarioErrorCode::kBadRegex, 2},
+      {"report nosuch\n", ScenarioErrorCode::kUnknownReport, 1},
+      {"report summary extra\n", ScenarioErrorCode::kBadValue, 1},
+      {"scenario\n", ScenarioErrorCode::kBadValue, 1},
+      {"// nothing\n\n", ScenarioErrorCode::kSyntax, 1},
+      {"", ScenarioErrorCode::kSyntax, 1},
+  };
+  for (const auto& item : cases) {
+    ScenarioError error;
+    const auto scenario = parse(item.text, &error);
+    EXPECT_FALSE(scenario.has_value())
+        << "accepted: " << item.text;
+    EXPECT_EQ(error.code, item.code)
+        << item.text << " -> " << error.to_string();
+    EXPECT_EQ(error.line, item.line) << error.to_string();
+    EXPECT_FALSE(error.message.empty());
+    EXPECT_EQ(error.file, "<test>");
+  }
+}
+
+TEST(ScenarioParse, HostileSizesRejected) {
+  ScenarioError error;
+  // Overlong line.
+  EXPECT_FALSE(parse("seed 1\n" + std::string(5000, 'x') + "\n", &error));
+  EXPECT_EQ(error.code, ScenarioErrorCode::kSyntax);
+  EXPECT_EQ(error.line, 2);
+  // Too many lines.
+  std::string many;
+  for (int i = 0; i < 10'100; ++i) many += "\n";
+  EXPECT_FALSE(parse(many, &error));
+  EXPECT_EQ(error.code, ScenarioErrorCode::kSyntax);
+  // Oversized file.
+  EXPECT_FALSE(parse(std::string(2u << 20, ' '), &error));
+  EXPECT_EQ(error.code, ScenarioErrorCode::kIo);
+  // Overlong expectation pattern.
+  EXPECT_FALSE(
+      parse("report summary\n#" + std::string(600, 'a') + "\n", &error));
+  EXPECT_EQ(error.code, ScenarioErrorCode::kBadRegex);
+}
+
+TEST(ScenarioParse, MissingFileIsTypedIoError) {
+  ScenarioError error;
+  EXPECT_FALSE(parse_scenario_file("/nonexistent/x.ofh", &error));
+  EXPECT_EQ(error.code, ScenarioErrorCode::kIo);
+  EXPECT_EQ(error.line, 0);
+  EXPECT_EQ(error.to_string(), "/nonexistent/x.ofh:0: io-error: cannot open file");
+}
+
+// The negative corpus under tests/scenarios/bad/, golden-pinned: these are
+// the exact strings scenario_runner prints, so error-text drift (which
+// breaks scripts and muscle memory) fails here first.
+TEST(ScenarioParse, BadFixtureCorpusGoldenErrors) {
+  const std::string dir = std::string(OFH_SCENARIO_DIR) + "/bad/";
+  const struct {
+    std::string_view name;
+    std::string_view expected;  // to_string() minus the directory prefix
+  } fixtures[] = {
+      {"bad_regex.ofh", "bad_regex.ofh:3: bad-regex: invalid regular expression"},
+      {"bad_value.ofh", "bad_value.ofh:2: bad-value: roster infected: expected on or off"},
+      {"duplicate_seed.ofh", "duplicate_seed.ofh:4: duplicate-directive: 'seed' already set"},
+      {"empty.ofh", "empty.ofh:1: syntax-error: empty scenario (no directives)"},
+      {"orphan_expectation.ofh", "orphan_expectation.ofh:3: orphan-expectation: expectation before any report directive"},
+      {"out_of_range_scale.ofh", "out_of_range_scale.ofh:2: out-of-range: scale: population_scale must be in (0, 16]"},
+      {"overlapping_telescope.ofh", "overlapping_telescope.ofh:2: out-of-range: telescope-range: telescope_range overlaps the population address pool"},
+      {"unknown_directive.ofh", "unknown_directive.ofh:3: unknown-directive: unknown directive 'scall'"},
+      {"unknown_report.ofh", "unknown_report.ofh:2: unknown-report: unknown report 'table99'"},
+      {"zero_denominator.ofh", "zero_denominator.ofh:2: bad-value: 'scale': cannot parse '1/0'"},
+  };
+  for (const auto& fixture : fixtures) {
+    const std::string path = dir + std::string(fixture.name);
+    ScenarioError error;
+    const auto scenario = parse_scenario_file(path, &error);
+    EXPECT_FALSE(scenario.has_value()) << path;
+    EXPECT_EQ(error.to_string(), dir + std::string(fixture.expected));
+  }
+}
+
+// ----------------------------------------------------------- update helpers
+
+TEST(ScenarioHelpers, EscapeExpectationRoundTrips) {
+  const std::string_view lines[] = {
+      "| Total    | 14,397,929  | 879            |",
+      "scan: probes=442368 (100.0%) [ok] ^$ \\ {x} a+b?c*",
+      "plain text",
+  };
+  for (const auto line : lines) {
+    const std::string escaped = escape_expectation(line);
+    const std::regex regex(escaped, std::regex_constants::ECMAScript);
+    EXPECT_TRUE(std::regex_search(std::string(line), regex)) << escaped;
+    // And anchored: the escape matches the line it came from, entirely.
+    EXPECT_TRUE(std::regex_match(std::string(line), regex)) << escaped;
+  }
+}
+
+TEST(ScenarioHelpers, LiteralPrefixStopsAtMetacharacters) {
+  EXPECT_EQ(expectation_literal_prefix("population: devices=\\d+"),
+            "population: devices=");
+  EXPECT_EQ(expectation_literal_prefix("^scenario summary$"), "");
+  EXPECT_EQ(expectation_literal_prefix("plain"), "plain");
+  EXPECT_EQ(expectation_literal_prefix("a\\|b.*"), "a|b");
+  EXPECT_EQ(expectation_literal_prefix(""), "");
+}
+
+// --------------------------------------------------------------- running
+
+TEST(ScenarioRun, MicroScenarioMatchesAndReportsFailuresWithProvenance) {
+  ScenarioError error;
+  const auto scenario = parse_scenario_text(
+      "scenario micro\n"
+      "seed 3\n"
+      "scale 1/131072\n"
+      "attack-scale 1/1024\n"
+      "duration-days 0.25\n"
+      "report summary\n"
+      "#^scenario summary$\n"
+      "#population: devices=\\d+\n"
+      "#never-going-to-match-9f2e\n",
+      "micro.ofh", &error);
+  ASSERT_TRUE(scenario.has_value()) << error.to_string();
+
+  ScenarioRunOptions options;
+  options.thread_sweep = {1};
+  const auto result = run_scenario(*scenario, options);
+  EXPECT_FALSE(result.passed);
+  ASSERT_EQ(result.failures.size(), 1u);
+  // First-unmatched-line failure with file:line provenance.
+  EXPECT_NE(result.failures[0].find("micro.ofh:9"), std::string::npos)
+      << result.failures[0];
+  EXPECT_NE(result.failures[0].find("never-going-to-match-9f2e"),
+            std::string::npos);
+  ASSERT_EQ(result.reports.size(), 1u);
+  EXPECT_EQ(result.reports[0].name, "summary");
+  EXPECT_NE(result.reports[0].text.find("scenario summary"),
+            std::string::npos);
+}
+
+TEST(ScenarioRun, ExpectationsMatchInOrderNotAnywhere) {
+  // Two expectations that both exist in the report but in the other order:
+  // ordered matching must fail the second one.
+  ScenarioError error;
+  const auto scenario = parse_scenario_text(
+      "seed 3\n"
+      "scale 1/131072\n"
+      "attack-scale 1/1024\n"
+      "duration-days 0.25\n"
+      "report summary\n"
+      "#telescope: flowtuples=\n"
+      "#population: devices=\n",
+      "order.ofh", &error);
+  ASSERT_TRUE(scenario.has_value()) << error.to_string();
+  ScenarioRunOptions options;
+  options.thread_sweep = {1};
+  const auto result = run_scenario(*scenario, options);
+  EXPECT_FALSE(result.passed);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_NE(result.failures[0].find("order.ofh:7"), std::string::npos)
+      << result.failures[0];
+}
+
+}  // namespace
+}  // namespace ofh::core

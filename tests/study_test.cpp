@@ -3,6 +3,8 @@
 // ground truth) that a real measurement study could never check.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/reports.h"
 #include "core/study.h"
 #include "devices/paper_stats.h"
@@ -226,6 +228,124 @@ TEST(StudyPhases, HoneypotFilteringCanBeDisabled) {
   study.setup_internet();
   study.run_scan();
   EXPECT_EQ(study.findings().size(), study.unfiltered_findings().size());
+}
+
+// ---------------------------------------------------------- config bounds
+// StudyConfig::validate / clamped: the bounds the scenario parser surfaces
+// as typed out-of-range errors, and the release-mode substitution the Study
+// constructor performs (assert in debug — same idiom as
+// Fabric::set_loss_rate).
+
+TEST(StudyConfigValidate, DefaultAndTinyConfigsAreValid) {
+  EXPECT_FALSE(StudyConfig{}.validate().has_value());
+  EXPECT_FALSE(tiny_config().validate().has_value());
+}
+
+TEST(StudyConfigValidate, RejectsEachKnobOutOfRange) {
+  const struct {
+    void (*corrupt)(StudyConfig&);
+    std::string_view expected;
+  } cases[] = {
+      {[](StudyConfig& c) { c.population_scale = 0.0; },
+       "population_scale must be in (0, 16]"},
+      {[](StudyConfig& c) { c.population_scale = -2.0; },
+       "population_scale must be in (0, 16]"},
+      {[](StudyConfig& c) {
+         c.population_scale = std::numeric_limits<double>::quiet_NaN();
+       },
+       "population_scale must be in (0, 16]"},
+      {[](StudyConfig& c) { c.attack_scale = 2e6; },
+       "attack_scale must be in (0, 1e6]"},
+      {[](StudyConfig& c) { c.attack_duration = 0; },
+       "attack_duration must be between 1 hour and 366 days"},
+      {[](StudyConfig& c) { c.attack_duration = sim::days(400); },
+       "attack_duration must be between 1 hour and 366 days"},
+      {[](StudyConfig& c) { c.scan_batch = 0; },
+       "scan_batch must be in [1, 1000000]"},
+      {[](StudyConfig& c) { c.scan_threads = 2'000; },
+       "scan_threads must be at most 1024 (0 = hardware)"},
+      {[](StudyConfig& c) { c.scan_attempts = 0; },
+       "scan_attempts must be in [1, 16]"},
+      {[](StudyConfig& c) { c.session_connect_attempts = -1; },
+       "session_connect_attempts must be in [1, 16]"},
+      {[](StudyConfig& c) { c.listing_boost = 0.0; },
+       "listing_boost must be in (0, 100]"},
+      {[](StudyConfig& c) {
+         c.telescope_range = util::Cidr(util::Ipv4Addr(44, 0, 0, 0), 30);
+       },
+       "telescope_range must be /24 or wider"},
+      {[](StudyConfig& c) {
+         // 23/8 is inside the populated /8 pool; the default 44/8 is not.
+         c.telescope_range = util::Cidr(util::Ipv4Addr(23, 0, 0, 0), 8);
+       },
+       "telescope_range overlaps the population address pool"},
+      {[](StudyConfig& c) { c.telescope_rate_scale = 0.0; },
+       "telescope_rate_scale must be in (0, 1]"},
+      {[](StudyConfig& c) { c.fault_budget = 1.5; },
+       "fault_budget must be in [0, 1]"},
+      {[](StudyConfig& c) { c.fault_schedule.uniform_loss = 1.1; },
+       "fault rates must be in [0, 1]"},
+      {[](StudyConfig& c) {
+         c.fault_schedule.burst.enabled = true;
+         c.fault_schedule.burst.p_enter = -0.1;
+       },
+       "burst probabilities must be in [0, 1]"},
+      {[](StudyConfig& c) {
+         net::FaultWindow window;
+         window.start = sim::days(2);
+         window.end = sim::days(1);
+         c.fault_schedule.windows.push_back(window);
+       },
+       "fault window must not end before it starts"},
+  };
+  for (const auto& item : cases) {
+    StudyConfig config;
+    item.corrupt(config);
+    const auto violation = config.validate();
+    ASSERT_TRUE(violation.has_value()) << item.expected;
+    EXPECT_EQ(*violation, item.expected);
+  }
+}
+
+TEST(StudyConfigValidate, ClampedRepairsEveryViolation) {
+  // Whatever validate rejects, clamped must fix — the release-mode Study
+  // constructor depends on this round trip terminating at a valid config.
+  StudyConfig hostile;
+  hostile.population_scale = -5.0;
+  hostile.attack_scale = 1e12;
+  hostile.attack_duration = 0;
+  hostile.scan_batch = 0;
+  hostile.scan_threads = 1u << 20;
+  hostile.scan_attempts = 999;
+  hostile.session_connect_attempts = -7;
+  hostile.listing_boost = std::numeric_limits<double>::quiet_NaN();
+  hostile.telescope_range = util::Cidr(util::Ipv4Addr(23, 0, 0, 0), 8);
+  hostile.telescope_rate_scale = 7.0;
+  hostile.fault_budget = -1.0;
+  hostile.fault_schedule.uniform_loss = 42.0;
+  ASSERT_TRUE(hostile.validate().has_value());
+  const StudyConfig repaired = hostile.clamped();
+  EXPECT_FALSE(repaired.validate().has_value())
+      << *repaired.validate();
+  // Clamping moves to the nearest bound, not to defaults.
+  EXPECT_GT(repaired.population_scale, 0.0);
+  EXPECT_EQ(repaired.scan_batch, 1u);
+  EXPECT_EQ(repaired.scan_attempts, 16u);
+  EXPECT_EQ(repaired.session_connect_attempts, 1);
+}
+
+TEST(StudyConfigValidate, StudyConstructorSubstitutesOrAsserts) {
+  auto bad = tiny_config();
+  bad.scan_batch = 0;
+#ifdef NDEBUG
+  // Release: the constructor substitutes clamped() — the study must end up
+  // with a runnable config, not the hostile one.
+  Study study(bad);
+  EXPECT_FALSE(study.config().validate().has_value());
+  EXPECT_EQ(study.config().scan_batch, 1u);
+#else
+  EXPECT_DEBUG_DEATH({ Study study(bad); }, "failed validation");
+#endif
 }
 
 TEST(StudyPhases, DeterministicAcrossRuns) {
