@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/study.h"
+#include "obs/proc_stat.h"
 
 namespace {
 
@@ -35,16 +36,10 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-// Peak resident set in MiB from /proc/self/status (Linux; 0 elsewhere).
+// Peak resident set in MiB (Linux; 0 elsewhere).
 double peak_rss_mb() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      return std::atof(line.c_str() + 6) / 1024.0;
-    }
-  }
-  return 0.0;
+  return static_cast<double>(ofh::obs::read_proc_memory().vm_hwm_bytes) /
+         (1024.0 * 1024.0);
 }
 
 struct ScaleResult {

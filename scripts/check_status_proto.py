@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Black-box conformance check for the status wire protocol.
+
+Drives core/status_service.h's endpoint from an independent implementation
+of the framing (struct pack/unpack, no shared code) and asserts the
+contract documented in the header:
+
+  * status / metrics / trace-stats round-trip with the expected response
+    tags and parseable payloads
+  * progress responses honor the client cursor
+  * an unknown request tag answers error code 1 (unknown-tag)
+  * an oversized frame answers error code 2 (oversized) and the server
+    closes the connection afterwards
+  * a malformed request (trailing bytes) answers error code 3
+  * a truncated frame followed by EOF is dropped without a response
+  * stop (tag 7) is forbidden (code 5) unless the server allows it
+
+Usage:
+  check_status_proto.py --unix PATH [--stop] [--wait-ready SECONDS]
+  check_status_proto.py --port N [--host H] [--stop] [--wait-ready SECONDS]
+
+--stop sends the stop request at the end (the live_study --serve driver
+uses this to shut the example down). --wait-ready polls the connect until
+the server is up. Exits 0 when every check passes.
+"""
+
+import argparse
+import socket
+import struct
+import sys
+import time
+
+ERROR_TAG = 0x7F
+RESPONSE_BIT = 0x80
+KIND_NAMES = ["phase-enter", "phase-exit", "sweep-progress", "sweep-done",
+              "day-advance"]
+
+checks = []
+
+
+def check(name, condition, detail=""):
+    checks.append((name, bool(condition)))
+    mark = "ok" if condition else "FAIL"
+    suffix = f" ({detail})" if detail and not condition else ""
+    print(f"  {mark:4} {name}{suffix}")
+
+
+def connect(args, timeout=5.0):
+    if args.unix:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(args.unix)
+    else:
+        sock = socket.create_connection((args.host, args.port),
+                                        timeout=timeout)
+    return sock
+
+
+def send_frame(sock, body):
+    sock.sendall(struct.pack(">I", len(body)) + body)
+
+
+def recv_exact(sock, n):
+    data = b""
+    while len(data) < n:
+        chunk = sock.recv(n - len(data))
+        if not chunk:
+            return None
+        data += chunk
+    return data
+
+
+def recv_frame(sock):
+    header = recv_exact(sock, 4)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    return recv_exact(sock, length)
+
+
+def roundtrip(args, body):
+    with connect(args) as sock:
+        send_frame(sock, body)
+        return recv_frame(sock)
+
+
+def parse_error(body):
+    if body is None or len(body) < 4 or body[0] != ERROR_TAG:
+        return None, None
+    code = body[1]
+    (msg_len,) = struct.unpack(">H", body[2:4])
+    return code, body[4:4 + msg_len].decode("utf-8", "replace")
+
+
+def check_status(args):
+    body = roundtrip(args, bytes([1]))
+    check("status response tag", body and body[0] == (RESPONSE_BIT | 1))
+    if not body or body[0] != (RESPONSE_BIT | 1):
+        return
+    # Walk the documented payload to prove it parses to the byte.
+    view, off = {}, 1
+
+    def u64():
+        nonlocal off
+        (v,) = struct.unpack(">Q", body[off:off + 8])
+        off += 8
+        return v
+
+    def u8():
+        nonlocal off
+        v = body[off]
+        off += 1
+        return v
+
+    def str8():
+        nonlocal off
+        n = u8()
+        s = body[off:off + n].decode("utf-8", "replace")
+        off += n
+        return s
+
+    view["epoch"] = u64()
+    view["phase"] = u8()
+    view["phase_name"] = str8()
+    view["sim_now"] = u64()
+    view["sim_day"] = u64()
+    view["sweep_done"] = u64()
+    view["sweep_total"] = u64()
+    sweeps = []
+    for _ in range(u8()):
+        sweeps.append((str8(), u64(), u64()))
+    view["trace_recorded"] = u64()
+    view["trace_dropped"] = u64()
+    view["events_published"] = u64()
+    kinds = [u64() for _ in range(u8())]
+    for _ in range(6):  # rss, hwm, hosts/s, packets/s, eta, wall
+        u64()
+    check("status payload parses exactly", off == len(body),
+          f"consumed {off} of {len(body)}")
+    check("status kind counters sum to published",
+          sum(kinds) == view["events_published"],
+          f"{kinds} vs {view['events_published']}")
+    check("status sweep fold consistent",
+          view["sweep_done"] == sum(s[1] for s in sweeps)
+          and view["sweep_total"] == sum(s[2] for s in sweeps))
+    return view
+
+
+def check_progress(args):
+    body = roundtrip(args, bytes([2]))
+    check("progress response tag", body and body[0] == (RESPONSE_BIT | 2))
+    if not body or body[0] != (RESPONSE_BIT | 2):
+        return
+    next_cursor, lost = struct.unpack(">QQ", body[1:17])
+    (count,) = struct.unpack(">H", body[17:19])
+    # Each event: seq u64 + kind u8 + phase u8 + shard u16 + 3x u64.
+    check("progress payload sized to count",
+          len(body) == 19 + count * 36,
+          f"count={count} len={len(body)}")
+    check("progress cursor advances by count + lost",
+          next_cursor >= count)
+    # Re-poll from the returned cursor: the batch must not repeat.
+    body2 = roundtrip(args, bytes([2]) + struct.pack(">Q", next_cursor))
+    next2, _lost2 = struct.unpack(">QQ", body2[1:17])
+    check("progress cursor honored on re-poll", next2 >= next_cursor)
+
+
+def check_text(args, tag, name):
+    body = roundtrip(args, bytes([tag]))
+    ok = body and body[0] == (RESPONSE_BIT | tag)
+    check(f"{name} response tag", ok)
+    if ok:
+        (length,) = struct.unpack(">I", body[1:5])
+        check(f"{name} length prefix exact", len(body) == 5 + length)
+
+
+def check_trace_stats(args):
+    body = roundtrip(args, bytes([6]))
+    check("trace-stats response tag", body and body[0] == (RESPONSE_BIT | 6))
+    if body and body[0] == (RESPONSE_BIT | 6):
+        (count,) = struct.unpack(">H", body[1:3])
+        check("trace-stats payload sized to count",
+              len(body) == 3 + count * 18)
+
+
+def check_hostile(args):
+    code, _ = parse_error(roundtrip(args, bytes([0xEE])))
+    check("unknown tag answers code 1", code == 1, f"code={code}")
+
+    code, _ = parse_error(roundtrip(args, bytes([1, 0xAA])))
+    check("trailing bytes answer code 3", code == 3, f"code={code}")
+
+    # Oversized declared length: error 2, then the server hangs up.
+    with connect(args) as sock:
+        send_frame(sock, bytes(65))
+        code, _ = parse_error(recv_frame(sock))
+        check("oversized frame answers code 2", code == 2, f"code={code}")
+        check("oversized frame closes connection",
+              recv_frame(sock) is None)
+
+    # Truncated frame + EOF: the server must drop it without replying.
+    with connect(args) as sock:
+        sock.sendall(struct.pack(">I", 10) + bytes([1]))  # 9 bytes missing
+        sock.shutdown(socket.SHUT_WR)
+        check("truncated frame dies silently", recv_frame(sock) is None)
+
+    # A second connection still works after the hostile ones.
+    body = roundtrip(args, bytes([1]))
+    check("server healthy after hostile frames",
+          body and body[0] == (RESPONSE_BIT | 1))
+
+
+def check_stop(args, expect_allowed):
+    body = roundtrip(args, bytes([7]))
+    if expect_allowed:
+        check("stop accepted", body == bytes([RESPONSE_BIT | 7]),
+              f"body={body!r}")
+    else:
+        code, _ = parse_error(body)
+        check("stop forbidden answers code 5", code == 5, f"code={code}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--unix")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--stop", action="store_true",
+                        help="send the stop request at the end")
+    parser.add_argument("--wait-ready", type=float, default=0.0,
+                        help="seconds to poll for the server to come up")
+    args = parser.parse_args()
+    if not args.unix and not args.port:
+        parser.error("need --unix or --port")
+
+    deadline = time.monotonic() + args.wait_ready
+    while True:
+        try:
+            with connect(args, timeout=1.0):
+                break
+        except OSError:
+            if time.monotonic() >= deadline:
+                print("check_status_proto: cannot connect", file=sys.stderr)
+                return 1
+            time.sleep(0.1)
+
+    print("status protocol conformance:")
+    check_status(args)
+    check_progress(args)
+    check_text(args, 3, "metrics")
+    check_text(args, 4, "phase-metrics")
+    check_text(args, 5, "degradation")
+    check_trace_stats(args)
+    check_hostile(args)
+    if args.stop:
+        check_stop(args, expect_allowed=True)
+
+    failed = [name for name, ok in checks if not ok]
+    if failed:
+        print(f"FAILED: {len(failed)}/{len(checks)} checks", file=sys.stderr)
+        return 1
+    print(f"all {len(checks)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,27 @@ python3 -m json.tool build-ci/trace.json > /dev/null
 python3 scripts/check_trace.py build-ci/trace.json
 grep -q "scan -> brute-force -> injection escalations:" build-ci/chains.txt
 
+# Live introspection end-to-end: a small study serves the status endpoint
+# while ofh-top polls it and check_status_proto.py (an independent Python
+# implementation of the framing) runs the protocol conformance suite —
+# hostile frames included — then shuts the example down via the stop
+# request. The client drive is gating: a wedged server, a malformed status
+# payload or a mis-framed response fails CI here.
+echo "==> live status endpoint (live_study + ofh-top + protocol checks)"
+OFH_STATUS_SOCK="build-ci/ofh-status.sock"
+./build-ci/examples/live_study --unix "$OFH_STATUS_SOCK" --scale 16384 \
+  --attack-scale 512 --days 1 --threads 2 --serve \
+  > build-ci/live_study.log 2>&1 &
+LIVE_STUDY_PID=$!
+python3 scripts/check_status_proto.py --unix "$OFH_STATUS_SOCK" \
+  --wait-ready 30
+./build-ci/tools/ofh-top/ofh-top --unix "$OFH_STATUS_SOCK" --once --raw \
+  > build-ci/ofh-top.raw
+grep -q '^phase=' build-ci/ofh-top.raw
+grep -q '^events_published=' build-ci/ofh-top.raw
+python3 scripts/check_status_proto.py --unix "$OFH_STATUS_SOCK" --stop
+wait "$LIVE_STUDY_PID"
+
 echo "==> [2/3] ASan+UBSan + -Werror"
 cmake --preset ci-asan-ubsan
 cmake --build --preset ci-asan-ubsan -j "$(nproc)"
@@ -91,5 +112,21 @@ cmake --build --preset ci-tsan -j "$(nproc)"
 # lock-order inversion, not just the acquiring side.
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir build-ci-tsan -L thread --output-on-failure -j "$(nproc)"
+
+# The live endpoint again, this time with TSan watching the whole stack:
+# 8 scan shards publishing progress, the server thread snapshotting, and
+# two external clients (ofh-top + the conformance script) polling.
+echo "==> live status endpoint under TSan"
+OFH_TSAN_SOCK="build-ci-tsan/ofh-status.sock"
+./build-ci-tsan/examples/live_study --unix "$OFH_TSAN_SOCK" --scale 16384 \
+  --attack-scale 512 --days 1 --threads 8 --serve \
+  > build-ci-tsan/live_study.log 2>&1 &
+LIVE_TSAN_PID=$!
+python3 scripts/check_status_proto.py --unix "$OFH_TSAN_SOCK" \
+  --wait-ready 60
+./build-ci-tsan/tools/ofh-top/ofh-top --unix "$OFH_TSAN_SOCK" --once --raw \
+  | grep -q '^phase='
+python3 scripts/check_status_proto.py --unix "$OFH_TSAN_SOCK" --stop
+wait "$LIVE_TSAN_PID"
 
 echo "==> CI green"

@@ -8,6 +8,7 @@
 
 #include "core/reports.h"
 #include "devices/population.h"
+#include "obs/introspect.h"
 #include "net/faults.h"
 #include "util/strings.h"
 
@@ -555,7 +556,8 @@ const std::vector<std::string>& scenario_report_names() {
       "table4",  "table5", "table6", "table7", "table8", "table10",
       "fig2",    "fig3",   "fig4",   "fig5",   "fig6",   "fig7",
       "fig8",    "fig9",   "correlation", "credentials", "chains",
-      "summary", "degradation", "degradation-vs-baseline"};
+      "summary", "degradation", "degradation-vs-baseline",
+      "progress-summary"};
   return kNames;
 }
 
@@ -652,6 +654,36 @@ std::string render_report(Study& study, const std::string& name,
   if (name == "degradation") return study.degradation_report();
   if (name == "degradation-vs-baseline") {
     return study.degradation_report(baseline);
+  }
+  if (name == "progress-summary") {
+    // Deterministic introspection digest: final board state, per-kind
+    // progress-event totals and folded sweep finals are all pure functions
+    // of the study's event streams, so this report is corpus-pinnable at
+    // every scan_threads value. Ring *contents* are deliberately absent —
+    // their interleaving is schedule-dependent.
+    const auto num = [](std::uint64_t v) { return std::to_string(v); };
+    const auto snap = study.introspection().snapshot(false);
+    std::string out = "progress summary\n";
+    out += "board: epoch=" + num(snap.epoch) +
+           " phase=" + num(snap.phase) +
+           " sim_day=" + num(snap.sim_day) + "\n";
+    out += "events: published=" + num(snap.events_published);
+    for (std::size_t i = 0; i < obs::kProgressKindCount; ++i) {
+      out += " ";
+      out += obs::progress_kind_name(static_cast<obs::ProgressKind>(i));
+      out += "=" + num(snap.kind_counts[i]);
+    }
+    out += "\n";
+    for (const auto& sweep : snap.sweeps) {
+      out += "sweep " + sweep.name + ": done=" + num(sweep.done) +
+             " total=" + num(sweep.total) + "\n";
+    }
+    out += "sweeps: done=" + num(snap.sweep_done) +
+           " total=" + num(snap.sweep_total) + "\n";
+    out += "trace: recorded=" + num(snap.trace_recorded) +
+           " dropped=" + num(snap.trace_dropped) +
+           " shards=" + num(snap.trace_shards.size()) + "\n";
+    return out;
   }
   if (name == "summary") {
     const auto num = [](std::uint64_t v) { return std::to_string(v); };

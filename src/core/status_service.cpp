@@ -1,0 +1,485 @@
+#include "core/status_service.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ofh::core {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 4096;
+// A connection whose unread input or unsent output exceeds this is not a
+// well-behaved client; drop it instead of buffering without bound.
+constexpr std::size_t kMaxBufferedBytes = 4u << 20;
+
+util::Bytes error_frame_body(StatusErrorCode code, std::string_view message) {
+  util::ByteWriter writer;
+  writer.u8(kStatusErrorTag);
+  writer.u8(static_cast<std::uint8_t>(code));
+  writer.str16(message);
+  return writer.take();
+}
+
+std::uint64_t to_milli(double v) {
+  if (!(v > 0.0)) return 0;
+  return static_cast<std::uint64_t>(v * 1000.0);
+}
+
+util::Bytes handle_status(const StatusContext& context) {
+  const obs::LiveSnapshot snap = context.hub->snapshot(false);
+  const obs::SamplerStats stats = context.sampler != nullptr
+                                      ? context.sampler->last()
+                                      : obs::SamplerStats{};
+  util::ByteWriter writer;
+  writer.u8(kStatusResponseBit |
+            static_cast<std::uint8_t>(StatusRequest::kStatus));
+  writer.u64(snap.epoch);
+  writer.u8(snap.phase);
+  writer.str8(snap.phase_name.substr(0, 255));
+  writer.u64(snap.sim_now);
+  writer.u64(snap.sim_day);
+  writer.u64(snap.sweep_done);
+  writer.u64(snap.sweep_total);
+  writer.u8(static_cast<std::uint8_t>(snap.sweeps.size()));
+  for (const auto& sweep : snap.sweeps) {
+    writer.str8(sweep.name.substr(0, 255));
+    writer.u64(sweep.done);
+    writer.u64(sweep.total);
+  }
+  writer.u64(snap.trace_recorded);
+  writer.u64(snap.trace_dropped);
+  writer.u64(snap.events_published);
+  writer.u8(static_cast<std::uint8_t>(obs::kProgressKindCount));
+  for (const std::uint64_t count : snap.kind_counts) {
+    writer.u64(count);
+  }
+  writer.u64(stats.rss_bytes);
+  writer.u64(stats.vm_hwm_bytes);
+  writer.u64(to_milli(stats.hosts_per_sec));
+  writer.u64(to_milli(stats.packets_per_sec));
+  writer.u64(stats.eta_seconds < 0.0
+                 ? ~std::uint64_t{0}
+                 : static_cast<std::uint64_t>(stats.eta_seconds * 1000.0));
+  writer.u64(to_milli(stats.wall_elapsed_seconds));
+  return writer.take();
+}
+
+util::Bytes handle_progress(const StatusContext& context,
+                            std::uint64_t cursor_start) {
+  obs::ProgressRing::Cursor cursor;
+  cursor.next = cursor_start;
+  std::vector<obs::ProgressEvent> events(kMaxProgressEventsPerFrame);
+  const std::size_t n =
+      context.hub->poll(cursor, events.data(), events.size());
+  util::ByteWriter writer;
+  writer.u8(kStatusResponseBit |
+            static_cast<std::uint8_t>(StatusRequest::kProgress));
+  writer.u64(cursor.next);
+  writer.u64(cursor.lost);
+  writer.u16(static_cast<std::uint16_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::ProgressEvent& event = events[i];
+    writer.u64(event.seq);
+    writer.u8(static_cast<std::uint8_t>(event.kind));
+    writer.u8(event.phase);
+    writer.u16(event.shard);
+    writer.u64(event.sim_time);
+    writer.u64(event.a);
+    writer.u64(event.b);
+  }
+  return writer.take();
+}
+
+util::Bytes handle_text(StatusRequest request, const std::string& text) {
+  util::ByteWriter writer;
+  writer.u8(kStatusResponseBit | static_cast<std::uint8_t>(request));
+  writer.u32(static_cast<std::uint32_t>(text.size()));
+  writer.text(text);
+  return writer.take();
+}
+
+util::Bytes handle_trace_stats(const StatusContext& context) {
+  const obs::LiveSnapshot snap = context.hub->snapshot(false);
+  util::ByteWriter writer;
+  writer.u8(kStatusResponseBit |
+            static_cast<std::uint8_t>(StatusRequest::kTraceStats));
+  writer.u16(static_cast<std::uint16_t>(
+      std::min<std::size_t>(snap.trace_shards.size(), 0xffff)));
+  for (const auto& shard : snap.trace_shards) {
+    writer.u16(shard.shard);
+    writer.u64(shard.recorded);
+    writer.u64(shard.dropped);
+  }
+  return writer.take();
+}
+
+}  // namespace
+
+std::string_view status_error_name(StatusErrorCode code) {
+  switch (code) {
+    case StatusErrorCode::kUnknownTag: return "unknown-tag";
+    case StatusErrorCode::kOversized: return "oversized";
+    case StatusErrorCode::kMalformed: return "malformed";
+    case StatusErrorCode::kUnavailable: return "unavailable";
+    case StatusErrorCode::kForbidden: return "forbidden";
+  }
+  return "?";
+}
+
+util::Bytes handle_status_frame(std::span<const std::uint8_t> body,
+                                StatusContext& context) {
+  if (body.size() > kMaxStatusRequestBody) {
+    return error_frame_body(StatusErrorCode::kOversized,
+                            "request body exceeds 64 bytes");
+  }
+  util::ByteReader reader(body);
+  const auto tag = reader.u8();
+  if (!tag) {
+    return error_frame_body(StatusErrorCode::kMalformed, "empty request");
+  }
+  if (context.hub == nullptr) {
+    return error_frame_body(StatusErrorCode::kUnavailable, "no hub attached");
+  }
+  switch (static_cast<StatusRequest>(*tag)) {
+    case StatusRequest::kStatus: {
+      if (!reader.done()) {
+        return error_frame_body(StatusErrorCode::kMalformed,
+                                "status takes no payload");
+      }
+      return handle_status(context);
+    }
+    case StatusRequest::kProgress: {
+      std::uint64_t cursor = 0;
+      if (reader.remaining() != 0) {
+        const auto parsed = reader.u64();
+        if (!parsed || !reader.done()) {
+          return error_frame_body(StatusErrorCode::kMalformed,
+                                  "progress payload must be one u64 cursor");
+        }
+        cursor = *parsed;
+      }
+      return handle_progress(context, cursor);
+    }
+    case StatusRequest::kMetrics: {
+      if (!reader.done()) {
+        return error_frame_body(StatusErrorCode::kMalformed,
+                                "metrics takes no payload");
+      }
+      return handle_text(StatusRequest::kMetrics,
+                         obs::Registry::global().export_prometheus(true));
+    }
+    case StatusRequest::kPhaseMetrics: {
+      if (!reader.done()) {
+        return error_frame_body(StatusErrorCode::kMalformed,
+                                "phase-metrics takes no payload");
+      }
+      return handle_text(
+          StatusRequest::kPhaseMetrics,
+          context.hub->text(obs::IntrospectionHub::TextSlot::kPhaseMetrics));
+    }
+    case StatusRequest::kDegradation: {
+      if (!reader.done()) {
+        return error_frame_body(StatusErrorCode::kMalformed,
+                                "degradation takes no payload");
+      }
+      return handle_text(
+          StatusRequest::kDegradation,
+          context.hub->text(obs::IntrospectionHub::TextSlot::kDegradation));
+    }
+    case StatusRequest::kTraceStats: {
+      if (!reader.done()) {
+        return error_frame_body(StatusErrorCode::kMalformed,
+                                "trace-stats takes no payload");
+      }
+      return handle_trace_stats(context);
+    }
+    case StatusRequest::kStop: {
+      if (!reader.done()) {
+        return error_frame_body(StatusErrorCode::kMalformed,
+                                "stop takes no payload");
+      }
+      if (!context.allow_stop) {
+        return error_frame_body(StatusErrorCode::kForbidden,
+                                "stop not permitted");
+      }
+      context.stop_requested = true;
+      util::ByteWriter writer;
+      writer.u8(kStatusResponseBit |
+                static_cast<std::uint8_t>(StatusRequest::kStop));
+      return writer.take();
+    }
+  }
+  return error_frame_body(StatusErrorCode::kUnknownTag,
+                          "unknown request tag");
+}
+
+util::Bytes frame_status_message(std::span<const std::uint8_t> body) {
+  util::ByteWriter writer;
+  writer.u32(static_cast<std::uint32_t>(body.size()));
+  writer.raw(body);
+  return writer.take();
+}
+
+// ------------------------------------------------------------------ server
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+struct Connection {
+  int fd = -1;
+  util::Bytes in;
+  util::Bytes out;
+  bool close_after_flush = false;
+};
+
+}  // namespace
+
+StatusService::StatusService(const obs::IntrospectionHub& hub,
+                             Options options)
+    : hub_(&hub),
+      options_(std::move(options)),
+      sampler_(hub, options_.tick_ms > 0
+                        ? static_cast<std::uint64_t>(options_.tick_ms)
+                        : 100) {}
+
+StatusService::~StatusService() { stop(); }
+
+void StatusService::close_listeners() {
+  for (int* fd : {&unix_fd_, &tcp_fd_, &wake_fds_[0], &wake_fds_[1]}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+}
+
+bool StatusService::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  if (options_.unix_path.empty() && !options_.tcp) {
+    error_ = "no listener configured";
+    return false;
+  }
+  if (::pipe(wake_fds_) != 0) {
+    error_ = "pipe failed";
+    return false;
+  }
+  set_nonblocking(wake_fds_[0]);
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof addr.sun_path) {
+      error_ = "unix socket path too long";
+      close_listeners();
+      return false;
+    }
+    std::memcpy(addr.sun_path, options_.unix_path.c_str(),
+                options_.unix_path.size() + 1);
+    ::unlink(options_.unix_path.c_str());
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0 ||
+        ::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+            0 ||
+        ::listen(unix_fd_, 16) != 0 || !set_nonblocking(unix_fd_)) {
+      error_ = "unix socket bind/listen failed: ";
+      error_ += ::strerror(errno);
+      close_listeners();
+      return false;
+    }
+  }
+
+  if (options_.tcp) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+    addr.sin_port = htons(options_.tcp_port);
+    const int one = 1;
+    if (tcp_fd_ >= 0) {
+      ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    }
+    socklen_t len = sizeof addr;
+    if (tcp_fd_ < 0 ||
+        ::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+            0 ||
+        ::listen(tcp_fd_, 16) != 0 || !set_nonblocking(tcp_fd_) ||
+        ::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+            0) {
+      error_ = "tcp bind/listen failed: ";
+      error_ += ::strerror(errno);
+      close_listeners();
+      return false;
+    }
+    tcp_port_ = ntohs(addr.sin_port);
+  }
+
+  shutdown_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void StatusService::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  shutdown_.store(true, std::memory_order_release);
+  if (wake_fds_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fds_[1], &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  close_listeners();
+  running_.store(false, std::memory_order_release);
+}
+
+void StatusService::loop() {
+  std::vector<Connection> connections;
+  std::vector<pollfd> fds;
+
+  const auto drop_connection = [&connections](std::size_t index) {
+    ::close(connections[index].fd);
+    connections.erase(connections.begin() +
+                      static_cast<std::ptrdiff_t>(index));
+  };
+
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
+    if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
+    const std::size_t first_conn = fds.size();
+    for (const auto& conn : connections) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+    }
+
+    const int timeout = options_.tick_ms > 0 ? options_.tick_ms : 100;
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    // Wall-domain sampling rides the poll cadence; the sampler rate-limits
+    // itself so busy connections don't oversample.
+    sampler_.tick();
+    if (ready <= 0) continue;
+
+    // Drain the self-pipe (shutdown is re-checked by the loop condition).
+    if ((fds[0].revents & POLLIN) != 0) {
+      char scratch[16];
+      while (::read(wake_fds_[0], scratch, sizeof scratch) > 0) {
+      }
+    }
+
+    // Accept on both listeners.
+    for (std::size_t i = 1; i < first_conn; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      for (;;) {
+        const int client = ::accept(fds[i].fd, nullptr, nullptr);
+        if (client < 0) break;
+        set_nonblocking(client);
+        Connection conn;
+        conn.fd = client;
+        connections.push_back(std::move(conn));
+      }
+    }
+
+    // Service existing connections (iterate backwards: drops are erases).
+    for (std::size_t i = connections.size(); i-- > 0;) {
+      Connection& conn = connections[i];
+      const pollfd* pfd = nullptr;
+      for (std::size_t f = first_conn; f < fds.size(); ++f) {
+        if (fds[f].fd == conn.fd) {
+          pfd = &fds[f];
+          break;
+        }
+      }
+      if (pfd == nullptr) continue;
+      bool dead = (pfd->revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+                  (pfd->revents & POLLIN) == 0;
+
+      if (!dead && (pfd->revents & POLLIN) != 0) {
+        std::uint8_t chunk[kReadChunk];
+        for (;;) {
+          const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+          if (n > 0) {
+            conn.in.insert(conn.in.end(), chunk, chunk + n);
+            if (conn.in.size() > kMaxBufferedBytes) {
+              dead = true;
+              break;
+            }
+            continue;
+          }
+          if (n == 0) dead = true;  // EOF (truncated frames die silently)
+          break;
+        }
+      }
+
+      // Extract complete frames.
+      while (!dead && !conn.close_after_flush && conn.in.size() >= 4) {
+        util::ByteReader header(conn.in);
+        const std::uint32_t length = *header.u32();
+        if (length > kMaxStatusRequestBody) {
+          // The declared length cannot be trusted; answer and hang up.
+          const util::Bytes error = error_frame_body(
+              StatusErrorCode::kOversized, "frame length exceeds 64 bytes");
+          const util::Bytes framed = frame_status_message(error);
+          conn.out.insert(conn.out.end(), framed.begin(), framed.end());
+          conn.close_after_flush = true;
+          break;
+        }
+        if (conn.in.size() < 4u + length) break;  // wait for the rest
+        StatusContext context;
+        context.hub = hub_;
+        context.sampler = &sampler_;
+        context.allow_stop = options_.allow_stop;
+        const util::Bytes response = handle_status_frame(
+            std::span<const std::uint8_t>(conn.in).subspan(4, length),
+            context);
+        if (context.stop_requested) {
+          stop_requested_.store(true, std::memory_order_release);
+        }
+        const util::Bytes framed = frame_status_message(response);
+        conn.out.insert(conn.out.end(), framed.begin(), framed.end());
+        conn.in.erase(conn.in.begin(),
+                      conn.in.begin() + 4 + static_cast<std::ptrdiff_t>(length));
+        if (conn.out.size() > kMaxBufferedBytes) {
+          conn.close_after_flush = true;
+        }
+      }
+
+      // Flush pending output.
+      if (!dead && !conn.out.empty()) {
+        const ssize_t n = ::write(conn.fd, conn.out.data(), conn.out.size());
+        if (n > 0) {
+          conn.out.erase(conn.out.begin(), conn.out.begin() + n);
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          dead = true;
+        }
+      }
+      if (conn.close_after_flush && conn.out.empty()) dead = true;
+      if (dead) drop_connection(i);
+    }
+  }
+
+  for (auto& conn : connections) {
+    ::close(conn.fd);
+  }
+}
+
+}  // namespace ofh::core

@@ -1,0 +1,156 @@
+// Wire-served live status endpoint: a tiny single-threaded poll-loop
+// server exposing IntrospectionHub snapshots, the progress-event stream
+// and the study's text exports over a length-prefixed binary protocol.
+// This is the first real wire the ByteReader/ByteWriter codec layer serves
+// (ROADMAP item 2's worker fleet speaks the same framing) and the query
+// half of ROADMAP item 5's `ofh-studyd` serving mode.
+//
+// Protocol (all integers big-endian, built on util::ByteWriter/ByteReader):
+//
+//   frame    := u32 body_length | body
+//   request  := u8 tag | payload            (body_length <= 64)
+//   response := u8 (0x80 | request tag) | payload
+//   error    := u8 0x7f | u8 code | str16 message
+//
+// Request tags and response payloads:
+//   1 status        -> u64 epoch, u8 phase, str8 phase_name, u64 sim_now,
+//                      u64 sim_day, u64 sweep_done, u64 sweep_total,
+//                      u8 sweep_count x { str8 name, u64 done, u64 total },
+//                      u64 trace_recorded, u64 trace_dropped,
+//                      u64 events_published,
+//                      u8 kind_count x u64 per-kind event totals,
+//                      u64 rss_bytes, u64 vm_hwm_bytes,
+//                      u64 hosts_per_sec_milli, u64 packets_per_sec_milli,
+//                      u64 eta_ms (UINT64_MAX = unknown),
+//                      u64 wall_elapsed_ms
+//   2 progress      -> payload: u64 cursor (empty = 0). Response:
+//                      u64 next_cursor, u64 lost, u16 count x
+//                      { u64 seq, u8 kind, u8 phase, u16 shard,
+//                        u64 sim_time, u64 a, u64 b }
+//   3 metrics       -> u32 length | Prometheus text (wall metrics included;
+//                      this is a live observability channel, not a
+//                      deterministic export)
+//   4 phase-metrics -> u32 length | per-phase Prometheus captures
+//   5 degradation   -> u32 length | degradation report text
+//   6 trace-stats   -> u16 count x { u16 shard, u64 recorded, u64 dropped }
+//   7 stop          -> empty (only when Options::allow_stop; else error 5)
+//
+// Error codes: 1 unknown-tag, 2 oversized, 3 malformed, 4 unavailable,
+// 5 forbidden. Oversized frames additionally close the connection (the
+// declared length cannot be trusted enough to resynchronize).
+//
+// Threading: the server runs one background thread; every hub access goes
+// through the lock-free snapshot/poll read side, so attaching a server to
+// a running study perturbs nothing deterministic
+// (tests/introspect_test.cpp pins byte-identical exports with a polling
+// client attached at scan_threads 1/2/8).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+
+#include "obs/introspect.h"
+#include "util/bytes.h"
+
+namespace ofh::core {
+
+enum class StatusRequest : std::uint8_t {
+  kStatus = 1,
+  kProgress = 2,
+  kMetrics = 3,
+  kPhaseMetrics = 4,
+  kDegradation = 5,
+  kTraceStats = 6,
+  kStop = 7,
+};
+
+enum class StatusErrorCode : std::uint8_t {
+  kUnknownTag = 1,
+  kOversized = 2,
+  kMalformed = 3,
+  kUnavailable = 4,
+  kForbidden = 5,
+};
+std::string_view status_error_name(StatusErrorCode code);
+
+inline constexpr std::uint8_t kStatusResponseBit = 0x80;
+inline constexpr std::uint8_t kStatusErrorTag = 0x7f;
+// Requests are tiny; anything longer is hostile or corrupt.
+inline constexpr std::size_t kMaxStatusRequestBody = 64;
+// Cap progress events per response frame; clients poll the cursor forward.
+inline constexpr std::size_t kMaxProgressEventsPerFrame = 256;
+
+// Everything the pure frame handler needs. `sampler` and the text blobs
+// are optional; absent pieces answer with error kUnavailable.
+struct StatusContext {
+  const obs::IntrospectionHub* hub = nullptr;
+  obs::ProgressSampler* sampler = nullptr;
+  bool allow_stop = false;
+  bool stop_requested = false;  // set by a permitted stop request
+};
+
+// Handles one request body (frame minus the length prefix) and returns the
+// response body. Pure: no sockets, no globals beyond the hub/registries the
+// context points at — unit tests drive hostile frames straight through it.
+util::Bytes handle_status_frame(std::span<const std::uint8_t> body,
+                                StatusContext& context);
+
+// Convenience for clients/tests: wraps a body in its u32 length prefix.
+util::Bytes frame_status_message(std::span<const std::uint8_t> body);
+
+class StatusService {
+ public:
+  struct Options {
+    std::string unix_path;       // empty = no unix-domain listener
+    bool tcp = false;            // listen on 127.0.0.1
+    std::uint16_t tcp_port = 0;  // 0 = ephemeral (see tcp_port())
+    bool allow_stop = false;     // honor the stop request
+    int tick_ms = 100;           // poll timeout / sampler cadence
+  };
+
+  StatusService(const obs::IntrospectionHub& hub, Options options);
+  ~StatusService();
+  StatusService(const StatusService&) = delete;
+  StatusService& operator=(const StatusService&) = delete;
+
+  // Binds the listeners and starts the serving thread. Returns false (and
+  // sets error()) when no listener could be bound.
+  bool start();
+  // Idempotent; joins the serving thread.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& error() const { return error_; }
+  // Actual TCP port after an ephemeral bind (0 when TCP is off).
+  std::uint16_t tcp_port() const { return tcp_port_; }
+  // True once a permitted stop request arrived over the wire.
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+  obs::ProgressSampler& sampler() { return sampler_; }
+
+ private:
+  void loop();
+  void close_listeners();
+
+  const obs::IntrospectionHub* hub_;
+  Options options_;
+  obs::ProgressSampler sampler_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: stop() wakes the poll loop
+  std::uint16_t tcp_port_ = 0;
+  std::string error_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace ofh::core

@@ -40,24 +40,58 @@ std::pair<std::uint64_t, std::uint64_t> fabric_traffic() {
   return {sent, faulted};
 }
 
+// Stable phase ids for the introspection board and progress events. 0 is
+// "idle" (between phases); the names match the PhaseScope span names.
+std::uint8_t phase_id(std::string_view name) {
+  if (name == "setup") return 1;
+  if (name == "scan") return 2;
+  if (name == "filter") return 3;
+  if (name == "datasets") return 4;
+  if (name == "attack_month") return 5;
+  if (name == "correlate") return 6;
+  return 0;
+}
+
+std::uint64_t sim_day_of(sim::Time now) { return now / sim::days(1); }
+
+// Worker shards publish a kSweepProgress event whenever their resolved
+// count crosses a multiple of this stride (checked every 1024 sim steps).
+// Both constants are pure functions of the shard's deterministic event
+// stream, so the per-kind event counts are byte-identical for every
+// scan_threads value.
+constexpr std::uint64_t kSweepProgressStride = 4096;
+
 // Wraps one Study phase in a trace span: sim timestamps are deterministic,
 // the wall-clock duration feeds only the profile channel. When the scope
 // closes it optionally appends a Prometheus snapshot to the Study's
 // phase_metrics_ sequence and the phase's fabric sent/faulted deltas to
 // its fault-stats sequence (sub-spans like scan/filter pass nullptr).
+// The scope also drives the live introspection hub: phase enter/exit
+// events, the seqlock board, and — for top-level phases — the boundary
+// text blobs (phase metrics, degradation report) the status service hands
+// to remote readers.
 class PhaseScope {
  public:
-  PhaseScope(std::string name, sim::Simulation& sim,
+  PhaseScope(std::string name, sim::Simulation& sim, Study* study,
              std::vector<std::pair<std::string, std::string>>* phase_metrics,
              std::vector<PhaseFaultStats>* fault_stats = nullptr)
       : name_(std::move(name)),
         sim_(sim),
+        study_(study),
         phase_metrics_(phase_metrics),
         fault_stats_(fault_stats),
         sim_start_(sim.now()),
         // ofh-lint: allow(wall-clock) — phase wall profile: feeds only the obs Domain::kWall channel, quarantined out of every deterministic export
         wall_start_(std::chrono::steady_clock::now()) {
     if (fault_stats_ != nullptr) traffic_start_ = fabric_traffic();
+    if (study_ != nullptr) {
+      auto& hub = study_->introspection();
+      const std::uint8_t id = phase_id(name_);
+      previous_phase_ = hub.current_phase();
+      hub.set_phase_name(id, name_);
+      hub.set_board(id, sim_start_, sim_day_of(sim_start_));
+      hub.publish(obs::ProgressKind::kPhaseEnter, id, 0, sim_start_);
+    }
   }
 
   PhaseScope(const PhaseScope&) = delete;
@@ -80,15 +114,36 @@ class PhaseScope {
       fault_stats_->push_back({name_, sent - traffic_start_.first,
                                faulted - traffic_start_.second});
     }
+    if (study_ != nullptr) {
+      auto& hub = study_->introspection();
+      const std::uint8_t id = phase_id(name_);
+      hub.publish(obs::ProgressKind::kPhaseExit, id, 0, sim_.now(),
+                  sim_.now() - sim_start_);
+      hub.set_board(previous_phase_, sim_.now(), sim_day_of(sim_.now()));
+      if (phase_metrics_ != nullptr) {
+        // Boundary blobs for the status endpoint. Cheap relative to a
+        // phase, and only ever written here (main thread, phase exit).
+        std::string all;
+        for (const auto& [phase_name, text] : *phase_metrics_) {
+          all += "## phase " + phase_name + "\n" + text;
+        }
+        hub.set_text(obs::IntrospectionHub::TextSlot::kPhaseMetrics,
+                     std::move(all));
+        hub.set_text(obs::IntrospectionHub::TextSlot::kDegradation,
+                     study_->degradation_report());
+      }
+    }
   }
 
  private:
   std::string name_;
   sim::Simulation& sim_;
+  Study* study_;
   std::vector<std::pair<std::string, std::string>>* phase_metrics_;
   std::vector<PhaseFaultStats>* fault_stats_;
   std::pair<std::uint64_t, std::uint64_t> traffic_start_{0, 0};
   std::uint64_t sim_start_;
+  std::uint8_t previous_phase_ = 0;
   // ofh-lint: allow(wall-clock) — storage for the wall-profile anchor above; same Domain::kWall quarantine
   std::chrono::steady_clock::time_point wall_start_;
 };
@@ -122,7 +177,9 @@ struct ScanShard {
 // state and are free to run concurrently.
 ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
                          std::uint64_t sweep_seed, sim::Time start,
-                         std::uint16_t trace_shard) {
+                         std::uint16_t trace_shard,
+                         obs::IntrospectionHub* hub, std::size_t sweep_slot,
+                         std::uint64_t sweep_total) {
   // All trace events this sweep produces — probe mints, packet fates, TCP
   // transitions — land in the sweep's own deterministic shard recorder
   // (shard 0 is the main simulation), regardless of which worker thread
@@ -170,7 +227,38 @@ ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
   scan.max_attempts = config.scan_attempts;
   bool done = false;
   scanner.start(scan, [&done] { done = true; });
-  while (!done && sim.step()) {
+  if (hub == nullptr) {
+    while (!done && sim.step()) {
+    }
+  } else {
+    // Progress sampling: every 1024 sim steps fold the shard's resolved
+    // count into the sweep slot, and publish a kSweepProgress event each
+    // time that count crosses a kSweepProgressStride boundary. Both the
+    // sample points and the stride crossings are pure functions of the
+    // shard's deterministic event stream, so the event-kind totals are
+    // identical at every scan_threads value; only ring interleaving (which
+    // no deterministic consumer reads) varies.
+    const std::uint8_t phase = phase_id("scan");
+    const auto event_shard = static_cast<std::uint16_t>(sweep_slot + 1);
+    std::uint64_t steps = 0;
+    std::uint64_t published_stride = 0;
+    while (!done && sim.step()) {
+      if ((++steps & 1023u) != 0) continue;
+      const std::uint64_t resolved =
+          db.responsive() + db.refused() + db.unresolved();
+      hub->update_sweep(sweep_slot, resolved);
+      const std::uint64_t stride = resolved / kSweepProgressStride;
+      if (stride > published_stride) {
+        published_stride = stride;
+        hub->publish(obs::ProgressKind::kSweepProgress, phase, event_shard,
+                     sim.now(), resolved, sweep_total);
+      }
+    }
+    const std::uint64_t resolved =
+        db.responsive() + db.refused() + db.unresolved();
+    hub->update_sweep(sweep_slot, resolved);
+    hub->publish(obs::ProgressKind::kSweepDone, phase, event_shard, sim.now(),
+                 resolved, sweep_total);
   }
 
   ScanShard shard;
@@ -358,7 +446,7 @@ std::uint64_t Study::scaled_attack(std::uint64_t paper) const {
 }
 
 void Study::setup_internet() {
-  PhaseScope span("setup", sim_, &phase_metrics_, &phase_fault_stats_);
+  PhaseScope span("setup", sim_, this, &phase_metrics_, &phase_fault_stats_);
   devices::PopulationSpec spec;
   spec.seed = config_.seed;
   spec.scale = config_.population_scale;
@@ -386,7 +474,7 @@ void Study::setup_internet() {
 }
 
 void Study::run_scan() {
-  PhaseScope span("scan", sim_, &phase_metrics_, &phase_fault_stats_);
+  PhaseScope span("scan", sim_, this, &phase_metrics_, &phase_fault_stats_);
   // Six sweeps spread across one week at the paper's day offsets
   // (Appendix Table 9: CoAP Mar 1; UPnP+Telnet Mar 2; MQTT+AMQP Mar 4;
   // XMPP Mar 5). Each sweep is an independent shard with a splitmix64-
@@ -397,6 +485,15 @@ void Study::run_scan() {
   const sim::Time scan_epoch = sim_.now();
   const auto& protocols = proto::scanned_protocols();
 
+  // Every sweep targets the full populated prefix set; its slot total is
+  // the address count so remote readers can render done/total bars. The
+  // totals (and the folded finals) are deterministic; only the in-flight
+  // `done` samples concurrent readers observe are racy-by-design.
+  std::uint64_t sweep_targets = 0;
+  for (const auto& prefix : population_->prefixes()) {
+    sweep_targets += prefix.size();
+  }
+
   std::vector<std::function<ScanShard()>> jobs;
   for (std::size_t i = 0; i < protocols.size(); ++i) {
     const proto::Protocol protocol = protocols[i];
@@ -404,9 +501,12 @@ void Study::run_scan() {
     scan_dates_[protocol] = start;
     const std::uint64_t sweep_seed = sim::shard_seed(config_.seed, i);
     const auto trace_shard = static_cast<std::uint16_t>(i + 1);
-    jobs.emplace_back([this, protocol, sweep_seed, start, trace_shard] {
-      return run_scan_shard(config_, protocol, sweep_seed, start,
-                            trace_shard);
+    const std::size_t sweep_slot = introspect_.add_sweep(
+        std::string(proto::protocol_name(protocol)), sweep_targets);
+    jobs.emplace_back([this, protocol, sweep_seed, start, trace_shard,
+                       sweep_slot, sweep_targets] {
+      return run_scan_shard(config_, protocol, sweep_seed, start, trace_shard,
+                            &introspect_, sweep_slot, sweep_targets);
     });
   }
   auto shards = sim::ParallelRunner(config_.scan_threads).run(std::move(jobs));
@@ -442,7 +542,7 @@ void Study::run_scan() {
 
   // Classification + honeypot filtering is its own sub-span: it runs on the
   // merged DB after the sweeps, and the paper treats it as a distinct step.
-  PhaseScope filter_span("filter", sim_, nullptr);
+  PhaseScope filter_span("filter", sim_, this, nullptr);
   unfiltered_findings_ = classify::classify_all(scan_db_);
   fingerprints_ = classify::fingerprint_all(scan_db_);
   findings_ = config_.filter_honeypots
@@ -461,7 +561,8 @@ void Study::run_scan() {
 }
 
 void Study::run_datasets() {
-  PhaseScope span("datasets", sim_, &phase_metrics_, &phase_fault_stats_);
+  PhaseScope span("datasets", sim_, this, &phase_metrics_,
+                  &phase_fault_stats_);
   sonar_ = datasets::generate_snapshot(datasets::project_sonar_model(),
                                        *population_, config_.seed + 11);
   shodan_ = datasets::generate_snapshot(datasets::shodan_model(),
@@ -469,7 +570,8 @@ void Study::run_datasets() {
 }
 
 void Study::run_attack_month() {
-  PhaseScope span("attack_month", sim_, &phase_metrics_, &phase_fault_stats_);
+  PhaseScope span("attack_month", sim_, this, &phase_metrics_,
+                  &phase_fault_stats_);
   // Six public addresses for the honeypot groups (Figure 1).
   std::vector<util::Ipv4Addr> addresses;
   for (int i = 0; i < 6; ++i) {
@@ -500,12 +602,28 @@ void Study::run_attack_month() {
                                               deployment_, *telescope_);
   fleet_->deploy(*fabric_, rdns_, virustotal_, greynoise_, censys_);
 
+  // Run the month one sim-day at a time. run_until() lands the clock on
+  // each deadline whether or not events remain, so chunking is behavior-
+  // identical to a single run_until(end) call — it only adds deterministic
+  // day-boundary stops where the board and a kSimDayAdvance event (attack
+  // log size, telescope flowtuples) are published for live readers.
   const sim::Time start = sim_.now();
-  sim_.run_until(start + config_.attack_duration + sim::hours(1));
+  const sim::Time end = start + config_.attack_duration + sim::hours(1);
+  const std::uint8_t phase = phase_id("attack_month");
+  for (sim::Time next = start + sim::days(1); next < end;
+       next += sim::days(1)) {
+    sim_.run_until(next);
+    introspect_.set_board(phase, sim_.now(), sim_day_of(sim_.now()));
+    introspect_.publish(obs::ProgressKind::kSimDayAdvance, phase, 0,
+                        sim_.now(), attack_log_.size(),
+                        telescope_->total_packets());
+  }
+  sim_.run_until(end);
 }
 
 void Study::correlate() {
-  PhaseScope span("correlate", sim_, &phase_metrics_, &phase_fault_stats_);
+  PhaseScope span("correlate", sim_, this, &phase_metrics_,
+                  &phase_fault_stats_);
   infected_ = correlate_infected(findings_, attack_log_, *telescope_);
   std::set<std::uint32_t> correlated;
   correlated.insert(infected_.both.begin(), infected_.both.end());

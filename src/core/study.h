@@ -29,6 +29,7 @@
 #include "intel/geo.h"
 #include "intel/threat_intel.h"
 #include "net/fabric.h"
+#include "obs/introspect.h"
 #include "scanner/scan_db.h"
 #include "sim/simulation.h"
 #include "telescope/rsdos.h"
@@ -204,6 +205,15 @@ class Study {
       const {
     return phase_metrics_;
   }
+  // Live introspection hub: phases, sweep progress and sim-day advances
+  // are published here as the study runs, so concurrent readers (the
+  // status service, tools/ofh-top) can watch without perturbing anything
+  // deterministic. Always active — publishing is a handful of relaxed
+  // atomics per stride, and having it unconditionally on is what makes
+  // "introspection attached vs not" trivially byte-identical.
+  obs::IntrospectionHub& introspection() { return introspect_; }
+  const obs::IntrospectionHub& introspection() const { return introspect_; }
+
   // Chrome trace-event JSON of this run: phase spans plus the merged
   // flight-recorder events, loadable in Perfetto / chrome://tracing.
   // Deterministic (sim-time only) and byte-identical across scan_threads.
@@ -262,6 +272,7 @@ class Study {
 
   std::vector<std::pair<std::string, std::string>> phase_metrics_;
   std::vector<PhaseFaultStats> phase_fault_stats_;
+  obs::IntrospectionHub introspect_;
 };
 
 }  // namespace ofh::core

@@ -1,0 +1,318 @@
+#include "obs/introspect.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/proc_stat.h"
+
+namespace ofh::obs {
+
+std::string_view progress_kind_name(ProgressKind kind) {
+  switch (kind) {
+    case ProgressKind::kPhaseEnter: return "phase-enter";
+    case ProgressKind::kPhaseExit: return "phase-exit";
+    case ProgressKind::kSweepProgress: return "sweep-progress";
+    case ProgressKind::kSweepDone: return "sweep-done";
+    case ProgressKind::kSimDayAdvance: return "day-advance";
+  }
+  return "?";
+}
+
+// -------------------------------------------------------------------- ring
+
+namespace {
+
+// word 0 packs the small fields; words 1..3 carry sim_time / a / b.
+std::uint64_t pack_header(const ProgressEvent& event) {
+  return static_cast<std::uint64_t>(event.kind) |
+         (static_cast<std::uint64_t>(event.phase) << 8) |
+         (static_cast<std::uint64_t>(event.shard) << 16);
+}
+
+void unpack_header(std::uint64_t word, ProgressEvent& event) {
+  event.kind = static_cast<ProgressKind>(word & 0xff);
+  event.phase = static_cast<std::uint8_t>((word >> 8) & 0xff);
+  event.shard = static_cast<std::uint16_t>((word >> 16) & 0xffff);
+}
+
+}  // namespace
+
+ProgressRing::ProgressRing(std::size_t capacity)
+    : capacity_(std::bit_ceil(std::max<std::size_t>(capacity, 16))),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]) {}
+
+void ProgressRing::publish(const ProgressEvent& event) {
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  // Claim the slot: CAS whatever published/stale marker is there to busy.
+  // A writer lapped onto a slot mid-write spins for the handful of stores
+  // the owner still needs — the owner never waits on anyone, so this is
+  // wait-bounded and deadlock-free.
+  std::uint64_t seen = slot.marker.load(std::memory_order_relaxed);
+  for (;;) {
+    if (seen != kBusyMarker &&
+        slot.marker.compare_exchange_weak(seen, kBusyMarker,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      break;
+    }
+    seen = slot.marker.load(std::memory_order_relaxed);
+  }
+  // Release stores: any reader that observes one of these payload words
+  // also observes the busy marker stored before it (via the CAS above),
+  // so its second marker check cannot validate a torn copy.
+  slot.words[0].store(pack_header(event), std::memory_order_release);
+  slot.words[1].store(event.sim_time, std::memory_order_release);
+  slot.words[2].store(event.a, std::memory_order_release);
+  slot.words[3].store(event.b, std::memory_order_release);
+  slot.marker.store(ticket + 1, std::memory_order_release);
+}
+
+std::size_t ProgressRing::poll(Cursor& cursor, ProgressEvent* out,
+                               std::size_t max) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  // Events older than one full lap are gone by construction.
+  if (head >= capacity_ && cursor.next < head - capacity_) {
+    cursor.lost += (head - capacity_) - cursor.next;
+    cursor.next = head - capacity_;
+  }
+  std::size_t produced = 0;
+  while (produced < max && cursor.next < head) {
+    const Slot& slot = slots_[cursor.next & mask_];
+    const std::uint64_t want = cursor.next + 1;
+    const std::uint64_t before = slot.marker.load(std::memory_order_acquire);
+    if (before != want) {
+      if (before != kBusyMarker && before > want) {
+        // A later lap already published here: this event is gone.
+        ++cursor.lost;
+        ++cursor.next;
+        continue;
+      }
+      // Busy or stale: the writer holding this ticket (or a lapping one)
+      // has not finished. Stop; the caller polls again later.
+      break;
+    }
+    ProgressEvent event;
+    unpack_header(slot.words[0].load(std::memory_order_acquire), event);
+    event.sim_time = slot.words[1].load(std::memory_order_acquire);
+    event.a = slot.words[2].load(std::memory_order_acquire);
+    event.b = slot.words[3].load(std::memory_order_acquire);
+    const std::uint64_t after = slot.marker.load(std::memory_order_relaxed);
+    if (after != want) {
+      // Overwritten mid-copy; the copy may be torn — discard it.
+      ++cursor.lost;
+      ++cursor.next;
+      continue;
+    }
+    event.seq = cursor.next;
+    out[produced] = event;
+    ++produced;
+    ++cursor.next;
+  }
+  return produced;
+}
+
+// --------------------------------------------------------------------- hub
+
+IntrospectionHub::IntrospectionHub(std::size_t ring_capacity)
+    : ring_(ring_capacity) {}
+
+void IntrospectionHub::set_board(std::uint8_t phase, std::uint64_t sim_now,
+                                 std::uint64_t sim_day) {
+  const std::uint64_t v = board_version_.load(std::memory_order_relaxed);
+  board_version_.store(v + 1, std::memory_order_relaxed);  // odd: writing
+  board_phase_.store(phase, std::memory_order_release);
+  board_sim_now_.store(sim_now, std::memory_order_release);
+  board_sim_day_.store(sim_day, std::memory_order_release);
+  board_version_.store(v + 2, std::memory_order_release);  // even: done
+}
+
+void IntrospectionHub::set_phase_name(std::uint8_t phase,
+                                      std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  phase_names_[phase] = std::string(name);
+}
+
+std::size_t IntrospectionHub::add_sweep(std::string_view name,
+                                        std::uint64_t total) {
+  const std::uint64_t count = sweep_count_.load(std::memory_order_relaxed);
+  if (count >= kMaxSweepSlots) return kMaxSweepSlots;
+  SweepSlot& slot = sweeps_[count];
+  slot.name = std::string(name);
+  slot.total.store(total, std::memory_order_relaxed);
+  slot.done.store(0, std::memory_order_relaxed);
+  // The release publish makes name/total visible to any reader that
+  // acquires the new count.
+  sweep_count_.store(count + 1, std::memory_order_release);
+  return static_cast<std::size_t>(count);
+}
+
+void IntrospectionHub::set_text(TextSlot slot, std::string text) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (slot == TextSlot::kPhaseMetrics ? phase_metrics_text_ : degradation_text_) =
+      std::move(text);
+}
+
+std::string IntrospectionHub::text(TextSlot slot) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slot == TextSlot::kPhaseMetrics ? phase_metrics_text_
+                                         : degradation_text_;
+}
+
+void IntrospectionHub::publish(ProgressKind kind, std::uint8_t phase,
+                               std::uint16_t shard, std::uint64_t sim_time,
+                               std::uint64_t a, std::uint64_t b) {
+  kind_counts_[static_cast<std::size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  ProgressEvent event;
+  event.kind = kind;
+  event.phase = phase;
+  event.shard = shard;
+  event.sim_time = sim_time;
+  event.a = a;
+  event.b = b;
+  ring_.publish(event);
+}
+
+LiveSnapshot IntrospectionHub::snapshot(bool include_metrics) const {
+  LiveSnapshot snap;
+
+  // Seqlock read: retry until a consistent even-version window.
+  for (;;) {
+    const std::uint64_t v1 = board_version_.load(std::memory_order_acquire);
+    if ((v1 & 1) != 0) continue;
+    snap.phase = static_cast<std::uint8_t>(
+        board_phase_.load(std::memory_order_acquire));
+    snap.sim_now = board_sim_now_.load(std::memory_order_acquire);
+    snap.sim_day = board_sim_day_.load(std::memory_order_acquire);
+    const std::uint64_t v2 = board_version_.load(std::memory_order_relaxed);
+    if (v1 == v2) {
+      snap.epoch = v1 / 2;
+      break;
+    }
+  }
+
+  for (std::size_t k = 0; k < kProgressKindCount; ++k) {
+    snap.kind_counts[k] = kind_counts_[k].load(std::memory_order_acquire);
+  }
+  snap.events_published = ring_.published();
+
+  const std::uint64_t count = sweep_count_.load(std::memory_order_acquire);
+  snap.sweeps.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const SweepSlot& slot = sweeps_[i];
+    SweepProgress sweep;
+    sweep.name = slot.name;
+    sweep.total = slot.total.load(std::memory_order_acquire);
+    sweep.done = slot.done.load(std::memory_order_acquire);
+    // A worker's live counter can momentarily run ahead of what the
+    // coordinating thread registered; clamp so done/total stays sane.
+    sweep.done = std::min(sweep.done, sweep.total);
+    snap.sweep_done += sweep.done;
+    snap.sweep_total += sweep.total;
+    snap.sweeps.push_back(std::move(sweep));
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snap.phase_name = phase_names_[snap.phase];
+  }
+
+#ifndef OFH_NO_METRICS
+  snap.trace_shards = TraceRegistry::global().live_stats();
+  for (const auto& shard : snap.trace_shards) {
+    snap.trace_recorded += shard.recorded;
+    snap.trace_dropped += shard.dropped;
+  }
+  if (include_metrics) {
+    snap.metrics = Registry::global().snapshot();
+  }
+#else
+  (void)include_metrics;
+#endif
+  return snap;
+}
+
+// ----------------------------------------------------------------- sampler
+
+ProgressSampler::ProgressSampler(const IntrospectionHub& hub,
+                                 std::uint64_t min_interval_ms)
+    : hub_(&hub),
+      min_interval_ms_(min_interval_ms),
+      rss_gauge_(gauge("process.rss_bytes", Domain::kWall)),
+      hwm_gauge_(gauge("process.vm_hwm_bytes", Domain::kWall)) {}
+
+SamplerStats ProgressSampler::tick(bool force) {
+  const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!have_anchor_) {
+    have_anchor_ = true;
+    start_ = now;
+    last_tick_ = now - std::chrono::milliseconds(min_interval_ms_);
+  }
+  const auto since_tick =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - last_tick_)
+          .count();
+  if (!force && static_cast<std::uint64_t>(since_tick) < min_interval_ms_) {
+    return stats_;
+  }
+  const double dt =
+      std::chrono::duration<double>(now - last_tick_).count();
+  last_tick_ = now;
+
+  const ProcMemory memory = read_proc_memory();
+  // Gauges only expose add(); publish the absolute reading as a delta
+  // against what we last pushed.
+  rss_gauge_.add(static_cast<std::int64_t>(memory.rss_bytes) -
+                 rss_published_);
+  rss_published_ = static_cast<std::int64_t>(memory.rss_bytes);
+  hwm_gauge_.add(static_cast<std::int64_t>(memory.vm_hwm_bytes) -
+                 hwm_published_);
+  hwm_published_ = static_cast<std::int64_t>(memory.vm_hwm_bytes);
+
+  const LiveSnapshot snap = hub_->snapshot(true);
+  std::uint64_t packets = 0;
+  for (const auto& row : snap.metrics) {
+    if (row.name == "fabric.packets_sent") {
+      packets = static_cast<std::uint64_t>(row.value);
+      break;
+    }
+  }
+
+  stats_.ticks += 1;
+  stats_.rss_bytes = memory.rss_bytes;
+  stats_.vm_hwm_bytes = memory.vm_hwm_bytes;
+  stats_.wall_elapsed_seconds =
+      std::chrono::duration<double>(now - start_).count();
+  if (dt > 0.0) {
+    const std::uint64_t hosts = snap.sweep_done;
+    stats_.hosts_per_sec =
+        hosts >= last_hosts_
+            ? static_cast<double>(hosts - last_hosts_) / dt
+            : 0.0;
+    stats_.packets_per_sec =
+        packets >= last_packets_
+            ? static_cast<double>(packets - last_packets_) / dt
+            : 0.0;
+    last_hosts_ = hosts;
+    last_packets_ = packets;
+  }
+  // Sweep-phase ETA: remaining targets at the current resolution rate.
+  if (snap.sweep_total > 0 && snap.sweep_done < snap.sweep_total &&
+      stats_.hosts_per_sec > 0.0) {
+    stats_.eta_seconds =
+        static_cast<double>(snap.sweep_total - snap.sweep_done) /
+        stats_.hosts_per_sec;
+  } else {
+    stats_.eta_seconds = -1.0;
+  }
+  return stats_;
+}
+
+SamplerStats ProgressSampler::last() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ofh::obs

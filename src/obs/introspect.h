@@ -1,0 +1,288 @@
+// Live study introspection: consistent snapshots and a typed progress
+// stream that concurrent readers can consume *while* scan shards write.
+//
+// Three pieces:
+//   * ProgressRing — a bounded multi-producer broadcast ring of typed
+//     ProgressEvents. Writers never block and never wait for readers; every
+//     reader owns a cursor and observes the stream independently, counting
+//     events the ring lapped before it arrived as `lost`. All slot accesses
+//     are explicit-order atomics, so the ring is clean under
+//     ThreadSanitizer (tests/introspect_thread_test.cpp hammers it).
+//   * IntrospectionHub — the per-study board: a single-writer seqlock over
+//     (phase, sim_now, sim_day), append-only per-sweep progress slots that
+//     worker shards update with relaxed stores, per-kind event counters,
+//     and mutex-guarded boundary blobs (phase metrics, degradation text)
+//     that only change at phase boundaries. snapshot() folds the board
+//     with Registry::snapshot() and TraceRegistry::live_stats() into an
+//     epoch-stamped LiveSnapshot.
+//   * ProgressSampler — the wall-domain half: derives hosts/sec and
+//     packets/sec from snapshot deltas, reads RSS via obs/proc_stat.h into
+//     Domain::kWall gauges, and estimates a per-phase ETA from sweep
+//     progress. Lives here (src/obs) because wall clocks are quarantined to
+//     this directory by the determinism lint.
+//
+// Determinism contract: the write side is part of the deterministic
+// pipeline — every publish() is triggered by a deterministic point in a
+// shard's event stream (phase boundaries, per-shard progress strides,
+// sim-day advances), so the per-kind event *counts* and the final board
+// state are byte-identical for any scan_threads value; only the ring
+// interleaving (which the deterministic exports never read) is
+// schedule-dependent. The read side never writes anything a deterministic
+// export consumes. tests/introspect_test.cpp proves exports stay
+// byte-identical with a polling reader attached.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ofh::obs {
+
+// ------------------------------------------------------------------ events
+
+enum class ProgressKind : std::uint8_t {
+  kPhaseEnter = 0,   // a = 0, b = 0
+  kPhaseExit,        // a = phase sim duration (usec)
+  kSweepProgress,    // shard = sweep slot + 1; a = targets done, b = total
+  kSweepDone,        // shard = sweep slot + 1; a = targets done, b = total
+  kSimDayAdvance,    // a = attack events so far, b = telescope flowtuples
+};
+inline constexpr std::size_t kProgressKindCount = 5;
+std::string_view progress_kind_name(ProgressKind kind);
+
+struct ProgressEvent {
+  std::uint64_t seq = 0;  // ring ticket; assigned by publish()
+  ProgressKind kind = ProgressKind::kPhaseEnter;
+  std::uint8_t phase = 0;
+  std::uint16_t shard = 0;
+  std::uint64_t sim_time = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+// -------------------------------------------------------------------- ring
+
+inline constexpr std::size_t kDefaultProgressRingEvents = 1u << 12;
+
+// Bounded broadcast ring. Multi-producer publish via ticket claim;
+// any number of readers poll with private cursors and never affect
+// writers. Overwrite-on-full: a slow reader loses old events (counted per
+// cursor), it never applies backpressure to the simulation.
+class ProgressRing {
+ public:
+  // Capacity rounds up to a power of two, minimum 16.
+  explicit ProgressRing(std::size_t capacity = kDefaultProgressRingEvents);
+  ProgressRing(const ProgressRing&) = delete;
+  ProgressRing& operator=(const ProgressRing&) = delete;
+
+  void publish(const ProgressEvent& event);
+
+  struct Cursor {
+    std::uint64_t next = 0;  // ticket of the next event to read
+    std::uint64_t lost = 0;  // events overwritten before this reader saw them
+  };
+
+  // Copies up to `max` published events starting at cursor.next, advancing
+  // the cursor. Never blocks; returns the number copied. Events the ring
+  // lapped are skipped and added to cursor.lost.
+  std::size_t poll(Cursor& cursor, ProgressEvent* out, std::size_t max) const;
+
+  // Total events ever published (the ring's head ticket).
+  std::uint64_t published() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  // Marker protocol: 0 = never written, kBusyMarker = claimed by a writer,
+  // ticket + 1 = published. Writers CAS the marker to busy before touching
+  // payload words, so a reader that observes any payload word from writer W
+  // is guaranteed (release/acquire on the payload stores) to observe W's
+  // busy marker too — torn events can never validate.
+  static constexpr std::uint64_t kBusyMarker = ~std::uint64_t{0};
+
+  struct Slot {
+    std::atomic<std::uint64_t> marker{0};
+    std::array<std::atomic<std::uint64_t>, 4> words{};
+  };
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+// --------------------------------------------------------------- snapshots
+
+struct SweepProgress {
+  std::string name;         // protocol being swept
+  std::uint64_t done = 0;   // targets resolved so far
+  std::uint64_t total = 0;  // targets in the sweep
+};
+
+struct LiveSnapshot {
+  std::uint64_t epoch = 0;  // board write count; never regresses
+  std::uint8_t phase = 0;
+  std::string phase_name;
+  std::uint64_t sim_now = 0;  // sim-time, microseconds
+  std::uint64_t sim_day = 0;
+  std::array<std::uint64_t, kProgressKindCount> kind_counts{};
+  std::uint64_t events_published = 0;  // ring head
+  std::vector<SweepProgress> sweeps;
+  std::uint64_t sweep_done = 0;   // fold over sweeps
+  std::uint64_t sweep_total = 0;
+  std::uint64_t trace_recorded = 0;
+  std::uint64_t trace_dropped = 0;
+  std::vector<TraceShardStats> trace_shards;
+  std::vector<MetricRow> metrics;  // Registry::snapshot(); empty if skipped
+};
+
+// --------------------------------------------------------------------- hub
+
+inline constexpr std::size_t kMaxSweepSlots = 32;
+
+class IntrospectionHub {
+ public:
+  explicit IntrospectionHub(
+      std::size_t ring_capacity = kDefaultProgressRingEvents);
+
+  // ---- write side: coordinating thread ----------------------------------
+
+  // Seqlock board update. Single writer by contract (the study's
+  // coordinating thread); concurrent readers retry until they observe a
+  // consistent (phase, sim_now, sim_day) triple.
+  void set_board(std::uint8_t phase, std::uint64_t sim_now,
+                 std::uint64_t sim_day);
+  std::uint8_t current_phase() const {
+    return static_cast<std::uint8_t>(
+        board_phase_.load(std::memory_order_acquire));
+  }
+
+  // Registers the display name for a phase id (mutex; boundary path).
+  void set_phase_name(std::uint8_t phase, std::string_view name);
+
+  // Appends a sweep slot before workers start and returns its index (or
+  // kMaxSweepSlots if the table is full — updates to a full table are
+  // dropped, never trampled). Slots are append-only for the hub's
+  // lifetime: readers acquire the count and may touch name/total of every
+  // slot below it without locks.
+  std::size_t add_sweep(std::string_view name, std::uint64_t total);
+
+  // Boundary text blobs, replaced wholesale at phase boundaries (mutex).
+  enum class TextSlot : std::uint8_t { kPhaseMetrics = 0, kDegradation };
+  void set_text(TextSlot slot, std::string text);
+  std::string text(TextSlot slot) const;
+
+  // ---- write side: any thread -------------------------------------------
+
+  // Monotonic progress store for a sweep slot (worker shards; lock-free).
+  void update_sweep(std::size_t slot, std::uint64_t done) {
+    if (slot >= kMaxSweepSlots) return;
+    sweeps_[slot].done.store(done, std::memory_order_release);
+  }
+
+  // Counts the event and broadcasts it into the ring (lock-free).
+  void publish(ProgressKind kind, std::uint8_t phase, std::uint16_t shard,
+               std::uint64_t sim_time, std::uint64_t a = 0,
+               std::uint64_t b = 0);
+
+  // ---- read side: any thread --------------------------------------------
+
+  // Epoch-stamped consistent fold of board + sweeps + counters + trace
+  // stats (+ the metrics registry unless skipped; skipping keeps the
+  // deterministic progress-summary report independent of metric content).
+  LiveSnapshot snapshot(bool include_metrics = true) const;
+
+  std::size_t poll(ProgressRing::Cursor& cursor, ProgressEvent* out,
+                   std::size_t max) const {
+    return ring_.poll(cursor, out, max);
+  }
+  const ProgressRing& ring() const { return ring_; }
+  std::uint64_t kind_count(ProgressKind kind) const {
+    return kind_counts_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_acquire);
+  }
+
+ private:
+  struct SweepSlot {
+    std::string name;                     // set before count is published
+    std::atomic<std::uint64_t> total{0};  // set before count is published
+    std::atomic<std::uint64_t> done{0};   // monotonic; worker-written
+  };
+
+  ProgressRing ring_;
+
+  // Seqlock: odd = write in progress. The field stores are release so a
+  // reader that observed a torn value is guaranteed to also observe the
+  // odd version and retry (same argument as ProgressRing's marker).
+  std::atomic<std::uint64_t> board_version_{0};
+  std::atomic<std::uint64_t> board_phase_{0};
+  std::atomic<std::uint64_t> board_sim_now_{0};
+  std::atomic<std::uint64_t> board_sim_day_{0};
+
+  std::array<SweepSlot, kMaxSweepSlots> sweeps_;
+  std::atomic<std::uint64_t> sweep_count_{0};
+
+  std::array<std::atomic<std::uint64_t>, kProgressKindCount> kind_counts_{};
+
+  mutable std::mutex mutex_;  // phase names + boundary text blobs
+  std::array<std::string, 256> phase_names_;
+  std::string phase_metrics_text_;
+  std::string degradation_text_;
+};
+
+// ----------------------------------------------------------------- sampler
+
+// Wall-domain throughput/memory/ETA derivation. tick() is called from the
+// status service's poll loop (or any wall-side driver); it rate-limits
+// itself, publishes process.rss_bytes / process.vm_hwm_bytes as
+// Domain::kWall gauges, and keeps the latest derived stats for servers to
+// report. Never touches the hub's write side.
+struct SamplerStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t rss_bytes = 0;
+  std::uint64_t vm_hwm_bytes = 0;
+  double wall_elapsed_seconds = 0.0;
+  double hosts_per_sec = 0.0;    // sweep targets resolved per wall second
+  double packets_per_sec = 0.0;  // fabric.packets_sent per wall second
+  double eta_seconds = -1.0;     // sweep-phase ETA; < 0 = unknown
+};
+
+class ProgressSampler {
+ public:
+  explicit ProgressSampler(const IntrospectionHub& hub,
+                           std::uint64_t min_interval_ms = 100);
+
+  // Samples if at least min_interval_ms elapsed since the last tick (force
+  // skips the rate limit). Returns the current stats either way.
+  SamplerStats tick(bool force = false);
+  SamplerStats last() const;
+
+ private:
+  const IntrospectionHub* hub_;
+  std::uint64_t min_interval_ms_;
+  Gauge rss_gauge_;
+  Gauge hwm_gauge_;
+  std::int64_t rss_published_ = 0;  // gauges are delta-based; track last
+  std::int64_t hwm_published_ = 0;
+
+  mutable std::mutex mutex_;
+  SamplerStats stats_;
+  bool have_anchor_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_tick_;
+  std::uint64_t last_hosts_ = 0;
+  std::uint64_t last_packets_ = 0;
+};
+
+}  // namespace ofh::obs

@@ -218,6 +218,15 @@ std::string Registry::export_prometheus(bool include_wall) const {
       out += base + "_bucket{le=\"+Inf\"} " + std::to_string(row.count) + "\n";
       out += base + "_sum " + std::to_string(row.sum) + "\n";
       out += base + "_count " + std::to_string(row.count) + "\n";
+      // Summary-style quantile series derived from the log2 buckets (the
+      // same math export_profile uses): exact bucket-upper-bound values,
+      // so the lines are deterministic wherever the histogram is.
+      for (const double q : {0.5, 0.95, 0.99}) {
+        char label[8];
+        std::snprintf(label, sizeof label, "%g", q);
+        out += base + "{quantile=\"" + label + "\"} " +
+               std::to_string(histogram_quantile(row, q)) + "\n";
+      }
     } else {
       out += name + " " + std::to_string(row.value) + "\n";
     }

@@ -1,0 +1,35 @@
+#include "obs/proc_stat.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace ofh::obs {
+
+namespace {
+
+// "VmRSS:     1234 kB" -> 1234 * 1024. procfs reports kB unconditionally.
+std::uint64_t parse_kb_line(const std::string& line, std::size_t prefix_len) {
+  const char* digits = line.c_str() + prefix_len;
+  return static_cast<std::uint64_t>(std::strtoull(digits, nullptr, 10)) *
+         1024u;
+}
+
+}  // namespace
+
+ProcMemory read_proc_memory() {
+  ProcMemory memory;
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      memory.rss_bytes = parse_kb_line(line, 6);
+    } else if (line.rfind("VmHWM:", 0) == 0) {
+      memory.vm_hwm_bytes = parse_kb_line(line, 6);
+    }
+    if (memory.rss_bytes != 0 && memory.vm_hwm_bytes != 0) break;
+  }
+  return memory;
+}
+
+}  // namespace ofh::obs

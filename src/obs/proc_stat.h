@@ -1,0 +1,24 @@
+// Process memory accounting from /proc/self/status — the shared reader
+// behind bench/perf_scale's peak-RSS column and the live introspection
+// sampler's process.rss_bytes / process.vm_hwm_bytes gauges.
+//
+// Domain note: everything here is wall-domain by nature (resident-set sizes
+// depend on the allocator, the kernel and the machine). Callers must only
+// feed these values into Domain::kWall metrics or profile/live channels,
+// never into a deterministic export.
+#pragma once
+
+#include <cstdint>
+
+namespace ofh::obs {
+
+struct ProcMemory {
+  std::uint64_t rss_bytes = 0;     // VmRSS: current resident set
+  std::uint64_t vm_hwm_bytes = 0;  // VmHWM: peak resident set (high-water)
+};
+
+// Parses VmRSS/VmHWM out of /proc/self/status. Returns zeros on platforms
+// without procfs (the fields are best-effort telemetry, never load-bearing).
+ProcMemory read_proc_memory();
+
+}  // namespace ofh::obs

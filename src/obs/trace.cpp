@@ -82,14 +82,16 @@ void TraceRecorder::clear() {
   session_ring_.events = 0;
   next_seq_ = 0;
   minted_ = 0;
-  recorded_ = 0;
-  dropped_ = 0;
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 void TraceRecorder::record(TraceEvent event) {
   event.shard = shard_;
   event.seq = next_seq_++;
-  ++recorded_;
+  // Single-writer increment (no RMW): live readers only need atomicity.
+  recorded_.store(recorded_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
 
   Ring& ring = ring_for(event.type);
   if (ring.chunks.empty() || ring.chunks.back().size() >= ring.chunk_events) {
@@ -101,7 +103,8 @@ void TraceRecorder::record(TraceEvent event) {
   while (ring.events > ring.capacity && ring.chunks.size() > 1) {
     const std::size_t evicted = ring.chunks.front().size();
     ring.events -= evicted;
-    dropped_ += evicted;
+    dropped_.store(dropped_.load(std::memory_order_relaxed) + evicted,
+                   std::memory_order_relaxed);
     ring.chunks.pop_front();
   }
 }
@@ -182,7 +185,7 @@ std::uint64_t TraceRegistry::events_recorded() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [unused_shard, recorder] : recorders_) {
-    total += recorder->recorded_;
+    total += recorder->recorded_.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -191,9 +194,23 @@ std::uint64_t TraceRegistry::events_dropped() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [unused_shard, recorder] : recorders_) {
-    total += recorder->dropped_;
+    total += recorder->dropped_.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+std::vector<TraceShardStats> TraceRegistry::live_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceShardStats> stats;
+  stats.reserve(recorders_.size());
+  for (const auto& [shard, recorder] : recorders_) {
+    TraceShardStats row;
+    row.shard = shard;
+    row.recorded = recorder->recorded_.load(std::memory_order_relaxed);
+    row.dropped = recorder->dropped_.load(std::memory_order_relaxed);
+    stats.push_back(row);  // map iteration: already sorted by shard id
+  }
+  return stats;
 }
 
 #ifndef OFH_NO_METRICS

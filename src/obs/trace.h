@@ -48,6 +48,7 @@
 // which the base obs library must not depend on.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -125,8 +126,16 @@ class TraceRecorder {
   }
 
   std::uint16_t shard() const { return shard_; }
-  std::uint64_t recorded() const { return recorded_; }
-  std::uint64_t dropped() const { return dropped_; }
+  // recorded/dropped are atomics so the live introspection layer can read
+  // them while the owning shard records (single writer, racing readers).
+  // Within the shard they remain plain single-writer counters: the writer
+  // uses store(load + 1) — no RMW cost on the hot path.
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class TraceRegistry;
@@ -153,8 +162,18 @@ class TraceRecorder {
   Ring session_ring_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t minted_ = 0;
-  std::uint64_t recorded_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// Per-shard recorded/dropped totals a concurrent reader can take while the
+// shards record (obs/introspect.h folds these into LiveSnapshot). Ring
+// occupancy is recorded - dropped; the ring structures themselves are
+// single-writer and are never touched by live readers.
+struct TraceShardStats {
+  std::uint16_t shard = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
 };
 
 class TraceRegistry {
@@ -186,6 +205,11 @@ class TraceRegistry {
 
   std::uint64_t events_recorded() const;
   std::uint64_t events_dropped() const;
+
+  // Live per-shard stats, sorted by shard id. Safe to call while shards
+  // record: the mutex guards only the recorder map, and the counters are
+  // atomics (see TraceRecorder).
+  std::vector<TraceShardStats> live_stats() const;
 
  private:
   TraceRegistry() = default;

@@ -1,0 +1,606 @@
+// Live introspection (obs/introspect.h + core/status_service.h): ring and
+// hub semantics, the pure status-frame handler against valid and hostile
+// requests, the socket server end-to-end, the Prometheus quantile series,
+// the /proc memory reader, and the headline acceptance property — a full
+// study with a status server and a concurrently polling client produces
+// byte-identical deterministic exports at scan_threads 1, 2 and 8.
+#include <gtest/gtest.h>
+
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/reports.h"
+#include "core/status_service.h"
+#include "core/study.h"
+#include "obs/introspect.h"
+#include "obs/metrics.h"
+#include "obs/proc_stat.h"
+
+namespace ofh {
+namespace {
+
+using core::StatusErrorCode;
+using core::StatusRequest;
+using obs::IntrospectionHub;
+using obs::ProgressEvent;
+using obs::ProgressKind;
+using obs::ProgressRing;
+
+// ------------------------------------------------------------------- ring
+
+TEST(ProgressRing, PublishPollRoundTrip) {
+  ProgressRing ring(64);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ProgressEvent event;
+    event.kind = ProgressKind::kSweepProgress;
+    event.phase = 2;
+    event.shard = static_cast<std::uint16_t>(i);
+    event.sim_time = 100 + i;
+    event.a = i * 10;
+    event.b = i * 100;
+    ring.publish(event);
+  }
+  EXPECT_EQ(ring.published(), 5u);
+
+  ProgressRing::Cursor cursor;
+  ProgressEvent out[8];
+  const std::size_t n = ring.poll(cursor, out, 8);
+  ASSERT_EQ(n, 5u);
+  EXPECT_EQ(cursor.next, 5u);
+  EXPECT_EQ(cursor.lost, 0u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].seq, i);
+    EXPECT_EQ(out[i].kind, ProgressKind::kSweepProgress);
+    EXPECT_EQ(out[i].phase, 2);
+    EXPECT_EQ(out[i].shard, i);
+    EXPECT_EQ(out[i].sim_time, 100 + i);
+    EXPECT_EQ(out[i].a, i * 10);
+    EXPECT_EQ(out[i].b, i * 100);
+  }
+  // Nothing new: poll returns 0 and leaves the cursor alone.
+  EXPECT_EQ(ring.poll(cursor, out, 8), 0u);
+  EXPECT_EQ(cursor.next, 5u);
+}
+
+TEST(ProgressRing, CapacityRoundsUpToPowerOfTwoMinimumSixteen) {
+  EXPECT_EQ(ProgressRing(0).capacity(), 16u);
+  EXPECT_EQ(ProgressRing(1).capacity(), 16u);
+  EXPECT_EQ(ProgressRing(16).capacity(), 16u);
+  EXPECT_EQ(ProgressRing(17).capacity(), 32u);
+  EXPECT_EQ(ProgressRing(100).capacity(), 128u);
+}
+
+TEST(ProgressRing, LapCountsLostEventsPerCursor) {
+  ProgressRing ring(16);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    ProgressEvent event;
+    event.sim_time = i;
+    ring.publish(event);
+  }
+  ProgressRing::Cursor cursor;  // starts at 0: lapped 24 events behind
+  std::vector<ProgressEvent> out(64);
+  const std::size_t n = ring.poll(cursor, out.data(), out.size());
+  EXPECT_EQ(n, 16u);
+  EXPECT_EQ(cursor.lost, 24u);
+  EXPECT_EQ(cursor.next, 40u);
+  EXPECT_EQ(out[0].seq, 24u);
+  EXPECT_EQ(out[0].sim_time, 24u);
+  EXPECT_EQ(out[15].seq, 39u);
+}
+
+TEST(ProgressRing, PollHonorsMaxAndResumes) {
+  ProgressRing ring(64);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ProgressEvent event;
+    event.a = i;
+    ring.publish(event);
+  }
+  ProgressRing::Cursor cursor;
+  ProgressEvent out[4];
+  EXPECT_EQ(ring.poll(cursor, out, 4), 4u);
+  EXPECT_EQ(out[3].a, 3u);
+  EXPECT_EQ(ring.poll(cursor, out, 4), 4u);
+  EXPECT_EQ(out[3].a, 7u);
+  EXPECT_EQ(ring.poll(cursor, out, 4), 2u);
+  EXPECT_EQ(out[1].a, 9u);
+}
+
+// -------------------------------------------------------------------- hub
+
+TEST(IntrospectionHubTest, BoardSnapshotIsConsistentAndEpochMonotonic) {
+  IntrospectionHub hub;
+  auto snap = hub.snapshot(false);
+  EXPECT_EQ(snap.epoch, 0u);
+  EXPECT_EQ(snap.phase, 0u);
+
+  hub.set_phase_name(2, "scan");
+  hub.set_board(2, 1'000'000, 0);
+  snap = hub.snapshot(false);
+  EXPECT_EQ(snap.epoch, 1u);
+  EXPECT_EQ(snap.phase, 2u);
+  EXPECT_EQ(snap.phase_name, "scan");
+  EXPECT_EQ(snap.sim_now, 1'000'000u);
+
+  std::uint64_t last_epoch = snap.epoch;
+  for (int i = 0; i < 10; ++i) {
+    hub.set_board(2, 2'000'000 + static_cast<std::uint64_t>(i), 0);
+    const auto next = hub.snapshot(false);
+    EXPECT_GT(next.epoch, last_epoch);
+    last_epoch = next.epoch;
+  }
+}
+
+TEST(IntrospectionHubTest, SweepSlotsFoldAndClampToTotal) {
+  IntrospectionHub hub;
+  const std::size_t a = hub.add_sweep("Telnet", 1000);
+  const std::size_t b = hub.add_sweep("MQTT", 500);
+  ASSERT_NE(a, obs::kMaxSweepSlots);
+  ASSERT_NE(b, obs::kMaxSweepSlots);
+  hub.update_sweep(a, 400);
+  hub.update_sweep(b, 700);  // transiently past total: snapshot clamps
+  const auto snap = hub.snapshot(false);
+  ASSERT_EQ(snap.sweeps.size(), 2u);
+  EXPECT_EQ(snap.sweeps[0].name, "Telnet");
+  EXPECT_EQ(snap.sweeps[0].done, 400u);
+  EXPECT_EQ(snap.sweeps[0].total, 1000u);
+  EXPECT_EQ(snap.sweeps[1].done, 500u);  // clamped
+  EXPECT_EQ(snap.sweep_done, 900u);
+  EXPECT_EQ(snap.sweep_total, 1500u);
+}
+
+TEST(IntrospectionHubTest, SweepTableFullDropsNotTrample) {
+  IntrospectionHub hub;
+  for (std::size_t i = 0; i < obs::kMaxSweepSlots; ++i) {
+    ASSERT_EQ(hub.add_sweep("s" + std::to_string(i), 10), i);
+  }
+  EXPECT_EQ(hub.add_sweep("overflow", 10), obs::kMaxSweepSlots);
+  hub.update_sweep(obs::kMaxSweepSlots, 5);  // silently dropped
+  EXPECT_EQ(hub.snapshot(false).sweeps.size(), obs::kMaxSweepSlots);
+}
+
+TEST(IntrospectionHubTest, KindCountsMatchPublishes) {
+  IntrospectionHub hub;
+  hub.publish(ProgressKind::kPhaseEnter, 1, 0, 0);
+  hub.publish(ProgressKind::kSweepProgress, 2, 1, 10, 100, 200);
+  hub.publish(ProgressKind::kSweepProgress, 2, 2, 20, 300, 400);
+  hub.publish(ProgressKind::kPhaseExit, 1, 0, 30, 30);
+  EXPECT_EQ(hub.kind_count(ProgressKind::kPhaseEnter), 1u);
+  EXPECT_EQ(hub.kind_count(ProgressKind::kSweepProgress), 2u);
+  EXPECT_EQ(hub.kind_count(ProgressKind::kPhaseExit), 1u);
+  EXPECT_EQ(hub.kind_count(ProgressKind::kSimDayAdvance), 0u);
+  const auto snap = hub.snapshot(false);
+  EXPECT_EQ(snap.events_published, 4u);
+  EXPECT_EQ(snap.kind_counts[0] + snap.kind_counts[1] + snap.kind_counts[2] +
+                snap.kind_counts[3] + snap.kind_counts[4],
+            4u);
+}
+
+TEST(IntrospectionHubTest, TextSlotsReplaceWholesale) {
+  IntrospectionHub hub;
+  EXPECT_EQ(hub.text(IntrospectionHub::TextSlot::kDegradation), "");
+  hub.set_text(IntrospectionHub::TextSlot::kDegradation, "v1");
+  hub.set_text(IntrospectionHub::TextSlot::kDegradation, "v2");
+  EXPECT_EQ(hub.text(IntrospectionHub::TextSlot::kDegradation), "v2");
+  hub.set_text(IntrospectionHub::TextSlot::kPhaseMetrics, "metrics");
+  EXPECT_EQ(hub.text(IntrospectionHub::TextSlot::kPhaseMetrics), "metrics");
+}
+
+// ----------------------------------------------------------- frame handler
+
+util::Bytes request_body(StatusRequest tag) {
+  return util::Bytes{static_cast<std::uint8_t>(tag)};
+}
+
+struct ParsedError {
+  StatusErrorCode code;
+  std::string message;
+};
+
+// nullopt if the body is not an error frame.
+std::optional<ParsedError> as_error(const util::Bytes& body) {
+  util::ByteReader reader(body);
+  const auto tag = reader.u8();
+  if (!tag || *tag != core::kStatusErrorTag) return std::nullopt;
+  const auto code = reader.u8();
+  const auto message = reader.str16();
+  if (!code || !message) return std::nullopt;
+  return ParsedError{static_cast<StatusErrorCode>(*code), *message};
+}
+
+TEST(StatusFrame, StatusRequestRoundTrips) {
+  IntrospectionHub hub;
+  hub.set_phase_name(2, "scan");
+  hub.set_board(2, 42, 0);
+  hub.add_sweep("Telnet", 100);
+  hub.update_sweep(0, 40);
+  core::StatusContext context;
+  context.hub = &hub;
+  const auto body = core::handle_status_frame(
+      request_body(StatusRequest::kStatus), context);
+  ASSERT_FALSE(as_error(body).has_value());
+  util::ByteReader reader(body);
+  EXPECT_EQ(*reader.u8(), core::kStatusResponseBit | 1);
+  EXPECT_EQ(*reader.u64(), 1u);       // epoch
+  EXPECT_EQ(*reader.u8(), 2u);        // phase
+  EXPECT_EQ(*reader.str8(), "scan");  // phase name
+  EXPECT_EQ(*reader.u64(), 42u);      // sim_now
+  (void)reader.u64();                 // sim_day
+  EXPECT_EQ(*reader.u64(), 40u);      // sweep_done
+  EXPECT_EQ(*reader.u64(), 100u);     // sweep_total
+  EXPECT_EQ(*reader.u8(), 1u);        // sweep count
+  EXPECT_EQ(*reader.str8(), "Telnet");
+}
+
+TEST(StatusFrame, ProgressHonorsCursorPayload) {
+  IntrospectionHub hub;
+  for (int i = 0; i < 6; ++i) {
+    hub.publish(ProgressKind::kSweepProgress, 2, 1,
+                static_cast<std::uint64_t>(i));
+  }
+  core::StatusContext context;
+  context.hub = &hub;
+
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(StatusRequest::kProgress));
+  writer.u64(4);  // cursor: skip the first four events
+  const auto body = core::handle_status_frame(writer.take(), context);
+  util::ByteReader reader(body);
+  EXPECT_EQ(*reader.u8(),
+            core::kStatusResponseBit |
+                static_cast<std::uint8_t>(StatusRequest::kProgress));
+  EXPECT_EQ(*reader.u64(), 6u);  // next cursor
+  EXPECT_EQ(*reader.u64(), 0u);  // lost
+  EXPECT_EQ(*reader.u16(), 2u);  // count
+  EXPECT_EQ(*reader.u64(), 4u);  // first seq
+}
+
+TEST(StatusFrame, HostileFramesAnswerTypedErrors) {
+  IntrospectionHub hub;
+  core::StatusContext context;
+  context.hub = &hub;
+
+  // Empty body.
+  auto error = as_error(core::handle_status_frame({}, context));
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, StatusErrorCode::kMalformed);
+
+  // Unknown tag.
+  const util::Bytes unknown{0xee};
+  error = as_error(core::handle_status_frame(unknown, context));
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, StatusErrorCode::kUnknownTag);
+
+  // Oversized body (> 64 bytes).
+  const util::Bytes oversized(65, 0x01);
+  error = as_error(core::handle_status_frame(oversized, context));
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, StatusErrorCode::kOversized);
+
+  // Trailing bytes after a no-payload request.
+  const util::Bytes trailing{0x01, 0xaa};
+  error = as_error(core::handle_status_frame(trailing, context));
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, StatusErrorCode::kMalformed);
+
+  // Progress with a short (non-u64) cursor payload.
+  const util::Bytes bad_cursor{0x02, 0x01, 0x02};
+  error = as_error(core::handle_status_frame(bad_cursor, context));
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, StatusErrorCode::kMalformed);
+
+  // Stop without permission.
+  error = as_error(
+      core::handle_status_frame(request_body(StatusRequest::kStop), context));
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, StatusErrorCode::kForbidden);
+  EXPECT_FALSE(context.stop_requested);
+
+  // No hub attached.
+  core::StatusContext empty;
+  error = as_error(
+      core::handle_status_frame(request_body(StatusRequest::kStatus), empty));
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, StatusErrorCode::kUnavailable);
+}
+
+TEST(StatusFrame, PermittedStopSetsFlag) {
+  IntrospectionHub hub;
+  core::StatusContext context;
+  context.hub = &hub;
+  context.allow_stop = true;
+  const auto body =
+      core::handle_status_frame(request_body(StatusRequest::kStop), context);
+  EXPECT_FALSE(as_error(body).has_value());
+  EXPECT_TRUE(context.stop_requested);
+  util::ByteReader reader(body);
+  EXPECT_EQ(*reader.u8(),
+            core::kStatusResponseBit |
+                static_cast<std::uint8_t>(StatusRequest::kStop));
+  EXPECT_TRUE(reader.done());
+}
+
+// ------------------------------------------------------------ wire client
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n <= 0) return false;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::read(fd, data, size);
+    if (n <= 0) return false;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::optional<util::Bytes> roundtrip(int fd,
+                                     std::span<const std::uint8_t> body) {
+  const util::Bytes framed = core::frame_status_message(body);
+  if (!write_all(fd, framed.data(), framed.size())) return std::nullopt;
+  std::uint8_t header[4];
+  if (!read_all(fd, header, sizeof header)) return std::nullopt;
+  util::ByteReader reader(std::span<const std::uint8_t>(header, 4));
+  const std::uint32_t length = *reader.u32();
+  util::Bytes response(length);
+  if (length > 0 && !read_all(fd, response.data(), length)) {
+    return std::nullopt;
+  }
+  return response;
+}
+
+std::string test_socket_path(const char* suffix) {
+  return "/tmp/ofh_introspect_" + std::to_string(::getpid()) + "_" + suffix +
+         ".sock";
+}
+
+TEST(StatusServiceTest, ServesStatusOverUnixSocket) {
+  IntrospectionHub hub;
+  hub.set_phase_name(5, "attack_month");
+  hub.set_board(5, 77, 3);
+  core::StatusService::Options options;
+  options.unix_path = test_socket_path("unit");
+  core::StatusService service(hub, options);
+  ASSERT_TRUE(service.start()) << service.error();
+
+  const int fd = connect_unix(options.unix_path);
+  ASSERT_GE(fd, 0);
+  const auto body = roundtrip(fd, request_body(StatusRequest::kStatus));
+  ASSERT_TRUE(body.has_value());
+  util::ByteReader reader(*body);
+  EXPECT_EQ(*reader.u8(), core::kStatusResponseBit | 1);
+  EXPECT_EQ(*reader.u64(), 1u);                  // epoch
+  EXPECT_EQ(*reader.u8(), 5u);                   // phase
+  EXPECT_EQ(*reader.str8(), "attack_month");
+
+  // Several requests on one connection: framing resynchronizes.
+  for (int i = 0; i < 3; ++i) {
+    const auto next = roundtrip(fd, request_body(StatusRequest::kTraceStats));
+    ASSERT_TRUE(next.has_value());
+    util::ByteReader r(*next);
+    EXPECT_EQ(*r.u8(), core::kStatusResponseBit | 6);
+  }
+  ::close(fd);
+  service.stop();
+  EXPECT_FALSE(service.running());
+}
+
+TEST(StatusServiceTest, OversizedFrameAnswersErrorThenCloses) {
+  IntrospectionHub hub;
+  core::StatusService::Options options;
+  options.unix_path = test_socket_path("hostile");
+  core::StatusService service(hub, options);
+  ASSERT_TRUE(service.start()) << service.error();
+
+  const int fd = connect_unix(options.unix_path);
+  ASSERT_GE(fd, 0);
+  const util::Bytes oversized(65, 0x00);
+  const auto body = roundtrip(fd, oversized);
+  ASSERT_TRUE(body.has_value());
+  const auto error = as_error(*body);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, StatusErrorCode::kOversized);
+  // Connection is closed after the error flushes: the next read EOFs.
+  std::uint8_t scrap[4];
+  EXPECT_FALSE(read_all(fd, scrap, sizeof scrap));
+  ::close(fd);
+  service.stop();
+}
+
+TEST(StatusServiceTest, TcpListenerBindsEphemeralLoopbackPort) {
+  IntrospectionHub hub;
+  core::StatusService::Options options;
+  options.tcp = true;
+  core::StatusService service(hub, options);
+  ASSERT_TRUE(service.start()) << service.error();
+  EXPECT_GT(service.tcp_port(), 0);
+  service.stop();
+}
+
+// ------------------------------------------------- satellite: quantiles
+
+#ifndef OFH_NO_METRICS
+TEST(PrometheusQuantiles, HistogramExportCarriesQuantileSeries) {
+  obs::Registry::global().reset();
+  auto latency = obs::histogram("introspect.test_latency");
+  // 90 observations in the value-8 bucket, 10 at 100: p50/p95 land on the
+  // log2 bucket upper bounds 15 and 127.
+  for (int i = 0; i < 90; ++i) latency.observe(8);
+  for (int i = 0; i < 10; ++i) latency.observe(100);
+  const std::string out = obs::Registry::global().export_prometheus();
+  EXPECT_NE(out.find("introspect_test_latency{quantile=\"0.5\"} 15\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("introspect_test_latency{quantile=\"0.95\"} 127\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("introspect_test_latency{quantile=\"0.99\"} 127\n"),
+            std::string::npos)
+      << out;
+  obs::Registry::global().reset();
+}
+#endif
+
+// ------------------------------------------------- satellite: proc_stat
+
+TEST(ProcStat, ReadsResidentSetOnLinux) {
+  const auto memory = obs::read_proc_memory();
+#ifdef __linux__
+  EXPECT_GT(memory.rss_bytes, 0u);
+  EXPECT_GE(memory.vm_hwm_bytes, memory.rss_bytes);
+#else
+  EXPECT_EQ(memory.rss_bytes, 0u);
+#endif
+}
+
+// --------------------------------------------- tentpole: byte-identity
+
+core::StudyConfig live_config(unsigned threads) {
+  core::StudyConfig config;
+  config.seed = 2021;
+  config.population_scale = 1.0 / 16'384;
+  config.attack_scale = 1.0 / 512;
+  config.attack_duration = sim::days(2);
+  config.scan_threads = threads;
+  return config;
+}
+
+struct Exports {
+  std::string metrics_prometheus;
+  std::string metrics_csv;
+  std::string trace_json;
+  std::string table4;
+  std::string degradation;
+  // Deterministic introspection digest.
+  std::array<std::uint64_t, obs::kProgressKindCount> kind_counts{};
+  std::uint64_t events_published = 0;
+  std::uint64_t epoch = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> sweep_finals;
+};
+
+Exports capture(core::Study& study) {
+  Exports exports;
+  exports.metrics_prometheus = study.metrics_prometheus();
+  exports.metrics_csv = study.metrics_csv();
+  exports.trace_json = study.trace_json();
+  exports.table4 = core::report_table4_exposed(study);
+  exports.degradation = study.degradation_report();
+  const auto snap = study.introspection().snapshot(false);
+  exports.kind_counts = snap.kind_counts;
+  exports.events_published = snap.events_published;
+  exports.epoch = snap.epoch;
+  for (const auto& sweep : snap.sweeps) {
+    exports.sweep_finals.emplace_back(sweep.name, sweep.done);
+  }
+  return exports;
+}
+
+TEST(LiveIntrospection, StudyExportsByteIdenticalWithPollingReader) {
+  // Reference: no status service attached.
+  Exports reference;
+  {
+    core::Study study(live_config(1));
+    study.run_all();
+    reference = capture(study);
+    ASSERT_FALSE(reference.metrics_prometheus.empty());
+    ASSERT_GT(reference.events_published, 0u);
+    ASSERT_EQ(reference.sweep_finals.size(), 6u);
+  }
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    core::Study study(live_config(threads));
+    core::StatusService::Options options;
+    options.unix_path =
+        test_socket_path(("identity" + std::to_string(threads)).c_str());
+    options.tick_ms = 10;
+    core::StatusService service(study.introspection(), options);
+    ASSERT_TRUE(service.start()) << service.error();
+
+    // Aggressive concurrent reader: hammers status + progress + trace-stats
+    // over the wire for the study's whole runtime.
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> polls{0};
+    std::thread reader([&] {
+      std::uint64_t cursor = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const int fd = connect_unix(options.unix_path);
+        if (fd < 0) continue;
+        for (int i = 0; i < 16 && !stop.load(std::memory_order_acquire);
+             ++i) {
+          if (!roundtrip(fd, request_body(StatusRequest::kStatus))) break;
+          util::ByteWriter writer;
+          writer.u8(static_cast<std::uint8_t>(StatusRequest::kProgress));
+          writer.u64(cursor);
+          const auto progress = roundtrip(fd, writer.take());
+          if (!progress) break;
+          util::ByteReader r(*progress);
+          (void)r.u8();
+          if (const auto next = r.u64(); next) cursor = *next;
+          if (!roundtrip(fd, request_body(StatusRequest::kTraceStats))) {
+            break;
+          }
+          polls.fetch_add(1, std::memory_order_relaxed);
+        }
+        ::close(fd);
+      }
+    });
+
+    study.run_all();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+    service.stop();
+    EXPECT_GT(polls.load(), 0u) << "reader never completed a poll";
+
+    const Exports exports = capture(study);
+    EXPECT_EQ(exports.metrics_prometheus, reference.metrics_prometheus)
+        << "scan_threads=" << threads;
+    EXPECT_EQ(exports.metrics_csv, reference.metrics_csv)
+        << "scan_threads=" << threads;
+    EXPECT_EQ(exports.trace_json, reference.trace_json)
+        << "scan_threads=" << threads;
+    EXPECT_EQ(exports.table4, reference.table4)
+        << "scan_threads=" << threads;
+    EXPECT_EQ(exports.degradation, reference.degradation)
+        << "scan_threads=" << threads;
+    // The deterministic introspection digest matches too: same per-kind
+    // event totals, same board epoch, same sweep finals.
+    EXPECT_EQ(exports.kind_counts, reference.kind_counts)
+        << "scan_threads=" << threads;
+    EXPECT_EQ(exports.events_published, reference.events_published)
+        << "scan_threads=" << threads;
+    EXPECT_EQ(exports.epoch, reference.epoch) << "scan_threads=" << threads;
+    EXPECT_EQ(exports.sweep_finals, reference.sweep_finals)
+        << "scan_threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace ofh

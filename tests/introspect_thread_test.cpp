@@ -1,0 +1,260 @@
+// ThreadSanitizer hammer suite for the live-introspection concurrency
+// primitives (obs/introspect.h): the multi-producer broadcast ring, the
+// seqlock board, sweep-slot publication, and a small study served over a
+// socket while clients poll. The tsan preset runs these under TSan; the
+// assertions double as torn-read detectors in plain builds.
+#include <gtest/gtest.h>
+
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status_service.h"
+#include "core/study.h"
+#include "obs/introspect.h"
+
+namespace ofh {
+namespace {
+
+using obs::IntrospectionHub;
+using obs::ProgressEvent;
+using obs::ProgressKind;
+using obs::ProgressRing;
+
+// Payload invariant for hammer events: b is a pure function of
+// (sim_time, a), so any torn copy that mixes two writers' words fails it.
+std::uint64_t expected_b(std::uint64_t writer, std::uint64_t i) {
+  return writer * 1'000'003 + i * 7;
+}
+
+TEST(ProgressRingHammer, EightWritersFourReadersNoTornEvents) {
+  // Small ring so writers lap readers constantly — the torn-read window,
+  // if the claim protocol had one, would be hit thousands of times.
+  ProgressRing ring(64);
+  constexpr int kWriters = 8;
+  constexpr int kReaders = 4;
+  constexpr std::uint64_t kEventsPerWriter = 20'000;
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> read_total{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, &go, w] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kEventsPerWriter; ++i) {
+        ProgressEvent event;
+        event.kind = ProgressKind::kSweepProgress;
+        event.phase = static_cast<std::uint8_t>(w);
+        event.shard = static_cast<std::uint16_t>(w);
+        event.sim_time = static_cast<std::uint64_t>(w);
+        event.a = i;
+        event.b = expected_b(static_cast<std::uint64_t>(w), i);
+        ring.publish(event);
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      ProgressRing::Cursor cursor;
+      ProgressEvent out[32];
+      while (!done.load(std::memory_order_acquire)) {
+        const std::size_t n = ring.poll(cursor, out, 32);
+        for (std::size_t i = 0; i < n; ++i) {
+          const ProgressEvent& event = out[i];
+          if (event.b != expected_b(event.sim_time, event.a) ||
+              event.phase != event.sim_time ||
+              event.shard != event.sim_time) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        read_total.fetch_add(n, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  for (auto& thread : writers) thread.join();
+  done.store(true, std::memory_order_release);
+  for (auto& thread : readers) thread.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(ring.published(), kWriters * kEventsPerWriter);
+  EXPECT_GT(read_total.load(), 0u);
+
+  // Post-quiescence: a fresh cursor reads the last `capacity` events intact.
+  ProgressRing::Cursor cursor;
+  std::vector<ProgressEvent> tail(ring.capacity());
+  const std::size_t n = ring.poll(cursor, tail.data(), tail.size());
+  EXPECT_EQ(n, ring.capacity());
+  EXPECT_EQ(cursor.lost, kWriters * kEventsPerWriter - ring.capacity());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(tail[i].b, expected_b(tail[i].sim_time, tail[i].a));
+  }
+}
+
+TEST(SeqlockHammer, BoardReadsAreNeverTorn) {
+  // Writer keeps sim_day == 3 * sim_now and phase == sim_now % 7; readers
+  // snapshot concurrently and verify the triple is internally consistent.
+  IntrospectionHub hub;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = hub.snapshot(false);
+        if (snap.sim_day != 3 * snap.sim_now ||
+            snap.phase != snap.sim_now % 7 || snap.epoch < last_epoch) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_epoch = snap.epoch;
+      }
+    });
+  }
+
+  for (std::uint64_t t = 1; t <= 200'000; ++t) {
+    hub.set_board(static_cast<std::uint8_t>(t % 7), t, 3 * t);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& thread : readers) thread.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  const auto snap = hub.snapshot(false);
+  EXPECT_EQ(snap.epoch, 200'000u);
+  EXPECT_EQ(snap.sim_now, 200'000u);
+  EXPECT_EQ(snap.sim_day, 600'000u);
+}
+
+TEST(SweepSlotHammer, WorkerUpdatesReadMonotonically) {
+  IntrospectionHub hub;
+  const std::size_t slot = hub.add_sweep("Telnet", 1 << 20);
+  ASSERT_EQ(slot, 0u);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> regressions{0};
+
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = hub.snapshot(false);
+      if (snap.sweeps.empty()) continue;
+      const std::uint64_t now = snap.sweeps[0].done;
+      if (now < last) regressions.fetch_add(1, std::memory_order_relaxed);
+      last = now;
+    }
+  });
+
+  for (std::uint64_t done_count = 0; done_count <= (1u << 20);
+       done_count += 17) {
+    hub.update_sweep(slot, done_count);
+  }
+  hub.update_sweep(slot, 1u << 20);
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(regressions.load(), 0u);
+  EXPECT_EQ(hub.snapshot(false).sweeps[0].done, 1u << 20);
+}
+
+// --------------------------------------------------- study + wire clients
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n <= 0) return false;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::read(fd, data, size);
+    if (n <= 0) return false;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(LiveStudyHammer, ScanWithServerAndConcurrentPollersIsRaceFree) {
+  core::StudyConfig config;
+  config.seed = 7;
+  config.population_scale = 1.0 / 16'384;
+  config.scan_threads = 8;
+  core::Study study(config);
+
+  core::StatusService::Options options;
+  options.unix_path =
+      "/tmp/ofh_introspect_tsan_" + std::to_string(::getpid()) + ".sock";
+  options.tick_ms = 5;
+  core::StatusService service(study.introspection(), options);
+  ASSERT_TRUE(service.start()) << service.error();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> polls{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const int fd = connect_unix(options.unix_path);
+        if (fd < 0) continue;
+        const std::uint8_t status_req[5] = {0, 0, 0, 1, 1};
+        std::uint8_t header[4];
+        while (!stop.load(std::memory_order_acquire) &&
+               write_all(fd, status_req, sizeof status_req) &&
+               read_all(fd, header, sizeof header)) {
+          const std::uint32_t length =
+              (std::uint32_t{header[0]} << 24) |
+              (std::uint32_t{header[1]} << 16) |
+              (std::uint32_t{header[2]} << 8) | header[3];
+          std::vector<std::uint8_t> body(length);
+          if (length > 0 && !read_all(fd, body.data(), length)) break;
+          polls.fetch_add(1, std::memory_order_relaxed);
+        }
+        ::close(fd);
+      }
+    });
+  }
+
+  study.setup_internet();
+  study.run_scan();
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : clients) thread.join();
+  service.stop();
+
+  EXPECT_GT(polls.load(), 0u);
+  EXPECT_GT(study.scan_db().size(), 0u);
+  EXPECT_EQ(study.introspection().kind_count(ProgressKind::kSweepDone), 6u);
+}
+
+}  // namespace
+}  // namespace ofh
