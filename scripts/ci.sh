@@ -39,12 +39,16 @@ ctest --test-dir build-ci --output-on-failure -L scenario
 echo "==> determinism lint (ofh-lint)"
 scripts/lint.sh --build-dir build-ci
 
-# Scale trajectory: the full pipeline at 1/512 and 1/64. Non-gating on
-# throughput (numbers drift with CI hardware) — but a conservation-identity
-# violation makes perf_scale exit nonzero, and that DOES fail the job: the
-# flow-level fast paths must never lose a packet at any scale.
-echo "==> scale trajectory (perf_scale, conservation-gated)"
-./build-ci/bench/perf_scale --scales=512,64 --out=build-ci/BENCH_scale.json
+# Scale trajectory: the full pipeline at 1/512 and 1/64, plus the scan
+# phase on forked worker fleets of 1/2/4 digest-checked against the
+# in-process baseline. Non-gating on throughput (numbers drift with CI
+# hardware) — but a conservation-identity violation or a fleet/baseline
+# digest divergence makes perf_scale exit nonzero, and that DOES fail the
+# job: the flow-level fast paths must never lose a packet, and the
+# distributed merge must never reorder a byte.
+echo "==> scale trajectory (perf_scale, conservation+identity gated)"
+./build-ci/bench/perf_scale --scales=512,64 --workers=1,2,4 \
+  --workers-scale=512 --out=build-ci/BENCH_scale.json
 
 # The exported Chrome trace must actually load: parse it with the stock
 # json module, then check the trace-event-format invariants, then make sure
@@ -75,6 +79,27 @@ grep -q '^phase=' build-ci/ofh-top.raw
 grep -q '^events_published=' build-ci/ofh-top.raw
 python3 scripts/check_status_proto.py --unix "$OFH_STATUS_SOCK" --stop
 wait "$LIVE_STUDY_PID"
+
+# Distributed execution end-to-end (DESIGN.md §15): a coordinator driving
+# three external ofh-worker processes over a unix socket, with the crash
+# drill SIGKILLing one of them mid-job. The reports must diff byte-for-byte
+# against the --workers 0 in-process serial reference, and the retry ledger
+# must show the killed attempt was detected and requeued. Gating: a torn
+# merge, a lost shard, or a drill that didn't fire all fail here.
+echo "==> distributed fleet (ofh-coordinator + 3 ofh-worker, SIGKILL drill)"
+./build-ci/tools/dist/ofh-coordinator --workers 0 \
+  --out build-ci/dist-serial.txt
+OFH_DIST_SOCK="build-ci/ofh-dist.sock"
+for i in 1 2 3; do
+  ./build-ci/tools/dist/ofh-worker --connect "$OFH_DIST_SOCK" \
+    --name "ci-w$i" --connect-wait-ms 30000 &
+done
+./build-ci/tools/dist/ofh-coordinator --listen "$OFH_DIST_SOCK" \
+  --workers 3 --fork 0 --wait 3 --kill-one \
+  --out build-ci/dist-fleet.txt 2> build-ci/dist-fleet.log
+wait || true  # one worker died by SIGKILL (by design); the rest exited 0
+diff build-ci/dist-serial.txt build-ci/dist-fleet.txt
+grep -q "requeued (worker-eof)" build-ci/dist-fleet.log
 
 echo "==> [2/3] ASan+UBSan + -Werror"
 cmake --preset ci-asan-ubsan
@@ -128,5 +153,24 @@ python3 scripts/check_status_proto.py --unix "$OFH_TSAN_SOCK" \
   | grep -q '^phase='
 python3 scripts/check_status_proto.py --unix "$OFH_TSAN_SOCK" --stop
 wait "$LIVE_TSAN_PID"
+
+# The coordinator's poll loop under TSan, with exec'd (never forked)
+# workers: fork and the TSan runtime don't mix, so the fleet here is three
+# separate ofh-worker processes — each itself a TSan-instrumented study
+# shard — and the coordinator listens instead of forking. The merged
+# reports must still diff clean against the in-process serial reference.
+echo "==> distributed coordinator under TSan (exec'd workers, 1 day)"
+OFH_TSAN_DIST_SOCK="build-ci-tsan/ofh-dist.sock"
+for i in 1 2 3; do
+  ./build-ci-tsan/tools/dist/ofh-worker --connect "$OFH_TSAN_DIST_SOCK" \
+    --name "tsan-w$i" --connect-wait-ms 120000 &
+done
+./build-ci-tsan/tools/dist/ofh-coordinator --listen "$OFH_TSAN_DIST_SOCK" \
+  --workers 3 --fork 0 --wait 3 --days 1 \
+  --out build-ci-tsan/dist-fleet.txt
+wait || true
+./build-ci-tsan/tools/dist/ofh-coordinator --workers 0 --days 1 \
+  --out build-ci-tsan/dist-serial.txt
+diff build-ci-tsan/dist-serial.txt build-ci-tsan/dist-fleet.txt
 
 echo "==> CI green"

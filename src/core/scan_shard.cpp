@@ -1,0 +1,136 @@
+#include "core/scan_shard.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/study.h"
+#include "devices/population.h"
+#include "honeynet/deployments.h"
+#include "net/fabric.h"
+#include "obs/trace.h"
+#include "scanner/scanner.h"
+
+namespace ofh::core {
+
+std::uint64_t scale_paper_count(std::uint64_t paper, double scale) {
+  if (paper == 0) return 0;
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(paper * scale + 0.5));
+}
+
+// The replica repeats Study::setup_internet()'s allocation order exactly
+// (population build, then wild honeypots), so every address — devices and
+// honeypots alike — matches the main internet's; the telescope is omitted
+// because sweeps only target populated prefixes, never the darknet. Each
+// shard owns its Simulation, Fabric and ScanDb, so shards share no mutable
+// state and are free to run concurrently — or in another process.
+ScanShardResult run_scan_shard(const StudyConfig& config,
+                               const ScanShardJob& job,
+                               const ScanShardProgressFn& progress) {
+  // All trace events this sweep produces — probe mints, packet fates, TCP
+  // transitions — land in the sweep's own deterministic shard recorder
+  // (shard 0 is the main simulation), regardless of which worker thread or
+  // process runs the job.
+  const obs::TraceShardScope trace_scope(
+      static_cast<std::uint16_t>(job.index + 1));
+  sim::Simulation sim;
+  net::Fabric fabric(sim, config.seed);
+  fabric.set_latency(sim::msec(15), sim::msec(25));
+  // Same schedule and same fabric seed as the main internet: the replica's
+  // fault timeline is a pure function of (seed, sim-time), so a sweep sees
+  // identical faults whether it runs inline or on a worker thread.
+  if (!config.fault_schedule.empty()) {
+    fabric.set_fault_schedule(config.fault_schedule);
+  }
+
+  devices::PopulationSpec spec;
+  spec.seed = config.seed;
+  spec.scale = config.population_scale;
+  devices::Population population(spec);
+  population.build();
+  population.attach_all(fabric);
+
+  std::vector<std::unique_ptr<honeynet::WildHoneypot>> honeypots;
+  for (const auto& signature : honeynet::honeypot_signatures()) {
+    const auto count =
+        scale_paper_count(signature.paper_count, config.population_scale);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      honeypots.push_back(std::make_unique<honeynet::WildHoneypot>(
+          signature, population.allocate_extra()));
+      honeypots.back()->attach(fabric);
+    }
+  }
+
+  scanner::ScanDb db;
+  scanner::Scanner scanner(util::Ipv4Addr(192, 35, 168, 10), db);
+  scanner.attach(fabric);
+  if (job.start > sim.now()) sim.run_until(job.start);
+
+  scanner::ScanConfig scan;
+  scan.protocol = job.protocol;
+  scan.targets = population.prefixes();
+  scan.blocklist = scanner::default_blocklist();
+  scan.seed = job.sweep_seed;
+  scan.batch_size = config.scan_batch;
+  scan.max_attempts = config.scan_attempts;
+  bool done = false;
+  scanner.start(scan, [&done] { done = true; });
+  if (!progress) {
+    while (!done && sim.step()) {
+    }
+  } else {
+    // Progress sampling: every 1024 sim steps report the shard's resolved
+    // count (kSample), and mark each kSweepProgressStride boundary crossing
+    // (kStride). Both the sample points and the stride crossings are pure
+    // functions of the shard's deterministic event stream, so a re-run of
+    // this job — on any thread, or in any process — replays the identical
+    // progress sequence.
+    std::uint64_t steps = 0;
+    std::uint64_t published_stride = 0;
+    while (!done && sim.step()) {
+      if ((++steps & 1023u) != 0) continue;
+      const std::uint64_t resolved =
+          db.responsive() + db.refused() + db.unresolved();
+      progress({ScanShardProgressKind::kSample, resolved, sim.now()});
+      const std::uint64_t stride = resolved / kSweepProgressStride;
+      if (stride > published_stride) {
+        published_stride = stride;
+        progress({ScanShardProgressKind::kStride, resolved, sim.now()});
+      }
+    }
+    const std::uint64_t resolved =
+        db.responsive() + db.refused() + db.unresolved();
+    progress({ScanShardProgressKind::kDone, resolved, sim.now()});
+  }
+
+  ScanShardResult shard;
+  shard.records = db.records();
+  shard.probes = db.probes_sent();
+  shard.responsive = db.responsive();
+  shard.refused = db.refused();
+  shard.unresolved = db.unresolved();
+  shard.retries = db.retries();
+  shard.events = sim.events_processed();
+  shard.finished = sim.now();
+  return shard;
+}
+
+namespace {
+
+ScanShardDispatcher& dispatcher_slot() {
+  static ScanShardDispatcher dispatcher;
+  return dispatcher;
+}
+
+}  // namespace
+
+void set_scan_shard_dispatcher(ScanShardDispatcher dispatcher) {
+  dispatcher_slot() = std::move(dispatcher);
+}
+
+const ScanShardDispatcher& scan_shard_dispatcher() {
+  return dispatcher_slot();
+}
+
+}  // namespace ofh::core

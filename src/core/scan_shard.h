@@ -1,0 +1,110 @@
+// One protocol sweep as a self-contained, relocatable job: the unit of
+// work behind both execution backends of Study::run_scan(). A shard runs
+// on a private replica of the simulated Internet and is a pure function of
+// (StudyConfig, ScanShardJob) — no ambient state beyond the calling
+// thread's trace-shard binding, which run_scan_shard() establishes itself.
+// That purity is what lets the same job run inline, on a ParallelRunner
+// thread, or in a separate worker process (dist/worker.h) and produce
+// byte-identical output: results merge by (time, shard, seq) regardless of
+// where the shard executed, and a crashed worker's job can simply be re-run
+// elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "proto/service.h"
+#include "scanner/scan_db.h"
+#include "sim/simulation.h"
+
+namespace ofh::core {
+
+struct StudyConfig;
+
+// Scales a paper count to a study's population scale (minimum 1 for any
+// nonzero paper count). Shared between the main internet and the shard
+// replicas so both allocate identical honeypot counts — and therefore
+// identical addresses — from the population's extra pool.
+std::uint64_t scale_paper_count(std::uint64_t paper, double scale);
+
+// Shards publish a progress callback whenever their resolved count crosses
+// a multiple of this stride (checked every 1024 sim steps). Both constants
+// are pure functions of the shard's deterministic event stream, so the
+// per-kind progress-event counts are byte-identical for every scan_threads
+// and scan_workers value.
+inline constexpr std::uint64_t kSweepProgressStride = 4096;
+
+enum class ScanShardProgressKind : std::uint8_t {
+  kSample,  // every 1024 sim steps: refresh the live sweep counter
+  kStride,  // resolved crossed a kSweepProgressStride boundary
+  kDone,    // sweep resolved; final counts
+};
+
+struct ScanShardProgress {
+  ScanShardProgressKind kind = ScanShardProgressKind::kSample;
+  std::uint64_t resolved = 0;  // responsive + refused + unresolved so far
+  sim::Time sim_time = 0;      // shard clock at the sample point
+};
+
+// Per-job progress callback (nullable: pass {} for a silent run). Invoked
+// from whatever thread runs the shard.
+using ScanShardProgressFn = std::function<void(const ScanShardProgress&)>;
+
+// Everything that identifies one sweep. index doubles as the trace shard
+// (index + 1; shard 0 is the main simulation) and the introspection sweep
+// slot (index), so a job is fully described by this struct plus the config.
+struct ScanShardJob {
+  std::uint32_t index = 0;
+  proto::Protocol protocol = proto::Protocol::kTelnet;
+  std::uint64_t sweep_seed = 0;
+  sim::Time start = 0;
+  std::uint64_t sweep_total = 0;  // slot total for done/total progress bars
+};
+
+// One sweep's output.
+struct ScanShardResult {
+  std::vector<scanner::ScanRecord> records;  // in event (= time) order
+  std::uint64_t probes = 0;
+  // Per-target outcome accounting (scanner/scan_db.h): folded into the
+  // study DB so probes == responsive + refused + unresolved holds there too.
+  std::uint64_t responsive = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t unresolved = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t events = 0;  // shard-simulation events processed
+  sim::Time finished = 0;    // shard clock when the sweep resolved
+};
+
+// Runs one sweep on a private replica of the simulated Internet. Reads only
+// the config fields a worker process ships over the wire: seed,
+// population_scale, fault_schedule, scan_batch, scan_attempts
+// (dist/protocol.h serializes exactly this subset).
+ScanShardResult run_scan_shard(const StudyConfig& config,
+                               const ScanShardJob& job,
+                               const ScanShardProgressFn& progress);
+
+// Batch-level progress sink: (job index, progress). A dispatcher must
+// deliver each job's deterministic progress sequence exactly once — every
+// kStride in order followed by one kDone per job — even when a job is
+// retried after a worker crash (dist/coordinator.h deduplicates by
+// per-job max stride), so the introspection event stream stays
+// byte-identical to the in-process path.
+using ScanShardProgressSink =
+    std::function<void(std::uint32_t, const ScanShardProgress&)>;
+
+// Pluggable execution backend for Study::run_scan() when
+// StudyConfig::scan_workers > 0. Returns the results in job order, or
+// nullopt to decline the batch (Study then degrades gracefully to the
+// in-process ParallelRunner path). Installed by distributed entry points
+// (tools/ofh-coordinator, tools/scenario) — never by library code, and
+// deliberately not consulted when scan_workers == 0.
+using ScanShardDispatcher =
+    std::function<std::optional<std::vector<ScanShardResult>>(
+        const StudyConfig&, const std::vector<ScanShardJob>&,
+        const ScanShardProgressSink&)>;
+void set_scan_shard_dispatcher(ScanShardDispatcher dispatcher);
+const ScanShardDispatcher& scan_shard_dispatcher();
+
+}  // namespace ofh::core

@@ -99,7 +99,8 @@ bool single_valued(std::string_view key) {
       "scenario",        "seed",
       "scale",           "attack-scale",
       "duration-days",   "scan-threads",
-      "scan-batch",      "scan-attempts",
+      "scan-workers",    "scan-batch",
+      "scan-attempts",
       "session-attempts", "filter-honeypots",
       "listing-boost",   "telescope-range",
       "telescope-rate-scale", "telescope-source-scale",
@@ -449,14 +450,22 @@ bool Parser::handle_directive(int line, std::string_view text) {
       c.attack_duration = v;
     });
   }
-  if (name == "scan-threads" || name == "scan-batch" ||
-      name == "scan-attempts" || name == "session-attempts") {
+  if (name == "scan-threads" || name == "scan-workers" ||
+      name == "scan-batch" || name == "scan-attempts" ||
+      name == "session-attempts") {
     const auto operand = one_operand();
     if (!operand) return false;
     const auto value = parse_unsigned(*operand);
     if (!value || *value > 1'000'000'000) return bad_value(*operand);
     return apply_checked(line, name, [&name, v = *value](StudyConfig& c) {
       if (name == "scan-threads") c.scan_threads = static_cast<unsigned>(v);
+      // scan-workers only selects the execution backend (dispatcher vs
+      // in-process): a fuzzed scenario file can request worker processes,
+      // but with no dispatcher installed (scenario_fuzz never installs
+      // one) the study degrades to the in-process path — and the reports
+      // are byte-identical either way. worker_endpoint stays out of the
+      // language entirely: hostile files must never pick bind paths.
+      if (name == "scan-workers") c.scan_workers = static_cast<unsigned>(v);
       if (name == "scan-batch") c.scan_batch = static_cast<std::uint32_t>(v);
       if (name == "scan-attempts") {
         c.scan_attempts = static_cast<std::uint32_t>(v);

@@ -24,11 +24,7 @@ constexpr std::size_t kReadChunk = 4096;
 constexpr std::size_t kMaxBufferedBytes = 4u << 20;
 
 util::Bytes error_frame_body(StatusErrorCode code, std::string_view message) {
-  util::ByteWriter writer;
-  writer.u8(kStatusErrorTag);
-  writer.u8(static_cast<std::uint8_t>(code));
-  writer.str16(message);
-  return writer.take();
+  return net::wire_error_body(code, message);
 }
 
 std::uint64_t to_milli(double v) {
@@ -127,14 +123,7 @@ util::Bytes handle_trace_stats(const StatusContext& context) {
 }  // namespace
 
 std::string_view status_error_name(StatusErrorCode code) {
-  switch (code) {
-    case StatusErrorCode::kUnknownTag: return "unknown-tag";
-    case StatusErrorCode::kOversized: return "oversized";
-    case StatusErrorCode::kMalformed: return "malformed";
-    case StatusErrorCode::kUnavailable: return "unavailable";
-    case StatusErrorCode::kForbidden: return "forbidden";
-  }
-  return "?";
+  return net::wire_error_name(code);
 }
 
 util::Bytes handle_status_frame(std::span<const std::uint8_t> body,
@@ -225,10 +214,7 @@ util::Bytes handle_status_frame(std::span<const std::uint8_t> body,
 }
 
 util::Bytes frame_status_message(std::span<const std::uint8_t> body) {
-  util::ByteWriter writer;
-  writer.u32(static_cast<std::uint32_t>(body.size()));
-  writer.raw(body);
-  return writer.take();
+  return net::wire_frame(body);
 }
 
 // ------------------------------------------------------------------ server
@@ -430,10 +416,11 @@ void StatusService::loop() {
       }
 
       // Extract complete frames.
-      while (!dead && !conn.close_after_flush && conn.in.size() >= 4) {
-        util::ByteReader header(conn.in);
-        const std::uint32_t length = *header.u32();
-        if (length > kMaxStatusRequestBody) {
+      while (!dead && !conn.close_after_flush) {
+        const net::FrameView frame =
+            net::peek_frame(conn.in, kMaxStatusRequestBody);
+        if (frame.status == net::FrameStatus::kNeedMore) break;
+        if (frame.status == net::FrameStatus::kOversized) {
           // The declared length cannot be trusted; answer and hang up.
           const util::Bytes error = error_frame_body(
               StatusErrorCode::kOversized, "frame length exceeds 64 bytes");
@@ -442,21 +429,17 @@ void StatusService::loop() {
           conn.close_after_flush = true;
           break;
         }
-        if (conn.in.size() < 4u + length) break;  // wait for the rest
         StatusContext context;
         context.hub = hub_;
         context.sampler = &sampler_;
         context.allow_stop = options_.allow_stop;
-        const util::Bytes response = handle_status_frame(
-            std::span<const std::uint8_t>(conn.in).subspan(4, length),
-            context);
+        const util::Bytes response = handle_status_frame(frame.body, context);
         if (context.stop_requested) {
           stop_requested_.store(true, std::memory_order_release);
         }
         const util::Bytes framed = frame_status_message(response);
         conn.out.insert(conn.out.end(), framed.begin(), framed.end());
-        conn.in.erase(conn.in.begin(),
-                      conn.in.begin() + 4 + static_cast<std::ptrdiff_t>(length));
+        net::consume_frame(conn.in, frame.body.size());
         if (conn.out.size() > kMaxBufferedBytes) {
           conn.close_after_flush = true;
         }

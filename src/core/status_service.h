@@ -35,9 +35,12 @@
 //   6 trace-stats   -> u16 count x { u16 shard, u64 recorded, u64 dropped }
 //   7 stop          -> empty (only when Options::allow_stop; else error 5)
 //
-// Error codes: 1 unknown-tag, 2 oversized, 3 malformed, 4 unavailable,
-// 5 forbidden. Oversized frames additionally close the connection (the
-// declared length cannot be trusted enough to resynchronize).
+// Framing and the typed-error envelope are the shared net/wire.h codec
+// (the distributed worker protocol in dist/protocol.h speaks the same
+// layer). Error codes: 1 unknown-tag, 2 oversized, 3 malformed,
+// 4 unavailable, 5 forbidden. Oversized frames additionally close the
+// connection (the declared length cannot be trusted enough to
+// resynchronize).
 //
 // Threading: the server runs one background thread; every hub access goes
 // through the lock-free snapshot/poll read side, so attaching a server to
@@ -53,6 +56,7 @@
 #include <string>
 #include <thread>
 
+#include "net/wire.h"
 #include "obs/introspect.h"
 #include "util/bytes.h"
 
@@ -68,17 +72,13 @@ enum class StatusRequest : std::uint8_t {
   kStop = 7,
 };
 
-enum class StatusErrorCode : std::uint8_t {
-  kUnknownTag = 1,
-  kOversized = 2,
-  kMalformed = 3,
-  kUnavailable = 4,
-  kForbidden = 5,
-};
+// The status protocol's error envelope is the shared wire-layer one; these
+// aliases keep the status endpoint's historical spelling working.
+using StatusErrorCode = net::WireError;
 std::string_view status_error_name(StatusErrorCode code);
 
-inline constexpr std::uint8_t kStatusResponseBit = 0x80;
-inline constexpr std::uint8_t kStatusErrorTag = 0x7f;
+inline constexpr std::uint8_t kStatusResponseBit = net::kWireResponseBit;
+inline constexpr std::uint8_t kStatusErrorTag = net::kWireErrorTag;
 // Requests are tiny; anything longer is hostile or corrupt.
 inline constexpr std::size_t kMaxStatusRequestBody = 64;
 // Cap progress events per response frame; clients poll the cursor forward.

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "core/scan_shard.h"
 #include "core/trace_report.h"
 #include "devices/paper_stats.h"
 #include "obs/metrics.h"
@@ -53,13 +54,6 @@ std::uint8_t phase_id(std::string_view name) {
 }
 
 std::uint64_t sim_day_of(sim::Time now) { return now / sim::days(1); }
-
-// Worker shards publish a kSweepProgress event whenever their resolved
-// count crosses a multiple of this stride (checked every 1024 sim steps).
-// Both constants are pure functions of the shard's deterministic event
-// stream, so the per-kind event counts are byte-identical for every
-// scan_threads value.
-constexpr std::uint64_t kSweepProgressStride = 4096;
 
 // Wraps one Study phase in a trace span: sim timestamps are deterministic,
 // the wall-clock duration feeds only the profile channel. When the scope
@@ -148,131 +142,6 @@ class PhaseScope {
   std::chrono::steady_clock::time_point wall_start_;
 };
 
-std::uint64_t scale_count(std::uint64_t paper, double scale) {
-  if (paper == 0) return 0;
-  return std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(paper * scale + 0.5));
-}
-
-// One protocol sweep's output, produced on a worker thread.
-struct ScanShard {
-  std::vector<scanner::ScanRecord> records;  // in event (= time) order
-  std::uint64_t probes = 0;
-  // Per-target outcome accounting (scanner/scan_db.h): folded into the
-  // study DB so probes == responsive + refused + unresolved holds there too.
-  std::uint64_t responsive = 0;
-  std::uint64_t refused = 0;
-  std::uint64_t unresolved = 0;
-  std::uint64_t retries = 0;
-  std::uint64_t events = 0;  // shard-simulation events processed
-  sim::Time finished = 0;    // shard clock when the sweep resolved
-};
-
-// Runs one sweep on a private replica of the simulated Internet. The
-// replica repeats Study::setup_internet()'s allocation order exactly
-// (population build, then wild honeypots), so every address — devices and
-// honeypots alike — matches the main internet's; the telescope is omitted
-// because sweeps only target populated prefixes, never the darknet. Each
-// shard owns its Simulation, Fabric and ScanDb, so shards share no mutable
-// state and are free to run concurrently.
-ScanShard run_scan_shard(const StudyConfig& config, proto::Protocol protocol,
-                         std::uint64_t sweep_seed, sim::Time start,
-                         std::uint16_t trace_shard,
-                         obs::IntrospectionHub* hub, std::size_t sweep_slot,
-                         std::uint64_t sweep_total) {
-  // All trace events this sweep produces — probe mints, packet fates, TCP
-  // transitions — land in the sweep's own deterministic shard recorder
-  // (shard 0 is the main simulation), regardless of which worker thread
-  // runs the job.
-  const obs::TraceShardScope trace_scope(trace_shard);
-  sim::Simulation sim;
-  net::Fabric fabric(sim, config.seed);
-  fabric.set_latency(sim::msec(15), sim::msec(25));
-  // Same schedule and same fabric seed as the main internet: the replica's
-  // fault timeline is a pure function of (seed, sim-time), so a sweep sees
-  // identical faults whether it runs inline or on a worker thread.
-  if (!config.fault_schedule.empty()) {
-    fabric.set_fault_schedule(config.fault_schedule);
-  }
-
-  devices::PopulationSpec spec;
-  spec.seed = config.seed;
-  spec.scale = config.population_scale;
-  devices::Population population(spec);
-  population.build();
-  population.attach_all(fabric);
-
-  std::vector<std::unique_ptr<honeynet::WildHoneypot>> honeypots;
-  for (const auto& signature : honeynet::honeypot_signatures()) {
-    const auto count =
-        scale_count(signature.paper_count, config.population_scale);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      honeypots.push_back(std::make_unique<honeynet::WildHoneypot>(
-          signature, population.allocate_extra()));
-      honeypots.back()->attach(fabric);
-    }
-  }
-
-  scanner::ScanDb db;
-  scanner::Scanner scanner(util::Ipv4Addr(192, 35, 168, 10), db);
-  scanner.attach(fabric);
-  if (start > sim.now()) sim.run_until(start);
-
-  scanner::ScanConfig scan;
-  scan.protocol = protocol;
-  scan.targets = population.prefixes();
-  scan.blocklist = scanner::default_blocklist();
-  scan.seed = sweep_seed;
-  scan.batch_size = config.scan_batch;
-  scan.max_attempts = config.scan_attempts;
-  bool done = false;
-  scanner.start(scan, [&done] { done = true; });
-  if (hub == nullptr) {
-    while (!done && sim.step()) {
-    }
-  } else {
-    // Progress sampling: every 1024 sim steps fold the shard's resolved
-    // count into the sweep slot, and publish a kSweepProgress event each
-    // time that count crosses a kSweepProgressStride boundary. Both the
-    // sample points and the stride crossings are pure functions of the
-    // shard's deterministic event stream, so the event-kind totals are
-    // identical at every scan_threads value; only ring interleaving (which
-    // no deterministic consumer reads) varies.
-    const std::uint8_t phase = phase_id("scan");
-    const auto event_shard = static_cast<std::uint16_t>(sweep_slot + 1);
-    std::uint64_t steps = 0;
-    std::uint64_t published_stride = 0;
-    while (!done && sim.step()) {
-      if ((++steps & 1023u) != 0) continue;
-      const std::uint64_t resolved =
-          db.responsive() + db.refused() + db.unresolved();
-      hub->update_sweep(sweep_slot, resolved);
-      const std::uint64_t stride = resolved / kSweepProgressStride;
-      if (stride > published_stride) {
-        published_stride = stride;
-        hub->publish(obs::ProgressKind::kSweepProgress, phase, event_shard,
-                     sim.now(), resolved, sweep_total);
-      }
-    }
-    const std::uint64_t resolved =
-        db.responsive() + db.refused() + db.unresolved();
-    hub->update_sweep(sweep_slot, resolved);
-    hub->publish(obs::ProgressKind::kSweepDone, phase, event_shard, sim.now(),
-                 resolved, sweep_total);
-  }
-
-  ScanShard shard;
-  shard.records = db.records();
-  shard.probes = db.probes_sent();
-  shard.responsive = db.responsive();
-  shard.refused = db.refused();
-  shard.unresolved = db.unresolved();
-  shard.retries = db.retries();
-  shard.events = sim.events_processed();
-  shard.finished = sim.now();
-  return shard;
-}
-
 }  // namespace
 
 // ------------------------------------------------------- config validation
@@ -291,6 +160,10 @@ constexpr double kMaxPopulationScale = 16.0;
 constexpr double kMaxAttackScale = 1e6;
 constexpr std::uint32_t kMaxScanBatch = 1'000'000;
 constexpr unsigned kMaxScanThreads = 1'024;
+constexpr unsigned kMaxScanWorkers = 256;
+// sockaddr_un's sun_path is 108 bytes on Linux; leave headroom for
+// suffixes a coordinator may append.
+constexpr std::size_t kMaxWorkerEndpoint = 96;
 constexpr std::uint32_t kMaxScanAttempts = 16;
 constexpr int kMaxSessionAttempts = 16;
 constexpr double kMaxListingBoost = 100.0;
@@ -328,6 +201,12 @@ std::optional<std::string> StudyConfig::validate() const {
   }
   if (scan_threads > kMaxScanThreads) {
     return "scan_threads must be at most 1024 (0 = hardware)";
+  }
+  if (scan_workers > kMaxScanWorkers) {
+    return "scan_workers must be at most 256 (0 = in-process)";
+  }
+  if (worker_endpoint.size() > kMaxWorkerEndpoint) {
+    return "worker_endpoint must be at most 96 bytes";
   }
   if (scan_attempts == 0 || scan_attempts > kMaxScanAttempts) {
     return "scan_attempts must be in [1, 16]";
@@ -392,6 +271,10 @@ StudyConfig StudyConfig::clamped() const {
   safe.scan_batch = std::clamp<std::uint32_t>(safe.scan_batch, 1,
                                               kMaxScanBatch);
   safe.scan_threads = std::min(safe.scan_threads, kMaxScanThreads);
+  safe.scan_workers = std::min(safe.scan_workers, kMaxScanWorkers);
+  if (safe.worker_endpoint.size() > kMaxWorkerEndpoint) {
+    safe.worker_endpoint.clear();
+  }
   safe.scan_attempts = std::clamp<std::uint32_t>(safe.scan_attempts, 1,
                                                  kMaxScanAttempts);
   safe.session_connect_attempts =
@@ -438,11 +321,11 @@ Study::Study(StudyConfig config) : config_(config) {
 Study::~Study() = default;
 
 std::uint64_t Study::scaled_population(std::uint64_t paper) const {
-  return scale_count(paper, config_.population_scale);
+  return scale_paper_count(paper, config_.population_scale);
 }
 
 std::uint64_t Study::scaled_attack(std::uint64_t paper) const {
-  return scale_count(paper, config_.attack_scale);
+  return scale_paper_count(paper, config_.attack_scale);
 }
 
 void Study::setup_internet() {
@@ -494,22 +377,76 @@ void Study::run_scan() {
     sweep_targets += prefix.size();
   }
 
-  std::vector<std::function<ScanShard()>> jobs;
+  std::vector<ScanShardJob> shard_jobs;
   for (std::size_t i = 0; i < protocols.size(); ++i) {
     const proto::Protocol protocol = protocols[i];
     const sim::Time start = scan_epoch + sim::days(kDayOffsets[i]);
     scan_dates_[protocol] = start;
-    const std::uint64_t sweep_seed = sim::shard_seed(config_.seed, i);
-    const auto trace_shard = static_cast<std::uint16_t>(i + 1);
-    const std::size_t sweep_slot = introspect_.add_sweep(
-        std::string(proto::protocol_name(protocol)), sweep_targets);
-    jobs.emplace_back([this, protocol, sweep_seed, start, trace_shard,
-                       sweep_slot, sweep_targets] {
-      return run_scan_shard(config_, protocol, sweep_seed, start, trace_shard,
-                            &introspect_, sweep_slot, sweep_targets);
-    });
+    ScanShardJob job;
+    job.index = static_cast<std::uint32_t>(i);
+    job.protocol = protocol;
+    job.sweep_seed = sim::shard_seed(config_.seed, i);
+    job.start = start;
+    job.sweep_total = sweep_targets;
+    shard_jobs.push_back(job);
+    // Sweep slots are allocated in job order, so slot == job.index.
+    introspect_.add_sweep(std::string(proto::protocol_name(protocol)),
+                          sweep_targets);
   }
-  auto shards = sim::ParallelRunner(config_.scan_threads).run(std::move(jobs));
+
+  // Shard progress feeds the introspection hub exactly as it always has:
+  // live sweep counters from every sample, a kSweepProgress event per
+  // stride crossing, one kSweepDone per sweep. The sink is shared by both
+  // execution backends, and a distributed dispatcher is contractually
+  // required to deliver the same deterministic per-job sequence
+  // (core/scan_shard.h), so the event-kind totals are byte-identical at
+  // every scan_threads and scan_workers value.
+  const std::uint8_t phase = phase_id("scan");
+  const ScanShardProgressSink sink = [this, phase, sweep_targets](
+                                         std::uint32_t index,
+                                         const ScanShardProgress& progress) {
+    const auto slot = static_cast<std::size_t>(index);
+    const auto event_shard = static_cast<std::uint16_t>(index + 1);
+    introspect_.update_sweep(slot, progress.resolved);
+    if (progress.kind == ScanShardProgressKind::kStride) {
+      introspect_.publish(obs::ProgressKind::kSweepProgress, phase,
+                          event_shard, progress.sim_time, progress.resolved,
+                          sweep_targets);
+    } else if (progress.kind == ScanShardProgressKind::kDone) {
+      introspect_.publish(obs::ProgressKind::kSweepDone, phase, event_shard,
+                          progress.sim_time, progress.resolved,
+                          sweep_targets);
+    }
+  };
+
+  // Backend selection: an installed dispatcher (worker processes) gets the
+  // batch when scan_workers asks for it; everything else — scan_workers of
+  // zero, no dispatcher installed, or the dispatcher declining — runs the
+  // jobs in-process on the ParallelRunner. Same jobs, same sink, same bytes.
+  std::vector<ScanShardResult> shards;
+  bool dispatched = false;
+  if (config_.scan_workers > 0) {
+    if (const ScanShardDispatcher& dispatcher = scan_shard_dispatcher()) {
+      if (auto remote = dispatcher(config_, shard_jobs, sink)) {
+        shards = std::move(*remote);
+        dispatched = true;
+      }
+    }
+  }
+  if (!dispatched) {
+    std::vector<std::function<ScanShardResult()>> jobs;
+    jobs.reserve(shard_jobs.size());
+    for (const ScanShardJob& job : shard_jobs) {
+      jobs.emplace_back([this, job, sink] {
+        return run_scan_shard(config_, job,
+                              [&sink, &job](const ScanShardProgress& p) {
+                                sink(job.index, p);
+                              });
+      });
+    }
+    shards =
+        sim::ParallelRunner(config_.scan_threads).run(std::move(jobs));
+  }
 
   sim::Time scan_end = scan_epoch;
   std::vector<std::vector<scanner::ScanRecord>> per_shard;

@@ -52,6 +52,19 @@ struct StudyConfig {
   // byte-identical for every value here. 1 = run shards inline (the serial
   // reference), 0 = one worker per hardware thread.
   unsigned scan_threads = 1;
+  // Distributed execution (dist/coordinator.h). 0 = in-process shards on
+  // scan_threads workers. N > 0 = offer the shard batch to the installed
+  // scan-shard dispatcher (core/scan_shard.h), which runs it on N worker
+  // processes; with no dispatcher installed (or the dispatcher declining)
+  // the study degrades gracefully to the in-process path. Output is
+  // byte-identical either way — jobs are pure functions of (seed, shard)
+  // and merge order stays (time, shard, seq).
+  unsigned scan_workers = 0;
+  // Optional unix-socket path a coordinator listens on for external
+  // ofh-worker processes (empty = socketpair-forked workers only).
+  // Deliberately NOT exposed to the scenario language: fuzzed scenario
+  // files must never pick filesystem paths to bind.
+  std::string worker_endpoint;
   // Whether the fingerprint filter runs (off = the poisoning ablation).
   bool filter_honeypots = true;
   // Post-listing attack multiplier (1.0 disables the Figure 8 uptrend).

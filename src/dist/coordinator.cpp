@@ -1,0 +1,554 @@
+#include "dist/coordinator.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "core/study.h"
+#include "dist/protocol.h"
+#include "dist/worker.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ofh::dist {
+namespace {
+
+constexpr std::size_t kReadChunk = 65536;
+constexpr int kPollTickMs = 50;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Semantic validation past the codec layer: a well-formed result is only
+// applicable if its trace events belong to the job's shard — absorbing a
+// hostile shard id would corrupt another sweep's flight recorder.
+bool result_payload_valid(const ResultFrame& frame, std::size_t job_count) {
+  if (frame.job_index >= job_count) return false;
+  const auto shard = static_cast<std::uint16_t>(frame.job_index + 1);
+  for (const obs::TraceEvent& event : frame.trace_events) {
+    if (event.shard != shard) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {}
+
+Coordinator::~Coordinator() { shutdown(); }
+
+bool Coordinator::start() {
+  if (!options_.listen_path.empty()) {
+    sockaddr_un addr{};
+    if (options_.listen_path.size() >= sizeof(addr.sun_path)) {
+      error_ = "listen path exceeds sun_path";
+      return false;
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      error_ = "socket() failed";
+      return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, options_.listen_path.c_str(),
+                options_.listen_path.size() + 1);
+    ::unlink(options_.listen_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+      error_ = "bind/listen failed on " + options_.listen_path;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    set_nonblocking(listen_fd_);
+  }
+  for (unsigned i = 0; i < options_.fork_workers; ++i) {
+    int sv[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      error_ = "socketpair() failed";
+      return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      error_ = "fork() failed";
+      return false;
+    }
+    if (pid == 0) {
+      // Child: drop every coordinator-side descriptor, serve the pair
+      // end, and never return through the caller's stack.
+      ::close(sv[0]);
+      if (listen_fd_ >= 0) ::close(listen_fd_);
+      for (const WorkerConn& other : workers_) {
+        if (other.fd >= 0) ::close(other.fd);
+      }
+      const int code = serve_worker_fd(sv[1], "fork-" + std::to_string(i));
+      ::_exit(code);
+    }
+    ::close(sv[1]);
+    set_nonblocking(sv[0]);
+    WorkerConn conn;
+    conn.fd = sv[0];
+    conn.pid = static_cast<int>(pid);
+    conn.forked = true;
+    conn.name = "fork-" + std::to_string(i);
+    conn.last_activity = Clock::now();
+    workers_.push_back(std::move(conn));
+  }
+  return true;
+}
+
+void Coordinator::adopt_worker_fd(int fd, int pid) {
+  set_nonblocking(fd);
+  WorkerConn conn;
+  conn.fd = fd;
+  conn.pid = pid;
+  conn.name = "adopted-" + std::to_string(fd);
+  conn.last_activity = Clock::now();
+  workers_.push_back(std::move(conn));
+}
+
+std::size_t Coordinator::live_workers() const {
+  std::size_t live = 0;
+  for (const WorkerConn& worker : workers_) {
+    if (!worker.dead && !worker.quarantined && worker.fd >= 0) ++live;
+  }
+  return live;
+}
+
+std::vector<core::ScanShardResult> Coordinator::run(
+    const core::StudyConfig& config,
+    const std::vector<core::ScanShardJob>& jobs,
+    const core::ScanShardProgressSink& sink) {
+  RunState run;
+  run.config = &config;
+  run.jobs = &jobs;
+  run.sink = &sink;
+  run.results.resize(jobs.size());
+  run.states.resize(jobs.size());
+  run.pending = jobs.size();
+  const Clock::time_point begun = Clock::now();
+  for (JobState& state : run.states) state.ready_at = begun;
+  // Only wait for a fleet that can actually appear: a coordinator with no
+  // listener and no forked workers degrades to inline immediately.
+  const bool expect_workers = listen_fd_ >= 0 || !workers_.empty();
+  const Clock::time_point grace_deadline =
+      begun + std::chrono::milliseconds(expect_workers ? options_.wait_timeout_ms
+                                                       : 0);
+
+  while (run.pending > 0) {
+    reap_children();
+    const Clock::time_point now = Clock::now();
+    for (WorkerConn& worker : workers_) {
+      if (worker.dead || worker.quarantined || worker.job < 0) continue;
+      if (now - worker.last_activity >
+          std::chrono::milliseconds(options_.job_timeout_ms)) {
+        // Presumed wedged: requeue the job but keep the socket readable —
+        // a late result from this attempt is still a valid (then
+        // duplicate-dropped) frame, not a protocol violation.
+        fail_assignment(worker, run, "timeout");
+        quarantine(worker, /*close_fd=*/false);
+      }
+    }
+    assign_jobs(run);
+    run_inline_if_stuck(run, grace_deadline);
+    if (run.pending == 0) break;
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owner;  // index into workers_, SIZE_MAX=listener
+    fds.reserve(workers_.size() + 1);
+    if (listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      owner.push_back(static_cast<std::size_t>(-1));
+    }
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const WorkerConn& worker = workers_[i];
+      if (worker.fd < 0) continue;
+      short events = POLLIN;
+      if (!worker.out.empty()) events |= POLLOUT;
+      fds.push_back({worker.fd, events, 0});
+      owner.push_back(i);
+    }
+    if (fds.empty()) continue;  // inline fallback will drain the batch
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), kPollTickMs);
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (owner[i] == static_cast<std::size_t>(-1)) {
+        accept_ready();
+        continue;
+      }
+      WorkerConn& worker = workers_[owner[i]];
+      if (worker.fd < 0) continue;
+      if ((fds[i].revents & POLLOUT) != 0) flush_worker(worker, run);
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        read_worker(worker, run);
+      }
+    }
+  }
+  return std::move(run.results);
+}
+
+void Coordinator::accept_ready() {
+  while (listen_fd_ >= 0) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    adopt_worker_fd(fd, -1);
+  }
+}
+
+void Coordinator::read_worker(WorkerConn& worker, RunState& run) {
+  bool saw_eof = false;
+  while (true) {
+    std::uint8_t chunk[kReadChunk];
+    const ssize_t n = ::recv(worker.fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      worker.in.insert(worker.in.end(), chunk, chunk + n);
+      if (static_cast<std::size_t>(n) < sizeof chunk) break;
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    saw_eof = true;  // hard socket error: same handling as a crash
+    break;
+  }
+  // Parse buffered frames first: a worker that sent its result and was
+  // then killed still delivered that result.
+  while (worker.fd >= 0) {
+    const net::FrameView frame = net::peek_frame(worker.in, kMaxResultBody);
+    if (frame.status == net::FrameStatus::kNeedMore) break;
+    if (frame.status == net::FrameStatus::kOversized) {
+      fail_assignment(worker, run, "oversized-frame");
+      quarantine(worker, /*close_fd=*/true);
+      break;
+    }
+    const bool keep = handle_frame(worker, frame.body, run);
+    if (worker.fd < 0) break;  // handle_frame may close on hostile input
+    net::consume_frame(worker.in, frame.body.size());
+    if (!keep) break;
+  }
+  if (saw_eof && worker.fd >= 0) {
+    worker.dead = true;
+    fail_assignment(worker, run, "worker-eof");
+    ::close(worker.fd);
+    worker.fd = -1;
+  }
+}
+
+void Coordinator::flush_worker(WorkerConn& worker, RunState& run) {
+  while (!worker.out.empty() && worker.fd >= 0) {
+    const ssize_t n = ::send(worker.fd, worker.out.data(), worker.out.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      worker.out.erase(worker.out.begin(), worker.out.begin() + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    fail_assignment(worker, run, "worker-send-failed");
+    quarantine(worker, /*close_fd=*/true);
+    break;
+  }
+}
+
+bool Coordinator::handle_frame(WorkerConn& worker,
+                               std::span<const std::uint8_t> body,
+                               RunState& run) {
+  worker.last_activity = Clock::now();
+  const std::uint8_t tag = body.empty() ? 0 : body[0];
+  if (tag == static_cast<std::uint8_t>(MsgTag::kHello)) {
+    const auto hello = decode_hello(body);
+    if (!hello || hello->version != kDistProtocolVersion) {
+      fail_assignment(worker, run, "bad-hello");
+      quarantine(worker, /*close_fd=*/true);
+      return false;
+    }
+    worker.hello = true;
+    if (!hello->name.empty()) worker.name = hello->name;
+    if (worker.pid < 0 && hello->pid > 0) {
+      worker.pid = static_cast<int>(hello->pid);
+    }
+    return true;
+  }
+  if (tag == (static_cast<std::uint8_t>(MsgTag::kShutdown) |
+              net::kWireResponseBit)) {
+    return true;  // orderly shutdown ack
+  }
+  if (tag == static_cast<std::uint8_t>(MsgTag::kProgress)) {
+    const auto progress = decode_progress(body);
+    if (!progress) {
+      fail_assignment(worker, run, "malformed-progress");
+      quarantine(worker, /*close_fd=*/true);
+      return false;
+    }
+    if (progress->job_index < run.states.size()) {
+      core::ScanShardProgress stride;
+      stride.kind = core::ScanShardProgressKind::kStride;
+      stride.resolved = progress->resolved;
+      stride.sim_time = static_cast<sim::Time>(progress->sim_time);
+      deliver_progress(run, progress->job_index, stride);
+    }
+    if (options_.kill_worker_after_progress && !run.drill_fired &&
+        worker.pid > 0) {
+      run.drill_fired = true;
+      ::kill(worker.pid, SIGKILL);  // crash drill; EOF does the rest
+    }
+    return true;
+  }
+  if (tag == static_cast<std::uint8_t>(MsgTag::kHeartbeat)) {
+    const auto beat = decode_heartbeat(body);
+    if (!beat) {
+      fail_assignment(worker, run, "malformed-heartbeat");
+      quarantine(worker, /*close_fd=*/true);
+      return false;
+    }
+    if (beat->job_index < run.states.size() && run.sink != nullptr &&
+        *run.sink) {
+      // Liveness doubles as the live sweep counter; kSample never becomes
+      // a published (deterministic) progress event.
+      core::ScanShardProgress sample;
+      sample.kind = core::ScanShardProgressKind::kSample;
+      sample.resolved = beat->resolved;
+      sample.sim_time = static_cast<sim::Time>(beat->sim_time);
+      (*run.sink)(beat->job_index, sample);
+    }
+    return true;
+  }
+  if (tag == static_cast<std::uint8_t>(MsgTag::kResult)) {
+    auto result = decode_result(body);
+    if (!result || !result_payload_valid(*result, run.states.size())) {
+      fail_assignment(worker, run, "malformed-result");
+      quarantine(worker, /*close_fd=*/true);
+      return false;
+    }
+    if (worker.job == static_cast<int>(result->job_index)) {
+      worker.job = -1;
+      run.states[result->job_index].assigned = false;
+    }
+    apply_result(run, std::move(*result));
+    return true;
+  }
+  // A wire error envelope (the worker rejected a frame we sent) or an
+  // unknown tag: either way this connection cannot be trusted with jobs.
+  fail_assignment(worker, run,
+                  net::parse_wire_error(body) ? "worker-error" : "unknown-tag");
+  quarantine(worker, /*close_fd=*/true);
+  return false;
+}
+
+void Coordinator::deliver_progress(RunState& run, std::uint32_t index,
+                                   const core::ScanShardProgress& progress) {
+  if (index >= run.states.size()) return;
+  if (progress.kind == core::ScanShardProgressKind::kStride) {
+    // Stride crossings are a pure function of the shard's event stream, so
+    // two attempts at the same job emit identical sequences: publishing
+    // each stride index once makes the merged sequence byte-identical to a
+    // crash-free run.
+    const std::uint64_t stride = progress.resolved / core::kSweepProgressStride;
+    JobState& state = run.states[index];
+    if (stride <= state.max_stride) return;
+    state.max_stride = stride;
+  }
+  if (run.sink != nullptr && *run.sink) (*run.sink)(index, progress);
+}
+
+void Coordinator::apply_result(RunState& run, ResultFrame&& frame) {
+  JobState& state = run.states[frame.job_index];
+  if (state.applied) {
+    // Idempotent application: results are pure functions of (config, job),
+    // so a duplicate carries identical bytes — dropping it is lossless.
+    ++duplicates_dropped_;
+    return;
+  }
+  state.applied = true;
+  state.assigned = false;
+  --run.pending;
+  obs::TraceRegistry::global().absorb(
+      static_cast<std::uint16_t>(frame.job_index + 1), frame.trace_events,
+      frame.trace_recorded, frame.trace_dropped);
+  obs::Registry::global().absorb(frame.metrics);
+  // Synthesize the kDone the worker suppressed — exactly once per job, with
+  // the exact payload run_scan_shard emits (final resolved count, shard
+  // clock at resolution).
+  core::ScanShardProgress done;
+  done.kind = core::ScanShardProgressKind::kDone;
+  done.resolved =
+      frame.shard.responsive + frame.shard.refused + frame.shard.unresolved;
+  done.sim_time = frame.shard.finished;
+  deliver_progress(run, frame.job_index, done);
+  run.results[frame.job_index] = std::move(frame.shard);
+}
+
+void Coordinator::fail_assignment(WorkerConn& worker, RunState& run,
+                                  const std::string& reason) {
+  if (worker.job < 0) return;
+  const auto index = static_cast<std::size_t>(worker.job);
+  worker.job = -1;
+  worker.out.clear();  // never deliver a half-written frame
+  if (index >= run.states.size()) return;
+  RetryLedgerEntry entry;
+  entry.job_index = static_cast<std::uint32_t>(index);
+  entry.epoch = worker.epoch;
+  entry.worker = worker.name;
+  entry.reason = reason;
+  retry_ledger_.push_back(std::move(entry));
+  JobState& state = run.states[index];
+  if (!state.applied) {
+    state.assigned = false;
+    const unsigned shift = std::min(state.attempts, 6u);
+    state.ready_at = Clock::now() + std::chrono::milliseconds(
+                                        options_.backoff_base_ms << shift);
+  }
+}
+
+void Coordinator::quarantine(WorkerConn& worker, bool close_fd) {
+  worker.quarantined = true;
+  if (close_fd && worker.fd >= 0) {
+    worker.dead = true;
+    ::close(worker.fd);
+    worker.fd = -1;
+  }
+}
+
+void Coordinator::assign_jobs(RunState& run) {
+  const Clock::time_point now = Clock::now();
+  for (WorkerConn& worker : workers_) {
+    if (worker.dead || worker.quarantined || !worker.hello ||
+        worker.fd < 0 || worker.job >= 0) {
+      continue;
+    }
+    int pick = -1;
+    for (std::size_t i = 0; i < run.states.size(); ++i) {
+      const JobState& state = run.states[i];
+      if (state.applied || state.assigned) continue;
+      if (state.attempts >= options_.max_attempts) continue;
+      if (state.ready_at > now) continue;
+      pick = static_cast<int>(i);
+      break;
+    }
+    if (pick < 0) return;
+    JobState& state = run.states[pick];
+    JobFrame frame;
+    frame.epoch = state.next_epoch++;
+    frame.job = (*run.jobs)[static_cast<std::size_t>(pick)];
+    frame.seed = run.config->seed;
+    frame.population_scale = run.config->population_scale;
+    frame.scan_batch = run.config->scan_batch;
+    frame.scan_attempts = run.config->scan_attempts;
+    frame.fault_schedule = run.config->fault_schedule;
+    // Ship the coordinator's live ring capacities so the worker's flight
+    // recorder evicts exactly as an in-process shard would have.
+    frame.packet_ring_capacity = obs::TraceRegistry::global().packet_capacity();
+    frame.session_ring_capacity =
+        obs::TraceRegistry::global().session_capacity();
+    const util::Bytes framed = net::wire_frame(encode_job(frame));
+    worker.out.insert(worker.out.end(), framed.begin(), framed.end());
+    worker.job = pick;
+    worker.epoch = frame.epoch;
+    worker.last_activity = now;
+    state.assigned = true;
+    ++state.attempts;
+    flush_worker(worker, run);
+  }
+}
+
+void Coordinator::run_inline_if_stuck(RunState& run,
+                                      Clock::time_point grace_deadline) {
+  const Clock::time_point now = Clock::now();
+  bool fleet_alive = false;
+  for (const WorkerConn& worker : workers_) {
+    if (!worker.dead && !worker.quarantined && worker.fd >= 0) {
+      fleet_alive = true;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < run.states.size(); ++i) {
+    JobState& state = run.states[i];
+    if (state.applied || state.assigned) continue;
+    const bool exhausted = state.attempts >= options_.max_attempts;
+    if (!exhausted) {
+      if (fleet_alive) continue;         // a worker can still take it
+      if (now < grace_deadline) continue;  // the fleet may still appear
+    }
+    // Graceful degradation: run the shard on this thread, with the same
+    // progress dedup the remote path uses — byte-identical either way.
+    ++inline_runs_;
+    const core::ScanShardJob& spec = (*run.jobs)[i];
+    core::ScanShardResult result = core::run_scan_shard(
+        *run.config, spec, [&](const core::ScanShardProgress& progress) {
+          if (progress.kind == core::ScanShardProgressKind::kDone) return;
+          deliver_progress(run, spec.index, progress);
+        });
+    state.applied = true;
+    --run.pending;
+    core::ScanShardProgress done;
+    done.kind = core::ScanShardProgressKind::kDone;
+    done.resolved = result.responsive + result.refused + result.unresolved;
+    done.sim_time = result.finished;
+    deliver_progress(run, spec.index, done);
+    run.results[i] = std::move(result);
+  }
+}
+
+void Coordinator::reap_children() {
+  for (WorkerConn& worker : workers_) {
+    if (!worker.forked || worker.pid <= 0) continue;
+    int status = 0;
+    if (::waitpid(worker.pid, &status, WNOHANG) == worker.pid) {
+      worker.forked = false;  // reaped; shutdown() must not wait again
+    }
+  }
+}
+
+void Coordinator::shutdown() {
+  for (WorkerConn& worker : workers_) {
+    if (worker.fd >= 0 && !worker.dead) {
+      if (worker.quarantined && worker.forked && worker.pid > 0) {
+        // A wedged child will never answer SHUTDOWN or notice EOF.
+        ::kill(worker.pid, SIGKILL);
+      } else {
+        const util::Bytes framed = net::wire_frame(encode_shutdown());
+        ::send(worker.fd, framed.data(), framed.size(), MSG_NOSIGNAL);
+      }
+    }
+    if (worker.fd >= 0) {
+      ::close(worker.fd);
+      worker.fd = -1;
+    }
+    worker.dead = true;
+  }
+  for (WorkerConn& worker : workers_) {
+    if (worker.forked && worker.pid > 0) {
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);  // children exit on EOF
+      worker.forked = false;
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.listen_path.empty()) {
+    ::unlink(options_.listen_path.c_str());
+  }
+}
+
+}  // namespace ofh::dist

@@ -1,0 +1,178 @@
+// Fault-tolerant coordinator for the distributed scan fleet: dispatches
+// scan shards (core/scan_shard.h) to worker processes over unix-domain
+// sockets, survives worker crashes, and merges results byte-identically to
+// the in-process path.
+//
+// Robustness model (DESIGN.md §15 has the full failure matrix):
+//   * Liveness: workers heartbeat between progress strides; a connection
+//     silent past job_timeout_ms is presumed wedged. EOF/SIGKILL surface
+//     immediately via poll.
+//   * Crash recovery: a failed attempt requeues its job with exponential
+//     backoff and an entry in the retry ledger; jobs are pure functions of
+//     (config, job), so a re-run on any worker yields identical bytes.
+//   * Hostile input: a frame that fails to decode — torn, truncated,
+//     tag-flipped, lying length — quarantines the connection (its framing
+//     can no longer be trusted) and requeues the job. A wedged worker is
+//     quarantined but kept readable so a late duplicate result can still
+//     be counted (and dropped) rather than confused for a new frame.
+//   * Idempotence: the first well-formed result for a job wins; duplicates
+//     from retried attempts are dropped. Progress strides dedup by per-job
+//     max stride, and the kDone progress event is synthesized exactly once
+//     at apply time, so the published event sequence is byte-identical no
+//     matter how many attempts a job took.
+//   * Graceful degradation: jobs that exhaust max_attempts — or a fleet
+//     with no live workers at all — run inline on the coordinator thread,
+//     so Coordinator::run() always returns a complete result set.
+//
+// Threading: run() is a blocking single-threaded poll loop (the same shape
+// as core/status_service.cpp's); there is nothing to race. Wall-clock time
+// is used for liveness decisions only and never reaches deterministic
+// output (.ofh-lint.toml allows it for src/dist/).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scan_shard.h"
+#include "dist/protocol.h"
+#include "util/bytes.h"
+
+namespace ofh::dist {
+
+struct CoordinatorOptions {
+  // Unix-socket path to listen on for external ofh-worker processes
+  // (empty = no listener; forked workers only).
+  std::string listen_path;
+  // Workers to fork over socketpairs at start() (fork, no exec: the child
+  // runs dist::serve_worker_fd and _exit()s; it never returns to the
+  // caller's stack).
+  unsigned fork_workers = 0;
+  // run() waits up to wait_timeout_ms for this many HELLOs before falling
+  // back to inline execution. Forked workers count toward it.
+  unsigned wait_workers = 0;
+  int wait_timeout_ms = 30'000;
+  // A connection silent (no progress, heartbeat or result) this long while
+  // owning a job is presumed wedged: job requeued, worker quarantined.
+  int job_timeout_ms = 120'000;
+  // Requeue backoff: base << min(attempt, 6) milliseconds.
+  int backoff_base_ms = 50;
+  // Attempts before a job stops being offered to workers and runs inline.
+  unsigned max_attempts = 3;
+  // Crash drill for tests/CI: SIGKILL the first worker that reports
+  // progress (once per run). Exercises the full requeue/merge path.
+  bool kill_worker_after_progress = false;
+};
+
+// One requeue decision, for tests and post-mortems. Deterministic fields
+// only (which worker failed and when it was detected are wall-clock facts;
+// the ledger records the job/attempt/reason sequence).
+struct RetryLedgerEntry {
+  std::uint32_t job_index = 0;
+  std::uint32_t epoch = 0;  // the attempt that failed
+  std::string worker;
+  std::string reason;  // "worker-eof" | "timeout" | "malformed-result" | ...
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // Binds the listener (if configured) and forks workers. Returns false
+  // with error() set on socket failures; a false start() still leaves the
+  // coordinator usable — run() degrades to inline execution.
+  bool start();
+
+  // Executes the batch: dispatches to workers, recovers from crashes,
+  // returns results in job order (always complete — stragglers run
+  // inline). Also absorbs each remote result's trace/metric payload into
+  // the global registries, exactly as in-process shards would have
+  // recorded them. Call from one thread at a time.
+  std::vector<core::ScanShardResult> run(
+      const core::StudyConfig& config,
+      const std::vector<core::ScanShardJob>& jobs,
+      const core::ScanShardProgressSink& sink);
+
+  // Sends SHUTDOWN to live workers, closes sockets, reaps forked children
+  // (SIGKILL for quarantined ones). Idempotent; the destructor calls it.
+  void shutdown();
+
+  // Adopts an already-connected worker socket (tests inject fake workers
+  // this way). pid < 0 = not a child of ours (never signaled or reaped).
+  void adopt_worker_fd(int fd, int pid);
+
+  const std::vector<RetryLedgerEntry>& retry_ledger() const {
+    return retry_ledger_;
+  }
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  std::uint64_t inline_runs() const { return inline_runs_; }
+  std::size_t live_workers() const;
+  const std::string& error() const { return error_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct WorkerConn {
+    int fd = -1;
+    int pid = -1;          // forked child pid, or HELLO-claimed pid
+    bool forked = false;   // pid is our child: signal + reap at shutdown
+    std::string name;
+    bool hello = false;
+    bool dead = false;
+    bool quarantined = false;  // no new jobs; fd still drained if open
+    int job = -1;              // inflight job index, -1 = idle
+    std::uint32_t epoch = 0;   // epoch of the inflight attempt
+    util::Bytes in;
+    util::Bytes out;  // pending JOB/SHUTDOWN bytes (sockets are nonblocking)
+    Clock::time_point last_activity{};
+  };
+
+  struct JobState {
+    bool applied = false;
+    bool assigned = false;
+    unsigned attempts = 0;        // dispatches so far (remote only)
+    std::uint32_t next_epoch = 1;
+    Clock::time_point ready_at{};  // backoff gate for the next dispatch
+    std::uint64_t max_stride = 0;  // progress dedup across attempts
+  };
+
+  struct RunState {
+    const core::StudyConfig* config = nullptr;
+    const std::vector<core::ScanShardJob>* jobs = nullptr;
+    const core::ScanShardProgressSink* sink = nullptr;
+    std::vector<core::ScanShardResult> results;
+    std::vector<JobState> states;
+    std::size_t pending = 0;
+    bool drill_fired = false;
+  };
+
+  void accept_ready();
+  void read_worker(WorkerConn& worker, RunState& run);
+  void flush_worker(WorkerConn& worker, RunState& run);
+  bool handle_frame(WorkerConn& worker, std::span<const std::uint8_t> body,
+                    RunState& run);
+  void deliver_progress(RunState& run, std::uint32_t index,
+                        const core::ScanShardProgress& progress);
+  void apply_result(RunState& run, ResultFrame&& frame);
+  void fail_assignment(WorkerConn& worker, RunState& run,
+                       const std::string& reason);
+  void quarantine(WorkerConn& worker, bool close_fd);
+  void assign_jobs(RunState& run);
+  void run_inline_if_stuck(RunState& run, Clock::time_point grace_deadline);
+  void reap_children();
+
+  CoordinatorOptions options_;
+  int listen_fd_ = -1;
+  std::vector<WorkerConn> workers_;
+  std::vector<RetryLedgerEntry> retry_ledger_;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t inline_runs_ = 0;
+  std::string error_;
+};
+
+}  // namespace ofh::dist

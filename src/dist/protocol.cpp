@@ -1,0 +1,468 @@
+#include "dist/protocol.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+
+#include "net/wire.h"
+
+namespace ofh::dist {
+namespace {
+
+// Fixed encoded sizes used to bound reserve() against lying count
+// prefixes: a count may promise at most remaining / element_size entries.
+constexpr std::size_t kFaultWindowBytes = 1 + 8 + 8 + 5 + 5 + 8;
+constexpr std::size_t kMinScanRecordBytes = 4 + 2 + 1 + 8 + 2;  // empty banner
+constexpr std::size_t kTraceEventBytes = 8 + 8 + 8 + 4 + 4 + 2 + 2 + 1 + 1 + 1;
+constexpr std::size_t kMinMetricRowBytes = 1 + 1 + 1 + 8;  // empty name
+
+void put_f64(util::ByteWriter& writer, double value) {
+  writer.u64(std::bit_cast<std::uint64_t>(value));
+}
+
+std::optional<double> get_f64(util::ByteReader& reader) {
+  const auto bits = reader.u64();
+  if (!bits) return std::nullopt;
+  return std::bit_cast<double>(*bits);
+}
+
+void put_cidr(util::ByteWriter& writer, const util::Cidr& cidr) {
+  writer.u32(cidr.base().value());
+  writer.u8(static_cast<std::uint8_t>(cidr.prefix_len()));
+}
+
+std::optional<util::Cidr> get_cidr(util::ByteReader& reader) {
+  const auto base = reader.u32();
+  const auto prefix = reader.u8();
+  if (!base || !prefix.has_value() || *prefix > 32) return std::nullopt;
+  return util::Cidr(util::Ipv4Addr(*base), static_cast<int>(*prefix));
+}
+
+void put_fault_schedule(util::ByteWriter& writer,
+                        const net::FaultSchedule& schedule) {
+  put_f64(writer, schedule.uniform_loss);
+  put_f64(writer, schedule.duplicate_rate);
+  put_f64(writer, schedule.reorder_rate);
+  writer.u64(static_cast<std::uint64_t>(schedule.reorder_delay));
+  writer.u8(schedule.burst.enabled ? 1 : 0);
+  put_f64(writer, schedule.burst.p_enter);
+  put_f64(writer, schedule.burst.p_exit);
+  put_f64(writer, schedule.burst.loss_good);
+  put_f64(writer, schedule.burst.loss_bad);
+  writer.u64(static_cast<std::uint64_t>(schedule.burst.slot));
+  writer.u16(static_cast<std::uint16_t>(
+      std::min<std::size_t>(schedule.windows.size(), 0xffff)));
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(schedule.windows.size(), 0xffff); ++i) {
+    const net::FaultWindow& window = schedule.windows[i];
+    writer.u8(static_cast<std::uint8_t>(window.kind));
+    writer.u64(static_cast<std::uint64_t>(window.start));
+    writer.u64(static_cast<std::uint64_t>(window.end));
+    put_cidr(writer, window.scope);
+    put_cidr(writer, window.peer);
+    writer.u64(static_cast<std::uint64_t>(window.magnitude));
+  }
+}
+
+bool get_fault_schedule(util::ByteReader& reader,
+                        net::FaultSchedule& schedule) {
+  const auto uniform_loss = get_f64(reader);
+  const auto duplicate_rate = get_f64(reader);
+  const auto reorder_rate = get_f64(reader);
+  const auto reorder_delay = reader.u64();
+  const auto burst_enabled = reader.u8();
+  const auto p_enter = get_f64(reader);
+  const auto p_exit = get_f64(reader);
+  const auto loss_good = get_f64(reader);
+  const auto loss_bad = get_f64(reader);
+  const auto slot = reader.u64();
+  const auto window_count = reader.u16();
+  if (!window_count) return false;
+  if (!burst_enabled || *burst_enabled > 1) return false;
+  if (*window_count > reader.remaining() / kFaultWindowBytes) return false;
+  schedule.uniform_loss = *uniform_loss;
+  schedule.duplicate_rate = *duplicate_rate;
+  schedule.reorder_rate = *reorder_rate;
+  schedule.reorder_delay = static_cast<sim::Duration>(*reorder_delay);
+  schedule.burst.enabled = *burst_enabled == 1;
+  schedule.burst.p_enter = *p_enter;
+  schedule.burst.p_exit = *p_exit;
+  schedule.burst.loss_good = *loss_good;
+  schedule.burst.loss_bad = *loss_bad;
+  schedule.burst.slot = static_cast<sim::Duration>(*slot);
+  schedule.windows.reserve(*window_count);
+  for (std::uint16_t i = 0; i < *window_count; ++i) {
+    const auto kind = reader.u8();
+    const auto start = reader.u64();
+    const auto end = reader.u64();
+    const auto scope = get_cidr(reader);
+    const auto peer = get_cidr(reader);
+    const auto magnitude = reader.u64();
+    if (!magnitude.has_value() || !scope || !peer) return false;
+    if (*kind >= net::kFaultKindCount) return false;
+    net::FaultWindow window;
+    window.kind = static_cast<net::FaultKind>(*kind);
+    window.start = static_cast<sim::Time>(*start);
+    window.end = static_cast<sim::Time>(*end);
+    window.scope = *scope;
+    window.peer = *peer;
+    window.magnitude = static_cast<sim::Duration>(*magnitude);
+    schedule.windows.push_back(window);
+  }
+  return true;
+}
+
+bool valid_protocol(std::uint8_t value) {
+  return value <= static_cast<std::uint8_t>(proto::Protocol::kS7);
+}
+
+bool valid_trace_type(std::uint8_t value) {
+  return value <= static_cast<std::uint8_t>(obs::TraceEventType::kHostFault);
+}
+
+// Expects `reader` positioned one byte past a verified tag; a frame is
+// well-formed only if the whole body was consumed with no latched error.
+bool finished(const util::ByteReader& reader) {
+  return reader.ok() && reader.done();
+}
+
+}  // namespace
+
+util::Bytes encode_hello(const HelloFrame& frame) {
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(MsgTag::kHello));
+  writer.u32(frame.version);
+  writer.u64(frame.pid);
+  writer.str8(frame.name.substr(0, 0xff));
+  return writer.take();
+}
+
+std::optional<HelloFrame> decode_hello(std::span<const std::uint8_t> body) {
+  util::ByteReader reader(body);
+  const auto tag = reader.u8();
+  if (!tag || *tag != static_cast<std::uint8_t>(MsgTag::kHello)) {
+    return std::nullopt;
+  }
+  HelloFrame frame;
+  const auto version = reader.u32();
+  const auto pid = reader.u64();
+  auto name = reader.str8();
+  if (!pid.has_value() || !name || !finished(reader)) return std::nullopt;
+  frame.version = *version;
+  frame.pid = *pid;
+  frame.name = std::move(*name);
+  return frame;
+}
+
+util::Bytes encode_job(const JobFrame& frame) {
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(MsgTag::kJob));
+  writer.u32(frame.epoch);
+  writer.u32(frame.job.index);
+  writer.u8(static_cast<std::uint8_t>(frame.job.protocol));
+  writer.u64(frame.job.sweep_seed);
+  writer.u64(static_cast<std::uint64_t>(frame.job.start));
+  writer.u64(frame.job.sweep_total);
+  writer.u64(frame.seed);
+  put_f64(writer, frame.population_scale);
+  writer.u32(frame.scan_batch);
+  writer.u32(frame.scan_attempts);
+  put_fault_schedule(writer, frame.fault_schedule);
+  writer.u64(frame.packet_ring_capacity);
+  writer.u64(frame.session_ring_capacity);
+  return writer.take();
+}
+
+std::optional<JobFrame> decode_job(std::span<const std::uint8_t> body) {
+  util::ByteReader reader(body);
+  const auto tag = reader.u8();
+  if (!tag || *tag != static_cast<std::uint8_t>(MsgTag::kJob)) {
+    return std::nullopt;
+  }
+  JobFrame frame;
+  const auto epoch = reader.u32();
+  const auto index = reader.u32();
+  const auto protocol = reader.u8();
+  const auto sweep_seed = reader.u64();
+  const auto start = reader.u64();
+  const auto sweep_total = reader.u64();
+  const auto seed = reader.u64();
+  const auto population_scale = get_f64(reader);
+  const auto scan_batch = reader.u32();
+  const auto scan_attempts = reader.u32();
+  if (!scan_attempts.has_value()) return std::nullopt;
+  if (!valid_protocol(*protocol)) return std::nullopt;
+  if (!get_fault_schedule(reader, frame.fault_schedule)) return std::nullopt;
+  const auto packet_capacity = reader.u64();
+  const auto session_capacity = reader.u64();
+  if (!session_capacity.has_value() || !finished(reader)) return std::nullopt;
+  frame.epoch = *epoch;
+  frame.job.index = *index;
+  frame.job.protocol = static_cast<proto::Protocol>(*protocol);
+  frame.job.sweep_seed = *sweep_seed;
+  frame.job.start = static_cast<sim::Time>(*start);
+  frame.job.sweep_total = *sweep_total;
+  frame.seed = *seed;
+  frame.population_scale = *population_scale;
+  frame.scan_batch = *scan_batch;
+  frame.scan_attempts = *scan_attempts;
+  frame.packet_ring_capacity = *packet_capacity;
+  frame.session_ring_capacity = *session_capacity;
+  return frame;
+}
+
+namespace {
+
+util::Bytes encode_progress_shaped(MsgTag tag, std::uint32_t job_index,
+                                   std::uint32_t epoch, std::uint64_t resolved,
+                                   std::uint64_t sim_time) {
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(tag));
+  writer.u32(job_index);
+  writer.u32(epoch);
+  writer.u64(resolved);
+  writer.u64(sim_time);
+  return writer.take();
+}
+
+// Progress and heartbeat share one body shape behind different tags.
+template <typename Frame>
+std::optional<Frame> decode_progress_shaped(MsgTag tag,
+                                            std::span<const std::uint8_t> body) {
+  util::ByteReader reader(body);
+  const auto got = reader.u8();
+  if (!got || *got != static_cast<std::uint8_t>(tag)) return std::nullopt;
+  Frame frame;
+  const auto job_index = reader.u32();
+  const auto epoch = reader.u32();
+  const auto resolved = reader.u64();
+  const auto sim_time = reader.u64();
+  if (!sim_time.has_value() || !finished(reader)) return std::nullopt;
+  frame.job_index = *job_index;
+  frame.epoch = *epoch;
+  frame.resolved = *resolved;
+  frame.sim_time = *sim_time;
+  return frame;
+}
+
+}  // namespace
+
+util::Bytes encode_progress(const ProgressFrame& frame) {
+  return encode_progress_shaped(MsgTag::kProgress, frame.job_index,
+                                frame.epoch, frame.resolved, frame.sim_time);
+}
+
+std::optional<ProgressFrame> decode_progress(
+    std::span<const std::uint8_t> body) {
+  return decode_progress_shaped<ProgressFrame>(MsgTag::kProgress, body);
+}
+
+util::Bytes encode_heartbeat(const HeartbeatFrame& frame) {
+  return encode_progress_shaped(MsgTag::kHeartbeat, frame.job_index,
+                                frame.epoch, frame.resolved, frame.sim_time);
+}
+
+std::optional<HeartbeatFrame> decode_heartbeat(
+    std::span<const std::uint8_t> body) {
+  return decode_progress_shaped<HeartbeatFrame>(MsgTag::kHeartbeat, body);
+}
+
+util::Bytes encode_result(const ResultFrame& frame) {
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(MsgTag::kResult));
+  writer.u32(frame.job_index);
+  writer.u32(frame.epoch);
+  writer.u64(frame.shard.probes);
+  writer.u64(frame.shard.responsive);
+  writer.u64(frame.shard.refused);
+  writer.u64(frame.shard.unresolved);
+  writer.u64(frame.shard.retries);
+  writer.u64(frame.shard.events);
+  writer.u64(static_cast<std::uint64_t>(frame.shard.finished));
+  writer.u32(static_cast<std::uint32_t>(frame.shard.records.size()));
+  for (const scanner::ScanRecord& record : frame.shard.records) {
+    writer.u32(record.host.value());
+    writer.u16(record.port);
+    writer.u8(static_cast<std::uint8_t>(record.protocol));
+    writer.u64(static_cast<std::uint64_t>(record.when));
+    writer.str16(record.banner);  // banners are protocol responses, < 64 KiB
+  }
+  writer.u64(frame.trace_recorded);
+  writer.u64(frame.trace_dropped);
+  writer.u32(static_cast<std::uint32_t>(frame.trace_events.size()));
+  for (const obs::TraceEvent& event : frame.trace_events) {
+    writer.u64(event.time);
+    writer.u64(event.trace_id);
+    writer.u64(event.seq);
+    writer.u32(event.src);
+    writer.u32(event.dst);
+    writer.u16(event.port);
+    writer.u16(event.shard);
+    writer.u8(static_cast<std::uint8_t>(event.type));
+    writer.u8(event.a);
+    writer.u8(event.b);
+  }
+  writer.u32(static_cast<std::uint32_t>(frame.metrics.size()));
+  for (const obs::MetricRow& row : frame.metrics) {
+    writer.str8(std::string_view(row.name).substr(0, 0xff));
+    writer.u8(static_cast<std::uint8_t>(row.kind));
+    writer.u8(static_cast<std::uint8_t>(row.domain));
+    if (row.kind == obs::Kind::kHistogram) {
+      writer.u64(row.count);
+      writer.u64(row.sum);
+      // Sparse buckets: log2 histograms rarely populate more than a dozen.
+      std::uint8_t populated = 0;
+      for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+        if (row.buckets[b] != 0) ++populated;
+      }
+      writer.u8(populated);
+      for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+        if (row.buckets[b] == 0) continue;
+        writer.u8(static_cast<std::uint8_t>(b));
+        writer.u64(row.buckets[b]);
+      }
+    } else {
+      writer.u64(static_cast<std::uint64_t>(row.value));
+    }
+  }
+  return writer.take();
+}
+
+std::optional<ResultFrame> decode_result(std::span<const std::uint8_t> body) {
+  util::ByteReader reader(body);
+  const auto tag = reader.u8();
+  if (!tag || *tag != static_cast<std::uint8_t>(MsgTag::kResult)) {
+    return std::nullopt;
+  }
+  ResultFrame frame;
+  const auto job_index = reader.u32();
+  const auto epoch = reader.u32();
+  const auto probes = reader.u64();
+  const auto responsive = reader.u64();
+  const auto refused = reader.u64();
+  const auto unresolved = reader.u64();
+  const auto retries = reader.u64();
+  const auto events = reader.u64();
+  const auto finished_at = reader.u64();
+  const auto record_count = reader.u32();
+  if (!record_count) return std::nullopt;
+  if (*record_count > reader.remaining() / kMinScanRecordBytes) {
+    return std::nullopt;
+  }
+  frame.shard.records.reserve(*record_count);
+  for (std::uint32_t i = 0; i < *record_count; ++i) {
+    const auto host = reader.u32();
+    const auto port = reader.u16();
+    const auto protocol = reader.u8();
+    const auto when = reader.u64();
+    auto banner = reader.str16();
+    if (!banner || !valid_protocol(*protocol)) return std::nullopt;
+    scanner::ScanRecord record;
+    record.host = util::Ipv4Addr(*host);
+    record.port = *port;
+    record.protocol = static_cast<proto::Protocol>(*protocol);
+    record.when = static_cast<sim::Time>(*when);
+    record.banner = std::move(*banner);
+    frame.shard.records.push_back(std::move(record));
+  }
+  const auto trace_recorded = reader.u64();
+  const auto trace_dropped = reader.u64();
+  const auto trace_count = reader.u32();
+  if (!trace_count) return std::nullopt;
+  if (*trace_count > reader.remaining() / kTraceEventBytes) return std::nullopt;
+  frame.trace_events.reserve(*trace_count);
+  for (std::uint32_t i = 0; i < *trace_count; ++i) {
+    obs::TraceEvent event;
+    const auto time = reader.u64();
+    const auto trace_id = reader.u64();
+    const auto seq = reader.u64();
+    const auto src = reader.u32();
+    const auto dst = reader.u32();
+    const auto port = reader.u16();
+    const auto shard = reader.u16();
+    const auto type = reader.u8();
+    const auto a = reader.u8();
+    const auto b = reader.u8();
+    if (!b.has_value() || !valid_trace_type(*type)) return std::nullopt;
+    event.time = *time;
+    event.trace_id = *trace_id;
+    event.seq = *seq;
+    event.src = *src;
+    event.dst = *dst;
+    event.port = *port;
+    event.shard = *shard;
+    event.type = static_cast<obs::TraceEventType>(*type);
+    event.a = *a;
+    event.b = *b;
+    frame.trace_events.push_back(event);
+  }
+  const auto metric_count = reader.u32();
+  if (!metric_count) return std::nullopt;
+  if (*metric_count > reader.remaining() / kMinMetricRowBytes) {
+    return std::nullopt;
+  }
+  frame.metrics.reserve(*metric_count);
+  for (std::uint32_t i = 0; i < *metric_count; ++i) {
+    obs::MetricRow row;
+    auto name = reader.str8();
+    const auto kind = reader.u8();
+    const auto domain = reader.u8();
+    if (!domain.has_value()) return std::nullopt;
+    if (*kind > static_cast<std::uint8_t>(obs::Kind::kHistogram) ||
+        *domain > static_cast<std::uint8_t>(obs::Domain::kWall)) {
+      return std::nullopt;
+    }
+    row.name = std::move(*name);
+    row.kind = static_cast<obs::Kind>(*kind);
+    row.domain = static_cast<obs::Domain>(*domain);
+    if (row.kind == obs::Kind::kHistogram) {
+      const auto count = reader.u64();
+      const auto sum = reader.u64();
+      const auto populated = reader.u8();
+      if (!populated.has_value()) return std::nullopt;
+      row.count = *count;
+      row.sum = *sum;
+      for (std::uint8_t b = 0; b < *populated; ++b) {
+        const auto bucket = reader.u8();
+        const auto value = reader.u64();
+        if (!value.has_value() || *bucket >= obs::kHistogramBuckets) {
+          return std::nullopt;
+        }
+        row.buckets[*bucket] = *value;
+      }
+    } else {
+      const auto value = reader.u64();
+      if (!value.has_value()) return std::nullopt;
+      row.value = static_cast<std::int64_t>(*value);
+    }
+    frame.metrics.push_back(std::move(row));
+  }
+  if (!finished(reader)) return std::nullopt;
+  frame.job_index = *job_index;
+  frame.epoch = *epoch;
+  frame.shard.probes = *probes;
+  frame.shard.responsive = *responsive;
+  frame.shard.refused = *refused;
+  frame.shard.unresolved = *unresolved;
+  frame.shard.retries = *retries;
+  frame.shard.events = *events;
+  frame.shard.finished = static_cast<sim::Time>(*finished_at);
+  frame.trace_recorded = *trace_recorded;
+  frame.trace_dropped = *trace_dropped;
+  return frame;
+}
+
+util::Bytes encode_shutdown() {
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(MsgTag::kShutdown));
+  return writer.take();
+}
+
+util::Bytes encode_shutdown_ack() {
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(MsgTag::kShutdown) |
+            net::kWireResponseBit);
+  return writer.take();
+}
+
+}  // namespace ofh::dist

@@ -1,0 +1,142 @@
+// Wire protocol for the distributed shard fleet: the typed frames a
+// coordinator (dist/coordinator.h) and a worker process (dist/worker.h)
+// exchange over a unix-domain stream. Transport framing and the typed-error
+// envelope are net/wire.h — the same codec the status endpoint speaks — so
+// a worker answering a frame it cannot parse returns the identical
+// `0x7f code str16` error shape tools already know how to decode.
+//
+// Body layout: first byte is the MsgTag; responses set kWireResponseBit.
+// All integers are big-endian via util::ByteWriter/ByteReader; doubles
+// travel as their IEEE-754 bit pattern (std::bit_cast to uint64), which is
+// exact — the worker reconstructs bit-identical config values, a
+// prerequisite for the byte-identical-merge contract.
+//
+// Robustness contract: every decode_* returns std::nullopt on ANY defect —
+// truncation, trailing bytes, wrong tag, out-of-range enum, lying length
+// prefix — and never reads past the span (ByteReader latches on
+// underflow). Reserve sizes are bounded by the bytes actually remaining,
+// so a hostile count prefix cannot balloon allocation
+// (tests/dist_test.cpp drives every frame through an adversarial mutation
+// harness under ASan/UBSan).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scan_shard.h"
+#include "net/faults.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/bytes.h"
+
+namespace ofh::dist {
+
+inline constexpr std::uint32_t kDistProtocolVersion = 1;
+
+// Per-direction frame body caps (framing rejects larger declared lengths
+// before buffering). Control traffic is tiny; a job carries a fault
+// schedule (bounded by the cap, not trusted counts); a result carries the
+// shard's scan records, trace ring contents and metric rows.
+inline constexpr std::size_t kMaxControlBody = 512;
+// Sized for the encoder's own worst case: 0xffff fault windows at 35 bytes
+// each (~2.2 MiB) plus the fixed fields — so no frame encode_job can emit
+// is ever rejected by the worker's framing cap (tests/dist_codec_test.cpp
+// pins this).
+inline constexpr std::size_t kMaxJobBody = std::size_t{4} << 20;
+inline constexpr std::size_t kMaxResultBody = std::size_t{256} << 20;
+
+// First body byte. Workers answer kJob with kProgress*/kResult frames and
+// answer kShutdown with its response bit; the coordinator never expects
+// unsolicited tags beyond these.
+enum class MsgTag : std::uint8_t {
+  kHello = 1,      // worker -> coordinator, once, on connect
+  kJob = 2,        // coordinator -> worker: run one scan shard
+  kProgress = 3,   // worker -> coordinator: sweep stride crossed
+  kResult = 4,     // worker -> coordinator: finished shard payload
+  kShutdown = 5,   // coordinator -> worker: drain and exit
+  kHeartbeat = 6,  // worker -> coordinator: liveness between strides
+};
+
+// worker -> coordinator greeting; a version mismatch quarantines the
+// connection before any job is risked on it.
+struct HelloFrame {
+  std::uint32_t version = kDistProtocolVersion;
+  std::uint64_t pid = 0;
+  std::string name;
+};
+
+// coordinator -> worker: one scan shard plus the exact StudyConfig subset
+// run_scan_shard reads and the trace-ring capacities, so the worker's
+// recorder evicts identically to an in-process run. `epoch` is the
+// coordinator's attempt counter for this job; it rides every reply so late
+// frames from a superseded attempt are attributable.
+struct JobFrame {
+  std::uint32_t epoch = 0;
+  core::ScanShardJob job;
+  // StudyConfig subset (the only fields run_scan_shard reads).
+  std::uint64_t seed = 0;
+  double population_scale = 1.0;
+  std::uint32_t scan_batch = 0;
+  std::uint32_t scan_attempts = 0;
+  net::FaultSchedule fault_schedule;
+  // TraceRegistry capacities active in the coordinator process.
+  std::uint64_t packet_ring_capacity = 0;
+  std::uint64_t session_ring_capacity = 0;
+};
+
+// worker -> coordinator: a kSweepProgressStride boundary was crossed.
+// Mirrors ScanShardProgressKind::kStride payloads exactly; the coordinator
+// dedups by stride index across retries.
+struct ProgressFrame {
+  std::uint32_t job_index = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t resolved = 0;
+  std::uint64_t sim_time = 0;
+};
+
+// worker -> coordinator: liveness between strides (population build and
+// early sweep produce no strides for a while). Also refreshes the live
+// sweep counter; never published as a deterministic progress event.
+struct HeartbeatFrame {
+  std::uint32_t job_index = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t resolved = 0;
+  std::uint64_t sim_time = 0;
+};
+
+// worker -> coordinator: the completed shard. Everything the in-process
+// path would have produced: the ScanShardResult (records included), the
+// shard's trace-ring contents post-eviction with its recorded/dropped
+// counters, and the worker's full metric snapshot (scan-shard deltas; the
+// worker resets its registries before the job).
+struct ResultFrame {
+  std::uint32_t job_index = 0;
+  std::uint32_t epoch = 0;
+  core::ScanShardResult shard;
+  std::uint64_t trace_recorded = 0;
+  std::uint64_t trace_dropped = 0;
+  std::vector<obs::TraceEvent> trace_events;
+  std::vector<obs::MetricRow> metrics;
+};
+
+util::Bytes encode_hello(const HelloFrame& frame);
+util::Bytes encode_job(const JobFrame& frame);
+util::Bytes encode_progress(const ProgressFrame& frame);
+util::Bytes encode_heartbeat(const HeartbeatFrame& frame);
+util::Bytes encode_result(const ResultFrame& frame);
+// kShutdown and its ack are tag-only bodies.
+util::Bytes encode_shutdown();
+util::Bytes encode_shutdown_ack();
+
+std::optional<HelloFrame> decode_hello(std::span<const std::uint8_t> body);
+std::optional<JobFrame> decode_job(std::span<const std::uint8_t> body);
+std::optional<ProgressFrame> decode_progress(
+    std::span<const std::uint8_t> body);
+std::optional<HeartbeatFrame> decode_heartbeat(
+    std::span<const std::uint8_t> body);
+std::optional<ResultFrame> decode_result(std::span<const std::uint8_t> body);
+
+}  // namespace ofh::dist

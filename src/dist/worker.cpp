@@ -1,0 +1,208 @@
+#include "dist/worker.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/scan_shard.h"
+#include "core/study.h"
+#include "dist/protocol.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/bytes.h"
+
+namespace ofh::dist {
+namespace {
+
+// Blocking send of the whole buffer. MSG_NOSIGNAL: a coordinator that died
+// mid-write must surface as EPIPE, not kill the worker with SIGPIPE.
+bool send_all(int fd, const util::Bytes& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_frame(int fd, const util::Bytes& body) {
+  return send_all(fd, net::wire_frame(body));
+}
+
+// Runs one job and streams progress/heartbeat/result frames. Returns false
+// only on socket failure — the job itself cannot fail (it is a pure
+// function of its inputs; a worker that dies mid-job is the coordinator's
+// problem, surfaced as EOF).
+bool execute_job(int fd, const JobFrame& frame) {
+  // Fresh registries: the result payload must be exactly this job's deltas.
+  obs::Registry::global().reset();
+  obs::TraceRegistry::global().reset();
+  obs::TraceRegistry::global().set_capacity(
+      static_cast<std::size_t>(frame.packet_ring_capacity),
+      static_cast<std::size_t>(frame.session_ring_capacity));
+
+  core::StudyConfig config;
+  config.seed = frame.seed;
+  config.population_scale = frame.population_scale;
+  config.scan_batch = frame.scan_batch;
+  config.scan_attempts = frame.scan_attempts;
+  config.fault_schedule = frame.fault_schedule;
+  // Same hostile-input idiom as Study's constructor: out-of-range values
+  // move to the nearest bound instead of reaching the pipeline. A valid
+  // coordinator config round-trips unchanged, preserving purity.
+  config = config.clamped();
+
+  HeartbeatFrame accepted;
+  accepted.job_index = frame.job.index;
+  accepted.epoch = frame.epoch;
+  bool io_ok = send_frame(fd, encode_heartbeat(accepted));
+
+  std::uint64_t samples = 0;
+  core::ScanShardResult result = core::run_scan_shard(
+      config, frame.job, [&](const core::ScanShardProgress& progress) {
+        if (!io_ok) return;  // coordinator gone: finish silently, fail after
+        if (progress.kind == core::ScanShardProgressKind::kStride) {
+          ProgressFrame stride;
+          stride.job_index = frame.job.index;
+          stride.epoch = frame.epoch;
+          stride.resolved = progress.resolved;
+          stride.sim_time = static_cast<std::uint64_t>(progress.sim_time);
+          io_ok = send_frame(fd, encode_progress(stride));
+        } else if (progress.kind == core::ScanShardProgressKind::kSample) {
+          // Samples fire every 1024 sim steps; thin them ~1000x for the
+          // liveness channel so heartbeats stay off the hot path.
+          if ((++samples & 1023u) == 0) {
+            HeartbeatFrame beat;
+            beat.job_index = frame.job.index;
+            beat.epoch = frame.epoch;
+            beat.resolved = progress.resolved;
+            beat.sim_time = static_cast<std::uint64_t>(progress.sim_time);
+            io_ok = send_frame(fd, encode_heartbeat(beat));
+          }
+        }
+        // kDone is synthesized by the coordinator when the result applies,
+        // so a crashed-then-retried job still publishes exactly one.
+      });
+
+  ResultFrame out;
+  out.job_index = frame.job.index;
+  out.epoch = frame.epoch;
+  const auto shard = static_cast<std::uint16_t>(frame.job.index + 1);
+  for (const obs::TraceShardStats& stats :
+       obs::TraceRegistry::global().live_stats()) {
+    if (stats.shard == shard) {
+      out.trace_recorded = stats.recorded;
+      out.trace_dropped = stats.dropped;
+    }
+  }
+  // merged() orders by (time, shard, seq); within one shard that is append
+  // order, which is exactly what TraceRegistry::absorb expects back.
+  for (const obs::TraceEvent& event : obs::TraceRegistry::global().merged()) {
+    if (event.shard == shard) out.trace_events.push_back(event);
+  }
+  out.metrics = obs::Registry::global().snapshot();
+  out.shard = std::move(result);
+  if (!send_frame(fd, encode_result(out))) return false;
+  return io_ok;
+}
+
+}  // namespace
+
+int serve_worker_fd(int fd, const std::string& name) {
+  HelloFrame hello;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  hello.name = name;
+  if (!send_frame(fd, encode_hello(hello))) {
+    ::close(fd);
+    return 1;
+  }
+
+  util::Bytes in;
+  std::array<std::uint8_t, 65536> chunk;
+  int exit_code = 0;
+  bool running = true;
+  while (running) {
+    const net::FrameView frame = net::peek_frame(in, kMaxJobBody);
+    if (frame.status == net::FrameStatus::kOversized) {
+      // The stream is unrecoverable past a lying length: reply and hang up.
+      send_frame(fd, net::wire_error_body(net::WireError::kOversized,
+                                          "frame exceeds job body cap"));
+      exit_code = 1;
+      break;
+    }
+    if (frame.status == net::FrameStatus::kNeedMore) {
+      const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        exit_code = 1;
+        break;
+      }
+      if (n == 0) break;  // orderly EOF: coordinator closed
+      in.insert(in.end(), chunk.data(), chunk.data() + n);
+      continue;
+    }
+    const std::span<const std::uint8_t> body = frame.body;
+    const std::uint8_t tag = body.empty() ? 0 : body[0];
+    bool io_ok = true;
+    if (tag == static_cast<std::uint8_t>(MsgTag::kJob)) {
+      if (const auto job = decode_job(body)) {
+        io_ok = execute_job(fd, *job);
+      } else {
+        io_ok = send_frame(fd,
+                           net::wire_error_body(net::WireError::kMalformed,
+                                                "job frame failed to decode"));
+      }
+    } else if (tag == static_cast<std::uint8_t>(MsgTag::kShutdown)) {
+      send_frame(fd, encode_shutdown_ack());
+      running = false;
+    } else {
+      io_ok = send_frame(fd, net::wire_error_body(net::WireError::kUnknownTag,
+                                                  "unexpected frame tag"));
+    }
+    net::consume_frame(in, frame.body.size());
+    if (!io_ok) {
+      exit_code = 1;
+      break;
+    }
+  }
+  ::close(fd);
+  return exit_code;
+}
+
+int run_worker(const WorkerOptions& options) {
+  sockaddr_un addr{};
+  if (options.connect_path.empty() ||
+      options.connect_path.size() >= sizeof(addr.sun_path)) {
+    return 2;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options.connect_path.c_str(),
+              options.connect_path.size() + 1);
+  int waited_ms = 0;
+  while (true) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return 2;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return serve_worker_fd(fd, options.name);
+    }
+    ::close(fd);
+    if (waited_ms >= options.connect_wait_ms) return 2;
+    ::usleep(50 * 1000);  // workers usually start before the listener binds
+    waited_ms += 50;
+  }
+}
+
+}  // namespace ofh::dist

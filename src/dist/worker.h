@@ -1,0 +1,36 @@
+// Distributed scan worker: one process, one coordinator connection, jobs
+// executed strictly sequentially. A worker is deliberately stateless
+// between jobs — it resets the metric and trace registries before every
+// shard so the result payload contains exactly the deltas an in-process
+// run of the same job would have produced (dist/coordinator.h absorbs
+// them; obs/metrics.h and obs/trace.h explain why the fold is exact).
+//
+// Failure model: the worker trusts nothing it reads. A frame that fails to
+// decode gets a typed net/wire.h error reply (the coordinator quarantines
+// the connection); an oversized frame gets the error and a hang-up; EOF is
+// an orderly exit. The worker never retries on its own — retry policy is
+// the coordinator's job, and a crashed worker (SIGKILL included) simply
+// looks like EOF on the other end.
+#pragma once
+
+#include <string>
+
+namespace ofh::dist {
+
+// Serves one coordinator connection on an already-connected stream socket
+// (blocking I/O; takes ownership of fd and closes it). Sends a HELLO
+// first, then loops on frames until SHUTDOWN or EOF. Returns the process
+// exit code: 0 for an orderly end, 1 on a protocol or socket failure.
+int serve_worker_fd(int fd, const std::string& name);
+
+// tools/ofh-worker entry: connect to a coordinator's unix socket and
+// serve. Retries the connect for connect_wait_ms (workers often start
+// before the coordinator binds its listener).
+struct WorkerOptions {
+  std::string connect_path;
+  std::string name = "worker";
+  int connect_wait_ms = 15000;
+};
+int run_worker(const WorkerOptions& options);
+
+}  // namespace ofh::dist

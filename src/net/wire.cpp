@@ -1,0 +1,81 @@
+#include "net/wire.h"
+
+namespace ofh::net {
+
+std::string_view wire_error_name(WireError code) {
+  switch (code) {
+    case WireError::kUnknownTag:
+      return "unknown-tag";
+    case WireError::kOversized:
+      return "oversized";
+    case WireError::kMalformed:
+      return "malformed";
+    case WireError::kUnavailable:
+      return "unavailable";
+    case WireError::kForbidden:
+      return "forbidden";
+  }
+  return "unknown";
+}
+
+util::Bytes wire_error_body(WireError code, std::string_view message) {
+  util::ByteWriter writer;
+  writer.u8(kWireErrorTag);
+  writer.u8(static_cast<std::uint8_t>(code));
+  writer.str16(message);
+  return writer.take();
+}
+
+util::Bytes wire_frame(std::span<const std::uint8_t> body) {
+  util::ByteWriter writer;
+  writer.u32(static_cast<std::uint32_t>(body.size()));
+  writer.raw(body);
+  return writer.take();
+}
+
+std::optional<WireErrorInfo> parse_wire_error(
+    std::span<const std::uint8_t> body) {
+  util::ByteReader reader(body);
+  const auto tag = reader.u8();
+  if (!tag || *tag != kWireErrorTag) {
+    return std::nullopt;
+  }
+  const auto code = reader.u8();
+  const auto message = reader.str16();
+  if (!code || !message || !reader.done()) {
+    return std::nullopt;
+  }
+  if (*code < static_cast<std::uint8_t>(WireError::kUnknownTag) ||
+      *code > static_cast<std::uint8_t>(WireError::kForbidden)) {
+    return std::nullopt;
+  }
+  return WireErrorInfo{static_cast<WireError>(*code), std::string(*message)};
+}
+
+FrameView peek_frame(const util::Bytes& buffer, std::size_t max_body) {
+  FrameView view;
+  if (buffer.size() < 4) {
+    return view;
+  }
+  util::ByteReader header(buffer);
+  view.declared = *header.u32();
+  if (view.declared > max_body) {
+    view.status = FrameStatus::kOversized;
+    return view;
+  }
+  if (buffer.size() < 4u + view.declared) {
+    return view;
+  }
+  view.status = FrameStatus::kFrame;
+  view.body = std::span<const std::uint8_t>(buffer).subspan(4, view.declared);
+  return view;
+}
+
+void consume_frame(util::Bytes& buffer, std::size_t body_size) {
+  const std::size_t total = 4u + body_size;
+  buffer.erase(buffer.begin(),
+               buffer.begin() + static_cast<std::ptrdiff_t>(
+                                    std::min(total, buffer.size())));
+}
+
+}  // namespace ofh::net

@@ -1,0 +1,85 @@
+// Shared length-prefixed wire framing and the typed-error envelope, built
+// on util::ByteReader/ByteWriter. This is the one codec both real wires in
+// the system speak: the status endpoint (core/status_service.h) and the
+// distributed worker protocol (dist/protocol.h) — factored out so a frame
+// parsed by either side goes through exactly one bounds-checked path.
+//
+// Grammar (all integers big-endian):
+//
+//   frame := u32 body_length | body
+//   error := u8 0x7f | u8 code | str16 message
+//
+// Request/response tag conventions layer on top: a request body starts with
+// a u8 tag, its response echoes the tag with kWireResponseBit set, and the
+// reserved kWireErrorTag marks the typed-error envelope above. Error codes
+// are shared across protocols so clients need one decoder:
+//   1 unknown-tag, 2 oversized, 3 malformed, 4 unavailable, 5 forbidden.
+//
+// Streams are consumed incrementally with peek_frame()/consume_frame(): a
+// connection buffers raw bytes, peeks for a complete frame, handles it, and
+// consumes it. A frame whose declared length exceeds the caller's cap is
+// reported as kOversized without ever allocating for it — the declared
+// length of a hostile frame cannot be trusted enough to resynchronize, so
+// servers answer with the typed error and hang up (status endpoint
+// behavior, pinned by scripts/check_status_proto.py).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace ofh::net {
+
+enum class WireError : std::uint8_t {
+  kUnknownTag = 1,
+  kOversized = 2,
+  kMalformed = 3,
+  kUnavailable = 4,
+  kForbidden = 5,
+};
+std::string_view wire_error_name(WireError code);
+
+inline constexpr std::uint8_t kWireResponseBit = 0x80;
+inline constexpr std::uint8_t kWireErrorTag = 0x7f;
+
+// The typed-error envelope body: u8 0x7f | u8 code | str16 message.
+util::Bytes wire_error_body(WireError code, std::string_view message);
+
+// Wraps a body in its u32 length prefix.
+util::Bytes wire_frame(std::span<const std::uint8_t> body);
+
+struct WireErrorInfo {
+  WireError code = WireError::kMalformed;
+  std::string message;
+};
+// Decodes a body as the typed-error envelope. Returns nullopt when the body
+// is anything else (wrong tag, truncated, trailing bytes) — callers treat
+// that as "not an error frame", never as a parse success.
+std::optional<WireErrorInfo> parse_wire_error(
+    std::span<const std::uint8_t> body);
+
+enum class FrameStatus : std::uint8_t {
+  kNeedMore,   // header or body incomplete; read more bytes
+  kFrame,      // `body` views one complete frame inside the buffer
+  kOversized,  // declared length exceeds the caller's cap; drop the peer
+};
+
+struct FrameView {
+  FrameStatus status = FrameStatus::kNeedMore;
+  std::uint32_t declared = 0;          // header length field (valid unless
+                                       // fewer than 4 bytes are buffered)
+  std::span<const std::uint8_t> body;  // valid only when status == kFrame
+};
+
+// Peeks at the front of a connection's input buffer. Never consumes; call
+// consume_frame(buffer, view.body.size()) after handling a kFrame result.
+FrameView peek_frame(const util::Bytes& buffer, std::size_t max_body);
+
+// Drops one frame (4-byte header + body_size bytes) from the buffer front.
+void consume_frame(util::Bytes& buffer, std::size_t body_size);
+
+}  // namespace ofh::net

@@ -222,7 +222,7 @@ std::string Registry::export_prometheus(bool include_wall) const {
       // same math export_profile uses): exact bucket-upper-bound values,
       // so the lines are deterministic wherever the histogram is.
       for (const double q : {0.5, 0.95, 0.99}) {
-        char label[8];
+        char label[16];
         std::snprintf(label, sizeof label, "%g", q);
         out += base + "{quantile=\"" + label + "\"} " +
                std::to_string(histogram_quantile(row, q)) + "\n";
@@ -289,6 +289,24 @@ std::string Registry::export_profile() const {
            std::to_string(span.wall_usec) + "\n";
   }
   return out;
+}
+
+void Registry::absorb(const std::vector<MetricRow>& rows) {
+  for (const MetricRow& row : rows) {
+    const std::uint32_t cell = define(row.name, row.kind, row.domain);
+    if (cell == 0) continue;  // scrap: shape conflict or budget exhausted
+    if (row.kind == Kind::kHistogram) {
+      add(cell, static_cast<std::int64_t>(row.count));
+      add(cell + 1, static_cast<std::int64_t>(row.sum));
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        if (row.buckets[b] == 0) continue;
+        add(cell + 2 + static_cast<std::uint32_t>(b),
+            static_cast<std::int64_t>(row.buckets[b]));
+      }
+    } else {
+      add(cell, row.value);
+    }
+  }
 }
 
 void Registry::reset() {

@@ -118,6 +118,16 @@ class Registry {
   // The wall-clock profile channel: wall-domain metrics + span wall times.
   std::string export_profile() const;
 
+  // Folds a remote registry's snapshot() rows into this one: defines each
+  // row's metric (idempotent) and adds its values to the calling thread's
+  // shard. Every cell merge is an order-independent sum — exactly how
+  // in-process thread shards fold — so absorbing a worker process's rows
+  // yields byte-identical deterministic exports to having run the work
+  // in-process (dist/coordinator.h relies on this). Rows whose name is
+  // already defined with a different shape land in the scrap cell, same as
+  // any conflicting define(). Coordinating thread only.
+  void absorb(const std::vector<MetricRow>& rows);
+
   // Zeroes every cell (live and retired) and clears spans. Metric
   // definitions persist, so existing handles stay valid. Call only while
   // no other thread is writing metrics (e.g. between Study runs).

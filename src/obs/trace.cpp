@@ -154,6 +154,31 @@ void TraceRegistry::reset() {
   }
 }
 
+void TraceRegistry::absorb(std::uint16_t shard,
+                           const std::vector<TraceEvent>& events,
+                           std::uint64_t recorded, std::uint64_t dropped) {
+  TraceRecorder& rec = recorder(shard);
+  // Single-writer mutation, same contract as record(): the coordinating
+  // thread owns this shard while absorbing. Live readers only touch the
+  // atomic counters below.
+  rec.clear();
+  std::uint64_t next_seq = 0;
+  for (const TraceEvent& event : events) {
+    TraceRecorder::Ring& ring = rec.ring_for(event.type);
+    if (ring.chunks.empty() ||
+        ring.chunks.back().size() >= ring.chunk_events) {
+      ring.chunks.emplace_back();
+      ring.chunks.back().reserve(ring.chunk_events);
+    }
+    ring.chunks.back().push_back(event);
+    ++ring.events;
+    next_seq = std::max(next_seq, event.seq + 1);
+  }
+  rec.next_seq_ = next_seq;
+  rec.recorded_.store(recorded, std::memory_order_relaxed);
+  rec.dropped_.store(dropped, std::memory_order_relaxed);
+}
+
 std::vector<TraceEvent> TraceRegistry::merged() const {
   std::vector<TraceEvent> events;
   {

@@ -198,6 +198,17 @@ class TraceRegistry {
   // Coordinating thread only, while no shard scope is live.
   void reset();
 
+  // Replaces one shard's recorder contents with a stream shipped from a
+  // worker process (dist/protocol.h RESULT frames). Events are appended
+  // verbatim — seq stamps preserved, no re-stamping, and deliberately no
+  // eviction: the worker ran the identical ring capacities, so its shipped
+  // stream already reflects the same deterministic eviction this process
+  // would have performed. merged() therefore stays byte-identical to the
+  // in-process run. Caller guarantees every event.shard == shard.
+  // Coordinating thread only, while no shard scope is live.
+  void absorb(std::uint16_t shard, const std::vector<TraceEvent>& events,
+              std::uint64_t recorded, std::uint64_t dropped);
+
   // Merged view of every shard's rings, sorted by (time, shard, seq) — a
   // total order, so the result is byte-identical for any thread count.
   // Call from the coordinating thread after a synchronization point.

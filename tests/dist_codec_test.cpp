@@ -1,0 +1,518 @@
+// Adversarial decode harness for the distributed worker protocol
+// (dist/protocol.h): every frame type round-trips exactly, and every
+// defect class — truncation at each byte boundary, trailing bytes, flipped
+// tags, lying length/count prefixes, random corruption — yields
+// std::nullopt from the matching decoder without crashing or over-reading.
+// scripts/ci.sh runs this suite under ASan+UBSan (label `codec`), which is
+// where an out-of-bounds read or UB in a decode path actually fails.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "net/faults.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/bytes.h"
+
+namespace ofh {
+namespace {
+
+using dist::MsgTag;
+
+// ------------------------------------------------------------- fixtures
+
+dist::HelloFrame sample_hello() {
+  dist::HelloFrame frame;
+  frame.version = dist::kDistProtocolVersion;
+  frame.pid = 4242;
+  frame.name = "ext-worker-7";
+  return frame;
+}
+
+dist::JobFrame sample_job() {
+  dist::JobFrame frame;
+  frame.epoch = 3;
+  frame.job.index = 5;
+  frame.job.protocol = proto::Protocol::kTelnet;
+  frame.job.sweep_seed = 0x1234'5678'9abc'def0ull;
+  frame.job.start = sim::days(2);
+  frame.job.sweep_total = 1'000'000;
+  frame.seed = 42;
+  frame.population_scale = 1.0 / 16'384;
+  frame.scan_batch = 4'096;
+  frame.scan_attempts = 2;
+  frame.fault_schedule.uniform_loss = 0.01;
+  frame.fault_schedule.duplicate_rate = 0.002;
+  frame.fault_schedule.reorder_rate = 0.003;
+  frame.fault_schedule.reorder_delay = 17;
+  frame.fault_schedule.burst.enabled = true;
+  frame.fault_schedule.burst.p_enter = 0.05;
+  frame.fault_schedule.burst.p_exit = 0.5;
+  frame.fault_schedule.burst.loss_good = 0.0;
+  frame.fault_schedule.burst.loss_bad = 0.6;
+  frame.fault_schedule.burst.slot = 1'000;
+  net::FaultWindow flap;
+  flap.kind = net::FaultKind::kLinkFlap;
+  flap.start = sim::hours(1);
+  flap.end = sim::hours(2);
+  flap.scope = util::Cidr(util::Ipv4Addr(0x0a000000), 8);
+  frame.fault_schedule.windows.push_back(flap);
+  net::FaultWindow partition;
+  partition.kind = net::FaultKind::kPartition;
+  partition.start = sim::hours(3);
+  partition.end = sim::hours(4);
+  partition.scope = util::Cidr(util::Ipv4Addr(0xc0a80000), 16);
+  partition.peer = util::Cidr(util::Ipv4Addr(0x0a010000), 16);
+  partition.magnitude = 25;
+  frame.fault_schedule.windows.push_back(partition);
+  frame.packet_ring_capacity = 1 << 16;
+  frame.session_ring_capacity = 1 << 14;
+  return frame;
+}
+
+dist::ProgressFrame sample_progress() {
+  dist::ProgressFrame frame;
+  frame.job_index = 2;
+  frame.epoch = 4;
+  frame.resolved = 8'192;
+  frame.sim_time = sim::hours(30);
+  return frame;
+}
+
+dist::ResultFrame sample_result() {
+  dist::ResultFrame frame;
+  frame.job_index = 1;
+  frame.epoch = 2;
+  frame.shard.probes = 900;
+  frame.shard.responsive = 500;
+  frame.shard.refused = 100;
+  frame.shard.unresolved = 300;
+  frame.shard.retries = 40;
+  frame.shard.events = 12'345;
+  frame.shard.finished = sim::hours(31);
+  scanner::ScanRecord with_banner;
+  with_banner.host = util::Ipv4Addr(0x0a000001);
+  with_banner.port = 23;
+  with_banner.protocol = proto::Protocol::kTelnet;
+  with_banner.when = 1'000;
+  with_banner.banner = "login: ";
+  frame.shard.records.push_back(with_banner);
+  scanner::ScanRecord bare;
+  bare.host = util::Ipv4Addr(0x0a000002);
+  bare.port = 1'883;
+  bare.protocol = proto::Protocol::kMqtt;
+  bare.when = 2'000;
+  frame.shard.records.push_back(bare);
+  frame.trace_recorded = 10;
+  frame.trace_dropped = 3;
+  obs::TraceEvent event;
+  event.time = 1'000;
+  event.trace_id = 77;
+  event.seq = 1;
+  event.src = 0x0a000001;
+  event.dst = 0x0a000002;
+  event.port = 23;
+  event.shard = 2;  // job_index + 1
+  event.type = obs::TraceEventType::kProbe;
+  event.a = 1;
+  event.b = 0;
+  frame.trace_events.push_back(event);
+  event.seq = 2;
+  frame.trace_events.push_back(event);
+  obs::MetricRow counter;
+  counter.name = "scan.probes";
+  counter.kind = obs::Kind::kCounter;
+  counter.domain = obs::Domain::kSim;
+  counter.value = 900;
+  frame.metrics.push_back(counter);
+  obs::MetricRow histogram;
+  histogram.name = "scan.rtt";
+  histogram.kind = obs::Kind::kHistogram;
+  histogram.domain = obs::Domain::kSim;
+  histogram.count = 5;
+  histogram.sum = 70;
+  histogram.buckets[3] = 2;
+  histogram.buckets[64] = 3;
+  frame.metrics.push_back(histogram);
+  return frame;
+}
+
+// ----------------------------------------------------------- round-trips
+
+TEST(DistCodec, HelloRoundTrips) {
+  const dist::HelloFrame frame = sample_hello();
+  const auto decoded = dist::decode_hello(dist::encode_hello(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->version, frame.version);
+  EXPECT_EQ(decoded->pid, frame.pid);
+  EXPECT_EQ(decoded->name, frame.name);
+}
+
+TEST(DistCodec, JobRoundTripsIncludingFaultSchedule) {
+  const dist::JobFrame frame = sample_job();
+  const auto decoded = dist::decode_job(dist::encode_job(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epoch, frame.epoch);
+  EXPECT_EQ(decoded->job.index, frame.job.index);
+  EXPECT_EQ(decoded->job.protocol, frame.job.protocol);
+  EXPECT_EQ(decoded->job.sweep_seed, frame.job.sweep_seed);
+  EXPECT_EQ(decoded->job.start, frame.job.start);
+  EXPECT_EQ(decoded->job.sweep_total, frame.job.sweep_total);
+  EXPECT_EQ(decoded->seed, frame.seed);
+  // Doubles travel as bit patterns, so equality here is exact, not
+  // approximate — the premise of the byte-identical remote execution.
+  EXPECT_EQ(decoded->population_scale, frame.population_scale);
+  EXPECT_EQ(decoded->scan_batch, frame.scan_batch);
+  EXPECT_EQ(decoded->scan_attempts, frame.scan_attempts);
+  const net::FaultSchedule& schedule = decoded->fault_schedule;
+  EXPECT_EQ(schedule.uniform_loss, frame.fault_schedule.uniform_loss);
+  EXPECT_EQ(schedule.duplicate_rate, frame.fault_schedule.duplicate_rate);
+  EXPECT_EQ(schedule.reorder_rate, frame.fault_schedule.reorder_rate);
+  EXPECT_EQ(schedule.reorder_delay, frame.fault_schedule.reorder_delay);
+  EXPECT_EQ(schedule.burst.enabled, frame.fault_schedule.burst.enabled);
+  EXPECT_EQ(schedule.burst.p_enter, frame.fault_schedule.burst.p_enter);
+  EXPECT_EQ(schedule.burst.slot, frame.fault_schedule.burst.slot);
+  ASSERT_EQ(schedule.windows.size(), frame.fault_schedule.windows.size());
+  for (std::size_t i = 0; i < schedule.windows.size(); ++i) {
+    const net::FaultWindow& got = schedule.windows[i];
+    const net::FaultWindow& want = frame.fault_schedule.windows[i];
+    EXPECT_EQ(got.kind, want.kind) << i;
+    EXPECT_EQ(got.start, want.start) << i;
+    EXPECT_EQ(got.end, want.end) << i;
+    EXPECT_EQ(got.scope.base().value(), want.scope.base().value()) << i;
+    EXPECT_EQ(got.scope.prefix_len(), want.scope.prefix_len()) << i;
+    EXPECT_EQ(got.peer.base().value(), want.peer.base().value()) << i;
+    EXPECT_EQ(got.magnitude, want.magnitude) << i;
+  }
+  EXPECT_EQ(decoded->packet_ring_capacity, frame.packet_ring_capacity);
+  EXPECT_EQ(decoded->session_ring_capacity, frame.session_ring_capacity);
+}
+
+TEST(DistCodec, ProgressAndHeartbeatRoundTripBehindDistinctTags) {
+  const dist::ProgressFrame progress = sample_progress();
+  const auto decoded = dist::decode_progress(dist::encode_progress(progress));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->job_index, progress.job_index);
+  EXPECT_EQ(decoded->epoch, progress.epoch);
+  EXPECT_EQ(decoded->resolved, progress.resolved);
+  EXPECT_EQ(decoded->sim_time, progress.sim_time);
+
+  dist::HeartbeatFrame beat;
+  beat.job_index = 6;
+  beat.epoch = 1;
+  beat.resolved = 512;
+  beat.sim_time = 99;
+  const auto beat_decoded = dist::decode_heartbeat(dist::encode_heartbeat(beat));
+  ASSERT_TRUE(beat_decoded.has_value());
+  EXPECT_EQ(beat_decoded->job_index, beat.job_index);
+  EXPECT_EQ(beat_decoded->resolved, beat.resolved);
+
+  // Same body shape, different tag: the decoders must not accept each
+  // other's frames, or a stray heartbeat could publish a progress stride.
+  EXPECT_FALSE(dist::decode_progress(dist::encode_heartbeat(beat)).has_value());
+  EXPECT_FALSE(
+      dist::decode_heartbeat(dist::encode_progress(progress)).has_value());
+}
+
+TEST(DistCodec, ResultRoundTripsRecordsTraceAndMetrics) {
+  const dist::ResultFrame frame = sample_result();
+  const auto decoded = dist::decode_result(dist::encode_result(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->job_index, frame.job_index);
+  EXPECT_EQ(decoded->epoch, frame.epoch);
+  EXPECT_EQ(decoded->shard.probes, frame.shard.probes);
+  EXPECT_EQ(decoded->shard.responsive, frame.shard.responsive);
+  EXPECT_EQ(decoded->shard.refused, frame.shard.refused);
+  EXPECT_EQ(decoded->shard.unresolved, frame.shard.unresolved);
+  EXPECT_EQ(decoded->shard.retries, frame.shard.retries);
+  EXPECT_EQ(decoded->shard.events, frame.shard.events);
+  EXPECT_EQ(decoded->shard.finished, frame.shard.finished);
+  ASSERT_EQ(decoded->shard.records.size(), frame.shard.records.size());
+  for (std::size_t i = 0; i < frame.shard.records.size(); ++i) {
+    EXPECT_EQ(decoded->shard.records[i].host.value(),
+              frame.shard.records[i].host.value()) << i;
+    EXPECT_EQ(decoded->shard.records[i].port, frame.shard.records[i].port) << i;
+    EXPECT_EQ(decoded->shard.records[i].protocol,
+              frame.shard.records[i].protocol) << i;
+    EXPECT_EQ(decoded->shard.records[i].when, frame.shard.records[i].when) << i;
+    EXPECT_EQ(decoded->shard.records[i].banner,
+              frame.shard.records[i].banner) << i;
+  }
+  EXPECT_EQ(decoded->trace_recorded, frame.trace_recorded);
+  EXPECT_EQ(decoded->trace_dropped, frame.trace_dropped);
+  ASSERT_EQ(decoded->trace_events.size(), frame.trace_events.size());
+  for (std::size_t i = 0; i < frame.trace_events.size(); ++i) {
+    EXPECT_EQ(decoded->trace_events[i].time, frame.trace_events[i].time) << i;
+    EXPECT_EQ(decoded->trace_events[i].seq, frame.trace_events[i].seq) << i;
+    EXPECT_EQ(decoded->trace_events[i].shard, frame.trace_events[i].shard) << i;
+    EXPECT_EQ(decoded->trace_events[i].type, frame.trace_events[i].type) << i;
+  }
+  ASSERT_EQ(decoded->metrics.size(), frame.metrics.size());
+  EXPECT_EQ(decoded->metrics[0].name, "scan.probes");
+  EXPECT_EQ(decoded->metrics[0].kind, obs::Kind::kCounter);
+  EXPECT_EQ(decoded->metrics[0].value, 900);
+  EXPECT_EQ(decoded->metrics[1].name, "scan.rtt");
+  EXPECT_EQ(decoded->metrics[1].kind, obs::Kind::kHistogram);
+  EXPECT_EQ(decoded->metrics[1].count, 5u);
+  EXPECT_EQ(decoded->metrics[1].sum, 70u);
+  EXPECT_EQ(decoded->metrics[1].buckets[3], 2u);
+  EXPECT_EQ(decoded->metrics[1].buckets[64], 3u);
+  EXPECT_EQ(decoded->metrics[1].buckets[0], 0u);
+}
+
+TEST(DistCodec, ShutdownAndAckAreTagOnlyBodies) {
+  const util::Bytes shutdown = dist::encode_shutdown();
+  ASSERT_EQ(shutdown.size(), 1u);
+  EXPECT_EQ(shutdown[0], static_cast<std::uint8_t>(MsgTag::kShutdown));
+  const util::Bytes ack = dist::encode_shutdown_ack();
+  ASSERT_EQ(ack.size(), 1u);
+  EXPECT_EQ(ack[0], static_cast<std::uint8_t>(MsgTag::kShutdown) |
+                        net::kWireResponseBit);
+}
+
+// -------------------------------------------------- adversarial harness
+
+// Runs every dist decoder over a candidate body. None may crash; the
+// caller decides whether any particular decoder must also reject.
+void decode_all(std::span<const std::uint8_t> body) {
+  (void)dist::decode_hello(body);
+  (void)dist::decode_job(body);
+  (void)dist::decode_progress(body);
+  (void)dist::decode_heartbeat(body);
+  (void)dist::decode_result(body);
+  (void)net::parse_wire_error(body);
+}
+
+struct NamedFrame {
+  const char* name;
+  util::Bytes bytes;
+};
+
+std::vector<NamedFrame> all_sample_frames() {
+  dist::HeartbeatFrame beat;
+  beat.job_index = 1;
+  beat.epoch = 2;
+  beat.resolved = 3;
+  beat.sim_time = 4;
+  return {
+      {"hello", dist::encode_hello(sample_hello())},
+      {"job", dist::encode_job(sample_job())},
+      {"progress", dist::encode_progress(sample_progress())},
+      {"heartbeat", dist::encode_heartbeat(beat)},
+      {"result", dist::encode_result(sample_result())},
+      {"error", net::wire_error_body(net::WireError::kMalformed, "nope")},
+  };
+}
+
+bool decodes_as_own_type(const NamedFrame& frame,
+                         std::span<const std::uint8_t> body) {
+  const std::string name = frame.name;
+  if (name == "hello") return dist::decode_hello(body).has_value();
+  if (name == "job") return dist::decode_job(body).has_value();
+  if (name == "progress") return dist::decode_progress(body).has_value();
+  if (name == "heartbeat") return dist::decode_heartbeat(body).has_value();
+  if (name == "result") return dist::decode_result(body).has_value();
+  return net::parse_wire_error(body).has_value();
+}
+
+TEST(DistAdversarial, EveryTruncationPrefixIsRejected) {
+  for (const NamedFrame& frame : all_sample_frames()) {
+    for (std::size_t len = 0; len < frame.bytes.size(); ++len) {
+      const std::span<const std::uint8_t> prefix(frame.bytes.data(), len);
+      EXPECT_FALSE(decodes_as_own_type(frame, prefix))
+          << frame.name << " accepted a " << len << "-byte truncation";
+      decode_all(prefix);  // and nothing else may crash on it either
+    }
+  }
+}
+
+TEST(DistAdversarial, TrailingBytesAreRejected) {
+  for (const NamedFrame& frame : all_sample_frames()) {
+    util::Bytes padded = frame.bytes;
+    padded.push_back(0x00);
+    EXPECT_FALSE(decodes_as_own_type(frame, padded))
+        << frame.name << " accepted a trailing byte";
+    padded.back() = 0xff;
+    EXPECT_FALSE(decodes_as_own_type(frame, padded))
+        << frame.name << " accepted a trailing 0xff";
+  }
+}
+
+TEST(DistAdversarial, FlippedTagsAreRejectedByEveryOtherDecoder) {
+  for (const NamedFrame& frame : all_sample_frames()) {
+    for (unsigned tag = 0; tag <= 0xff; ++tag) {
+      util::Bytes flipped = frame.bytes;
+      if (flipped[0] == tag) continue;
+      flipped[0] = static_cast<std::uint8_t>(tag);
+      // A body whose payload was encoded for one tag must never decode
+      // under another: all five decoders check the tag AND full
+      // consumption, and the bodies differ in length.
+      EXPECT_FALSE(decodes_as_own_type(frame, flipped))
+          << frame.name << " accepted tag " << tag;
+      decode_all(flipped);
+    }
+  }
+}
+
+TEST(DistAdversarial, LyingCountPrefixesCannotBalloonAllocation) {
+  // A result frame whose record count promises 16M entries but carries
+  // none: the decoder bounds reserve() by the bytes actually remaining,
+  // so this must reject quickly instead of allocating gigabytes.
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(MsgTag::kResult));
+  writer.u32(0);  // job_index
+  writer.u32(1);  // epoch
+  for (int i = 0; i < 7; ++i) writer.u64(0);
+  writer.u32(0x00ff'ffff);  // record count lie
+  EXPECT_FALSE(dist::decode_result(writer.take()).has_value());
+
+  util::ByteWriter trace_lie;
+  trace_lie.u8(static_cast<std::uint8_t>(MsgTag::kResult));
+  trace_lie.u32(0);
+  trace_lie.u32(1);
+  for (int i = 0; i < 7; ++i) trace_lie.u64(0);
+  trace_lie.u32(0);           // no records
+  trace_lie.u64(0);           // trace_recorded
+  trace_lie.u64(0);           // trace_dropped
+  trace_lie.u32(0xffff'ffff);  // trace count lie
+  EXPECT_FALSE(dist::decode_result(trace_lie.take()).has_value());
+
+  // A hello whose str8 length prefix promises more name than the body
+  // holds latches the reader's underflow error.
+  util::ByteWriter hello_lie;
+  hello_lie.u8(static_cast<std::uint8_t>(MsgTag::kHello));
+  hello_lie.u32(dist::kDistProtocolVersion);
+  hello_lie.u64(1);
+  hello_lie.u8(200);  // name length lie; only 2 bytes follow
+  hello_lie.u8('h');
+  hello_lie.u8('i');
+  EXPECT_FALSE(dist::decode_hello(hello_lie.take()).has_value());
+
+  // A job whose fault-window count promises more windows than fit.
+  const util::Bytes job = dist::encode_job(sample_job());
+  // The window count is a u16 at a fixed offset: tag(1) epoch(4) index(4)
+  // protocol(1) sweep_seed(8) start(8) total(8) seed(8) scale(8) batch(4)
+  // attempts(4) rates(24) delay(8) burst(1+32+8) = offset 131.
+  constexpr std::size_t kWindowCountOffset = 131;
+  ASSERT_TRUE(dist::decode_job(job).has_value());
+  util::Bytes window_lie = job;
+  window_lie[kWindowCountOffset] = 0xff;
+  window_lie[kWindowCountOffset + 1] = 0xff;
+  EXPECT_FALSE(dist::decode_job(window_lie).has_value());
+}
+
+TEST(DistAdversarial, OutOfRangeEnumsAreRejected) {
+  // Scan record protocol byte past kS7.
+  dist::ResultFrame result = sample_result();
+  util::Bytes bytes = dist::encode_result(result);
+  // Find the first record's protocol byte: tag(1) index(4) epoch(4)
+  // counters(56) record_count(4) host(4) port(2) = offset 75.
+  constexpr std::size_t kProtocolOffset = 75;
+  bytes[kProtocolOffset] = 0xee;
+  EXPECT_FALSE(dist::decode_result(bytes).has_value());
+
+  // Hostile fault-window kind in a job.
+  dist::JobFrame job = sample_job();
+  const util::Bytes good = dist::encode_job(job);
+  util::Bytes bad_kind = good;
+  bad_kind[131 + 2] = 0xee;  // first window's kind byte
+  EXPECT_FALSE(dist::decode_job(bad_kind).has_value());
+
+  // Burst-enabled byte must be exactly 0 or 1 (a canonical-encoding
+  // check: two encodings of "enabled" would break byte-identity).
+  util::Bytes bad_burst = good;
+  // tag(1) epoch(4) index(4) protocol(1) five u64/f64 fields(40) batch(4)
+  // attempts(4) three rate f64s(24) reorder_delay(8) = 90.
+  constexpr std::size_t kBurstEnabledOffset = 90;
+  ASSERT_EQ(good[kBurstEnabledOffset], 1u);
+  bad_burst[kBurstEnabledOffset] = 2;
+  EXPECT_FALSE(dist::decode_job(bad_burst).has_value());
+}
+
+TEST(DistAdversarial, RandomCorruptionNeverCrashesADecoder) {
+  // Deterministic fuzz sweep: corrupt 1-8 bytes of each sample frame and
+  // run every decoder. Decoders may accept mutations that only change
+  // values (a different counter is still well-formed); they must never
+  // crash, over-read, or balloon allocation — ASan/UBSan enforce that
+  // when scripts/ci.sh runs this binary.
+  std::mt19937 rng(0xdf57c0de);
+  const std::vector<NamedFrame> frames = all_sample_frames();
+  for (int iteration = 0; iteration < 20'000; ++iteration) {
+    const NamedFrame& frame = frames[rng() % frames.size()];
+    util::Bytes mutated = frame.bytes;
+    const unsigned edits = 1 + rng() % 8;
+    for (unsigned e = 0; e < edits; ++e) {
+      mutated[rng() % mutated.size()] = static_cast<std::uint8_t>(rng());
+    }
+    decode_all(mutated);
+  }
+}
+
+TEST(DistAdversarial, RandomGarbageNeverDecodes) {
+  // Pure noise should essentially never parse: a random first byte only
+  // matches a given tag 1/256 of the time, and the body must then satisfy
+  // every length and range check. Verify crash-freedom and, for bodies
+  // that don't start with a valid tag, rejection.
+  std::mt19937 rng(0x0f42c0de);
+  for (int iteration = 0; iteration < 5'000; ++iteration) {
+    util::Bytes noise(1 + rng() % 512);
+    for (std::uint8_t& byte : noise) byte = static_cast<std::uint8_t>(rng());
+    decode_all(noise);
+    if (noise[0] == 0 || noise[0] > 6) {
+      EXPECT_FALSE(dist::decode_hello(noise).has_value());
+      EXPECT_FALSE(dist::decode_job(noise).has_value());
+      EXPECT_FALSE(dist::decode_progress(noise).has_value());
+      EXPECT_FALSE(dist::decode_heartbeat(noise).has_value());
+      EXPECT_FALSE(dist::decode_result(noise).has_value());
+    }
+  }
+}
+
+// ------------------------------------------------------- framing limits
+
+TEST(DistFraming, OversizedDeclaredLengthIsReportedWithoutAllocating) {
+  util::ByteWriter writer;
+  writer.u32(static_cast<std::uint32_t>(dist::kMaxControlBody + 1));
+  const util::Bytes header = writer.take();
+  const net::FrameView view = net::peek_frame(header, dist::kMaxControlBody);
+  EXPECT_EQ(view.status, net::FrameStatus::kOversized);
+  EXPECT_EQ(view.declared, dist::kMaxControlBody + 1);
+}
+
+TEST(DistFraming, JobCapAdmitsWorstCaseJobFrame) {
+  // A job frame with the maximum window count the encoder will emit must
+  // still fit under kMaxJobBody, or the coordinator could build a frame
+  // its own worker rejects.
+  dist::JobFrame frame = sample_job();
+  frame.fault_schedule.windows.resize(0xffff);
+  const util::Bytes bytes = dist::encode_job(frame);
+  EXPECT_LE(bytes.size(), dist::kMaxJobBody);
+  const util::Bytes framed = net::wire_frame(bytes);
+  const net::FrameView view = net::peek_frame(framed, dist::kMaxJobBody);
+  EXPECT_EQ(view.status, net::FrameStatus::kFrame);
+  const auto decoded = dist::decode_job(view.body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->fault_schedule.windows.size(), 0xffffu);
+}
+
+TEST(DistFraming, TypedErrorEnvelopeRoundTripsThroughSharedWireCodec) {
+  const util::Bytes body =
+      net::wire_error_body(net::WireError::kUnknownTag, "tag 9");
+  const auto parsed = net::parse_wire_error(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->code, net::WireError::kUnknownTag);
+  EXPECT_EQ(parsed->message, "tag 9");
+  // No dist decoder may mistake the error envelope for a frame.
+  EXPECT_FALSE(dist::decode_hello(body).has_value());
+  EXPECT_FALSE(dist::decode_result(body).has_value());
+}
+
+}  // namespace
+}  // namespace ofh

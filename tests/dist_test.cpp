@@ -1,0 +1,795 @@
+// The fault-tolerant distributed execution layer (dist/coordinator.h,
+// dist/worker.h): worker processes served over socketpairs, crash
+// recovery via the retry ledger, quarantine of hostile connections,
+// idempotent result application, graceful degradation to inline
+// execution — and the headline contract, a study whose scan phase ran on
+// a worker fleet (with a SIGKILL crash drill mid-sweep) producing reports
+// byte-identical to the serial and scan_threads=8 in-process runs.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/reports.h"
+#include "core/scan_shard.h"
+#include "core/scenario.h"
+#include "core/study.h"
+#include "dist/coordinator.h"
+#include "dist/protocol.h"
+#include "dist/worker.h"
+#include "net/wire.h"
+#include "obs/trace.h"
+#include "sim/parallel.h"
+#include "util/bytes.h"
+
+// ThreadSanitizer and fork() don't mix (the child inherits locked TSan
+// runtime state); the fork-based fleet tests skip themselves there, the
+// same policy tools/scenario/scenario_runner.cpp applies to its
+// dispatcher. The adopt_worker_fd tests run everywhere — they drive the
+// coordinator with prewritten bytes, no second process needed.
+#if defined(__SANITIZE_THREAD__)
+#define OFH_DIST_NO_FORK 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OFH_DIST_NO_FORK 1
+#endif
+#endif
+
+namespace ofh {
+namespace {
+
+// ------------------------------------------------------------- fixtures
+
+core::StudyConfig tiny_config() {
+  core::StudyConfig config;
+  config.seed = 7;
+  config.population_scale = 1.0 / 65'536;
+  return config;
+}
+
+core::ScanShardJob tiny_job(std::uint32_t index) {
+  core::ScanShardJob job;
+  job.index = index;
+  job.protocol = proto::Protocol::kTelnet;
+  job.sweep_seed = sim::shard_seed(7, index);
+  job.start = sim::hours(index);
+  job.sweep_total = 0;
+  return job;
+}
+
+void expect_results_equal(const core::ScanShardResult& got,
+                          const core::ScanShardResult& want,
+                          const std::string& context) {
+  EXPECT_EQ(got.probes, want.probes) << context;
+  EXPECT_EQ(got.responsive, want.responsive) << context;
+  EXPECT_EQ(got.refused, want.refused) << context;
+  EXPECT_EQ(got.unresolved, want.unresolved) << context;
+  EXPECT_EQ(got.retries, want.retries) << context;
+  EXPECT_EQ(got.events, want.events) << context;
+  EXPECT_EQ(got.finished, want.finished) << context;
+  ASSERT_EQ(got.records.size(), want.records.size()) << context;
+  for (std::size_t i = 0; i < want.records.size(); ++i) {
+    EXPECT_EQ(got.records[i].host.value(), want.records[i].host.value())
+        << context << " record " << i;
+    EXPECT_EQ(got.records[i].port, want.records[i].port) << context;
+    EXPECT_EQ(got.records[i].protocol, want.records[i].protocol) << context;
+    EXPECT_EQ(got.records[i].when, want.records[i].when) << context;
+    EXPECT_EQ(got.records[i].banner, want.records[i].banner) << context;
+  }
+}
+
+// Collects the progress sink's deterministic event stream.
+struct ProgressLog {
+  std::vector<std::pair<std::uint32_t, core::ScanShardProgress>> events;
+  core::ScanShardProgressSink sink() {
+    return [this](std::uint32_t index, const core::ScanShardProgress& item) {
+      events.push_back({index, item});
+    };
+  }
+  std::size_t count(std::uint32_t index,
+                    core::ScanShardProgressKind kind) const {
+    std::size_t n = 0;
+    for (const auto& [i, item] : events) {
+      if (i == index && item.kind == kind) ++n;
+    }
+    return n;
+  }
+};
+
+// ----------------------------------------------------- socket utilities
+
+void send_body(int fd, const util::Bytes& body) {
+  const util::Bytes framed = net::wire_frame(body);
+  ASSERT_EQ(::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(framed.size()));
+}
+
+// Blocking frame reader over a test-side socket end. Keeps leftover bytes
+// across calls, exactly like a real connection buffer.
+struct FrameStream {
+  int fd = -1;
+  util::Bytes buffer;
+
+  std::optional<util::Bytes> next() {
+    while (true) {
+      const net::FrameView view = net::peek_frame(buffer, dist::kMaxResultBody);
+      if (view.status == net::FrameStatus::kFrame) {
+        util::Bytes body(view.body.begin(), view.body.end());
+        net::consume_frame(buffer, body.size());
+        return body;
+      }
+      if (view.status == net::FrameStatus::kOversized) return std::nullopt;
+      std::uint8_t chunk[65536];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n == 0) return std::nullopt;  // EOF
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      buffer.insert(buffer.end(), chunk, chunk + n);
+    }
+  }
+};
+
+#ifndef OFH_DIST_NO_FORK
+// Forks a process serving dist::serve_worker_fd on one end of a fresh
+// socketpair; returns the test-side end in fd_out.
+pid_t spawn_serve_worker(int* fd_out, const std::string& name) {
+  int sv[2] = {-1, -1};
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const pid_t pid = ::fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(sv[0]);
+    ::_exit(dist::serve_worker_fd(sv[1], name));
+  }
+  ::close(sv[1]);
+  *fd_out = sv[0];
+  return pid;
+}
+
+void expect_exit_code(pid_t pid, int want) {
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), want);
+}
+#endif  // OFH_DIST_NO_FORK
+
+// ------------------------------------------------------- worker process
+
+#ifndef OFH_DIST_NO_FORK
+
+TEST(DistWorker, GreetsAnswersHostileFramesWithTypedErrorsAndShutsDown) {
+  int fd = -1;
+  const pid_t pid = spawn_serve_worker(&fd, "typed-errors");
+  FrameStream stream;
+  stream.fd = fd;
+
+  const auto hello_body = stream.next();
+  ASSERT_TRUE(hello_body.has_value());
+  const auto hello = dist::decode_hello(*hello_body);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->version, dist::kDistProtocolVersion);
+  EXPECT_EQ(hello->name, "typed-errors");
+  EXPECT_EQ(hello->pid, static_cast<std::uint64_t>(pid));
+
+  // Unknown tag: typed error, connection stays up.
+  send_body(fd, {0x33});
+  auto reply = stream.next();
+  ASSERT_TRUE(reply.has_value());
+  auto error = net::parse_wire_error(*reply);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, net::WireError::kUnknownTag);
+
+  // A JOB tag with a garbage body: typed kMalformed error, still up.
+  send_body(fd, {static_cast<std::uint8_t>(dist::MsgTag::kJob), 0xde, 0xad});
+  reply = stream.next();
+  ASSERT_TRUE(reply.has_value());
+  error = net::parse_wire_error(*reply);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, net::WireError::kMalformed);
+
+  // Orderly shutdown: ack frame, then exit code 0.
+  send_body(fd, dist::encode_shutdown());
+  reply = stream.next();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->size(), 1u);
+  EXPECT_EQ((*reply)[0], static_cast<std::uint8_t>(dist::MsgTag::kShutdown) |
+                             net::kWireResponseBit);
+  ::close(fd);
+  expect_exit_code(pid, 0);
+}
+
+TEST(DistWorker, OversizedFrameGetsTypedErrorAndHangup) {
+  int fd = -1;
+  const pid_t pid = spawn_serve_worker(&fd, "oversized");
+  FrameStream stream;
+  stream.fd = fd;
+  ASSERT_TRUE(stream.next().has_value());  // HELLO
+
+  // A header declaring a body just past the job cap: the worker answers
+  // with the typed kOversized error and hangs up — the declared length of
+  // a hostile frame can't be trusted enough to resynchronize.
+  util::ByteWriter header;
+  header.u32(static_cast<std::uint32_t>(dist::kMaxJobBody + 1));
+  const util::Bytes bytes = header.take();
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  const auto reply = stream.next();
+  ASSERT_TRUE(reply.has_value());
+  const auto error = net::parse_wire_error(*reply);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, net::WireError::kOversized);
+  EXPECT_FALSE(stream.next().has_value());  // EOF
+  ::close(fd);
+  expect_exit_code(pid, 1);
+}
+
+TEST(DistWorker, EofIsAnOrderlyExit) {
+  int fd = -1;
+  const pid_t pid = spawn_serve_worker(&fd, "eof");
+  FrameStream stream;
+  stream.fd = fd;
+  ASSERT_TRUE(stream.next().has_value());  // HELLO
+  ::close(fd);  // coordinator vanishes
+  expect_exit_code(pid, 0);
+}
+
+TEST(DistWorker, ExecutesJobByteExactlyIncludingShardTrace) {
+  const core::StudyConfig config = tiny_config();
+  const core::ScanShardJob job = tiny_job(0);
+  const core::ScanShardResult reference = run_scan_shard(config, job, {});
+
+  int fd = -1;
+  const pid_t pid = spawn_serve_worker(&fd, "exec");
+  FrameStream stream;
+  stream.fd = fd;
+  ASSERT_TRUE(stream.next().has_value());  // HELLO
+
+  dist::JobFrame frame;
+  frame.epoch = 1;
+  frame.job = job;
+  frame.seed = config.seed;
+  frame.population_scale = config.population_scale;
+  frame.scan_batch = config.scan_batch;
+  frame.scan_attempts = config.scan_attempts;
+  frame.fault_schedule = config.fault_schedule;
+  frame.packet_ring_capacity = obs::TraceRegistry::global().packet_capacity();
+  frame.session_ring_capacity = obs::TraceRegistry::global().session_capacity();
+  send_body(fd, dist::encode_job(frame));
+
+  // The worker streams heartbeats and strides, then exactly one RESULT.
+  std::optional<dist::ResultFrame> result;
+  std::uint64_t strides = 0;
+  while (!result.has_value()) {
+    const auto body = stream.next();
+    ASSERT_TRUE(body.has_value()) << "worker hung up before its result";
+    ASSERT_FALSE(body->empty());
+    const auto tag = static_cast<dist::MsgTag>((*body)[0]);
+    if (tag == dist::MsgTag::kHeartbeat) {
+      ASSERT_TRUE(dist::decode_heartbeat(*body).has_value());
+      continue;
+    }
+    if (tag == dist::MsgTag::kProgress) {
+      const auto progress = dist::decode_progress(*body);
+      ASSERT_TRUE(progress.has_value());
+      EXPECT_EQ(progress->job_index, 0u);
+      EXPECT_EQ(progress->epoch, 1u);
+      ++strides;
+      continue;
+    }
+    ASSERT_EQ(tag, dist::MsgTag::kResult);
+    result = dist::decode_result(*body);
+    ASSERT_TRUE(result.has_value());
+  }
+  EXPECT_EQ(result->job_index, 0u);
+  EXPECT_EQ(result->epoch, 1u);
+  expect_results_equal(result->shard, reference, "remote vs inline");
+  // The shipped trace belongs entirely to this job's shard, in seq order —
+  // the precondition for TraceRegistry::absorb re-recording it exactly.
+  std::uint64_t last_seq = 0;
+  for (const obs::TraceEvent& event : result->trace_events) {
+    EXPECT_EQ(event.shard, 1u);
+    EXPECT_GE(event.seq, last_seq);
+    last_seq = event.seq;
+  }
+  EXPECT_GT(result->shard.probes, 0u);
+  (void)strides;
+
+  send_body(fd, dist::encode_shutdown());
+  ASSERT_TRUE(stream.next().has_value());  // ack
+  ::close(fd);
+  expect_exit_code(pid, 0);
+}
+
+#endif  // OFH_DIST_NO_FORK
+
+// ------------------------------------------- coordinator fault handling
+
+TEST(DistCoordinator, NoFleetConfiguredDegradesInlineByteIdentically) {
+  const core::StudyConfig config = tiny_config();
+  const std::vector<core::ScanShardJob> jobs = {tiny_job(0), tiny_job(1)};
+  std::vector<core::ScanShardResult> refs;
+  std::vector<std::size_t> ref_strides;
+  for (const auto& job : jobs) {
+    std::size_t strides = 0;
+    refs.push_back(run_scan_shard(
+        config, job, [&](const core::ScanShardProgress& progress) {
+          if (progress.kind == core::ScanShardProgressKind::kStride) ++strides;
+        }));
+    ref_strides.push_back(strides);
+  }
+
+  dist::Coordinator coordinator(dist::CoordinatorOptions{});
+  ASSERT_TRUE(coordinator.start());
+  ProgressLog log;
+  const auto results = coordinator.run(config, jobs, log.sink());
+  coordinator.shutdown();
+
+  ASSERT_EQ(results.size(), jobs.size());
+  EXPECT_EQ(coordinator.inline_runs(), jobs.size());
+  EXPECT_TRUE(coordinator.retry_ledger().empty());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_results_equal(results[i], refs[i], "inline job " + std::to_string(i));
+    // The published progress stream matches the in-process sequence: every
+    // stride once, one kDone, samples never published as deterministic.
+    EXPECT_EQ(log.count(static_cast<std::uint32_t>(i),
+                        core::ScanShardProgressKind::kStride),
+              ref_strides[i]) << i;
+    EXPECT_EQ(log.count(static_cast<std::uint32_t>(i),
+                        core::ScanShardProgressKind::kDone),
+              1u) << i;
+  }
+}
+
+TEST(DistCoordinator, HostileFrameQuarantinesAndFallsBackInline) {
+  const core::StudyConfig config = tiny_config();
+  const std::vector<core::ScanShardJob> jobs = {tiny_job(0)};
+  const core::ScanShardResult ref = run_scan_shard(config, jobs[0], {});
+
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  // An unknown-tag frame waiting in the socket before run() even starts.
+  send_body(sv[1], {0x5a, 0x01, 0x02});
+
+  dist::CoordinatorOptions options;
+  options.wait_timeout_ms = 200;
+  dist::Coordinator coordinator(std::move(options));
+  ASSERT_TRUE(coordinator.start());
+  coordinator.adopt_worker_fd(sv[0], -1);
+  EXPECT_EQ(coordinator.live_workers(), 1u);
+
+  ProgressLog log;
+  const auto results = coordinator.run(config, jobs, log.sink());
+  coordinator.shutdown();
+  ::close(sv[1]);
+
+  EXPECT_EQ(coordinator.live_workers(), 0u);  // quarantined and closed
+  EXPECT_EQ(coordinator.inline_runs(), 1u);
+  ASSERT_EQ(results.size(), 1u);
+  expect_results_equal(results[0], ref, "after quarantine");
+  EXPECT_EQ(log.count(0, core::ScanShardProgressKind::kDone), 1u);
+}
+
+TEST(DistCoordinator, WellFormedResultWithHostileShardIdIsRejected) {
+  const core::StudyConfig config = tiny_config();
+  const std::vector<core::ScanShardJob> jobs = {tiny_job(0)};
+  const core::ScanShardResult ref = run_scan_shard(config, jobs[0], {});
+
+  // A result that decodes cleanly but claims trace events for shard 9:
+  // absorbing it would corrupt another sweep's flight recorder, so the
+  // semantic validator must treat it exactly like a torn frame.
+  dist::ResultFrame hostile;
+  hostile.job_index = 0;
+  hostile.epoch = 1;
+  hostile.shard.probes = 1;
+  obs::TraceEvent event;
+  event.shard = 9;
+  hostile.trace_events.push_back(event);
+
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  dist::HelloFrame hello;
+  hello.pid = 0;
+  hello.name = "hostile";
+  send_body(sv[1], dist::encode_hello(hello));
+  send_body(sv[1], dist::encode_result(hostile));
+
+  dist::CoordinatorOptions options;
+  options.wait_timeout_ms = 200;
+  dist::Coordinator coordinator(std::move(options));
+  ASSERT_TRUE(coordinator.start());
+  coordinator.adopt_worker_fd(sv[0], -1);
+
+  ProgressLog log;
+  const auto results = coordinator.run(config, jobs, log.sink());
+  coordinator.shutdown();
+  ::close(sv[1]);
+
+  EXPECT_EQ(coordinator.live_workers(), 0u);
+  EXPECT_EQ(coordinator.inline_runs(), 1u);
+  EXPECT_EQ(coordinator.duplicates_dropped(), 0u);
+  ASSERT_EQ(results.size(), 1u);
+  expect_results_equal(results[0], ref, "hostile result rejected");
+}
+
+TEST(DistCoordinator, SilentWorkerTimesOutRequeuesAndRunsInline) {
+  const core::StudyConfig config = tiny_config();
+  const std::vector<core::ScanShardJob> jobs = {tiny_job(0), tiny_job(1)};
+
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  dist::HelloFrame hello;
+  hello.name = "wedged";
+  send_body(sv[1], dist::encode_hello(hello));
+  // ...and then nothing: the worker accepts its job and goes silent.
+
+  dist::CoordinatorOptions options;
+  options.job_timeout_ms = 100;
+  options.wait_timeout_ms = 400;
+  options.backoff_base_ms = 1;
+  dist::Coordinator coordinator(std::move(options));
+  ASSERT_TRUE(coordinator.start());
+  coordinator.adopt_worker_fd(sv[0], -1);
+
+  ProgressLog log;
+  const auto results = coordinator.run(config, jobs, log.sink());
+  coordinator.shutdown();
+  ::close(sv[1]);
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(coordinator.inline_runs(), 2u);
+  ASSERT_FALSE(coordinator.retry_ledger().empty());
+  const dist::RetryLedgerEntry& entry = coordinator.retry_ledger().front();
+  EXPECT_EQ(entry.reason, "timeout");
+  EXPECT_EQ(entry.job_index, 0u);
+  EXPECT_EQ(entry.epoch, 1u);
+  EXPECT_EQ(entry.worker, "wedged");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_results_equal(results[i], run_scan_shard(config, jobs[i], {}),
+                         "after timeout " + std::to_string(i));
+  }
+}
+
+TEST(DistCoordinator, DuplicateResultsAreDroppedAndDoneFiresOnce) {
+  const core::StudyConfig config = tiny_config();
+  const std::vector<core::ScanShardJob> jobs = {tiny_job(0)};
+  const core::ScanShardResult ref = run_scan_shard(config, jobs[0], {});
+
+  dist::ResultFrame frame;
+  frame.job_index = 0;
+  frame.epoch = 1;
+  frame.shard = ref;
+
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  dist::HelloFrame hello;
+  hello.name = "eager";
+  send_body(sv[1], dist::encode_hello(hello));
+  send_body(sv[1], dist::encode_result(frame));
+  send_body(sv[1], dist::encode_result(frame));  // retried attempt's copy
+
+  dist::Coordinator coordinator(dist::CoordinatorOptions{});
+  ASSERT_TRUE(coordinator.start());
+  coordinator.adopt_worker_fd(sv[0], -1);
+
+  ProgressLog log;
+  const auto results = coordinator.run(config, jobs, log.sink());
+  coordinator.shutdown();
+  ::close(sv[1]);
+
+  EXPECT_EQ(coordinator.duplicates_dropped(), 1u);
+  EXPECT_EQ(coordinator.inline_runs(), 0u);
+  ASSERT_EQ(results.size(), 1u);
+  expect_results_equal(results[0], ref, "applied remote result");
+  EXPECT_EQ(log.count(0, core::ScanShardProgressKind::kDone), 1u);
+}
+
+TEST(DistCoordinator, ProgressStridesDedupAcrossAttemptsAndSamplesPassThrough) {
+  const core::StudyConfig config = tiny_config();
+  const std::vector<core::ScanShardJob> jobs = {tiny_job(0)};
+  const core::ScanShardResult ref = run_scan_shard(config, jobs[0], {});
+
+  dist::ResultFrame result;
+  result.job_index = 0;
+  result.epoch = 2;
+  result.shard = ref;
+
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  dist::HelloFrame hello;
+  hello.name = "replayer";
+  send_body(sv[1], dist::encode_hello(hello));
+  // Attempt 1 reached stride 2, crashed; attempt 2 replays strides 1-2
+  // (the dedup must swallow them) before advancing to stride 3.
+  dist::ProgressFrame stride;
+  stride.job_index = 0;
+  stride.epoch = 1;
+  stride.resolved = core::kSweepProgressStride;
+  send_body(sv[1], dist::encode_progress(stride));
+  stride.resolved = 2 * core::kSweepProgressStride;
+  send_body(sv[1], dist::encode_progress(stride));
+  stride.epoch = 2;
+  stride.resolved = core::kSweepProgressStride;  // replayed
+  send_body(sv[1], dist::encode_progress(stride));
+  stride.resolved = 2 * core::kSweepProgressStride;  // replayed
+  send_body(sv[1], dist::encode_progress(stride));
+  stride.resolved = 3 * core::kSweepProgressStride;  // fresh
+  send_body(sv[1], dist::encode_progress(stride));
+  dist::HeartbeatFrame beat;
+  beat.job_index = 0;
+  beat.epoch = 2;
+  beat.resolved = 100;
+  send_body(sv[1], dist::encode_heartbeat(beat));
+  send_body(sv[1], dist::encode_result(result));
+
+  dist::Coordinator coordinator(dist::CoordinatorOptions{});
+  ASSERT_TRUE(coordinator.start());
+  coordinator.adopt_worker_fd(sv[0], -1);
+
+  ProgressLog log;
+  const auto results = coordinator.run(config, jobs, log.sink());
+  coordinator.shutdown();
+  ::close(sv[1]);
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(log.count(0, core::ScanShardProgressKind::kStride), 3u);
+  EXPECT_GE(log.count(0, core::ScanShardProgressKind::kSample), 1u);
+  EXPECT_EQ(log.count(0, core::ScanShardProgressKind::kDone), 1u);
+}
+
+#ifndef OFH_DIST_NO_FORK
+
+TEST(DistCoordinator, ForkedFleetExecutesBatchWithoutRetries) {
+  const core::StudyConfig config = tiny_config();
+  const std::vector<core::ScanShardJob> jobs = {tiny_job(0), tiny_job(1),
+                                                tiny_job(2)};
+  dist::CoordinatorOptions options;
+  options.fork_workers = 2;
+  options.wait_workers = 2;
+  dist::Coordinator coordinator(std::move(options));
+  ASSERT_TRUE(coordinator.start()) << coordinator.error();
+
+  ProgressLog log;
+  const auto results = coordinator.run(config, jobs, log.sink());
+  coordinator.shutdown();
+
+  ASSERT_EQ(results.size(), jobs.size());
+  EXPECT_EQ(coordinator.inline_runs(), 0u);
+  EXPECT_TRUE(coordinator.retry_ledger().empty());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_results_equal(results[i], run_scan_shard(config, jobs[i], {}),
+                         "fleet job " + std::to_string(i));
+    EXPECT_EQ(log.count(static_cast<std::uint32_t>(i),
+                        core::ScanShardProgressKind::kDone),
+              1u) << i;
+  }
+}
+
+TEST(DistCoordinator, SigkilledWorkerIsRequeuedByteIdentically) {
+  const core::StudyConfig config = tiny_config();
+  const std::vector<core::ScanShardJob> jobs = {tiny_job(0), tiny_job(1),
+                                                tiny_job(2)};
+  std::vector<core::ScanShardResult> refs;
+  std::vector<std::size_t> ref_strides;
+  for (const auto& job : jobs) {
+    std::size_t strides = 0;
+    refs.push_back(run_scan_shard(
+        config, job, [&](const core::ScanShardProgress& progress) {
+          if (progress.kind == core::ScanShardProgressKind::kStride) ++strides;
+        }));
+    ref_strides.push_back(strides);
+  }
+
+  dist::CoordinatorOptions options;
+  options.fork_workers = 3;
+  options.wait_workers = 3;
+  options.kill_worker_after_progress = true;  // SIGKILL mid-job
+  dist::Coordinator coordinator(std::move(options));
+  ASSERT_TRUE(coordinator.start()) << coordinator.error();
+
+  ProgressLog log;
+  const auto results = coordinator.run(config, jobs, log.sink());
+  coordinator.shutdown();
+
+  ASSERT_EQ(results.size(), jobs.size());
+  // The drill killed a worker that had already reported progress, so its
+  // job crossed the crash-recovery path: requeued with a worker-eof ledger
+  // entry, re-executed, merged as if nothing happened.
+  ASSERT_FALSE(coordinator.retry_ledger().empty());
+  bool saw_eof = false;
+  for (const dist::RetryLedgerEntry& entry : coordinator.retry_ledger()) {
+    if (entry.reason == "worker-eof") saw_eof = true;
+  }
+  EXPECT_TRUE(saw_eof);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_results_equal(results[i], refs[i],
+                         "post-crash job " + std::to_string(i));
+    EXPECT_EQ(log.count(static_cast<std::uint32_t>(i),
+                        core::ScanShardProgressKind::kStride),
+              ref_strides[i]) << i;
+    EXPECT_EQ(log.count(static_cast<std::uint32_t>(i),
+                        core::ScanShardProgressKind::kDone),
+              1u) << i;
+  }
+}
+
+#endif  // OFH_DIST_NO_FORK
+
+// ------------------------------------------------- study-level contract
+
+std::string serialize(const scanner::ScanDb& db) {
+  std::ostringstream out;
+  for (const auto& record : db.records()) {
+    out << record.host.value() << '|' << record.port << '|'
+        << static_cast<int>(record.protocol) << '|' << record.when << '|'
+        << record.banner << '\n';
+  }
+  out << "probes=" << db.probes_sent();
+  return out.str();
+}
+
+core::StudyConfig study_config() {
+  core::StudyConfig config;
+  config.seed = 2021;
+  config.population_scale = 1.0 / 16'384;
+  config.scan_threads = 1;
+  return config;
+}
+
+// Clears the process-wide dispatcher on scope exit so a failing test can't
+// leak its execution backend into unrelated tests.
+struct DispatcherGuard {
+  ~DispatcherGuard() { core::set_scan_shard_dispatcher({}); }
+};
+
+TEST(DistStudy, DispatcherDeclineAndAbsenceDegradeByteIdentically) {
+  DispatcherGuard guard;
+  core::set_scan_shard_dispatcher({});
+  core::Study serial(study_config());
+  serial.setup_internet();
+  serial.run_scan();
+  const std::string reference = serialize(serial.scan_db());
+  ASSERT_GT(serial.scan_db().size(), 0u);
+
+  // A dispatcher that declines every batch: Study must fall back to the
+  // in-process ParallelRunner path and produce identical bytes.
+  int offered = 0;
+  core::set_scan_shard_dispatcher(
+      [&offered](const core::StudyConfig&,
+                 const std::vector<core::ScanShardJob>&,
+                 const core::ScanShardProgressSink&)
+          -> std::optional<std::vector<core::ScanShardResult>> {
+        ++offered;
+        return std::nullopt;
+      });
+  core::StudyConfig declined = study_config();
+  declined.scan_workers = 2;
+  core::Study fallback(declined);
+  fallback.setup_internet();
+  fallback.run_scan();
+  EXPECT_GE(offered, 1);
+  EXPECT_EQ(serialize(fallback.scan_db()), reference);
+
+  // scan_workers > 0 with no dispatcher installed at all: same path.
+  core::set_scan_shard_dispatcher({});
+  core::Study undispatched(declined);
+  undispatched.setup_internet();
+  undispatched.run_scan();
+  EXPECT_EQ(serialize(undispatched.scan_db()), reference);
+}
+
+#ifndef OFH_DIST_NO_FORK
+
+TEST(DistStudy, DistributedScanWithCrashDrillIsByteIdenticalToSerial) {
+  DispatcherGuard guard;
+  core::set_scan_shard_dispatcher({});
+  core::Study serial(study_config());
+  serial.setup_internet();
+  serial.run_scan();
+  serial.run_datasets();
+  const std::string reference = serialize(serial.scan_db());
+  const std::string table4 = core::report_table4_exposed(serial);
+  const std::string table5 = core::report_table5_misconfigured(serial);
+  // Snapshot the observability exports NOW: constructing the next Study
+  // resets the process-wide registries (metrics and traces).
+  const std::string metrics_prometheus = serial.metrics_prometheus();
+  const std::string metrics_csv = serial.metrics_csv();
+  const std::string trace_json = serial.trace_json();
+  const std::string attack_chains = serial.attack_chains();
+  ASSERT_GT(serial.scan_db().size(), 0u);
+
+  // In-process 8-thread run: the established baseline the distributed
+  // backend must also match (three-way byte identity).
+  core::StudyConfig threaded_config = study_config();
+  threaded_config.scan_threads = 8;
+  core::Study threaded(threaded_config);
+  threaded.setup_internet();
+  threaded.run_scan();
+  threaded.run_datasets();
+  EXPECT_EQ(serialize(threaded.scan_db()), reference);
+
+  // Distributed run: 3 forked workers, one SIGKILLed mid-sweep by the
+  // crash drill. The scan DB, both report tables, the merged causal trace
+  // and the metric exports must all come out byte-identical anyway.
+  std::vector<dist::RetryLedgerEntry> ledger;
+  std::uint64_t inline_runs = 0;
+  core::set_scan_shard_dispatcher(
+      [&ledger, &inline_runs](const core::StudyConfig& config,
+                              const std::vector<core::ScanShardJob>& jobs,
+                              const core::ScanShardProgressSink& sink)
+          -> std::optional<std::vector<core::ScanShardResult>> {
+        dist::CoordinatorOptions options;
+        options.fork_workers = 3;
+        options.wait_workers = 3;
+        options.kill_worker_after_progress = true;
+        dist::Coordinator coordinator(std::move(options));
+        if (!coordinator.start()) return std::nullopt;
+        auto results = coordinator.run(config, jobs, sink);
+        for (const auto& entry : coordinator.retry_ledger()) {
+          ledger.push_back(entry);
+        }
+        inline_runs += coordinator.inline_runs();
+        coordinator.shutdown();
+        return results;
+      });
+  core::StudyConfig dist_config = study_config();
+  dist_config.scan_workers = 3;
+  core::Study distributed(dist_config);
+  distributed.setup_internet();
+  distributed.run_scan();
+  distributed.run_datasets();
+
+  EXPECT_EQ(serialize(distributed.scan_db()), reference);
+  EXPECT_EQ(core::report_table4_exposed(distributed), table4);
+  EXPECT_EQ(core::report_table5_misconfigured(distributed), table5);
+  EXPECT_EQ(distributed.metrics_prometheus(), metrics_prometheus);
+  EXPECT_EQ(distributed.metrics_csv(), metrics_csv);
+  EXPECT_EQ(distributed.trace_json(), trace_json);
+  EXPECT_EQ(distributed.attack_chains(), attack_chains);
+  EXPECT_EQ(distributed.findings().size(), serial.findings().size());
+  EXPECT_EQ(distributed.scan_dates(), serial.scan_dates());
+  // The crash drill actually fired: at least one attempt died by SIGKILL
+  // (worker-eof) and was requeued.
+  bool saw_eof = false;
+  for (const dist::RetryLedgerEntry& entry : ledger) {
+    if (entry.reason == "worker-eof") saw_eof = true;
+  }
+  EXPECT_TRUE(saw_eof) << "crash drill produced no requeue";
+}
+
+#endif  // OFH_DIST_NO_FORK
+
+// --------------------------------------------------- scenario directive
+
+TEST(DistScenario, ScanWorkersDirectiveParsesAndValidates) {
+  core::ScenarioError error;
+  const auto scenario = core::parse_scenario_text(
+      "scenario distributed knob\nscan-workers 3\nreport summary\n", "<test>",
+      &error);
+  ASSERT_TRUE(scenario.has_value()) << error.to_string();
+  EXPECT_EQ(scenario->config.scan_workers, 3u);
+
+  // Out-of-range worker counts die as typed parse errors, never as a
+  // partially-applied config.
+  const auto rejected = core::parse_scenario_text(
+      "scenario too many\nscan-workers 300\nreport summary\n", "<test>",
+      &error);
+  EXPECT_FALSE(rejected.has_value());
+}
+
+}  // namespace
+}  // namespace ofh

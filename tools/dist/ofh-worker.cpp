@@ -1,0 +1,46 @@
+// ofh-worker: a standalone scan-shard worker process. Connects to an
+// ofh-coordinator's unix socket, announces itself, and executes JOB frames
+// until SHUTDOWN or EOF (dist/worker.h). Run one per core:
+//
+//   for i in 1 2 3; do ofh-worker --connect /tmp/ofh.sock --name w$i & done
+//
+// Crash-safety is the coordinator's job: killing this process at any point
+// (SIGKILL included) only costs the in-flight attempt.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dist/worker.h"
+
+int main(int argc, char** argv) {
+  ofh::dist::WorkerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      options.connect_path = argv[++i];
+    } else if (arg == "--name" && i + 1 < argc) {
+      options.name = argv[++i];
+    } else if (arg == "--connect-wait-ms" && i + 1 < argc) {
+      options.connect_wait_ms = std::atoi(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: ofh-worker --connect PATH [--name NAME] "
+          "[--connect-wait-ms MS]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "ofh-worker: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (options.connect_path.empty()) {
+    std::fprintf(stderr, "ofh-worker: --connect PATH is required\n");
+    return 2;
+  }
+  const int code = ofh::dist::run_worker(options);
+  if (code == 2) {
+    std::fprintf(stderr, "ofh-worker: could not connect to %s\n",
+                 options.connect_path.c_str());
+  }
+  return code;
+}

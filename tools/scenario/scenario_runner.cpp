@@ -21,6 +21,7 @@
 //                                        the corpus).
 //   --threads=a,b,c                      override the {1,2,8} byte-identity
 //                                        sweep (the fuzzer uses --threads=1)
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -28,9 +29,48 @@
 #include <string>
 #include <vector>
 
+#include "core/scan_shard.h"
 #include "core/scenario.h"
+#include "dist/coordinator.h"
+
+// Fork-based worker processes don't mix with ThreadSanitizer (fork from an
+// instrumented process wedges the child's runtime); under TSan the runner
+// installs no dispatcher and scan-workers scenarios take the graceful
+// in-process degradation path — byte-identical by contract.
+#if defined(__SANITIZE_THREAD__)
+#define OFH_RUNNER_NO_FORK 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OFH_RUNNER_NO_FORK 1
+#endif
+#endif
 
 namespace {
+
+// Backend for `scan-workers N`: a fresh coordinator per scan batch, N
+// workers forked over socketpairs, jobs dispatched with the full crash
+// recovery machinery, results merged byte-identically (dist/coordinator.h).
+void install_fork_dispatcher() {
+#ifndef OFH_RUNNER_NO_FORK
+  ofh::core::set_scan_shard_dispatcher(
+      [](const ofh::core::StudyConfig& config,
+         const std::vector<ofh::core::ScanShardJob>& jobs,
+         const ofh::core::ScanShardProgressSink& sink)
+          -> std::optional<std::vector<ofh::core::ScanShardResult>> {
+        ofh::dist::CoordinatorOptions options;
+        // Workers beyond the job count would sit idle; 16 keeps a hostile
+        // scan-workers value from fork-bombing the runner.
+        options.fork_workers = std::min<unsigned>(
+            {config.scan_workers, static_cast<unsigned>(jobs.size()), 16u});
+        options.wait_workers = options.fork_workers;
+        ofh::dist::Coordinator coordinator(std::move(options));
+        if (!coordinator.start()) return std::nullopt;  // degrade in-process
+        auto results = coordinator.run(config, jobs, sink);
+        coordinator.shutdown();
+        return results;
+      });
+#endif
+}
 
 using ofh::core::Scenario;
 using ofh::core::ScenarioError;
@@ -214,6 +254,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "scenario_runner: no scenario files given\n");
     return 2;
   }
+  install_fork_dispatcher();
 
   int failed = 0;
   for (const auto& file : files) {
